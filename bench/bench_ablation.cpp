@@ -1,0 +1,206 @@
+// bench_ablation — ablations over the design choices DESIGN.md §5 calls out.
+//
+// Axes:
+//   1. feature set        — paper's 5 selected vs all 8 candidates vs a
+//                           minimal 3 (count, mean|Δoffset|, readahead)
+//   2. log compression    — log(1+x) feature pipeline vs raw linear features,
+//                           measured where it matters: NVMe-trained model
+//                           evaluated on SATA windows (device transfer)
+//   3. rate augmentation  — jittered event-rate copies vs none (transfer)
+//   4. optimizer          — momentum 0.99 (paper) vs 0.0; learning rates
+//   5. model capacity     — hidden width vs accuracy vs memory footprint
+//   6. inference period   — the paper's 1 s actuation cadence vs 0.5/2/4 s
+//
+// Usage: bench_ablation [--fast]
+#include "bench_common.h"
+#include "nn/quantized.h"
+
+#include <cstring>
+
+namespace {
+
+using namespace kml;
+
+// Project a candidate-feature dataset onto a subset of columns.
+data::Dataset project(const data::Dataset& all,
+                      const std::vector<int>& columns) {
+  data::Dataset out(static_cast<int>(columns.size()));
+  std::vector<double> row(columns.size());
+  for (int i = 0; i < all.size(); ++i) {
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      row[j] = all.features(i)[columns[j]];
+    }
+    out.add(row.data(), all.label(i));
+  }
+  return out;
+}
+
+data::Dataset collect(bool log_features, bool all_features,
+                      sim::DeviceConfig device, std::uint64_t seconds) {
+  readahead::TraceGenConfig config;
+  config.base.device = device;
+  config.log_features = log_features;
+  config.all_candidate_features = all_features;
+  config.seconds_per_run = seconds;
+  config.ra_values_kb = {8, 64, 128, 512};
+  return readahead::collect_training_data(config);
+}
+
+double transfer_accuracy(const data::Dataset& train_nvme,
+                         const data::Dataset& eval_ssd,
+                         const readahead::ModelConfig& config) {
+  nn::Network net = readahead::train_readahead_nn(train_nvme, config);
+  return readahead::evaluate_nn(net, eval_ssd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+  }
+  const std::uint64_t secs = fast ? 6 : 10;
+  const int kfold = fast ? 5 : 10;
+
+  std::printf("== collecting ablation datasets ==\n");
+  const data::Dataset all_log =
+      collect(/*log=*/true, /*all=*/true, sim::nvme_config(), secs);
+  const data::Dataset all_linear =
+      collect(/*log=*/false, /*all=*/true, sim::nvme_config(), secs);
+  const data::Dataset ssd_log =
+      collect(/*log=*/true, /*all=*/true, sim::sata_ssd_config(), secs);
+  const data::Dataset ssd_linear =
+      collect(/*log=*/false, /*all=*/true, sim::sata_ssd_config(), secs);
+  std::printf("NVMe: %d windows; SSD: %d windows\n", all_log.size(),
+              ssd_log.size());
+
+  const std::vector<int> kPaperFive{0, 1, 2, 3, 4};
+  const std::vector<int> kSelected{0, 1, 3, 6, 4};  // shipped set
+  const std::vector<int> kMinimal{0, 3, 4};
+  const std::vector<int> kAll{0, 1, 2, 3, 4, 5, 6, 7};
+  readahead::ModelConfig base_config;
+
+  std::printf("\n== 1. feature sets (k-fold accuracy, k=%d) ==\n", kfold);
+  struct FeatureSet {
+    const char* name;
+    const std::vector<int>* columns;
+  } sets[] = {{"paper's 5 (incl. CMSD)", &kPaperFive},
+              {"ours 5 (CMSD->inodes)", &kSelected},
+              {"all 8 candidates", &kAll},
+              {"minimal 3 (count,diff,ra)", &kMinimal}};
+  for (const FeatureSet& set : sets) {
+    const data::Dataset d = project(all_log, *set.columns);
+    std::printf("  %-28s %.1f%%\n", set.name,
+                readahead::kfold_nn_accuracy(d, kfold, base_config) * 100.0);
+  }
+
+  std::printf("\n== 2. log compression (NVMe-trained, SSD windows) ==\n");
+  {
+    const double with_log = transfer_accuracy(
+        project(all_log, kSelected), project(ssd_log, kSelected),
+        base_config);
+    const double without_log = transfer_accuracy(
+        project(all_linear, kSelected), project(ssd_linear, kSelected),
+        base_config);
+    std::printf("  log(1+x) features            %.1f%% transfer accuracy\n",
+                with_log * 100.0);
+    std::printf("  raw linear features          %.1f%% transfer accuracy\n",
+                without_log * 100.0);
+  }
+
+  std::printf("\n== 3. rate augmentation (NVMe-trained, SSD windows) ==\n");
+  {
+    readahead::ModelConfig no_augment = base_config;
+    no_augment.augment_copies = 0;
+    const double with_aug = transfer_accuracy(
+        project(all_log, kSelected), project(ssd_log, kSelected),
+        base_config);
+    const double without_aug = transfer_accuracy(
+        project(all_log, kSelected), project(ssd_log, kSelected),
+        no_augment);
+    std::printf("  with rate jitter (paper run) %.1f%%\n", with_aug * 100.0);
+    std::printf("  without augmentation         %.1f%%\n",
+                without_aug * 100.0);
+  }
+
+  const data::Dataset selected = project(all_log, kSelected);
+
+  std::printf("\n== 4. optimizer (k-fold accuracy) ==\n");
+  for (const double momentum : {0.99, 0.9, 0.0}) {
+    readahead::ModelConfig config = base_config;
+    config.momentum = momentum;
+    std::printf("  momentum %.2f, lr 0.01       %.1f%%\n", momentum,
+                readahead::kfold_nn_accuracy(selected, kfold, config) * 100);
+  }
+  for (const double lr : {0.1, 0.001}) {
+    readahead::ModelConfig config = base_config;
+    config.learning_rate = lr;
+    std::printf("  momentum 0.99, lr %-9.3f  %.1f%%\n", lr,
+                readahead::kfold_nn_accuracy(selected, kfold, config) * 100);
+  }
+
+  std::printf("\n== 5. model capacity ==\n");
+  for (const int hidden : {4, 16, 64}) {
+    readahead::ModelConfig config = base_config;
+    config.hidden = hidden;
+    const double acc =
+        readahead::kfold_nn_accuracy(selected, kfold, config);
+    nn::Network net = readahead::train_readahead_nn(selected, config);
+    std::printf("  hidden=%-3d  accuracy %.1f%%  weights %zu bytes\n", hidden,
+                acc * 100.0, net.param_bytes());
+  }
+
+  std::printf("\n== 6. fixed-point (Q16.16) inference vs double ==\n");
+  {
+    math::Rng rng(77);
+    const data::Fold fold = data::train_test_split(selected, 0.3, rng);
+    nn::Network net = readahead::train_readahead_nn(fold.train, base_config);
+    nn::QuantizedNetwork q;
+    if (nn::QuantizedNetwork::quantize(net, q)) {
+      int agree = 0;
+      int q_correct = 0;
+      for (int i = 0; i < fold.test.size(); ++i) {
+        std::vector<double> z(fold.test.features(i),
+                              fold.test.features(i) +
+                                  fold.test.num_features());
+        net.normalizer().transform_row(z.data(), fold.test.num_features());
+        matrix::MatD x(1, fold.test.num_features());
+        for (int j = 0; j < fold.test.num_features(); ++j) {
+          x.at(0, j) = z[static_cast<std::size_t>(j)];
+        }
+        const int d_pred = net.predict_classes(x).at(0, 0);
+        const int q_pred = q.infer_class(fold.test.features(i),
+                                         fold.test.num_features());
+        if (d_pred == q_pred) ++agree;
+        if (q_pred == fold.test.label(i)) ++q_correct;
+      }
+      std::printf("  double accuracy %.1f%%  fixed accuracy %.1f%%  "
+                  "agreement %.1f%%  weights %zu B vs %zu B (no FPU)\n",
+                  readahead::evaluate_nn(net, fold.test) * 100.0,
+                  100.0 * q_correct / fold.test.size(),
+                  100.0 * agree / fold.test.size(), q.param_bytes(),
+                  net.param_bytes());
+    }
+  }
+
+  std::printf("\n== 7. inference period (readrandom on SSD, closed loop) ==\n");
+  {
+    nn::Network net = readahead::train_readahead_nn(selected, base_config);
+    const auto predictor = bench::nn_predictor(net);
+    readahead::ExperimentConfig config;
+    config.device = sim::sata_ssd_config();
+    readahead::TunerConfig tuner_config;
+    tuner_config.class_ra_kb = {1024, 8, 512, 8};
+    for (const double period_s : {0.5, 1.0, 2.0, 4.0}) {
+      tuner_config.period_ns =
+          static_cast<std::uint64_t>(period_s * sim::kNsPerSec);
+      const auto outcome = readahead::evaluate_closed_loop(
+          config, workloads::WorkloadType::kReadRandom, predictor,
+          tuner_config, fast ? 8 : 12);
+      std::printf("  period %.1f s  speedup %.2fx\n", period_s,
+                  outcome.speedup);
+    }
+  }
+  return 0;
+}

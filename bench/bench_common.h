@@ -1,0 +1,94 @@
+// bench_common.h — shared plumbing for the experiment binaries.
+//
+// Model reuse follows the paper's deployment flow (§3.3): the first bench
+// that needs the readahead model collects traces, trains in "user space",
+// and saves a KML model file; later benches load that file instead of
+// retraining, exactly like the kernel module would.
+#pragma once
+
+#include "readahead/model.h"
+#include "readahead/pipeline.h"
+#include "nn/serialize.h"
+
+#include <cstdio>
+
+namespace kml::bench {
+
+inline constexpr const char* kDefaultModelPath = "readahead_model.kml";
+inline constexpr const char* kDefaultDatasetPath = "readahead_traces.csv";
+
+// Load previously collected training windows, or run the trace-collection
+// pipeline and cache the result as CSV (the offline development loop of
+// §3.3).
+inline data::Dataset collect_or_load_dataset(
+    const char* path, std::uint64_t trace_seconds = 12) {
+  data::Dataset dataset;
+  if (data::load_dataset_csv(dataset, path)) {
+    std::printf("loaded %d training windows from %s\n", dataset.size(), path);
+    return dataset;
+  }
+  std::printf("collecting traces (4 workloads x 6 RA values x %llu s on "
+              "NVMe)...\n",
+              static_cast<unsigned long long>(trace_seconds));
+  readahead::TraceGenConfig trace_config;
+  trace_config.seconds_per_run = trace_seconds;
+  dataset = readahead::collect_training_data(trace_config);
+  if (data::save_dataset_csv(dataset, path)) {
+    std::printf("cached %d windows to %s\n", dataset.size(), path);
+  }
+  return dataset;
+}
+
+// Load the trained readahead network from `path`, or regenerate training
+// data, train, evaluate, and save it there. Returns the ready network.
+inline nn::Network train_or_load_model(const char* path,
+                                       std::uint64_t trace_seconds = 12) {
+  nn::Network net;
+  if (nn::load_model(net, path)) {
+    std::printf("loaded readahead model from %s\n", path);
+    return net;
+  }
+  const data::Dataset dataset =
+      collect_or_load_dataset(kDefaultDatasetPath, trace_seconds);
+
+  readahead::ModelConfig model_config;
+  net = readahead::train_readahead_nn(dataset, model_config);
+  std::printf("training-set accuracy: %.1f%% on %d windows\n",
+              readahead::evaluate_nn(net, dataset) * 100.0, dataset.size());
+  if (nn::save_model(net, path)) {
+    std::printf("saved model to %s (KML model file format)\n", path);
+  }
+  return net;
+}
+
+// Wrap a network as the tuner's predictor callback.
+inline readahead::ReadaheadTuner::PredictFn nn_predictor(nn::Network& net) {
+  return [&net](const readahead::FeatureVector& features) {
+    std::vector<double> z(features.begin(), features.end());
+    net.normalizer().transform_row(z.data(), static_cast<int>(z.size()));
+    matrix::MatD x(1, static_cast<int>(z.size()));
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      x.at(0, static_cast<int>(j)) = z[j];
+    }
+    return net.predict_classes(x).at(0, 0);
+  };
+}
+
+// Build the per-device actuation table from a quick sweep (the §4 study,
+// condensed: the table is what the paper derives from its full study).
+inline std::array<std::uint32_t, workloads::kNumTrainingClasses>
+actuation_table(const readahead::ExperimentConfig& config,
+                std::uint64_t seconds_per_cell = 4) {
+  const std::vector<workloads::WorkloadType> types = {
+      workloads::WorkloadType::kReadSeq,
+      workloads::WorkloadType::kReadRandom,
+      workloads::WorkloadType::kReadReverse,
+      workloads::WorkloadType::kReadRandomWriteRandom};
+  const std::vector<std::uint32_t> ra_values = {8,  16,  32,  64,
+                                                128, 256, 512, 1024};
+  const auto sweep = readahead::readahead_sweep(config, types, ra_values,
+                                                seconds_per_cell);
+  return readahead::best_ra_table(sweep);
+}
+
+}  // namespace kml::bench

@@ -1,0 +1,120 @@
+// bench_figure2_timeline — reproduces Figure 2 of the paper.
+//
+// "Timeline of performance comparison between running RocksDB's mixgraph
+// workload on vanilla and with KML optimizations enabled": per-second
+// ops/sec for both runs plus the readahead size the tuner chose (the Y2
+// axis), averaged over repeated runs. The paper notes early fluctuations
+// (cold cache, atypical start-of-run access patterns) before the model
+// settles.
+//
+// Usage: bench_figure2_timeline [seconds] [repeats]
+//            [--device nvme|ssd] [--workload <name>] [--model path]
+// Defaults follow the paper: mixgraph on NVMe. Other combinations serve as
+// diagnostics (the per-second predicted class exposes misclassification).
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  using namespace kml;
+
+  std::uint64_t seconds = 40;
+  int repeats = 5;
+  const char* model_path = bench::kDefaultModelPath;
+  sim::DeviceConfig device = sim::nvme_config();
+  workloads::WorkloadType workload = workloads::WorkloadType::kMixGraph;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      device = std::strcmp(argv[++i], "ssd") == 0 ? sim::sata_ssd_config()
+                                                  : sim::nvme_config();
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      for (int w = 0; w < workloads::kNumWorkloads; ++w) {
+        const auto t = static_cast<workloads::WorkloadType>(w);
+        if (name == workloads::workload_name(t)) workload = t;
+      }
+    } else if (positional == 0) {
+      seconds = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      repeats = std::atoi(argv[i]);
+    }
+  }
+  if (seconds == 0) seconds = 40;
+  if (repeats <= 0) repeats = 1;
+
+  nn::Network net = bench::train_or_load_model(model_path);
+  const auto predictor = bench::nn_predictor(net);
+
+  readahead::ExperimentConfig base_config;
+  base_config.device = device;
+  readahead::TunerConfig tuner_config;
+  tuner_config.class_ra_kb = bench::actuation_table(base_config);
+
+  std::printf("\nFigure 2: %s on %s, %d run(s) of %llu virtual seconds\n",
+              workloads::workload_name(workload), device.name, repeats,
+              static_cast<unsigned long long>(seconds));
+
+  std::vector<double> vanilla_sum(seconds, 0.0);
+  std::vector<double> kml_sum(seconds, 0.0);
+  std::vector<double> ra_sum(seconds, 0.0);
+  std::vector<std::vector<int>> class_votes(
+      seconds, std::vector<int>(workloads::kNumTrainingClasses + 1, 0));
+  double vanilla_total = 0.0;
+  double kml_total = 0.0;
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    readahead::ExperimentConfig config = base_config;
+    config.seed = base_config.seed + static_cast<std::uint64_t>(rep) * 1009;
+    const readahead::EvalOutcome outcome = readahead::evaluate_closed_loop(
+        config, workload, predictor, tuner_config, seconds);
+    vanilla_total += outcome.vanilla_ops_per_sec;
+    kml_total += outcome.kml_ops_per_sec;
+    for (std::uint64_t s = 0; s < seconds; ++s) {
+      if (s < outcome.vanilla_per_second.size()) {
+        vanilla_sum[s] += outcome.vanilla_per_second[s];
+      }
+      if (s < outcome.kml_per_second.size()) {
+        kml_sum[s] += outcome.kml_per_second[s];
+      }
+      if (s < outcome.timeline.size()) {
+        ra_sum[s] += outcome.timeline[s].ra_kb;
+        const int cls = outcome.timeline[s].predicted_class;
+        ++class_votes[s][static_cast<std::size_t>(
+            cls < 0 ? workloads::kNumTrainingClasses : cls)];
+      }
+    }
+  }
+
+  std::printf("\n%6s %16s %16s %12s %10s\n", "sec", "vanilla ops/s",
+              "kml ops/s", "ra (KB)", "class");
+  for (std::uint64_t s = 0; s < seconds; ++s) {
+    int best_class = workloads::kNumTrainingClasses;  // "-" idle marker
+    for (int c = 0; c <= workloads::kNumTrainingClasses; ++c) {
+      if (class_votes[s][static_cast<std::size_t>(c)] >
+          class_votes[s][static_cast<std::size_t>(best_class)]) {
+        best_class = c;
+      }
+    }
+    std::printf("%6llu %16.0f %16.0f %12.0f %10s\n",
+                static_cast<unsigned long long>(s), vanilla_sum[s] / repeats,
+                kml_sum[s] / repeats, ra_sum[s] / repeats,
+                best_class == workloads::kNumTrainingClasses
+                    ? "-"
+                    : workloads::workload_name(
+                          static_cast<workloads::WorkloadType>(best_class)));
+  }
+
+  std::printf("\noverall: vanilla %.0f ops/s, kml %.0f ops/s, improvement "
+              "%.2fx (paper, mixgraph: ~2.09x overall)\n",
+              vanilla_total / repeats, kml_total / repeats,
+              vanilla_total > 0 ? kml_total / vanilla_total : 0.0);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// bench_markov_baseline — the related-work comparison against Markov-chain
+// prefetching (Laga et al., Lynx).
+//
+// §5: "Laga et al. implemented Markov chain models to improve readahead...
+// 50% better I/O performance for a database system... In comparison...
+// our readahead model improved I/O throughput by as much as 2.3x. Moreover,
+// our readahead model's kernel memory consumption is less than 4KB,
+// compared to Laga et al.'s Markov model which consumed 94MB."
+//
+// Two claims, two measurements: (a) throughput of Markov prefetching vs the
+// KML tuner vs vanilla across workloads; (b) the *memory* each approach
+// holds — the Markov transition table scales with the data footprint while
+// KML's model is a fixed few KB.
+//
+// Usage: bench_markov_baseline [seconds]
+#include "baselines/markov.h"
+#include "bench_common.h"
+
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+  using namespace kml;
+
+  std::uint64_t seconds = 12;
+  if (argc > 1) {
+    const std::uint64_t s = std::strtoull(argv[1], nullptr, 10);
+    if (s > 0) seconds = s;
+  }
+
+  nn::Network net = bench::train_or_load_model(bench::kDefaultModelPath);
+  const auto predictor = bench::nn_predictor(net);
+
+  readahead::ExperimentConfig config;
+  config.device = sim::sata_ssd_config();  // Lynx evaluated on SATA SSDs
+  readahead::TunerConfig tuner_config;
+  tuner_config.class_ra_kb = bench::actuation_table(config);
+
+  std::printf("\nMarkov prefetching (Lynx-style) vs KML on %s\n",
+              config.device.name);
+  std::printf("%-24s %12s %12s %12s %14s\n", "workload", "vanilla",
+              "markov", "kml-nn", "markov memory");
+
+  std::size_t max_markov_memory = 0;
+  for (int w = 0; w < workloads::kNumWorkloads; ++w) {
+    const auto type = static_cast<workloads::WorkloadType>(w);
+    workloads::WorkloadConfig wc;
+    wc.type = type;
+    wc.seed = config.seed;
+
+    double vanilla_ops;
+    {
+      sim::StorageStack stack(readahead::make_stack_config(config));
+      kv::MiniKV db(stack, readahead::make_kv_config(config));
+      vanilla_ops = workloads::run_workload(db, wc,
+                                            seconds * sim::kNsPerSec,
+                                            UINT64_MAX)
+                        .ops_per_sec;
+    }
+
+    double markov_ops;
+    std::size_t markov_memory;
+    {
+      sim::StorageStack stack(readahead::make_stack_config(config));
+      kv::MiniKV db(stack, readahead::make_kv_config(config));
+      baselines::MarkovPrefetcher prefetcher(stack,
+                                             baselines::MarkovConfig{});
+      markov_ops =
+          workloads::run_workload(
+              db, wc, seconds * sim::kNsPerSec, UINT64_MAX,
+              [&prefetcher](std::uint64_t) { prefetcher.on_tick(); })
+              .ops_per_sec;
+      markov_memory = prefetcher.memory_bytes();
+      if (markov_memory > max_markov_memory) {
+        max_markov_memory = markov_memory;
+      }
+    }
+
+    const readahead::EvalOutcome kml_outcome =
+        readahead::evaluate_closed_loop(config, type, predictor,
+                                        tuner_config, seconds);
+
+    std::printf("%-24s %12.0f %12.0f %12.0f %11.1f MB\n",
+                workloads::workload_name(type), vanilla_ops, markov_ops,
+                kml_outcome.kml_ops_per_sec,
+                static_cast<double>(markov_memory) / (1024.0 * 1024.0));
+  }
+
+  // --- The baseline's home turf: a recurring query pattern ------------------
+  //
+  // Lynx's +50% came from TPC-H, where queries re-walk the same block
+  // chains. None of the six db_bench workloads has learnable transitions
+  // (pure-sequential needs no oracle; uniform-random has none). This
+  // section recreates the favourable case: a fixed pseudo-random chain of
+  // data blocks visited cyclically, footprint > cache so every lap misses.
+  // The kernel heuristic sees random jumps; the Markov table learns the
+  // chain after one lap and prefetches whole blocks ahead.
+  {
+    std::printf("\nrecurring-query pattern (Lynx's favourable case, %s):\n",
+                config.device.name);
+    constexpr std::uint64_t kBlocks = 4096;  // x 64 KiB = 256 MiB footprint
+    constexpr std::uint32_t kBlockPages = 16;
+
+    auto run_pattern = [&](bool with_markov) {
+      sim::StackConfig sc = readahead::make_stack_config(config);
+      sim::StorageStack stack(sc);
+      sim::FileHandle& file =
+          stack.files().create(kBlocks * kBlockPages);
+      // Lynx *replaces* the kernel heuristic: with it left on, ramp windows
+      // insert address-adjacent pages and pollute the transition table.
+      if (with_markov) file.ra_pages = 0;
+      baselines::MarkovPrefetcher prefetcher(stack,
+                                             baselines::MarkovConfig{});
+      // Fixed pseudo-random block chain.
+      std::vector<std::uint64_t> chain(kBlocks);
+      for (std::uint64_t i = 0; i < kBlocks; ++i) chain[i] = i;
+      math::Rng rng(99);
+      for (std::uint64_t i = kBlocks - 1; i > 0; --i) {
+        std::swap(chain[i], chain[rng.next_below(i + 1)]);
+      }
+      const std::uint64_t deadline =
+          stack.clock().now_ns() + seconds * sim::kNsPerSec;
+      std::uint64_t blocks_read = 0;
+      while (stack.clock().now_ns() < deadline) {
+        const std::uint64_t block = chain[blocks_read % kBlocks];
+        stack.cache().read(file, block * kBlockPages, kBlockPages);
+        stack.charge_cpu_ns(1500);
+        if (with_markov) prefetcher.on_tick();
+        ++blocks_read;
+      }
+      return static_cast<double>(blocks_read) * sim::kNsPerSec /
+             (seconds * sim::kNsPerSec);
+    };
+
+    const double vanilla_qps = run_pattern(false);
+    const double markov_qps = run_pattern(true);
+    std::printf("  vanilla readahead: %8.0f blocks/s\n", vanilla_qps);
+    std::printf("  + markov chain:    %8.0f blocks/s  (%.2fx — the regime "
+                "behind Lynx's +50%%)\n",
+                markov_qps, markov_qps / vanilla_qps);
+  }
+
+  std::printf("\nmemory footprint: markov transition table peaks at %.1f MB "
+              "(paper reports 94 MB for Lynx at production scale);\n"
+              "the KML readahead model holds %zu bytes of weights "
+              "(paper: <4 KB) regardless of device size.\n",
+              static_cast<double>(max_markov_memory) / (1024.0 * 1024.0),
+              net.param_bytes());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// bench_readahead_sweep — reproduces §4 "Studying the problem".
+//
+// The paper tested RocksDB with four workloads, 20 readahead sizes
+// (8..1024 KB) and two devices (NVMe, SATA SSD), and "built a mapping from
+// the workload type to the readahead value that provided the best
+// throughput", observing that no single readahead value wins everywhere and
+// the curves are non-linear. This binary prints ops/sec for every
+// (device, workload, readahead) cell plus the per-workload optimum — the
+// actuation table the KML tuner uses.
+//
+// Usage: bench_readahead_sweep [seconds-per-cell] [--quick]
+//   --quick sweeps 8 readahead values instead of the paper's 20.
+#include "readahead/pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+using kml::readahead::ExperimentConfig;
+using kml::workloads::WorkloadType;
+
+void run_device_sweep(const char* device_name,
+                      const ExperimentConfig& config,
+                      const std::vector<std::uint32_t>& ra_values,
+                      std::uint64_t seconds) {
+  const std::vector<WorkloadType> types = {
+      WorkloadType::kReadSeq, WorkloadType::kReadRandom,
+      WorkloadType::kReadReverse, WorkloadType::kReadRandomWriteRandom};
+
+  std::printf("\n=== %s: throughput (ops/sec) vs readahead (KB) ===\n",
+              device_name);
+  std::printf("%-22s", "workload \\ ra_kb");
+  for (std::uint32_t ra : ra_values) std::printf("%9u", ra);
+  std::printf("\n");
+
+  const auto sweep =
+      kml::readahead::readahead_sweep(config, types, ra_values, seconds);
+
+  for (WorkloadType type : types) {
+    std::printf("%-22s", kml::workloads::workload_name(type));
+    for (std::uint32_t ra : ra_values) {
+      for (const auto& p : sweep) {
+        if (p.workload == type && p.ra_kb == ra) {
+          std::printf("%9.0f", p.ops_per_sec);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  const auto table = kml::readahead::best_ra_table(sweep);
+  std::printf("\nbest readahead per workload (%s):\n", device_name);
+  for (int w = 0; w < kml::workloads::kNumTrainingClasses; ++w) {
+    std::printf("  %-22s -> %u KB\n",
+                kml::workloads::workload_name(static_cast<WorkloadType>(w)),
+                table[static_cast<std::size_t>(w)]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seconds = 6;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      seconds = std::strtoull(argv[i], nullptr, 10);
+      if (seconds == 0) seconds = 6;
+    }
+  }
+
+  std::vector<std::uint32_t> ra_values = kml::readahead::paper_ra_values();
+  if (quick) ra_values = {8, 16, 32, 64, 128, 256, 512, 1024};
+
+  std::printf("KML readahead study: %zu readahead sizes x 4 workloads x 2 "
+              "devices, %llu virtual seconds per cell\n",
+              ra_values.size(), static_cast<unsigned long long>(seconds));
+
+  ExperimentConfig nvme;
+  nvme.device = kml::sim::nvme_config();
+  run_device_sweep("NVMe", nvme, ra_values, seconds);
+
+  ExperimentConfig sata;
+  sata.device = kml::sim::sata_ssd_config();
+  run_device_sweep("SSD", sata, ra_values, seconds);
+
+  return 0;
+}

@@ -1,0 +1,71 @@
+// bench_rl_tuner — the reinforcement-learning mode sketched in §3.2.
+//
+// The paper motivates in-kernel training with RL: "we can build a feedback
+// system in the kernel and transform our readahead neural network model to
+// a reinforcement learning model", useful exactly when the workload is NOT
+// in the training set. This experiment runs the tabular Q-learning tuner —
+// no offline traces, no labels, no pretrained model — against vanilla and
+// against the supervised NN tuner on every workload and both devices.
+//
+// Expected shape: after its exploration transient the agent approaches the
+// supervised tuner on the workloads whose state it can distinguish, and
+// never needs the NVMe-collected training set the NN depends on.
+//
+// Usage: bench_rl_tuner [seconds] [warmup-seconds]
+#include "bench_common.h"
+
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+  using namespace kml;
+
+  std::uint64_t seconds = 60;
+  std::uint64_t warmup = 20;
+  if (argc > 1) {
+    const std::uint64_t s = std::strtoull(argv[1], nullptr, 10);
+    if (s > 0) seconds = s;
+  }
+  if (argc > 2) warmup = std::strtoull(argv[2], nullptr, 10);
+  if (warmup >= seconds) warmup = seconds / 3;
+
+  nn::Network net = bench::train_or_load_model(bench::kDefaultModelPath);
+  const auto nn_predictor = bench::nn_predictor(net);
+
+  const sim::DeviceConfig devices[2] = {sim::nvme_config(),
+                                        sim::sata_ssd_config()};
+  std::printf("\nQ-learning vs supervised NN vs vanilla "
+              "(%llu s runs, %llu s RL warmup excluded)\n",
+              static_cast<unsigned long long>(seconds),
+              static_cast<unsigned long long>(warmup));
+
+  for (const sim::DeviceConfig& device : devices) {
+    readahead::ExperimentConfig config;
+    config.device = device;
+    readahead::TunerConfig nn_tuner;
+    nn_tuner.class_ra_kb = bench::actuation_table(config);
+
+    std::printf("\n%s:\n%-24s %12s %12s %12s %10s %10s\n", device.name,
+                "workload", "vanilla", "rl (conv.)", "nn", "rl gain",
+                "nn gain");
+    for (int w = 0; w < workloads::kNumWorkloads; ++w) {
+      const auto type = static_cast<workloads::WorkloadType>(w);
+
+      readahead::RlConfig rl;
+      rl.seed = 11 + static_cast<std::uint64_t>(w);
+      const readahead::RlEvalOutcome rl_outcome =
+          readahead::evaluate_rl_closed_loop(config, type, rl, seconds,
+                                             warmup);
+      const readahead::EvalOutcome nn_outcome =
+          readahead::evaluate_closed_loop(config, type, nn_predictor,
+                                          nn_tuner, seconds);
+      std::printf("%-24s %12.0f %12.0f %12.0f %9.2fx %9.2fx\n",
+                  workloads::workload_name(type),
+                  rl_outcome.vanilla_ops_per_sec, rl_outcome.rl_ops_per_sec,
+                  nn_outcome.kml_ops_per_sec, rl_outcome.speedup,
+                  nn_outcome.speedup);
+    }
+  }
+  std::printf("\nnote: the RL agent trains online during the run; the NN "
+              "was trained offline on NVMe traces.\n");
+  return 0;
+}

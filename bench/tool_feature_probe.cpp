@@ -1,0 +1,75 @@
+// tool_feature_probe — diagnostic: per-class feature statistics of the
+// training set (NVMe) vs live feature vectors observed on another device.
+// Used to debug cross-device transfer of the readahead classifier.
+#include "bench_common.h"
+
+#include <string>
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace kml;
+
+  readahead::TraceGenConfig trace_config;
+  trace_config.seconds_per_run = 6;
+  const data::Dataset train = readahead::collect_training_data(trace_config);
+
+  std::printf("training-set (NVMe) per-class feature means [count cma cmsd "
+              "meandiff ra]:\n");
+  for (int c = 0; c < workloads::kNumTrainingClasses; ++c) {
+    double mean[readahead::kNumSelectedFeatures] = {};
+    int n = 0;
+    for (int i = 0; i < train.size(); ++i) {
+      if (train.label(i) != c) continue;
+      for (int j = 0; j < readahead::kNumSelectedFeatures; ++j) {
+        mean[j] += train.features(i)[j];
+      }
+      ++n;
+    }
+    std::printf("  %-22s", workloads::workload_name(
+                               static_cast<workloads::WorkloadType>(c)));
+    for (double m : mean) std::printf(" %8.3f", m / (n > 0 ? n : 1));
+    std::printf("  (n=%d)\n", n);
+  }
+
+  // Live SSD features for a chosen workload at a few readahead settings.
+  workloads::WorkloadType probe_type = workloads::WorkloadType::kReadRandom;
+  if (argc > 1) {
+    const std::string name = argv[1];
+    for (int w = 0; w < workloads::kNumAllWorkloads; ++w) {
+      const auto t = static_cast<workloads::WorkloadType>(w);
+      if (name == workloads::workload_name(t)) probe_type = t;
+    }
+  }
+  for (std::uint32_t ra : {128u, 1024u, 8u}) {
+    readahead::ExperimentConfig config;
+    config.device = sim::sata_ssd_config();
+    sim::StorageStack stack(readahead::make_stack_config(config));
+    kv::MiniKV db(stack, readahead::make_kv_config(config));
+    stack.block_layer().set_readahead_kb(ra);
+
+    readahead::FeatureExtractor extractor;
+    std::vector<data::TraceRecord> window;
+    stack.tracepoints().register_hook([&](const sim::TraceEvent& ev) {
+      window.push_back(data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
+                                         static_cast<std::uint8_t>(ev.type)});
+    });
+    std::uint64_t boundary = sim::kNsPerSec;
+    std::printf("\nSSD %s at ra=%u KB, per-window features:\n", workloads::workload_name(probe_type), ra);
+    workloads::WorkloadConfig wc;
+    wc.type = probe_type;
+    workloads::run_workload(
+        db, wc, 4 * sim::kNsPerSec, UINT64_MAX, [&](std::uint64_t now) {
+          while (now >= boundary) {
+            const auto f = extractor.extract_selected(
+                window, stack.block_layer().readahead_kb());
+            std::printf("  ");
+            for (double v : f) std::printf(" %8.3f", v);
+            std::printf("\n");
+            window.clear();
+            boundary += sim::kNsPerSec;
+          }
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// tool_mixed_probe — diagnostic: per-file tuner decisions in the mixed-
+// tenant scenario.
+#include "bench_common.h"
+#include "kv/iterator.h"
+#include "workloads/generator.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace kml;
+  nn::Network net = bench::train_or_load_model(bench::kDefaultModelPath);
+  const auto predictor = bench::nn_predictor(net);
+
+  readahead::ExperimentConfig config;
+  readahead::TunerConfig tuner_config;
+  tuner_config.class_ra_kb = {1024, 16, 512, 16};
+
+  sim::StorageStack stack(readahead::make_stack_config(config));
+  kv::KVConfig kv_config = readahead::make_kv_config(config);
+  kv_config.num_keys = config.num_keys / 2;
+  kv::MiniKV scan_db(stack, kv_config);
+  kv::MiniKV rand_db(stack, kv_config);
+  std::printf("scan base inode guess=1, rand base inode guess=3\n");
+
+  readahead::PerFileTuner tuner(stack, predictor, tuner_config);
+
+  // Parallel feature dump: independent extractors per inode.
+  std::unordered_map<std::uint64_t, readahead::FeatureExtractor> extractors;
+  std::unordered_map<std::uint64_t, std::vector<data::TraceRecord>> windows;
+  stack.tracepoints().register_hook([&](const sim::TraceEvent& ev) {
+    windows[ev.inode].push_back(
+        data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
+                          static_cast<std::uint8_t>(ev.type)});
+  });
+
+  auto it = scan_db.new_iterator();
+  it->seek_to_first();
+  workloads::UniformKeys keys(rand_db.num_keys(), 7);
+
+  std::uint64_t last_window = 0;
+  while (stack.clock().now_ns() < 8 * sim::kNsPerSec) {
+    rand_db.get(keys.next());
+    for (int i = 0; i < 64; ++i) {
+      if (!it->valid()) it->seek_to_first();
+      it->next();
+    }
+    tuner.on_tick(stack.clock().now_ns());
+    if (tuner.windows() != last_window) {
+      last_window = tuner.windows();
+      std::printf("window %llu:\n",
+                  static_cast<unsigned long long>(last_window));
+      for (const auto& d : tuner.last_window_decisions()) {
+        std::printf("  inode %llu: class %d -> %u KB (%llu events)\n",
+                    static_cast<unsigned long long>(d.inode),
+                    d.predicted_class, d.ra_kb,
+                    static_cast<unsigned long long>(d.events));
+      }
+      for (auto& [inode, win] : windows) {
+        readahead::FeatureVector f = extractors[inode].extract_selected(
+            win, stack.block_layer().file_readahead_kb(inode));
+        std::printf("    features inode %llu:",
+                    static_cast<unsigned long long>(inode));
+        for (double v : f) std::printf(" %7.3f", v);
+        std::printf("\n");
+        win.clear();
+      }
+    }
+  }
+  return 0;
+}

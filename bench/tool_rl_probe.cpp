@@ -1,0 +1,30 @@
+// tool_rl_probe — diagnostic: Q-learning timeline and learned Q-table on a
+// single workload run.
+#include "readahead/pipeline.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace kml;
+  readahead::ExperimentConfig config;
+  config.num_keys = 100000;
+  config.cache_pages = 2048;
+  config.device = sim::sata_ssd_config();
+
+  readahead::RlConfig rl;
+  rl.seed = 5;
+  const readahead::RlEvalOutcome outcome = readahead::evaluate_rl_closed_loop(
+      config, workloads::WorkloadType::kReadRandom, rl, 40, 20);
+
+  std::printf("vanilla %.0f, rl(post-warmup) %.0f, rl(all) %.0f, speedup %.2f\n",
+              outcome.vanilla_ops_per_sec, outcome.rl_ops_per_sec,
+              outcome.rl_ops_per_sec_all, outcome.speedup);
+  std::printf("\n%4s %5s %6s %8s %8s %7s\n", "win", "state", "action",
+              "ra_kb", "reward", "eps");
+  for (const auto& p : outcome.timeline) {
+    std::printf("%4llu %5d %6d %8u %8.0f %7.3f\n",
+                static_cast<unsigned long long>(p.window), p.state, p.action,
+                p.ra_kb, p.reward, p.epsilon);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// quickstart — the KML core library in 5 minutes.
+//
+// Builds a small neural-network classifier with the from-scratch ML stack
+// (matrices, layers, losses, SGD), trains it on synthetic data, measures
+// accuracy, saves it in the KML model file format, loads it back, and shows
+// the memory accounting every deployment decision rests on.
+//
+//   ./examples/quickstart
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/network.h"
+#include "nn/serialize.h"
+#include "portability/kml_lib.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace kml;
+  kml_lib_init();
+
+  // 1. Synthetic 3-class problem: Gaussian blobs in 4-D.
+  math::Rng rng(2024);
+  const int kSamples = 600;
+  const int kFeatures = 4;
+  const int kClasses = 3;
+  matrix::MatD x(kSamples, kFeatures);
+  matrix::MatD y(kSamples, kClasses);
+  matrix::MatI labels(kSamples, 1);
+  for (int i = 0; i < kSamples; ++i) {
+    const int cls = i % kClasses;
+    for (int j = 0; j < kFeatures; ++j) {
+      x.at(i, j) = rng.normal(2.5 * cls, 0.8);
+    }
+    y.at(i, cls) = 1.0;
+    labels.at(i, 0) = cls;
+  }
+
+  // 2. Build the network: Linear -> Sigmoid -> Linear (a chain computation
+  //    graph, trained by reverse-mode autodiff).
+  nn::Network net;
+  net.add(std::make_unique<nn::Linear>(kFeatures, 12, rng))
+      .add(std::make_unique<nn::Sigmoid>())
+      .add(std::make_unique<nn::Linear>(12, kClasses, rng));
+
+  // 3. Fit the Z-score normalizer and train with SGD + momentum.
+  net.normalizer().fit(x);
+  const matrix::MatD z = net.normalizer().transform(x);
+  nn::CrossEntropyLoss loss;
+  nn::SGD opt(/*learning_rate=*/0.05, /*momentum=*/0.9);
+  opt.attach(net.params());
+  const nn::TrainReport report = net.train(z, y, loss, opt, /*epochs=*/40,
+                                           /*batch_size=*/32, rng);
+  std::printf("trained %d epochs: loss %.4f -> %.4f, accuracy %.1f%%\n",
+              report.epochs, report.epoch_losses.front(), report.final_loss,
+              net.accuracy(z, labels) * 100.0);
+
+  // 4. Save in the KML model file format and reload (the user-space ->
+  //    kernel deployment path).
+  const char* path = "quickstart_model.kml";
+  if (!nn::save_model(net, path)) {
+    std::fprintf(stderr, "failed to save model\n");
+    return 1;
+  }
+  nn::Network deployed;
+  if (!nn::load_model(deployed, path)) {
+    std::fprintf(stderr, "failed to load model\n");
+    return 1;
+  }
+  const matrix::MatD z2 = deployed.normalizer().transform(x);
+  std::printf("reloaded model accuracy: %.1f%% (identical weights)\n",
+              deployed.accuracy(z2, labels) * 100.0);
+
+  // 5. Every byte is accounted — this is how the paper reports its 3,916 B
+  //    model footprint.
+  std::printf("model weights: %zu bytes; live kml allocations: %llu bytes\n",
+              deployed.param_bytes(),
+              static_cast<unsigned long long>(kml_mem_usage()));
+
+  kml_lib_shutdown();
+  return 0;
+}

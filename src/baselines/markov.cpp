@@ -1,0 +1,121 @@
+#include "baselines/markov.h"
+
+namespace kml::baselines {
+
+MarkovPrefetcher::MarkovPrefetcher(sim::StorageStack& stack,
+                                   const MarkovConfig& config)
+    : stack_(stack), config_(config) {
+  // Learn from demand traffic: every page-cache insert maps to its block.
+  hook_handle_ = stack_.tracepoints().register_hook(
+      [this](const sim::TraceEvent& ev) {
+        if (ev.type != sim::TraceEventType::kAddToPageCache) return;
+        if (issuing_) return;  // don't learn from our own prefetches
+        observe(ev.inode, ev.pgoff / config_.block_pages);
+      });
+}
+
+MarkovPrefetcher::~MarkovPrefetcher() {
+  stack_.tracepoints().unregister(hook_handle_);
+}
+
+void MarkovPrefetcher::observe(std::uint64_t inode, std::uint64_t block) {
+  auto last = last_block_.find(inode);
+  if (last != last_block_.end() && last->second != block) {
+    BlockState& state = table_[inode][last->second];
+    ++state.total;
+    ++transitions_;
+    bool found = false;
+    for (Successor& s : state.successors) {
+      if (s.block == block) {
+        ++s.count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (static_cast<int>(state.successors.size()) <
+          config_.max_successors) {
+        state.successors.push_back(Successor{block, 1});
+      } else {
+        // Evict the weakest candidate (Lynx-style bounded candidate set).
+        std::size_t weakest = 0;
+        for (std::size_t i = 1; i < state.successors.size(); ++i) {
+          if (state.successors[i].count < state.successors[weakest].count) {
+            weakest = i;
+          }
+        }
+        state.successors[weakest] = Successor{block, 1};
+      }
+    }
+
+    // Predict the successor of the block we just entered.
+    const std::uint64_t next = predict(inode, block);
+    if (next != UINT64_MAX) {
+      pending_.push_back(PendingPrefetch{inode, next, config_.chain_depth});
+    }
+  }
+  last_block_[inode] = block;
+}
+
+std::uint64_t MarkovPrefetcher::predict(std::uint64_t inode,
+                                        std::uint64_t block) const {
+  const auto per_inode = table_.find(inode);
+  if (per_inode == table_.end()) return UINT64_MAX;
+  const auto entry = per_inode->second.find(block);
+  if (entry == per_inode->second.end() ||
+      entry->second.total < config_.min_observations) {
+    return UINT64_MAX;
+  }
+  const BlockState& state = entry->second;
+  for (const Successor& s : state.successors) {
+    if (static_cast<double>(s.count) / state.total >= config_.confidence) {
+      return s.block;
+    }
+  }
+  return UINT64_MAX;
+}
+
+void MarkovPrefetcher::on_tick() {
+  if (pending_.empty()) return;
+  std::vector<PendingPrefetch> batch;
+  batch.swap(pending_);
+  issuing_ = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingPrefetch p = batch[i];
+    if (!stack_.files().exists(p.inode)) continue;
+    sim::FileHandle& file = stack_.files().get(p.inode);
+    const std::uint64_t start = p.block * config_.block_pages;
+    if (start >= file.size_pages) continue;
+    const bool already_cached = stack_.cache().cached(file.inode, start);
+    if (!already_cached) {
+      stack_.cache().do_readahead(file, start, config_.block_pages,
+                                  sim::PageCache::kNoMarker,
+                                  /*faulting=*/sim::PageCache::kNoMarker);
+      ++prefetches_;
+    }
+    // Chain the lookahead: a prefetched block will be a cache hit and emit
+    // no event, so extend the pipeline from the table now.
+    if (p.depth > 0) {
+      const std::uint64_t next = predict(p.inode, p.block);
+      if (next != UINT64_MAX) {
+        batch.push_back(PendingPrefetch{p.inode, next, p.depth - 1});
+      }
+    }
+  }
+  issuing_ = false;
+}
+
+std::size_t MarkovPrefetcher::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [inode, blocks] : table_) {
+    total += sizeof(inode);
+    for (const auto& [block, state] : blocks) {
+      total += sizeof(block) + sizeof(BlockState) +
+               state.successors.size() * sizeof(Successor);
+    }
+  }
+  total += last_block_.size() * 2 * sizeof(std::uint64_t);
+  return total;
+}
+
+}  // namespace kml::baselines

@@ -1,0 +1,95 @@
+// markov.h — Markov-chain prefetching baseline (Laga et al., NVMSA '16).
+//
+// The paper's related-work comparison: "Laga et al. implemented Markov
+// chain models to improve readahead performance in the Linux kernel...
+// our readahead model's kernel memory consumption is less than 4KB,
+// compared to Laga et al.'s Markov model which consumed 94MB."
+//
+// This baseline learns a first-order Markov chain over *data-block*
+// transitions (block = block_pages consecutive pages) from the page-cache
+// insert stream, and prefetches the most likely successor block whenever
+// the observed transition probability clears a confidence threshold.
+// Kernel readahead is left at its default; the Markov prefetcher adds
+// speculative block reads on top — faithful to Lynx's design point, and
+// demonstrating the memory/accuracy tradeoff the paper criticizes: the
+// transition table grows with the block count (i.e., with device size),
+// not with model complexity.
+#pragma once
+
+#include "sim/stack.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace kml::baselines {
+
+struct MarkovConfig {
+  std::uint32_t block_pages = 16;
+  // Successors remembered per block (Lynx keeps a small candidate set).
+  int max_successors = 4;
+  // Minimum observed transition share before prefetching.
+  double confidence = 0.5;
+  // Transitions observed before a block's statistics are trusted.
+  std::uint32_t min_observations = 3;
+  // Lookahead: when a predicted block is issued, its own most-likely
+  // successor is chained up to this depth. Without chaining the pipeline
+  // stalls — prefetched blocks are cache hits and hits emit no
+  // add_to_page_cache events to re-prime the predictor.
+  int chain_depth = 4;
+};
+
+class MarkovPrefetcher {
+ public:
+  MarkovPrefetcher(sim::StorageStack& stack, const MarkovConfig& config);
+  ~MarkovPrefetcher();
+
+  MarkovPrefetcher(const MarkovPrefetcher&) = delete;
+  MarkovPrefetcher& operator=(const MarkovPrefetcher&) = delete;
+
+  // Issue pending predicted prefetches (call from the workload tick; real
+  // Lynx runs its predictor off the I/O completion path).
+  void on_tick();
+
+  // Approximate memory held by the transition table, in bytes — the
+  // number the paper contrasts with KML's <4KB model.
+  std::size_t memory_bytes() const;
+
+  std::uint64_t transitions_learned() const { return transitions_; }
+  std::uint64_t prefetches_issued() const { return prefetches_; }
+
+ private:
+  struct Successor {
+    std::uint64_t block;
+    std::uint32_t count;
+  };
+  struct BlockState {
+    std::vector<Successor> successors;
+    std::uint32_t total = 0;
+  };
+  struct PendingPrefetch {
+    std::uint64_t inode;
+    std::uint64_t block;
+    int depth;  // remaining chain budget
+  };
+
+  void observe(std::uint64_t inode, std::uint64_t block);
+  // Most likely successor of `block` clearing the confidence bar, or
+  // UINT64_MAX.
+  std::uint64_t predict(std::uint64_t inode, std::uint64_t block) const;
+
+  sim::StorageStack& stack_;
+  MarkovConfig config_;
+  int hook_handle_;
+  // (inode, block) keyed transition table.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, BlockState>>
+      table_;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_block_;  // per inode
+  std::vector<PendingPrefetch> pending_;
+  bool issuing_ = false;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t prefetches_ = 0;
+};
+
+}  // namespace kml::baselines

@@ -1,0 +1,113 @@
+#include "capi/kml_api.h"
+
+#include "dtree/decision_tree.h"
+#include "nn/network.h"
+#include "nn/serialize.h"
+
+#include <new>
+#include <vector>
+
+// Opaque handle definitions: thin wrappers over the C++ objects. All
+// C-visible functions are noexcept by construction (no exception may cross
+// the C boundary).
+struct kml_model {
+  kml::nn::Network net;
+  int in_features;
+  int num_classes;
+};
+
+struct kml_dtree {
+  kml::dtree::DecisionTree tree;
+};
+
+namespace {
+
+// Feature counts derived from the layer chain (first/last linear layer).
+int chain_in_features(kml::nn::Network& net) {
+  for (int i = 0; i < net.num_layers(); ++i) {
+    const int in = net.layer(i).in_features();
+    if (in > 0) return in;
+  }
+  return -1;
+}
+
+int chain_out_features(kml::nn::Network& net) {
+  for (int i = net.num_layers() - 1; i >= 0; --i) {
+    const int out = net.layer(i).out_features();
+    if (out > 0) return out;
+  }
+  return -1;
+}
+
+}  // namespace
+
+extern "C" {
+
+kml_model* kml_model_load(const char* path) {
+  if (path == nullptr) return nullptr;
+  kml::nn::Network net;
+  if (!kml::nn::load_model(net, path)) return nullptr;
+  auto* handle = new (std::nothrow) kml_model{std::move(net), 0, 0};
+  if (handle == nullptr) return nullptr;
+  handle->in_features = chain_in_features(handle->net);
+  handle->num_classes = chain_out_features(handle->net);
+  if (handle->in_features <= 0 || handle->num_classes <= 0) {
+    delete handle;
+    return nullptr;
+  }
+  return handle;
+}
+
+void kml_model_destroy(kml_model* model) { delete model; }
+
+int kml_model_infer(const kml_model* model, const double* features, int n) {
+  if (model == nullptr || features == nullptr ||
+      n != model->in_features) {
+    return -1;
+  }
+  auto* mutable_model = const_cast<kml_model*>(model);
+  std::vector<double> z(features, features + n);
+  mutable_model->net.normalizer().transform_row(z.data(), n);
+  kml::matrix::MatD x(1, n);
+  for (int j = 0; j < n; ++j) x.at(0, j) = z[static_cast<std::size_t>(j)];
+  return mutable_model->net.predict_classes(x).at(0, 0);
+}
+
+int kml_model_num_features(const kml_model* model) {
+  return model == nullptr ? -1 : model->in_features;
+}
+
+int kml_model_num_classes(const kml_model* model) {
+  return model == nullptr ? -1 : model->num_classes;
+}
+
+size_t kml_model_weight_bytes(const kml_model* model) {
+  return model == nullptr ? 0 : model->net.param_bytes();
+}
+
+kml_dtree* kml_dtree_load(const char* path) {
+  if (path == nullptr) return nullptr;
+  auto* handle = new (std::nothrow) kml_dtree{};
+  if (handle == nullptr) return nullptr;
+  if (!handle->tree.load(path)) {
+    delete handle;
+    return nullptr;
+  }
+  return handle;
+}
+
+void kml_dtree_destroy(kml_dtree* tree) { delete tree; }
+
+int kml_dtree_infer(const kml_dtree* tree, const double* features, int n) {
+  if (tree == nullptr || features == nullptr || !tree->tree.trained() ||
+      n != tree->tree.num_features()) {
+    return -1;
+  }
+  return tree->tree.predict(features, n);
+}
+
+int kml_dtree_node_count(const kml_dtree* tree) {
+  return tree == nullptr ? -1 : tree->tree.node_count();
+}
+
+}  // extern "C"

@@ -1,0 +1,59 @@
+/*
+ * kml_api.h — flat C API for model deployment (Table 1).
+ *
+ * The paper's KML APIs "define the interfaces between KML models and
+ * kernel": a kernel module written in C loads a model file produced by the
+ * user-space development loop and calls into KML for inference. This header
+ * is that boundary — plain C, opaque handles, no exceptions crossing it.
+ * Every function is safe to call with NULL handles (returns the documented
+ * error value).
+ */
+#ifndef KML_CAPI_KML_API_H_
+#define KML_CAPI_KML_API_H_
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ---- neural-network models (KML model file format, 'KMLM') ---- */
+
+typedef struct kml_model kml_model;
+
+/* Load a model saved by nn::save_model(); NULL on failure. */
+kml_model* kml_model_load(const char* path);
+
+void kml_model_destroy(kml_model* model);
+
+/* Classify a raw feature vector (the model's own normalizer is applied).
+ * Returns the class index, or -1 on error / feature-count mismatch. */
+int kml_model_infer(const kml_model* model, const double* features, int n);
+
+/* Expected input width; -1 on error. */
+int kml_model_num_features(const kml_model* model);
+
+/* Output class count; -1 on error. */
+int kml_model_num_classes(const kml_model* model);
+
+/* Bytes of parameter storage (the deployment footprint). 0 on error. */
+size_t kml_model_weight_bytes(const kml_model* model);
+
+/* ---- decision trees ('KMLT') ---- */
+
+typedef struct kml_dtree kml_dtree;
+
+kml_dtree* kml_dtree_load(const char* path);
+void kml_dtree_destroy(kml_dtree* tree);
+
+/* NOTE: tree files carry no normalizer; callers pass features in the same
+ * space the tree was trained in. Returns class index or -1 on error. */
+int kml_dtree_infer(const kml_dtree* tree, const double* features, int n);
+
+int kml_dtree_node_count(const kml_dtree* tree);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  /* KML_CAPI_KML_API_H_ */

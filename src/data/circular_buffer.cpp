@@ -1,0 +1,10 @@
+#include "data/circular_buffer.h"
+
+namespace kml::data {
+
+// Header-only template; this TU exists to give the target a compile check
+// for the common instantiations.
+template class CircularBuffer<double>;
+template class CircularBuffer<std::uint64_t>;
+
+}  // namespace kml::data

@@ -1,0 +1,113 @@
+// circular_buffer.h — lock-free single-producer/single-consumer ring (§3.1–3.2).
+//
+// This is the channel between KML's data-collection hooks (which run inline
+// on the I/O path and must never block, take a lock, or touch the FPU) and
+// the asynchronous training/normalization thread. Capacity is fixed at
+// construction to cap memory use; when the consumer falls behind, push()
+// fails and the sample is *dropped* — the paper accepts bounded sample loss
+// over unbounded memory or producer stalls, and tells users to size the
+// buffer against their sampling rate.
+//
+// Progress guarantees: push() and pop() are wait-free (one CAS-free
+// load/store pair each); correct for exactly one producer thread and one
+// consumer thread, which is KML's deployment shape (I/O path -> trainer).
+#pragma once
+
+#include "portability/memory.h"
+#include "portability/thread.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <new>
+
+namespace kml::data {
+
+template <typename T>
+class CircularBuffer {
+ public:
+  // Capacity is rounded up to a power of two (index masking beats modulo on
+  // the hot path). Usable slots = capacity (one-slot-reserve avoided by
+  // using monotonically increasing counters).
+  explicit CircularBuffer(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity == 0 ? 1 : capacity)),
+        mask_(capacity_ - 1),
+        slots_(static_cast<T*>(kml_malloc(capacity_ * sizeof(T)))) {
+    assert(slots_ != nullptr);
+    for (std::size_t i = 0; i < capacity_; ++i) new (&slots_[i]) T{};
+  }
+
+  ~CircularBuffer() {
+    for (std::size_t i = 0; i < capacity_; ++i) slots_[i].~T();
+    kml_free(slots_);
+  }
+
+  CircularBuffer(const CircularBuffer&) = delete;
+  CircularBuffer& operator=(const CircularBuffer&) = delete;
+
+  // Producer side. Returns false (and counts a drop) when full.
+  bool push(const T& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Drain up to `max` elements into `out[]`; returns the count. Consumer
+  // side only.
+  std::size_t pop_many(T* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && pop(out[n])) ++n;
+    return n;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Approximate occupancy (exact when called from the consumer).
+  std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  bool empty() const { return size() == 0; }
+
+  // Samples lost to a full buffer since construction — the accuracy-vs-
+  // memory knob the paper tells users to watch.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  T* const slots_;
+  // Producer and consumer counters on separate cache lines to avoid false
+  // sharing between the I/O path and the training thread.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace kml::data

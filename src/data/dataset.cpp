@@ -1,0 +1,183 @@
+#include "data/dataset.h"
+
+#include "portability/file.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace kml::data {
+
+int Dataset::num_classes() const {
+  int mx = -1;
+  for (int l : labels_) {
+    if (l > mx) mx = l;
+  }
+  return mx + 1;
+}
+
+void Dataset::add(const double* features, int label) {
+  assert(num_features_ > 0);
+  x_.insert(x_.end(), features, features + num_features_);
+  labels_.push_back(label);
+}
+
+matrix::MatD Dataset::to_matrix() const {
+  matrix::MatD m(size(), num_features_);
+  for (int i = 0; i < size(); ++i) {
+    const double* src = features(i);
+    for (int j = 0; j < num_features_; ++j) m.at(i, j) = src[j];
+  }
+  return m;
+}
+
+matrix::MatD Dataset::to_one_hot(int nc) const {
+  matrix::MatD m(size(), nc);
+  for (int i = 0; i < size(); ++i) {
+    assert(label(i) >= 0 && label(i) < nc);
+    m.at(i, label(i)) = 1.0;
+  }
+  return m;
+}
+
+matrix::MatI Dataset::to_labels() const {
+  matrix::MatI m(size(), 1);
+  for (int i = 0; i < size(); ++i) m.at(i, 0) = label(i);
+  return m;
+}
+
+void Dataset::shuffle(math::Rng& rng) {
+  for (int i = size() - 1; i > 0; --i) {
+    const int j = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(labels_[static_cast<std::size_t>(i)],
+              labels_[static_cast<std::size_t>(j)]);
+    for (int f = 0; f < num_features_; ++f) {
+      std::swap(x_[static_cast<std::size_t>(i) * num_features_ + f],
+                x_[static_cast<std::size_t>(j) * num_features_ + f]);
+    }
+  }
+}
+
+Dataset Dataset::subset(const std::vector<int>& indices) const {
+  Dataset out(num_features_);
+  for (int i : indices) {
+    assert(i >= 0 && i < size());
+    out.add(features(i), label(i));
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (num_features_ == 0) num_features_ = other.num_features_;
+  assert(num_features_ == other.num_features_);
+  for (int i = 0; i < other.size(); ++i) {
+    add(other.features(i), other.label(i));
+  }
+}
+
+bool save_dataset_csv(const Dataset& dataset, const char* path) {
+  KmlFile* f = kml_fopen(path, "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  char line[1024];
+  for (int i = 0; ok && i < dataset.size(); ++i) {
+    int pos = 0;
+    for (int j = 0; j < dataset.num_features(); ++j) {
+      pos += std::snprintf(line + pos, sizeof(line) - pos, "%.17g,",
+                           dataset.features(i)[j]);
+    }
+    pos += std::snprintf(line + pos, sizeof(line) - pos, "%d\n",
+                         dataset.label(i));
+    ok = kml_fwrite(f, line, static_cast<std::size_t>(pos)) == pos;
+  }
+  kml_fclose(f);
+  return ok;
+}
+
+bool load_dataset_csv(Dataset& out, const char* path) {
+  const std::int64_t size = kml_fsize(path);
+  if (size <= 0) return false;
+  KmlFile* f = kml_fopen(path, "r");
+  if (f == nullptr) return false;
+  std::string content(static_cast<std::size_t>(size), '\0');
+  const bool read_ok = kml_fread(f, content.data(), content.size()) == size;
+  kml_fclose(f);
+  if (!read_ok) return false;
+
+  Dataset parsed;
+  std::vector<double> row;
+  const char* p = content.c_str();
+  while (*p != '\0') {
+    const char* line_end = std::strchr(p, '\n');
+    if (line_end == nullptr) line_end = p + std::strlen(p);
+    row.clear();
+    const char* cursor = p;
+    while (cursor < line_end) {
+      char* next = nullptr;
+      row.push_back(std::strtod(cursor, &next));
+      if (next == cursor) return false;  // parse failure
+      cursor = next;
+      if (cursor < line_end && *cursor == ',') ++cursor;
+    }
+    if (row.size() < 2) return false;  // need >= 1 feature + label
+    const int label = static_cast<int>(row.back());
+    row.pop_back();
+    if (parsed.num_features() == 0) {
+      parsed = Dataset(static_cast<int>(row.size()));
+    } else if (static_cast<int>(row.size()) != parsed.num_features()) {
+      return false;  // ragged rows
+    }
+    parsed.add(row.data(), label);
+    p = *line_end == '\n' ? line_end + 1 : line_end;
+  }
+  if (parsed.size() == 0) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+std::vector<Fold> k_fold_split(const Dataset& data, int k, math::Rng& rng) {
+  assert(k >= 2 && data.size() >= k);
+  Dataset shuffled = data;
+  shuffled.shuffle(rng);
+
+  std::vector<std::vector<int>> fold_rows(static_cast<std::size_t>(k));
+  for (int i = 0; i < shuffled.size(); ++i) {
+    fold_rows[static_cast<std::size_t>(i % k)].push_back(i);
+  }
+
+  std::vector<Fold> folds;
+  folds.reserve(static_cast<std::size_t>(k));
+  for (int f = 0; f < k; ++f) {
+    Fold fold;
+    std::vector<int> train_rows;
+    for (int g = 0; g < k; ++g) {
+      if (g == f) continue;
+      train_rows.insert(train_rows.end(),
+                        fold_rows[static_cast<std::size_t>(g)].begin(),
+                        fold_rows[static_cast<std::size_t>(g)].end());
+    }
+    fold.train = shuffled.subset(train_rows);
+    fold.test = shuffled.subset(fold_rows[static_cast<std::size_t>(f)]);
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+Fold train_test_split(const Dataset& data, double test_fraction,
+                      math::Rng& rng) {
+  assert(test_fraction > 0.0 && test_fraction < 1.0);
+  Dataset shuffled = data;
+  shuffled.shuffle(rng);
+  const int n_test = static_cast<int>(test_fraction * shuffled.size());
+  std::vector<int> test_rows;
+  std::vector<int> train_rows;
+  for (int i = 0; i < shuffled.size(); ++i) {
+    (i < n_test ? test_rows : train_rows).push_back(i);
+  }
+  return Fold{shuffled.subset(train_rows), shuffled.subset(test_rows)};
+}
+
+}  // namespace kml::data

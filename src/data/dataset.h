@@ -1,0 +1,73 @@
+// dataset.h — labeled training-set container with shuffling and k-fold
+// cross-validation splits (§4: "we measured the performance of our neural
+// network using k-fold cross-validation with k = 10").
+#pragma once
+
+#include "math/rng.h"
+#include "matrix/matrix.h"
+
+#include <vector>
+
+namespace kml::data {
+
+// Rows of feature vectors with integer class labels.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(int num_features) : num_features_(num_features) {}
+
+  int num_features() const { return num_features_; }
+  int size() const { return static_cast<int>(labels_.size()); }
+  int num_classes() const;
+
+  // Append one sample; `features` must have num_features() entries.
+  void add(const double* features, int label);
+
+  const double* features(int i) const {
+    return &x_[static_cast<std::size_t>(i) * num_features_];
+  }
+  int label(int i) const { return labels_[static_cast<std::size_t>(i)]; }
+
+  // Materialize as matrices: X is (n x f), Y is one-hot (n x num_classes).
+  matrix::MatD to_matrix() const;
+  matrix::MatD to_one_hot(int num_classes) const;
+  matrix::MatI to_labels() const;
+
+  // In-place Fisher–Yates shuffle.
+  void shuffle(math::Rng& rng);
+
+  // Select a subset by row indices.
+  Dataset subset(const std::vector<int>& indices) const;
+
+  // Append all samples from another dataset (feature counts must match).
+  void append(const Dataset& other);
+
+ private:
+  int num_features_ = 0;
+  std::vector<double> x_;   // row-major, size() * num_features_
+  std::vector<int> labels_;
+};
+
+// Persist a dataset as CSV (`f0,f1,...,label` rows). Lets the user-space
+// development loop collect traces once and iterate on models offline.
+bool save_dataset_csv(const Dataset& dataset, const char* path);
+
+// Load a dataset written by save_dataset_csv. Returns false on I/O or
+// parse failure; `out` is untouched on failure.
+bool load_dataset_csv(Dataset& out, const char* path);
+
+// One fold of a k-fold split.
+struct Fold {
+  Dataset train;
+  Dataset test;
+};
+
+// Deterministic k-fold split: shuffles a copy with `rng`, then deals rows
+// round-robin into k folds. Every row appears in exactly one test fold.
+std::vector<Fold> k_fold_split(const Dataset& data, int k, math::Rng& rng);
+
+// Simple train/test split by fraction (0 < test_fraction < 1).
+Fold train_test_split(const Dataset& data, double test_fraction,
+                      math::Rng& rng);
+
+}  // namespace kml::data

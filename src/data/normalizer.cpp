@@ -1,0 +1,121 @@
+#include "data/normalizer.h"
+
+#include "math/approx.h"
+
+#include <cassert>
+
+namespace kml::data {
+
+MinMaxNormalizer::MinMaxNormalizer(int num_features)
+    : lo_(static_cast<std::size_t>(num_features), 0.0),
+      hi_(static_cast<std::size_t>(num_features), 0.0),
+      seen_(static_cast<std::size_t>(num_features), false) {}
+
+void MinMaxNormalizer::fit(const matrix::MatD& x) {
+  lo_.assign(static_cast<std::size_t>(x.cols()), 0.0);
+  hi_.assign(static_cast<std::size_t>(x.cols()), 0.0);
+  seen_.assign(static_cast<std::size_t>(x.cols()), false);
+  for (int i = 0; i < x.rows(); ++i) observe(x.row(i), x.cols());
+}
+
+void MinMaxNormalizer::observe(const double* features, int n) {
+  assert(n == num_features());
+  for (int j = 0; j < n; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    if (!seen_[idx]) {
+      lo_[idx] = features[j];
+      hi_[idx] = features[j];
+      seen_[idx] = true;
+    } else {
+      lo_[idx] = math::kml_min(lo_[idx], features[j]);
+      hi_[idx] = math::kml_max(hi_[idx], features[j]);
+    }
+  }
+}
+
+void MinMaxNormalizer::transform_row(double* features, int n) const {
+  assert(n == num_features());
+  for (int j = 0; j < n; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    const double span = hi_[idx] - lo_[idx];
+    if (span < 1e-12) {
+      features[j] = 0.0;
+      continue;
+    }
+    double v = (features[j] - lo_[idx]) / span;
+    if (v < 0.0) v = 0.0;
+    if (v > 1.0) v = 1.0;
+    features[j] = v;
+  }
+}
+
+matrix::MatD MinMaxNormalizer::transform(const matrix::MatD& x) const {
+  matrix::MatD out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    transform_row(out.row(i), out.cols());
+  }
+  return out;
+}
+
+ZScoreNormalizer::ZScoreNormalizer(int num_features)
+    : stats_(static_cast<std::size_t>(num_features)) {}
+
+void ZScoreNormalizer::fit(const matrix::MatD& x) {
+  stats_.assign(static_cast<std::size_t>(x.cols()), math::RunningStats{});
+  frozen_ = false;
+  for (int i = 0; i < x.rows(); ++i) {
+    observe(x.row(i), x.cols());
+  }
+}
+
+void ZScoreNormalizer::observe(const double* features, int n) {
+  assert(n == num_features());
+  for (int j = 0; j < n; ++j) {
+    stats_[static_cast<std::size_t>(j)].add(features[j]);
+  }
+}
+
+void ZScoreNormalizer::transform_row(double* features, int n) const {
+  assert(frozen_ ? n == static_cast<int>(frozen_mean_.size())
+                 : n == num_features());
+  for (int j = 0; j < n; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    const double m = frozen_ ? frozen_mean_[idx] : stats_[idx].mean();
+    const double s = frozen_ ? frozen_std_[idx] : stats_[idx].stddev();
+    features[j] = math::z_score(features[j], m, s);
+  }
+}
+
+matrix::MatD ZScoreNormalizer::transform(const matrix::MatD& x) const {
+  matrix::MatD out = x;
+  for (int i = 0; i < out.rows(); ++i) {
+    transform_row(out.row(i), out.cols());
+  }
+  return out;
+}
+
+void ZScoreNormalizer::export_moments(std::vector<double>& means,
+                                      std::vector<double>& stddevs) const {
+  means.clear();
+  stddevs.clear();
+  if (frozen_) {
+    means = frozen_mean_;
+    stddevs = frozen_std_;
+    return;
+  }
+  for (const auto& s : stats_) {
+    means.push_back(s.mean());
+    stddevs.push_back(s.stddev());
+  }
+}
+
+void ZScoreNormalizer::import_moments(const std::vector<double>& means,
+                                      const std::vector<double>& stddevs) {
+  assert(means.size() == stddevs.size());
+  frozen_mean_ = means;
+  frozen_std_ = stddevs;
+  frozen_ = true;
+  stats_.assign(means.size(), math::RunningStats{});
+}
+
+}  // namespace kml::data

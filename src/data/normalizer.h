@@ -1,0 +1,79 @@
+// normalizer.h — per-feature Z-score normalization (§3.2, §4).
+//
+// The readahead model Z-scores each of its features before inference. The
+// normalizer can either be fitted offline on a training set (fit once, ship
+// the mean/stddev with the model file) or updated online from the stream —
+// the paper's in-kernel mode keeps running statistics on the training
+// thread.
+#pragma once
+
+#include "math/stats.h"
+#include "matrix/matrix.h"
+
+#include <vector>
+
+namespace kml::data {
+
+// Min-max scaling to [0, 1] — the second normalization family KML offers.
+// Constant features map to 0. Fitted bounds freeze like Z-score moments.
+class MinMaxNormalizer {
+ public:
+  MinMaxNormalizer() = default;
+  explicit MinMaxNormalizer(int num_features);
+
+  int num_features() const { return static_cast<int>(lo_.size()); }
+
+  void fit(const matrix::MatD& x);
+  void observe(const double* features, int n);
+
+  // Scale a row in place; values outside the fitted range clamp to [0, 1].
+  void transform_row(double* features, int n) const;
+  matrix::MatD transform(const matrix::MatD& x) const;
+
+  double min(int feature) const { return lo_[static_cast<std::size_t>(feature)]; }
+  double max(int feature) const { return hi_[static_cast<std::size_t>(feature)]; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<bool> seen_;
+};
+
+class ZScoreNormalizer {
+ public:
+  ZScoreNormalizer() = default;
+  explicit ZScoreNormalizer(int num_features);
+
+  int num_features() const { return static_cast<int>(stats_.size()); }
+
+  // Batch fit: reset, then accumulate every row of X.
+  void fit(const matrix::MatD& x);
+
+  // Online update from one sample (the in-kernel streaming path).
+  void observe(const double* features, int n);
+
+  // Z-score a row in place; features with ~zero variance map to 0.
+  void transform_row(double* features, int n) const;
+
+  // Z-score a whole matrix into a copy.
+  matrix::MatD transform(const matrix::MatD& x) const;
+
+  double mean(int feature) const { return stats_[feature].mean(); }
+  double stddev(int feature) const { return stats_[feature].stddev(); }
+
+  // Serialization hooks: expose/restore the moments so the model file can
+  // carry the fitted normalizer.
+  void export_moments(std::vector<double>& means,
+                      std::vector<double>& stddevs) const;
+  void import_moments(const std::vector<double>& means,
+                      const std::vector<double>& stddevs);
+
+ private:
+  std::vector<math::RunningStats> stats_;
+  // Imported (frozen) moments take precedence when set.
+  std::vector<double> frozen_mean_;
+  std::vector<double> frozen_std_;
+  bool frozen_ = false;
+};
+
+}  // namespace kml::data

@@ -1,0 +1,38 @@
+#include "data/windower.h"
+
+#include <cassert>
+#include <utility>
+
+namespace kml::data {
+
+Windower::Windower(std::uint64_t period_ns, WindowFn on_window)
+    : period_ns_(period_ns == 0 ? 1 : period_ns),
+      on_window_(std::move(on_window)) {}
+
+void Windower::close_windows_until(std::uint64_t now_ns) {
+  // A record at time t belongs to window floor(t / period). Close every
+  // window strictly before the one containing now_ns.
+  const std::uint64_t target = now_ns / period_ns_;
+  while (next_window_ < target) {
+    if (on_window_) on_window_(next_window_, current_);
+    current_.clear();
+    ++next_window_;
+  }
+}
+
+void Windower::push(const TraceRecord& record) {
+  close_windows_until(record.time_ns);
+  current_.push_back(record);
+}
+
+void Windower::advance_to(std::uint64_t now_ns) {
+  close_windows_until(now_ns);
+}
+
+void Windower::flush() {
+  if (on_window_) on_window_(next_window_, current_);
+  current_.clear();
+  ++next_window_;
+}
+
+}  // namespace kml::data

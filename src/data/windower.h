@@ -1,0 +1,59 @@
+// windower.h — time-windowed event aggregation (§4).
+//
+// "In the readahead model, we process the collected data points every
+// second and then extract features at runtime." The windower buffers raw
+// trace records and fires a callback with the completed window each time
+// the (virtual or wall) clock crosses a period boundary. Empty windows are
+// reported too — "no I/O happened this second" is signal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace kml::data {
+
+// The record schema the paper's data-collection hooks emit: inode number,
+// page offset within the file, and time since module start (§4 "Data
+// collection"). `kind` distinguishes the two tracepoints KML attaches to
+// (0 = add_to_page_cache, 1 = writeback_dirty_page).
+struct TraceRecord {
+  std::uint64_t inode;
+  std::uint64_t pgoff;
+  std::uint64_t time_ns;
+  std::uint8_t kind;
+};
+
+class Windower {
+ public:
+  using WindowFn =
+      std::function<void(std::uint64_t window_index,
+                         const std::vector<TraceRecord>& records)>;
+
+  // period_ns: window length (paper default: 1 second).
+  Windower(std::uint64_t period_ns, WindowFn on_window);
+
+  // Feed one record; may fire on_window zero or more times first (one per
+  // elapsed period, including empty ones).
+  void push(const TraceRecord& record);
+
+  // Advance the clock without a record (lets pure time passage close
+  // windows).
+  void advance_to(std::uint64_t now_ns);
+
+  // Flush a final partial window (end of run).
+  void flush();
+
+  std::uint64_t period_ns() const { return period_ns_; }
+  std::uint64_t windows_emitted() const { return next_window_; }
+
+ private:
+  void close_windows_until(std::uint64_t now_ns);
+
+  std::uint64_t period_ns_;
+  WindowFn on_window_;
+  std::vector<TraceRecord> current_;
+  std::uint64_t next_window_ = 0;  // index of the window being filled
+};
+
+}  // namespace kml::data

@@ -1,0 +1,263 @@
+#include "dtree/decision_tree.h"
+
+#include "portability/file.h"
+#include "portability/log.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace kml::dtree {
+namespace {
+
+constexpr std::uint32_t kTreeMagic = 0x544c4d4b;  // "KMLT"
+constexpr std::uint32_t kTreeVersion = 1;
+
+// Gini impurity of a label histogram.
+double gini(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (int c : counts) {
+    const double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int majority(const std::vector<int>& counts) {
+  int best = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const data::Dataset& train) {
+  assert(train.size() > 0);
+  nodes_.clear();
+  num_features_ = train.num_features();
+  std::vector<int> rows(static_cast<std::size_t>(train.size()));
+  for (int i = 0; i < train.size(); ++i) rows[static_cast<std::size_t>(i)] = i;
+  build(train, rows, 0);
+}
+
+int DecisionTree::build(const data::Dataset& d, const std::vector<int>& rows,
+                        int depth) {
+  const int nc = d.num_classes();
+  std::vector<int> counts(static_cast<std::size_t>(nc), 0);
+  for (int r : rows) ++counts[static_cast<std::size_t>(d.label(r))];
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_index)].label = majority(counts);
+  nodes_[static_cast<std::size_t>(node_index)].depth = depth;
+  nodes_[static_cast<std::size_t>(node_index)].rows =
+      static_cast<int>(rows.size());
+
+  const double parent_gini = gini(counts, static_cast<int>(rows.size()));
+  const bool pure = parent_gini <= 0.0;
+  if (pure || depth >= config_.max_depth ||
+      static_cast<int>(rows.size()) < config_.min_samples_split) {
+    return node_index;  // leaf
+  }
+
+  // Exhaustive best-split search: for each feature, sort rows by value and
+  // sweep candidate thresholds between distinct adjacent values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = config_.min_gain;
+
+  std::vector<int> sorted = rows;
+  for (int f = 0; f < d.num_features(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return d.features(a)[f] < d.features(b)[f];
+    });
+    std::vector<int> left_counts(static_cast<std::size_t>(nc), 0);
+    std::vector<int> right_counts = counts;
+    const int n = static_cast<int>(sorted.size());
+    for (int i = 0; i < n - 1; ++i) {
+      const int r = sorted[static_cast<std::size_t>(i)];
+      ++left_counts[static_cast<std::size_t>(d.label(r))];
+      --right_counts[static_cast<std::size_t>(d.label(r))];
+      const double v = d.features(r)[f];
+      const double v_next = d.features(sorted[static_cast<std::size_t>(i + 1)])[f];
+      if (v_next <= v) continue;  // no threshold separates equal values
+      const int nl = i + 1;
+      const int nr = n - nl;
+      const double weighted =
+          (static_cast<double>(nl) * gini(left_counts, nl) +
+           static_cast<double>(nr) * gini(right_counts, nr)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // no useful split: leaf
+
+  std::vector<int> left_rows;
+  std::vector<int> right_rows;
+  for (int r : rows) {
+    (d.features(r)[best_feature] <= best_threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  assert(!left_rows.empty() && !right_rows.empty());
+
+  // Recurse; note nodes_ may reallocate, so write fields via index after.
+  const int left = build(d, left_rows, depth + 1);
+  const int right = build(d, right_rows, depth + 1);
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  node.gain = best_gain;
+  return node_index;
+}
+
+std::vector<double> DecisionTree::feature_importance() const {
+  std::vector<double> importance(static_cast<std::size_t>(num_features_),
+                                 0.0);
+  if (nodes_.empty()) return importance;
+  const double total_rows = nodes_.front().rows;
+  double sum = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) continue;  // leaf
+    const double weighted = node.gain * node.rows / total_rows;
+    importance[static_cast<std::size_t>(node.feature)] += weighted;
+    sum += weighted;
+  }
+  if (sum > 0.0) {
+    for (double& v : importance) v /= sum;
+  }
+  return importance;
+}
+
+std::string DecisionTree::to_text(const char* const* feature_names) const {
+  std::string out;
+  char line[256];
+  for (const Node& node : nodes_) {
+    std::string indent(static_cast<std::size_t>(node.depth) * 2, ' ');
+    if (node.feature < 0) {
+      std::snprintf(line, sizeof(line), "%sleaf: class %d (n=%d)\n",
+                    indent.c_str(), node.label, node.rows);
+    } else if (feature_names != nullptr) {
+      std::snprintf(line, sizeof(line),
+                    "%sif %s <= %.4f (n=%d, gain=%.4f)\n", indent.c_str(),
+                    feature_names[node.feature], node.threshold, node.rows,
+                    node.gain);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%sif f[%d] <= %.4f (n=%d, gain=%.4f)\n", indent.c_str(),
+                    node.feature, node.threshold, node.rows, node.gain);
+    }
+    out += line;
+  }
+  return out;
+}
+
+int DecisionTree::predict(const double* features, int n) const {
+  assert(trained());
+  assert(n == num_features_);
+  (void)n;
+  int idx = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.left < 0) return node.label;
+    idx = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+matrix::MatI DecisionTree::predict(const matrix::MatD& x) const {
+  matrix::MatI out(x.rows(), 1);
+  for (int i = 0; i < x.rows(); ++i) {
+    out.at(i, 0) = predict(x.row(i), x.cols());
+  }
+  return out;
+}
+
+double DecisionTree::accuracy(const data::Dataset& test) const {
+  if (test.size() == 0) return 0.0;
+  int correct = 0;
+  for (int i = 0; i < test.size(); ++i) {
+    if (predict(test.features(i), test.num_features()) == test.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / test.size();
+}
+
+int DecisionTree::depth() const {
+  int mx = 0;
+  for (const Node& n : nodes_) mx = std::max(mx, n.depth);
+  return mx;
+}
+
+bool DecisionTree::save(const char* path) const {
+  KmlFile* f = kml_fopen(path, "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  auto w32 = [&](std::uint32_t v) {
+    ok = ok && kml_fwrite(f, &v, sizeof(v)) == sizeof(v);
+  };
+  w32(kTreeMagic);
+  w32(kTreeVersion);
+  w32(static_cast<std::uint32_t>(num_features_));
+  w32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    ok = ok && kml_fwrite(f, &n, sizeof(n)) == sizeof(n);
+  }
+  kml_fclose(f);
+  return ok;
+}
+
+bool DecisionTree::load(const char* path) {
+  KmlFile* f = kml_fopen(path, "r");
+  if (f == nullptr) return false;
+  bool ok = true;
+  auto r32 = [&](std::uint32_t& v) {
+    ok = ok && kml_fread(f, &v, sizeof(v)) == sizeof(v);
+  };
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t nfeat = 0;
+  std::uint32_t nnodes = 0;
+  r32(magic);
+  r32(version);
+  r32(nfeat);
+  r32(nnodes);
+  ok = ok && magic == kTreeMagic && version == kTreeVersion &&
+       nnodes <= (1u << 24);
+  std::vector<Node> nodes;
+  if (ok) {
+    nodes.resize(nnodes);
+    for (Node& n : nodes) {
+      ok = ok && kml_fread(f, &n, sizeof(n)) == sizeof(n);
+    }
+  }
+  kml_fclose(f);
+  if (!ok) {
+    KML_ERROR("DecisionTree::load: failed to parse %s", path);
+    return false;
+  }
+  // Validate child indices before installing.
+  for (const Node& n : nodes) {
+    if (n.left >= static_cast<int>(nodes.size()) ||
+        n.right >= static_cast<int>(nodes.size())) {
+      return false;
+    }
+  }
+  num_features_ = static_cast<int>(nfeat);
+  nodes_ = std::move(nodes);
+  return true;
+}
+
+}  // namespace kml::dtree

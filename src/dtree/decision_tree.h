@@ -1,0 +1,84 @@
+// decision_tree.h — CART decision-tree classifier (§4).
+//
+// "KML currently supports neural networks and decision trees. We have also
+// implemented a decision tree for the readahead use-case to show how
+// different ML approaches perform on the same problem." Greedy CART with
+// Gini impurity, axis-aligned threshold splits, depth/min-samples stopping.
+// Inference is FPU-light (comparisons only), which is why a kernel
+// deployment might prefer it despite the accuracy gap the paper reports.
+#pragma once
+
+#include "data/dataset.h"
+#include "matrix/matrix.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kml::dtree {
+
+struct TreeConfig {
+  int max_depth = 8;
+  int min_samples_split = 4;
+  // Minimum Gini improvement to accept a split; guards against overfit
+  // splits on noise.
+  double min_gain = 1e-6;
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(TreeConfig config) : config_(config) {}
+
+  // Fit on a labeled dataset. Replaces any previous tree.
+  void fit(const data::Dataset& train);
+
+  // Predicted class for one feature vector.
+  int predict(const double* features, int n) const;
+
+  // Row-wise prediction.
+  matrix::MatI predict(const matrix::MatD& x) const;
+
+  double accuracy(const data::Dataset& test) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+  bool trained() const { return !nodes_.empty(); }
+  int num_features() const { return num_features_; }
+
+  // Gini importance per feature: split gains weighted by the fraction of
+  // training rows that reached the split, normalized to sum to 1 (all
+  // zeros for a stump). Mirrors the paper's feature-relevance analysis
+  // from the model's own perspective.
+  std::vector<double> feature_importance() const;
+
+  // Human-readable tree dump (one node per line, indent = depth).
+  // `feature_names` may be null to print indices.
+  std::string to_text(const char* const* feature_names = nullptr) const;
+
+  // Serialization to the KML file format family (magic 'KMLT').
+  bool save(const char* path) const;
+  bool load(const char* path);
+
+ private:
+  // Flat node pool; children referenced by index (-1 = none). A leaf has
+  // left == -1.
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int label = -1;     // majority class (valid for all nodes)
+    int depth = 0;
+    int rows = 0;       // training rows that reached this node
+    double gain = 0.0;  // Gini gain of this node's split (0 for leaves)
+  };
+
+  int build(const data::Dataset& d, const std::vector<int>& rows, int depth);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  int num_features_ = 0;
+};
+
+}  // namespace kml::dtree

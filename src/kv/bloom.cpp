@@ -1,0 +1,51 @@
+#include "kv/bloom.h"
+
+namespace kml::kv {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::uint64_t expected_keys,
+                         std::uint32_t bits_per_key) {
+  bits_ = expected_keys * bits_per_key;
+  if (bits_ < 64) bits_ = 64;
+  // k = ln2 * bits/keys, clamped to [1, 30]; 0.69 approximation avoids
+  // needing a float here at all.
+  std::uint32_t k = static_cast<std::uint32_t>(bits_per_key * 69 / 100);
+  if (k < 1) k = 1;
+  if (k > 30) k = 30;
+  k_ = k;
+  words_.assign((bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::add(std::uint64_t key) {
+  const std::uint64_t h1 = mix(key);
+  const std::uint64_t h2 = mix(h1 ^ 0xdeadbeefcafef00dULL) | 1;
+  std::uint64_t h = h1;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t bit = h % bits_;
+    words_[bit / 64] |= 1ULL << (bit % 64);
+    h += h2;
+  }
+}
+
+bool BloomFilter::may_contain(std::uint64_t key) const {
+  const std::uint64_t h1 = mix(key);
+  const std::uint64_t h2 = mix(h1 ^ 0xdeadbeefcafef00dULL) | 1;
+  std::uint64_t h = h1;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t bit = h % bits_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+    h += h2;
+  }
+  return true;
+}
+
+}  // namespace kml::kv

@@ -1,0 +1,34 @@
+// bloom.h — Bloom filter for MiniKV sorted runs.
+//
+// RocksDB consults per-table Bloom filters before touching a data block;
+// MiniKV does the same so that point lookups in a multi-run database charge
+// I/O only for runs that (probably) contain the key. Double hashing
+// (Kirsch–Mitzenmacher) over a splitmix64 base hash, k derived from
+// bits-per-key as in the classic construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kml::kv {
+
+class BloomFilter {
+ public:
+  // Sized for `expected_keys` at `bits_per_key` (RocksDB default: 10 bits
+  // -> ~1% false-positive rate).
+  BloomFilter(std::uint64_t expected_keys, std::uint32_t bits_per_key);
+
+  void add(std::uint64_t key);
+  bool may_contain(std::uint64_t key) const;
+
+  std::uint64_t bit_count() const { return bits_; }
+  std::uint32_t hash_count() const { return k_; }
+  std::size_t memory_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::uint64_t bits_;
+  std::uint32_t k_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace kml::kv

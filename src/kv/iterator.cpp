@@ -1,0 +1,175 @@
+#include "kv/iterator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kml::kv {
+
+// Sources: [0] = memtable snapshot (newest), then overlay runs newest->oldest,
+// then the base run. Lower source index wins on duplicate keys.
+Iterator::Iterator(MiniKV& db) : db_(db) {
+  Source mem;
+  mem.table = nullptr;
+  sources_.push_back(mem);
+  snapshot_ = db.memtable_.sorted_keys();
+  for (auto it = db.runs_.rbegin(); it != db.runs_.rend(); ++it) {
+    Source s;
+    s.table = it->get();
+    sources_.push_back(s);
+  }
+}
+
+std::uint64_t Iterator::source_count(const Source& s) const {
+  return s.table != nullptr ? s.table->entry_count()
+                            : static_cast<std::uint64_t>(snapshot_.size());
+}
+
+std::uint64_t Iterator::source_key_at(const Source& s,
+                                      std::uint64_t idx) const {
+  return s.table != nullptr ? s.table->key_at(idx) : snapshot_[idx];
+}
+
+std::uint64_t Iterator::source_lower_bound(const Source& s,
+                                           std::uint64_t key) const {
+  if (s.table != nullptr) return s.table->lower_bound(key);
+  return static_cast<std::uint64_t>(
+      std::lower_bound(snapshot_.begin(), snapshot_.end(), key) -
+      snapshot_.begin());
+}
+
+void Iterator::load_block(Source& s) {
+  if (s.table == nullptr) return;  // memtable: in memory already
+  const std::uint64_t block =
+      s.idx / s.table->geometry().entries_per_block();
+  if (block == s.loaded_block) return;
+  s.table->read_block_for(db_.stack(), s.idx);
+  s.loaded_block = block;
+}
+
+void Iterator::seek_forward(std::uint64_t target) {
+  forward_ = true;
+  for (Source& s : sources_) {
+    s.idx = source_lower_bound(s, target);
+    s.exhausted = s.idx >= source_count(s);
+  }
+  settle_forward();
+}
+
+void Iterator::seek_backward(std::uint64_t target) {
+  forward_ = false;
+  for (Source& s : sources_) {
+    // Last entry with key <= target.
+    std::uint64_t idx;
+    if (target == UINT64_MAX) {
+      idx = source_count(s);
+    } else {
+      idx = source_lower_bound(s, target + 1);
+    }
+    if (idx == 0) {
+      s.exhausted = true;
+    } else {
+      s.idx = idx - 1;
+      s.exhausted = false;
+    }
+  }
+  settle_backward();
+}
+
+void Iterator::settle_forward() {
+  valid_ = false;
+  std::uint64_t best = UINT64_MAX;
+  for (const Source& s : sources_) {
+    if (s.exhausted) continue;
+    const std::uint64_t k = source_key_at(s, s.idx);
+    if (!valid_ || k < best) {
+      best = k;
+      valid_ = true;
+    }
+  }
+  if (!valid_) return;
+  current_key_ = best;
+  // Charge the block read of the newest source holding the winning key.
+  for (Source& s : sources_) {
+    if (!s.exhausted && source_key_at(s, s.idx) == best) {
+      load_block(s);
+      break;
+    }
+  }
+}
+
+void Iterator::settle_backward() {
+  valid_ = false;
+  std::uint64_t best = 0;
+  for (const Source& s : sources_) {
+    if (s.exhausted) continue;
+    const std::uint64_t k = source_key_at(s, s.idx);
+    if (!valid_ || k > best) {
+      best = k;
+      valid_ = true;
+    }
+  }
+  if (!valid_) return;
+  current_key_ = best;
+  for (Source& s : sources_) {
+    if (!s.exhausted && source_key_at(s, s.idx) == best) {
+      load_block(s);
+      break;
+    }
+  }
+}
+
+void Iterator::seek_to_first() { seek_forward(0); }
+
+void Iterator::seek_to_last() { seek_backward(UINT64_MAX); }
+
+void Iterator::seek(std::uint64_t key) { seek_forward(key); }
+
+void Iterator::next() {
+  assert(valid_);
+  db_.stack_->charge_cpu_ns(db_.config_.cpu_next_ns);
+  ++db_.stats_.iter_steps;
+  if (!forward_) {
+    // Direction switch: reposition strictly after the current key.
+    if (current_key_ == UINT64_MAX) {
+      valid_ = false;
+      return;
+    }
+    seek_forward(current_key_ + 1);
+    return;
+  }
+  for (Source& s : sources_) {
+    if (s.exhausted) continue;
+    if (source_key_at(s, s.idx) == current_key_) {
+      ++s.idx;
+      if (s.idx >= source_count(s)) s.exhausted = true;
+    }
+  }
+  settle_forward();
+}
+
+void Iterator::prev() {
+  assert(valid_);
+  db_.stack_->charge_cpu_ns(db_.config_.cpu_next_ns);
+  ++db_.stats_.iter_steps;
+  if (forward_) {
+    if (current_key_ == 0) {
+      valid_ = false;
+      return;
+    }
+    seek_backward(current_key_ - 1);
+    return;
+  }
+  for (Source& s : sources_) {
+    if (s.exhausted) continue;
+    if (source_key_at(s, s.idx) == current_key_) {
+      if (s.idx == 0) {
+        s.exhausted = true;
+      } else {
+        --s.idx;
+      }
+    }
+  }
+  settle_backward();
+}
+
+}  // namespace kml::kv

@@ -1,0 +1,55 @@
+// iterator.h — merged iterator over MiniKV's memtable and runs.
+//
+// Block-structured like a RocksDB table iterator: advancing into a new data
+// block loads the *whole block* through the page cache (pages in ascending
+// order), then serves entries from memory. This holds for reverse iteration
+// too — blocks are visited in descending order but each block's pages are
+// still read forward, which is exactly the page-access pattern the paper's
+// readreverse workload presents to the kernel readahead heuristic.
+#pragma once
+
+#include "kv/minikv.h"
+
+namespace kml::kv {
+
+class Iterator {
+ public:
+  explicit Iterator(MiniKV& db);
+
+  void seek_to_first();
+  void seek_to_last();
+  void seek(std::uint64_t key);  // first entry with key >= `key`
+
+  bool valid() const { return valid_; }
+  std::uint64_t key() const { return current_key_; }
+
+  void next();
+  void prev();
+
+ private:
+  struct Source {
+    const Table* table;     // nullptr for the memtable snapshot
+    std::uint64_t idx = 0;  // current entry index within the source
+    bool exhausted = true;
+    // Last block actually loaded for this source (dedupes block reads).
+    std::uint64_t loaded_block = UINT64_MAX;
+  };
+
+  std::uint64_t source_count(const Source& s) const;
+  std::uint64_t source_key_at(const Source& s, std::uint64_t idx) const;
+  std::uint64_t source_lower_bound(const Source& s, std::uint64_t key) const;
+  void load_block(Source& s);
+  void seek_forward(std::uint64_t target);
+  void seek_backward(std::uint64_t target);
+  void settle_forward();   // pick min key across sources, dedupe
+  void settle_backward();  // pick max key across sources, dedupe
+
+  MiniKV& db_;
+  std::vector<std::uint64_t> snapshot_;  // memtable keys at construction
+  std::vector<Source> sources_;  // [0] = memtable, then runs newest->oldest
+  bool valid_ = false;
+  bool forward_ = true;
+  std::uint64_t current_key_ = 0;
+};
+
+}  // namespace kml::kv

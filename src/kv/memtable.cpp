@@ -1,0 +1,18 @@
+#include "kv/memtable.h"
+
+namespace kml::kv {
+
+bool Memtable::put(std::uint64_t key) {
+  const auto [it, inserted] = entries_.insert_or_assign(key, seq_++);
+  (void)it;
+  return inserted;
+}
+
+std::vector<std::uint64_t> Memtable::sorted_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, seq] : entries_) keys.push_back(key);
+  return keys;  // std::map iterates in key order
+}
+
+}  // namespace kml::kv

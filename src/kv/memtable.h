@@ -1,0 +1,50 @@
+// memtable.h — MiniKV's in-memory write buffer.
+//
+// Ordered map standing in for RocksDB's skiplist memtable: puts are absorbed
+// in memory (after a WAL append) and flushed to a SortedRun when the buffer
+// reaches its size limit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace kml::kv {
+
+class Memtable {
+ public:
+  explicit Memtable(std::uint32_t entry_bytes) : entry_bytes_(entry_bytes) {}
+
+  // Insert or overwrite a key. Returns true if the key was new.
+  bool put(std::uint64_t key);
+
+  bool contains(std::uint64_t key) const {
+    return entries_.find(key) != entries_.end();
+  }
+
+  std::uint64_t entry_count() const { return entries_.size(); }
+  std::uint64_t approximate_bytes() const {
+    return entries_.size() * entry_bytes_;
+  }
+  bool empty() const { return entries_.empty(); }
+
+  // Sorted key list for flushing; does not clear.
+  std::vector<std::uint64_t> sorted_keys() const;
+
+  void clear() { entries_.clear(); }
+
+  // Iterator support (merged scans).
+  using ConstIter = std::map<std::uint64_t, std::uint64_t>::const_iterator;
+  ConstIter begin() const { return entries_.begin(); }
+  ConstIter end() const { return entries_.end(); }
+  ConstIter lower_bound(std::uint64_t key) const {
+    return entries_.lower_bound(key);
+  }
+
+ private:
+  std::uint32_t entry_bytes_;
+  std::map<std::uint64_t, std::uint64_t> entries_;  // key -> write seqno
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace kml::kv

@@ -1,0 +1,120 @@
+#include "kv/minikv.h"
+
+#include "kv/iterator.h"
+#include "portability/log.h"
+
+#include <algorithm>
+
+namespace kml::kv {
+
+MiniKV::MiniKV(sim::StorageStack& stack, const KVConfig& config)
+    : stack_(&stack), config_(config), memtable_(config.geom.entry_bytes) {
+  runs_.push_back(
+      std::make_unique<DenseRun>(stack, config.geom, config.num_keys));
+  // WAL: a modest circular file.
+  wal_inode_ = stack.files().create(/*size_pages=*/4096).inode;
+}
+
+MiniKV::~MiniKV() = default;
+
+bool MiniKV::get(std::uint64_t key) {
+  stack_->charge_cpu_ns(config_.cpu_get_ns);
+  ++stats_.gets;
+
+  if (memtable_.contains(key)) {
+    ++stats_.memtable_hits;
+    ++stats_.get_hits;
+    return true;
+  }
+
+  // Newest overlay first, base run last.
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    Table& run = **it;
+    if (!run.may_contain(key)) continue;
+    const auto idx = run.find(key);
+    if (idx.has_value()) {
+      run.read_block_for(*stack_, *idx);
+      ++stats_.get_hits;
+      return true;
+    }
+    // Bloom false positive: the store still pays an index/data block probe
+    // before discovering the key is absent.
+    ++stats_.bloom_false_positives;
+    const std::uint64_t probe =
+        std::min(run.lower_bound(key),
+                 run.entry_count() == 0 ? 0 : run.entry_count() - 1);
+    run.read_block_for(*stack_, probe);
+  }
+  return false;
+}
+
+void MiniKV::put(std::uint64_t key) {
+  stack_->charge_cpu_ns(config_.cpu_put_ns);
+  ++stats_.puts;
+  wal_append();
+  memtable_.put(key);
+  maybe_flush();
+}
+
+std::unique_ptr<Iterator> MiniKV::new_iterator() {
+  return std::make_unique<Iterator>(*this);
+}
+
+void MiniKV::wal_append() {
+  wal_fill_bytes_ += config_.geom.entry_bytes;
+  if (wal_fill_bytes_ < config_.wal_buffer_bytes) return;
+
+  // Group commit: dirty the WAL pages through the cache (writeback
+  // tracepoints fire), then fsync — the durability point of the commit.
+  const std::uint64_t pages =
+      (wal_fill_bytes_ + sim::kPageSize - 1) / sim::kPageSize;
+  sim::FileHandle& wal = stack_->files().get(wal_inode_);
+  if (wal_page_cursor_ + pages > wal.size_pages) wal_page_cursor_ = 0;
+  stack_->cache().write(wal, wal_page_cursor_, pages);
+  stack_->cache().sync_file(wal_inode_);
+  wal_page_cursor_ += pages;
+  wal_fill_bytes_ = 0;
+  ++stats_.wal_flushes;
+}
+
+void MiniKV::maybe_flush() {
+  if (memtable_.approximate_bytes() < config_.memtable_limit_bytes) return;
+  runs_.push_back(std::make_unique<SortedRun>(*stack_, config_.geom,
+                                              memtable_.sorted_keys(),
+                                              config_.bloom_bits_per_key));
+  memtable_.clear();
+  ++stats_.flushes;
+  compact_if_needed();
+}
+
+void MiniKV::compact_if_needed() {
+  // Overlay count excludes the base run at index 0.
+  if (runs_.size() - 1 <= config_.max_overlay_runs) return;
+
+  // Merge all overlays into one: sequential read of every overlay block
+  // through the cache, then write the merged run.
+  std::vector<std::uint64_t> merged;
+  for (std::size_t r = 1; r < runs_.size(); ++r) {
+    Table& run = *runs_[r];
+    const std::uint64_t epb = run.geometry().entries_per_block();
+    for (std::uint64_t idx = 0; idx < run.entry_count(); ++idx) {
+      if (idx % epb == 0) run.read_block_for(*stack_, idx);
+      merged.push_back(run.key_at(idx));
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+  // Drop the old overlay files, keep the base.
+  for (std::size_t r = 1; r < runs_.size(); ++r) {
+    stack_->files().remove(runs_[r]->inode());
+  }
+  runs_.resize(1);
+  runs_.push_back(std::make_unique<SortedRun>(
+      *stack_, config_.geom, std::move(merged), config_.bloom_bits_per_key));
+  ++stats_.compactions;
+  KML_DEBUG("minikv: compacted overlays into %llu entries",
+            static_cast<unsigned long long>(runs_.back()->entry_count()));
+}
+
+}  // namespace kml::kv

@@ -1,0 +1,95 @@
+// minikv.h — MiniKV: the LSM-flavoured key-value store MiniKV benchmarks run
+// against (the RocksDB substitution; DESIGN.md §2).
+//
+// Shape: a dense bulk-loaded base run + overlay sorted runs from memtable
+// flushes + an in-memory memtable, WAL group commit, Bloom-gated point
+// lookups, and compaction of overlay runs. Every data-block access goes
+// through the simulated page cache, so the kernel readahead path sees the
+// same access-pattern classes RocksDB generates: forward scans, reverse
+// scans (block-wise), random block reads, and mixed read/write streams.
+#pragma once
+
+#include "kv/memtable.h"
+#include "kv/table.h"
+
+#include <memory>
+
+namespace kml::kv {
+
+struct KVConfig {
+  std::uint64_t num_keys = 4'000'000;
+  TableGeometry geom;  // 128 B entries, 64 KiB blocks
+  std::uint64_t memtable_limit_bytes = 8ull << 20;  // 8 MiB
+  std::uint64_t wal_buffer_bytes = 64ull << 10;     // group commit unit
+  std::uint32_t bloom_bits_per_key = 10;
+  std::uint32_t max_overlay_runs = 6;  // compaction trigger
+  // Application CPU cost per operation (virtual ns) — keeps cache-hit
+  // workloads at a finite throughput, as real CPUs do.
+  std::uint64_t cpu_get_ns = 1500;
+  std::uint64_t cpu_put_ns = 1800;
+  std::uint64_t cpu_next_ns = 250;
+};
+
+struct KVStats {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t iter_steps = 0;
+  std::uint64_t memtable_hits = 0;
+  std::uint64_t bloom_false_positives = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t wal_flushes = 0;
+};
+
+class Iterator;
+
+class MiniKV {
+ public:
+  // Bulk-loads the dense base run over keys [0, num_keys). The load itself
+  // charges no device time (the paper times benchmarks on a pre-populated
+  // database).
+  MiniKV(sim::StorageStack& stack, const KVConfig& config);
+  ~MiniKV();
+
+  MiniKV(const MiniKV&) = delete;
+  MiniKV& operator=(const MiniKV&) = delete;
+
+  // Point lookup; returns true if the key exists. Charges CPU + the data-
+  // block read of the newest run containing the key (plus index-block reads
+  // for Bloom false positives).
+  bool get(std::uint64_t key);
+
+  // Write: WAL append (group commit) + memtable insert; may trigger a
+  // flush and a compaction.
+  void put(std::uint64_t key);
+
+  // Merged iterator over memtable + all runs. Invalidated by put().
+  std::unique_ptr<Iterator> new_iterator();
+
+  std::uint64_t num_keys() const { return config_.num_keys; }
+  const KVConfig& config() const { return config_; }
+  const KVStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = KVStats{}; }
+  sim::StorageStack& stack() { return *stack_; }
+  std::size_t run_count() const { return runs_.size(); }
+
+ private:
+  friend class Iterator;
+
+  void wal_append();
+  void maybe_flush();
+  void compact_if_needed();
+
+  sim::StorageStack* stack_;
+  KVConfig config_;
+  KVStats stats_;
+  Memtable memtable_;
+  // runs_[0] is the base; higher indices are newer overlays.
+  std::vector<std::unique_ptr<Table>> runs_;
+  std::uint64_t wal_inode_;
+  std::uint64_t wal_fill_bytes_ = 0;
+  std::uint64_t wal_page_cursor_ = 0;
+};
+
+}  // namespace kml::kv

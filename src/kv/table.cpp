@@ -1,0 +1,65 @@
+#include "kv/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kml::kv {
+
+Table::Table(sim::StorageStack& stack, const TableGeometry& geom,
+             std::uint64_t entries)
+    : geom_(geom) {
+  inode_ = stack.files().create(geom.pages_for(entries)).inode;
+}
+
+void Table::read_block_for(sim::StorageStack& stack,
+                           std::uint64_t idx) const {
+  const std::uint64_t block = idx / geom_.entries_per_block();
+  const std::uint64_t first_page = block * geom_.block_pages;
+  stack.cache().read(stack.files().get(inode_), first_page,
+                     geom_.block_pages);
+}
+
+DenseRun::DenseRun(sim::StorageStack& stack, const TableGeometry& geom,
+                   std::uint64_t num_keys)
+    : Table(stack, geom, num_keys), num_keys_(num_keys) {}
+
+std::optional<std::uint64_t> DenseRun::find(std::uint64_t key) const {
+  if (key >= num_keys_) return std::nullopt;
+  return key;
+}
+
+SortedRun::SortedRun(sim::StorageStack& stack, const TableGeometry& geom,
+                     std::vector<std::uint64_t> keys,
+                     std::uint32_t bloom_bits_per_key)
+    : Table(stack, geom, keys.size()),
+      keys_(std::move(keys)),
+      bloom_(keys_.empty() ? 1 : keys_.size(), bloom_bits_per_key) {
+  assert(std::is_sorted(keys_.begin(), keys_.end()));
+  for (std::uint64_t k : keys_) bloom_.add(k);
+
+  // Charge the flush: dirty the run's pages through the cache (fires
+  // writeback_dirty_page), then fsync them — sync_file batches the dirty
+  // range into contiguous device commands.
+  sim::FileHandle& file = stack.files().get(inode_);
+  stack.cache().write(file, 0, file.size_pages);
+  stack.cache().sync_file(inode_);
+}
+
+std::optional<std::uint64_t> SortedRun::find(std::uint64_t key) const {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return std::nullopt;
+  return static_cast<std::uint64_t>(it - keys_.begin());
+}
+
+bool SortedRun::may_contain(std::uint64_t key) const {
+  if (keys_.empty()) return false;
+  if (key < keys_.front() || key > keys_.back()) return false;
+  return bloom_.may_contain(key);
+}
+
+std::uint64_t SortedRun::lower_bound(std::uint64_t key) const {
+  return static_cast<std::uint64_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+}
+
+}  // namespace kml::kv

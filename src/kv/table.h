@@ -1,0 +1,117 @@
+// table.h — sorted runs: the on-"disk" tables of MiniKV.
+//
+// Two kinds, both backed by a simulated file read through the page cache:
+//  * the dense base run — produced by the initial bulk load, covering the
+//    whole key space [0, n) with arithmetic key->block mapping (no index
+//    I/O needed, like a fully-cached table index in RocksDB), and
+//  * overlay sorted runs — memtable flushes, with an explicit sorted key
+//    list (the in-memory index) plus a Bloom filter gating block reads.
+//
+// Entries are fixed-size; a data block spans `block_pages` pages and a
+// lookup or scan step reads its whole block through the page cache — this
+// intra-block page sequentiality is what the kernel readahead heuristic
+// reacts to (see DESIGN.md §2).
+#pragma once
+
+#include "kv/bloom.h"
+#include "sim/stack.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace kml::kv {
+
+struct TableGeometry {
+  std::uint32_t entry_bytes = 128;
+  std::uint32_t block_pages = 16;  // 64 KiB data blocks
+
+  std::uint64_t entries_per_block() const {
+    return block_pages * sim::kPageSize / entry_bytes;
+  }
+  std::uint64_t pages_for(std::uint64_t entries) const {
+    const std::uint64_t blocks =
+        (entries + entries_per_block() - 1) / entries_per_block();
+    return blocks * block_pages;
+  }
+};
+
+// Interface shared by base and overlay runs.
+class Table {
+ public:
+  virtual ~Table() = default;
+
+  // Number of entries in the run.
+  virtual std::uint64_t entry_count() const = 0;
+
+  // Entry index of `key` within the run, if present. Pure in-memory index
+  // consultation; charges no I/O.
+  virtual std::optional<std::uint64_t> find(std::uint64_t key) const = 0;
+
+  // Bloom/range pre-check. May return true for absent keys (false
+  // positives cost an index-block read, charged by MiniKV).
+  virtual bool may_contain(std::uint64_t key) const = 0;
+
+  // Key stored at entry index `idx` (for merging iterators).
+  virtual std::uint64_t key_at(std::uint64_t idx) const = 0;
+
+  // Smallest entry index whose key is >= `key` (entry_count() if none).
+  virtual std::uint64_t lower_bound(std::uint64_t key) const = 0;
+
+  // Read the data block containing entry `idx` through the page cache.
+  void read_block_for(sim::StorageStack& stack, std::uint64_t idx) const;
+
+  std::uint64_t inode() const { return inode_; }
+  const TableGeometry& geometry() const { return geom_; }
+
+ protected:
+  Table(sim::StorageStack& stack, const TableGeometry& geom,
+        std::uint64_t entries);
+
+  TableGeometry geom_;
+  std::uint64_t inode_;
+};
+
+// Dense bulk-loaded base run over keys [0, n).
+class DenseRun final : public Table {
+ public:
+  DenseRun(sim::StorageStack& stack, const TableGeometry& geom,
+           std::uint64_t num_keys);
+
+  std::uint64_t entry_count() const override { return num_keys_; }
+  std::optional<std::uint64_t> find(std::uint64_t key) const override;
+  bool may_contain(std::uint64_t key) const override {
+    return key < num_keys_;
+  }
+  std::uint64_t key_at(std::uint64_t idx) const override { return idx; }
+  std::uint64_t lower_bound(std::uint64_t key) const override {
+    return key < num_keys_ ? key : num_keys_;
+  }
+
+ private:
+  std::uint64_t num_keys_;
+};
+
+// Overlay run flushed from the memtable: explicit sorted keys + Bloom.
+class SortedRun final : public Table {
+ public:
+  // `keys` must be sorted ascending and unique. The constructor charges the
+  // sequential device write of the run (the flush) and dirties the pages
+  // through the cache so writeback tracepoints fire.
+  SortedRun(sim::StorageStack& stack, const TableGeometry& geom,
+            std::vector<std::uint64_t> keys, std::uint32_t bloom_bits_per_key);
+
+  std::uint64_t entry_count() const override { return keys_.size(); }
+  std::optional<std::uint64_t> find(std::uint64_t key) const override;
+  bool may_contain(std::uint64_t key) const override;
+  std::uint64_t key_at(std::uint64_t idx) const override {
+    return keys_[idx];
+  }
+  std::uint64_t lower_bound(std::uint64_t key) const override;
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  BloomFilter bloom_;
+};
+
+}  // namespace kml::kv

@@ -1,0 +1,182 @@
+#include "math/approx.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace kml::math {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453094;
+constexpr double kInvLn2 = 1.4426950408889634074;
+
+double bit_cast_double(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::uint64_t bit_cast_u64(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// 2^k for integer k by direct exponent construction.
+double exp2i(int k) {
+  if (k < -1074) return 0.0;
+  if (k > 1023) return kml_inf();
+  if (k < -1022) {
+    // Subnormal range: 2^k = 2^(k+52) * 2^-52, both factors normal.
+    return bit_cast_double(static_cast<std::uint64_t>(k + 52 + 1023) << 52) *
+           bit_cast_double(static_cast<std::uint64_t>(1023 - 52) << 52);
+  }
+  return bit_cast_double(static_cast<std::uint64_t>(k + 1023) << 52);
+}
+
+}  // namespace
+
+bool kml_isnan(double x) { return x != x; }
+
+bool kml_isinf(double x) {
+  return (bit_cast_u64(x) & 0x7fffffffffffffffULL) == 0x7ff0000000000000ULL;
+}
+
+double kml_nan() { return bit_cast_double(0x7ff8000000000000ULL); }
+
+double kml_inf() { return bit_cast_double(0x7ff0000000000000ULL); }
+
+double kml_exp(double x) {
+  if (kml_isnan(x)) return x;
+  if (x > 709.78) return kml_inf();
+  if (x < -745.0) return 0.0;
+
+  // x = k*ln2 + r with |r| <= ln2/2.
+  const int k = static_cast<int>(x * kInvLn2 + (x >= 0 ? 0.5 : -0.5));
+  const double r = x - static_cast<double>(k) * kLn2;
+
+  // Degree-9 Taylor on r (|r| <= 0.347): truncation < 1e-13 relative.
+  double p = 1.0 / 362880.0;
+  p = p * r + 1.0 / 40320.0;
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  return p * exp2i(k);
+}
+
+double kml_log(double x) {
+  if (kml_isnan(x)) return x;
+  if (x < 0.0) return kml_nan();
+  if (x == 0.0) return -kml_inf();
+  if (kml_isinf(x)) return x;
+
+  // Decompose x = m * 2^e with m in [1, 2).
+  std::uint64_t bits = bit_cast_u64(x);
+  int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  if (e == -1023) {  // subnormal: renormalize
+    x *= 4503599627370496.0;  // 2^52
+    bits = bit_cast_u64(x);
+    e = static_cast<int>((bits >> 52) & 0x7ff) - 1023 - 52;
+  }
+  double m = bit_cast_double((bits & 0x000fffffffffffffULL) |
+                             0x3ff0000000000000ULL);
+  // Shift m into [sqrt(1/2), sqrt(2)) so s below is small.
+  if (m > 1.4142135623730951) {
+    m *= 0.5;
+    e += 1;
+  }
+
+  // log(m) = 2*atanh(s), s = (m-1)/(m+1), via odd series to s^13.
+  const double s = (m - 1.0) / (m + 1.0);
+  const double s2 = s * s;
+  double p = 1.0 / 13.0;
+  p = p * s2 + 1.0 / 11.0;
+  p = p * s2 + 1.0 / 9.0;
+  p = p * s2 + 1.0 / 7.0;
+  p = p * s2 + 1.0 / 5.0;
+  p = p * s2 + 1.0 / 3.0;
+  p = p * s2 + 1.0;
+  return 2.0 * s * p + static_cast<double>(e) * kLn2;
+}
+
+double kml_sigmoid(double x) {
+  // Stable in both tails: never evaluates exp of a large positive number.
+  if (x >= 0.0) {
+    const double z = kml_exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = kml_exp(x);
+  return z / (1.0 + z);
+}
+
+double kml_tanh(double x) {
+  // (e^2x - 1) / (e^2x + 1), evaluated on the negative side to avoid
+  // overflow and reflected for x > 0 (avoids the cancellation of the
+  // 2*sigmoid(2x) - 1 identity near zero).
+  if (x > 20.0) return 1.0;
+  if (x < -20.0) return -1.0;
+  const double ax = kml_abs(x);
+  const double z = kml_exp(-2.0 * ax);
+  const double t = (1.0 - z) / (1.0 + z);
+  return x < 0 ? -t : t;
+}
+
+double kml_sqrt(double x) {
+  if (kml_isnan(x) || x < 0.0) return kml_nan();
+  if (x == 0.0 || kml_isinf(x)) return x;
+  // Seed from exponent halving, then Newton iterations.
+  std::uint64_t bits = bit_cast_u64(x);
+  bits = (bits >> 1) + (0x3ffULL << 51);
+  double y = bit_cast_double(bits);
+  for (int i = 0; i < 4; ++i) {
+    y = 0.5 * (y + x / y);
+  }
+  return y;
+}
+
+double kml_pow(double x, double y) {
+  if (y == 0.0) return 1.0;
+  // Integer fast path (exact for small integral exponents).
+  const int yi = static_cast<int>(y);
+  if (static_cast<double>(yi) == y && yi >= -64 && yi <= 64) {
+    double base = x;
+    int n = yi < 0 ? -yi : yi;
+    double acc = 1.0;
+    while (n > 0) {
+      if ((n & 1) != 0) acc *= base;
+      base *= base;
+      n >>= 1;
+    }
+    return yi < 0 ? 1.0 / acc : acc;
+  }
+  if (x <= 0.0) return kml_nan();
+  return kml_exp(y * kml_log(x));
+}
+
+void kml_softmax(const double* in, double* out, int n) {
+  if (n <= 0) return;
+  double mx = in[0];
+  for (int i = 1; i < n; ++i) mx = kml_max(mx, in[i]);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    out[i] = kml_exp(in[i] - mx);
+    sum += out[i];
+  }
+  const double inv = 1.0 / sum;
+  for (int i = 0; i < n; ++i) out[i] *= inv;
+}
+
+double kml_log_sum_exp(const double* in, int n) {
+  if (n <= 0) return -kml_inf();
+  double mx = in[0];
+  for (int i = 1; i < n; ++i) mx = kml_max(mx, in[i]);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += kml_exp(in[i] - mx);
+  return mx + kml_log(sum);
+}
+
+}  // namespace kml::math

@@ -1,0 +1,55 @@
+// approx.h — math functions implemented from scratch (§2).
+//
+// libm is unavailable in kernel context, so KML carries its own
+// approximations for every transcendental it needs: exp, log, sigmoid
+// (logistic), tanh, sqrt, and pow. All are implemented with range reduction
+// plus low-order polynomial/Newton steps — accurate to ~1e-6 relative error
+// over the ranges neural-network training exercises (tests pin this down).
+//
+// None of these call into libm; they compile in a freestanding kernel build.
+#pragma once
+
+namespace kml::math {
+
+// e^x. Range-reduced by x = k*ln2 + r, |r| <= ln2/2, then a degree-6
+// Taylor/minimax polynomial on r. Saturates to 0 / +inf outside ±709.
+double kml_exp(double x);
+
+// Natural logarithm. Frexp-style reduction to m in [sqrt(1/2), sqrt(2)),
+// then atanh-series in s = (m-1)/(m+1). Returns -inf at 0, NaN for x < 0.
+double kml_log(double x);
+
+// 1 / (1 + e^-x), computed in the numerically stable branch form.
+double kml_sigmoid(double x);
+
+// Hyperbolic tangent via the stable sigmoid identity.
+double kml_tanh(double x);
+
+// Newton–Raphson square root (4 iterations from a bit-hacked seed).
+// Returns NaN for x < 0.
+double kml_sqrt(double x);
+
+// x^y for x > 0 via exp(y * log(x)); integer fast path for |y| <= 64.
+double kml_pow(double x, double y);
+
+// Row-wise helpers used by the softmax layer / cross-entropy loss.
+// Computes softmax of `in[0..n)` into `out[0..n)` with the max-subtraction
+// trick (never overflows).
+void kml_softmax(const double* in, double* out, int n);
+
+// log(sum_i exp(in[i])) with max-subtraction; the stable building block of
+// cross-entropy.
+double kml_log_sum_exp(const double* in, int n);
+
+// Absolute value / min / max without libm.
+inline double kml_abs(double x) { return x < 0 ? -x : x; }
+inline double kml_min(double a, double b) { return a < b ? a : b; }
+inline double kml_max(double a, double b) { return a > b ? a : b; }
+
+// Not-a-number and infinity helpers (no <cmath> in kernel builds).
+bool kml_isnan(double x);
+bool kml_isinf(double x);
+double kml_nan();
+double kml_inf();
+
+}  // namespace kml::math

@@ -1,0 +1,74 @@
+#include "math/fixed.h"
+
+namespace kml::math {
+namespace {
+
+constexpr std::int64_t kRawMax = INT32_MAX;
+constexpr std::int64_t kRawMin = INT32_MIN;
+
+std::int32_t saturate(std::int64_t wide) {
+  if (wide > kRawMax) return INT32_MAX;
+  if (wide < kRawMin) return INT32_MIN;
+  return static_cast<std::int32_t>(wide);
+}
+
+}  // namespace
+
+Fixed Fixed::from_double(double v) {
+  const double scaled = v * static_cast<double>(kOne);
+  if (scaled >= static_cast<double>(kRawMax)) return max();
+  if (scaled <= static_cast<double>(kRawMin)) return min();
+  // Round-to-nearest keeps repeated conversions drift-free.
+  return from_raw(static_cast<std::int32_t>(scaled + (scaled >= 0 ? 0.5 : -0.5)));
+}
+
+Fixed Fixed::from_int(int v) {
+  return from_raw(saturate(static_cast<std::int64_t>(v) << kFracBits));
+}
+
+double Fixed::to_double() const {
+  return static_cast<double>(raw_) / static_cast<double>(kOne);
+}
+
+int Fixed::to_int() const { return static_cast<int>(raw_ >> kFracBits); }
+
+Fixed Fixed::operator+(Fixed o) const {
+  return from_raw(saturate(static_cast<std::int64_t>(raw_) + o.raw_));
+}
+
+Fixed Fixed::operator-(Fixed o) const {
+  return from_raw(saturate(static_cast<std::int64_t>(raw_) - o.raw_));
+}
+
+Fixed Fixed::operator*(Fixed o) const {
+  const std::int64_t wide =
+      (static_cast<std::int64_t>(raw_) * o.raw_) >> kFracBits;
+  return from_raw(saturate(wide));
+}
+
+Fixed Fixed::operator/(Fixed o) const {
+  if (o.raw_ == 0) return raw_ >= 0 ? max() : min();
+  const std::int64_t wide =
+      (static_cast<std::int64_t>(raw_) << kFracBits) / o.raw_;
+  return from_raw(saturate(wide));
+}
+
+Fixed Fixed::operator-() const {
+  if (raw_ == INT32_MIN) return max();
+  return from_raw(-raw_);
+}
+
+Fixed fixed_sigmoid(Fixed x) {
+  // Piecewise-linear "hard sigmoid": clamp(0.25*x + 0.5, 0, 1). The line
+  // reaches the rails at x = +-2, so that is where the clamp sits; max
+  // absolute error vs the true sigmoid is ~0.12 (at the corners).
+  constexpr Fixed kHi = Fixed::from_raw(2 * Fixed::kOne);   // +2.0
+  constexpr Fixed kLo = Fixed::from_raw(-2 * Fixed::kOne);  // -2.0
+  if (x >= kHi) return Fixed::one();
+  if (x <= kLo) return Fixed::zero();
+  const Fixed quarter = Fixed::from_raw(Fixed::kOne / 4);
+  const Fixed half = Fixed::from_raw(Fixed::kOne / 2);
+  return x * quarter + half;
+}
+
+}  // namespace kml::math

@@ -1,0 +1,67 @@
+// fixed.h — Q16.16 fixed-point arithmetic (§3.1).
+//
+// The paper notes that fixed-point representations let matrix math run
+// without touching the FPU (no kernel_fpu_begin/end, no FP-register
+// save/restore) at the cost of range: Q16.16 covers roughly ±32767 with
+// ~1.5e-5 resolution. KML's matrix library is dtype-generic over int, float,
+// double, and this type.
+//
+// Overflow behaviour is saturating (storage-systems code must not trap);
+// tests assert saturation at both rails.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace kml::math {
+
+class Fixed {
+ public:
+  static constexpr int kFracBits = 16;
+  static constexpr std::int32_t kOne = 1 << kFracBits;
+
+  constexpr Fixed() = default;
+
+  // Conversions are explicit: silent double<->fixed mixing is how range
+  // bugs creep in.
+  static Fixed from_double(double v);
+  static Fixed from_int(int v);
+  static constexpr Fixed from_raw(std::int32_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  double to_double() const;
+  int to_int() const;  // truncates toward zero
+  constexpr std::int32_t raw() const { return raw_; }
+
+  Fixed operator+(Fixed o) const;
+  Fixed operator-(Fixed o) const;
+  Fixed operator*(Fixed o) const;
+  Fixed operator/(Fixed o) const;  // saturates on divide-by-zero
+  Fixed operator-() const;
+
+  Fixed& operator+=(Fixed o) { return *this = *this + o; }
+  Fixed& operator-=(Fixed o) { return *this = *this - o; }
+  Fixed& operator*=(Fixed o) { return *this = *this * o; }
+  Fixed& operator/=(Fixed o) { return *this = *this / o; }
+
+  constexpr bool operator==(const Fixed&) const = default;
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+  static constexpr Fixed max() { return from_raw(INT32_MAX); }
+  static constexpr Fixed min() { return from_raw(INT32_MIN); }
+  static constexpr Fixed zero() { return from_raw(0); }
+  static constexpr Fixed one() { return from_raw(kOne); }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+// Fixed-point sigmoid via a 3-segment piecewise-linear approximation — the
+// kind of FPU-free activation a kernel deployment would use. Max absolute
+// error ~0.02 (documented in tests).
+Fixed fixed_sigmoid(Fixed x);
+
+}  // namespace kml::math

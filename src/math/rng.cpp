@@ -1,0 +1,129 @@
+#include "math/rng.h"
+
+#include "math/approx.h"
+
+namespace kml::math {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: expands one seed word into the four xoshiro state words.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr double kTwoPi = 6.283185307179586477;
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is a fixed point of xoshiro; splitmix cannot emit four
+  // zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  // Marsaglia polar method — needs only kml_sqrt/kml_log, no trig.
+  double v1;
+  double v2;
+  double s;
+  do {
+    v1 = 2.0 * next_double() - 1.0;
+    v2 = 2.0 * next_double() - 1.0;
+    s = v1 * v1 + v2 * v2;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = kml_sqrt(-2.0 * kml_log(s) / s);
+  spare_ = v2 * factor;
+  have_spare_ = true;
+  return v1 * factor;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+namespace {
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += kml_pow(1.0 / static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+Zipf::Zipf(std::uint64_t n, double theta, Rng& rng)
+    : n_(n == 0 ? 1 : n),
+      theta_(theta),
+      alpha_(1.0 / (1.0 - theta)),
+      zetan_(zeta(n_, theta)),
+      eta_(0.0),
+      zeta2_(zeta(2, theta)),
+      rng_(rng) {
+  eta_ = (1.0 - kml_pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t Zipf::next() {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + kml_pow(0.5, theta_)) return 1;
+  const double raw =
+      static_cast<double>(n_) * kml_pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t rank = static_cast<std::uint64_t>(raw);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace kml::math

@@ -1,0 +1,66 @@
+// rng.h — deterministic pseudo-random numbers (xoshiro256**).
+//
+// Every stochastic component in this repository (weight init, SGD shuffling,
+// workload generators, device-latency jitter) draws from an explicitly
+// seeded Rng instance so experiments are reproducible run-to-run. No
+// global RNG state.
+#pragma once
+
+#include <cstdint>
+
+namespace kml::math {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Standard normal via Box–Muller (uses kml math only).
+  double normal();
+
+  // Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+// Zipfian generator over [0, n): rank r is drawn with probability
+// proportional to 1/(r+1)^theta. Used by the mixgraph workload (Cao et al.
+// report RocksDB key popularity is Zipfian with theta ~ 0.9..1.0).
+// Implemented with the Gray/Jain rejection-inversion-free approximation:
+// cached harmonic constants + inverse CDF bisection on a precomputed table
+// for small n, analytic approximation otherwise.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta, Rng& rng);
+
+  std::uint64_t next();
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+  Rng& rng_;
+};
+
+}  // namespace kml::math

@@ -1,0 +1,94 @@
+#include "math/stats.h"
+
+#include "math/approx.h"
+#include "portability/memory.h"
+
+#include <cassert>
+
+namespace kml::math {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = kml_min(min_, x);
+    max_ = kml_max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double RunningStats::variance() const {
+  if (n_ == 0) return 0.0;
+  const double v = m2_ / static_cast<double>(n_);
+  return v > 0.0 ? v : 0.0;  // clamp -0/-eps from rounding
+}
+
+double RunningStats::stddev() const { return kml_sqrt(variance()); }
+
+MovingAverage::MovingAverage(std::size_t window)
+    : buf_(static_cast<double*>(
+          kml_calloc(window == 0 ? 1 : window, sizeof(double)))),
+      window_(window == 0 ? 1 : window) {
+  assert(buf_ != nullptr);
+}
+
+MovingAverage::~MovingAverage() { kml_free(buf_); }
+
+void MovingAverage::add(double x) {
+  if (filled_ == window_) {
+    sum_ -= buf_[head_];
+  } else {
+    ++filled_;
+  }
+  buf_[head_] = x;
+  sum_ += x;
+  head_ = (head_ + 1) % window_;
+}
+
+double MovingAverage::value() const {
+  return filled_ == 0 ? 0.0 : sum_ / static_cast<double>(filled_);
+}
+
+void MovingAverage::reset() {
+  head_ = 0;
+  filled_ = 0;
+  sum_ = 0.0;
+}
+
+double z_score(double x, double mean, double stddev) {
+  if (stddev < 1e-12) return 0.0;
+  return (x - mean) / stddev;
+}
+
+double pearson(const double* x, const double* y, std::size_t n) {
+  if (n < 2) return 0.0;
+  RunningStats sx;
+  RunningStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(x[i]);
+    sy.add(y[i]);
+  }
+  const double dx = sx.stddev();
+  const double dy = sy.stddev();
+  if (dx < 1e-12 || dy < 1e-12) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(n);
+  return cov / (dx * dy);
+}
+
+}  // namespace kml::math

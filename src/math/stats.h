@@ -1,0 +1,70 @@
+// stats.h — running statistics and normalization primitives (§3.2).
+//
+// KML offers moving average, standard deviation, and Z-score calculation as
+// built-in data-normalization functions; the readahead features (§4) are
+// built directly on the cumulative variants here. Welford's algorithm keeps
+// the running variance single-pass and numerically stable — essential when
+// page offsets span 2^40.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kml::math {
+
+// Cumulative (since-reset) mean and standard deviation over a stream,
+// Welford update. O(1) memory regardless of stream length.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Population variance/stddev (divide by n): matches the paper's
+  // "cumulative moving standard deviation" feature.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-window moving average over the last `window` samples.
+// O(window) memory, O(1) update.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+  ~MovingAverage();
+  MovingAverage(const MovingAverage&) = delete;
+  MovingAverage& operator=(const MovingAverage&) = delete;
+
+  void add(double x);
+  double value() const;  // mean of the samples currently in the window
+  std::size_t count() const { return filled_; }
+  void reset();
+
+ private:
+  double* buf_;  // kml_malloc'd ring
+  std::size_t window_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  double sum_ = 0.0;
+};
+
+// Z-score of x against a mean/stddev pair; returns 0 when stddev is ~0
+// (constant features carry no signal and must not produce inf/NaN).
+double z_score(double x, double mean, double stddev);
+
+// Pearson correlation coefficient of two equal-length series (used for the
+// paper's feature-selection analysis). Returns 0 when either series is
+// constant.
+double pearson(const double* x, const double* y, std::size_t n);
+
+}  // namespace kml::math

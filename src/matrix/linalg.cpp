@@ -1,0 +1,176 @@
+#include "matrix/linalg.h"
+
+namespace kml::matrix {
+
+template <typename T>
+void matmul(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.cols() == b.rows());
+  assert(out.rows() == a.rows() && out.cols() == b.cols());
+  FpuGuard<T> guard;
+  out.fill(T{});
+  for (int i = 0; i < a.rows(); ++i) {
+    const T* arow = a.row(i);
+    T* orow = out.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const T aik = arow[k];
+      const T* brow = b.row(k);
+      for (int j = 0; j < b.cols(); ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+template <typename T>
+void matmul_bt(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.cols() == b.cols());
+  assert(out.rows() == a.rows() && out.cols() == b.rows());
+  FpuGuard<T> guard;
+  for (int i = 0; i < a.rows(); ++i) {
+    const T* arow = a.row(i);
+    T* orow = out.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const T* brow = b.row(j);
+      T acc{};
+      for (int k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+}
+
+template <typename T>
+void matmul_at(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.rows() == b.rows());
+  assert(out.rows() == a.cols() && out.cols() == b.cols());
+  FpuGuard<T> guard;
+  out.fill(T{});
+  for (int k = 0; k < a.rows(); ++k) {
+    const T* arow = a.row(k);
+    const T* brow = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const T aki = arow[i];
+      T* orow = out.row(i);
+      for (int j = 0; j < b.cols(); ++j) {
+        orow[j] += aki * brow[j];
+      }
+    }
+  }
+}
+
+template <typename T>
+void add(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.same_shape(b) && a.same_shape(out));
+  FpuGuard<T> guard;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] + b.data()[i];
+  }
+}
+
+template <typename T>
+void sub(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.same_shape(b) && a.same_shape(out));
+  FpuGuard<T> guard;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] - b.data()[i];
+  }
+}
+
+template <typename T>
+void hadamard(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.same_shape(b) && a.same_shape(out));
+  FpuGuard<T> guard;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+}
+
+void axpy(double alpha, const MatD& b, MatD& a) {
+  assert(a.same_shape(b));
+  FpuGuard<double> guard;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] += alpha * b.data()[i];
+  }
+}
+
+template <typename T>
+Mat<T> transpose(const Mat<T>& m) {
+  Mat<T> out(m.cols(), m.rows());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      out.at(j, i) = m.at(i, j);
+    }
+  }
+  return out;
+}
+
+void scale(MatD& m, double alpha) {
+  FpuGuard<double> guard;
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] *= alpha;
+}
+
+void add_bias_row(MatD& a, const MatD& bias) {
+  assert(bias.rows() == 1 && bias.cols() == a.cols());
+  FpuGuard<double> guard;
+  for (int i = 0; i < a.rows(); ++i) {
+    double* arow = a.row(i);
+    for (int j = 0; j < a.cols(); ++j) arow[j] += bias.at(0, j);
+  }
+}
+
+void col_sums(const MatD& a, MatD& out) {
+  assert(out.rows() == 1 && out.cols() == a.cols());
+  FpuGuard<double> guard;
+  out.fill(0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    for (int j = 0; j < a.cols(); ++j) out.at(0, j) += arow[j];
+  }
+}
+
+void softmax_rows(const MatD& in, MatD& out) {
+  assert(in.same_shape(out));
+  FpuGuard<double> guard;
+  for (int i = 0; i < in.rows(); ++i) {
+    math::kml_softmax(in.row(i), out.row(i), in.cols());
+  }
+}
+
+MatI argmax_rows(const MatD& m) {
+  MatI out(m.rows(), 1);
+  for (int i = 0; i < m.rows(); ++i) {
+    const double* row = m.row(i);
+    int best = 0;
+    for (int j = 1; j < m.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out.at(i, 0) = best;
+  }
+  return out;
+}
+
+double frobenius_norm(const MatD& m) {
+  FpuGuard<double> guard;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    acc += m.data()[i] * m.data()[i];
+  }
+  return math::kml_sqrt(acc);
+}
+
+// Explicit instantiations for the four supported element types.
+#define KML_INSTANTIATE(T)                                      \
+  template void matmul<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
+  template void matmul_bt<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
+  template void matmul_at<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
+  template void add<T>(const Mat<T>&, const Mat<T>&, Mat<T>&);  \
+  template void sub<T>(const Mat<T>&, const Mat<T>&, Mat<T>&);  \
+  template void hadamard<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
+  template Mat<T> transpose<T>(const Mat<T>&);
+
+KML_INSTANTIATE(double)
+KML_INSTANTIATE(float)
+KML_INSTANTIATE(int)
+KML_INSTANTIATE(math::Fixed)
+#undef KML_INSTANTIATE
+
+}  // namespace kml::matrix

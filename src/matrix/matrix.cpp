@@ -1,0 +1,64 @@
+#include "matrix/matrix.h"
+
+namespace kml::matrix {
+
+MatD random_uniform(int rows, int cols, double lo, double hi,
+                    math::Rng& rng) {
+  MatD m(rows, cols);
+  FpuGuard<double> guard;
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(lo, hi);
+  return m;
+}
+
+MatD xavier_uniform(int fan_in, int fan_out, math::Rng& rng) {
+  const double limit =
+      math::kml_sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return random_uniform(fan_in, fan_out, -limit, limit, rng);
+}
+
+MatF to_float(const MatD& m) {
+  MatF out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = static_cast<float>(m.data()[i]);
+  }
+  return out;
+}
+
+MatD to_double(const MatF& m) {
+  MatD out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = static_cast<double>(m.data()[i]);
+  }
+  return out;
+}
+
+MatX to_fixed(const MatD& m) {
+  MatX out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = math::Fixed::from_double(m.data()[i]);
+  }
+  return out;
+}
+
+MatD fixed_to_double(const MatX& m) {
+  MatD out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = m.data()[i].to_double();
+  }
+  return out;
+}
+
+double max_abs_diff(const MatD& a, const MatD& b) {
+  assert(a.same_shape(b));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = math::kml_max(worst, math::kml_abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+bool approx_equal(const MatD& a, const MatD& b, double tol) {
+  return a.same_shape(b) && max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace kml::matrix

@@ -1,0 +1,169 @@
+// matrix.h — dense matrices over int / fixed-point / float / double (§2, §3.1).
+//
+// The paper's library implements its own matrix manipulation and linear
+// algebra because neither libc nor BLAS exists in the kernel, and supports
+// multiple element types so deployments can trade accuracy against FPU use:
+//   Mat<int>          — integer counters/labels
+//   Mat<math::Fixed>  — Q16.16, FPU-free inference
+//   Mat<float>        — compact FP
+//   Mat<double>       — training precision (default for the NN stack)
+//
+// Storage is row-major, allocated through kml_malloc so every weight byte
+// shows up in kml_mem_stats() — that is how the paper's 3,916-byte model
+// footprint is measured. Floating-point kernels (matmul etc.) bracket their
+// work with kml_fpu_begin/end; tests assert the bracket count stays O(1) per
+// operation, not O(elements).
+#pragma once
+
+#include "math/approx.h"
+#include "math/fixed.h"
+#include "math/rng.h"
+#include "portability/kml_lib.h"
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace kml::matrix {
+
+// True for element types whose arithmetic needs the FPU.
+template <typename T>
+inline constexpr bool kNeedsFpu = false;
+template <>
+inline constexpr bool kNeedsFpu<float> = true;
+template <>
+inline constexpr bool kNeedsFpu<double> = true;
+
+// RAII guard: enables the FPU only for types that need it.
+template <typename T>
+class FpuGuard {
+ public:
+  FpuGuard() {
+    if constexpr (kNeedsFpu<T>) kml_fpu_begin();
+  }
+  ~FpuGuard() {
+    if constexpr (kNeedsFpu<T>) kml_fpu_end();
+  }
+  FpuGuard(const FpuGuard&) = delete;
+  FpuGuard& operator=(const FpuGuard&) = delete;
+};
+
+template <typename T>
+class Mat {
+ public:
+  Mat() = default;
+
+  Mat(int rows, int cols) : rows_(rows), cols_(cols) {
+    assert(rows >= 0 && cols >= 0);
+    if (size() > 0) {
+      data_ = static_cast<T*>(kml_malloc(size() * sizeof(T)));
+      assert(data_ != nullptr);
+      for (std::size_t i = 0; i < size(); ++i) data_[i] = T{};
+    }
+  }
+
+  Mat(const Mat& o) : Mat(o.rows_, o.cols_) {
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = o.data_[i];
+  }
+
+  Mat(Mat&& o) noexcept
+      : rows_(o.rows_), cols_(o.cols_), data_(o.data_) {
+    o.rows_ = 0;
+    o.cols_ = 0;
+    o.data_ = nullptr;
+  }
+
+  Mat& operator=(Mat o) noexcept {
+    swap(o);
+    return *this;
+  }
+
+  ~Mat() { kml_free(data_); }
+
+  void swap(Mat& o) noexcept {
+    std::swap(rows_, o.rows_);
+    std::swap(cols_, o.cols_);
+    std::swap(data_, o.data_);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+  bool empty() const { return size() == 0; }
+
+  T& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  T& operator()(int r, int c) { return at(r, c); }
+  const T& operator()(int r, int c) const { return at(r, c); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* row(int r) { return data_ + static_cast<std::size_t>(r) * cols_; }
+  const T* row(int r) const {
+    return data_ + static_cast<std::size_t>(r) * cols_;
+  }
+
+  void fill(T v) {
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = v;
+  }
+
+  static Mat zeros(int rows, int cols) { return Mat(rows, cols); }
+
+  static Mat filled(int rows, int cols, T v) {
+    Mat m(rows, cols);
+    m.fill(v);
+    return m;
+  }
+
+  // Apply f elementwise in place.
+  template <typename F>
+  void apply(F f) {
+    FpuGuard<T> guard;
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = f(data_[i]);
+  }
+
+  bool same_shape(const Mat& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  T* data_ = nullptr;
+};
+
+using MatD = Mat<double>;
+using MatF = Mat<float>;
+using MatI = Mat<int>;
+using MatX = Mat<math::Fixed>;
+
+// --- Construction helpers ---------------------------------------------------
+
+// Uniform random in [lo, hi) — weight initialization.
+MatD random_uniform(int rows, int cols, double lo, double hi, math::Rng& rng);
+
+// Xavier/Glorot uniform init for a fan_in x fan_out linear layer.
+MatD xavier_uniform(int fan_in, int fan_out, math::Rng& rng);
+
+// Convert between element types (Fixed <-> double conversions saturate).
+MatF to_float(const MatD& m);
+MatD to_double(const MatF& m);
+MatX to_fixed(const MatD& m);
+MatD fixed_to_double(const MatX& m);
+
+// --- Comparison --------------------------------------------------------------
+
+// Max |a-b| over all elements; matrices must be same shape.
+double max_abs_diff(const MatD& a, const MatD& b);
+
+bool approx_equal(const MatD& a, const MatD& b, double tol);
+
+}  // namespace kml::matrix

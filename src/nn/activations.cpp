@@ -1,0 +1,57 @@
+#include "nn/activations.h"
+
+#include "math/approx.h"
+
+namespace kml::nn {
+
+matrix::MatD Sigmoid::forward(const matrix::MatD& in) {
+  matrix::MatD out = in;
+  out.apply([](double x) { return math::kml_sigmoid(x); });
+  cached_out_ = out;
+  return out;
+}
+
+matrix::MatD Sigmoid::backward(const matrix::MatD& grad_out) {
+  matrix::MatD grad_in = grad_out;
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    const double y = cached_out_.data()[i];
+    grad_in.data()[i] *= y * (1.0 - y);
+  }
+  return grad_in;
+}
+
+matrix::MatD ReLU::forward(const matrix::MatD& in) {
+  cached_in_ = in;
+  matrix::MatD out = in;
+  out.apply([](double x) { return x > 0.0 ? x : 0.0; });
+  return out;
+}
+
+matrix::MatD ReLU::backward(const matrix::MatD& grad_out) {
+  matrix::MatD grad_in = grad_out;
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (cached_in_.data()[i] <= 0.0) grad_in.data()[i] = 0.0;
+  }
+  return grad_in;
+}
+
+matrix::MatD Tanh::forward(const matrix::MatD& in) {
+  matrix::MatD out = in;
+  out.apply([](double x) { return math::kml_tanh(x); });
+  cached_out_ = out;
+  return out;
+}
+
+matrix::MatD Tanh::backward(const matrix::MatD& grad_out) {
+  matrix::MatD grad_in = grad_out;
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    const double y = cached_out_.data()[i];
+    grad_in.data()[i] *= 1.0 - y * y;
+  }
+  return grad_in;
+}
+
+}  // namespace kml::nn

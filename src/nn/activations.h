@@ -1,0 +1,45 @@
+// activations.h — elementwise activation layers (§2, §4).
+//
+// The readahead network uses sigmoid activations between its three linear
+// layers "to model the non-linearity exhibited by the readahead-vs-
+// throughput curves". ReLU and tanh round out the library.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace kml::nn {
+
+class Sigmoid : public Layer {
+ public:
+  matrix::MatD forward(const matrix::MatD& in) override;
+  matrix::MatD backward(const matrix::MatD& grad_out) override;
+  LayerType type() const override { return LayerType::kSigmoid; }
+  const char* name() const override { return "sigmoid"; }
+
+ private:
+  matrix::MatD cached_out_;  // sigmoid' = y*(1-y): cache the output
+};
+
+class ReLU : public Layer {
+ public:
+  matrix::MatD forward(const matrix::MatD& in) override;
+  matrix::MatD backward(const matrix::MatD& grad_out) override;
+  LayerType type() const override { return LayerType::kReLU; }
+  const char* name() const override { return "relu"; }
+
+ private:
+  matrix::MatD cached_in_;
+};
+
+class Tanh : public Layer {
+ public:
+  matrix::MatD forward(const matrix::MatD& in) override;
+  matrix::MatD backward(const matrix::MatD& grad_out) override;
+  LayerType type() const override { return LayerType::kTanh; }
+  const char* name() const override { return "tanh"; }
+
+ private:
+  matrix::MatD cached_out_;  // tanh' = 1 - y^2
+};
+
+}  // namespace kml::nn

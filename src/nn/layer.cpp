@@ -1,0 +1,11 @@
+#include "nn/layer.h"
+
+namespace kml::nn {
+
+void Layer::zero_grad() {
+  for (ParamRef p : params()) {
+    p.grad->fill(0.0);
+  }
+}
+
+}  // namespace kml::nn

@@ -1,0 +1,64 @@
+// layer.h — differentiable layer interface (§2).
+//
+// "For each layer type and loss function, we implemented a function for
+// forward propagation (i.e., inference), and another for back-propagation."
+// Extensibility contract (§2): a new layer implements exactly three things —
+// construction/initialization, forward(), and backward(). Gradients flow by
+// reverse-mode automatic differentiation: backward() receives dL/d(output)
+// and must (a) accumulate dL/d(params) into its grad buffers and (b) return
+// dL/d(input) for the upstream layer.
+//
+// Bulk tensors live in Mat<double> (kml_malloc-backed); training precision
+// is double, with float/fixed conversions available for deployment.
+#pragma once
+
+#include "matrix/matrix.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kml::nn {
+
+// Layer type tags; also the on-disk discriminator in the model file format.
+enum class LayerType : std::uint32_t {
+  kLinear = 1,
+  kSigmoid = 2,
+  kReLU = 3,
+  kTanh = 4,
+};
+
+// One trainable tensor and its gradient, exposed to the optimizer.
+struct ParamRef {
+  matrix::MatD* value;
+  matrix::MatD* grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Inference path. `in` is (batch x in_features); returns
+  // (batch x out_features). Implementations cache what backward() needs.
+  virtual matrix::MatD forward(const matrix::MatD& in) = 0;
+
+  // Training path. `grad_out` is dL/d(output) with the same shape forward
+  // returned; returns dL/d(input). Must be called after forward() on the
+  // same batch.
+  virtual matrix::MatD backward(const matrix::MatD& grad_out) = 0;
+
+  // Trainable parameters (empty for activations).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  // Zero all parameter gradients before a new batch.
+  void zero_grad();
+
+  virtual LayerType type() const = 0;
+  virtual const char* name() const = 0;
+
+  // Feature counts; 0 means "shape-preserving" (activations).
+  virtual int in_features() const { return 0; }
+  virtual int out_features() const { return 0; }
+};
+
+}  // namespace kml::nn

@@ -1,0 +1,46 @@
+#include "nn/linear.h"
+
+#include "matrix/linalg.h"
+
+namespace kml::nn {
+
+Linear::Linear(int in_features, int out_features, math::Rng& rng)
+    : weights_(matrix::xavier_uniform(in_features, out_features, rng)),
+      bias_(1, out_features),
+      grad_w_(in_features, out_features),
+      grad_b_(1, out_features) {}
+
+Linear::Linear(int in_features, int out_features)
+    : weights_(in_features, out_features),
+      bias_(1, out_features),
+      grad_w_(in_features, out_features),
+      grad_b_(1, out_features) {}
+
+matrix::MatD Linear::forward(const matrix::MatD& in) {
+  cached_in_ = in;
+  matrix::MatD out(in.rows(), weights_.cols());
+  matrix::matmul(in, weights_, out);
+  matrix::add_bias_row(out, bias_);
+  return out;
+}
+
+matrix::MatD Linear::backward(const matrix::MatD& grad_out) {
+  // dL/dW += in^T * grad_out;  dL/db += column sums;  dL/din = grad_out * W^T
+  matrix::MatD gw(weights_.rows(), weights_.cols());
+  matrix::matmul_at(cached_in_, grad_out, gw);
+  matrix::add(grad_w_, gw, grad_w_);
+
+  matrix::MatD gb(1, bias_.cols());
+  matrix::col_sums(grad_out, gb);
+  matrix::add(grad_b_, gb, grad_b_);
+
+  matrix::MatD grad_in(grad_out.rows(), weights_.rows());
+  matrix::matmul_bt(grad_out, weights_, grad_in);
+  return grad_in;
+}
+
+std::vector<ParamRef> Linear::params() {
+  return {{&weights_, &grad_w_}, {&bias_, &grad_b_}};
+}
+
+}  // namespace kml::nn

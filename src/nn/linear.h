@@ -1,0 +1,38 @@
+// linear.h — fully connected layer: out = in * W + b (§2).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace kml::nn {
+
+class Linear : public Layer {
+ public:
+  // Xavier-uniform initialized weights; zero bias.
+  Linear(int in_features, int out_features, math::Rng& rng);
+
+  // Uninitialized (zero) weights — used by the deserializer.
+  Linear(int in_features, int out_features);
+
+  matrix::MatD forward(const matrix::MatD& in) override;
+  matrix::MatD backward(const matrix::MatD& grad_out) override;
+  std::vector<ParamRef> params() override;
+
+  LayerType type() const override { return LayerType::kLinear; }
+  const char* name() const override { return "linear"; }
+  int in_features() const override { return weights_.rows(); }
+  int out_features() const override { return weights_.cols(); }
+
+  matrix::MatD& weights() { return weights_; }
+  matrix::MatD& bias() { return bias_; }
+  const matrix::MatD& weights() const { return weights_; }
+  const matrix::MatD& bias() const { return bias_; }
+
+ private:
+  matrix::MatD weights_;   // (in x out)
+  matrix::MatD bias_;      // (1 x out)
+  matrix::MatD grad_w_;
+  matrix::MatD grad_b_;
+  matrix::MatD cached_in_;  // saved activation for the backward pass
+};
+
+}  // namespace kml::nn

@@ -1,0 +1,63 @@
+#include "nn/loss.h"
+
+#include "math/approx.h"
+#include "matrix/linalg.h"
+
+#include <cassert>
+
+namespace kml::nn {
+
+double CrossEntropyLoss::forward(const matrix::MatD& pred,
+                                 const matrix::MatD& target) {
+  assert(pred.same_shape(target));
+  cached_softmax_ = matrix::MatD(pred.rows(), pred.cols());
+  matrix::softmax_rows(pred, cached_softmax_);
+  cached_target_ = target;
+
+  matrix::FpuGuard<double> guard;
+  double total = 0.0;
+  for (int i = 0; i < pred.rows(); ++i) {
+    // loss_i = logsumexp(logits) - logits[true]; computed via the cached
+    // softmax as -log(p_true), floored to avoid log(0).
+    for (int j = 0; j < pred.cols(); ++j) {
+      if (target.at(i, j) > 0.0) {
+        const double p =
+            math::kml_max(cached_softmax_.at(i, j), 1e-300);
+        total += -math::kml_log(p) * target.at(i, j);
+      }
+    }
+  }
+  return total / static_cast<double>(pred.rows());
+}
+
+matrix::MatD CrossEntropyLoss::backward() {
+  assert(!cached_softmax_.empty());
+  matrix::MatD grad(cached_softmax_.rows(), cached_softmax_.cols());
+  matrix::sub(cached_softmax_, cached_target_, grad);
+  matrix::scale(grad, 1.0 / static_cast<double>(grad.rows()));
+  return grad;
+}
+
+double MSELoss::forward(const matrix::MatD& pred,
+                        const matrix::MatD& target) {
+  assert(pred.same_shape(target));
+  cached_pred_ = pred;
+  cached_target_ = target;
+  matrix::FpuGuard<double> guard;
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(pred.size());
+}
+
+matrix::MatD MSELoss::backward() {
+  assert(!cached_pred_.empty());
+  matrix::MatD grad(cached_pred_.rows(), cached_pred_.cols());
+  matrix::sub(cached_pred_, cached_target_, grad);
+  matrix::scale(grad, 2.0 / static_cast<double>(grad.size()));
+  return grad;
+}
+
+}  // namespace kml::nn

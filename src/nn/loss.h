@@ -1,0 +1,56 @@
+// loss.h — loss functions (§2, §4).
+//
+// Cross-entropy (with built-in softmax — the readahead classifier's loss)
+// and mean-squared error. forward() returns the mean loss over the batch;
+// backward() returns dL/d(logits) already divided by the batch size, so the
+// network's backward pass needs no extra scaling.
+#pragma once
+
+#include "matrix/matrix.h"
+
+namespace kml::nn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  // `pred` is the network output (logits for classification losses);
+  // `target` is the supervision signal (one-hot rows for classification).
+  virtual double forward(const matrix::MatD& pred,
+                         const matrix::MatD& target) = 0;
+
+  // Gradient of the mean batch loss w.r.t. `pred`; call after forward()
+  // on the same pair.
+  virtual matrix::MatD backward() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Softmax + negative log likelihood, fused for the numerically stable
+// gradient (softmax(pred) - target) / batch.
+class CrossEntropyLoss : public Loss {
+ public:
+  double forward(const matrix::MatD& pred,
+                 const matrix::MatD& target) override;
+  matrix::MatD backward() override;
+  const char* name() const override { return "cross_entropy"; }
+
+ private:
+  matrix::MatD cached_softmax_;
+  matrix::MatD cached_target_;
+};
+
+// Mean over batch and features of (pred - target)^2.
+class MSELoss : public Loss {
+ public:
+  double forward(const matrix::MatD& pred,
+                 const matrix::MatD& target) override;
+  matrix::MatD backward() override;
+  const char* name() const override { return "mse"; }
+
+ private:
+  matrix::MatD cached_pred_;
+  matrix::MatD cached_target_;
+};
+
+}  // namespace kml::nn

@@ -1,0 +1,124 @@
+#include "nn/network.h"
+
+#include "matrix/linalg.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+
+#include <cassert>
+
+namespace kml::nn {
+
+Network& Network::add(std::unique_ptr<Layer> layer) {
+  assert(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+matrix::MatD Network::forward(const matrix::MatD& in) {
+  matrix::MatD activation = in;
+  for (auto& layer : layers_) {
+    activation = layer->forward(activation);
+  }
+  return activation;
+}
+
+double Network::train_step(const matrix::MatD& x, const matrix::MatD& y,
+                           Loss& loss, Optimizer& opt) {
+  for (auto& layer : layers_) layer->zero_grad();
+  const matrix::MatD pred = forward(x);
+  const double batch_loss = loss.forward(pred, y);
+  matrix::MatD grad = loss.backward();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  opt.step();
+  return batch_loss;
+}
+
+TrainReport Network::train(const matrix::MatD& x, const matrix::MatD& y,
+                           Loss& loss, Optimizer& opt, int epochs,
+                           int batch_size,
+                           math::Rng& rng) {
+  assert(x.rows() == y.rows());
+  assert(batch_size > 0);
+  const int n = x.rows();
+  TrainReport report;
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Fisher–Yates reshuffle each epoch.
+    for (int i = n - 1; i > 0; --i) {
+      const int j = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(j)]);
+    }
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int start = 0; start < n; start += batch_size) {
+      const int count = start + batch_size <= n ? batch_size : n - start;
+      matrix::MatD bx(count, x.cols());
+      matrix::MatD by(count, y.cols());
+      for (int r = 0; r < count; ++r) {
+        const int src = order[static_cast<std::size_t>(start + r)];
+        for (int c = 0; c < x.cols(); ++c) bx.at(r, c) = x.at(src, c);
+        for (int c = 0; c < y.cols(); ++c) by.at(r, c) = y.at(src, c);
+      }
+      epoch_loss += train_step(bx, by, loss, opt);
+      ++batches;
+    }
+    epoch_loss /= batches > 0 ? batches : 1;
+    report.epoch_losses.push_back(epoch_loss);
+    report.final_loss = epoch_loss;
+    ++report.epochs;
+  }
+  return report;
+}
+
+matrix::MatI Network::predict_classes(const matrix::MatD& x) {
+  return matrix::argmax_rows(forward(x));
+}
+
+double Network::accuracy(const matrix::MatD& x, const matrix::MatI& labels) {
+  assert(x.rows() == labels.rows());
+  if (x.rows() == 0) return 0.0;
+  const matrix::MatI pred = predict_classes(x);
+  int correct = 0;
+  for (int i = 0; i < x.rows(); ++i) {
+    if (pred.at(i, 0) == labels.at(i, 0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_) {
+    for (ParamRef p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Network::param_bytes() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    // params() is non-const by interface; safe because we only read shapes.
+    for (ParamRef p : const_cast<Layer&>(*layer).params()) {
+      total += p.value->size() * sizeof(double);
+    }
+  }
+  return total;
+}
+
+Network build_mlp_classifier(int in_features, int hidden, int num_classes,
+                             math::Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Linear>(in_features, hidden, rng))
+      .add(std::make_unique<Sigmoid>())
+      .add(std::make_unique<Linear>(hidden, hidden, rng))
+      .add(std::make_unique<Sigmoid>())
+      .add(std::make_unique<Linear>(hidden, num_classes, rng));
+  return net;
+}
+
+}  // namespace kml::nn

@@ -1,0 +1,79 @@
+// network.h — the chain computation graph (§2).
+//
+// KML builds "a computation directed acyclic graph (DAG) of the individual
+// layers" and traverses it for inference; the current prototype supports
+// chain graphs (§3.2), which is exactly this class: an ordered sequence of
+// layers trained by reverse-mode autodiff (back-propagation) and SGD.
+#pragma once
+
+#include "data/normalizer.h"
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+
+#include <memory>
+#include <vector>
+
+namespace kml::nn {
+
+struct TrainReport {
+  int epochs = 0;
+  double final_loss = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  // Append a layer; returns *this for fluent construction.
+  Network& add(std::unique_ptr<Layer> layer);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_[static_cast<std::size_t>(i)]; }
+  const Layer& layer(int i) const {
+    return *layers_[static_cast<std::size_t>(i)];
+  }
+
+  // Inference: run the chain forward. Thread-safe only against itself.
+  matrix::MatD forward(const matrix::MatD& in);
+
+  // One SGD step on a (mini-)batch: zero grads, forward, loss, backward,
+  // optimizer step. Returns the batch loss. `opt` must be attach()ed to
+  // this network's params() first.
+  double train_step(const matrix::MatD& x, const matrix::MatD& y, Loss& loss,
+                    Optimizer& opt);
+
+  // Full training loop with mini-batching and per-epoch shuffling.
+  TrainReport train(const matrix::MatD& x, const matrix::MatD& y, Loss& loss,
+                    Optimizer& opt, int epochs, int batch_size,
+                    math::Rng& rng);
+
+  // Classification helpers: predicted class per row / accuracy vs labels.
+  matrix::MatI predict_classes(const matrix::MatD& x);
+  double accuracy(const matrix::MatD& x, const matrix::MatI& labels);
+
+  // All trainable parameters in chain order (for the optimizer and the
+  // serializer).
+  std::vector<ParamRef> params();
+
+  // Total bytes of parameter data (the model-footprint number the paper
+  // reports comes from kml_mem_stats; this is the analytic cross-check).
+  std::size_t param_bytes() const;
+
+  // Optional attached input normalizer, serialized with the model so a
+  // deployed network carries its fitted feature moments.
+  data::ZScoreNormalizer& normalizer() { return normalizer_; }
+  const data::ZScoreNormalizer& normalizer() const { return normalizer_; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  data::ZScoreNormalizer normalizer_;
+};
+
+// The readahead network architecture from §4: three linear layers joined by
+// sigmoid activations (in -> hidden -> hidden -> classes).
+Network build_mlp_classifier(int in_features, int hidden, int num_classes,
+                             math::Rng& rng);
+
+}  // namespace kml::nn

@@ -1,0 +1,64 @@
+// quantized.h — FPU-free fixed-point inference (§3.1).
+//
+// "Another way to perform FP operations in a kernel is to use a fixed-point
+// representation. Operations on fixed-point representations can be faster
+// and do not require an FP unit in the running processor." KML supports
+// int/float/double matrices; this module completes the story: convert a
+// trained double-precision chain network into Q16.16 fixed point (weights,
+// biases, and the normalizer moments) and run inference without a single
+// kernel_fpu_begin(). Activations use the piecewise-linear hard sigmoid.
+//
+// The tradeoff the paper warns about ("fixed-point representations cannot
+// emulate large ranges, which can lead to numerical instability") is real:
+// inputs must be normalized (Z-scores are O(1)) and accuracy drops slightly
+// — tests and bench_ablation quantify it.
+#pragma once
+
+#include "matrix/linalg.h"
+#include "nn/network.h"
+
+#include <vector>
+
+namespace kml::nn {
+
+class QuantizedNetwork {
+ public:
+  QuantizedNetwork() = default;
+
+  // Quantize a trained chain network. Supported layers: Linear, Sigmoid,
+  // ReLU, Tanh. Returns false (leaving `out` untouched) on unsupported
+  // layers or weights outside the representable Q16.16 range.
+  static bool quantize(const Network& net, QuantizedNetwork& out);
+
+  // Forward pass, fixed-point end to end. `features` are RAW (the quantized
+  // normalizer is applied internally). Returns the argmax class.
+  int infer_class(const double* features, int n) const;
+
+  // Fixed-point logits for inspection/testing.
+  matrix::MatX forward(const matrix::MatX& in) const;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  int in_features() const;
+  int out_features() const;
+
+  // Bytes of fixed-point parameter storage (4 B/element vs 8 B double).
+  std::size_t param_bytes() const;
+
+  // Quantized model file format ('KMLQ'): the artifact a strictly FPU-free
+  // kernel deployment loads — raw Q16.16 words, no doubles anywhere.
+  bool save(const char* path) const;
+  bool load(const char* path);
+
+ private:
+  struct QLayer {
+    LayerType type;
+    matrix::MatX weights;  // empty for activations
+    matrix::MatX bias;
+  };
+
+  std::vector<QLayer> layers_;
+  std::vector<math::Fixed> norm_mean_;
+  std::vector<math::Fixed> norm_inv_std_;  // precomputed 1/stddev
+};
+
+}  // namespace kml::nn

@@ -1,0 +1,301 @@
+#include "nn/recurrent.h"
+
+#include "math/approx.h"
+
+#include <cassert>
+
+namespace kml::nn {
+
+void RecurrentCell::zero_grad() {
+  for (ParamRef p : params()) p.grad->fill(0.0);
+}
+
+// ---- Elman RNN ----------------------------------------------------------------
+
+RnnCell::RnnCell(int in_features, int hidden, math::Rng& rng)
+    : wx_(matrix::xavier_uniform(in_features, hidden, rng)),
+      wh_(matrix::xavier_uniform(hidden, hidden, rng)),
+      b_(1, hidden),
+      grad_wx_(in_features, hidden),
+      grad_wh_(hidden, hidden),
+      grad_b_(1, hidden) {}
+
+matrix::MatD RnnCell::forward_sequence(const matrix::MatD& sequence) {
+  assert(sequence.cols() == wx_.rows());
+  const int t_steps = sequence.rows();
+  const int hidden = wx_.cols();
+  cached_in_ = sequence;
+  cached_h_ = matrix::MatD(t_steps, hidden);
+
+  matrix::FpuGuard<double> guard;
+  std::vector<double> prev(static_cast<std::size_t>(hidden), 0.0);
+  for (int t = 0; t < t_steps; ++t) {
+    const double* x = sequence.row(t);
+    double* h = cached_h_.row(t);
+    for (int j = 0; j < hidden; ++j) {
+      double a = b_.at(0, j);
+      for (int k = 0; k < sequence.cols(); ++k) a += x[k] * wx_.at(k, j);
+      for (int k = 0; k < hidden; ++k) {
+        a += prev[static_cast<std::size_t>(k)] * wh_.at(k, j);
+      }
+      h[j] = math::kml_tanh(a);
+    }
+    for (int j = 0; j < hidden; ++j) prev[static_cast<std::size_t>(j)] = h[j];
+  }
+  return cached_h_;
+}
+
+matrix::MatD RnnCell::backward_sequence(const matrix::MatD& grad_h) {
+  assert(grad_h.same_shape(cached_h_));
+  const int t_steps = cached_h_.rows();
+  const int hidden = wx_.cols();
+  const int in = wx_.rows();
+  matrix::MatD grad_in(t_steps, in);
+
+  matrix::FpuGuard<double> guard;
+  std::vector<double> carry(static_cast<std::size_t>(hidden), 0.0);
+  std::vector<double> da(static_cast<std::size_t>(hidden), 0.0);
+  for (int t = t_steps - 1; t >= 0; --t) {
+    const double* h = cached_h_.row(t);
+    const double* x = cached_in_.row(t);
+    for (int j = 0; j < hidden; ++j) {
+      const double dh = grad_h.at(t, j) + carry[static_cast<std::size_t>(j)];
+      da[static_cast<std::size_t>(j)] = dh * (1.0 - h[j] * h[j]);
+    }
+    // Parameter gradients.
+    for (int j = 0; j < hidden; ++j) {
+      const double d = da[static_cast<std::size_t>(j)];
+      grad_b_.at(0, j) += d;
+      for (int k = 0; k < in; ++k) grad_wx_.at(k, j) += x[k] * d;
+      if (t > 0) {
+        const double* hp = cached_h_.row(t - 1);
+        for (int k = 0; k < hidden; ++k) grad_wh_.at(k, j) += hp[k] * d;
+      }
+    }
+    // Input gradient and recurrent carry.
+    double* gx = grad_in.row(t);
+    for (int k = 0; k < in; ++k) {
+      double acc = 0.0;
+      for (int j = 0; j < hidden; ++j) {
+        acc += da[static_cast<std::size_t>(j)] * wx_.at(k, j);
+      }
+      gx[k] = acc;
+    }
+    for (int k = 0; k < hidden; ++k) {
+      double acc = 0.0;
+      for (int j = 0; j < hidden; ++j) {
+        acc += da[static_cast<std::size_t>(j)] * wh_.at(k, j);
+      }
+      carry[static_cast<std::size_t>(k)] = acc;
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> RnnCell::params() {
+  return {{&wx_, &grad_wx_}, {&wh_, &grad_wh_}, {&b_, &grad_b_}};
+}
+
+// ---- LSTM ----------------------------------------------------------------------
+
+LstmCell::LstmCell(int in_features, int hidden, math::Rng& rng)
+    : wx_(matrix::xavier_uniform(in_features, 4 * hidden, rng)),
+      wh_(matrix::xavier_uniform(hidden, 4 * hidden, rng)),
+      b_(1, 4 * hidden),
+      grad_wx_(in_features, 4 * hidden),
+      grad_wh_(hidden, 4 * hidden),
+      grad_b_(1, 4 * hidden) {
+  // Standard trick: start with the forget gate open so gradients flow
+  // through time early in training.
+  for (int j = hidden; j < 2 * hidden; ++j) b_.at(0, j) = 1.0;
+}
+
+matrix::MatD LstmCell::forward_sequence(const matrix::MatD& sequence) {
+  assert(sequence.cols() == wx_.rows());
+  const int t_steps = sequence.rows();
+  const int hidden = hidden_size();
+  cached_in_ = sequence;
+  cached_h_ = matrix::MatD(t_steps, hidden);
+  cached_c_ = matrix::MatD(t_steps, hidden);
+  cached_gates_ = matrix::MatD(t_steps, 4 * hidden);
+
+  matrix::FpuGuard<double> guard;
+  std::vector<double> h_prev(static_cast<std::size_t>(hidden), 0.0);
+  std::vector<double> c_prev(static_cast<std::size_t>(hidden), 0.0);
+  std::vector<double> z(static_cast<std::size_t>(4 * hidden), 0.0);
+
+  for (int t = 0; t < t_steps; ++t) {
+    const double* x = sequence.row(t);
+    for (int j = 0; j < 4 * hidden; ++j) {
+      double a = b_.at(0, j);
+      for (int k = 0; k < sequence.cols(); ++k) a += x[k] * wx_.at(k, j);
+      for (int k = 0; k < hidden; ++k) {
+        a += h_prev[static_cast<std::size_t>(k)] * wh_.at(k, j);
+      }
+      z[static_cast<std::size_t>(j)] = a;
+    }
+    double* gates = cached_gates_.row(t);
+    double* c = cached_c_.row(t);
+    double* h = cached_h_.row(t);
+    for (int j = 0; j < hidden; ++j) {
+      const double i_g = math::kml_sigmoid(z[static_cast<std::size_t>(j)]);
+      const double f_g =
+          math::kml_sigmoid(z[static_cast<std::size_t>(hidden + j)]);
+      const double g_g =
+          math::kml_tanh(z[static_cast<std::size_t>(2 * hidden + j)]);
+      const double o_g =
+          math::kml_sigmoid(z[static_cast<std::size_t>(3 * hidden + j)]);
+      gates[j] = i_g;
+      gates[hidden + j] = f_g;
+      gates[2 * hidden + j] = g_g;
+      gates[3 * hidden + j] = o_g;
+      c[j] = f_g * c_prev[static_cast<std::size_t>(j)] + i_g * g_g;
+      h[j] = o_g * math::kml_tanh(c[j]);
+    }
+    for (int j = 0; j < hidden; ++j) {
+      h_prev[static_cast<std::size_t>(j)] = h[j];
+      c_prev[static_cast<std::size_t>(j)] = c[j];
+    }
+  }
+  return cached_h_;
+}
+
+matrix::MatD LstmCell::backward_sequence(const matrix::MatD& grad_h) {
+  assert(grad_h.same_shape(cached_h_));
+  const int t_steps = cached_h_.rows();
+  const int hidden = hidden_size();
+  const int in = wx_.rows();
+  matrix::MatD grad_in(t_steps, in);
+
+  matrix::FpuGuard<double> guard;
+  std::vector<double> dh_carry(static_cast<std::size_t>(hidden), 0.0);
+  std::vector<double> dc_carry(static_cast<std::size_t>(hidden), 0.0);
+  std::vector<double> dz(static_cast<std::size_t>(4 * hidden), 0.0);
+
+  for (int t = t_steps - 1; t >= 0; --t) {
+    const double* gates = cached_gates_.row(t);
+    const double* c = cached_c_.row(t);
+    const double* x = cached_in_.row(t);
+    for (int j = 0; j < hidden; ++j) {
+      const double i_g = gates[j];
+      const double f_g = gates[hidden + j];
+      const double g_g = gates[2 * hidden + j];
+      const double o_g = gates[3 * hidden + j];
+      const double c_prev = t > 0 ? cached_c_.at(t - 1, j) : 0.0;
+      const double tc = math::kml_tanh(c[j]);
+
+      const double dh =
+          grad_h.at(t, j) + dh_carry[static_cast<std::size_t>(j)];
+      const double dc = dh * o_g * (1.0 - tc * tc) +
+                        dc_carry[static_cast<std::size_t>(j)];
+
+      const double d_i = dc * g_g;
+      const double d_f = dc * c_prev;
+      const double d_g = dc * i_g;
+      const double d_o = dh * tc;
+
+      dz[static_cast<std::size_t>(j)] = d_i * i_g * (1.0 - i_g);
+      dz[static_cast<std::size_t>(hidden + j)] = d_f * f_g * (1.0 - f_g);
+      dz[static_cast<std::size_t>(2 * hidden + j)] =
+          d_g * (1.0 - g_g * g_g);
+      dz[static_cast<std::size_t>(3 * hidden + j)] = d_o * o_g * (1.0 - o_g);
+
+      dc_carry[static_cast<std::size_t>(j)] = dc * f_g;
+    }
+
+    // Parameter gradients from dz.
+    for (int j = 0; j < 4 * hidden; ++j) {
+      const double d = dz[static_cast<std::size_t>(j)];
+      grad_b_.at(0, j) += d;
+      for (int k = 0; k < in; ++k) grad_wx_.at(k, j) += x[k] * d;
+      if (t > 0) {
+        const double* hp = cached_h_.row(t - 1);
+        for (int k = 0; k < hidden; ++k) grad_wh_.at(k, j) += hp[k] * d;
+      }
+    }
+
+    // dx_t and dh_{t-1}.
+    double* gx = grad_in.row(t);
+    for (int k = 0; k < in; ++k) {
+      double acc = 0.0;
+      for (int j = 0; j < 4 * hidden; ++j) {
+        acc += dz[static_cast<std::size_t>(j)] * wx_.at(k, j);
+      }
+      gx[k] = acc;
+    }
+    for (int k = 0; k < hidden; ++k) {
+      double acc = 0.0;
+      for (int j = 0; j < 4 * hidden; ++j) {
+        acc += dz[static_cast<std::size_t>(j)] * wh_.at(k, j);
+      }
+      dh_carry[static_cast<std::size_t>(k)] = acc;
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> LstmCell::params() {
+  return {{&wx_, &grad_wx_}, {&wh_, &grad_wh_}, {&b_, &grad_b_}};
+}
+
+// ---- Sequence classifier --------------------------------------------------------
+
+SequenceClassifier::SequenceClassifier(CellKind kind, int in_features,
+                                       int hidden, int num_classes,
+                                       math::Rng& rng)
+    : cell_(kind == CellKind::kRnn
+                ? std::unique_ptr<RecurrentCell>(
+                      std::make_unique<RnnCell>(in_features, hidden, rng))
+                : std::make_unique<LstmCell>(in_features, hidden, rng)),
+      head_(hidden, num_classes, rng),
+      num_classes_(num_classes) {}
+
+matrix::MatD SequenceClassifier::forward(const matrix::MatD& sequence) {
+  const matrix::MatD hs = cell_->forward_sequence(sequence);
+  last_t_ = hs.rows();
+  matrix::MatD last(1, hs.cols());
+  for (int j = 0; j < hs.cols(); ++j) {
+    last.at(0, j) = hs.at(hs.rows() - 1, j);
+  }
+  return head_.forward(last);
+}
+
+double SequenceClassifier::train_step(const matrix::MatD& sequence,
+                                      int label, Optimizer& opt) {
+  assert(label >= 0 && label < num_classes_);
+  cell_->zero_grad();
+  head_.zero_grad();
+
+  const matrix::MatD logits = forward(sequence);
+  matrix::MatD target(1, num_classes_);
+  target.at(0, label) = 1.0;
+  const double loss_value = loss_.forward(logits, target);
+
+  const matrix::MatD dlogits = loss_.backward();
+  const matrix::MatD dlast = head_.backward(dlogits);
+
+  matrix::MatD grad_h(last_t_, cell_->hidden_size());
+  for (int j = 0; j < grad_h.cols(); ++j) {
+    grad_h.at(last_t_ - 1, j) = dlast.at(0, j);
+  }
+  cell_->backward_sequence(grad_h);
+  opt.step();
+  return loss_value;
+}
+
+int SequenceClassifier::predict(const matrix::MatD& sequence) {
+  const matrix::MatD logits = forward(sequence);
+  int best = 0;
+  for (int c = 1; c < logits.cols(); ++c) {
+    if (logits.at(0, c) > logits.at(0, best)) best = c;
+  }
+  return best;
+}
+
+std::vector<ParamRef> SequenceClassifier::params() {
+  std::vector<ParamRef> out = cell_->params();
+  for (ParamRef p : head_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace kml::nn

@@ -1,0 +1,124 @@
+// recurrent.h — recurrent cells with backpropagation through time.
+//
+// The paper's future work (§6): "We also plan to support arbitrary
+// computation DAGs (e.g., Recurrent Neural Networks (RNNs)) and Long
+// Short-Term Memory (LSTM)." This module implements both cell types over
+// the same matrix/math substrate as the chain networks:
+//
+//   RnnCell  — Elman recurrence   h_t = tanh(x_t Wx + h_{t-1} Wh + b)
+//   LstmCell — standard LSTM       i,f,o = sigmoid(...), g = tanh(...)
+//              c_t = f*c_{t-1} + i*g;  h_t = o * tanh(c_t)
+//
+// Both process one sequence at a time (T x in_features), cache per-step
+// activations during forward_sequence(), and produce exact gradients with
+// full BPTT in backward_sequence(). SequenceClassifier puts a linear head
+// on the final hidden state for sequence classification — the natural
+// extension of the readahead model to sub-second feature histories.
+#pragma once
+
+#include "matrix/linalg.h"
+#include "nn/layer.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+
+#include <memory>
+#include <vector>
+
+namespace kml::nn {
+
+// Shared interface of the two recurrent cells.
+class RecurrentCell {
+ public:
+  virtual ~RecurrentCell() = default;
+
+  // Input: (T x in_features). Output: (T x hidden) — the hidden state at
+  // every step. Initial state is zero. Caches activations for BPTT.
+  virtual matrix::MatD forward_sequence(const matrix::MatD& sequence) = 0;
+
+  // `grad_h` is dL/d(hidden output) with shape (T x hidden) — pass zeros
+  // for steps that do not feed the loss. Accumulates parameter gradients
+  // and returns dL/d(input) of shape (T x in_features).
+  virtual matrix::MatD backward_sequence(const matrix::MatD& grad_h) = 0;
+
+  virtual std::vector<ParamRef> params() = 0;
+  virtual int in_features() const = 0;
+  virtual int hidden_size() const = 0;
+
+  void zero_grad();
+};
+
+class RnnCell final : public RecurrentCell {
+ public:
+  RnnCell(int in_features, int hidden, math::Rng& rng);
+
+  matrix::MatD forward_sequence(const matrix::MatD& sequence) override;
+  matrix::MatD backward_sequence(const matrix::MatD& grad_h) override;
+  std::vector<ParamRef> params() override;
+  int in_features() const override { return wx_.rows(); }
+  int hidden_size() const override { return wx_.cols(); }
+
+ private:
+  matrix::MatD wx_;  // (in x hidden)
+  matrix::MatD wh_;  // (hidden x hidden)
+  matrix::MatD b_;   // (1 x hidden)
+  matrix::MatD grad_wx_;
+  matrix::MatD grad_wh_;
+  matrix::MatD grad_b_;
+  matrix::MatD cached_in_;  // (T x in)
+  matrix::MatD cached_h_;   // (T x hidden), post-tanh
+};
+
+class LstmCell final : public RecurrentCell {
+ public:
+  LstmCell(int in_features, int hidden, math::Rng& rng);
+
+  matrix::MatD forward_sequence(const matrix::MatD& sequence) override;
+  matrix::MatD backward_sequence(const matrix::MatD& grad_h) override;
+  std::vector<ParamRef> params() override;
+  int in_features() const override { return wx_.rows(); }
+  int hidden_size() const override { return wx_.cols() / 4; }
+
+ private:
+  // Gate layout along columns: [i | f | g | o], each `hidden` wide.
+  matrix::MatD wx_;  // (in x 4*hidden)
+  matrix::MatD wh_;  // (hidden x 4*hidden)
+  matrix::MatD b_;   // (1 x 4*hidden)
+  matrix::MatD grad_wx_;
+  matrix::MatD grad_wh_;
+  matrix::MatD grad_b_;
+  matrix::MatD cached_in_;
+  matrix::MatD cached_h_;      // (T x hidden)
+  matrix::MatD cached_c_;      // (T x hidden), cell state
+  matrix::MatD cached_gates_;  // (T x 4*hidden), post-nonlinearity
+};
+
+// Recurrent cell + linear readout on the last hidden state, trained with
+// cross-entropy — a sequence classifier.
+class SequenceClassifier {
+ public:
+  enum class CellKind { kRnn, kLstm };
+
+  SequenceClassifier(CellKind kind, int in_features, int hidden,
+                     int num_classes, math::Rng& rng);
+
+  // Logits (1 x num_classes) for one sequence (T x in_features).
+  matrix::MatD forward(const matrix::MatD& sequence);
+
+  // One BPTT training step on a single labeled sequence; returns the loss.
+  double train_step(const matrix::MatD& sequence, int label, Optimizer& opt);
+
+  int predict(const matrix::MatD& sequence);
+
+  std::vector<ParamRef> params();
+  RecurrentCell& cell() { return *cell_; }
+
+ private:
+  std::unique_ptr<RecurrentCell> cell_;
+  Linear head_;
+  CrossEntropyLoss loss_;
+  int num_classes_;
+  int last_t_ = 0;
+};
+
+}  // namespace kml::nn

@@ -1,0 +1,144 @@
+#include "nn/serialize.h"
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "portability/file.h"
+#include "portability/log.h"
+
+#include <cstring>
+#include <vector>
+
+namespace kml::nn {
+namespace {
+
+bool write_u32(KmlFile* f, std::uint32_t v) {
+  return kml_fwrite(f, &v, sizeof(v)) == sizeof(v);
+}
+
+bool write_f64s(KmlFile* f, const double* data, std::size_t n) {
+  if (n == 0) return true;  // e.g. a model saved without a fitted normalizer
+  const auto bytes = static_cast<std::int64_t>(n * sizeof(double));
+  return kml_fwrite(f, data, n * sizeof(double)) == bytes;
+}
+
+bool read_u32(KmlFile* f, std::uint32_t& v) {
+  return kml_fread(f, &v, sizeof(v)) == sizeof(v);
+}
+
+bool read_f64s(KmlFile* f, double* data, std::size_t n) {
+  if (n == 0) return true;
+  const auto bytes = static_cast<std::int64_t>(n * sizeof(double));
+  return kml_fread(f, data, n * sizeof(double)) == bytes;
+}
+
+// Layer shapes are bounded to keep a corrupt file from driving giant
+// allocations during load.
+constexpr std::uint32_t kMaxDim = 1u << 16;
+
+}  // namespace
+
+bool save_model(const Network& net, const char* path) {
+  KmlFile* f = kml_fopen(path, "w");
+  if (f == nullptr) {
+    KML_ERROR("save_model: cannot open %s", path);
+    return false;
+  }
+  bool ok = write_u32(f, kModelMagic) && write_u32(f, kModelVersion);
+
+  std::vector<double> means;
+  std::vector<double> stds;
+  net.normalizer().export_moments(means, stds);
+  ok = ok && write_u32(f, static_cast<std::uint32_t>(means.size()));
+  ok = ok && write_f64s(f, means.data(), means.size());
+  ok = ok && write_f64s(f, stds.data(), stds.size());
+
+  ok = ok && write_u32(f, static_cast<std::uint32_t>(net.num_layers()));
+  auto& mutable_net = const_cast<Network&>(net);
+  for (int i = 0; ok && i < net.num_layers(); ++i) {
+    Layer& layer = mutable_net.layer(i);
+    ok = write_u32(f, static_cast<std::uint32_t>(layer.type()));
+    ok = ok && write_u32(f, static_cast<std::uint32_t>(layer.in_features()));
+    ok = ok && write_u32(f, static_cast<std::uint32_t>(layer.out_features()));
+    if (layer.type() == LayerType::kLinear) {
+      auto& lin = static_cast<Linear&>(layer);
+      ok = ok && write_f64s(f, lin.weights().data(), lin.weights().size());
+      ok = ok && write_f64s(f, lin.bias().data(), lin.bias().size());
+    }
+  }
+  kml_fclose(f);
+  if (!ok) KML_ERROR("save_model: short write to %s", path);
+  return ok;
+}
+
+bool load_model(Network& out, const char* path) {
+  KmlFile* f = kml_fopen(path, "r");
+  if (f == nullptr) {
+    KML_ERROR("load_model: cannot open %s", path);
+    return false;
+  }
+
+  Network net;
+  bool ok = true;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  ok = read_u32(f, magic) && read_u32(f, version);
+  if (ok && (magic != kModelMagic || version != kModelVersion)) {
+    KML_ERROR("load_model: bad magic/version in %s", path);
+    ok = false;
+  }
+
+  std::uint32_t nfeat = 0;
+  ok = ok && read_u32(f, nfeat) && nfeat <= kMaxDim;
+  if (ok) {
+    std::vector<double> means(nfeat);
+    std::vector<double> stds(nfeat);
+    ok = read_f64s(f, means.data(), nfeat) && read_f64s(f, stds.data(), nfeat);
+    if (ok && nfeat > 0) net.normalizer().import_moments(means, stds);
+  }
+
+  std::uint32_t nlayers = 0;
+  ok = ok && read_u32(f, nlayers) && nlayers <= 1024;
+  for (std::uint32_t i = 0; ok && i < nlayers; ++i) {
+    std::uint32_t type = 0;
+    std::uint32_t in = 0;
+    std::uint32_t feat_out = 0;
+    ok = read_u32(f, type) && read_u32(f, in) && read_u32(f, feat_out);
+    if (!ok) break;
+    switch (static_cast<LayerType>(type)) {
+      case LayerType::kLinear: {
+        if (in == 0 || feat_out == 0 || in > kMaxDim || feat_out > kMaxDim) {
+          ok = false;
+          break;
+        }
+        auto lin = std::make_unique<Linear>(static_cast<int>(in),
+                                            static_cast<int>(feat_out));
+        ok = read_f64s(f, lin->weights().data(), lin->weights().size()) &&
+             read_f64s(f, lin->bias().data(), lin->bias().size());
+        if (ok) net.add(std::move(lin));
+        break;
+      }
+      case LayerType::kSigmoid:
+        net.add(std::make_unique<Sigmoid>());
+        break;
+      case LayerType::kReLU:
+        net.add(std::make_unique<ReLU>());
+        break;
+      case LayerType::kTanh:
+        net.add(std::make_unique<Tanh>());
+        break;
+      default:
+        KML_ERROR("load_model: unknown layer type %u in %s", type, path);
+        ok = false;
+        break;
+    }
+  }
+  kml_fclose(f);
+  if (!ok) {
+    KML_ERROR("load_model: failed to parse %s", path);
+    return false;
+  }
+  out = std::move(net);
+  return true;
+}
+
+}  // namespace kml::nn

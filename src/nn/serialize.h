@@ -1,0 +1,31 @@
+// serialize.h — the KML model file format (§3.3).
+//
+// The development loop the paper describes: train and debug a model in user
+// space, "save the model to a file that has a KML-specific file format",
+// then load it from a kernel module for in-kernel inference. The format
+// carries the layer chain, all weights, and the fitted Z-score normalizer
+// (a model without its feature moments is undeployable).
+//
+// Layout (little-endian):
+//   u32 magic 'KMLM'   u32 version
+//   u32 num_features   f64 means[]   f64 stddevs[]   (normalizer)
+//   u32 num_layers
+//   per layer: u32 type, u32 in, u32 out, [f64 weights (in*out), f64 bias
+//   (out)] for linear layers; activations carry no payload.
+#pragma once
+
+#include "nn/network.h"
+
+namespace kml::nn {
+
+inline constexpr std::uint32_t kModelMagic = 0x4d4c4d4b;  // "KMLM"
+inline constexpr std::uint32_t kModelVersion = 1;
+
+// Write `net` to `path`. Returns false on I/O failure.
+bool save_model(const Network& net, const char* path);
+
+// Load a network from `path` into `out` (replacing its contents).
+// Returns false on I/O error, bad magic/version, or malformed layer data.
+bool load_model(Network& out, const char* path);
+
+}  // namespace kml::nn

@@ -1,0 +1,80 @@
+#include "nn/sgd.h"
+
+#include "matrix/linalg.h"
+
+#include <cassert>
+
+namespace kml::nn {
+
+SGD::SGD(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  assert(learning_rate > 0.0);
+  assert(momentum >= 0.0 && momentum < 1.0 + 1e-9);
+}
+
+void SGD::attach(const std::vector<ParamRef>& params) {
+  params_ = params;
+  velocity_.clear();
+  velocity_.reserve(params.size());
+  for (const ParamRef& p : params) {
+    velocity_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void SGD::step() {
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    matrix::MatD& v = velocity_[i];
+    const matrix::MatD& g = *params_[i].grad;
+    matrix::MatD& w = *params_[i].value;
+    assert(v.same_shape(g) && v.same_shape(w));
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      v.data()[k] = momentum_ * v.data()[k] - lr_ * g.data()[k];
+      w.data()[k] += v.data()[k];
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  assert(learning_rate > 0.0);
+  assert(beta1 >= 0.0 && beta1 < 1.0);
+  assert(beta2 >= 0.0 && beta2 < 1.0);
+}
+
+void Adam::attach(const std::vector<ParamRef>& params) {
+  params_ = params;
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (const ParamRef& p : params) {
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void Adam::step() {
+  matrix::FpuGuard<double> guard;
+  ++t_;
+  const double bc1 =
+      1.0 - math::kml_pow(beta1_, static_cast<double>(t_));
+  const double bc2 =
+      1.0 - math::kml_pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    matrix::MatD& m = m_[i];
+    matrix::MatD& v = v_[i];
+    const matrix::MatD& g = *params_[i].grad;
+    matrix::MatD& w = *params_[i].value;
+    assert(m.same_shape(g) && m.same_shape(w));
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      const double grad = g.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0 - beta1_) * grad;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0 - beta2_) * grad * grad;
+      const double m_hat = m.data()[k] / bc1;
+      const double v_hat = v.data()[k] / bc2;
+      w.data()[k] -= lr_ * m_hat / (math::kml_sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace kml::nn

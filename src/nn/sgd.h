@@ -1,0 +1,73 @@
+// sgd.h — optimizers (§2, §4).
+//
+// The optimizer interface mirrors the layer extensibility contract: attach
+// to a parameter set, then step() after each backward pass. The readahead
+// model trains with SGD, lr = 0.01 and momentum = 0.99 (the paper's
+// "conventional" setting after Bengio 2012 / Sutskever 2013):
+//   v <- momentum * v - lr * grad
+//   w <- w + v
+// Adam (Kingma & Ba 2015) is included as the extensibility demonstration —
+// a new optimizer implements exactly attach() and step().
+#pragma once
+
+#include "nn/layer.h"
+
+#include <vector>
+
+namespace kml::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Bind the parameters this optimizer updates; state buffers are
+  // (re)created zeroed, matching each parameter's shape.
+  virtual void attach(const std::vector<ParamRef>& params) = 0;
+
+  // Apply one update from the currently accumulated gradients.
+  virtual void step() = 0;
+};
+
+class SGD final : public Optimizer {
+ public:
+  SGD(double learning_rate, double momentum);
+
+  void attach(const std::vector<ParamRef>& params) override;
+  void step() override;
+
+  double learning_rate() const { return lr_; }
+  double momentum() const { return momentum_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<ParamRef> params_;
+  std::vector<matrix::MatD> velocity_;
+};
+
+// Adam with bias correction:
+//   m <- b1*m + (1-b1)*g;  v <- b2*v + (1-b2)*g^2
+//   w <- w - lr * m_hat / (sqrt(v_hat) + eps)
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8);
+
+  void attach(const std::vector<ParamRef>& params) override;
+  void step() override;
+
+  double learning_rate() const { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::uint64_t t_ = 0;
+  std::vector<ParamRef> params_;
+  std::vector<matrix::MatD> m_;
+  std::vector<matrix::MatD> v_;
+};
+
+}  // namespace kml::nn

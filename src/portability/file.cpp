@@ -1,0 +1,57 @@
+#include "portability/file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <sys/stat.h>
+
+namespace kml {
+
+struct KmlFile {
+  std::FILE* fp;
+};
+
+KmlFile* kml_fopen(const char* path, const char* mode) {
+  if (path == nullptr || mode == nullptr) return nullptr;
+  const char* cmode = nullptr;
+  if (std::strcmp(mode, "r") == 0) {
+    cmode = "rb";
+  } else if (std::strcmp(mode, "w") == 0) {
+    cmode = "wb";
+  } else {
+    return nullptr;
+  }
+  std::FILE* fp = std::fopen(path, cmode);
+  if (fp == nullptr) return nullptr;
+  auto* f = new (std::nothrow) KmlFile{fp};
+  if (f == nullptr) std::fclose(fp);
+  return f;
+}
+
+void kml_fclose(KmlFile* file) {
+  if (file == nullptr) return;
+  std::fclose(file->fp);
+  delete file;
+}
+
+std::int64_t kml_fread(KmlFile* file, void* buf, std::size_t size) {
+  if (file == nullptr || buf == nullptr) return -1;
+  const std::size_t n = std::fread(buf, 1, size, file->fp);
+  if (n < size && std::ferror(file->fp) != 0) return -1;
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t kml_fwrite(KmlFile* file, const void* buf, std::size_t size) {
+  if (file == nullptr || buf == nullptr) return -1;
+  const std::size_t n = std::fwrite(buf, 1, size, file->fp);
+  if (n < size) return -1;
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t kml_fsize(const char* path) {
+  struct stat st {};
+  if (path == nullptr || ::stat(path, &st) != 0) return -1;
+  return static_cast<std::int64_t>(st.st_size);
+}
+
+}  // namespace kml

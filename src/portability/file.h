@@ -1,0 +1,31 @@
+// file.h — part (v) of the KML development API: file operations.
+//
+// Used only by model save/load (the KML model file format, §3.3): a model is
+// developed and trained in user space, saved with these calls, and loaded by
+// the kernel module through the kernel implementation of the same five
+// functions (filp_open/kernel_read/...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kml {
+
+struct KmlFile;  // opaque
+
+// mode: "r" (read) or "w" (create/truncate + write). Returns nullptr on
+// failure.
+KmlFile* kml_fopen(const char* path, const char* mode);
+
+void kml_fclose(KmlFile* file);
+
+// Read up to `size` bytes; returns bytes read (0 at EOF), or -1 on error.
+std::int64_t kml_fread(KmlFile* file, void* buf, std::size_t size);
+
+// Write `size` bytes; returns bytes written or -1 on error.
+std::int64_t kml_fwrite(KmlFile* file, const void* buf, std::size_t size);
+
+// Size in bytes of the file at `path`, or -1 if it does not exist.
+std::int64_t kml_fsize(const char* path);
+
+}  // namespace kml

@@ -1,0 +1,46 @@
+#include "portability/kml_lib.h"
+
+#include <atomic>
+
+namespace kml {
+namespace {
+
+std::atomic<bool> g_initialized{false};
+std::atomic<std::uint64_t> g_fpu_regions{0};
+thread_local int t_fpu_depth = 0;
+
+}  // namespace
+
+bool kml_lib_init() {
+  g_initialized.store(true, std::memory_order_release);
+  return true;
+}
+
+void kml_lib_shutdown() {
+  kml_mem_release();
+  g_initialized.store(false, std::memory_order_release);
+}
+
+void kml_fpu_begin() {
+  if (t_fpu_depth++ == 0) {
+    g_fpu_regions.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Kernel backend: kernel_fpu_begin() — saves FP registers, disables
+  // preemption. Userspace: counting only.
+}
+
+void kml_fpu_end() {
+  if (t_fpu_depth > 0) --t_fpu_depth;
+}
+
+std::uint64_t kml_fpu_region_count() {
+  return g_fpu_regions.load(std::memory_order_relaxed);
+}
+
+bool kml_fpu_in_region() { return t_fpu_depth > 0; }
+
+void kml_fpu_reset_stats() {
+  g_fpu_regions.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace kml

@@ -1,0 +1,51 @@
+// kml_lib.h — KML development/portability API.
+//
+// The paper (§3.3) describes a five-part development API (system memory
+// allocation, threading, logging, atomic operations, and file operations;
+// 27 functions total) that lets the *exact same* KML code compile and run in
+// user space and in the kernel, differing only in this thin portability
+// layer. This header is that seam: every KML module calls only kml_* symbols
+// for OS services. This repository ships the userspace backend (the paper's
+// model-development path); a kernel backend would reimplement kml_lib.cpp,
+// memory.cpp, thread.cpp, file.cpp and log.cpp against kmalloc/kthread/...
+// without touching any other module.
+#pragma once
+
+#include "portability/file.h"
+#include "portability/log.h"
+#include "portability/memory.h"
+#include "portability/thread.h"
+
+#include <cstdint>
+
+namespace kml {
+
+// Global library state; call once before using any other KML facility.
+// Idempotent. Returns false only if the backend failed to initialize.
+bool kml_lib_init();
+
+// Tear down global state (flushes logs, releases the reservation arena).
+void kml_lib_shutdown();
+
+// --- Floating-point unit guards -------------------------------------------
+//
+// Most kernels disable FP in kernel context; code must bracket FP regions
+// with kernel_fpu_begin()/kernel_fpu_end() (§3.1). In user space these are
+// no-ops, but KML *counts* them so tests and benchmarks can verify that the
+// number of guarded regions stays minimal (each guard forces an FP-register
+// save/restore in kernel deployments).
+void kml_fpu_begin();
+void kml_fpu_end();
+
+// Number of kml_fpu_begin() calls since init (monotonic).
+std::uint64_t kml_fpu_region_count();
+
+// True while inside a begin/end bracket on this thread. Debug aid: matrix
+// FP kernels assert this in debug builds to catch unguarded FP use that
+// would crash a kernel build.
+bool kml_fpu_in_region();
+
+// Reset the region counter (benchmark hygiene).
+void kml_fpu_reset_stats();
+
+}  // namespace kml

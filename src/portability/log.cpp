@@ -1,0 +1,54 @@
+#include "portability/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace kml {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<kml_log_sink_fn> g_sink{nullptr};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+  }
+  return "???";
+}
+
+}  // namespace
+
+void kml_log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char body[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+  va_end(ap);
+
+  kml_log_sink_fn sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(level, body);
+    return;
+  }
+  std::fprintf(stderr, "[kml:%s] %s\n", level_tag(level), body);
+}
+
+void kml_set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel kml_get_log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void kml_set_log_sink(kml_log_sink_fn sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace kml

@@ -1,0 +1,30 @@
+// log.h — part (iii) of the KML development API: logging.
+//
+// printk in the kernel, stderr in user space. Sinks are swappable so tests
+// can capture output.
+#pragma once
+
+#include <cstdarg>
+
+namespace kml {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// printf-style logging at `level`; dropped when below the current level.
+void kml_log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void kml_set_log_level(LogLevel level);
+LogLevel kml_get_log_level();
+
+// Redirect output. `sink(level, formatted_line)` is called for each kept
+// message; pass nullptr to restore the default (stderr) sink.
+using kml_log_sink_fn = void (*)(LogLevel level, const char* line);
+void kml_set_log_sink(kml_log_sink_fn sink);
+
+#define KML_DEBUG(...) ::kml::kml_log(::kml::LogLevel::kDebug, __VA_ARGS__)
+#define KML_INFO(...) ::kml::kml_log(::kml::LogLevel::kInfo, __VA_ARGS__)
+#define KML_WARN(...) ::kml::kml_log(::kml::LogLevel::kWarn, __VA_ARGS__)
+#define KML_ERROR(...) ::kml::kml_log(::kml::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace kml

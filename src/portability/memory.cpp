@@ -1,0 +1,195 @@
+#include "portability/memory.h"
+
+#include "portability/log.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+
+namespace kml {
+namespace {
+
+constexpr std::size_t kAlign = 16;
+
+// Every accounted block is preceded by a header recording its user size and
+// provenance (heap vs. arena) so kml_free can undo the accounting without a
+// side table.
+struct BlockHeader {
+  std::uint64_t size;
+  std::uint32_t magic;
+  std::uint32_t from_arena;  // 1 if served by the reservation arena
+};
+static_assert(sizeof(BlockHeader) == kAlign);
+constexpr std::uint32_t kMagic = 0x4b4d4c21;  // "KML!"
+
+std::atomic<std::uint64_t> g_current{0};
+std::atomic<std::uint64_t> g_peak{0};
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+struct Arena {
+  std::byte* base = nullptr;
+  std::size_t capacity = 0;
+  std::atomic<std::size_t> offset{0};    // bump pointer
+  std::atomic<std::uint64_t> live{0};    // live bytes served (debug / stats)
+};
+Arena g_arena;
+
+void account_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now =
+      g_current.fetch_add(size, std::memory_order_relaxed) + size;
+  std::uint64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void account_free(std::size_t size) {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  g_current.fetch_sub(size, std::memory_order_relaxed);
+}
+
+// Try to serve `total` bytes from the arena; nullptr if it does not fit.
+void* arena_alloc(std::size_t total) {
+  if (g_arena.base == nullptr) return nullptr;
+  std::size_t old = g_arena.offset.load(std::memory_order_relaxed);
+  for (;;) {
+    if (old + total > g_arena.capacity) return nullptr;
+    if (g_arena.offset.compare_exchange_weak(old, old + total,
+                                             std::memory_order_relaxed)) {
+      g_arena.live.fetch_add(total, std::memory_order_relaxed);
+      return g_arena.base + old;
+    }
+  }
+}
+
+}  // namespace
+
+void* kml_malloc(std::size_t size) {
+  if (size == 0) return nullptr;
+  const std::size_t padded = (size + kAlign - 1) & ~(kAlign - 1);
+  const std::size_t total = padded + sizeof(BlockHeader);
+
+  bool from_arena = true;
+  void* raw = arena_alloc(total);
+  if (raw == nullptr) {
+    from_arena = false;
+    raw = std::aligned_alloc(kAlign, total);
+    if (raw == nullptr) {
+      KML_ERROR("kml_malloc: out of memory (%zu bytes)", size);
+      return nullptr;
+    }
+  }
+  auto* hdr = static_cast<BlockHeader*>(raw);
+  hdr->size = size;
+  hdr->magic = kMagic;
+  hdr->from_arena = from_arena ? 1 : 0;
+  account_alloc(size);
+  return static_cast<std::byte*>(raw) + sizeof(BlockHeader);
+}
+
+void* kml_zalloc(std::size_t size) {
+  void* p = kml_malloc(size);
+  if (p != nullptr) std::memset(p, 0, size);
+  return p;
+}
+
+void* kml_calloc(std::size_t count, std::size_t size) {
+  if (count != 0 && size > std::numeric_limits<std::size_t>::max() / count) {
+    return nullptr;
+  }
+  return kml_zalloc(count * size);
+}
+
+void* kml_realloc(void* ptr, std::size_t new_size) {
+  if (ptr == nullptr) return kml_malloc(new_size);
+  if (new_size == 0) {
+    kml_free(ptr);
+    return nullptr;
+  }
+  auto* hdr = reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(ptr) -
+                                             sizeof(BlockHeader));
+  assert(hdr->magic == kMagic && "kml_realloc of foreign pointer");
+  void* fresh = kml_malloc(new_size);
+  if (fresh == nullptr) return nullptr;
+  std::memcpy(fresh, ptr,
+              hdr->size < new_size ? static_cast<std::size_t>(hdr->size)
+                                   : new_size);
+  kml_free(ptr);
+  return fresh;
+}
+
+void kml_free(void* ptr) {
+  if (ptr == nullptr) return;
+  auto* hdr = reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(ptr) -
+                                             sizeof(BlockHeader));
+  assert(hdr->magic == kMagic && "kml_free of foreign pointer");
+  account_free(static_cast<std::size_t>(hdr->size));
+  hdr->magic = 0;
+  if (hdr->from_arena != 0) {
+    // Arena blocks are reclaimed en masse by kml_mem_release(); just update
+    // the live counter so release can verify emptiness.
+    const std::size_t padded =
+        (static_cast<std::size_t>(hdr->size) + kAlign - 1) & ~(kAlign - 1);
+    g_arena.live.fetch_sub(padded + sizeof(BlockHeader),
+                           std::memory_order_relaxed);
+    return;
+  }
+  std::free(hdr);
+}
+
+MemStats kml_mem_stats() {
+  return MemStats{
+      .current_bytes = g_current.load(std::memory_order_relaxed),
+      .peak_bytes = g_peak.load(std::memory_order_relaxed),
+      .total_allocs = g_allocs.load(std::memory_order_relaxed),
+      .total_frees = g_frees.load(std::memory_order_relaxed),
+      .arena_bytes = g_arena.live.load(std::memory_order_relaxed),
+  };
+}
+
+void kml_mem_reset_stats() {
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t kml_mem_usage() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+bool kml_mem_reserve(std::size_t bytes) {
+  kml_mem_release();
+  if (bytes == 0) return true;
+  const std::size_t padded = (bytes + kAlign - 1) & ~(kAlign - 1);
+  void* base = std::aligned_alloc(kAlign, padded);
+  if (base == nullptr) return false;
+  g_arena.base = static_cast<std::byte*>(base);
+  g_arena.capacity = padded;
+  g_arena.offset.store(0, std::memory_order_relaxed);
+  g_arena.live.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+void kml_mem_release() {
+  if (g_arena.base == nullptr) return;
+  assert(g_arena.live.load(std::memory_order_relaxed) == 0 &&
+         "kml_mem_release with live arena allocations");
+  std::free(g_arena.base);
+  g_arena.base = nullptr;
+  g_arena.capacity = 0;
+  g_arena.offset.store(0, std::memory_order_relaxed);
+}
+
+std::size_t kml_mem_reserved_remaining() {
+  if (g_arena.base == nullptr) return 0;
+  const std::size_t used = g_arena.offset.load(std::memory_order_relaxed);
+  return g_arena.capacity > used ? g_arena.capacity - used : 0;
+}
+
+}  // namespace kml

@@ -1,0 +1,69 @@
+// memory.h — part (i) of the KML development API: system memory allocation.
+//
+// All KML allocations flow through kml_malloc/kml_free so that (a) a kernel
+// backend can route them to kmalloc/kfree, and (b) KML can account every
+// byte it uses — the paper reports exact model footprints (3,916 B init,
+// 676 B during inference) which are only measurable with this accounting.
+//
+// Memory reservation (§3.1): under memory pressure, allocation may stall or
+// fail, hurting training latency and accuracy. kml_mem_reserve() carves out
+// an up-front arena; subsequent kml_malloc calls are served lock-free from
+// the arena (bump allocation) and fall back to the system allocator only
+// when the arena is exhausted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kml {
+
+// Allocate `size` bytes (16-byte aligned). Returns nullptr on failure or
+// size == 0. Accounted.
+void* kml_malloc(std::size_t size);
+
+// Allocate and zero-fill.
+void* kml_zalloc(std::size_t size);
+
+// Allocate `count * size` bytes, zeroed; nullptr on overflow.
+void* kml_calloc(std::size_t count, std::size_t size);
+
+// Resize a kml_malloc'd block, preserving contents (like realloc).
+void* kml_realloc(void* ptr, std::size_t new_size);
+
+// Release a block from kml_malloc/kml_zalloc/kml_calloc/kml_realloc.
+// nullptr is a no-op. Arena blocks are reclaimed when the arena is released.
+void kml_free(void* ptr);
+
+// --- Accounting -------------------------------------------------------------
+
+struct MemStats {
+  std::uint64_t current_bytes;   // live bytes right now
+  std::uint64_t peak_bytes;      // high-water mark since last reset
+  std::uint64_t total_allocs;    // cumulative allocation count
+  std::uint64_t total_frees;     // cumulative free count
+  std::uint64_t arena_bytes;     // bytes currently served from the arena
+};
+
+// Snapshot of global allocation statistics.
+MemStats kml_mem_stats();
+
+// Reset peak to current and zero the cumulative counters.
+void kml_mem_reset_stats();
+
+// Live (not-yet-freed) bytes; shorthand for kml_mem_stats().current_bytes.
+std::uint64_t kml_mem_usage();
+
+// --- Reservation arena ------------------------------------------------------
+
+// Reserve `bytes` up front. Replaces any existing arena (which must be
+// empty). Returns false if the backing allocation failed.
+bool kml_mem_reserve(std::size_t bytes);
+
+// Drop the arena. Outstanding arena pointers become invalid; callers must
+// free all arena-served blocks first (enforced in debug builds).
+void kml_mem_release();
+
+// Bytes remaining in the arena (0 when no arena is installed).
+std::size_t kml_mem_reserved_remaining();
+
+}  // namespace kml

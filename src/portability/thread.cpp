@@ -1,0 +1,80 @@
+#include "portability/thread.h"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace kml {
+
+struct KmlThread {
+  std::thread impl;
+};
+
+KmlThread* kml_thread_create(kml_thread_fn fn, void* arg, const char* name) {
+  (void)name;  // kernel backend would pass it to kthread_run
+  if (fn == nullptr) return nullptr;
+  auto* t = new (std::nothrow) KmlThread;
+  if (t == nullptr) return nullptr;
+  try {
+    t->impl = std::thread(fn, arg);
+  } catch (const std::system_error&) {
+    delete t;
+    return nullptr;
+  }
+  return t;
+}
+
+void kml_thread_join(KmlThread* thread) {
+  if (thread == nullptr) return;
+  if (thread->impl.joinable()) thread->impl.join();
+  delete thread;
+}
+
+void kml_thread_yield() { std::this_thread::yield(); }
+
+void kml_sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::uint64_t kml_thread_self() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+unsigned kml_num_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+namespace {
+std::atomic<std::int64_t>* as_std(KmlAtomic64* a) {
+  return reinterpret_cast<std::atomic<std::int64_t>*>(
+      const_cast<std::int64_t*>(&a->raw));
+}
+const std::atomic<std::int64_t>* as_std(const KmlAtomic64* a) {
+  return reinterpret_cast<const std::atomic<std::int64_t>*>(
+      const_cast<const std::int64_t*>(&a->raw));
+}
+static_assert(sizeof(std::atomic<std::int64_t>) == sizeof(std::int64_t));
+}  // namespace
+
+std::int64_t kml_atomic_load64(const KmlAtomic64* a) {
+  return as_std(a)->load(std::memory_order_acquire);
+}
+
+void kml_atomic_store64(KmlAtomic64* a, std::int64_t value) {
+  as_std(a)->store(value, std::memory_order_release);
+}
+
+std::int64_t kml_atomic_add64(KmlAtomic64* a, std::int64_t delta) {
+  return as_std(a)->fetch_add(delta, std::memory_order_acq_rel) + delta;
+}
+
+bool kml_atomic_cas64(KmlAtomic64* a, std::int64_t expected,
+                      std::int64_t desired) {
+  return as_std(a)->compare_exchange_strong(expected, desired,
+                                            std::memory_order_acq_rel);
+}
+
+}  // namespace kml

@@ -1,0 +1,53 @@
+// thread.h — parts (ii) and (iv) of the KML development API: threading and
+// atomic operations.
+//
+// KML's asynchronous training thread (§3.2) is created through this API so a
+// kernel backend can map it onto kthread_run. Atomics wrap std::atomic in
+// user space and would wrap atomic64_t in a kernel build; the lock-free
+// circular buffer (data/circular_buffer.h) is written purely against these.
+#pragma once
+
+#include <cstdint>
+
+namespace kml {
+
+// Opaque thread handle.
+struct KmlThread;
+
+using kml_thread_fn = void (*)(void* arg);
+
+// Spawn a thread running fn(arg). Returns nullptr on failure.
+KmlThread* kml_thread_create(kml_thread_fn fn, void* arg, const char* name);
+
+// Join and destroy the handle. Safe to call exactly once per handle.
+void kml_thread_join(KmlThread* thread);
+
+// Politely give up the CPU.
+void kml_thread_yield();
+
+// Sleep for at least `ms` milliseconds.
+void kml_sleep_ms(std::uint64_t ms);
+
+// Stable id of the calling thread (for logging).
+std::uint64_t kml_thread_self();
+
+// Number of online CPUs; the training thread sizing advice in §3.2
+// ("leave at least one available CPU core") keys off this.
+unsigned kml_num_cpus();
+
+// --- Atomics ----------------------------------------------------------------
+
+struct KmlAtomic64 {
+  // Storage only; manipulate exclusively through the functions below.
+  alignas(8) volatile std::int64_t raw;
+};
+
+std::int64_t kml_atomic_load64(const KmlAtomic64* a);
+void kml_atomic_store64(KmlAtomic64* a, std::int64_t value);
+// Returns the post-add value.
+std::int64_t kml_atomic_add64(KmlAtomic64* a, std::int64_t delta);
+// Compare-and-swap; returns true and installs `desired` iff *a == expected.
+bool kml_atomic_cas64(KmlAtomic64* a, std::int64_t expected,
+                      std::int64_t desired);
+
+}  // namespace kml

@@ -1,0 +1,66 @@
+#include "readahead/file_tuner.h"
+
+namespace kml::readahead {
+
+PerFileTuner::PerFileTuner(sim::StorageStack& stack,
+                           ReadaheadTuner::PredictFn predict,
+                           const TunerConfig& config,
+                           std::uint64_t min_events)
+    : stack_(stack),
+      predict_(std::move(predict)),
+      config_(config),
+      min_events_(min_events),
+      buffer_(config.buffer_capacity),
+      next_boundary_(stack.clock().now_ns() + config.period_ns) {
+  hook_handle_ = stack_.tracepoints().register_hook(
+      [this](const sim::TraceEvent& ev) {
+        buffer_.push(data::TraceRecord{
+            ev.inode, ev.pgoff, ev.time_ns,
+            static_cast<std::uint8_t>(ev.type)});
+      });
+}
+
+PerFileTuner::~PerFileTuner() {
+  stack_.tracepoints().unregister(hook_handle_);
+}
+
+void PerFileTuner::on_tick(std::uint64_t now_ns) {
+  // Continuous drain, demultiplexed per inode.
+  data::TraceRecord rec;
+  while (buffer_.pop(rec)) {
+    per_file_[rec.inode].window.push_back(rec);
+  }
+  while (now_ns >= next_boundary_) {
+    close_window();
+    next_boundary_ += config_.period_ns;
+  }
+}
+
+void PerFileTuner::close_window() {
+  ++windows_;
+  last_decisions_.clear();
+  for (auto& [inode, state] : per_file_) {
+    std::vector<data::TraceRecord> window;
+    window.swap(state.window);
+    if (window.size() < min_events_) continue;
+    if (!stack_.files().exists(inode)) continue;  // compacted away
+
+    const FeatureVector features = state.extractor.extract_selected(
+        window, stack_.block_layer().file_readahead_kb(inode));
+    const int cls = predict_(features);
+    stack_.charge_cpu_ns(config_.inference_cpu_ns);
+
+    FileDecision decision;
+    decision.inode = inode;
+    decision.predicted_class = cls;
+    decision.events = window.size();
+    decision.ra_kb = stack_.block_layer().file_readahead_kb(inode);
+    if (cls >= 0 && cls < workloads::kNumTrainingClasses) {
+      decision.ra_kb = config_.class_ra_kb[static_cast<std::size_t>(cls)];
+      stack_.block_layer().set_file_readahead_kb(inode, decision.ra_kb);
+    }
+    last_decisions_.push_back(decision);
+  }
+}
+
+}  // namespace kml::readahead

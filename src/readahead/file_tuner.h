@@ -1,0 +1,69 @@
+// file_tuner.h — per-file readahead tuning.
+//
+// The paper's actuation path updates "ra_pages for open files" (Figure 1) —
+// per-file state, not one global knob. That granularity is what saves mixed
+// tenants: when a sequential scan and a random-read workload share the
+// machine, any single readahead value must sacrifice one of them. The
+// PerFileTuner demultiplexes the tracepoint stream by inode, runs the same
+// classifier per file, and actuates each struct file independently.
+#pragma once
+
+#include "data/circular_buffer.h"
+#include "readahead/features.h"
+#include "readahead/tuner.h"
+#include "sim/stack.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace kml::readahead {
+
+struct FileDecision {
+  std::uint64_t inode;
+  int predicted_class;
+  std::uint32_t ra_kb;
+  std::uint64_t events;
+};
+
+class PerFileTuner {
+ public:
+  // `min_events`: files with fewer records in a window are left alone
+  // (too little signal; also skips cold/incidental files like the WAL
+  // between group commits).
+  PerFileTuner(sim::StorageStack& stack, ReadaheadTuner::PredictFn predict,
+               const TunerConfig& config, std::uint64_t min_events = 64);
+  ~PerFileTuner();
+
+  PerFileTuner(const PerFileTuner&) = delete;
+  PerFileTuner& operator=(const PerFileTuner&) = delete;
+
+  void on_tick(std::uint64_t now_ns);
+
+  // Decisions made in the most recently closed window.
+  const std::vector<FileDecision>& last_window_decisions() const {
+    return last_decisions_;
+  }
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t dropped_records() const { return buffer_.dropped(); }
+
+ private:
+  void close_window();
+
+  struct FileState {
+    FeatureExtractor extractor;
+    std::vector<data::TraceRecord> window;
+  };
+
+  sim::StorageStack& stack_;
+  ReadaheadTuner::PredictFn predict_;
+  TunerConfig config_;
+  std::uint64_t min_events_;
+  data::CircularBuffer<data::TraceRecord> buffer_;
+  std::unordered_map<std::uint64_t, FileState> per_file_;
+  int hook_handle_;
+  std::uint64_t next_boundary_;
+  std::uint64_t windows_ = 0;
+  std::vector<FileDecision> last_decisions_;
+};
+
+}  // namespace kml::readahead

@@ -1,0 +1,132 @@
+#include "readahead/model.h"
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "workloads/drivers.h"
+
+#include <cassert>
+#include <vector>
+
+namespace kml::readahead {
+
+nn::Network train_readahead_nn(const data::Dataset& train,
+                               const ModelConfig& config) {
+  assert(train.size() > 0);
+  const int num_classes = workloads::kNumTrainingClasses;
+  math::Rng rng(config.seed);
+
+  // Rate augmentation (see ModelConfig): jittered copies of every sample on
+  // the event-rate feature.
+  data::Dataset augmented = train;
+  if (config.augment_copies > 0 && config.rate_jitter_sigma > 0.0) {
+    std::vector<double> f(static_cast<std::size_t>(train.num_features()));
+    for (int copy = 0; copy < config.augment_copies; ++copy) {
+      for (int i = 0; i < train.size(); ++i) {
+        for (int j = 0; j < train.num_features(); ++j) {
+          f[static_cast<std::size_t>(j)] = train.features(i)[j];
+        }
+        f[0] += rng.normal(0.0, config.rate_jitter_sigma);
+        if (train.num_features() > 1) {
+          // File-size variation shifts the cumulative offset mean
+          // (feature 1, log scale); jittering it teaches the model that
+          // absolute offset magnitude carries no class information.
+          f[1] += rng.normal(0.0, config.scale_jitter_sigma);
+        }
+        augmented.add(f.data(), train.label(i));
+      }
+    }
+  }
+
+  nn::Network net = nn::build_mlp_classifier(train.num_features(),
+                                             config.hidden, num_classes, rng);
+  net.normalizer().fit(augmented.to_matrix());
+
+  const matrix::MatD x = net.normalizer().transform(augmented.to_matrix());
+  const matrix::MatD y = augmented.to_one_hot(num_classes);
+
+  nn::CrossEntropyLoss loss;
+  nn::SGD opt(config.learning_rate, config.momentum);
+  opt.attach(net.params());
+  net.train(x, y, loss, opt, config.epochs, config.batch_size, rng);
+  return net;
+}
+
+double evaluate_nn(nn::Network& net, const data::Dataset& test) {
+  if (test.size() == 0) return 0.0;
+  const matrix::MatD x = net.normalizer().transform(test.to_matrix());
+  return net.accuracy(x, test.to_labels());
+}
+
+double kfold_nn_accuracy(const data::Dataset& all, int k,
+                         const ModelConfig& config) {
+  math::Rng rng(config.seed ^ 0xf01d);
+  const std::vector<data::Fold> folds = data::k_fold_split(all, k, rng);
+  double total = 0.0;
+  for (const data::Fold& fold : folds) {
+    nn::Network net = train_readahead_nn(fold.train, config);
+    total += evaluate_nn(net, fold.test);
+  }
+  return total / static_cast<double>(folds.size());
+}
+
+GridSearchResult grid_search(const data::Dataset& data,
+                             const std::vector<int>& hidden_sizes,
+                             const std::vector<double>& learning_rates,
+                             const std::vector<double>& momenta, int k_folds,
+                             const ModelConfig& base) {
+  GridSearchResult result;
+  result.best = base;
+  for (int hidden : hidden_sizes) {
+    for (double lr : learning_rates) {
+      for (double momentum : momenta) {
+        ModelConfig config = base;
+        config.hidden = hidden;
+        config.learning_rate = lr;
+        config.momentum = momentum;
+        const double acc = kfold_nn_accuracy(data, k_folds, config);
+        result.trials.emplace_back(config, acc);
+        if (acc > result.best_accuracy) {
+          result.best_accuracy = acc;
+          result.best = config;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+int ReadaheadTree::predict(const double* features, int n) const {
+  std::vector<double> z(features, features + n);
+  normalizer.transform_row(z.data(), n);
+  return tree.predict(z.data(), n);
+}
+
+double ReadaheadTree::accuracy(const data::Dataset& test) const {
+  if (test.size() == 0) return 0.0;
+  int correct = 0;
+  for (int i = 0; i < test.size(); ++i) {
+    if (predict(test.features(i), test.num_features()) == test.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / test.size();
+}
+
+ReadaheadTree train_readahead_dtree(const data::Dataset& train,
+                                    const dtree::TreeConfig& config) {
+  ReadaheadTree out;
+  out.normalizer.fit(train.to_matrix());
+
+  data::Dataset normalized(train.num_features());
+  for (int i = 0; i < train.size(); ++i) {
+    std::vector<double> z(train.features(i),
+                          train.features(i) + train.num_features());
+    out.normalizer.transform_row(z.data(), train.num_features());
+    normalized.add(z.data(), train.label(i));
+  }
+  out.tree = dtree::DecisionTree(config);
+  out.tree.fit(normalized);
+  return out;
+}
+
+}  // namespace kml::readahead

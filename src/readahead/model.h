@@ -1,0 +1,82 @@
+// model.h — building and training the readahead models (§4).
+//
+// The neural network is the paper's architecture: three linear layers with
+// sigmoid activations (5 -> hidden -> hidden -> 4 classes), cross-entropy
+// loss, SGD with lr = 0.01 and momentum = 0.99. hidden = 16 reproduces the
+// ~3.9 KB parameter footprint the paper reports. The decision tree is the
+// alternative model family evaluated in §4.
+#pragma once
+
+#include "data/dataset.h"
+#include "dtree/decision_tree.h"
+#include "nn/network.h"
+
+namespace kml::readahead {
+
+struct ModelConfig {
+  int hidden = 16;
+  double learning_rate = 0.01;  // paper's "conventional" setting
+  double momentum = 0.99;
+  int epochs = 400;
+  int batch_size = 16;
+  std::uint64_t seed = 1234;
+  // Scale augmentation: the tracepoint *rate* (feature 0) is device-
+  // dependent and the *offset statistics* (features 1-2) encode file size —
+  // but the deployed model must transfer across devices (the paper trains
+  // on NVMe, evaluates on SATA) and across files of any size. Each training
+  // sample is duplicated `augment_copies` times with N(0, sigma) jitter on
+  // those log-scale features so the model keys on access-pattern shape
+  // (mean |Δoffset|, readahead) instead of absolute scales. bench_ablation
+  // quantifies the transfer gap without this.
+  int augment_copies = 3;
+  double rate_jitter_sigma = 2.0;   // feature 0 (event rate)
+  double scale_jitter_sigma = 1.0;  // feature 1 (cumulative offset mean)
+};
+
+// Train the readahead classifier on a labeled feature dataset. Fits the
+// Z-score normalizer on the training data and stores it in the returned
+// network (it ships in the model file).
+nn::Network train_readahead_nn(const data::Dataset& train,
+                               const ModelConfig& config);
+
+// Accuracy of a trained network on (raw, un-normalized) features.
+double evaluate_nn(nn::Network& net, const data::Dataset& test);
+
+// k-fold cross-validated accuracy (paper: k = 10 -> 95.5%). Trains k
+// networks; returns the mean test-fold accuracy.
+double kfold_nn_accuracy(const data::Dataset& all, int k,
+                         const ModelConfig& config);
+
+// Hyper-parameter grid search — the §3.3 user-space development loop
+// ("trying different neural network architectures or hyper-parameters can
+// also run in user space"), automated: evaluates every combination by
+// k-fold cross-validation and returns the best-scoring configuration.
+struct GridSearchResult {
+  ModelConfig best;
+  double best_accuracy = 0.0;
+  // One entry per combination tried: (config, accuracy), scan order.
+  std::vector<std::pair<ModelConfig, double>> trials;
+};
+
+GridSearchResult grid_search(const data::Dataset& data,
+                             const std::vector<int>& hidden_sizes,
+                             const std::vector<double>& learning_rates,
+                             const std::vector<double>& momenta, int k_folds,
+                             const ModelConfig& base = {});
+
+// Decision-tree counterpart. Trees see z-scored features via a normalizer
+// fitted on the training split (kept external; the tree file format does
+// not carry moments) — pass raw features and the helper normalizes
+// internally using moments fit on `train`.
+struct ReadaheadTree {
+  dtree::DecisionTree tree;
+  data::ZScoreNormalizer normalizer;
+
+  int predict(const double* features, int n) const;
+  double accuracy(const data::Dataset& test) const;
+};
+
+ReadaheadTree train_readahead_dtree(const data::Dataset& train,
+                                    const dtree::TreeConfig& config = {});
+
+}  // namespace kml::readahead

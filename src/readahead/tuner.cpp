@@ -1,0 +1,71 @@
+#include "readahead/tuner.h"
+
+namespace kml::readahead {
+
+ReadaheadTuner::ReadaheadTuner(sim::StorageStack& stack, PredictFn predict,
+                               const TunerConfig& config)
+    : stack_(stack),
+      predict_(std::move(predict)),
+      config_(config),
+      buffer_(config.buffer_capacity),
+      next_boundary_(stack.clock().now_ns() + config.period_ns) {
+  // The data-collection hook: the inline, lock-free, FPU-free part of the
+  // loop. It only converts the tracepoint payload and pushes it.
+  hook_handle_ = stack_.tracepoints().register_hook(
+      [this](const sim::TraceEvent& ev) {
+        buffer_.push(data::TraceRecord{
+            ev.inode, ev.pgoff, ev.time_ns,
+            static_cast<std::uint8_t>(ev.type)});
+      });
+}
+
+ReadaheadTuner::~ReadaheadTuner() {
+  stack_.tracepoints().unregister(hook_handle_);
+}
+
+void ReadaheadTuner::on_tick(std::uint64_t now_ns) {
+  // Continuous drain — the role of the asynchronous training thread in a
+  // kernel deployment. Keeping up with the producer per tick is what lets
+  // a modest circular buffer survive hundreds of thousands of records per
+  // second without drops.
+  data::TraceRecord rec;
+  while (buffer_.pop(rec)) window_.push_back(rec);
+
+  while (now_ns >= next_boundary_) {
+    close_window();
+    next_boundary_ += config_.period_ns;
+  }
+}
+
+void ReadaheadTuner::close_window() {
+  std::vector<data::TraceRecord> window;
+  window.swap(window_);
+
+  TimelinePoint point;
+  point.window = timeline_.size();
+  point.events = window.size();
+
+  if (window.empty()) {
+    // Idle second: keep the current setting.
+    point.predicted_class = -1;
+    point.ra_kb = stack_.block_layer().readahead_kb();
+    timeline_.push_back(point);
+    return;
+  }
+
+  const FeatureVector features = extractor_.extract_selected(
+      window, stack_.block_layer().readahead_kb());
+  const int cls = predict_(features);
+  stack_.charge_cpu_ns(config_.inference_cpu_ns);
+
+  std::uint32_t ra_kb = stack_.block_layer().readahead_kb();
+  if (cls >= 0 && cls < workloads::kNumTrainingClasses) {
+    ra_kb = config_.class_ra_kb[static_cast<std::size_t>(cls)];
+    stack_.block_layer().set_readahead_kb(ra_kb);
+  }
+  point.predicted_class = cls;
+  point.ra_kb = ra_kb;
+  timeline_.push_back(point);
+}
+
+}  // namespace kml::readahead

@@ -1,0 +1,78 @@
+// tuner.h — the closed loop of Figure 1: trace -> features -> inference ->
+// readahead actuation.
+//
+// Execution flow per §3.3: (1) data-collection hooks on the memory-
+// management tracepoints push records into the lock-free circular buffer;
+// (2) once per second the records are windowed, processed, and normalized;
+// (3-4) the features go to the KML engine for inference; (5) the KML
+// application sets the new readahead size through the block layer, which
+// updates ra_pages in every open struct file. Changing readahead changes
+// future cache behaviour, which changes future features — the closed
+// circuit the paper describes.
+#pragma once
+
+#include "data/circular_buffer.h"
+#include "readahead/features.h"
+#include "sim/stack.h"
+#include "workloads/drivers.h"
+
+#include <array>
+#include <functional>
+#include <vector>
+
+namespace kml::readahead {
+
+struct TunerConfig {
+  // Actuation table: predicted class -> readahead KB. Built per device from
+  // the §4 workload study (pipeline.h::best_ra_table).
+  std::array<std::uint32_t, workloads::kNumTrainingClasses> class_ra_kb{
+      1024, 16, 1024, 32};
+  std::uint64_t period_ns = sim::kNsPerSec;  // paper: inference once per sec
+  std::size_t buffer_capacity = 1 << 16;
+  // Inference cost charged to the virtual clock each window — the paper
+  // measures 21 us per inference.
+  std::uint64_t inference_cpu_ns = 21'000;
+};
+
+struct TimelinePoint {
+  std::uint64_t window;        // virtual second index
+  int predicted_class;         // -1 when the window had no events
+  std::uint32_t ra_kb;         // readahead in force after actuation
+  std::uint64_t events;        // trace records in the window
+};
+
+class ReadaheadTuner {
+ public:
+  // Classifier: raw (un-normalized) selected features -> class id.
+  using PredictFn = std::function<int(const FeatureVector&)>;
+
+  ReadaheadTuner(sim::StorageStack& stack, PredictFn predict,
+                 const TunerConfig& config);
+  ~ReadaheadTuner();
+
+  ReadaheadTuner(const ReadaheadTuner&) = delete;
+  ReadaheadTuner& operator=(const ReadaheadTuner&) = delete;
+
+  // Drive from the workload's per-op tick; closes windows and actuates on
+  // every 1 s boundary crossed.
+  void on_tick(std::uint64_t now_ns);
+
+  const std::vector<TimelinePoint>& timeline() const { return timeline_; }
+  std::uint64_t dropped_records() const { return buffer_.dropped(); }
+  std::uint64_t windows() const { return timeline_.size(); }
+
+ private:
+  void close_window();
+
+  sim::StorageStack& stack_;
+  PredictFn predict_;
+  TunerConfig config_;
+  data::CircularBuffer<data::TraceRecord> buffer_;
+  std::vector<data::TraceRecord> window_;  // drained records, current window
+  FeatureExtractor extractor_;
+  int hook_handle_;
+  std::uint64_t next_boundary_;
+  std::vector<TimelinePoint> timeline_;
+};
+
+}  // namespace kml::readahead

@@ -1,0 +1,56 @@
+#include "runtime/engine.h"
+
+#include "portability/log.h"
+
+#include <cassert>
+#include <vector>
+
+namespace kml::runtime {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Engine::Engine(nn::Network net) : net_(std::move(net)) {}
+
+bool Engine::from_file(Engine& out, const char* path) {
+  nn::Network net;
+  if (!nn::load_model(net, path)) return false;
+  out = Engine(std::move(net));
+  return true;
+}
+
+int Engine::infer_class(const double* features, int n) {
+  assert(mode_ == Mode::kInference);
+  const std::uint64_t start = now_ns();
+
+  // Normalize a copy of the features with the deployed moments.
+  std::vector<double> z(features, features + n);
+  net_.normalizer().transform_row(z.data(), n);
+
+  matrix::MatD x(1, n);
+  for (int j = 0; j < n; ++j) x.at(0, j) = z[static_cast<std::size_t>(j)];
+  const matrix::MatI pred = net_.predict_classes(x);
+
+  stats_.inferences += 1;
+  stats_.inference_ns_total += now_ns() - start;
+  return pred.at(0, 0);
+}
+
+double Engine::train_batch(const matrix::MatD& x, const matrix::MatD& y,
+                           nn::Loss& loss, nn::Optimizer& opt) {
+  assert(mode_ == Mode::kTraining);
+  const std::uint64_t start = now_ns();
+  const double l = net_.train_step(x, y, loss, opt);
+  stats_.train_iterations += 1;
+  stats_.train_ns_total += now_ns() - start;
+  return l;
+}
+
+}  // namespace kml::runtime

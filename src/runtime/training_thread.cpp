@@ -1,0 +1,58 @@
+#include "runtime/training_thread.h"
+
+#include "portability/log.h"
+
+#include <vector>
+
+namespace kml::runtime {
+
+TrainingThread::TrainingThread(std::size_t buffer_capacity, std::size_t batch,
+                               train_fn fn, void* user)
+    : buffer_(buffer_capacity),
+      batch_(batch == 0 ? 1 : batch),
+      fn_(fn),
+      user_(user) {
+  thread_ = kml_thread_create(&TrainingThread::thread_main, this,
+                              "kml-trainer");
+  if (thread_ == nullptr) {
+    KML_ERROR("TrainingThread: failed to spawn trainer thread");
+  }
+}
+
+TrainingThread::~TrainingThread() {
+  stop_.store(true, std::memory_order_release);
+  kml_thread_join(thread_);
+}
+
+bool TrainingThread::submit(const data::TraceRecord& record) {
+  return buffer_.push(record);
+}
+
+void TrainingThread::thread_main(void* self) {
+  static_cast<TrainingThread*>(self)->run();
+}
+
+void TrainingThread::run() {
+  std::vector<data::TraceRecord> scratch(batch_);
+  for (;;) {
+    const std::size_t n = buffer_.pop_many(scratch.data(), batch_);
+    if (n > 0) {
+      if (fn_ != nullptr) fn_(user_, scratch.data(), n);
+      processed_.fetch_add(n, std::memory_order_relaxed);
+      continue;  // keep draining while there is work
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Final drain after stop: consume whatever raced in.
+      const std::size_t rest = buffer_.pop_many(scratch.data(), batch_);
+      if (rest > 0) {
+        if (fn_ != nullptr) fn_(user_, scratch.data(), rest);
+        processed_.fetch_add(rest, std::memory_order_relaxed);
+        continue;
+      }
+      return;
+    }
+    kml_sleep_ms(1);
+  }
+}
+
+}  // namespace kml::runtime

@@ -1,0 +1,72 @@
+// training_thread.h — the asynchronous training/normalization thread (§3.2).
+//
+// Data collection happens inline on latency-sensitive paths (the I/O path in
+// the readahead case study); normalization and training are "offloaded to a
+// separate asynchronous kernel thread" so the hot path never enables the FPU
+// or blocks. The channel is the lock-free circular buffer; the only thing a
+// user supplies is the training function pointer — exactly the programming
+// model the paper describes ("the only information users need to provide in
+// the model-initialization code is a pointer to the model's training
+// function").
+//
+// KML currently supports one training thread (chain graphs are processed
+// serially); this class enforces that by owning the consumer side outright.
+#pragma once
+
+#include "data/circular_buffer.h"
+#include "data/windower.h"
+#include "portability/thread.h"
+
+#include <atomic>
+#include <cstddef>
+
+namespace kml::runtime {
+
+// Called on the training thread with a drained batch of records.
+// `user` is the opaque pointer given at construction.
+using train_fn = void (*)(void* user, const data::TraceRecord* records,
+                          std::size_t count);
+
+class TrainingThread {
+ public:
+  // Starts the thread immediately. `buffer_capacity` caps memory (§3.1);
+  // `batch` is the max records handed to one train_fn call.
+  TrainingThread(std::size_t buffer_capacity, std::size_t batch,
+                 train_fn fn, void* user);
+
+  // Stops and joins the thread; remaining buffered records are drained
+  // through one final train_fn call sequence first.
+  ~TrainingThread();
+
+  TrainingThread(const TrainingThread&) = delete;
+  TrainingThread& operator=(const TrainingThread&) = delete;
+
+  // Producer API — wait-free, safe from exactly one producer thread.
+  // Returns false when the buffer is full (the record is dropped and
+  // counted).
+  bool submit(const data::TraceRecord& record);
+
+  // Records handed to train_fn so far.
+  std::uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+  // Records lost to a full buffer (the accuracy-vs-memory tradeoff knob).
+  std::uint64_t dropped() const { return buffer_.dropped(); }
+
+  std::size_t buffer_capacity() const { return buffer_.capacity(); }
+
+ private:
+  static void thread_main(void* self);
+  void run();
+
+  data::CircularBuffer<data::TraceRecord> buffer_;
+  std::size_t batch_;
+  train_fn fn_;
+  void* user_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> processed_{0};
+  KmlThread* thread_ = nullptr;
+};
+
+}  // namespace kml::runtime

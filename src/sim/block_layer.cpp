@@ -1,0 +1,42 @@
+#include "sim/block_layer.h"
+
+namespace kml::sim {
+
+void BlockLayer::set_readahead_kb(std::uint32_t kb) {
+  const std::uint32_t pages = FileTable::kb_to_pages(kb);
+  files_->set_default_ra_pages(pages);
+  files_->for_each([pages](FileHandle& f) { f.ra_pages = pages; });
+  ++actuations_;
+}
+
+std::uint32_t BlockLayer::readahead_kb() const {
+  return FileTable::pages_to_kb(files_->default_ra_pages());
+}
+
+void BlockLayer::set_file_readahead_kb(std::uint64_t inode,
+                                       std::uint32_t kb) {
+  files_->get(inode).ra_pages = FileTable::kb_to_pages(kb);
+  ++actuations_;
+}
+
+std::uint32_t BlockLayer::file_readahead_kb(std::uint64_t inode) const {
+  return FileTable::pages_to_kb(files_->get(inode).ra_pages);
+}
+
+void BlockLayer::fadvise(std::uint64_t inode, Fadvise advice) {
+  FileHandle& file = files_->get(inode);
+  switch (advice) {
+    case Fadvise::kNormal:
+      file.ra_pages = files_->default_ra_pages();
+      break;
+    case Fadvise::kSequential:
+      file.ra_pages = files_->default_ra_pages() * 2;
+      break;
+    case Fadvise::kRandom:
+      file.ra_pages = 0;
+      break;
+  }
+  ++actuations_;
+}
+
+}  // namespace kml::sim

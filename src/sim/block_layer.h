@@ -1,0 +1,47 @@
+// block_layer.h — the actuation surface: BLKRASET/BLKRAGET-style controls.
+//
+// §4: "the KML application changes readahead sizes using block device layer
+// ioctls and updates the readahead values in struct files." This class is
+// that ioctl surface against the simulated stack: it sets the device-wide
+// default (affecting files opened later) and rewrites ra_pages in every
+// open FileHandle (affecting in-flight streams immediately).
+#pragma once
+
+#include "sim/file.h"
+
+#include <cstdint>
+
+namespace kml::sim {
+
+// posix_fadvise access-pattern hints — the manual, programmer-driven knob
+// KML's automatic tuning replaces (§4 Motivation). Semantics follow Linux:
+// SEQUENTIAL doubles the file's readahead window, RANDOM disables it,
+// NORMAL restores the device default.
+enum class Fadvise { kNormal, kSequential, kRandom };
+
+class BlockLayer {
+ public:
+  explicit BlockLayer(FileTable& files) : files_(&files) {}
+
+  // BLKRASET analogue + struct-file update, as the paper's module does.
+  void set_readahead_kb(std::uint32_t kb);
+
+  // BLKRAGET analogue.
+  std::uint32_t readahead_kb() const;
+
+  // Per-file override (fadvise-like granularity).
+  void set_file_readahead_kb(std::uint64_t inode, std::uint32_t kb);
+  std::uint32_t file_readahead_kb(std::uint64_t inode) const;
+
+  // POSIX_FADV_{NORMAL,SEQUENTIAL,RANDOM} analogue.
+  void fadvise(std::uint64_t inode, Fadvise advice);
+
+  // Number of ioctl-equivalent actuations issued (tuner-overhead metric).
+  std::uint64_t actuations() const { return actuations_; }
+
+ private:
+  FileTable* files_;
+  std::uint64_t actuations_ = 0;
+};
+
+}  // namespace kml::sim

@@ -1,0 +1,4 @@
+#include "sim/clock.h"
+
+// Header-only; TU kept so the build target exists per-module.
+namespace kml::sim {}

@@ -1,0 +1,29 @@
+// clock.h — virtual time for the storage-stack simulator.
+//
+// All service times (device commands, per-op CPU cost, tuner inference
+// charges) advance this clock; workload throughput is ops per *virtual*
+// second, which makes every benchmark deterministic and host-independent.
+#pragma once
+
+#include <cstdint>
+
+namespace kml::sim {
+
+inline constexpr std::uint64_t kNsPerSec = 1'000'000'000ULL;
+
+class SimClock {
+ public:
+  std::uint64_t now_ns() const { return now_ns_; }
+  double now_sec() const {
+    return static_cast<double>(now_ns_) / static_cast<double>(kNsPerSec);
+  }
+
+  void advance(std::uint64_t ns) { now_ns_ += ns; }
+
+  void reset() { now_ns_ = 0; }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+}  // namespace kml::sim

@@ -1,0 +1,68 @@
+#include "sim/device.h"
+
+namespace kml::sim {
+
+DeviceConfig nvme_config() {
+  return DeviceConfig{
+      .name = "NVMe",
+      .random_cmd_ns = 16'000,   // 16 us new-stream command
+      .seq_cmd_ns = 2'000,       // 2 us streamed continuation
+      .page_transfer_ns = 800,   // ~5 GB/s
+      .write_cmd_ns = 12'000,
+      .write_page_ns = 1'000,    // ~4 GB/s
+      .default_ra_kb = 128,
+  };
+}
+
+DeviceConfig sata_ssd_config() {
+  return DeviceConfig{
+      .name = "SSD",
+      .random_cmd_ns = 70'000,   // 70 us new-stream command
+      .seq_cmd_ns = 4'000,
+      .page_transfer_ns = 7'500, // ~530 MB/s
+      .write_cmd_ns = 60'000,
+      .write_page_ns = 8'500,    // ~470 MB/s
+      .default_ra_kb = 128,
+  };
+}
+
+Device::Device(const DeviceConfig& config, SimClock& clock)
+    : config_(config), clock_(clock) {}
+
+std::uint64_t Device::read(std::uint64_t inode, std::uint64_t start,
+                           std::uint64_t count) {
+  if (count == 0) return 0;
+  const bool continuation = inode == last_inode_ && start == last_end_;
+  const std::uint64_t overhead =
+      continuation ? config_.seq_cmd_ns : config_.random_cmd_ns;
+  const std::uint64_t cost = overhead + count * config_.page_transfer_ns;
+
+  stats_.read_commands += 1;
+  if (continuation) stats_.seq_continuations += 1;
+  stats_.pages_read += count;
+  stats_.busy_ns += cost;
+
+  last_inode_ = inode;
+  last_end_ = start + count;
+  clock_.advance(cost);
+  return cost;
+}
+
+std::uint64_t Device::write(std::uint64_t inode, std::uint64_t start,
+                            std::uint64_t count) {
+  if (count == 0) return 0;
+  (void)inode;
+  (void)start;
+  const std::uint64_t cost =
+      config_.write_cmd_ns + count * config_.write_page_ns;
+  stats_.write_commands += 1;
+  stats_.pages_written += count;
+  stats_.busy_ns += cost;
+  // A write breaks any read stream.
+  last_inode_ = UINT64_MAX;
+  last_end_ = UINT64_MAX;
+  clock_.advance(cost);
+  return cost;
+}
+
+}  // namespace kml::sim

@@ -1,0 +1,79 @@
+// device.h — block-device service-time models (NVMe SSD and SATA SSD).
+//
+// Substitution for the paper's physical testbed (see DESIGN.md §2): what the
+// readahead experiment needs from a device is the *cost structure* of
+// commands, not a full FTL. The model charges
+//
+//   cost(read of n pages) = cmd_overhead + n * page_transfer_ns
+//
+// where cmd_overhead is `random_cmd_ns` for a command that starts a new
+// stream and the much smaller `seq_cmd_ns` when the command continues
+// exactly where the previous one on the same file ended (NCQ / internal
+// striping keeps streamed reads pipelined on real SSDs). This reproduces the
+// first-order readahead effects: batching pages into fewer commands pays on
+// sequential streams, and prefetching unneeded pages wastes transfer time —
+// proportionally far more expensive on SATA (low bandwidth) than on NVMe,
+// which is exactly why the paper's SSD speedups exceed its NVMe ones.
+#pragma once
+
+#include "sim/clock.h"
+
+#include <cstdint>
+
+namespace kml::sim {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+
+struct DeviceConfig {
+  const char* name;
+  std::uint64_t random_cmd_ns;    // full command setup (new stream)
+  std::uint64_t seq_cmd_ns;       // streaming continuation overhead
+  std::uint64_t page_transfer_ns; // per-4KiB read transfer time
+  std::uint64_t write_cmd_ns;     // write command setup
+  std::uint64_t write_page_ns;    // per-4KiB write transfer time
+  std::uint32_t default_ra_kb;    // block-layer default readahead (128 KiB
+                                  // mirrors Linux's read_ahead_kb default)
+};
+
+// Parameters sized after entry-level datacenter parts; tests only rely on
+// NVMe being uniformly faster and SATA having the higher waste/benefit
+// ratio.
+DeviceConfig nvme_config();      // ~5 GB/s, 16 us command setup
+DeviceConfig sata_ssd_config();  // ~530 MB/s, 70 us command setup
+
+struct DeviceStats {
+  std::uint64_t read_commands = 0;
+  std::uint64_t seq_continuations = 0;
+  std::uint64_t pages_read = 0;
+  std::uint64_t write_commands = 0;
+  std::uint64_t pages_written = 0;
+  std::uint64_t busy_ns = 0;
+};
+
+class Device {
+ public:
+  Device(const DeviceConfig& config, SimClock& clock);
+
+  // Synchronously read `count` pages of file `inode` starting at page
+  // `start`; advances the clock by the service time and returns it.
+  std::uint64_t read(std::uint64_t inode, std::uint64_t start,
+                     std::uint64_t count);
+
+  // Synchronously write `count` pages.
+  std::uint64_t write(std::uint64_t inode, std::uint64_t start,
+                      std::uint64_t count);
+
+  const DeviceConfig& config() const { return config_; }
+  const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DeviceStats{}; }
+
+ private:
+  DeviceConfig config_;
+  SimClock& clock_;
+  DeviceStats stats_;
+  // Stream-detection state: end of the last read command.
+  std::uint64_t last_inode_ = UINT64_MAX;
+  std::uint64_t last_end_ = UINT64_MAX;
+};
+
+}  // namespace kml::sim

@@ -1,0 +1,36 @@
+#include "sim/file.h"
+
+#include <cassert>
+
+namespace kml::sim {
+
+FileHandle& FileTable::create(std::uint64_t size_pages) {
+  const std::uint64_t inode = next_inode_++;
+  FileHandle handle;
+  handle.inode = inode;
+  handle.size_pages = size_pages;
+  handle.ra_pages = default_ra_pages_;
+  auto [it, inserted] = files_.emplace(inode, handle);
+  assert(inserted);
+  return it->second;
+}
+
+void FileTable::remove(std::uint64_t inode) { files_.erase(inode); }
+
+FileHandle& FileTable::get(std::uint64_t inode) {
+  auto it = files_.find(inode);
+  assert(it != files_.end());
+  return it->second;
+}
+
+const FileHandle& FileTable::get(std::uint64_t inode) const {
+  auto it = files_.find(inode);
+  assert(it != files_.end());
+  return it->second;
+}
+
+bool FileTable::exists(std::uint64_t inode) const {
+  return files_.find(inode) != files_.end();
+}
+
+}  // namespace kml::sim

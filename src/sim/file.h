@@ -1,0 +1,73 @@
+// file.h — file abstraction carried through the simulated storage stack.
+//
+// A FileHandle is the moral equivalent of a `struct file`: it owns the
+// per-file readahead state (`f_ra` in Linux) including `ra_pages`, which is
+// exactly the field the paper's KML application updates when it actuates a
+// new readahead size.
+#pragma once
+
+#include "sim/device.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace kml::sim {
+
+// Per-file readahead window state — the fields of Linux's
+// `struct file_ra_state` that the ondemand algorithm uses.
+struct ReadaheadState {
+  std::uint64_t start = 0;       // first page of the current window
+  std::uint64_t size = 0;        // window length in pages (0 = none)
+  std::uint64_t async_size = 0;  // trailing part that re-arms readahead
+  std::uint64_t prev_pos = UINT64_MAX;  // last page accessed (sequential
+                                        // detection); UINT64_MAX = none
+};
+
+struct FileHandle {
+  std::uint64_t inode = 0;
+  std::uint64_t size_pages = 0;
+  std::uint32_t ra_pages = 32;  // max readahead window, pages
+  ReadaheadState ra;
+};
+
+class FileTable {
+ public:
+  explicit FileTable(std::uint32_t default_ra_kb)
+      : default_ra_pages_(kb_to_pages(default_ra_kb)) {}
+
+  // Create a file of `size_pages`; readahead defaults to the device value.
+  FileHandle& create(std::uint64_t size_pages);
+
+  // Remove a file (e.g., a compacted-away sorted run).
+  void remove(std::uint64_t inode);
+
+  FileHandle& get(std::uint64_t inode);
+  const FileHandle& get(std::uint64_t inode) const;
+  bool exists(std::uint64_t inode) const;
+  std::size_t count() const { return files_.size(); }
+
+  std::uint32_t default_ra_pages() const { return default_ra_pages_; }
+  void set_default_ra_pages(std::uint32_t pages) {
+    default_ra_pages_ = pages;
+  }
+
+  static std::uint32_t kb_to_pages(std::uint32_t kb) {
+    return kb * 1024 / static_cast<std::uint32_t>(kPageSize);
+  }
+  static std::uint32_t pages_to_kb(std::uint32_t pages) {
+    return pages * static_cast<std::uint32_t>(kPageSize) / 1024;
+  }
+
+  // Iterate all live files (for block-layer-wide readahead updates).
+  template <typename F>
+  void for_each(F f) {
+    for (auto& [inode, file] : files_) f(file);
+  }
+
+ private:
+  std::uint64_t next_inode_ = 1;
+  std::uint32_t default_ra_pages_;
+  std::unordered_map<std::uint64_t, FileHandle> files_;
+};
+
+}  // namespace kml::sim

@@ -1,0 +1,183 @@
+#include "sim/page_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace kml::sim {
+
+PageCache::PageCache(std::uint64_t capacity_pages, SimClock& clock,
+                     Device& device, TracepointRegistry& tracepoints)
+    : capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      clock_(clock),
+      device_(device),
+      tracepoints_(tracepoints) {}
+
+void PageCache::read(FileHandle& file, std::uint64_t pgoff,
+                     std::uint64_t count) {
+  for (std::uint64_t p = pgoff; p < pgoff + count; ++p) {
+    if (p >= file.size_pages) break;
+    const PageKey key{file.inode, p};
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      ++stats_.hits;
+      Page& page = *it->second;
+      if (page.speculative) {
+        page.speculative = false;
+        ++stats_.prefetch_used;
+      }
+      const bool was_marker = page.ra_marker;
+      page.ra_marker = false;
+      touch(it->second);
+      if (was_marker) {
+        ra_engine_.on_marker_hit(*this, file, p);
+      } else {
+        file.ra.prev_pos = p;
+      }
+      continue;
+    }
+    ++stats_.misses;
+    ra_engine_.on_sync_miss(*this, file, p);
+    // Under extreme cache pressure the fresh page can already be evicted;
+    // the reader still consumed it (it was copied to userspace), so no
+    // retry loop is needed.
+  }
+}
+
+void PageCache::write(FileHandle& file, std::uint64_t pgoff,
+                      std::uint64_t count) {
+  for (std::uint64_t p = pgoff; p < pgoff + count; ++p) {
+    const PageKey key{file.inode, p};
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+      insert(key, /*speculative=*/false, /*dirty=*/true);
+    } else {
+      if (!it->second->dirty) ++dirty_count_;
+      it->second->dirty = true;
+      it->second->speculative = false;
+      touch(it->second);
+    }
+    tracepoints_.emit(TraceEventType::kWritebackDirtyPage, file.inode, p,
+                      clock_.now_ns());
+  }
+}
+
+std::uint64_t PageCache::sync_all() {
+  std::vector<std::uint64_t> inodes;
+  for (const Page& page : lru_) {
+    if (page.dirty) inodes.push_back(page.key.inode);
+  }
+  std::sort(inodes.begin(), inodes.end());
+  inodes.erase(std::unique(inodes.begin(), inodes.end()), inodes.end());
+  std::uint64_t total = 0;
+  for (std::uint64_t inode : inodes) total += sync_file(inode);
+  return total;
+}
+
+std::uint64_t PageCache::sync_file(std::uint64_t inode) {
+  // Gather this file's dirty offsets, then issue maximal contiguous runs.
+  std::vector<std::uint64_t> dirty;
+  for (Page& page : lru_) {
+    if (page.key.inode == inode && page.dirty) {
+      dirty.push_back(page.key.pgoff);
+      page.dirty = false;
+      --dirty_count_;
+    }
+  }
+  if (dirty.empty()) return 0;
+  std::sort(dirty.begin(), dirty.end());
+
+  std::uint64_t run_start = dirty.front();
+  std::uint64_t prev = dirty.front();
+  for (std::size_t i = 1; i <= dirty.size(); ++i) {
+    const bool end = i == dirty.size();
+    if (!end && dirty[i] == prev + 1) {
+      prev = dirty[i];
+      continue;
+    }
+    device_.write(inode, run_start, prev - run_start + 1);
+    if (!end) {
+      run_start = dirty[i];
+      prev = dirty[i];
+    }
+  }
+  stats_.synced_pages += dirty.size();
+  return dirty.size();
+}
+
+void PageCache::drop_all() {
+  lru_.clear();
+  pages_.clear();
+  dirty_count_ = 0;  // benchmark reset: dirty data is discarded, not synced
+}
+
+bool PageCache::cached(std::uint64_t inode, std::uint64_t pgoff) const {
+  return pages_.find(PageKey{inode, pgoff}) != pages_.end();
+}
+
+void PageCache::do_readahead(FileHandle& file, std::uint64_t start,
+                             std::uint64_t count, std::uint64_t marker_pgoff,
+                             std::uint64_t faulting) {
+  if (start >= file.size_pages) return;
+  if (start + count > file.size_pages) count = file.size_pages - start;
+
+  // Split [start, start+count) into maximal runs of uncached pages; each
+  // run is one device command (cached gaps are skipped, as the kernel's
+  // __do_page_cache_readahead does).
+  std::uint64_t run_start = PageCache::kNoMarker;
+  for (std::uint64_t p = start; p <= start + count; ++p) {
+    const bool in_range = p < start + count;
+    const bool is_cached = in_range && cached(file.inode, p);
+    if (in_range && !is_cached) {
+      if (run_start == PageCache::kNoMarker) run_start = p;
+      continue;
+    }
+    if (run_start != PageCache::kNoMarker) {
+      const std::uint64_t run_len = p - run_start;
+      device_.read(file.inode, run_start, run_len);
+      for (std::uint64_t q = run_start; q < p; ++q) {
+        insert(PageKey{file.inode, q}, /*speculative=*/q != faulting,
+               /*dirty=*/false);
+      }
+      run_start = PageCache::kNoMarker;
+    }
+  }
+
+  if (marker_pgoff != kNoMarker) {
+    auto it = pages_.find(PageKey{file.inode, marker_pgoff});
+    if (it != pages_.end()) it->second->ra_marker = true;
+  }
+}
+
+void PageCache::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void PageCache::insert(const PageKey& key, bool speculative, bool dirty) {
+  assert(pages_.find(key) == pages_.end());
+  while (pages_.size() >= capacity_) evict_one();
+  lru_.push_front(Page{key, /*ra_marker=*/false, speculative, dirty});
+  pages_.emplace(key, lru_.begin());
+  if (dirty) ++dirty_count_;
+  ++stats_.inserted;
+  tracepoints_.emit(TraceEventType::kAddToPageCache, key.inode, key.pgoff,
+                    clock_.now_ns());
+}
+
+void PageCache::evict_one() {
+  assert(!lru_.empty());
+  const Page& victim = lru_.back();
+  if (victim.speculative) ++stats_.prefetch_wasted;
+  if (victim.dirty) {
+    // Reclaim writeback: the worst-case path — a synchronous single-page
+    // write stalls the allocation that needed this frame.
+    device_.write(victim.key.inode, victim.key.pgoff, 1);
+    --dirty_count_;
+    ++stats_.dirty_evictions;
+  }
+  ++stats_.evicted;
+  pages_.erase(victim.key);
+  lru_.pop_back();
+}
+
+}  // namespace kml::sim

@@ -1,0 +1,136 @@
+// page_cache.h — simulated OS page cache with LRU eviction.
+//
+// The surface the readahead case study observes and actuates:
+//  * every page inserted fires the add_to_page_cache tracepoint (what KML's
+//    data-collection hooks attach to),
+//  * every page dirtied fires writeback_dirty_page,
+//  * misses are served through the ondemand readahead engine, whose maximum
+//    window is the per-file ra_pages that KML tunes.
+//
+// Reads are charged synchronously on the virtual clock (DESIGN.md §2): the
+// modeled benefit of readahead is command batching, the first-order effect
+// on SSDs.
+#pragma once
+
+#include "sim/device.h"
+#include "sim/file.h"
+#include "sim/readahead.h"
+#include "sim/tracepoint.h"
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace kml::sim {
+
+struct PageCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t evicted = 0;
+  // Pages brought in by readahead beyond the faulting page that were
+  // evicted without ever being accessed — the waste KML eliminates.
+  std::uint64_t prefetch_wasted = 0;
+  std::uint64_t prefetch_used = 0;
+  // Dirty-page lifecycle: pages written back by sync_file() vs. the
+  // expensive path — a dirty victim forced out by eviction.
+  std::uint64_t synced_pages = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class PageCache {
+ public:
+  PageCache(std::uint64_t capacity_pages, SimClock& clock, Device& device,
+            TracepointRegistry& tracepoints);
+
+  // Buffered read of `count` pages starting at `pgoff` — the
+  // generic_file_read path: per page, hit -> LRU touch (and async
+  // readahead if it carries the marker), miss -> sync readahead.
+  void read(FileHandle& file, std::uint64_t pgoff, std::uint64_t count);
+
+  // Buffered write: dirties pages (insert if absent, no device read) and
+  // fires writeback_dirty_page. No device cost yet — dirty data reaches the
+  // device through sync_file() (batched, cheap) or, worst case, through
+  // eviction of a dirty victim (single-page write, expensive), mirroring
+  // delayed allocation + reclaim writeback.
+  void write(FileHandle& file, std::uint64_t pgoff, std::uint64_t count);
+
+  // fsync analogue: write back every dirty page of `inode` in maximal
+  // contiguous device commands and mark them clean. Returns pages synced.
+  std::uint64_t sync_file(std::uint64_t inode);
+
+  // Flush every dirty page of every file (the flusher-thread sweep).
+  // Returns pages synced.
+  std::uint64_t sync_all();
+
+  // Dirty pages currently resident (all files).
+  std::uint64_t dirty_pages() const { return dirty_count_; }
+
+  // Drop every cached page (echo 3 > /proc/sys/vm/drop_caches) — the paper
+  // clears the cache between benchmark runs.
+  void drop_all();
+
+  bool cached(std::uint64_t inode, std::uint64_t pgoff) const;
+
+  std::uint64_t capacity_pages() const { return capacity_; }
+  std::uint64_t resident_pages() const { return pages_.size(); }
+  const PageCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PageCacheStats{}; }
+  ReadaheadEngine& readahead() { return ra_engine_; }
+
+  // Called by the readahead engine: read [start, start+count) of `file`
+  // from the device, skipping already-cached pages (each contiguous
+  // uncached run becomes one device command), insert the pages, and set
+  // the readahead re-arm marker on page `marker_pgoff` (pass kNoMarker to
+  // skip). `faulting` is the page the application actually demanded; other
+  // inserted pages are accounted as speculative prefetch.
+  static constexpr std::uint64_t kNoMarker = UINT64_MAX;
+  void do_readahead(FileHandle& file, std::uint64_t start,
+                    std::uint64_t count, std::uint64_t marker_pgoff,
+                    std::uint64_t faulting);
+
+ private:
+  struct PageKey {
+    std::uint64_t inode;
+    std::uint64_t pgoff;
+    bool operator==(const PageKey&) const = default;
+  };
+  struct PageKeyHash {
+    std::size_t operator()(const PageKey& k) const {
+      // splitmix-style combine
+      std::uint64_t x = k.inode * 0x9e3779b97f4a7c15ULL ^ k.pgoff;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  struct Page {
+    PageKey key;
+    bool ra_marker = false;   // PG_readahead analogue
+    bool speculative = false; // inserted by prefetch, not yet accessed
+    bool dirty = false;
+  };
+  using LruList = std::list<Page>;
+
+  void touch(LruList::iterator it);
+  void insert(const PageKey& key, bool speculative, bool dirty);
+  void evict_one();
+
+  std::uint64_t capacity_;
+  SimClock& clock_;
+  Device& device_;
+  TracepointRegistry& tracepoints_;
+  ReadaheadEngine ra_engine_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PageKey, LruList::iterator, PageKeyHash> pages_;
+  PageCacheStats stats_;
+  std::uint64_t dirty_count_ = 0;
+};
+
+}  // namespace kml::sim

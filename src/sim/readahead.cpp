@@ -1,0 +1,106 @@
+#include "sim/readahead.h"
+
+#include "sim/page_cache.h"
+
+namespace kml::sim {
+namespace {
+
+std::uint64_t roundup_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t ReadaheadEngine::init_window(std::uint64_t req,
+                                           std::uint64_t max) {
+  std::uint64_t size = roundup_pow2(req);
+  if (size <= max / 32) {
+    size *= 4;
+  } else if (size <= max / 4) {
+    size *= 2;
+  } else {
+    size = max;
+  }
+  return size < max ? size : max;
+}
+
+std::uint64_t ReadaheadEngine::next_window(std::uint64_t cur,
+                                           std::uint64_t max) {
+  std::uint64_t size = cur < max / 16 ? cur * 4 : cur * 2;
+  return size < max ? size : max;
+}
+
+void ReadaheadEngine::on_sync_miss(PageCache& cache, FileHandle& file,
+                                   std::uint64_t pgoff) {
+  const std::uint64_t max = file.ra_pages;
+  constexpr std::uint64_t req = 1;  // the per-page fault path
+
+  if (max == 0) {
+    // Readahead disabled: demand-read the single page.
+    ++stats_.random_reads;
+    cache.do_readahead(file, pgoff, 1, PageCache::kNoMarker, pgoff);
+    file.ra.prev_pos = pgoff;
+    return;
+  }
+
+  const bool at_start = pgoff == 0;
+  const bool sequential = file.ra.prev_pos != UINT64_MAX &&
+                          (pgoff == file.ra.prev_pos + 1 ||
+                           pgoff == file.ra.prev_pos);
+  if (at_start || sequential) {
+    // Sequential (or first) access: open a ramping window.
+    file.ra.start = pgoff;
+    file.ra.size = init_window(req, max);
+    file.ra.async_size =
+        file.ra.size > req ? file.ra.size - req : file.ra.size;
+    ++stats_.sync_windows;
+    submit(cache, file, pgoff);
+    file.ra.prev_pos = pgoff;
+    return;
+  }
+
+  // Random access: read exactly the demanded page, leave window state
+  // untouched (kernel behaviour: small random I/O must not pollute).
+  ++stats_.random_reads;
+  cache.do_readahead(file, pgoff, req, PageCache::kNoMarker, pgoff);
+  file.ra.prev_pos = pgoff;
+}
+
+void ReadaheadEngine::on_marker_hit(PageCache& cache, FileHandle& file,
+                                    std::uint64_t pgoff) {
+  const std::uint64_t max = file.ra_pages;
+  if (max == 0) return;
+
+  // Ramp: the next window starts where the current one ends.
+  file.ra.start = file.ra.start + file.ra.size;
+  // Re-sync if the marker page is outside what we believe the window is
+  // (e.g., ra_pages changed under us — exactly what the KML tuner does).
+  if (pgoff >= file.ra.start) file.ra.start = pgoff + 1;
+  file.ra.size = next_window(file.ra.size == 0 ? 1 : file.ra.size, max);
+  file.ra.async_size = file.ra.size;
+  ++stats_.async_windows;
+  submit(cache, file, pgoff);
+  file.ra.prev_pos = pgoff;
+}
+
+void ReadaheadEngine::submit(PageCache& cache, FileHandle& file,
+                             std::uint64_t pgoff) {
+  std::uint64_t start = file.ra.start;
+  std::uint64_t size = file.ra.size;
+  if (start >= file.size_pages) return;
+  if (start + size > file.size_pages) size = file.size_pages - start;
+  if (size == 0) return;
+
+  // PG_readahead marker sits async_size pages before the window end; when
+  // the reader reaches it the next window is issued, keeping the pipeline
+  // full.
+  std::uint64_t marker = PageCache::kNoMarker;
+  if (file.ra.async_size > 0 && file.ra.async_size <= size) {
+    marker = start + size - file.ra.async_size;
+  }
+  cache.do_readahead(file, start, size, marker, pgoff);
+}
+
+}  // namespace kml::sim

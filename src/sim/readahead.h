@@ -1,0 +1,50 @@
+// readahead.h — port of Linux's ondemand readahead heuristic.
+//
+// This is the "aging heuristic" the paper's ML model competes with
+// (mm/readahead.c, ondemand_readahead): per-file windows that ramp up
+// 4x/2x on detected sequential streams, a PG_readahead marker page that
+// re-arms the next window asynchronously, and single-page reads for random
+// access. The maximum window is file.ra_pages — the single knob the KML
+// readahead model tunes.
+//
+// Window sizing matches kernel logic:
+//   get_init_ra_size: roundup_pow2(req); <=max/32 -> 4x, <=max/4 -> 2x,
+//                     else max
+//   get_next_ra_size: <max/16 -> 4x, else 2x, capped at max
+#pragma once
+
+#include "sim/file.h"
+
+#include <cstdint>
+
+namespace kml::sim {
+
+class PageCache;  // submits windows back through PageCache::do_readahead
+
+struct ReadaheadEngineStats {
+  std::uint64_t sync_windows = 0;    // windows from a cache miss
+  std::uint64_t async_windows = 0;   // windows from a marker hit
+  std::uint64_t random_reads = 0;    // single-page fallback reads
+};
+
+class ReadaheadEngine {
+ public:
+  // Cache miss on `pgoff`: decide the synchronous window and submit it.
+  void on_sync_miss(PageCache& cache, FileHandle& file, std::uint64_t pgoff);
+
+  // Cache hit on a marker page: extend the window asynchronously.
+  void on_marker_hit(PageCache& cache, FileHandle& file, std::uint64_t pgoff);
+
+  const ReadaheadEngineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ReadaheadEngineStats{}; }
+
+  static std::uint64_t init_window(std::uint64_t req, std::uint64_t max);
+  static std::uint64_t next_window(std::uint64_t cur, std::uint64_t max);
+
+ private:
+  void submit(PageCache& cache, FileHandle& file, std::uint64_t pgoff);
+
+  ReadaheadEngineStats stats_;
+};
+
+}  // namespace kml::sim

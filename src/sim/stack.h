@@ -1,0 +1,50 @@
+// stack.h — convenience bundle of one simulated storage stack.
+//
+// Wires clock -> device -> page cache -> tracepoints -> block layer in the
+// layering of Figure 1. MiniKV and the benchmarks construct one of these per
+// run.
+#pragma once
+
+#include "sim/block_layer.h"
+#include "sim/clock.h"
+#include "sim/device.h"
+#include "sim/file.h"
+#include "sim/page_cache.h"
+#include "sim/tracepoint.h"
+
+namespace kml::sim {
+
+struct StackConfig {
+  DeviceConfig device = nvme_config();
+  std::uint64_t cache_pages = 32768;  // 128 MiB page cache
+};
+
+class StorageStack {
+ public:
+  explicit StorageStack(const StackConfig& config)
+      : device_(config.device, clock_),
+        files_(config.device.default_ra_kb),
+        cache_(config.cache_pages, clock_, device_, tracepoints_),
+        block_layer_(files_) {}
+
+  SimClock& clock() { return clock_; }
+  Device& device() { return device_; }
+  FileTable& files() { return files_; }
+  PageCache& cache() { return cache_; }
+  TracepointRegistry& tracepoints() { return tracepoints_; }
+  BlockLayer& block_layer() { return block_layer_; }
+
+  // Charge CPU time (application compute between I/Os) on the virtual
+  // clock.
+  void charge_cpu_ns(std::uint64_t ns) { clock_.advance(ns); }
+
+ private:
+  SimClock clock_;
+  TracepointRegistry tracepoints_;
+  Device device_;
+  FileTable files_;
+  PageCache cache_;
+  BlockLayer block_layer_;
+};
+
+}  // namespace kml::sim

@@ -1,0 +1,211 @@
+#include "sim/trace_io.h"
+
+#include "portability/log.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace kml::sim {
+namespace {
+
+constexpr std::size_t kRecordBytes = 1 + 8 + 8 + 8;
+constexpr std::size_t kFlushThreshold = 4096;
+
+void encode_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t decode_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+bool write_u32(KmlFile* f, std::uint32_t v) {
+  return kml_fwrite(f, &v, sizeof(v)) == sizeof(v);
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(StorageStack& stack, const char* path)
+    : stack_(stack), path_(path), tmp_path_(std::string(path) + ".records") {
+  tmp_ = kml_fopen(tmp_path_.c_str(), "w");
+  if (tmp_ == nullptr) {
+    KML_ERROR("TraceWriter: cannot open %s", tmp_path_.c_str());
+    return;
+  }
+  ok_ = true;
+  hook_handle_ = stack_.tracepoints().register_hook(
+      [this](const TraceEvent& ev) { on_event(ev); });
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+void TraceWriter::on_event(const TraceEvent& event) {
+  buffer_.push_back(event);
+  ++captured_;
+  if (buffer_.size() >= kFlushThreshold) flush_records();
+}
+
+void TraceWriter::flush_records() {
+  if (!ok_ || buffer_.empty()) return;
+  encoded_.clear();
+  encoded_.reserve(buffer_.size() * kRecordBytes);
+  for (const TraceEvent& ev : buffer_) {
+    encoded_.push_back(static_cast<unsigned char>(ev.type));
+    encode_u64(encoded_, ev.inode);
+    encode_u64(encoded_, ev.pgoff);
+    encode_u64(encoded_, ev.time_ns);
+  }
+  const auto bytes = static_cast<std::int64_t>(encoded_.size());
+  if (kml_fwrite(tmp_, encoded_.data(), encoded_.size()) != bytes) {
+    KML_ERROR("TraceWriter: short write to %s", tmp_path_.c_str());
+    ok_ = false;
+  }
+  buffer_.clear();
+}
+
+bool TraceWriter::finish() {
+  if (finished_) return ok_;
+  finished_ = true;
+  if (hook_handle_ >= 0) {
+    stack_.tracepoints().unregister(hook_handle_);
+    hook_handle_ = -1;
+  }
+  flush_records();
+  if (tmp_ != nullptr) {
+    kml_fclose(tmp_);
+    tmp_ = nullptr;
+  }
+  if (!ok_) return false;
+
+  // Assemble final file: header (with the file table as it stands now) +
+  // the streamed records.
+  KmlFile* out = kml_fopen(path_.c_str(), "w");
+  if (out == nullptr) {
+    ok_ = false;
+    return false;
+  }
+  bool good = write_u32(out, kTraceMagic) && write_u32(out, kTraceVersion);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> table;
+  stack_.files().for_each([&table](FileHandle& f) {
+    table.emplace_back(f.inode, f.size_pages);
+  });
+  good = good && write_u32(out, static_cast<std::uint32_t>(table.size()));
+  for (const auto& [inode, pages] : table) {
+    good = good && kml_fwrite(out, &inode, sizeof(inode)) == sizeof(inode);
+    good = good && kml_fwrite(out, &pages, sizeof(pages)) == sizeof(pages);
+  }
+  // Append the records stream.
+  const std::int64_t rec_size = kml_fsize(tmp_path_.c_str());
+  if (rec_size > 0) {
+    KmlFile* in = kml_fopen(tmp_path_.c_str(), "r");
+    good = good && in != nullptr;
+    if (in != nullptr) {
+      std::vector<unsigned char> chunk(1 << 20);
+      std::int64_t n;
+      while (good && (n = kml_fread(in, chunk.data(), chunk.size())) > 0) {
+        good = kml_fwrite(out, chunk.data(),
+                          static_cast<std::size_t>(n)) == n;
+      }
+      kml_fclose(in);
+    }
+  }
+  kml_fclose(out);
+  std::remove(tmp_path_.c_str());
+  ok_ = good;
+  return ok_;
+}
+
+bool TraceReader::open(const char* path) {
+  const std::int64_t size = kml_fsize(path);
+  if (size < 12) return false;
+  KmlFile* f = kml_fopen(path, "r");
+  if (f == nullptr) return false;
+  std::vector<unsigned char> raw(static_cast<std::size_t>(size));
+  const bool read_ok = kml_fread(f, raw.data(), raw.size()) == size;
+  kml_fclose(f);
+  if (!read_ok) return false;
+
+  std::size_t pos = 0;
+  auto read_u32 = [&](std::uint32_t& v) {
+    if (pos + 4 > raw.size()) return false;
+    std::memcpy(&v, raw.data() + pos, 4);
+    pos += 4;
+    return true;
+  };
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t nfiles = 0;
+  if (!read_u32(magic) || !read_u32(version) || !read_u32(nfiles)) {
+    return false;
+  }
+  if (magic != kTraceMagic || version != kTraceVersion) return false;
+  if (pos + static_cast<std::size_t>(nfiles) * 16 > raw.size()) return false;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> table;
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    const std::uint64_t inode = decode_u64(raw.data() + pos);
+    const std::uint64_t pages = decode_u64(raw.data() + pos + 8);
+    pos += 16;
+    table.emplace_back(inode, pages);
+  }
+
+  std::vector<TraceEvent> records;
+  if ((raw.size() - pos) % kRecordBytes != 0) return false;
+  while (pos + kRecordBytes <= raw.size()) {
+    TraceEvent ev;
+    const unsigned char type = raw[pos];
+    if (type > 1) return false;
+    ev.type = static_cast<TraceEventType>(type);
+    ev.inode = decode_u64(raw.data() + pos + 1);
+    ev.pgoff = decode_u64(raw.data() + pos + 9);
+    ev.time_ns = decode_u64(raw.data() + pos + 17);
+    pos += kRecordBytes;
+    records.push_back(ev);
+  }
+
+  files_ = std::move(table);
+  records_ = std::move(records);
+  cursor_ = 0;
+  return true;
+}
+
+bool TraceReader::next(TraceEvent& out) {
+  if (cursor_ >= records_.size()) return false;
+  out = records_[cursor_++];
+  return true;
+}
+
+ReplayStats replay_trace(StorageStack& stack, TraceReader& reader) {
+  ReplayStats stats;
+  const std::uint64_t start = stack.clock().now_ns();
+
+  // Recreate the capture's files on the target stack.
+  std::unordered_map<std::uint64_t, std::uint64_t> inode_map;
+  for (const auto& [inode, pages] : reader.files()) {
+    inode_map[inode] = stack.files().create(pages).inode;
+  }
+
+  TraceEvent ev;
+  while (reader.next(ev)) {
+    const auto mapped = inode_map.find(ev.inode);
+    if (mapped == inode_map.end()) continue;  // file unknown to the capture
+    FileHandle& file = stack.files().get(mapped->second);
+    if (ev.type == TraceEventType::kAddToPageCache) {
+      stack.cache().read(file, ev.pgoff, 1);
+      ++stats.reads_issued;
+    } else {
+      stack.cache().write(file, ev.pgoff, 1);
+      ++stats.writes_issued;
+    }
+  }
+  stats.duration_ns = stack.clock().now_ns() - start;
+  return stats;
+}
+
+}  // namespace kml::sim

@@ -1,0 +1,106 @@
+// trace_io.h — tracepoint capture to file and access replay.
+//
+// The paper's methodology leans on high-fidelity tracing (LTTng tracepoints
+// captured to disk, later replayed/analyzed — cf. the authors' Re-Animator
+// work). This module is that capability for the simulated stack:
+//
+//   TraceWriter  — subscribes to the tracepoint registry and streams every
+//                  event to a compact binary file ('KMLR'), with the file
+//                  table snapshot in the header so a replay can recreate
+//                  the files;
+//   TraceReader  — iterates a capture;
+//   replay_trace — re-issues the captured accesses (reads for
+//                  add_to_page_cache, writes for writeback_dirty_page)
+//                  against a fresh stack, enabling offline what-if runs —
+//                  e.g., re-running yesterday's I/O under a different
+//                  readahead setting without the original application.
+//
+// File layout (little-endian):
+//   u32 magic 'KMLR'  u32 version  u32 num_files  [u64 inode, u64 pages]...
+//   records: u8 type, u64 inode, u64 pgoff, u64 time_ns   (packed, 25 B)
+#pragma once
+
+#include "portability/file.h"
+#include "sim/stack.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace kml::sim {
+
+inline constexpr std::uint32_t kTraceMagic = 0x524c4d4b;  // "KMLR"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+class TraceWriter {
+ public:
+  // Starts capturing immediately. The header's file table is written at
+  // close time (files may be created mid-capture), so the capture is only
+  // valid after the writer is destroyed or finish() returns true.
+  TraceWriter(StorageStack& stack, const char* path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  // Flush buffers and finalize the capture; idempotent.
+  bool finish();
+
+  bool ok() const { return ok_; }
+  std::uint64_t captured() const { return captured_; }
+
+ private:
+  void on_event(const TraceEvent& event);
+  void flush_records();
+
+  StorageStack& stack_;
+  std::string path_;
+  std::vector<TraceEvent> buffer_;
+  std::vector<unsigned char> encoded_;
+  KmlFile* tmp_ = nullptr;  // records stream (header prepended at finish)
+  std::string tmp_path_;
+  int hook_handle_ = -1;
+  std::uint64_t captured_ = 0;
+  bool ok_ = false;
+  bool finished_ = false;
+};
+
+class TraceReader {
+ public:
+  // Opens and validates a capture; records() is then iterable.
+  bool open(const char* path);
+
+  // File-table snapshot from the header: inode -> size in pages.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& files() const {
+    return files_;
+  }
+
+  // Sequential record access; returns false at end of capture.
+  bool next(TraceEvent& out);
+
+  std::uint64_t remaining() const {
+    return static_cast<std::uint64_t>(records_.size() - cursor_);
+  }
+  void rewind() { cursor_ = 0; }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> files_;
+  std::vector<TraceEvent> records_;
+  std::size_t cursor_ = 0;
+};
+
+struct ReplayStats {
+  std::uint64_t reads_issued = 0;
+  std::uint64_t writes_issued = 0;
+  std::uint64_t duration_ns = 0;  // virtual time the replay consumed
+};
+
+// Re-issue the captured accesses against `stack`. Files from the capture
+// header are created on the target stack; the returned map translates
+// captured inodes to replayed ones. Timing is not enforced (back-to-back
+// replay, like Re-Animator's as-fast-as-possible mode).
+ReplayStats replay_trace(StorageStack& stack, TraceReader& reader);
+
+}  // namespace kml::sim

@@ -1,0 +1,41 @@
+#include "sim/tracepoint.h"
+
+#include <cassert>
+
+namespace kml::sim {
+
+int TracepointRegistry::register_hook(Hook hook) {
+  assert(hook != nullptr);
+  for (std::size_t i = 0; i < hooks_.size(); ++i) {
+    if (hooks_[i] == nullptr) {
+      hooks_[i] = std::move(hook);
+      return static_cast<int>(i);
+    }
+  }
+  hooks_.push_back(std::move(hook));
+  return static_cast<int>(hooks_.size() - 1);
+}
+
+void TracepointRegistry::unregister(int handle) {
+  if (handle < 0 || handle >= static_cast<int>(hooks_.size())) return;
+  hooks_[static_cast<std::size_t>(handle)] = nullptr;
+}
+
+void TracepointRegistry::emit(TraceEventType type, std::uint64_t inode,
+                              std::uint64_t pgoff, std::uint64_t time_ns) {
+  ++emitted_;
+  const TraceEvent ev{type, inode, pgoff, time_ns};
+  for (const Hook& hook : hooks_) {
+    if (hook != nullptr) hook(ev);
+  }
+}
+
+int TracepointRegistry::hook_count() const {
+  int n = 0;
+  for (const Hook& hook : hooks_) {
+    if (hook != nullptr) ++n;
+  }
+  return n;
+}
+
+}  // namespace kml::sim

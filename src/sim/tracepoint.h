@@ -1,0 +1,51 @@
+// tracepoint.h — in-simulator analogue of the kernel tracepoints KML hooks.
+//
+// The paper's data-collection functions attach to built-in tracepoints
+// (add_to_page_cache, writeback_dirty_page) and record the inode number,
+// the page offset, and the time since module start (§4 "Data collection").
+// The registry below emits exactly those events from the page cache; KML's
+// readahead application registers a hook that forwards them into the
+// lock-free circular buffer.
+#pragma once
+
+#include "sim/clock.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace kml::sim {
+
+enum class TraceEventType : std::uint8_t {
+  kAddToPageCache = 0,     // page inserted into the page cache
+  kWritebackDirtyPage = 1, // page dirtied by a write
+};
+
+struct TraceEvent {
+  TraceEventType type;
+  std::uint64_t inode;
+  std::uint64_t pgoff;
+  std::uint64_t time_ns;  // virtual time since simulation start
+};
+
+class TracepointRegistry {
+ public:
+  using Hook = std::function<void(const TraceEvent&)>;
+
+  // Returns a handle for unregister(). Hooks run synchronously at emit
+  // time — like real tracepoint probes, they must be cheap and non-blocking.
+  int register_hook(Hook hook);
+  void unregister(int handle);
+
+  void emit(TraceEventType type, std::uint64_t inode, std::uint64_t pgoff,
+            std::uint64_t time_ns);
+
+  std::uint64_t emitted() const { return emitted_; }
+  int hook_count() const;
+
+ private:
+  std::vector<Hook> hooks_;  // slot index == handle; empty slot == freed
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace kml::sim

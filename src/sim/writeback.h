@@ -1,0 +1,59 @@
+// writeback.h — the background flusher daemon, with a tunable threshold.
+//
+// The simulated analogue of Linux's dirty-page writeback machinery
+// (vm.dirty_ratio / the flusher threads): dirty pages accumulate in the
+// page cache until the daemon's threshold is crossed, then everything is
+// flushed in batched contiguous commands. The threshold is a classic
+// storage-tuning knob with a workload-dependent optimum:
+//
+//   * high threshold — large, well-batched flushes (few commands, long
+//     sequential runs) but dirty pages reach the LRU tail under memory
+//     pressure and are written back one page at a time by reclaim — the
+//     expensive path;
+//   * low threshold — reclaim never sees dirty pages, but scattered dirty
+//     sets flush as many tiny commands.
+//
+// This is the actuation surface of the second KML case study (the paper's
+// §6 "apply KML to ... the page cache"): src/writeback tunes this
+// threshold online.
+#pragma once
+
+#include "sim/page_cache.h"
+
+#include <cstdint>
+
+namespace kml::sim {
+
+struct WritebackStats {
+  std::uint64_t flushes = 0;       // threshold-triggered sweeps
+  std::uint64_t pages_flushed = 0;
+};
+
+class WritebackDaemon {
+ public:
+  // `threshold_pages`: flush when the cache holds more dirty pages than
+  // this. 0 means write-through (flush on every poll with any dirt).
+  WritebackDaemon(PageCache& cache, std::uint64_t threshold_pages)
+      : cache_(cache), threshold_(threshold_pages) {}
+
+  // Poll hook — call from the op tick (the flusher "wakes up"). Flushes
+  // everything when over threshold.
+  void poll() {
+    if (cache_.dirty_pages() > threshold_) {
+      ++stats_.flushes;
+      stats_.pages_flushed += cache_.sync_all();
+    }
+  }
+
+  std::uint64_t threshold_pages() const { return threshold_; }
+  void set_threshold_pages(std::uint64_t pages) { threshold_ = pages; }
+
+  const WritebackStats& stats() const { return stats_; }
+
+ private:
+  PageCache& cache_;
+  std::uint64_t threshold_;
+  WritebackStats stats_;
+};
+
+}  // namespace kml::sim

@@ -1,0 +1,169 @@
+#include "workloads/drivers.h"
+
+#include "workloads/generator.h"
+#include "workloads/mixgraph.h"
+
+#include <cassert>
+
+namespace kml::workloads {
+
+const char* workload_name(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kReadSeq: return "readseq";
+    case WorkloadType::kReadRandom: return "readrandom";
+    case WorkloadType::kReadReverse: return "readreverse";
+    case WorkloadType::kReadRandomWriteRandom: return "readrandomwriterandom";
+    case WorkloadType::kUpdateRandom: return "updaterandom";
+    case WorkloadType::kMixGraph: return "mixgraph";
+    case WorkloadType::kSeekRandom: return "seekrandom";
+    case WorkloadType::kReadWhileWriting: return "readwhilewriting";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Shared driver loop: `step` performs one operation and returns.
+template <typename Step>
+RunResult drive(kv::MiniKV& db, std::uint64_t duration_ns,
+                std::uint64_t max_ops, const TickFn& on_tick, Step step) {
+  sim::SimClock& clock = db.stack().clock();
+  const std::uint64_t start = clock.now_ns();
+  const std::uint64_t deadline = start + duration_ns;
+  RunResult result;
+  while (clock.now_ns() < deadline && result.ops < max_ops) {
+    step();
+    ++result.ops;
+    if (on_tick) on_tick(clock.now_ns());
+  }
+  result.duration_ns = clock.now_ns() - start;
+  result.ops_per_sec =
+      result.duration_ns == 0
+          ? 0.0
+          : static_cast<double>(result.ops) * 1e9 / result.duration_ns;
+  return result;
+}
+
+}  // namespace
+
+RunResult run_workload(kv::MiniKV& db, const WorkloadConfig& cfg,
+                       std::uint64_t duration_ns, std::uint64_t max_ops,
+                       const TickFn& on_tick) {
+  switch (cfg.type) {
+    case WorkloadType::kReadSeq: {
+      auto it = db.new_iterator();
+      it->seek_to_first();
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        if (!it->valid()) it->seek_to_first();
+        it->next();
+      });
+    }
+
+    case WorkloadType::kReadReverse: {
+      auto it = db.new_iterator();
+      it->seek_to_last();
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        if (!it->valid()) it->seek_to_last();
+        it->prev();
+      });
+    }
+
+    case WorkloadType::kReadRandom: {
+      UniformKeys keys(db.num_keys(), cfg.seed);
+      return drive(db, duration_ns, max_ops, on_tick,
+                   [&] { db.get(keys.next()); });
+    }
+
+    case WorkloadType::kReadRandomWriteRandom: {
+      UniformKeys keys(db.num_keys(), cfg.seed);
+      math::Rng op_rng(cfg.seed ^ 0x72727772ULL);
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        const std::uint64_t key = keys.next();
+        if (static_cast<int>(op_rng.next_below(100)) < cfg.read_percent) {
+          db.get(key);
+        } else {
+          db.put(key);
+        }
+      });
+    }
+
+    case WorkloadType::kUpdateRandom: {
+      // Read-modify-write of random keys (db_bench updaterandom).
+      UniformKeys keys(db.num_keys(), cfg.seed);
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        const std::uint64_t key = keys.next();
+        db.get(key);
+        db.put(key);
+      });
+    }
+
+    case WorkloadType::kSeekRandom: {
+      // db_bench seekrandom: position an iterator at a random key and read
+      // a handful of entries forward.
+      UniformKeys keys(db.num_keys(), cfg.seed);
+      auto it = db.new_iterator();
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        it->seek(keys.next());
+        for (std::uint64_t i = 0; i < cfg.seek_nexts && it->valid(); ++i) {
+          it->next();
+        }
+      });
+    }
+
+    case WorkloadType::kReadWhileWriting: {
+      // db_bench readwhilewriting: a reader stream with a concurrent
+      // writer; the simulator interleaves the writer's puts at a fixed
+      // rate among the reads.
+      UniformKeys read_keys(db.num_keys(), cfg.seed);
+      UniformKeys write_keys(db.num_keys(), cfg.seed ^ 0x77726974ULL);
+      std::uint64_t op_index = 0;
+      const int writes = cfg.writes_per_16_reads;
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        if (static_cast<int>(op_index % 16) < writes) {
+          db.put(write_keys.next());
+        } else {
+          db.get(read_keys.next());
+        }
+        ++op_index;
+      });
+    }
+
+    case WorkloadType::kMixGraph: {
+      MixGraphGenerator gen(db.num_keys(), cfg.zipf_theta,
+                            cfg.mix_get_percent, cfg.mix_put_percent,
+                            cfg.scan_length, cfg.seed);
+      auto it = db.new_iterator();
+      std::uint64_t writes_since_iter = 0;
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        const MixAction action = gen.next();
+        switch (action.op) {
+          case MixOp::kGet:
+            db.get(action.key);
+            break;
+          case MixOp::kPut:
+            db.put(action.key);
+            ++writes_since_iter;
+            break;
+          case MixOp::kScan: {
+            // Refresh the iterator snapshot if writes have landed since it
+            // was created (iterators are invalidated by put()).
+            if (writes_since_iter > 0) {
+              it = db.new_iterator();
+              writes_since_iter = 0;
+            }
+            it->seek(action.key);
+            for (std::uint64_t i = 0; i < action.scan_length && it->valid();
+                 ++i) {
+              it->next();
+            }
+            break;
+          }
+        }
+      });
+    }
+  }
+  assert(false && "unreachable workload type");
+  return RunResult{};
+}
+
+}  // namespace kml::workloads

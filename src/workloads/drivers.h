@@ -1,0 +1,63 @@
+// drivers.h — the six db_bench-style workloads from the paper (§4).
+//
+// Training classes (the four workloads the readahead network is trained
+// on, in label order) come first; updaterandom and mixgraph are the
+// never-seen-before evaluation workloads.
+#pragma once
+
+#include "kv/iterator.h"
+#include "kv/minikv.h"
+
+#include <functional>
+
+namespace kml::workloads {
+
+enum class WorkloadType : int {
+  kReadSeq = 0,
+  kReadRandom = 1,
+  kReadReverse = 2,
+  kReadRandomWriteRandom = 3,
+  // Evaluation-only workloads (not in the training set):
+  kUpdateRandom = 4,
+  kMixGraph = 5,
+  // Extra db_bench workloads beyond the paper's six:
+  kSeekRandom = 6,
+  kReadWhileWriting = 7,
+};
+
+inline constexpr int kNumTrainingClasses = 4;
+inline constexpr int kNumWorkloads = 6;     // the paper's evaluation set
+inline constexpr int kNumAllWorkloads = 8;
+
+const char* workload_name(WorkloadType type);
+
+struct WorkloadConfig {
+  WorkloadType type = WorkloadType::kReadRandom;
+  std::uint64_t seed = 42;
+  int read_percent = 90;     // readrandomwriterandom read fraction
+  double zipf_theta = 0.9;   // mixgraph key popularity
+  int mix_get_percent = 85;  // mixgraph op mix (rest after put = scans)
+  int mix_put_percent = 11;
+  std::uint64_t scan_length = 50;  // entries per mixgraph scan
+  std::uint64_t seek_nexts = 8;    // entries read after a seekrandom seek
+  int writes_per_16_reads = 2;     // readwhilewriting background write rate
+};
+
+struct RunResult {
+  std::uint64_t ops = 0;
+  std::uint64_t duration_ns = 0;
+  double ops_per_sec = 0.0;
+};
+
+// Called after every completed operation with the current virtual time;
+// the closed-loop harness uses it to run the tuner on 1 s boundaries.
+using TickFn = std::function<void(std::uint64_t now_ns)>;
+
+// Run `cfg.type` against `db` until `duration_ns` of virtual time has
+// elapsed since the call started, or `max_ops` operations completed
+// (whichever first). Throughput is ops per *virtual* second.
+RunResult run_workload(kv::MiniKV& db, const WorkloadConfig& cfg,
+                       std::uint64_t duration_ns, std::uint64_t max_ops,
+                       const TickFn& on_tick = {});
+
+}  // namespace kml::workloads

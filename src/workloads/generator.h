@@ -1,0 +1,57 @@
+// generator.h — key-distribution generators for the workload drivers.
+//
+// Uniform random (readrandom/updaterandom), Zipfian (mixgraph — Cao et
+// al.'s RocksDB workload study reports Zipfian key popularity with
+// theta ~0.9), and wrap-around sequential cursors for scans.
+#pragma once
+
+#include "math/rng.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace kml::workloads {
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual std::uint64_t next() = 0;
+};
+
+class UniformKeys final : public KeyGenerator {
+ public:
+  UniformKeys(std::uint64_t num_keys, std::uint64_t seed)
+      : rng_(seed), num_keys_(num_keys) {}
+  std::uint64_t next() override { return rng_.next_below(num_keys_); }
+
+ private:
+  math::Rng rng_;
+  std::uint64_t num_keys_;
+};
+
+class ZipfKeys final : public KeyGenerator {
+ public:
+  ZipfKeys(std::uint64_t num_keys, double theta, std::uint64_t seed)
+      : rng_(seed), zipf_(num_keys, theta, rng_), num_keys_(num_keys) {}
+
+  // Rank -> key scrambling so the hot set is spread over the key space
+  // (RocksDB's hot keys are not physically clustered).
+  std::uint64_t next() override {
+    const std::uint64_t rank = zipf_.next();
+    return scramble(rank) % num_keys_;
+  }
+
+ private:
+  static std::uint64_t scramble(std::uint64_t x) {
+    x *= 0xc2b2ae3d27d4eb4fULL;
+    x ^= x >> 29;
+    x *= 0x165667b19e3779f9ULL;
+    x ^= x >> 32;
+    return x;
+  }
+  math::Rng rng_;
+  math::Zipf zipf_;
+  std::uint64_t num_keys_;
+};
+
+}  // namespace kml::workloads

@@ -1,0 +1,32 @@
+#include "workloads/mixgraph.h"
+
+namespace kml::workloads {
+
+MixGraphGenerator::MixGraphGenerator(std::uint64_t num_keys,
+                                     double zipf_theta, int get_percent,
+                                     int put_percent,
+                                     std::uint64_t mean_scan_length,
+                                     std::uint64_t seed)
+    : op_rng_(seed ^ 0x6d69786772617068ULL),
+      keys_(num_keys, zipf_theta, seed),
+      get_percent_(get_percent),
+      put_percent_(put_percent),
+      mean_scan_length_(mean_scan_length == 0 ? 1 : mean_scan_length) {}
+
+MixAction MixGraphGenerator::next() {
+  const int roll = static_cast<int>(op_rng_.next_below(100));
+  const std::uint64_t key = keys_.next();
+  if (roll < get_percent_) {
+    return MixAction{MixOp::kGet, key, 0};
+  }
+  if (roll < get_percent_ + put_percent_) {
+    return MixAction{MixOp::kPut, key, 0};
+  }
+  // Scan length: geometric-ish around the mean (Cao et al. observe short,
+  // heavy-tailed scans). Draw uniform in [1, 2*mean) for a simple
+  // mean-preserving spread.
+  const std::uint64_t len = 1 + op_rng_.next_below(2 * mean_scan_length_);
+  return MixAction{MixOp::kScan, key, len};
+}
+
+}  // namespace kml::workloads

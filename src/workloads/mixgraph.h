@@ -1,0 +1,40 @@
+// mixgraph.h — the complex mixed workload (Cao et al., FAST '20).
+//
+// The paper's hardest evaluation case: a realistic RocksDB production mix of
+// Zipfian point reads, writes, and short range scans. This generator
+// produces one operation descriptor at a time; the driver executes it
+// against MiniKV.
+#pragma once
+
+#include "math/rng.h"
+#include "workloads/generator.h"
+
+#include <cstdint>
+
+namespace kml::workloads {
+
+enum class MixOp { kGet, kPut, kScan };
+
+struct MixAction {
+  MixOp op;
+  std::uint64_t key;
+  std::uint64_t scan_length;  // only for kScan
+};
+
+class MixGraphGenerator {
+ public:
+  MixGraphGenerator(std::uint64_t num_keys, double zipf_theta,
+                    int get_percent, int put_percent,
+                    std::uint64_t mean_scan_length, std::uint64_t seed);
+
+  MixAction next();
+
+ private:
+  math::Rng op_rng_;
+  ZipfKeys keys_;
+  int get_percent_;
+  int put_percent_;
+  std::uint64_t mean_scan_length_;
+};
+
+}  // namespace kml::workloads

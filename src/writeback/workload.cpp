@@ -1,0 +1,139 @@
+#include "writeback/workload.h"
+
+#include "math/rng.h"
+
+namespace kml::writeback {
+
+const char* wb_kind_name(WbKind kind) {
+  switch (kind) {
+    case WbKind::kSeqWriter: return "seqwriter";
+    case WbKind::kRandWriter: return "randwriter";
+    case WbKind::kMixed: return "mixed-rw";
+  }
+  return "unknown";
+}
+
+WbRunResult run_wb_workload(
+    sim::StorageStack& stack, sim::WritebackDaemon& daemon,
+    const WbConfig& config, std::uint64_t duration_ns,
+    const std::function<void(std::uint64_t now_ns, std::uint64_t ops)>&
+        on_tick) {
+  sim::FileHandle& file = stack.files().create(config.file_pages);
+  math::Rng rng(config.seed);
+
+  const std::uint64_t start = stack.clock().now_ns();
+  const std::uint64_t deadline = start + duration_ns;
+  std::uint64_t ops = 0;
+  std::uint64_t seq_cursor = 0;
+  int op_index = 0;
+
+  const std::uint64_t dirty_evictions_before =
+      stack.cache().stats().dirty_evictions;
+
+  while (stack.clock().now_ns() < deadline) {
+    switch (config.kind) {
+      case WbKind::kSeqWriter:
+        stack.cache().write(file, seq_cursor, 1);
+        seq_cursor = (seq_cursor + 1) % config.file_pages;
+        break;
+      case WbKind::kRandWriter:
+        stack.cache().write(file, rng.next_below(config.file_pages), 1);
+        break;
+      case WbKind::kMixed:
+        if (op_index % (config.reads_per_write + 1) == 0) {
+          stack.cache().write(file, rng.next_below(config.file_pages), 1);
+        } else {
+          // Hot reads: the working set the writeback dirt competes with.
+          stack.cache().read(file, rng.next_below(config.hot_pages), 1);
+        }
+        break;
+    }
+    stack.charge_cpu_ns(config.cpu_ns_per_op);
+    daemon.poll();
+    ++ops;
+    ++op_index;
+    if (on_tick) on_tick(stack.clock().now_ns(), ops);
+  }
+
+  WbRunResult result;
+  result.ops = ops;
+  const std::uint64_t elapsed = stack.clock().now_ns() - start;
+  result.ops_per_sec =
+      elapsed == 0 ? 0.0 : static_cast<double>(ops) * 1e9 / elapsed;
+  result.writeback = daemon.stats();
+  result.dirty_evictions =
+      stack.cache().stats().dirty_evictions - dirty_evictions_before;
+  return result;
+}
+
+std::vector<WbSweepPoint> writeback_sweep(
+    const sim::StackConfig& stack_config,
+    const std::vector<WbKind>& kinds,
+    const std::vector<std::uint64_t>& thresholds_pages,
+    std::uint64_t seconds) {
+  std::vector<WbSweepPoint> points;
+  for (WbKind kind : kinds) {
+    for (std::uint64_t threshold : thresholds_pages) {
+      sim::StorageStack stack(stack_config);
+      sim::WritebackDaemon daemon(stack.cache(), threshold);
+      WbConfig config;
+      config.kind = kind;
+      const WbRunResult r = run_wb_workload(stack, daemon, config,
+                                            seconds * sim::kNsPerSec);
+      points.push_back(
+          WbSweepPoint{kind, threshold, r.ops_per_sec, r.dirty_evictions});
+    }
+  }
+  return points;
+}
+
+WbEvalOutcome evaluate_wb_rl(const sim::StackConfig& stack_config,
+                             const WbConfig& config,
+                             std::uint64_t default_threshold_pages,
+                             const readahead::RlConfig& rl_config,
+                             std::uint64_t seconds,
+                             std::uint64_t warmup_seconds) {
+  WbEvalOutcome outcome;
+  {
+    sim::StorageStack stack(stack_config);
+    sim::WritebackDaemon daemon(stack.cache(), default_threshold_pages);
+    const WbRunResult r = run_wb_workload(stack, daemon, config,
+                                          seconds * sim::kNsPerSec);
+    outcome.fixed_ops_per_sec = r.ops_per_sec;
+  }
+  {
+    sim::StorageStack stack(stack_config);
+    sim::WritebackDaemon daemon(stack.cache(), default_threshold_pages);
+    // The generic Q-learning tuner with a writeback actuator: action
+    // values are interpreted as dirty-page thresholds.
+    readahead::QLearningTuner agent(
+        stack, rl_config, [&daemon](std::uint32_t threshold_pages) {
+          daemon.set_threshold_pages(threshold_pages);
+        });
+    run_wb_workload(stack, daemon, config, seconds * sim::kNsPerSec,
+                    [&agent](std::uint64_t now_ns, std::uint64_t ops) {
+                      agent.on_tick(now_ns, ops);
+                    });
+    outcome.timeline = agent.timeline();
+
+    // Exclude the exploration transient, but never everything: with short
+    // runs fall back to the whole timeline.
+    if (warmup_seconds >= outcome.timeline.size()) warmup_seconds = 0;
+    double post_ops = 0.0;
+    std::uint64_t post_windows = 0;
+    for (const readahead::RlTimelinePoint& p : outcome.timeline) {
+      if (p.window < warmup_seconds) continue;
+      post_ops += p.reward;
+      ++post_windows;
+    }
+    outcome.rl_ops_per_sec =
+        post_windows > 0 ? post_ops / static_cast<double>(post_windows)
+                         : 0.0;
+  }
+  outcome.speedup = outcome.fixed_ops_per_sec > 0.0
+                        ? outcome.rl_ops_per_sec / outcome.fixed_ops_per_sec
+                        : 0.0;
+  return outcome;
+}
+
+}  // namespace kml::writeback

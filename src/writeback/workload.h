@@ -1,0 +1,93 @@
+// writeback/workload.h — the page-cache (writeback) case study.
+//
+// §6 future work: "We plan to apply KML to other storage subsystems:
+// e.g., ... the page cache." This module does exactly that on the
+// simulated stack: buffered writers dirty pages, the WritebackDaemon's
+// threshold decides when they are flushed, and the tunable has a
+// workload-dependent optimum —
+//
+//   * a sequential writer wants a HIGH threshold (flushes batch into long
+//     contiguous device commands),
+//   * a writer competing with a hot read working set wants a LOW-to-MID
+//     threshold (dirty pages that reach the LRU tail are written back one
+//     page at a time by reclaim — the expensive path).
+//
+// The study mirrors §4's readahead methodology: sweep the knob per
+// workload (bench_writeback), then close the loop with the label-free
+// Q-learning tuner actuating the threshold instead of the readahead size.
+#pragma once
+
+#include "readahead/rl_tuner.h"
+#include "sim/stack.h"
+#include "sim/writeback.h"
+
+#include <cstdint>
+
+namespace kml::writeback {
+
+enum class WbKind : int {
+  kSeqWriter = 0,    // append-style sequential buffered writes
+  kRandWriter = 1,   // scattered buffered writes
+  kMixed = 2,        // random writes + hot random reads (cache pressure)
+};
+
+const char* wb_kind_name(WbKind kind);
+inline constexpr int kNumWbKinds = 3;
+
+struct WbConfig {
+  WbKind kind = WbKind::kMixed;
+  std::uint64_t file_pages = 1 << 19;  // 2 GiB working file
+  std::uint64_t seed = 11;
+  // Mixed workload: reads per write, and the hot-set size the reads hit.
+  int reads_per_write = 3;
+  std::uint64_t hot_pages = 24'000;  // vs the 32768-page cache
+  std::uint64_t cpu_ns_per_op = 1'000;
+};
+
+struct WbRunResult {
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  sim::WritebackStats writeback;
+  std::uint64_t dirty_evictions = 0;  // the reclaim-writeback penalty paid
+};
+
+// Drive `config.kind` against the stack for `duration_ns` of virtual time,
+// polling the daemon after every op. `on_tick` (optional) receives the
+// virtual time after each op — the hook the RL tuner drives from.
+WbRunResult run_wb_workload(
+    sim::StorageStack& stack, sim::WritebackDaemon& daemon,
+    const WbConfig& config, std::uint64_t duration_ns,
+    const std::function<void(std::uint64_t now_ns, std::uint64_t ops)>&
+        on_tick = {});
+
+// The "studying the problem" sweep: ops/sec per (kind, threshold).
+struct WbSweepPoint {
+  WbKind kind;
+  std::uint64_t threshold_pages;
+  double ops_per_sec;
+  std::uint64_t dirty_evictions;
+};
+
+std::vector<WbSweepPoint> writeback_sweep(
+    const sim::StackConfig& stack_config,
+    const std::vector<WbKind>& kinds,
+    const std::vector<std::uint64_t>& thresholds_pages,
+    std::uint64_t seconds);
+
+// Closed loop: fixed default threshold vs the Q-learning agent actuating
+// the threshold online (reward = ops per window). Post-warmup throughput.
+struct WbEvalOutcome {
+  double fixed_ops_per_sec = 0.0;      // at `default_threshold`
+  double rl_ops_per_sec = 0.0;         // post-warmup
+  double speedup = 0.0;
+  std::vector<readahead::RlTimelinePoint> timeline;
+};
+
+WbEvalOutcome evaluate_wb_rl(const sim::StackConfig& stack_config,
+                             const WbConfig& config,
+                             std::uint64_t default_threshold_pages,
+                             const readahead::RlConfig& rl_config,
+                             std::uint64_t seconds,
+                             std::uint64_t warmup_seconds);
+
+}  // namespace kml::writeback

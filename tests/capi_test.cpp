@@ -1,0 +1,111 @@
+// Tests for src/capi: the C deployment boundary — load/infer/destroy for
+// both model families, NULL/mismatch safety, and agreement with the C++
+// path.
+#include "capi/kml_api.h"
+
+#include "dtree/decision_tree.h"
+#include "nn/network.h"
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace {
+
+using namespace kml;
+
+const char* kModelPath = "/tmp/kml_capi_model.kml";
+const char* kTreePath = "/tmp/kml_capi_tree.kmlt";
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    math::Rng rng(3);
+    net_ = nn::build_mlp_classifier(4, 8, 3, rng);
+    matrix::MatD stats = matrix::random_uniform(50, 4, -10, 10, rng);
+    net_.normalizer().fit(stats);
+    ASSERT_TRUE(nn::save_model(net_, kModelPath));
+
+    data::Dataset d(2);
+    for (int i = 0; i < 60; ++i) {
+      double f[2] = {i < 30 ? -1.0 : 1.0, 0.5};
+      d.add(f, i < 30 ? 0 : 1);
+    }
+    tree_.fit(d);
+    ASSERT_TRUE(tree_.save(kTreePath));
+  }
+  void TearDown() override {
+    std::remove(kModelPath);
+    std::remove(kTreePath);
+  }
+
+  nn::Network net_;
+  dtree::DecisionTree tree_;
+};
+
+TEST_F(CapiTest, ModelLoadInferDestroy) {
+  kml_model* model = kml_model_load(kModelPath);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(kml_model_num_features(model), 4);
+  EXPECT_EQ(kml_model_num_classes(model), 3);
+  EXPECT_GT(kml_model_weight_bytes(model), 0u);
+
+  const double features[4] = {1.0, -2.0, 0.5, 3.0};
+  const int cls = kml_model_infer(model, features, 4);
+  EXPECT_GE(cls, 0);
+  EXPECT_LT(cls, 3);
+
+  // Agreement with the C++ inference path.
+  std::vector<double> z(features, features + 4);
+  net_.normalizer().transform_row(z.data(), 4);
+  matrix::MatD x(1, 4);
+  for (int j = 0; j < 4; ++j) x.at(0, j) = z[static_cast<std::size_t>(j)];
+  EXPECT_EQ(cls, net_.predict_classes(x).at(0, 0));
+
+  kml_model_destroy(model);
+}
+
+TEST_F(CapiTest, ModelErrorPaths) {
+  EXPECT_EQ(kml_model_load(nullptr), nullptr);
+  EXPECT_EQ(kml_model_load("/tmp/kml_capi_missing.kml"), nullptr);
+  EXPECT_EQ(kml_model_infer(nullptr, nullptr, 4), -1);
+  EXPECT_EQ(kml_model_num_features(nullptr), -1);
+  EXPECT_EQ(kml_model_num_classes(nullptr), -1);
+  EXPECT_EQ(kml_model_weight_bytes(nullptr), 0u);
+  kml_model_destroy(nullptr);  // no-op
+
+  kml_model* model = kml_model_load(kModelPath);
+  ASSERT_NE(model, nullptr);
+  const double features[4] = {0, 0, 0, 0};
+  EXPECT_EQ(kml_model_infer(model, features, 3), -1);  // width mismatch
+  EXPECT_EQ(kml_model_infer(model, nullptr, 4), -1);
+  kml_model_destroy(model);
+}
+
+TEST_F(CapiTest, DtreeLoadInferDestroy) {
+  kml_dtree* tree = kml_dtree_load(kTreePath);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(kml_dtree_node_count(tree), tree_.node_count());
+  const double left[2] = {-1.0, 0.5};
+  const double right[2] = {1.0, 0.5};
+  EXPECT_EQ(kml_dtree_infer(tree, left, 2), 0);
+  EXPECT_EQ(kml_dtree_infer(tree, right, 2), 1);
+  kml_dtree_destroy(tree);
+}
+
+TEST_F(CapiTest, DtreeErrorPaths) {
+  EXPECT_EQ(kml_dtree_load(nullptr), nullptr);
+  EXPECT_EQ(kml_dtree_load("/tmp/kml_capi_missing.kmlt"), nullptr);
+  EXPECT_EQ(kml_dtree_infer(nullptr, nullptr, 2), -1);
+  EXPECT_EQ(kml_dtree_node_count(nullptr), -1);
+  kml_dtree_destroy(nullptr);
+
+  kml_dtree* tree = kml_dtree_load(kTreePath);
+  ASSERT_NE(tree, nullptr);
+  const double f[2] = {0, 0};
+  EXPECT_EQ(kml_dtree_infer(tree, f, 5), -1);  // width mismatch
+  kml_dtree_destroy(tree);
+}
+
+}  // namespace

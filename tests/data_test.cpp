@@ -1,0 +1,353 @@
+// Tests for src/data: the lock-free SPSC circular buffer (including a real
+// producer/consumer stress test), Z-score normalizer, dataset/k-fold
+// machinery, and the time windower.
+#include "data/circular_buffer.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/windower.h"
+#include "portability/thread.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+namespace kml::data {
+namespace {
+
+TEST(CircularBuffer, PushPopFifoOrder) {
+  CircularBuffer<int> buf(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(buf.push(i));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(buf.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(buf.pop(out));
+}
+
+TEST(CircularBuffer, CapacityRoundsUpToPow2) {
+  CircularBuffer<int> buf(5);
+  EXPECT_EQ(buf.capacity(), 8u);
+  CircularBuffer<int> one(0);
+  EXPECT_EQ(one.capacity(), 1u);
+}
+
+TEST(CircularBuffer, FullBufferDropsAndCounts) {
+  CircularBuffer<int> buf(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(buf.push(i));
+  EXPECT_FALSE(buf.push(99));
+  EXPECT_FALSE(buf.push(100));
+  EXPECT_EQ(buf.dropped(), 2u);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(CircularBuffer, WrapAroundManyTimes) {
+  CircularBuffer<std::uint64_t> buf(4);
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(buf.push(i));
+    if (i % 3 == 2) {
+      // Drain in bursts so head/tail wrap repeatedly.
+      std::uint64_t out;
+      while (buf.pop(out)) {
+        EXPECT_EQ(out, expected++);
+      }
+    }
+  }
+}
+
+TEST(CircularBuffer, PopMany) {
+  CircularBuffer<int> buf(16);
+  for (int i = 0; i < 10; ++i) buf.push(i);
+  int out[6];
+  EXPECT_EQ(buf.pop_many(out, 6), 6u);
+  EXPECT_EQ(out[5], 5);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+// Cross-thread SPSC stress: the producer pushes a monotone sequence through
+// a small buffer while the consumer drains; every received value must be in
+// order with no duplicates (drops are allowed and counted).
+struct SpscCtx {
+  CircularBuffer<std::uint64_t>* buf;
+  std::uint64_t to_send;
+};
+
+TEST(CircularBuffer, CrossThreadOrderingHolds) {
+  CircularBuffer<std::uint64_t> buf(64);
+  SpscCtx ctx{&buf, 200000};
+  auto producer = +[](void* arg) {
+    auto* c = static_cast<SpscCtx*>(arg);
+    for (std::uint64_t i = 0; i < c->to_send; ++i) {
+      c->buf->push(i);  // drops allowed under pressure
+    }
+  };
+  KmlThread* t = kml_thread_create(producer, &ctx, "producer");
+  ASSERT_NE(t, nullptr);
+
+  std::uint64_t last = 0;
+  std::uint64_t received = 0;
+  bool have_last = false;
+  std::uint64_t out;
+  // Consume until the producer finishes and the buffer drains.
+  for (;;) {
+    if (buf.pop(out)) {
+      if (have_last) {
+        EXPECT_GT(out, last);  // strictly increasing => no dup, no reorder
+      }
+      last = out;
+      have_last = true;
+      ++received;
+      continue;
+    }
+    if (received + buf.dropped() >= ctx.to_send) break;
+    kml_thread_yield();
+  }
+  kml_thread_join(t);
+  EXPECT_EQ(received + buf.dropped(), ctx.to_send);
+  EXPECT_GT(received, 0u);
+}
+
+TEST(Normalizer, FitTransformZeroMeanUnitVar) {
+  matrix::MatD x(100, 2);
+  math::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    x.at(i, 0) = rng.normal(50.0, 10.0);
+    x.at(i, 1) = rng.normal(-3.0, 0.5);
+  }
+  ZScoreNormalizer norm;
+  norm.fit(x);
+  const matrix::MatD z = norm.transform(x);
+  math::RunningStats s0;
+  math::RunningStats s1;
+  for (int i = 0; i < 100; ++i) {
+    s0.add(z.at(i, 0));
+    s1.add(z.at(i, 1));
+  }
+  EXPECT_NEAR(s0.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(s0.stddev(), 1.0, 1e-9);
+  EXPECT_NEAR(s1.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(s1.stddev(), 1.0, 1e-9);
+}
+
+TEST(Normalizer, ConstantFeatureMapsToZero) {
+  matrix::MatD x = matrix::MatD::filled(10, 1, 42.0);
+  ZScoreNormalizer norm;
+  norm.fit(x);
+  const matrix::MatD z = norm.transform(x);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.at(i, 0), 0.0);
+}
+
+TEST(Normalizer, ImportedMomentsFreeze) {
+  ZScoreNormalizer norm;
+  norm.import_moments({10.0}, {2.0});
+  double f = 14.0;
+  norm.transform_row(&f, 1);
+  EXPECT_DOUBLE_EQ(f, 2.0);
+}
+
+TEST(Normalizer, OnlineObserveMatchesBatchFit) {
+  math::Rng rng(5);
+  matrix::MatD x(200, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = rng.uniform(-5.0, 5.0);
+  }
+  ZScoreNormalizer batch;
+  batch.fit(x);
+  ZScoreNormalizer online(3);
+  for (int i = 0; i < 200; ++i) online.observe(x.row(i), 3);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(batch.mean(j), online.mean(j), 1e-9);
+    EXPECT_NEAR(batch.stddev(j), online.stddev(j), 1e-9);
+  }
+}
+
+TEST(MinMax, ScalesToUnitInterval) {
+  matrix::MatD x(3, 2);
+  x.at(0, 0) = 10.0;
+  x.at(1, 0) = 20.0;
+  x.at(2, 0) = 30.0;
+  x.at(0, 1) = -1.0;
+  x.at(1, 1) = 0.0;
+  x.at(2, 1) = 1.0;
+  MinMaxNormalizer norm;
+  norm.fit(x);
+  const matrix::MatD z = norm.transform(x);
+  EXPECT_DOUBLE_EQ(z.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(z.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(z.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(z.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(z.at(2, 1), 1.0);
+  EXPECT_EQ(norm.min(0), 10.0);
+  EXPECT_EQ(norm.max(0), 30.0);
+}
+
+TEST(MinMax, ClampsOutOfRangeAndHandlesConstants) {
+  matrix::MatD x(2, 2);
+  x.at(0, 0) = 0.0;
+  x.at(1, 0) = 10.0;
+  x.at(0, 1) = 7.0;  // constant feature
+  x.at(1, 1) = 7.0;
+  MinMaxNormalizer norm;
+  norm.fit(x);
+  double row[2] = {-5.0, 7.0};
+  norm.transform_row(row, 2);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);  // clamped below
+  EXPECT_DOUBLE_EQ(row[1], 0.0);  // constant -> 0
+  double high[2] = {100.0, 7.0};
+  norm.transform_row(high, 2);
+  EXPECT_DOUBLE_EQ(high[0], 1.0);  // clamped above
+}
+
+TEST(MinMax, OnlineObserveMatchesBatchFit) {
+  math::Rng rng(31);
+  matrix::MatD x(100, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = rng.uniform(-50.0, 50.0);
+  }
+  MinMaxNormalizer batch;
+  batch.fit(x);
+  MinMaxNormalizer online(3);
+  for (int i = 0; i < 100; ++i) online.observe(x.row(i), 3);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(batch.min(j), online.min(j));
+    EXPECT_DOUBLE_EQ(batch.max(j), online.max(j));
+  }
+}
+
+TEST(Dataset, AddAndMaterialize) {
+  Dataset d(2);
+  const double a[2] = {1.0, 2.0};
+  const double b[2] = {3.0, 4.0};
+  d.add(a, 0);
+  d.add(b, 1);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.num_classes(), 2);
+  const matrix::MatD x = d.to_matrix();
+  EXPECT_EQ(x.at(1, 1), 4.0);
+  const matrix::MatD y = d.to_one_hot(2);
+  EXPECT_EQ(y.at(0, 0), 1.0);
+  EXPECT_EQ(y.at(1, 1), 1.0);
+  EXPECT_EQ(y.at(1, 0), 0.0);
+}
+
+TEST(Dataset, ShufflePreservesPairs) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    const double f = i * 10.0;
+    d.add(&f, i % 5);
+  }
+  math::Rng rng(9);
+  d.shuffle(rng);
+  for (int i = 0; i < 50; ++i) {
+    // The label always equals (feature/10) mod 5 if pairs moved together.
+    EXPECT_EQ(d.label(i), static_cast<int>(d.features(i)[0] / 10.0) % 5);
+  }
+}
+
+TEST(Dataset, KFoldCoversEveryRowExactlyOnce) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    const double f = i;
+    d.add(&f, 0);
+  }
+  math::Rng rng(13);
+  const std::vector<Fold> folds = k_fold_split(d, 10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+  std::vector<int> seen(100, 0);
+  for (const Fold& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 100);
+    for (int i = 0; i < fold.test.size(); ++i) {
+      ++seen[static_cast<std::size_t>(fold.test.features(i)[0])];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Dataset, TrainTestSplitFractions) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    const double f = i;
+    d.add(&f, 0);
+  }
+  math::Rng rng(17);
+  const Fold fold = train_test_split(d, 0.25, rng);
+  EXPECT_EQ(fold.test.size(), 25);
+  EXPECT_EQ(fold.train.size(), 75);
+}
+
+TEST(DatasetCsv, RoundTripPreservesSamples) {
+  const char* path = "/tmp/kml_dataset_roundtrip.csv";
+  Dataset d(3);
+  math::Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    double f[3] = {rng.uniform(-100, 100), rng.normal(), 1e-9 * i};
+    d.add(f, i % 4);
+  }
+  ASSERT_TRUE(save_dataset_csv(d, path));
+
+  Dataset loaded;
+  ASSERT_TRUE(load_dataset_csv(loaded, path));
+  ASSERT_EQ(loaded.size(), d.size());
+  ASSERT_EQ(loaded.num_features(), 3);
+  for (int i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(loaded.label(i), d.label(i));
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(loaded.features(i)[j], d.features(i)[j]);
+    }
+  }
+  std::remove(path);
+}
+
+TEST(DatasetCsv, LoadMissingFileFails) {
+  Dataset d;
+  EXPECT_FALSE(load_dataset_csv(d, "/tmp/kml_no_such_dataset.csv"));
+}
+
+TEST(DatasetCsv, LoadRejectsGarbageAndRaggedRows) {
+  const char* path = "/tmp/kml_dataset_bad.csv";
+  {
+    FILE* f = fopen(path, "w");
+    fputs("not,numbers,at,all\n", f);
+    fclose(f);
+  }
+  Dataset d;
+  EXPECT_FALSE(load_dataset_csv(d, path));
+  {
+    FILE* f = fopen(path, "w");
+    fputs("1.0,2.0,0\n1.0,1\n", f);  // ragged second row
+    fclose(f);
+  }
+  EXPECT_FALSE(load_dataset_csv(d, path));
+  std::remove(path);
+}
+
+TEST(Windower, EmitsWindowPerPeriodIncludingEmpty) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> emitted;
+  Windower w(1000, [&](std::uint64_t idx, const std::vector<TraceRecord>& r) {
+    emitted.emplace_back(idx, r.size());
+  });
+  w.push(TraceRecord{1, 10, 100, 0});
+  w.push(TraceRecord{1, 11, 900, 0});
+  w.push(TraceRecord{1, 12, 3500, 0});  // skips windows 0..2 boundary
+  ASSERT_EQ(emitted.size(), 3u);
+  EXPECT_EQ(emitted[0], (std::pair<std::uint64_t, std::size_t>{0, 2}));
+  EXPECT_EQ(emitted[1], (std::pair<std::uint64_t, std::size_t>{1, 0}));
+  EXPECT_EQ(emitted[2], (std::pair<std::uint64_t, std::size_t>{2, 0}));
+  w.flush();
+  ASSERT_EQ(emitted.size(), 4u);
+  EXPECT_EQ(emitted[3].second, 1u);
+}
+
+TEST(Windower, AdvanceClosesWindowsWithoutRecords) {
+  int windows = 0;
+  Windower w(100, [&](std::uint64_t, const std::vector<TraceRecord>&) {
+    ++windows;
+  });
+  w.advance_to(550);
+  EXPECT_EQ(windows, 5);
+}
+
+}  // namespace
+}  // namespace kml::data

@@ -1,0 +1,187 @@
+// Tests for src/dtree: CART fitting, prediction, stopping rules,
+// serialization, and robustness to corrupt files.
+#include "dtree/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace kml::dtree {
+namespace {
+
+data::Dataset axis_separable(int per_class, math::Rng& rng) {
+  // Two 2-D blobs split cleanly at x0 = 0.
+  data::Dataset d(2);
+  for (int i = 0; i < per_class; ++i) {
+    double a[2] = {rng.uniform(-2.0, -0.5), rng.uniform(-1.0, 1.0)};
+    d.add(a, 0);
+    double b[2] = {rng.uniform(0.5, 2.0), rng.uniform(-1.0, 1.0)};
+    d.add(b, 1);
+  }
+  return d;
+}
+
+TEST(DecisionTree, FitsSeparableData) {
+  math::Rng rng(3);
+  const data::Dataset d = axis_separable(50, rng);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.accuracy(d), 1.0);
+  EXPECT_LE(tree.depth(), 2);  // one split suffices
+}
+
+TEST(DecisionTree, PredictSingleVector) {
+  math::Rng rng(5);
+  DecisionTree tree;
+  tree.fit(axis_separable(50, rng));
+  const double left[2] = {-1.0, 0.0};
+  const double right[2] = {1.0, 0.0};
+  EXPECT_EQ(tree.predict(left, 2), 0);
+  EXPECT_EQ(tree.predict(right, 2), 1);
+}
+
+TEST(DecisionTree, XorNeedsDepthTwo) {
+  data::Dataset d(2);
+  math::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    const double f[2] = {x, y};
+    d.add(f, (x > 0) != (y > 0) ? 1 : 0);
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_GE(tree.depth(), 2);
+  EXPECT_GT(tree.accuracy(d), 0.95);
+}
+
+TEST(DecisionTree, MaxDepthIsRespected) {
+  math::Rng rng(9);
+  data::Dataset d(1);
+  for (int i = 0; i < 256; ++i) {
+    const double f = i;
+    d.add(&f, i % 4);  // needs many splits for purity
+  }
+  TreeConfig config;
+  config.max_depth = 3;
+  DecisionTree tree(config);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTree, MinSamplesStopsSplitting) {
+  TreeConfig config;
+  config.min_samples_split = 1000;  // never split
+  DecisionTree tree(config);
+  math::Rng rng(11);
+  tree.fit(axis_separable(50, rng));
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeaf) {
+  data::Dataset d(1);
+  for (int i = 0; i < 20; ++i) {
+    const double f = i;
+    d.add(&f, 1);  // single class
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_EQ(tree.predict(d.features(0), 1), 1);
+}
+
+TEST(DecisionTree, ConstantFeaturesFallBackToMajority) {
+  data::Dataset d(1);
+  const double f = 5.0;
+  for (int i = 0; i < 10; ++i) d.add(&f, 0);
+  for (int i = 0; i < 4; ++i) d.add(&f, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  // No threshold can separate identical values; majority class wins.
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_EQ(tree.predict(&f, 1), 0);
+}
+
+TEST(DecisionTree, MatrixPredictMatchesRowPredict) {
+  math::Rng rng(13);
+  const data::Dataset d = axis_separable(30, rng);
+  DecisionTree tree;
+  tree.fit(d);
+  const matrix::MatD x = d.to_matrix();
+  const matrix::MatI pred = tree.predict(x);
+  for (int i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(pred.at(i, 0), tree.predict(d.features(i), 2));
+  }
+}
+
+TEST(DecisionTree, FeatureImportanceIdentifiesTheSplitFeature) {
+  math::Rng rng(19);
+  // Two features; only feature 0 separates the classes.
+  data::Dataset d(2);
+  for (int i = 0; i < 100; ++i) {
+    double f[2] = {i < 50 ? -1.0 + 0.001 * i : 1.0 + 0.001 * i,
+                   rng.uniform(-1.0, 1.0)};
+    d.add(f, i < 50 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  const std::vector<double> importance = tree.feature_importance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[0], 0.9);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, FeatureImportanceOfStumpIsZero) {
+  data::Dataset d(1);
+  const double f = 1.0;
+  for (int i = 0; i < 10; ++i) d.add(&f, 0);
+  DecisionTree tree;
+  tree.fit(d);
+  for (double v : tree.feature_importance()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DecisionTree, TextDumpNamesFeaturesAndLeaves) {
+  math::Rng rng(23);
+  DecisionTree tree;
+  tree.fit(axis_separable(30, rng));
+  const char* names[2] = {"alpha", "beta"};
+  const std::string text = tree.to_text(names);
+  EXPECT_NE(text.find("if alpha <= "), std::string::npos);
+  EXPECT_NE(text.find("leaf: class 0"), std::string::npos);
+  EXPECT_NE(text.find("leaf: class 1"), std::string::npos);
+  // Index form works too.
+  EXPECT_NE(tree.to_text().find("if f[0] <= "), std::string::npos);
+}
+
+TEST(DecisionTree, SaveLoadRoundTrip) {
+  const char* path = "/tmp/kml_tree_roundtrip.kmlt";
+  math::Rng rng(17);
+  const data::Dataset d = axis_separable(50, rng);
+  DecisionTree tree;
+  tree.fit(d);
+  ASSERT_TRUE(tree.save(path));
+
+  DecisionTree loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  for (int i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(loaded.predict(d.features(i), 2),
+              tree.predict(d.features(i), 2));
+  }
+  std::remove(path);
+}
+
+TEST(DecisionTree, LoadRejectsGarbage) {
+  const char* path = "/tmp/kml_tree_garbage.kmlt";
+  FILE* f = fopen(path, "wb");
+  fwrite("garbage", 1, 7, f);
+  fclose(f);
+  DecisionTree tree;
+  EXPECT_FALSE(tree.load(path));
+  std::remove(path);
+  EXPECT_FALSE(tree.load("/tmp/kml_tree_nonexistent.kmlt"));
+}
+
+}  // namespace
+}  // namespace kml::dtree

@@ -1,0 +1,122 @@
+// End-to-end integration: the paper's complete deployment story in one
+// test — collect traces in "user space", train, save the KML model file,
+// load it back through the C API (the kernel-module boundary), attach the
+// tuner, and beat vanilla readahead on a workload/device combination that
+// was never in the training set.
+#include "capi/kml_api.h"
+#include "nn/quantized.h"
+#include "nn/serialize.h"
+#include "readahead/model.h"
+#include "readahead/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace kml {
+namespace {
+
+readahead::ExperimentConfig small_experiment(sim::DeviceConfig device) {
+  readahead::ExperimentConfig config;
+  config.device = device;
+  config.num_keys = 150000;
+  config.cache_pages = 2048;
+  return config;
+}
+
+TEST(Integration, FullPaperPipelineEndToEnd) {
+  const char* model_path = "/tmp/kml_integration_model.kml";
+
+  // 1. User-space development: collect labeled traces on NVMe.
+  readahead::TraceGenConfig trace_config;
+  trace_config.base = small_experiment(sim::nvme_config());
+  trace_config.ra_values_kb = {8, 64, 512};
+  trace_config.seconds_per_run = 5;
+  const data::Dataset dataset =
+      readahead::collect_training_data(trace_config);
+  ASSERT_GT(dataset.size(), 30);
+
+  // 2. Train and validate.
+  readahead::ModelConfig model_config;
+  model_config.epochs = 200;
+  nn::Network net = readahead::train_readahead_nn(dataset, model_config);
+  ASSERT_GT(readahead::evaluate_nn(net, dataset), 0.85);
+
+  // 3. Save the KML model file (the deployment artifact).
+  ASSERT_TRUE(nn::save_model(net, model_path));
+
+  // 4. "Kernel module" loads it through the C API.
+  kml_model* deployed = kml_model_load(model_path);
+  ASSERT_NE(deployed, nullptr);
+  ASSERT_EQ(kml_model_num_features(deployed),
+            readahead::kNumSelectedFeatures);
+  ASSERT_EQ(kml_model_num_classes(deployed),
+            workloads::kNumTrainingClasses);
+  ASSERT_LT(kml_model_weight_bytes(deployed), 8192u);
+
+  const readahead::ReadaheadTuner::PredictFn predictor =
+      [deployed](const readahead::FeatureVector& f) {
+        return kml_model_infer(deployed, f.data(),
+                               readahead::kNumSelectedFeatures);
+      };
+
+  // 5. Closed loop on SATA SSD — a device the model never trained on —
+  //    running readrandom against vanilla.
+  readahead::TunerConfig tuner_config;
+  tuner_config.class_ra_kb = {1024, 8, 512, 8};
+  const readahead::EvalOutcome outcome = readahead::evaluate_closed_loop(
+      small_experiment(sim::sata_ssd_config()),
+      workloads::WorkloadType::kReadRandom, predictor, tuner_config,
+      /*seconds=*/6);
+
+  EXPECT_GT(outcome.vanilla_ops_per_sec, 0.0);
+  EXPECT_GT(outcome.speedup, 1.3) << "deployed model failed to transfer";
+  EXPECT_EQ(outcome.dropped_records, 0u);
+
+  kml_model_destroy(deployed);
+  std::remove(model_path);
+}
+
+TEST(Integration, QuantizedDeploymentAgreesWithDouble) {
+  // The FPU-free variant of the same flow: quantize the trained model,
+  // round-trip it through the KMLQ file, and check the closed loop still
+  // wins with fixed-point inference.
+  readahead::TraceGenConfig trace_config;
+  trace_config.base = small_experiment(sim::nvme_config());
+  trace_config.ra_values_kb = {8, 128};
+  trace_config.seconds_per_run = 4;
+  const data::Dataset dataset =
+      readahead::collect_training_data(trace_config);
+  readahead::ModelConfig model_config;
+  model_config.epochs = 150;
+  nn::Network net = readahead::train_readahead_nn(dataset, model_config);
+
+  const char* qpath = "/tmp/kml_integration_model.kmlq";
+  nn::QuantizedNetwork q;
+  ASSERT_TRUE(nn::QuantizedNetwork::quantize(net, q));
+  ASSERT_TRUE(q.save(qpath));
+  nn::QuantizedNetwork deployed;
+  ASSERT_TRUE(deployed.load(qpath));
+
+  // Agreement with the double path on the training windows.
+  int agree = 0;
+  for (int i = 0; i < dataset.size(); ++i) {
+    std::vector<double> z(dataset.features(i),
+                          dataset.features(i) + dataset.num_features());
+    net.normalizer().transform_row(z.data(), dataset.num_features());
+    matrix::MatD x(1, dataset.num_features());
+    for (int j = 0; j < dataset.num_features(); ++j) {
+      x.at(0, j) = z[static_cast<std::size_t>(j)];
+    }
+    const int d_pred = net.predict_classes(x).at(0, 0);
+    if (deployed.infer_class(dataset.features(i),
+                             dataset.num_features()) == d_pred) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / dataset.size(), 0.85);
+  std::remove(qpath);
+}
+
+}  // namespace
+}  // namespace kml

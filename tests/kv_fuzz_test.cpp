@@ -1,0 +1,139 @@
+// Randomized differential tests: MiniKV against a trivial reference model
+// (std::set of present keys). Random interleavings of puts, gets, scans,
+// and reverse scans — across flushes and compactions — must always agree
+// with the reference.
+#include "kv/iterator.h"
+
+#include "math/rng.h"
+#include "kv/minikv.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace kml::kv {
+namespace {
+
+sim::StackConfig fuzz_stack() {
+  sim::StackConfig config;
+  config.cache_pages = 2048;
+  return config;
+}
+
+KVConfig fuzz_kv(std::uint64_t base_keys) {
+  KVConfig config;
+  config.num_keys = base_keys;
+  config.geom.entry_bytes = 128;
+  config.geom.block_pages = 4;
+  config.memtable_limit_bytes = 16 << 10;  // flush every 128 puts
+  config.max_overlay_runs = 2;             // compact aggressively
+  return config;
+}
+
+class KvFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvFuzz, GetsAgreeWithReferenceAcrossFlushesAndCompactions) {
+  sim::StorageStack stack(fuzz_stack());
+  const std::uint64_t base = 2000;
+  MiniKV db(stack, fuzz_kv(base));
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t k = 0; k < base; ++k) reference.insert(k);
+
+  kml::math::Rng rng(GetParam());
+  const std::uint64_t key_space = 3 * base;  // includes absent keys
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t key = rng.next_below(key_space);
+    if (rng.next_below(3) == 0) {
+      db.put(key);
+      reference.insert(key);
+    } else {
+      EXPECT_EQ(db.get(key), reference.count(key) > 0) << "key " << key;
+    }
+  }
+  EXPECT_GT(db.stats().flushes, 2u);      // the mix crossed flush boundaries
+  EXPECT_GT(db.stats().compactions, 0u);  // ... and compactions
+}
+
+TEST_P(KvFuzz, ForwardScanMatchesSortedReference) {
+  sim::StorageStack stack(fuzz_stack());
+  const std::uint64_t base = 1000;
+  MiniKV db(stack, fuzz_kv(base));
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t k = 0; k < base; ++k) reference.insert(k);
+
+  kml::math::Rng rng(GetParam() ^ 0xf00d);
+  for (int op = 0; op < 700; ++op) {
+    const std::uint64_t key = rng.next_below(4 * base);
+    db.put(key);
+    reference.insert(key);
+  }
+
+  auto it = db.new_iterator();
+  auto ref_it = reference.begin();
+  std::uint64_t count = 0;
+  for (it->seek_to_first(); it->valid(); it->next(), ++ref_it, ++count) {
+    ASSERT_NE(ref_it, reference.end());
+    EXPECT_EQ(it->key(), *ref_it);
+  }
+  EXPECT_EQ(count, reference.size());
+}
+
+TEST_P(KvFuzz, ReverseScanMatchesReverseReference) {
+  sim::StorageStack stack(fuzz_stack());
+  const std::uint64_t base = 800;
+  MiniKV db(stack, fuzz_kv(base));
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t k = 0; k < base; ++k) reference.insert(k);
+
+  kml::math::Rng rng(GetParam() ^ 0xbeef);
+  for (int op = 0; op < 500; ++op) {
+    const std::uint64_t key = rng.next_below(3 * base);
+    db.put(key);
+    reference.insert(key);
+  }
+
+  auto it = db.new_iterator();
+  auto ref_it = reference.rbegin();
+  std::uint64_t count = 0;
+  for (it->seek_to_last(); it->valid(); it->prev(), ++ref_it, ++count) {
+    ASSERT_NE(ref_it, reference.rend());
+    EXPECT_EQ(it->key(), *ref_it);
+  }
+  EXPECT_EQ(count, reference.size());
+}
+
+TEST_P(KvFuzz, SeeksMatchReferenceLowerBound) {
+  sim::StorageStack stack(fuzz_stack());
+  const std::uint64_t base = 1000;
+  MiniKV db(stack, fuzz_kv(base));
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t k = 0; k < base; ++k) reference.insert(k);
+
+  kml::math::Rng rng(GetParam() ^ 0x5eec);
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t key = rng.next_below(4 * base);
+    db.put(key);
+    reference.insert(key);
+  }
+
+  auto it = db.new_iterator();
+  for (int probe = 0; probe < 300; ++probe) {
+    const std::uint64_t target = rng.next_below(5 * base);
+    it->seek(target);
+    const auto ref = reference.lower_bound(target);
+    if (ref == reference.end()) {
+      EXPECT_FALSE(it->valid()) << "target " << target;
+    } else {
+      ASSERT_TRUE(it->valid()) << "target " << target;
+      EXPECT_EQ(it->key(), *ref);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvFuzz,
+                         ::testing::Values(1ull, 42ull, 20260706ull));
+
+}  // namespace
+}  // namespace kml::kv

@@ -1,0 +1,298 @@
+// Tests for src/math: the from-scratch approximations, fixed-point type,
+// RNG/Zipf, and running statistics. Accuracy bounds are pinned against
+// <cmath> references.
+#include "math/approx.h"
+#include "math/fixed.h"
+#include "math/rng.h"
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace kml::math {
+namespace {
+
+// --- approx ------------------------------------------------------------------
+
+TEST(Approx, ExpMatchesLibmOverWideRange) {
+  for (double x = -30.0; x <= 30.0; x += 0.137) {
+    const double ref = std::exp(x);
+    EXPECT_NEAR(kml_exp(x), ref, std::abs(ref) * 1e-10 + 1e-300) << x;
+  }
+}
+
+TEST(Approx, ExpEdgeCases) {
+  EXPECT_EQ(kml_exp(0.0), 1.0);
+  EXPECT_EQ(kml_exp(-1000.0), 0.0);
+  EXPECT_TRUE(kml_isinf(kml_exp(1000.0)));
+  EXPECT_TRUE(kml_isnan(kml_exp(kml_nan())));
+}
+
+TEST(Approx, ExpSubnormalRange) {
+  // Around the subnormal boundary the result must stay monotone and finite.
+  const double a = kml_exp(-709.0);
+  const double b = kml_exp(-720.0);
+  EXPECT_GT(a, b);
+  EXPECT_GT(b, 0.0);
+}
+
+TEST(Approx, LogMatchesLibm) {
+  for (double x : {1e-10, 1e-3, 0.5, 1.0, 1.5, 2.0, 10.0, 12345.678, 1e18}) {
+    EXPECT_NEAR(kml_log(x), std::log(x), std::abs(std::log(x)) * 1e-12 + 1e-12)
+        << x;
+  }
+}
+
+TEST(Approx, LogEdgeCases) {
+  EXPECT_TRUE(kml_isnan(kml_log(-1.0)));
+  EXPECT_TRUE(kml_isinf(kml_log(0.0)));
+  EXPECT_LT(kml_log(0.0), 0.0);
+  EXPECT_TRUE(kml_isinf(kml_log(kml_inf())));
+}
+
+TEST(Approx, LogExpRoundTrip) {
+  for (double x = -20.0; x <= 20.0; x += 0.618) {
+    EXPECT_NEAR(kml_log(kml_exp(x)), x, 1e-10) << x;
+  }
+}
+
+TEST(Approx, SigmoidProperties) {
+  EXPECT_DOUBLE_EQ(kml_sigmoid(0.0), 0.5);
+  EXPECT_NEAR(kml_sigmoid(10.0) + kml_sigmoid(-10.0), 1.0, 1e-12);
+  EXPECT_NEAR(kml_sigmoid(-800.0), 0.0, 1e-12);  // stable in the far tail
+  EXPECT_NEAR(kml_sigmoid(800.0), 1.0, 1e-12);
+  for (double x = -8.0; x <= 8.0; x += 0.31) {
+    EXPECT_NEAR(kml_sigmoid(x), 1.0 / (1.0 + std::exp(-x)), 1e-12) << x;
+  }
+}
+
+TEST(Approx, TanhMatchesLibm) {
+  for (double x = -5.0; x <= 5.0; x += 0.173) {
+    EXPECT_NEAR(kml_tanh(x), std::tanh(x), 1e-10) << x;
+  }
+}
+
+TEST(Approx, SqrtMatchesLibm) {
+  for (double x : {0.0, 1e-12, 0.25, 1.0, 2.0, 1e6, 1e18}) {
+    EXPECT_NEAR(kml_sqrt(x), std::sqrt(x), std::sqrt(x) * 1e-12) << x;
+  }
+  EXPECT_TRUE(kml_isnan(kml_sqrt(-1.0)));
+}
+
+TEST(Approx, PowIntegerFastPathIsExact) {
+  EXPECT_DOUBLE_EQ(kml_pow(2.0, 10.0), 1024.0);
+  EXPECT_DOUBLE_EQ(kml_pow(3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kml_pow(2.0, -3.0), 0.125);
+  EXPECT_DOUBLE_EQ(kml_pow(-2.0, 2.0), 4.0);  // negative base, integer exp
+}
+
+TEST(Approx, PowGeneralMatchesLibm) {
+  for (double x : {0.5, 1.7, 3.14159, 100.0}) {
+    for (double y : {-2.5, -0.3, 0.5, 1.9}) {
+      EXPECT_NEAR(kml_pow(x, y), std::pow(x, y),
+                  std::abs(std::pow(x, y)) * 1e-10)
+          << x << "^" << y;
+    }
+  }
+}
+
+TEST(Approx, SoftmaxSumsToOneAndIsStable) {
+  const double in[4] = {1000.0, 1001.0, 999.0, 1000.5};  // would overflow naive
+  double out[4];
+  kml_softmax(in, out, 4);
+  double sum = 0.0;
+  for (double v : out) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(out[1], out[3]);
+  EXPECT_GT(out[3], out[0]);
+}
+
+TEST(Approx, LogSumExpStable) {
+  const double in[3] = {1000.0, 1000.0, 1000.0};
+  EXPECT_NEAR(kml_log_sum_exp(in, 3), 1000.0 + std::log(3.0), 1e-9);
+}
+
+// --- fixed point --------------------------------------------------------------
+
+TEST(Fixed, RoundTripConversion) {
+  for (double v : {-100.25, -1.5, 0.0, 0.5, 3.75, 1000.125}) {
+    EXPECT_NEAR(Fixed::from_double(v).to_double(), v, 1.0 / (1 << 16)) << v;
+  }
+}
+
+TEST(Fixed, Arithmetic) {
+  const Fixed a = Fixed::from_double(2.5);
+  const Fixed b = Fixed::from_double(1.25);
+  EXPECT_NEAR((a + b).to_double(), 3.75, 1e-4);
+  EXPECT_NEAR((a - b).to_double(), 1.25, 1e-4);
+  EXPECT_NEAR((a * b).to_double(), 3.125, 1e-3);
+  EXPECT_NEAR((a / b).to_double(), 2.0, 1e-3);
+  EXPECT_NEAR((-a).to_double(), -2.5, 1e-4);
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping) {
+  const Fixed big = Fixed::from_double(30000.0);
+  EXPECT_EQ(big * big, Fixed::max());
+  EXPECT_EQ(-big * big, Fixed::min());
+  EXPECT_EQ(big + big, Fixed::max());
+  const Fixed neg = Fixed::from_double(-30000.0);
+  EXPECT_EQ(neg + neg, Fixed::min());
+}
+
+TEST(Fixed, DivideByZeroSaturates) {
+  EXPECT_EQ(Fixed::from_int(5) / Fixed::zero(), Fixed::max());
+  EXPECT_EQ(Fixed::from_int(-5) / Fixed::zero(), Fixed::min());
+}
+
+TEST(Fixed, SigmoidApproximationBounds) {
+  // Piecewise-linear sigmoid: max abs error vs the real one is ~0.07 inside
+  // (-4, 4) and exact at the rails.
+  EXPECT_EQ(fixed_sigmoid(Fixed::from_double(10.0)), Fixed::one());
+  EXPECT_EQ(fixed_sigmoid(Fixed::from_double(-10.0)), Fixed::zero());
+  for (double x = -6.0; x <= 6.0; x += 0.25) {
+    const double approx = fixed_sigmoid(Fixed::from_double(x)).to_double();
+    const double ref = 1.0 / (1.0 + std::exp(-x));
+    EXPECT_NEAR(approx, ref, 0.125) << x;
+  }
+  EXPECT_NEAR(fixed_sigmoid(Fixed::zero()).to_double(), 0.5, 1e-4);
+}
+
+// --- rng ------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform(2.0, 4.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.02);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Zipf, RanksAreBoundedAndSkewed) {
+  Rng rng(17);
+  Zipf zipf(1000, 0.9, rng);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t r = zipf.next();
+    ASSERT_LT(r, 1000u);
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  // Rank 0 must dominate rank 100 heavily under theta = 0.9.
+  EXPECT_GT(counts[0], counts[100] * 10);
+  // And the head must not be everything: the tail gets some mass.
+  int tail = 0;
+  for (int i = 500; i < 1000; ++i) tail += counts[static_cast<std::size_t>(i)];
+  EXPECT_GT(tail, 100);
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Population variance of 1..100 = (n^2-1)/12 = 833.25.
+  EXPECT_NEAR(s.variance(), 833.25, 1e-9);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.add(42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  // Welford must survive mean ~1e12 with tiny variance.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e12 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(MovingAverageTest, SlidesOverWindow) {
+  MovingAverage ma(3);
+  EXPECT_EQ(ma.value(), 0.0);
+  ma.add(3.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 3.0);
+  ma.add(6.0);
+  ma.add(9.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 6.0);
+  ma.add(12.0);  // 3.0 falls out
+  EXPECT_DOUBLE_EQ(ma.value(), 9.0);
+  ma.reset();
+  EXPECT_EQ(ma.count(), 0u);
+}
+
+TEST(ZScoreTest, StandardizesAndGuardsZeroStd) {
+  EXPECT_DOUBLE_EQ(z_score(15.0, 10.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(z_score(5.0, 10.0, 5.0), -1.0);
+  EXPECT_DOUBLE_EQ(z_score(123.0, 10.0, 0.0), 0.0);  // constant feature
+}
+
+TEST(PearsonTest, PerfectAndInverseCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x.data(), y.data(), 5), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x.data(), z.data(), 5), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  std::vector<double> x{1, 1, 1, 1};
+  std::vector<double> y{1, 2, 3, 4};
+  EXPECT_EQ(pearson(x.data(), y.data(), 4), 0.0);
+  EXPECT_EQ(pearson(x.data(), y.data(), 1), 0.0);
+}
+
+}  // namespace
+}  // namespace kml::math

@@ -1,0 +1,238 @@
+// Tests for src/matrix: construction, dtype genericity, linalg kernels,
+// and the FPU-guard accounting contract.
+#include "matrix/linalg.h"
+#include "matrix/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace kml::matrix {
+namespace {
+
+TEST(Mat, ConstructionZeroInitializes) {
+  MatD m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(m.at(i, j), 0.0);
+  }
+}
+
+TEST(Mat, EmptyMatrix) {
+  MatD m;
+  EXPECT_TRUE(m.empty());
+  MatD z(0, 5);
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(Mat, CopyIsDeep) {
+  MatD a(2, 2);
+  a.at(0, 0) = 1.0;
+  MatD b = a;
+  b.at(0, 0) = 9.0;
+  EXPECT_EQ(a.at(0, 0), 1.0);
+  EXPECT_EQ(b.at(0, 0), 9.0);
+}
+
+TEST(Mat, MoveStealsStorage) {
+  MatD a(4, 4);
+  a.at(3, 3) = 5.0;
+  const double* ptr = a.data();
+  MatD b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b.at(3, 3), 5.0);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): testing it
+}
+
+TEST(Mat, AllocationIsAccounted) {
+  const std::uint64_t before = kml_mem_usage();
+  {
+    MatD m(100, 100);
+    EXPECT_GE(kml_mem_usage(), before + 100 * 100 * sizeof(double));
+  }
+  EXPECT_EQ(kml_mem_usage(), before);
+}
+
+TEST(Mat, ApplyElementwise) {
+  MatD m = MatD::filled(2, 2, 3.0);
+  m.apply([](double x) { return x * x; });
+  EXPECT_EQ(m.at(1, 1), 9.0);
+}
+
+TEST(Matmul, KnownProduct) {
+  MatD a(2, 3);
+  MatD b(3, 2);
+  int v = 1;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a.at(i, j) = v++;
+  v = 1;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 2; ++j) b.at(i, j) = v++;
+  MatD c(2, 2);
+  matmul(a, b, c);
+  // [[1,2,3],[4,5,6]] * [[1,2],[3,4],[5,6]] = [[22,28],[49,64]]
+  EXPECT_EQ(c.at(0, 0), 22.0);
+  EXPECT_EQ(c.at(0, 1), 28.0);
+  EXPECT_EQ(c.at(1, 0), 49.0);
+  EXPECT_EQ(c.at(1, 1), 64.0);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  math::Rng rng(3);
+  MatD a = random_uniform(5, 5, -1.0, 1.0, rng);
+  MatD eye(5, 5);
+  for (int i = 0; i < 5; ++i) eye.at(i, i) = 1.0;
+  MatD out(5, 5);
+  matmul(a, eye, out);
+  EXPECT_TRUE(approx_equal(a, out, 1e-12));
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  math::Rng rng(5);
+  MatD a = random_uniform(4, 6, -2.0, 2.0, rng);
+  MatD b = random_uniform(6, 3, -2.0, 2.0, rng);
+
+  MatD ref(4, 3);
+  matmul(a, b, ref);
+
+  // a * b == a * (b^T)^T  via matmul_bt
+  MatD bt = transpose(b);
+  MatD out1(4, 3);
+  matmul_bt(a, bt, out1);
+  EXPECT_TRUE(approx_equal(ref, out1, 1e-12));
+
+  // a * b == (a^T)^T * b  via matmul_at
+  MatD at = transpose(a);
+  MatD out2(4, 3);
+  matmul_at(at, b, out2);
+  EXPECT_TRUE(approx_equal(ref, out2, 1e-12));
+}
+
+TEST(Linalg, AddSubHadamard) {
+  MatD a = MatD::filled(2, 2, 5.0);
+  MatD b = MatD::filled(2, 2, 2.0);
+  MatD out(2, 2);
+  add(a, b, out);
+  EXPECT_EQ(out.at(0, 0), 7.0);
+  sub(a, b, out);
+  EXPECT_EQ(out.at(0, 0), 3.0);
+  hadamard(a, b, out);
+  EXPECT_EQ(out.at(0, 0), 10.0);
+}
+
+TEST(Linalg, AxpyAndScale) {
+  MatD a = MatD::filled(2, 2, 1.0);
+  MatD b = MatD::filled(2, 2, 4.0);
+  axpy(0.5, b, a);
+  EXPECT_EQ(a.at(1, 1), 3.0);
+  scale(a, 2.0);
+  EXPECT_EQ(a.at(1, 1), 6.0);
+}
+
+TEST(Linalg, BiasRowBroadcast) {
+  MatD a = MatD::filled(3, 2, 1.0);
+  MatD bias(1, 2);
+  bias.at(0, 0) = 10.0;
+  bias.at(0, 1) = 20.0;
+  add_bias_row(a, bias);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.at(i, 0), 11.0);
+    EXPECT_EQ(a.at(i, 1), 21.0);
+  }
+}
+
+TEST(Linalg, ColSums) {
+  MatD a(2, 3);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a.at(i, j) = i + 1;
+  MatD out(1, 3);
+  col_sums(a, out);
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(out.at(0, j), 3.0);
+}
+
+TEST(Linalg, SoftmaxRowsAndArgmax) {
+  MatD logits(2, 3);
+  logits.at(0, 0) = 1.0;
+  logits.at(0, 1) = 5.0;
+  logits.at(0, 2) = 2.0;
+  logits.at(1, 0) = 7.0;
+  logits.at(1, 1) = 0.0;
+  logits.at(1, 2) = -3.0;
+  MatD probs(2, 3);
+  softmax_rows(logits, probs);
+  for (int i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 3; ++j) sum += probs.at(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  const MatI pred = argmax_rows(probs);
+  EXPECT_EQ(pred.at(0, 0), 1);
+  EXPECT_EQ(pred.at(1, 0), 0);
+}
+
+TEST(Linalg, FrobeniusNorm) {
+  MatD a(1, 2);
+  a.at(0, 0) = 3.0;
+  a.at(0, 1) = 4.0;
+  EXPECT_NEAR(frobenius_norm(a), 5.0, 1e-12);
+}
+
+TEST(Linalg, XavierInitWithinLimit) {
+  math::Rng rng(21);
+  MatD w = xavier_uniform(16, 4, rng);
+  const double limit = math::kml_sqrt(6.0 / 20.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(math::kml_abs(w.data()[i]), limit);
+  }
+}
+
+TEST(Dtypes, IntMatmul) {
+  MatI a = MatI::filled(2, 2, 2);
+  MatI b = MatI::filled(2, 2, 3);
+  MatI c(2, 2);
+  matmul(a, b, c);
+  EXPECT_EQ(c.at(0, 0), 12);
+}
+
+TEST(Dtypes, FixedMatmulApproximatesDouble) {
+  math::Rng rng(33);
+  MatD a = random_uniform(3, 3, -2.0, 2.0, rng);
+  MatD b = random_uniform(3, 3, -2.0, 2.0, rng);
+  MatD ref(3, 3);
+  matmul(a, b, ref);
+
+  MatX xa = to_fixed(a);
+  MatX xb = to_fixed(b);
+  MatX xc(3, 3);
+  matmul(xa, xb, xc);
+  EXPECT_TRUE(approx_equal(ref, fixed_to_double(xc), 1e-3));
+}
+
+TEST(Dtypes, FloatRoundTrip) {
+  math::Rng rng(34);
+  MatD a = random_uniform(4, 4, -1.0, 1.0, rng);
+  EXPECT_TRUE(approx_equal(a, to_double(to_float(a)), 1e-6));
+}
+
+TEST(FpuGuards, OneRegionPerFpOperation) {
+  kml_fpu_reset_stats();
+  math::Rng rng(55);
+  MatD a = random_uniform(8, 8, -1.0, 1.0, rng);  // 1 region
+  MatD b = random_uniform(8, 8, -1.0, 1.0, rng);  // 1 region
+  MatD c(8, 8);
+  matmul(a, b, c);  // exactly 1 region, not 8*8*8
+  EXPECT_EQ(kml_fpu_region_count(), 3u);
+}
+
+TEST(FpuGuards, IntegerOpsDoNotTouchFpu) {
+  kml_fpu_reset_stats();
+  MatI a = MatI::filled(8, 8, 1);
+  MatI b = MatI::filled(8, 8, 2);
+  MatI c(8, 8);
+  matmul(a, b, c);
+  add(a, b, c);
+  EXPECT_EQ(kml_fpu_region_count(), 0u);
+}
+
+}  // namespace
+}  // namespace kml::matrix

@@ -1,0 +1,360 @@
+// Tests for src/nn: layer forward/backward correctness (numerical gradient
+// checking), losses, SGD dynamics, end-to-end training on separable data,
+// and the KML model file format.
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+namespace kml::nn {
+namespace {
+
+// Numerical gradient of `loss(net(x), y)` w.r.t. one parameter entry.
+double numeric_param_grad(Network& net, Loss& loss, const matrix::MatD& x,
+                          const matrix::MatD& y, matrix::MatD* param,
+                          std::size_t flat_index, double eps = 1e-6) {
+  double& w = param->data()[flat_index];
+  const double saved = w;
+  w = saved + eps;
+  const double up = loss.forward(net.forward(x), y);
+  w = saved - eps;
+  const double down = loss.forward(net.forward(x), y);
+  w = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+TEST(Linear, ForwardComputesAffine) {
+  Linear lin(2, 2);
+  lin.weights().at(0, 0) = 1.0;
+  lin.weights().at(0, 1) = 2.0;
+  lin.weights().at(1, 0) = 3.0;
+  lin.weights().at(1, 1) = 4.0;
+  lin.bias().at(0, 0) = 10.0;
+  lin.bias().at(0, 1) = 20.0;
+
+  matrix::MatD x(1, 2);
+  x.at(0, 0) = 1.0;
+  x.at(0, 1) = 1.0;
+  const matrix::MatD out = lin.forward(x);
+  EXPECT_EQ(out.at(0, 0), 14.0);  // 1+3+10
+  EXPECT_EQ(out.at(0, 1), 26.0);  // 2+4+20
+}
+
+TEST(Linear, GradCheckAgainstNumericalDerivative) {
+  math::Rng rng(42);
+  Network net;
+  net.add(std::make_unique<Linear>(3, 4, rng))
+      .add(std::make_unique<Sigmoid>())
+      .add(std::make_unique<Linear>(4, 2, rng));
+  MSELoss loss;
+
+  matrix::MatD x = matrix::random_uniform(5, 3, -1.0, 1.0, rng);
+  matrix::MatD y = matrix::random_uniform(5, 2, -1.0, 1.0, rng);
+
+  // Analytic gradients.
+  for (auto& p : net.params()) p.grad->fill(0.0);
+  loss.forward(net.forward(x), y);
+  matrix::MatD grad = loss.backward();
+  for (int i = net.num_layers() - 1; i >= 0; --i) {
+    grad = net.layer(i).backward(grad);
+  }
+
+  // Compare a spread of parameter entries in every tensor.
+  for (auto& p : net.params()) {
+    for (std::size_t k = 0; k < p.value->size();
+         k += p.value->size() / 3 + 1) {
+      const double numeric = numeric_param_grad(net, loss, x, y, p.value, k);
+      EXPECT_NEAR(p.grad->data()[k], numeric, 1e-5)
+          << "param entry " << k;
+    }
+  }
+}
+
+TEST(Activations, SigmoidForwardBackward) {
+  Sigmoid s;
+  matrix::MatD x(1, 3);
+  x.at(0, 0) = 0.0;
+  x.at(0, 1) = 100.0;
+  x.at(0, 2) = -100.0;
+  const matrix::MatD out = s.forward(x);
+  EXPECT_NEAR(out.at(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(out.at(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(out.at(0, 2), 0.0, 1e-12);
+
+  matrix::MatD g = matrix::MatD::filled(1, 3, 1.0);
+  const matrix::MatD gin = s.backward(g);
+  EXPECT_NEAR(gin.at(0, 0), 0.25, 1e-12);  // sigmoid'(0)
+  EXPECT_NEAR(gin.at(0, 1), 0.0, 1e-9);    // saturated
+}
+
+TEST(Activations, ReLUKillsNegativeGradients) {
+  ReLU r;
+  matrix::MatD x(1, 2);
+  x.at(0, 0) = -3.0;
+  x.at(0, 1) = 2.0;
+  const matrix::MatD out = r.forward(x);
+  EXPECT_EQ(out.at(0, 0), 0.0);
+  EXPECT_EQ(out.at(0, 1), 2.0);
+  matrix::MatD g = matrix::MatD::filled(1, 2, 7.0);
+  const matrix::MatD gin = r.backward(g);
+  EXPECT_EQ(gin.at(0, 0), 0.0);
+  EXPECT_EQ(gin.at(0, 1), 7.0);
+}
+
+TEST(Activations, TanhGradCheck) {
+  Tanh t;
+  matrix::MatD x(1, 1);
+  x.at(0, 0) = 0.7;
+  t.forward(x);
+  matrix::MatD g = matrix::MatD::filled(1, 1, 1.0);
+  const matrix::MatD gin = t.backward(g);
+  const double y = math::kml_tanh(0.7);
+  EXPECT_NEAR(gin.at(0, 0), 1.0 - y * y, 1e-10);
+}
+
+TEST(Loss, CrossEntropyOfUniformLogitsIsLogC) {
+  CrossEntropyLoss loss;
+  matrix::MatD logits = matrix::MatD::filled(4, 3, 0.0);
+  matrix::MatD target(4, 3);
+  for (int i = 0; i < 4; ++i) target.at(i, i % 3) = 1.0;
+  EXPECT_NEAR(loss.forward(logits, target), math::kml_log(3.0), 1e-9);
+}
+
+TEST(Loss, CrossEntropyGradientIsSoftmaxMinusTarget) {
+  CrossEntropyLoss loss;
+  matrix::MatD logits(1, 2);
+  logits.at(0, 0) = 2.0;
+  logits.at(0, 1) = 0.0;
+  matrix::MatD target(1, 2);
+  target.at(0, 0) = 1.0;
+  loss.forward(logits, target);
+  const matrix::MatD g = loss.backward();
+  const double p0 = math::kml_sigmoid(2.0);  // softmax of 2 classes
+  EXPECT_NEAR(g.at(0, 0), p0 - 1.0, 1e-9);
+  EXPECT_NEAR(g.at(0, 1), 1.0 - p0, 1e-9);
+}
+
+TEST(Loss, CrossEntropyGradChecksNumerically) {
+  math::Rng rng(7);
+  CrossEntropyLoss loss;
+  matrix::MatD logits = matrix::random_uniform(3, 4, -2.0, 2.0, rng);
+  matrix::MatD target(3, 4);
+  for (int i = 0; i < 3; ++i) target.at(i, (i * 2) % 4) = 1.0;
+
+  loss.forward(logits, target);
+  const matrix::MatD g = loss.backward();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const double eps = 1e-6;
+      const double saved = logits.at(i, j);
+      logits.at(i, j) = saved + eps;
+      const double up = loss.forward(logits, target);
+      logits.at(i, j) = saved - eps;
+      const double down = loss.forward(logits, target);
+      logits.at(i, j) = saved;
+      EXPECT_NEAR(g.at(i, j), (up - down) / (2 * eps), 1e-6);
+    }
+  }
+}
+
+TEST(Loss, MSEValueAndGradient) {
+  MSELoss loss;
+  matrix::MatD pred = matrix::MatD::filled(1, 2, 2.0);
+  matrix::MatD target = matrix::MatD::filled(1, 2, 0.0);
+  EXPECT_NEAR(loss.forward(pred, target), 4.0, 1e-12);
+  const matrix::MatD g = loss.backward();
+  EXPECT_NEAR(g.at(0, 0), 2.0, 1e-12);  // 2*(2-0)/2 elements
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  matrix::MatD w = matrix::MatD::filled(1, 1, 1.0);
+  matrix::MatD g = matrix::MatD::filled(1, 1, 0.5);
+  SGD opt(0.1, 0.0);
+  opt.attach({{&w, &g}});
+  opt.step();
+  EXPECT_NEAR(w.at(0, 0), 0.95, 1e-12);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  matrix::MatD w = matrix::MatD::filled(1, 1, 0.0);
+  matrix::MatD g = matrix::MatD::filled(1, 1, 1.0);
+  SGD opt(0.1, 0.9);
+  opt.attach({{&w, &g}});
+  opt.step();  // v=-0.1, w=-0.1
+  opt.step();  // v=-0.19, w=-0.29
+  EXPECT_NEAR(w.at(0, 0), -0.29, 1e-12);
+}
+
+TEST(Adam, StepMovesAgainstGradientWithBiasCorrection) {
+  matrix::MatD w = matrix::MatD::filled(1, 1, 1.0);
+  matrix::MatD g = matrix::MatD::filled(1, 1, 0.5);
+  Adam opt(0.1);
+  opt.attach({{&w, &g}});
+  opt.step();
+  // With bias correction the first step magnitude is ~lr regardless of
+  // gradient scale: w -> 1.0 - 0.1 * (g/|g|).
+  EXPECT_NEAR(w.at(0, 0), 0.9, 1e-6);
+}
+
+TEST(Adam, AdaptsPerParameterScale) {
+  // Two params with gradients of very different magnitude get steps of the
+  // same magnitude — the defining Adam property.
+  matrix::MatD w = matrix::MatD::filled(1, 2, 0.0);
+  matrix::MatD g(1, 2);
+  g.at(0, 0) = 100.0;
+  g.at(0, 1) = 0.001;
+  Adam opt(0.05);
+  opt.attach({{&w, &g}});
+  opt.step();
+  EXPECT_NEAR(w.at(0, 0), -0.05, 1e-4);
+  EXPECT_NEAR(w.at(0, 1), -0.05, 1e-3);
+}
+
+TEST(Adam, TrainsXorLikeSgd) {
+  math::Rng rng(61);
+  Network net = build_mlp_classifier(2, 8, 2, rng);
+  matrix::MatD x(4, 2);
+  matrix::MatD y(4, 2);
+  matrix::MatI labels(4, 1);
+  const int xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = xs[i][0];
+    x.at(i, 1) = xs[i][1];
+    const int label = xs[i][0] ^ xs[i][1];
+    y.at(i, label) = 1.0;
+    labels.at(i, 0) = label;
+  }
+  CrossEntropyLoss loss;
+  Adam opt(0.05);
+  opt.attach(net.params());
+  net.train(x, y, loss, opt, 400, 4, rng);
+  EXPECT_EQ(net.accuracy(x, labels), 1.0);
+}
+
+TEST(Network, LearnsXor) {
+  // The classic non-linearly-separable sanity check.
+  math::Rng rng(11);
+  Network net = build_mlp_classifier(2, 8, 2, rng);
+  matrix::MatD x(4, 2);
+  matrix::MatD y(4, 2);
+  matrix::MatI labels(4, 1);
+  const int xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = xs[i][0];
+    x.at(i, 1) = xs[i][1];
+    const int label = xs[i][0] ^ xs[i][1];
+    y.at(i, label) = 1.0;
+    labels.at(i, 0) = label;
+  }
+  CrossEntropyLoss loss;
+  SGD opt(0.5, 0.9);
+  opt.attach(net.params());
+  const TrainReport report = net.train(x, y, loss, opt, 800, 4, rng);
+  EXPECT_LT(report.final_loss, 0.1);
+  EXPECT_EQ(net.accuracy(x, labels), 1.0);
+}
+
+TEST(Network, TrainingLossDecreases) {
+  math::Rng rng(19);
+  Network net = build_mlp_classifier(3, 8, 2, rng);
+  // Separable blobs.
+  matrix::MatD x(40, 3);
+  matrix::MatD y(40, 2);
+  for (int i = 0; i < 40; ++i) {
+    const int cls = i % 2;
+    for (int j = 0; j < 3; ++j) {
+      x.at(i, j) = rng.normal(cls == 0 ? -1.0 : 1.0, 0.3);
+    }
+    y.at(i, cls) = 1.0;
+  }
+  CrossEntropyLoss loss;
+  SGD opt(0.1, 0.9);
+  opt.attach(net.params());
+  const TrainReport report = net.train(x, y, loss, opt, 30, 8, rng);
+  EXPECT_LT(report.epoch_losses.back(), report.epoch_losses.front());
+}
+
+TEST(Network, ParamBytesMatchesArchitecture) {
+  math::Rng rng(23);
+  Network net = build_mlp_classifier(5, 16, 4, rng);
+  // (5*16 + 16) + (16*16 + 16) + (16*4 + 4) doubles
+  const std::size_t params = 5 * 16 + 16 + 16 * 16 + 16 + 16 * 4 + 4;
+  EXPECT_EQ(net.param_bytes(), params * sizeof(double));
+  // The paper reports 3,916 B for its readahead model: same order.
+  EXPECT_LT(net.param_bytes(), 4096u);
+}
+
+TEST(Serialize, SaveLoadRoundTripPreservesOutputs) {
+  const char* path = "/tmp/kml_model_roundtrip.kml";
+  math::Rng rng(29);
+  Network net = build_mlp_classifier(5, 16, 4, rng);
+
+  // Fit a normalizer so moments round-trip too.
+  matrix::MatD stats = matrix::random_uniform(50, 5, 0.0, 100.0, rng);
+  net.normalizer().fit(stats);
+
+  matrix::MatD x = matrix::random_uniform(7, 5, -1.0, 1.0, rng);
+  const matrix::MatD before = net.forward(x);
+
+  ASSERT_TRUE(save_model(net, path));
+  Network loaded;
+  ASSERT_TRUE(load_model(loaded, path));
+  const matrix::MatD after = loaded.forward(x);
+  EXPECT_TRUE(matrix::approx_equal(before, after, 1e-12));
+
+  // Normalizer moments survive.
+  std::vector<double> m1, s1, m2, s2;
+  net.normalizer().export_moments(m1, s1);
+  loaded.normalizer().export_moments(m2, s2);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_NEAR(m1[i], m2[i], 1e-12);
+    EXPECT_NEAR(s1[i], s2[i], 1e-12);
+  }
+  std::remove(path);
+}
+
+TEST(Serialize, RejectsCorruptFiles) {
+  const char* path = "/tmp/kml_model_corrupt.kml";
+  FILE* f = fopen(path, "wb");
+  const char junk[] = "not a kml model at all";
+  fwrite(junk, 1, sizeof(junk), f);
+  fclose(f);
+  Network net;
+  EXPECT_FALSE(load_model(net, path));
+  std::remove(path);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  Network net;
+  EXPECT_FALSE(load_model(net, "/tmp/kml_no_such_model.kml"));
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  const char* path = "/tmp/kml_model_trunc.kml";
+  math::Rng rng(31);
+  Network net = build_mlp_classifier(3, 4, 2, rng);
+  ASSERT_TRUE(save_model(net, path));
+  // Truncate to half.
+  const std::int64_t full = kml_fsize(path);
+  FILE* f = fopen(path, "rb");
+  std::vector<char> buf(static_cast<std::size_t>(full / 2));
+  ASSERT_EQ(fread(buf.data(), 1, buf.size(), f), buf.size());
+  fclose(f);
+  f = fopen(path, "wb");
+  fwrite(buf.data(), 1, buf.size(), f);
+  fclose(f);
+
+  Network loaded;
+  EXPECT_FALSE(load_model(loaded, path));
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace kml::nn

@@ -1,0 +1,236 @@
+// Tests for the KML development API (src/portability): memory accounting,
+// the reservation arena, threading, atomics, logging, file ops, FPU guards.
+#include "portability/kml_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace kml {
+namespace {
+
+class PortabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kml_lib_init();
+    kml_mem_reset_stats();
+  }
+  void TearDown() override { kml_lib_shutdown(); }
+};
+
+TEST_F(PortabilityTest, MallocFreeAccountsBytes) {
+  const std::uint64_t before = kml_mem_usage();
+  void* p = kml_malloc(1000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(kml_mem_usage(), before + 1000);
+  kml_free(p);
+  EXPECT_EQ(kml_mem_usage(), before);
+}
+
+TEST_F(PortabilityTest, MallocZeroReturnsNull) {
+  EXPECT_EQ(kml_malloc(0), nullptr);
+}
+
+TEST_F(PortabilityTest, FreeNullIsNoop) {
+  kml_free(nullptr);  // must not crash
+}
+
+TEST_F(PortabilityTest, MallocIs16ByteAligned) {
+  for (std::size_t size : {1, 7, 16, 33, 1000}) {
+    void* p = kml_malloc(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u) << size;
+    kml_free(p);
+  }
+}
+
+TEST_F(PortabilityTest, ZallocZeroFills) {
+  auto* p = static_cast<unsigned char*>(kml_zalloc(256));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(p[i], 0) << i;
+  kml_free(p);
+}
+
+TEST_F(PortabilityTest, CallocOverflowReturnsNull) {
+  EXPECT_EQ(kml_calloc(SIZE_MAX / 2, 4), nullptr);
+}
+
+TEST_F(PortabilityTest, ReallocPreservesContents) {
+  auto* p = static_cast<char*>(kml_malloc(8));
+  ASSERT_NE(p, nullptr);
+  std::memcpy(p, "kmltest", 8);
+  auto* q = static_cast<char*>(kml_realloc(p, 64));
+  ASSERT_NE(q, nullptr);
+  EXPECT_STREQ(q, "kmltest");
+  kml_free(q);
+}
+
+TEST_F(PortabilityTest, ReallocNullActsAsMalloc) {
+  void* p = kml_realloc(nullptr, 32);
+  ASSERT_NE(p, nullptr);
+  kml_free(p);
+}
+
+TEST_F(PortabilityTest, ReallocToZeroFrees) {
+  void* p = kml_malloc(32);
+  const std::uint64_t live = kml_mem_usage();
+  EXPECT_EQ(kml_realloc(p, 0), nullptr);
+  EXPECT_EQ(kml_mem_usage(), live - 32);
+}
+
+TEST_F(PortabilityTest, PeakTracksHighWater) {
+  kml_mem_reset_stats();
+  void* a = kml_malloc(1 << 16);
+  void* b = kml_malloc(1 << 16);
+  kml_free(a);
+  kml_free(b);
+  EXPECT_GE(kml_mem_stats().peak_bytes, 2u << 16);
+  EXPECT_EQ(kml_mem_stats().total_allocs, 2u);
+  EXPECT_EQ(kml_mem_stats().total_frees, 2u);
+}
+
+TEST_F(PortabilityTest, ReservationArenaServesAllocations) {
+  ASSERT_TRUE(kml_mem_reserve(1 << 16));
+  const std::size_t before = kml_mem_reserved_remaining();
+  void* p = kml_malloc(1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_LT(kml_mem_reserved_remaining(), before);
+  kml_free(p);
+  kml_mem_release();
+  EXPECT_EQ(kml_mem_reserved_remaining(), 0u);
+}
+
+TEST_F(PortabilityTest, ArenaExhaustionFallsBackToHeap) {
+  ASSERT_TRUE(kml_mem_reserve(4096));
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    void* p = kml_malloc(1024);  // far exceeds the 4 KiB arena
+    ASSERT_NE(p, nullptr);
+    blocks.push_back(p);
+  }
+  for (void* p : blocks) kml_free(p);
+  kml_mem_release();
+}
+
+TEST_F(PortabilityTest, ThreadRunsAndJoins) {
+  std::atomic<int> counter{0};
+  auto fn = +[](void* arg) {
+    static_cast<std::atomic<int>*>(arg)->fetch_add(7);
+  };
+  KmlThread* t = kml_thread_create(fn, &counter, "test");
+  ASSERT_NE(t, nullptr);
+  kml_thread_join(t);
+  EXPECT_EQ(counter.load(), 7);
+}
+
+TEST_F(PortabilityTest, ThreadCreateNullFnFails) {
+  EXPECT_EQ(kml_thread_create(nullptr, nullptr, "bad"), nullptr);
+}
+
+TEST_F(PortabilityTest, NumCpusPositive) { EXPECT_GE(kml_num_cpus(), 1u); }
+
+TEST_F(PortabilityTest, AtomicsBasicOps) {
+  KmlAtomic64 a{};
+  kml_atomic_store64(&a, 41);
+  EXPECT_EQ(kml_atomic_load64(&a), 41);
+  EXPECT_EQ(kml_atomic_add64(&a, 1), 42);
+  EXPECT_TRUE(kml_atomic_cas64(&a, 42, 100));
+  EXPECT_FALSE(kml_atomic_cas64(&a, 42, 200));
+  EXPECT_EQ(kml_atomic_load64(&a), 100);
+}
+
+TEST_F(PortabilityTest, AtomicAddIsConcurrencySafe) {
+  KmlAtomic64 a{};
+  kml_atomic_store64(&a, 0);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  struct Ctx {
+    KmlAtomic64* a;
+  } ctx{&a};
+  auto fn = +[](void* arg) {
+    auto* c = static_cast<Ctx*>(arg);
+    for (int i = 0; i < kIters; ++i) kml_atomic_add64(c->a, 1);
+  };
+  std::vector<KmlThread*> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.push_back(kml_thread_create(fn, &ctx, "adder"));
+  }
+  for (KmlThread* t : threads) kml_thread_join(t);
+  EXPECT_EQ(kml_atomic_load64(&a), kThreads * kIters);
+}
+
+// Log sink capture. The sink is a plain function pointer, so stash lines in
+// a file-scope buffer.
+std::vector<std::string>* g_captured = nullptr;
+
+TEST_F(PortabilityTest, LogSinkReceivesFormattedLines) {
+  std::vector<std::string> lines;
+  g_captured = &lines;
+  kml_set_log_sink(+[](LogLevel, const char* line) {
+    g_captured->push_back(line);
+  });
+  kml_set_log_level(LogLevel::kInfo);
+  KML_INFO("value=%d", 42);
+  KML_DEBUG("hidden %d", 1);  // below level: dropped
+  kml_set_log_sink(nullptr);
+  g_captured = nullptr;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "value=42");
+}
+
+TEST_F(PortabilityTest, LogLevelRoundTrips) {
+  kml_set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(kml_get_log_level(), LogLevel::kWarn);
+  kml_set_log_level(LogLevel::kInfo);
+}
+
+TEST_F(PortabilityTest, FileWriteReadRoundTrip) {
+  const char* path = "/tmp/kml_file_test.bin";
+  KmlFile* w = kml_fopen(path, "w");
+  ASSERT_NE(w, nullptr);
+  const char payload[] = "0123456789";
+  EXPECT_EQ(kml_fwrite(w, payload, sizeof(payload)),
+            static_cast<std::int64_t>(sizeof(payload)));
+  kml_fclose(w);
+
+  EXPECT_EQ(kml_fsize(path), static_cast<std::int64_t>(sizeof(payload)));
+
+  KmlFile* r = kml_fopen(path, "r");
+  ASSERT_NE(r, nullptr);
+  char buf[32] = {};
+  EXPECT_EQ(kml_fread(r, buf, sizeof(buf)),
+            static_cast<std::int64_t>(sizeof(payload)));
+  EXPECT_STREQ(buf, payload);
+  EXPECT_EQ(kml_fread(r, buf, sizeof(buf)), 0);  // EOF
+  kml_fclose(r);
+  std::remove(path);
+}
+
+TEST_F(PortabilityTest, FopenBadModeFails) {
+  EXPECT_EQ(kml_fopen("/tmp/kml_x", "a"), nullptr);
+  EXPECT_EQ(kml_fopen(nullptr, "r"), nullptr);
+}
+
+TEST_F(PortabilityTest, FsizeMissingFileIsMinusOne) {
+  EXPECT_EQ(kml_fsize("/tmp/kml_does_not_exist_42"), -1);
+}
+
+TEST_F(PortabilityTest, FpuGuardsCountRegions) {
+  kml_fpu_reset_stats();
+  EXPECT_FALSE(kml_fpu_in_region());
+  kml_fpu_begin();
+  EXPECT_TRUE(kml_fpu_in_region());
+  kml_fpu_begin();  // nested: same region
+  kml_fpu_end();
+  EXPECT_TRUE(kml_fpu_in_region());
+  kml_fpu_end();
+  EXPECT_FALSE(kml_fpu_in_region());
+  EXPECT_EQ(kml_fpu_region_count(), 1u);
+}
+
+}  // namespace
+}  // namespace kml

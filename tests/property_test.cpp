@@ -1,0 +1,258 @@
+// Property-based and parameterized sweeps across module invariants:
+// algebraic identities for matrices and fixed-point, conservation laws for
+// the circular buffer and page cache, window-sizing monotonicity for the
+// readahead engine, and gradient checks across random architectures.
+#include "data/circular_buffer.h"
+#include "matrix/linalg.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "sim/stack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace kml {
+namespace {
+
+// --- matrix algebra across shapes ---------------------------------------------
+
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, DistributesOverAddition) {
+  const auto [m, k, n] = GetParam();
+  math::Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  const matrix::MatD a = matrix::random_uniform(m, k, -2, 2, rng);
+  const matrix::MatD b = matrix::random_uniform(k, n, -2, 2, rng);
+  const matrix::MatD c = matrix::random_uniform(k, n, -2, 2, rng);
+
+  // a*(b+c) == a*b + a*c
+  matrix::MatD bc(k, n);
+  matrix::add(b, c, bc);
+  matrix::MatD left(m, n);
+  matrix::matmul(a, bc, left);
+
+  matrix::MatD ab(m, n);
+  matrix::MatD ac(m, n);
+  matrix::matmul(a, b, ab);
+  matrix::matmul(a, c, ac);
+  matrix::MatD right(m, n);
+  matrix::add(ab, ac, right);
+
+  EXPECT_TRUE(matrix::approx_equal(left, right, 1e-9));
+}
+
+TEST_P(MatmulShapes, TransposeReversesProduct) {
+  const auto [m, k, n] = GetParam();
+  math::Rng rng(static_cast<std::uint64_t>(m * 7 + k * 3 + n));
+  const matrix::MatD a = matrix::random_uniform(m, k, -2, 2, rng);
+  const matrix::MatD b = matrix::random_uniform(k, n, -2, 2, rng);
+
+  // (a*b)^T == b^T * a^T
+  matrix::MatD ab(m, n);
+  matrix::matmul(a, b, ab);
+  const matrix::MatD left = matrix::transpose(ab);
+
+  const matrix::MatD bt = matrix::transpose(b);
+  const matrix::MatD at = matrix::transpose(a);
+  matrix::MatD right(n, m);
+  matrix::matmul(bt, at, right);
+
+  EXPECT_TRUE(matrix::approx_equal(left, right, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 5, 3},
+                      std::tuple{4, 4, 4}, std::tuple{7, 2, 9},
+                      std::tuple{16, 16, 16}, std::tuple{3, 17, 5}));
+
+// --- fixed-point properties ---------------------------------------------------
+
+class FixedPair : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(FixedPair, AdditionCommutesAndRoundTrips) {
+  const auto [x, y] = GetParam();
+  const math::Fixed a = math::Fixed::from_double(x);
+  const math::Fixed b = math::Fixed::from_double(y);
+  EXPECT_EQ((a + b).raw(), (b + a).raw());
+  EXPECT_EQ((a * b).raw(), (b * a).raw());
+  // a + b - b == a whenever no saturation occurred.
+  if (std::abs(x) < 10000 && std::abs(y) < 10000) {
+    EXPECT_EQ(((a + b) - b).raw(), a.raw());
+  }
+}
+
+TEST_P(FixedPair, OrderingMatchesDouble) {
+  const auto [x, y] = GetParam();
+  if (std::abs(x - y) < 1e-3) return;  // below fixed-point resolution
+  EXPECT_EQ(math::Fixed::from_double(x) < math::Fixed::from_double(y), x < y);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FixedPair,
+    ::testing::Values(std::tuple{0.0, 0.0}, std::tuple{1.5, -2.25},
+                      std::tuple{-0.001, 0.002}, std::tuple{100.0, 0.5},
+                      std::tuple{-30000.0, 29000.0},
+                      std::tuple{12345.678, -9876.5}));
+
+// --- circular buffer conservation ----------------------------------------------
+
+class BufferCapacity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BufferCapacity, PushedEqualsPoppedPlusDropped) {
+  data::CircularBuffer<std::uint64_t> buffer(GetParam());
+  math::Rng rng(GetParam());
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t out;
+  std::uint64_t last = 0;
+  bool have_last = false;
+  for (int round = 0; round < 2000; ++round) {
+    if (rng.next_below(3) != 0) {
+      buffer.push(pushed);
+      ++pushed;
+    } else if (buffer.pop(out)) {
+      if (have_last) EXPECT_GT(out, last);  // FIFO, no dup, no reorder
+      last = out;
+      have_last = true;
+      ++popped;
+    }
+  }
+  while (buffer.pop(out)) {
+    if (have_last) EXPECT_GT(out, last);
+    last = out;
+    have_last = true;
+    ++popped;
+  }
+  EXPECT_EQ(pushed, popped + buffer.dropped());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferCapacity,
+                         ::testing::Values(1, 2, 7, 64, 1024));
+
+// --- readahead window laws ------------------------------------------------------
+
+class RaPagesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaPagesSweep, WindowsNeverExceedMax) {
+  const std::uint64_t max = GetParam();
+  std::uint64_t size = sim::ReadaheadEngine::init_window(1, max);
+  EXPECT_LE(size, max);
+  EXPECT_GE(size, 1u);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t next = sim::ReadaheadEngine::next_window(size, max);
+    EXPECT_LE(next, max);
+    EXPECT_GE(next, size == max ? max : size);  // monotone ramp to max
+    size = next;
+  }
+  EXPECT_EQ(size, max);  // ramp converges to the cap
+}
+
+TEST_P(RaPagesSweep, SequentialReadDevicePagesBounded) {
+  // Conservation: a sequential scan of N pages reads each page from the
+  // device at most once, plus at most ~2 windows of overrun.
+  sim::StackConfig sc;
+  sc.cache_pages = 100000;
+  sim::StorageStack stack(sc);
+  sim::FileHandle& f = stack.files().create(100000);
+  f.ra_pages = static_cast<std::uint32_t>(GetParam());
+  const std::uint64_t kPages = 512;
+  for (std::uint64_t p = 0; p < kPages; ++p) stack.cache().read(f, p, 1);
+  EXPECT_GE(stack.device().stats().pages_read, kPages);
+  EXPECT_LE(stack.device().stats().pages_read, kPages + 2 * GetParam() + 4);
+  // And every demanded page really is resident.
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    EXPECT_TRUE(stack.cache().cached(f.inode, p)) << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxWindows, RaPagesSweep,
+                         ::testing::Values(1, 2, 4, 32, 256));
+
+// --- gradient checks across architectures --------------------------------------
+
+struct ArchSpec {
+  int in;
+  int hidden;
+  int out;
+  int activation;  // 0 sigmoid, 1 relu, 2 tanh
+};
+
+class GradCheck : public ::testing::TestWithParam<ArchSpec> {};
+
+TEST_P(GradCheck, AnalyticMatchesNumeric) {
+  const ArchSpec spec = GetParam();
+  math::Rng rng(static_cast<std::uint64_t>(
+      spec.in * 1000 + spec.hidden * 10 + spec.out));
+  nn::Network net;
+  net.add(std::make_unique<nn::Linear>(spec.in, spec.hidden, rng));
+  switch (spec.activation) {
+    case 0: net.add(std::make_unique<nn::Sigmoid>()); break;
+    case 1: net.add(std::make_unique<nn::ReLU>()); break;
+    default: net.add(std::make_unique<nn::Tanh>()); break;
+  }
+  net.add(std::make_unique<nn::Linear>(spec.hidden, spec.out, rng));
+
+  nn::CrossEntropyLoss loss;
+  const matrix::MatD x = matrix::random_uniform(3, spec.in, -1, 1, rng);
+  matrix::MatD y(3, spec.out);
+  for (int i = 0; i < 3; ++i) y.at(i, i % spec.out) = 1.0;
+
+  for (auto& p : net.params()) p.grad->fill(0.0);
+  loss.forward(net.forward(x), y);
+  matrix::MatD grad = loss.backward();
+  for (int i = net.num_layers() - 1; i >= 0; --i) {
+    grad = net.layer(i).backward(grad);
+  }
+
+  auto params = net.params();
+  for (auto& p : params) {
+    const std::size_t probe = p.value->size() / 2;
+    double& w = p.value->data()[probe];
+    const double eps = 1e-6;
+    const double saved = w;
+    w = saved + eps;
+    const double up = loss.forward(net.forward(x), y);
+    w = saved - eps;
+    const double down = loss.forward(net.forward(x), y);
+    w = saved;
+    EXPECT_NEAR(p.grad->data()[probe], (up - down) / (2 * eps), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, GradCheck,
+    ::testing::Values(ArchSpec{2, 3, 2, 0}, ArchSpec{5, 16, 4, 0},
+                      ArchSpec{3, 8, 2, 1}, ArchSpec{4, 6, 3, 2},
+                      ArchSpec{1, 2, 2, 0}, ArchSpec{8, 4, 5, 1}));
+
+// --- approximation accuracy sweeps ---------------------------------------------
+
+class ExpRange : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(ExpRange, RelativeErrorBounded) {
+  const auto [lo, hi] = GetParam();
+  const double step = (hi - lo) / 997.0;
+  for (double x = lo; x <= hi; x += step) {
+    const double ref = std::exp(x);
+    if (ref == 0.0 || std::isinf(ref)) continue;
+    EXPECT_NEAR(math::kml_exp(x) / ref, 1.0, 1e-9) << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, ExpRange,
+                         ::testing::Values(std::tuple{-1.0, 1.0},
+                                           std::tuple{-60.0, -20.0},
+                                           std::tuple{20.0, 60.0},
+                                           std::tuple{-700.0, -600.0},
+                                           std::tuple{600.0, 700.0}));
+
+}  // namespace
+}  // namespace kml

@@ -1,0 +1,168 @@
+// Tests for src/nn/quantized: fidelity of fixed-point inference vs the
+// double-precision network, the no-FPU guarantee, range rejection, and
+// footprint arithmetic.
+#include "nn/quantized.h"
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace kml::nn {
+namespace {
+
+// A trained-ish network over well-separated classes.
+Network make_separable_net(math::Rng& rng, int classes = 3) {
+  Network net = build_mlp_classifier(4, 8, classes, rng);
+  // Train briefly so quantization has realistic weights to approximate.
+  matrix::MatD x(90, 4);
+  matrix::MatD y(90, classes);
+  for (int i = 0; i < 90; ++i) {
+    const int cls = i % classes;
+    for (int j = 0; j < 4; ++j) x.at(i, j) = rng.normal(2.0 * cls, 0.4);
+    y.at(i, cls) = 1.0;
+  }
+  net.normalizer().fit(x);
+  const matrix::MatD z = net.normalizer().transform(x);
+  CrossEntropyLoss loss;
+  SGD opt(0.1, 0.9);
+  opt.attach(net.params());
+  net.train(z, y, loss, opt, 60, 16, rng);
+  return net;
+}
+
+TEST(Quantized, AgreesWithDoubleNetworkOnSeparableData) {
+  math::Rng rng(3);
+  Network net = make_separable_net(rng);
+  QuantizedNetwork q;
+  ASSERT_TRUE(QuantizedNetwork::quantize(net, q));
+
+  int agree = 0;
+  const int kProbes = 200;
+  for (int i = 0; i < kProbes; ++i) {
+    const int cls = i % 3;
+    double f[4];
+    for (int j = 0; j < 4; ++j) f[j] = rng.normal(2.0 * cls, 0.4);
+
+    std::vector<double> z(f, f + 4);
+    net.normalizer().transform_row(z.data(), 4);
+    matrix::MatD x(1, 4);
+    for (int j = 0; j < 4; ++j) x.at(0, j) = z[static_cast<std::size_t>(j)];
+    const int ref = net.predict_classes(x).at(0, 0);
+
+    if (q.infer_class(f, 4) == ref) ++agree;
+  }
+  // The hard-sigmoid approximation costs some fidelity, not much.
+  EXPECT_GT(agree, kProbes * 85 / 100);
+}
+
+TEST(Quantized, ForwardTouchesNoFpu) {
+  math::Rng rng(5);
+  Network net = make_separable_net(rng);
+  QuantizedNetwork q;
+  ASSERT_TRUE(QuantizedNetwork::quantize(net, q));
+
+  matrix::MatX x(1, 4);
+  for (int j = 0; j < 4; ++j) {
+    x.at(0, j) = math::Fixed::from_double(0.25 * j);
+  }
+  kml_fpu_reset_stats();
+  const matrix::MatX logits = q.forward(x);
+  EXPECT_EQ(kml_fpu_region_count(), 0u);  // the §3.1 guarantee
+  EXPECT_EQ(logits.rows(), 1);
+  EXPECT_EQ(logits.cols(), 3);
+}
+
+TEST(Quantized, ParamBytesAreHalfOfDouble) {
+  math::Rng rng(7);
+  Network net = build_mlp_classifier(5, 16, 4, rng);
+  net.normalizer().import_moments(std::vector<double>(5, 0.0),
+                                  std::vector<double>(5, 1.0));
+  QuantizedNetwork q;
+  ASSERT_TRUE(QuantizedNetwork::quantize(net, q));
+  // weights in Q16.16 (4 B) vs double (8 B), plus 2*5 normalizer scalars.
+  EXPECT_EQ(q.param_bytes(),
+            net.param_bytes() / 2 + 2 * 5 * sizeof(math::Fixed));
+  EXPECT_EQ(q.in_features(), 5);
+  EXPECT_EQ(q.out_features(), 4);
+  EXPECT_EQ(q.num_layers(), net.num_layers());
+}
+
+TEST(Quantized, RejectsOutOfRangeWeights) {
+  math::Rng rng(9);
+  Network net = build_mlp_classifier(2, 2, 2, rng);
+  auto& lin = static_cast<Linear&>(net.layer(0));
+  lin.weights().at(0, 0) = 1e6;  // outside Q16.16
+  QuantizedNetwork q;
+  EXPECT_FALSE(QuantizedNetwork::quantize(net, q));
+}
+
+TEST(Quantized, KnownTinyNetworkForward) {
+  // y = hard_sigmoid(2x - 1) through a hand-built 1-1 net.
+  Network net;
+  auto lin = std::make_unique<Linear>(1, 1);
+  lin->weights().at(0, 0) = 2.0;
+  lin->bias().at(0, 0) = -1.0;
+  net.add(std::move(lin)).add(std::make_unique<Sigmoid>());
+
+  QuantizedNetwork q;
+  ASSERT_TRUE(QuantizedNetwork::quantize(net, q));
+  matrix::MatX x(1, 1);
+  x.at(0, 0) = math::Fixed::from_double(0.5);  // 2*0.5 - 1 = 0 -> 0.5
+  EXPECT_NEAR(q.forward(x).at(0, 0).to_double(), 0.5, 1e-3);
+  x.at(0, 0) = math::Fixed::from_double(4.0);  // saturates -> 1.0
+  EXPECT_NEAR(q.forward(x).at(0, 0).to_double(), 1.0, 1e-3);
+}
+
+TEST(Quantized, SaveLoadRoundTripPreservesInference) {
+  const char* path = "/tmp/kml_quantized_roundtrip.kmlq";
+  math::Rng rng(11);
+  Network net = make_separable_net(rng);
+  QuantizedNetwork q;
+  ASSERT_TRUE(QuantizedNetwork::quantize(net, q));
+  ASSERT_TRUE(q.save(path));
+
+  QuantizedNetwork loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.num_layers(), q.num_layers());
+  EXPECT_EQ(loaded.param_bytes(), q.param_bytes());
+  for (int i = 0; i < 50; ++i) {
+    double f[4];
+    for (int j = 0; j < 4; ++j) f[j] = rng.uniform(-2.0, 6.0);
+    EXPECT_EQ(loaded.infer_class(f, 4), q.infer_class(f, 4)) << i;
+  }
+  std::remove(path);
+}
+
+TEST(Quantized, LoadRejectsGarbage) {
+  const char* path = "/tmp/kml_quantized_bad.kmlq";
+  FILE* f = fopen(path, "wb");
+  fputs("definitely not a KMLQ file", f);
+  fclose(f);
+  QuantizedNetwork q;
+  EXPECT_FALSE(q.load(path));
+  EXPECT_FALSE(q.load("/tmp/kml_quantized_missing.kmlq"));
+  std::remove(path);
+}
+
+TEST(Quantized, NormalizerAppliedInFixedPoint) {
+  Network net;
+  auto lin = std::make_unique<Linear>(1, 2);
+  lin->weights().at(0, 0) = 1.0;
+  lin->weights().at(0, 1) = -1.0;
+  net.add(std::move(lin));
+  net.normalizer().import_moments({10.0}, {2.0});
+
+  QuantizedNetwork q;
+  ASSERT_TRUE(QuantizedNetwork::quantize(net, q));
+  // Raw 14 -> z = 2 -> logits (2, -2) -> class 0; raw 6 -> z = -2 -> class 1.
+  const double hi = 14.0;
+  const double lo = 6.0;
+  EXPECT_EQ(q.infer_class(&hi, 1), 0);
+  EXPECT_EQ(q.infer_class(&lo, 1), 1);
+}
+
+}  // namespace
+}  // namespace kml::nn

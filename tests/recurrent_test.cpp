@@ -1,0 +1,188 @@
+// Tests for src/nn/recurrent: BPTT gradient checks for both cell types,
+// temporal learning tasks, and the sequence-classifier head.
+#include "nn/recurrent.h"
+
+#include <gtest/gtest.h>
+
+namespace kml::nn {
+namespace {
+
+// Scalar objective L = sum_{t,j} W[t][j] * h[t][j] so dL/dh = W, which we
+// feed straight into backward_sequence. Numeric gradients perturb a
+// parameter and recompute L via a fresh forward pass.
+double weighted_sum(const matrix::MatD& h, const matrix::MatD& w) {
+  double total = 0.0;
+  for (int t = 0; t < h.rows(); ++t) {
+    for (int j = 0; j < h.cols(); ++j) total += h.at(t, j) * w.at(t, j);
+  }
+  return total;
+}
+
+void grad_check_cell(RecurrentCell& cell, int t_steps, std::uint64_t seed) {
+  math::Rng rng(seed);
+  const matrix::MatD x =
+      matrix::random_uniform(t_steps, cell.in_features(), -1, 1, rng);
+  const matrix::MatD w =
+      matrix::random_uniform(t_steps, cell.hidden_size(), -1, 1, rng);
+
+  cell.zero_grad();
+  cell.forward_sequence(x);
+  const matrix::MatD grad_in =
+      cell.backward_sequence(w);  // dL/dh == w by construction
+
+  // Parameter gradients.
+  for (auto& p : cell.params()) {
+    for (std::size_t k = 0; k < p.value->size();
+         k += p.value->size() / 4 + 1) {
+      double& param = p.value->data()[k];
+      const double saved = param;
+      const double eps = 1e-6;
+      param = saved + eps;
+      const double up = weighted_sum(cell.forward_sequence(x), w);
+      param = saved - eps;
+      const double down = weighted_sum(cell.forward_sequence(x), w);
+      param = saved;
+      EXPECT_NEAR(p.grad->data()[k], (up - down) / (2 * eps), 1e-5)
+          << "param idx " << k;
+    }
+  }
+
+  // Input gradients (restore the cached state first).
+  cell.forward_sequence(x);
+  for (int t = 0; t < t_steps; ++t) {
+    matrix::MatD xp = x;
+    const double eps = 1e-6;
+    xp.at(t, 0) += eps;
+    const double up = weighted_sum(cell.forward_sequence(xp), w);
+    xp.at(t, 0) -= 2 * eps;
+    const double down = weighted_sum(cell.forward_sequence(xp), w);
+    EXPECT_NEAR(grad_in.at(t, 0), (up - down) / (2 * eps), 1e-5)
+        << "input step " << t;
+  }
+}
+
+TEST(Rnn, GradCheckThroughTime) {
+  math::Rng rng(11);
+  RnnCell cell(3, 4, rng);
+  grad_check_cell(cell, 6, 21);
+}
+
+TEST(Rnn, OutputShapeAndRange) {
+  math::Rng rng(3);
+  RnnCell cell(2, 5, rng);
+  const matrix::MatD x = matrix::random_uniform(7, 2, -3, 3, rng);
+  const matrix::MatD h = cell.forward_sequence(x);
+  EXPECT_EQ(h.rows(), 7);
+  EXPECT_EQ(h.cols(), 5);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_LE(math::kml_abs(h.data()[i]), 1.0);  // tanh range
+  }
+}
+
+TEST(Rnn, StatePropagatesAcrossSteps) {
+  math::Rng rng(5);
+  RnnCell cell(1, 3, rng);
+  // Same input at each step: if state propagates, h_1 != h_0.
+  matrix::MatD x = matrix::MatD::filled(2, 1, 0.7);
+  const matrix::MatD h = cell.forward_sequence(x);
+  double diff = 0.0;
+  for (int j = 0; j < 3; ++j) diff += math::kml_abs(h.at(0, j) - h.at(1, j));
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Lstm, GradCheckThroughTime) {
+  math::Rng rng(13);
+  LstmCell cell(3, 4, rng);
+  grad_check_cell(cell, 6, 23);
+}
+
+TEST(Lstm, ForgetBiasStartsOpen) {
+  math::Rng rng(7);
+  LstmCell cell(2, 4, rng);
+  auto params = cell.params();
+  const matrix::MatD& b = *params[2].value;  // bias is third
+  for (int j = 4; j < 8; ++j) EXPECT_EQ(b.at(0, j), 1.0);  // forget block
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(b.at(0, j), 0.0);
+}
+
+TEST(Lstm, CellStateIsNotBoundedByOne) {
+  // Repeated positive input accumulates in c; |h| stays < 1 but the cell
+  // state can exceed 1 — the long-memory property.
+  math::Rng rng(9);
+  LstmCell cell(1, 2, rng);
+  matrix::MatD x = matrix::MatD::filled(30, 1, 1.0);
+  const matrix::MatD h = cell.forward_sequence(x);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_LT(math::kml_abs(h.data()[i]), 1.0);
+  }
+}
+
+// Temporal toy task: the label is decided by the FIRST element of the
+// sequence, so the model must carry information across all steps.
+void train_first_element_task(SequenceClassifier& clf, int t_steps,
+                              double lr, int epochs, double* accuracy) {
+  math::Rng rng(31);
+  SGD opt(lr, 0.9);
+  opt.attach(clf.params());
+
+  std::vector<matrix::MatD> sequences;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    matrix::MatD seq(t_steps, 1);
+    const int label = static_cast<int>(rng.next_below(2));
+    seq.at(0, 0) = label == 1 ? 1.0 : -1.0;
+    for (int t = 1; t < t_steps; ++t) seq.at(t, 0) = rng.uniform(-0.3, 0.3);
+    sequences.push_back(std::move(seq));
+    labels.push_back(label);
+  }
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      clf.train_step(sequences[i], labels[i], opt);
+    }
+  }
+  int correct = 0;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    if (clf.predict(sequences[i]) == labels[i]) ++correct;
+  }
+  *accuracy = static_cast<double>(correct) / sequences.size();
+}
+
+TEST(SequenceClassifierTest, RnnLearnsShortTemporalDependency) {
+  math::Rng rng(41);
+  SequenceClassifier clf(SequenceClassifier::CellKind::kRnn, 1, 8, 2, rng);
+  double acc = 0.0;
+  train_first_element_task(clf, /*t_steps=*/5, 0.05, 60, &acc);
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(SequenceClassifierTest, LstmLearnsLongerTemporalDependency) {
+  math::Rng rng(43);
+  SequenceClassifier clf(SequenceClassifier::CellKind::kLstm, 1, 8, 2, rng);
+  double acc = 0.0;
+  train_first_element_task(clf, /*t_steps=*/12, 0.02, 200, &acc);
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(SequenceClassifierTest, TrainStepReducesLoss) {
+  math::Rng rng(47);
+  SequenceClassifier clf(SequenceClassifier::CellKind::kLstm, 2, 6, 3, rng);
+  SGD opt(0.05, 0.9);
+  opt.attach(clf.params());
+  matrix::MatD seq = matrix::random_uniform(4, 2, -1, 1, rng);
+  const double first = clf.train_step(seq, 1, opt);
+  double last = first;
+  for (int i = 0; i < 50; ++i) last = clf.train_step(seq, 1, opt);
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(SequenceClassifierTest, LogitShape) {
+  math::Rng rng(53);
+  SequenceClassifier clf(SequenceClassifier::CellKind::kRnn, 3, 4, 5, rng);
+  const matrix::MatD logits =
+      clf.forward(matrix::random_uniform(6, 3, -1, 1, rng));
+  EXPECT_EQ(logits.rows(), 1);
+  EXPECT_EQ(logits.cols(), 5);
+}
+
+}  // namespace
+}  // namespace kml::nn

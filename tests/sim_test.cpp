@@ -1,0 +1,378 @@
+// Tests for src/sim: virtual clock, device cost model, page cache (LRU,
+// hits/misses, eviction), the ondemand readahead engine (window sizing,
+// ramp-up, marker re-arming, random fallback), tracepoints, and the block
+// layer actuation surface.
+#include "math/rng.h"
+#include "sim/stack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kml::sim {
+namespace {
+
+StackConfig small_stack(std::uint64_t cache_pages = 1024) {
+  StackConfig config;
+  config.device = nvme_config();
+  config.cache_pages = cache_pages;
+  return config;
+}
+
+TEST(Clock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.advance(500);
+  clock.advance(1500);
+  EXPECT_EQ(clock.now_ns(), 2000u);
+  EXPECT_DOUBLE_EQ(clock.now_sec(), 2e-6);
+  clock.reset();
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
+TEST(DeviceModel, ReadCostIsOverheadPlusTransfer) {
+  SimClock clock;
+  Device dev(nvme_config(), clock);
+  const DeviceConfig& c = dev.config();
+  const std::uint64_t cost = dev.read(1, 0, 4);
+  EXPECT_EQ(cost, c.random_cmd_ns + 4 * c.page_transfer_ns);
+  EXPECT_EQ(clock.now_ns(), cost);
+}
+
+TEST(DeviceModel, SequentialContinuationIsCheap) {
+  SimClock clock;
+  Device dev(nvme_config(), clock);
+  const DeviceConfig& c = dev.config();
+  dev.read(1, 0, 4);
+  const std::uint64_t cost = dev.read(1, 4, 4);  // continues at page 4
+  EXPECT_EQ(cost, c.seq_cmd_ns + 4 * c.page_transfer_ns);
+  EXPECT_EQ(dev.stats().seq_continuations, 1u);
+}
+
+TEST(DeviceModel, StreamBreaksOnGapOrOtherFile) {
+  SimClock clock;
+  Device dev(nvme_config(), clock);
+  const DeviceConfig& c = dev.config();
+  dev.read(1, 0, 4);
+  EXPECT_EQ(dev.read(1, 8, 1), c.random_cmd_ns + c.page_transfer_ns);
+  dev.read(1, 9, 1);  // continuation again
+  EXPECT_EQ(dev.read(2, 10, 1), c.random_cmd_ns + c.page_transfer_ns);
+}
+
+TEST(DeviceModel, WriteBreaksReadStream) {
+  SimClock clock;
+  Device dev(nvme_config(), clock);
+  dev.read(1, 0, 4);
+  dev.write(1, 100, 8);
+  const DeviceConfig& c = dev.config();
+  EXPECT_EQ(dev.read(1, 4, 1), c.random_cmd_ns + c.page_transfer_ns);
+}
+
+TEST(DeviceModel, SataIsSlowerThanNvme) {
+  const DeviceConfig nvme = nvme_config();
+  const DeviceConfig sata = sata_ssd_config();
+  EXPECT_GT(sata.random_cmd_ns, nvme.random_cmd_ns);
+  EXPECT_GT(sata.page_transfer_ns, nvme.page_transfer_ns);
+}
+
+TEST(FileTableTest, CreateAssignsUniqueInodesAndDefaultRa) {
+  FileTable files(128);
+  FileHandle& a = files.create(100);
+  FileHandle& b = files.create(200);
+  EXPECT_NE(a.inode, b.inode);
+  EXPECT_EQ(a.ra_pages, 32u);  // 128 KB / 4 KB
+  EXPECT_TRUE(files.exists(a.inode));
+  files.remove(a.inode);
+  EXPECT_FALSE(files.exists(a.inode));
+}
+
+TEST(FileTableTest, KbPageConversions) {
+  EXPECT_EQ(FileTable::kb_to_pages(128), 32u);
+  EXPECT_EQ(FileTable::kb_to_pages(8), 2u);
+  EXPECT_EQ(FileTable::pages_to_kb(256), 1024u);
+}
+
+TEST(PageCacheTest, MissThenHit) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(1000);
+  stack.cache().read(f, 0, 1);
+  EXPECT_EQ(stack.cache().stats().misses, 1u);
+  const std::uint64_t t = stack.clock().now_ns();
+  stack.cache().read(f, 0, 1);
+  EXPECT_EQ(stack.cache().stats().hits, 1u);
+  EXPECT_EQ(stack.clock().now_ns(), t);  // hits are free of device time
+}
+
+TEST(PageCacheTest, LruEvictionUnderPressure) {
+  StorageStack stack(small_stack(/*cache_pages=*/4));
+  FileHandle& f = stack.files().create(1000);
+  f.ra_pages = 0;  // isolate the cache from readahead
+  for (std::uint64_t p = 0; p < 16; p += 2) stack.cache().read(f, p, 1);
+  EXPECT_LE(stack.cache().resident_pages(), 4u);
+  EXPECT_FALSE(stack.cache().cached(f.inode, 0));  // oldest evicted
+  EXPECT_TRUE(stack.cache().cached(f.inode, 14));  // newest resident
+  EXPECT_GT(stack.cache().stats().evicted, 0u);
+}
+
+TEST(PageCacheTest, TouchKeepsHotPagesResident) {
+  StorageStack stack(small_stack(/*cache_pages=*/4));
+  FileHandle& f = stack.files().create(1000);
+  f.ra_pages = 0;
+  stack.cache().read(f, 0, 1);
+  for (std::uint64_t p = 2; p < 12; p += 2) {
+    stack.cache().read(f, 0, 1);  // keep page 0 hot
+    stack.cache().read(f, p, 1);
+  }
+  EXPECT_TRUE(stack.cache().cached(f.inode, 0));
+}
+
+TEST(PageCacheTest, WriteDirtiesAndFiresWriteback) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(1000);
+  std::uint64_t writebacks = 0;
+  stack.tracepoints().register_hook([&](const TraceEvent& ev) {
+    if (ev.type == TraceEventType::kWritebackDirtyPage) ++writebacks;
+  });
+  stack.cache().write(f, 10, 3);
+  EXPECT_EQ(writebacks, 3u);
+  EXPECT_TRUE(stack.cache().cached(f.inode, 11));
+}
+
+TEST(PageCacheTest, SyncFileBatchesContiguousDirtyRuns) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(1000);
+  stack.cache().write(f, 10, 4);   // one run
+  stack.cache().write(f, 100, 2);  // second run
+  EXPECT_EQ(stack.cache().dirty_pages(), 6u);
+  const std::uint64_t cmds_before = stack.device().stats().write_commands;
+  EXPECT_EQ(stack.cache().sync_file(f.inode), 6u);
+  EXPECT_EQ(stack.device().stats().write_commands, cmds_before + 2);
+  EXPECT_EQ(stack.cache().dirty_pages(), 0u);
+  EXPECT_EQ(stack.cache().sync_file(f.inode), 0u);  // idempotent
+}
+
+TEST(PageCacheTest, SyncFileOnlyTouchesTargetInode) {
+  StorageStack stack(small_stack());
+  FileHandle& a = stack.files().create(100);
+  FileHandle& b = stack.files().create(100);
+  stack.cache().write(a, 0, 2);
+  stack.cache().write(b, 0, 3);
+  EXPECT_EQ(stack.cache().sync_file(a.inode), 2u);
+  EXPECT_EQ(stack.cache().dirty_pages(), 3u);  // b's pages still dirty
+}
+
+TEST(PageCacheTest, DirtyEvictionChargesReclaimWriteback) {
+  StorageStack stack(small_stack(/*cache_pages=*/4));
+  FileHandle& f = stack.files().create(1000);
+  f.ra_pages = 0;
+  stack.cache().write(f, 0, 4);  // fill cache with dirty pages
+  const std::uint64_t writes_before = stack.device().stats().pages_written;
+  for (std::uint64_t p = 100; p < 104; ++p) stack.cache().read(f, p, 1);
+  EXPECT_EQ(stack.device().stats().pages_written, writes_before + 4);
+  EXPECT_GE(stack.cache().stats().dirty_evictions, 4u);
+  EXPECT_EQ(stack.cache().dirty_pages(), 0u);
+}
+
+TEST(PageCacheTest, RewritingDirtyPageCountsOnce) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(100);
+  stack.cache().write(f, 5, 1);
+  stack.cache().write(f, 5, 1);
+  EXPECT_EQ(stack.cache().dirty_pages(), 1u);
+}
+
+TEST(PageCacheTest, DropAllEmptiesCache) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(1000);
+  stack.cache().read(f, 0, 8);
+  EXPECT_GT(stack.cache().resident_pages(), 0u);
+  stack.cache().drop_all();
+  EXPECT_EQ(stack.cache().resident_pages(), 0u);
+}
+
+TEST(PageCacheTest, ReadPastEofIsClipped) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(10);
+  stack.cache().read(f, 8, 10);  // only pages 8, 9 exist
+  EXPECT_FALSE(stack.cache().cached(f.inode, 10));
+  EXPECT_TRUE(stack.cache().cached(f.inode, 9));
+}
+
+TEST(Tracepoints, AddToPageCacheFiresPerInsertedPage) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(1000);
+  f.ra_pages = 0;
+  std::vector<std::uint64_t> offsets;
+  stack.tracepoints().register_hook([&](const TraceEvent& ev) {
+    if (ev.type == TraceEventType::kAddToPageCache) {
+      offsets.push_back(ev.pgoff);
+    }
+  });
+  stack.cache().read(f, 5, 1);
+  stack.cache().read(f, 5, 1);  // hit: no insert
+  ASSERT_EQ(offsets.size(), 1u);
+  EXPECT_EQ(offsets[0], 5u);
+}
+
+TEST(Tracepoints, UnregisterStopsDelivery) {
+  TracepointRegistry reg;
+  int count = 0;
+  const int h = reg.register_hook([&](const TraceEvent&) { ++count; });
+  reg.emit(TraceEventType::kAddToPageCache, 1, 2, 3);
+  reg.unregister(h);
+  reg.emit(TraceEventType::kAddToPageCache, 1, 2, 3);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(reg.emitted(), 2u);
+  EXPECT_EQ(reg.hook_count(), 0);
+}
+
+TEST(Tracepoints, SlotReuseAfterUnregister) {
+  TracepointRegistry reg;
+  const int a = reg.register_hook([](const TraceEvent&) {});
+  reg.unregister(a);
+  const int b = reg.register_hook([](const TraceEvent&) {});
+  EXPECT_EQ(a, b);
+}
+
+// --- ondemand readahead -------------------------------------------------------
+
+TEST(Readahead, WindowSizingMatchesKernelFormulas) {
+  // get_init_ra_size
+  EXPECT_EQ(ReadaheadEngine::init_window(1, 32), 4u);    // <= max/32 -> 4x
+  EXPECT_EQ(ReadaheadEngine::init_window(2, 32), 4u);    // <= max/4 -> 2x
+  EXPECT_EQ(ReadaheadEngine::init_window(16, 32), 32u);  // else -> max
+  EXPECT_EQ(ReadaheadEngine::init_window(1, 2), 2u);
+  // get_next_ra_size
+  EXPECT_EQ(ReadaheadEngine::next_window(1, 32), 4u);   // < max/16 -> 4x
+  EXPECT_EQ(ReadaheadEngine::next_window(4, 32), 8u);   // else -> 2x
+  EXPECT_EQ(ReadaheadEngine::next_window(32, 32), 32u); // capped
+}
+
+TEST(Readahead, SequentialStreamRampsAndPipelines) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(10000);
+  f.ra_pages = 32;
+  // Consume 256 pages sequentially.
+  for (std::uint64_t p = 0; p < 256; ++p) stack.cache().read(f, p, 1);
+  const PageCacheStats& cs = stack.cache().stats();
+  // After ramp-up nearly everything is prefetched ahead of the reader:
+  // misses stay a small fraction.
+  EXPECT_LT(cs.misses, 8u);
+  EXPECT_GT(cs.hits, 240u);
+  EXPECT_GT(stack.cache().readahead().stats().async_windows, 3u);
+  // Few large device commands, not 256 small ones.
+  EXPECT_LT(stack.device().stats().read_commands, 32u);
+}
+
+TEST(Readahead, RandomAccessReadsSinglePages) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(100000);
+  f.ra_pages = 32;
+  // Far-apart single-page reads: no window should open.
+  for (std::uint64_t p = 1000; p <= 91000; p += 10000) {
+    stack.cache().read(f, p, 1);
+  }
+  EXPECT_EQ(stack.device().stats().pages_read,
+            stack.cache().stats().misses);
+  EXPECT_EQ(stack.cache().readahead().stats().sync_windows, 0u);
+  EXPECT_GT(stack.cache().readahead().stats().random_reads, 0u);
+}
+
+TEST(Readahead, DisabledReadsExactlyDemandedPages) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(10000);
+  f.ra_pages = 0;
+  for (std::uint64_t p = 0; p < 64; ++p) stack.cache().read(f, p, 1);
+  EXPECT_EQ(stack.device().stats().pages_read, 64u);
+  EXPECT_EQ(stack.device().stats().read_commands, 64u);
+}
+
+TEST(Readahead, WindowIsCappedByRaPages) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(100000);
+  f.ra_pages = 4;
+  for (std::uint64_t p = 0; p < 256; ++p) stack.cache().read(f, p, 1);
+  // No device command may exceed the 4-page cap (plus the 1-page demand
+  // read at the start).
+  EXPECT_GE(stack.device().stats().read_commands,
+            256u / 4u);  // at least a command per window
+  // Bounded overrun: the pipeline may run at most ~2 windows ahead.
+  EXPECT_LE(stack.device().stats().pages_read, 256u + 8u);
+  EXPECT_GE(stack.device().stats().pages_read, 256u);
+}
+
+TEST(Readahead, PrefetchSkipsCachedPages) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(10000);
+  f.ra_pages = 0;
+  // Pre-populate pages 4..7 without readahead.
+  for (std::uint64_t p = 4; p < 8; ++p) stack.cache().read(f, p, 1);
+  stack.device().reset_stats();
+  f.ra_pages = 32;
+  f.ra.prev_pos = UINT64_MAX;
+  // Sequential stream from 0: windows overlapping 4..7 must not re-read.
+  for (std::uint64_t p = 0; p < 16; ++p) stack.cache().read(f, p, 1);
+  EXPECT_EQ(stack.device().stats().pages_read,
+            stack.cache().stats().inserted - 4u);
+}
+
+TEST(Readahead, WastedPrefetchIsAccounted) {
+  StorageStack stack(small_stack(/*cache_pages=*/64));
+  FileHandle& f = stack.files().create(100000);
+  f.ra_pages = 32;
+  // Short sequential bursts at random far-apart starts: windows open and
+  // over-read; the cache then cycles, evicting speculative pages unused.
+  kml::math::Rng rng(3);
+  for (int burst = 0; burst < 64; ++burst) {
+    const std::uint64_t base = rng.next_below(90000);
+    for (std::uint64_t i = 0; i < 4; ++i) stack.cache().read(f, base + i, 1);
+  }
+  EXPECT_GT(stack.cache().stats().prefetch_wasted, 0u);
+}
+
+TEST(BlockLayerTest, SetReadaheadUpdatesDeviceAndOpenFiles) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(100);
+  EXPECT_EQ(stack.block_layer().readahead_kb(), 128u);
+  stack.block_layer().set_readahead_kb(512);
+  EXPECT_EQ(f.ra_pages, 128u);
+  EXPECT_EQ(stack.block_layer().readahead_kb(), 512u);
+  // Files created afterwards inherit the new default.
+  FileHandle& g = stack.files().create(100);
+  EXPECT_EQ(g.ra_pages, 128u);
+  EXPECT_EQ(stack.block_layer().actuations(), 1u);
+}
+
+TEST(BlockLayerTest, FadviseHintsFollowPosixSemantics) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(100);
+  stack.block_layer().fadvise(f.inode, Fadvise::kRandom);
+  EXPECT_EQ(f.ra_pages, 0u);
+  stack.block_layer().fadvise(f.inode, Fadvise::kSequential);
+  EXPECT_EQ(f.ra_pages, 64u);  // 2x the 128 KB default
+  stack.block_layer().fadvise(f.inode, Fadvise::kNormal);
+  EXPECT_EQ(f.ra_pages, 32u);
+  EXPECT_EQ(stack.block_layer().actuations(), 3u);
+}
+
+TEST(BlockLayerTest, FadviseRandomDisablesReadaheadEndToEnd) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(10000);
+  stack.block_layer().fadvise(f.inode, Fadvise::kRandom);
+  for (std::uint64_t p = 0; p < 32; ++p) stack.cache().read(f, p, 1);
+  // Sequential access, but the hint suppresses all speculation.
+  EXPECT_EQ(stack.device().stats().pages_read, 32u);
+}
+
+TEST(BlockLayerTest, PerFileOverride) {
+  StorageStack stack(small_stack());
+  FileHandle& f = stack.files().create(100);
+  FileHandle& g = stack.files().create(100);
+  stack.block_layer().set_file_readahead_kb(f.inode, 8);
+  EXPECT_EQ(f.ra_pages, 2u);
+  EXPECT_EQ(g.ra_pages, 32u);
+  EXPECT_EQ(stack.block_layer().file_readahead_kb(f.inode), 8u);
+}
+
+}  // namespace
+}  // namespace kml::sim

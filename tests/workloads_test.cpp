@@ -1,0 +1,221 @@
+// Tests for src/workloads: key generators, the six drivers, determinism,
+// duration/op-count limits, and the tick callback contract.
+#include "workloads/drivers.h"
+#include "workloads/generator.h"
+#include "workloads/mixgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace kml::workloads {
+namespace {
+
+sim::StackConfig tiny_stack() {
+  sim::StackConfig config;
+  config.device = sim::nvme_config();
+  config.cache_pages = 4096;
+  return config;
+}
+
+kv::KVConfig tiny_kv() {
+  kv::KVConfig config;
+  config.num_keys = 20000;
+  config.geom.entry_bytes = 128;
+  config.geom.block_pages = 4;
+  return config;
+}
+
+TEST(Names, AllWorkloadsNamed) {
+  EXPECT_STREQ(workload_name(WorkloadType::kReadSeq), "readseq");
+  EXPECT_STREQ(workload_name(WorkloadType::kReadRandom), "readrandom");
+  EXPECT_STREQ(workload_name(WorkloadType::kReadReverse), "readreverse");
+  EXPECT_STREQ(workload_name(WorkloadType::kReadRandomWriteRandom),
+               "readrandomwriterandom");
+  EXPECT_STREQ(workload_name(WorkloadType::kUpdateRandom), "updaterandom");
+  EXPECT_STREQ(workload_name(WorkloadType::kMixGraph), "mixgraph");
+  EXPECT_STREQ(workload_name(WorkloadType::kSeekRandom), "seekrandom");
+  EXPECT_STREQ(workload_name(WorkloadType::kReadWhileWriting),
+               "readwhilewriting");
+}
+
+TEST(Generators, UniformKeysWithinBounds) {
+  UniformKeys gen(1000, 3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.next(), 1000u);
+}
+
+TEST(Generators, ZipfKeysWithinBoundsAndSkewed) {
+  ZipfKeys gen(10000, 0.99, 5);
+  std::vector<int> counts(10000, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t k = gen.next();
+    ASSERT_LT(k, 10000u);
+    ++counts[static_cast<std::size_t>(k)];
+  }
+  // A handful of keys should dominate: the max count far exceeds uniform.
+  int mx = 0;
+  for (int c : counts) mx = std::max(mx, c);
+  EXPECT_GT(mx, 50);  // uniform expectation is 5
+}
+
+TEST(MixGraph, OpMixApproximatesConfiguredPercentages) {
+  MixGraphGenerator gen(10000, 0.9, 80, 15, 20, 7);
+  int gets = 0;
+  int puts = 0;
+  int scans = 0;
+  for (int i = 0; i < 20000; ++i) {
+    switch (gen.next().op) {
+      case MixOp::kGet: ++gets; break;
+      case MixOp::kPut: ++puts; break;
+      case MixOp::kScan: ++scans; break;
+    }
+  }
+  EXPECT_NEAR(gets / 20000.0, 0.80, 0.02);
+  EXPECT_NEAR(puts / 20000.0, 0.15, 0.02);
+  EXPECT_NEAR(scans / 20000.0, 0.05, 0.02);
+}
+
+TEST(MixGraph, ScanLengthsAreBoundedAndPositive) {
+  MixGraphGenerator gen(1000, 0.9, 0, 0, 25, 11);  // all scans
+  for (int i = 0; i < 1000; ++i) {
+    const MixAction a = gen.next();
+    ASSERT_EQ(a.op, MixOp::kScan);
+    EXPECT_GE(a.scan_length, 1u);
+    EXPECT_LE(a.scan_length, 50u);
+  }
+}
+
+class DriverTest : public ::testing::TestWithParam<WorkloadType> {};
+
+TEST_P(DriverTest, RunsAndMakesProgress) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = GetParam();
+  const RunResult r =
+      run_workload(db, wc, 200 * 1000 * 1000 /* 200 ms */, UINT64_MAX);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  EXPECT_GE(r.duration_ns, 200u * 1000 * 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, DriverTest,
+    ::testing::Values(WorkloadType::kReadSeq, WorkloadType::kReadRandom,
+                      WorkloadType::kReadReverse,
+                      WorkloadType::kReadRandomWriteRandom,
+                      WorkloadType::kUpdateRandom, WorkloadType::kMixGraph,
+                      WorkloadType::kSeekRandom,
+                      WorkloadType::kReadWhileWriting),
+    [](const ::testing::TestParamInfo<WorkloadType>& info) {
+      return std::string(workload_name(info.param));
+    });
+
+TEST(Drivers, MaxOpsCapIsRespected) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kReadRandom;
+  const RunResult r = run_workload(db, wc, UINT64_MAX / 2, 100);
+  EXPECT_EQ(r.ops, 100u);
+}
+
+TEST(Drivers, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::StorageStack stack(tiny_stack());
+    kv::MiniKV db(stack, tiny_kv());
+    WorkloadConfig wc;
+    wc.type = WorkloadType::kMixGraph;
+    wc.seed = 99;
+    return run_workload(db, wc, 300 * 1000 * 1000, UINT64_MAX);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.duration_ns, b.duration_ns);
+}
+
+TEST(Drivers, DifferentSeedsVisitDifferentKeys) {
+  // The seed flows into the key generator: the two runs must touch
+  // different key sequences (observable through the generator directly).
+  UniformKeys a(1 << 20, 1);
+  UniformKeys b(1 << 20, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Drivers, TickFiresPerOpWithMonotoneTime) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kReadRandom;
+  std::uint64_t ticks = 0;
+  std::uint64_t last = 0;
+  const RunResult r = run_workload(db, wc, UINT64_MAX / 2, 50,
+                                   [&](std::uint64_t now) {
+                                     EXPECT_GE(now, last);
+                                     last = now;
+                                     ++ticks;
+                                   });
+  EXPECT_EQ(ticks, r.ops);
+}
+
+TEST(Drivers, UpdateRandomIssuesReadsAndWrites) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kUpdateRandom;
+  run_workload(db, wc, UINT64_MAX / 2, 200);
+  EXPECT_EQ(db.stats().gets, 200u);
+  EXPECT_EQ(db.stats().puts, 200u);
+}
+
+TEST(Drivers, ReadWriteMixMatchesReadPercent) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kReadRandomWriteRandom;
+  wc.read_percent = 70;
+  run_workload(db, wc, UINT64_MAX / 2, 5000);
+  const double read_frac =
+      static_cast<double>(db.stats().gets) /
+      static_cast<double>(db.stats().gets + db.stats().puts);
+  EXPECT_NEAR(read_frac, 0.70, 0.03);
+}
+
+TEST(Drivers, SeekRandomReadsSeekNextsEntries) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kSeekRandom;
+  wc.seek_nexts = 8;
+  run_workload(db, wc, UINT64_MAX / 2, 50);
+  // Each op advances the iterator seek_nexts times.
+  EXPECT_EQ(db.stats().iter_steps, 50u * 8u);
+}
+
+TEST(Drivers, ReadWhileWritingMixesWritesAtConfiguredRate) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kReadWhileWriting;
+  wc.writes_per_16_reads = 4;
+  run_workload(db, wc, UINT64_MAX / 2, 1600);
+  EXPECT_EQ(db.stats().puts, 400u);
+  EXPECT_EQ(db.stats().gets, 1200u);
+}
+
+TEST(Drivers, ReadSeqWrapsAroundAtEof) {
+  sim::StorageStack stack(tiny_stack());
+  kv::KVConfig config = tiny_kv();
+  config.num_keys = 100;  // tiny database: must wrap many times
+  kv::MiniKV db(stack, config);
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kReadSeq;
+  const RunResult r = run_workload(db, wc, UINT64_MAX / 2, 550);
+  EXPECT_EQ(r.ops, 550u);  // > 5 full passes without getting stuck
+}
+
+}  // namespace
+}  // namespace kml::workloads

@@ -1,0 +1,172 @@
+// Tests for src/sim/writeback + src/writeback: daemon threshold semantics,
+// the workload-dependent optimum (batching vs the reclaim cliff), and the
+// RL closed loop on the second knob.
+#include "writeback/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace kml::writeback {
+namespace {
+
+sim::StackConfig small_stack() {
+  sim::StackConfig config;
+  config.device = sim::sata_ssd_config();
+  config.cache_pages = 4096;
+  return config;
+}
+
+TEST(WritebackDaemon, FlushesOnlyAboveThreshold) {
+  sim::StorageStack stack(small_stack());
+  sim::FileHandle& f = stack.files().create(100000);
+  sim::WritebackDaemon daemon(stack.cache(), 10);
+
+  stack.cache().write(f, 0, 10);  // exactly at threshold: no flush
+  daemon.poll();
+  EXPECT_EQ(daemon.stats().flushes, 0u);
+  EXPECT_EQ(stack.cache().dirty_pages(), 10u);
+
+  stack.cache().write(f, 100, 1);  // crosses it
+  daemon.poll();
+  EXPECT_EQ(daemon.stats().flushes, 1u);
+  EXPECT_EQ(daemon.stats().pages_flushed, 11u);
+  EXPECT_EQ(stack.cache().dirty_pages(), 0u);
+}
+
+TEST(WritebackDaemon, ZeroThresholdIsWriteThrough) {
+  sim::StorageStack stack(small_stack());
+  sim::FileHandle& f = stack.files().create(1000);
+  sim::WritebackDaemon daemon(stack.cache(), 0);
+  stack.cache().write(f, 5, 1);
+  daemon.poll();
+  EXPECT_EQ(stack.cache().dirty_pages(), 0u);
+}
+
+TEST(WritebackDaemon, SyncAllCoversMultipleFiles) {
+  sim::StorageStack stack(small_stack());
+  sim::FileHandle& a = stack.files().create(1000);
+  sim::FileHandle& b = stack.files().create(1000);
+  stack.cache().write(a, 0, 3);
+  stack.cache().write(b, 10, 4);
+  EXPECT_EQ(stack.cache().sync_all(), 7u);
+  EXPECT_EQ(stack.cache().dirty_pages(), 0u);
+}
+
+TEST(WbWorkloads, AllKindsRunAndPayWriteback) {
+  for (const WbKind kind :
+       {WbKind::kSeqWriter, WbKind::kRandWriter, WbKind::kMixed}) {
+    sim::StorageStack stack(small_stack());
+    sim::WritebackDaemon daemon(stack.cache(), 512);
+    WbConfig config;
+    config.kind = kind;
+    config.file_pages = 100000;
+    config.hot_pages = 3000;
+    const WbRunResult r = run_wb_workload(stack, daemon, config,
+                                          2 * sim::kNsPerSec);
+    EXPECT_GT(r.ops, 0u) << wb_kind_name(kind);
+    EXPECT_GT(r.ops_per_sec, 0.0);
+    EXPECT_GT(stack.device().stats().pages_written, 0u);
+  }
+}
+
+TEST(WbWorkloads, SeqWriterPrefersBatchingBelowCapacity) {
+  // The §6 case-study shape in miniature: for the sequential writer a
+  // threshold just below cache capacity beats both a tiny threshold
+  // (poor batching) and one beyond capacity (reclaim writes every page
+  // individually).
+  sim::StackConfig sc = small_stack();
+  const auto run_at = [&](std::uint64_t threshold) {
+    sim::StorageStack stack(sc);
+    sim::WritebackDaemon daemon(stack.cache(), threshold);
+    WbConfig config;
+    config.kind = WbKind::kSeqWriter;
+    config.file_pages = 200000;
+    return run_wb_workload(stack, daemon, config, 2 * sim::kNsPerSec);
+  };
+  const double tiny = run_at(32).ops_per_sec;
+  const double good = run_at(3000).ops_per_sec;  // < 4096-page cache
+  const WbRunResult over = run_at(100000);       // > cache: reclaim path
+  EXPECT_GT(good, tiny * 1.05);
+  EXPECT_GT(good, over.ops_per_sec * 1.5);  // the cliff
+  EXPECT_GT(over.dirty_evictions, 0u);      // paid via reclaim writeback
+}
+
+TEST(WbWorkloads, DeterministicForSameSeed) {
+  const auto run_once = [] {
+    sim::StorageStack stack(small_stack());
+    sim::WritebackDaemon daemon(stack.cache(), 1024);
+    WbConfig config;
+    config.kind = WbKind::kMixed;
+    return run_wb_workload(stack, daemon, config, sim::kNsPerSec).ops;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(WbSweep, ProducesOnePointPerCell) {
+  const auto sweep = writeback_sweep(small_stack(),
+                                     {WbKind::kSeqWriter, WbKind::kMixed},
+                                     {256, 2048}, 1);
+  EXPECT_EQ(sweep.size(), 4u);
+  for (const auto& p : sweep) EXPECT_GT(p.ops_per_sec, 0.0);
+}
+
+TEST(WbRl, AgentDoesNotFallOffTheCliff) {
+  // With local exploration, a converged sequential-writer agent must stay
+  // at or near the fixed default's throughput even though catastrophic
+  // actions exist in its set.
+  readahead::RlConfig rl;
+  rl.actions_kb = {256, 3000, 100000};  // last one is past cache capacity
+  rl.local_exploration = true;
+  rl.seed = 3;
+  WbConfig config;
+  config.kind = WbKind::kSeqWriter;
+  config.file_pages = 200000;
+  const WbEvalOutcome outcome = evaluate_wb_rl(
+      small_stack(), config, /*default_threshold_pages=*/3000, rl,
+      /*seconds=*/30, /*warmup_seconds=*/10);
+  // Living at the cliff threshold would run at ~0.2x; the agent pays only
+  // bounded exploration cost (forced first visits re-trigger when its
+  // coarse state discretization flaps, so allow a wider margin here than
+  // the long-run benches show).
+  EXPECT_GT(outcome.speedup, 0.7);
+  EXPECT_FALSE(outcome.timeline.empty());
+}
+
+TEST(WbRl, LocalExplorationStaysAdjacent) {
+  // Unit-level: with local exploration, actions chosen via epsilon must be
+  // neighbours of the greedy action. Covered indirectly: force epsilon=1
+  // and verify actuations only ever move one step per window.
+  sim::StorageStack stack(small_stack());
+  sim::WritebackDaemon daemon(stack.cache(), 256);
+  readahead::RlConfig rl;
+  rl.actions_kb = {100, 200, 300, 400, 500};
+  rl.epsilon = 1.0;
+  rl.epsilon_decay = 1.0;
+  rl.epsilon_min = 1.0;
+  rl.local_exploration = true;
+  readahead::QLearningTuner agent(
+      stack, rl, [&daemon](std::uint32_t t) {
+        daemon.set_threshold_pages(t);
+      });
+
+  WbConfig config;
+  config.kind = WbKind::kRandWriter;
+  config.file_pages = 100000;
+  run_wb_workload(stack, daemon, config, 12 * sim::kNsPerSec,
+                  [&agent](std::uint64_t now, std::uint64_t ops) {
+                    agent.on_tick(now, ops);
+                  });
+  const auto& timeline = agent.timeline();
+  ASSERT_GT(timeline.size(), 6u);
+  // After the forced first visits (5 actions), epsilon moves are +-1 of
+  // the greedy action; with rewards nearly flat the greedy action is
+  // stable, so consecutive actuated values never jump across the set.
+  for (std::size_t i = 6; i < timeline.size(); ++i) {
+    if (timeline[i].action < 0 || timeline[i - 1].action < 0) continue;
+    EXPECT_LE(
+        std::abs(timeline[i].action - timeline[i - 1].action), 2)
+        << "window " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kml::writeback
