@@ -1,0 +1,131 @@
+// bench_health_guard — graceful degradation under an injected model failure.
+//
+// A closed-loop run where the trainer "diverges" at a chosen virtual second
+// (non-finite loss fed to the HealthMonitor) and is rolled back to the
+// last-known-good checkpoint some seconds later. The per-second timeline
+// shows the three regimes: model actuation, the vanilla fallback while
+// quarantined, and resumed actuation after recovery. The safety claim being
+// measured: while degraded, throughput tracks the vanilla baseline instead
+// of whatever a broken model would have actuated.
+//
+// Usage: bench_health_guard [seconds] [fail_at] [recover_at]
+//            [--device nvme|ssd] [--workload <name>] [--model path]
+#include "bench_common.h"
+
+#include "runtime/health.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+int main(int argc, char** argv) {
+  using namespace kml;
+
+  std::uint64_t seconds = 30;
+  std::uint64_t fail_at = 10;
+  std::uint64_t recover_at = 20;
+  const char* model_path = bench::kDefaultModelPath;
+  sim::DeviceConfig device = sim::nvme_config();
+  workloads::WorkloadType workload = workloads::WorkloadType::kReadRandom;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      device = std::strcmp(argv[++i], "ssd") == 0 ? sim::sata_ssd_config()
+                                                  : sim::nvme_config();
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      for (int w = 0; w < workloads::kNumWorkloads; ++w) {
+        const auto t = static_cast<workloads::WorkloadType>(w);
+        if (name == workloads::workload_name(t)) workload = t;
+      }
+    } else if (positional == 0) {
+      seconds = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else if (positional == 1) {
+      fail_at = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      recover_at = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  if (seconds == 0) seconds = 30;
+  if (fail_at >= seconds) fail_at = seconds / 3;
+  if (recover_at <= fail_at || recover_at >= seconds) {
+    recover_at = fail_at + (seconds - fail_at) / 2;
+  }
+
+  nn::Network net = bench::train_or_load_model(model_path);
+  const auto predictor = bench::nn_predictor(net);
+
+  readahead::ExperimentConfig config;
+  config.device = device;
+
+  runtime::HealthMonitor monitor;
+  readahead::TunerConfig tuner_config;
+  tuner_config.class_ra_kb = bench::actuation_table(config);
+  tuner_config.health = &monitor;
+
+  bool failed = false;
+  bool recovered = false;
+  const auto inject = [&](std::uint64_t now_ns) {
+    if (!failed && now_ns >= fail_at * sim::kNsPerSec) {
+      failed = true;  // the trainer step went non-finite
+      monitor.observe_train_step(
+          std::numeric_limits<double>::quiet_NaN(), false);
+    }
+    if (!recovered && now_ns >= recover_at * sim::kNsPerSec) {
+      recovered = true;  // engine rolled back; clean steps follow
+      monitor.notify_rollback();
+      for (std::uint32_t i = 0;
+           i <= monitor.config().clean_steps_to_recover; ++i) {
+        monitor.observe_train_step(1.0, true);
+      }
+    }
+  };
+
+  std::printf("\nHealth guard: %s on %s, %llu s, fail@%llus, rollback@%llus\n",
+              workloads::workload_name(workload), device.name,
+              static_cast<unsigned long long>(seconds),
+              static_cast<unsigned long long>(fail_at),
+              static_cast<unsigned long long>(recover_at));
+
+  const readahead::EvalOutcome outcome = readahead::evaluate_closed_loop(
+      config, workload, predictor, tuner_config, seconds, inject);
+
+  std::printf("\n%6s %16s %16s %12s %10s\n", "sec", "vanilla ops/s",
+              "kml ops/s", "ra (KB)", "state");
+  for (std::uint64_t s = 0; s < seconds; ++s) {
+    const double vanilla = s < outcome.vanilla_per_second.size()
+                               ? outcome.vanilla_per_second[s]
+                               : 0.0;
+    const double kml = s < outcome.kml_per_second.size()
+                           ? outcome.kml_per_second[s]
+                           : 0.0;
+    double ra = 0.0;
+    const char* state = "?";
+    if (s < outcome.timeline.size()) {
+      ra = outcome.timeline[s].ra_kb;
+      state = outcome.timeline[s].degraded ? "DEGRADED" : "model";
+    }
+    std::printf("%6llu %16.0f %16.0f %12.0f %10s\n",
+                static_cast<unsigned long long>(s), vanilla, kml, ra, state);
+  }
+
+  std::printf("\noverall: vanilla %.0f ops/s, kml-with-fault %.0f ops/s "
+              "(%.2fx), %llu/%llu windows degraded\n",
+              outcome.vanilla_ops_per_sec, outcome.kml_ops_per_sec,
+              outcome.speedup,
+              static_cast<unsigned long long>(outcome.degraded_windows),
+              static_cast<unsigned long long>(outcome.timeline.size()));
+  std::printf("monitor: %llu failure(s), %llu degradation(s), %llu "
+              "recovery(ies), final state %s\n",
+              static_cast<unsigned long long>(monitor.stats().failures),
+              static_cast<unsigned long long>(monitor.stats().degradations),
+              static_cast<unsigned long long>(monitor.stats().recoveries),
+              runtime::health_state_name(monitor.state()));
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "dtree/decision_tree.h"
 #include "nn/network.h"
 #include "nn/serialize.h"
+#include "runtime/health.h"
 
 #include <new>
 #include <vector>
@@ -18,6 +19,10 @@ struct kml_model {
 
 struct kml_dtree {
   kml::dtree::DecisionTree tree;
+};
+
+struct kml_health {
+  kml::runtime::HealthMonitor monitor;
 };
 
 namespace {
@@ -83,6 +88,45 @@ int kml_model_num_classes(const kml_model* model) {
 
 size_t kml_model_weight_bytes(const kml_model* model) {
   return model == nullptr ? 0 : model->net.param_bytes();
+}
+
+kml_health* kml_health_create(void) {
+  return new (std::nothrow) kml_health{};
+}
+
+void kml_health_destroy(kml_health* health) { delete health; }
+
+int kml_health_state(const kml_health* health) {
+  if (health == nullptr) return -1;
+  return static_cast<int>(health->monitor.state());
+}
+
+void kml_health_observe_train_step(kml_health* health, double loss,
+                                   int valid) {
+  if (health == nullptr) return;
+  health->monitor.observe_train_step(loss, valid != 0);
+}
+
+void kml_health_heartbeat(kml_health* health, unsigned long long now_ns) {
+  if (health == nullptr) return;
+  health->monitor.heartbeat(now_ns);
+}
+
+int kml_health_check_watchdog(kml_health* health, unsigned long long now_ns) {
+  if (health == nullptr) return 0;
+  return health->monitor.check_watchdog(now_ns) ? 1 : 0;
+}
+
+void kml_health_observe_buffer(kml_health* health,
+                               unsigned long long submitted_total,
+                               unsigned long long dropped_total) {
+  if (health == nullptr) return;
+  health->monitor.observe_buffer(submitted_total, dropped_total);
+}
+
+void kml_health_notify_rollback(kml_health* health) {
+  if (health == nullptr) return;
+  health->monitor.notify_rollback();
 }
 
 kml_dtree* kml_dtree_load(const char* path) {

@@ -39,6 +39,43 @@ int kml_model_num_classes(const kml_model* model);
 /* Bytes of parameter storage (the deployment footprint). 0 on error. */
 size_t kml_model_weight_bytes(const kml_model* model);
 
+/* ---- health guard (graceful degradation) ---- */
+
+typedef struct kml_health kml_health;
+
+/* States returned by kml_health_state(). */
+#define KML_HEALTH_HEALTHY 0
+#define KML_HEALTH_DEGRADED 1
+#define KML_HEALTH_FAILED 2
+
+/* Create a monitor with default thresholds; NULL on allocation failure. */
+kml_health* kml_health_create(void);
+
+void kml_health_destroy(kml_health* health);
+
+/* Current state (KML_HEALTH_*), or -1 on NULL handle. Lock-free; safe to
+ * poll from latency-sensitive paths. */
+int kml_health_state(const kml_health* health);
+
+/* Feed one training step: `loss` is the step's loss, `valid` is 0 when the
+ * step produced a non-finite loss or weights. */
+void kml_health_observe_train_step(kml_health* health, double loss,
+                                   int valid);
+
+/* Trainer liveness. `now_ns` is any monotonic clock shared by both sides. */
+void kml_health_heartbeat(kml_health* health, unsigned long long now_ns);
+
+/* Returns 1 if the watchdog tripped on this check, 0 otherwise / on NULL. */
+int kml_health_check_watchdog(kml_health* health, unsigned long long now_ns);
+
+/* Cumulative (monotonic) submitted/dropped counters from the trace buffer. */
+void kml_health_observe_buffer(kml_health* health,
+                               unsigned long long submitted_total,
+                               unsigned long long dropped_total);
+
+/* Announce a rollback to last-known-good weights: FAILED -> DEGRADED. */
+void kml_health_notify_rollback(kml_health* health);
+
 /* ---- decision trees ('KMLT') ---- */
 
 typedef struct kml_dtree kml_dtree;

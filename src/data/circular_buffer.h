@@ -13,12 +13,14 @@
 // consumer thread, which is KML's deployment shape (I/O path -> trainer).
 #pragma once
 
+#include "portability/fault.h"
+#include "portability/log.h"
 #include "portability/memory.h"
 #include "portability/thread.h"
 
 #include <atomic>
-#include <cassert>
 #include <cstddef>
+#include <limits>
 #include <new>
 
 namespace kml::data {
@@ -29,15 +31,32 @@ class CircularBuffer {
   // Capacity is rounded up to a power of two (index masking beats modulo on
   // the hot path). Usable slots = capacity (one-slot-reserve avoided by
   // using monotonically increasing counters).
-  explicit CircularBuffer(std::size_t capacity)
-      : capacity_(round_up_pow2(capacity == 0 ? 1 : capacity)),
-        mask_(capacity_ - 1),
-        slots_(static_cast<T*>(kml_malloc(capacity_ * sizeof(T)))) {
-    assert(slots_ != nullptr);
-    for (std::size_t i = 0; i < capacity_; ++i) new (&slots_[i]) T{};
+  //
+  // Allocation failure (memory pressure, §3.1) must not take down the I/O
+  // path: the buffer degrades to zero capacity — every push() drops and is
+  // counted, pop() reports empty — instead of dereferencing a null slot
+  // array.
+  explicit CircularBuffer(std::size_t capacity) {
+    const std::size_t cap = round_up_pow2(capacity == 0 ? 1 : capacity);
+    if (cap > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      KML_ERROR("CircularBuffer: capacity overflow (%zu slots)", cap);
+      return;
+    }
+    auto* slots = static_cast<T*>(kml_malloc(cap * sizeof(T)));
+    if (slots == nullptr) {
+      KML_ERROR("CircularBuffer: allocation failed (%zu slots); degrading "
+                "to a drop-everything buffer",
+                cap);
+      return;
+    }
+    for (std::size_t i = 0; i < cap; ++i) new (&slots[i]) T{};
+    slots_ = slots;
+    capacity_ = cap;
+    mask_ = cap - 1;
   }
 
   ~CircularBuffer() {
+    if (slots_ == nullptr) return;
     for (std::size_t i = 0; i < capacity_; ++i) slots_[i].~T();
     kml_free(slots_);
   }
@@ -45,11 +64,14 @@ class CircularBuffer {
   CircularBuffer(const CircularBuffer&) = delete;
   CircularBuffer& operator=(const CircularBuffer&) = delete;
 
-  // Producer side. Returns false (and counts a drop) when full.
+  // Producer side. Returns false (and counts a drop) when full, when the
+  // buffer degraded to zero capacity at construction, or when a forced-drop
+  // fault is armed (consumer-stall rehearsal).
   bool push(const T& value) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
-    if (head - tail >= capacity_) {
+    if (head - tail >= capacity_ ||
+        kml_fault_should_fail(FaultSite::kBufferPush)) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -76,6 +98,7 @@ class CircularBuffer {
     return n;
   }
 
+  // 0 when construction-time allocation failed (degraded mode).
   std::size_t capacity() const { return capacity_; }
 
   // Approximate occupancy (exact when called from the consumer).
@@ -100,9 +123,9 @@ class CircularBuffer {
     return p;
   }
 
-  const std::size_t capacity_;
-  const std::size_t mask_;
-  T* const slots_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  T* slots_ = nullptr;
   // Producer and consumer counters on separate cache lines to avoid false
   // sharing between the I/O path and the training thread.
   alignas(64) std::atomic<std::uint64_t> head_{0};

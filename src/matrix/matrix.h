@@ -53,11 +53,20 @@ class Mat {
  public:
   Mat() = default;
 
+  // Allocation failure degrades to an empty (0 x 0) matrix rather than a
+  // null-backed one: every subsequent size()-bounded loop is then a no-op
+  // and callers can detect the failure via empty(). This is the malloc
+  // fault-injection contract for model construction under memory pressure.
   Mat(int rows, int cols) : rows_(rows), cols_(cols) {
     assert(rows >= 0 && cols >= 0);
     if (size() > 0) {
       data_ = static_cast<T*>(kml_malloc(size() * sizeof(T)));
-      assert(data_ != nullptr);
+      if (data_ == nullptr) {
+        KML_ERROR("Mat: allocation failed (%d x %d)", rows, cols);
+        rows_ = 0;
+        cols_ = 0;
+        return;
+      }
       for (std::size_t i = 0; i < size(); ++i) data_[i] = T{};
     }
   }

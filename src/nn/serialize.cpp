@@ -6,115 +6,179 @@
 #include "portability/log.h"
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace kml::nn {
 namespace {
 
-bool write_u32(KmlFile* f, std::uint32_t v) {
-  return kml_fwrite(f, &v, sizeof(v)) == sizeof(v);
-}
-
-bool write_f64s(KmlFile* f, const double* data, std::size_t n) {
-  if (n == 0) return true;  // e.g. a model saved without a fitted normalizer
-  const auto bytes = static_cast<std::int64_t>(n * sizeof(double));
-  return kml_fwrite(f, data, n * sizeof(double)) == bytes;
-}
-
-bool read_u32(KmlFile* f, std::uint32_t& v) {
-  return kml_fread(f, &v, sizeof(v)) == sizeof(v);
-}
-
-bool read_f64s(KmlFile* f, double* data, std::size_t n) {
-  if (n == 0) return true;
-  const auto bytes = static_cast<std::int64_t>(n * sizeof(double));
-  return kml_fread(f, data, n * sizeof(double)) == bytes;
-}
-
 // Layer shapes are bounded to keep a corrupt file from driving giant
-// allocations during load.
+// allocations during load (belt; the remaining-bytes check below is the
+// suspenders).
 constexpr std::uint32_t kMaxDim = 1u << 16;
+constexpr std::uint32_t kMaxLayers = 1024;
 
-}  // namespace
+// --- Byte-buffer serialization ----------------------------------------------
+//
+// Both directions go through an in-memory image of the file. On save that
+// makes the CRC and the atomic tmp-file+rename commit trivial; on load it
+// lets every field be validated against the *actual* remaining bytes before
+// any allocation happens, so the parser's allocation is bounded by the file
+// size (itself capped) rather than by whatever a hostile header claims.
 
-bool save_model(const Network& net, const char* path) {
-  KmlFile* f = kml_fopen(path, "w");
-  if (f == nullptr) {
-    KML_ERROR("save_model: cannot open %s", path);
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(v));
+  }
+  void f64s(const double* data, std::size_t n) {
+    if (n == 0) return;  // e.g. a model saved without a fitted normalizer
+    const auto* p = reinterpret_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n * sizeof(double));
+  }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  bool u32(std::uint32_t& v) {
+    if (remaining() < sizeof(v)) return false;
+    std::memcpy(&v, data_ + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return true;
+  }
+
+  bool f64s(double* out, std::size_t n) {
+    if (n > remaining() / sizeof(double)) return false;
+    if (n == 0) return true;
+    std::memcpy(out, data_ + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// Read the whole file at `path` into `out`, enforcing the size cap. The
+// short-read check catches files that shrink mid-read (or an injected
+// kFileRead fault).
+bool slurp_file(const char* path, std::vector<std::uint8_t>& out) {
+  const std::int64_t size = kml_fsize(path);
+  if (size < 0) return false;
+  if (size > kMaxModelFileBytes) {
+    KML_ERROR("load_model: %s is %lld bytes, over the %lld-byte cap", path,
+              static_cast<long long>(size),
+              static_cast<long long>(kMaxModelFileBytes));
     return false;
   }
-  bool ok = write_u32(f, kModelMagic) && write_u32(f, kModelVersion);
+  KmlFile* f = kml_fopen(path, "r");
+  if (f == nullptr) return false;
+  out.resize(static_cast<std::size_t>(size));
+  std::int64_t got = 0;
+  while (got < size) {
+    const std::int64_t n =
+        kml_fread(f, out.data() + got, static_cast<std::size_t>(size - got));
+    if (n <= 0) break;  // error or premature EOF
+    got += n;
+  }
+  kml_fclose(f);
+  return got == size;
+}
+
+// Serialize the model payload (everything but the CRC footer).
+void write_payload(const Network& net, ByteWriter& w) {
+  w.u32(kModelMagic);
+  w.u32(kModelVersion);
 
   std::vector<double> means;
   std::vector<double> stds;
   net.normalizer().export_moments(means, stds);
-  ok = ok && write_u32(f, static_cast<std::uint32_t>(means.size()));
-  ok = ok && write_f64s(f, means.data(), means.size());
-  ok = ok && write_f64s(f, stds.data(), stds.size());
+  w.u32(static_cast<std::uint32_t>(means.size()));
+  w.f64s(means.data(), means.size());
+  w.f64s(stds.data(), stds.size());
 
-  ok = ok && write_u32(f, static_cast<std::uint32_t>(net.num_layers()));
+  w.u32(static_cast<std::uint32_t>(net.num_layers()));
   auto& mutable_net = const_cast<Network&>(net);
-  for (int i = 0; ok && i < net.num_layers(); ++i) {
+  for (int i = 0; i < net.num_layers(); ++i) {
     Layer& layer = mutable_net.layer(i);
-    ok = write_u32(f, static_cast<std::uint32_t>(layer.type()));
-    ok = ok && write_u32(f, static_cast<std::uint32_t>(layer.in_features()));
-    ok = ok && write_u32(f, static_cast<std::uint32_t>(layer.out_features()));
+    w.u32(static_cast<std::uint32_t>(layer.type()));
+    w.u32(static_cast<std::uint32_t>(layer.in_features()));
+    w.u32(static_cast<std::uint32_t>(layer.out_features()));
     if (layer.type() == LayerType::kLinear) {
       auto& lin = static_cast<Linear&>(layer);
-      ok = ok && write_f64s(f, lin.weights().data(), lin.weights().size());
-      ok = ok && write_f64s(f, lin.bias().data(), lin.bias().size());
+      w.f64s(lin.weights().data(), lin.weights().size());
+      w.f64s(lin.bias().data(), lin.bias().size());
     }
   }
-  kml_fclose(f);
-  if (!ok) KML_ERROR("save_model: short write to %s", path);
-  return ok;
 }
 
-bool load_model(Network& out, const char* path) {
-  KmlFile* f = kml_fopen(path, "r");
-  if (f == nullptr) {
-    KML_ERROR("load_model: cannot open %s", path);
+// Parse a payload image (magic through last layer, CRC already stripped)
+// into `net`. Every dimension is checked against reader.remaining() before
+// the corresponding allocation.
+bool parse_payload(ByteReader& r, Network& net, const char* path) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!r.u32(magic) || !r.u32(version)) return false;
+  if (magic != kModelMagic || version < kMinModelVersion ||
+      version > kModelVersion) {
+    KML_ERROR("load_model: bad magic/version in %s", path);
     return false;
   }
 
-  Network net;
-  bool ok = true;
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  ok = read_u32(f, magic) && read_u32(f, version);
-  if (ok && (magic != kModelMagic || version != kModelVersion)) {
-    KML_ERROR("load_model: bad magic/version in %s", path);
-    ok = false;
-  }
-
   std::uint32_t nfeat = 0;
-  ok = ok && read_u32(f, nfeat) && nfeat <= kMaxDim;
-  if (ok) {
+  if (!r.u32(nfeat) || nfeat > kMaxDim) return false;
+  if (r.remaining() < static_cast<std::size_t>(nfeat) * 2 * sizeof(double)) {
+    return false;  // claimed normalizer larger than the file
+  }
+  if (nfeat > 0) {
     std::vector<double> means(nfeat);
     std::vector<double> stds(nfeat);
-    ok = read_f64s(f, means.data(), nfeat) && read_f64s(f, stds.data(), nfeat);
-    if (ok && nfeat > 0) net.normalizer().import_moments(means, stds);
+    if (!r.f64s(means.data(), nfeat) || !r.f64s(stds.data(), nfeat)) {
+      return false;
+    }
+    net.normalizer().import_moments(means, stds);
   }
 
   std::uint32_t nlayers = 0;
-  ok = ok && read_u32(f, nlayers) && nlayers <= 1024;
-  for (std::uint32_t i = 0; ok && i < nlayers; ++i) {
+  if (!r.u32(nlayers) || nlayers > kMaxLayers) return false;
+  for (std::uint32_t i = 0; i < nlayers; ++i) {
     std::uint32_t type = 0;
     std::uint32_t in = 0;
     std::uint32_t feat_out = 0;
-    ok = read_u32(f, type) && read_u32(f, in) && read_u32(f, feat_out);
-    if (!ok) break;
+    if (!r.u32(type) || !r.u32(in) || !r.u32(feat_out)) return false;
     switch (static_cast<LayerType>(type)) {
       case LayerType::kLinear: {
         if (in == 0 || feat_out == 0 || in > kMaxDim || feat_out > kMaxDim) {
-          ok = false;
-          break;
+          return false;
         }
+        // Weight + bias payload must actually be present before the layer
+        // (and its kml_malloc-backed matrices) is built.
+        const std::uint64_t params =
+            static_cast<std::uint64_t>(in) * feat_out + feat_out;
+        if (params > r.remaining() / sizeof(double)) return false;
         auto lin = std::make_unique<Linear>(static_cast<int>(in),
                                             static_cast<int>(feat_out));
-        ok = read_f64s(f, lin->weights().data(), lin->weights().size()) &&
-             read_f64s(f, lin->bias().data(), lin->bias().size());
-        if (ok) net.add(std::move(lin));
+        if (lin->weights().empty() || lin->bias().empty()) {
+          return false;  // allocation failed under memory pressure
+        }
+        if (!r.f64s(lin->weights().data(), lin->weights().size()) ||
+            !r.f64s(lin->bias().data(), lin->bias().size())) {
+          return false;
+        }
+        net.add(std::move(lin));
         break;
       }
       case LayerType::kSigmoid:
@@ -128,12 +192,93 @@ bool load_model(Network& out, const char* path) {
         break;
       default:
         KML_ERROR("load_model: unknown layer type %u in %s", type, path);
-        ok = false;
-        break;
+        return false;
     }
   }
+  // Trailing bytes mean the image is not a model this writer produced.
+  return r.done();
+}
+
+}  // namespace
+
+std::uint32_t model_crc32(const void* data, std::size_t size) {
+  // CRC-32 (IEEE), table generated on first use.
+  static const std::uint32_t* table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+bool save_model(const Network& net, const char* path) {
+  ByteWriter w;
+  write_payload(net, w);
+  const std::uint32_t crc = model_crc32(w.bytes().data(), w.bytes().size());
+  w.u32(crc);
+
+  // Atomic commit: write the complete image to a temp file, then rename it
+  // over `path`. A crash (or injected write fault) before the rename leaves
+  // any previously deployed model untouched.
+  const std::string tmp = std::string(path) + ".tmp";
+  KmlFile* f = kml_fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    KML_ERROR("save_model: cannot open %s", tmp.c_str());
+    return false;
+  }
+  const auto bytes = static_cast<std::int64_t>(w.bytes().size());
+  const bool wrote = kml_fwrite(f, w.bytes().data(), w.bytes().size()) == bytes;
   kml_fclose(f);
-  if (!ok) {
+  if (!wrote || !kml_frename(tmp.c_str(), path)) {
+    KML_ERROR("save_model: failed to commit %s", path);
+    kml_fremove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_model(Network& out, const char* path) {
+  std::vector<std::uint8_t> image;
+  if (!slurp_file(path, image)) {
+    KML_ERROR("load_model: cannot read %s", path);
+    return false;
+  }
+
+  // Peek the version to decide whether a CRC footer must be present and
+  // verified; the image handed to the parser excludes the footer.
+  std::size_t payload_size = image.size();
+  if (image.size() >= 8) {
+    std::uint32_t version = 0;
+    std::memcpy(&version, image.data() + 4, sizeof(version));
+    if (version >= 2) {
+      if (image.size() < 12) {  // magic + version + crc is the bare minimum
+        KML_ERROR("load_model: %s too short for a v2 model", path);
+        return false;
+      }
+      payload_size = image.size() - sizeof(std::uint32_t);
+      std::uint32_t stored = 0;
+      std::memcpy(&stored, image.data() + payload_size, sizeof(stored));
+      if (model_crc32(image.data(), payload_size) != stored) {
+        KML_ERROR("load_model: checksum mismatch in %s", path);
+        return false;
+      }
+    }
+  }
+
+  Network net;
+  ByteReader reader(image.data(), payload_size);
+  if (!parse_payload(reader, net, path)) {
     KML_ERROR("load_model: failed to parse %s", path);
     return false;
   }

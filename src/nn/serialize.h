@@ -12,6 +12,18 @@
 //   u32 num_layers
 //   per layer: u32 type, u32 in, u32 out, [f64 weights (in*out), f64 bias
 //   (out)] for linear layers; activations carry no payload.
+//   version >= 2 only: u32 CRC-32 footer over every preceding byte.
+//
+// Robustness contract (the in-kernel loader cannot afford anything less):
+//   * save_model is atomic — it writes `path`.tmp and rename(2)s it into
+//     place, so a crash mid-save never corrupts the deployed model;
+//   * load_model treats the file as hostile: dimensions are bounds-checked
+//     against the remaining payload *before* any allocation (a corrupt
+//     header cannot drive a multi-GiB kml_malloc), the whole file is capped
+//     at kMaxModelFileBytes, and a truncated/bit-flipped file yields false,
+//     never a crash;
+//   * version-1 files (no CRC) still load; version-2 files must pass the
+//     checksum.
 #pragma once
 
 #include "nn/network.h"
@@ -19,13 +31,25 @@
 namespace kml::nn {
 
 inline constexpr std::uint32_t kModelMagic = 0x4d4c4d4b;  // "KMLM"
-inline constexpr std::uint32_t kModelVersion = 1;
+inline constexpr std::uint32_t kModelVersion = 2;
+// Oldest version load_model still accepts.
+inline constexpr std::uint32_t kMinModelVersion = 1;
+// Upper bound on a loadable model file; bounds the load-time allocation no
+// matter what the header claims (the paper's models are ~4 KB).
+inline constexpr std::int64_t kMaxModelFileBytes = 16ll << 20;
 
-// Write `net` to `path`. Returns false on I/O failure.
+// CRC-32 (IEEE 802.3 polynomial) of `data`; exposed for tests that craft
+// or corrupt model files by hand.
+std::uint32_t model_crc32(const void* data, std::size_t size);
+
+// Write `net` to `path` (version kModelVersion, CRC footer). Returns false
+// on I/O failure; on failure the previous file at `path`, if any, is left
+// intact.
 bool save_model(const Network& net, const char* path);
 
-// Load a network from `path` into `out` (replacing its contents).
-// Returns false on I/O error, bad magic/version, or malformed layer data.
+// Load a network from `path` into `out`. Returns false on I/O error, bad
+// magic/version, checksum mismatch, or malformed layer data; on failure
+// `out` is left untouched.
 bool load_model(Network& out, const char* path);
 
 }  // namespace kml::nn

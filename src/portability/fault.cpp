@@ -1,0 +1,143 @@
+#include "portability/fault.h"
+
+namespace kml {
+namespace detail {
+
+std::atomic<std::uint32_t> g_fault_armed_mask{0};
+
+}  // namespace detail
+
+namespace {
+
+enum class PolicyKind { kNone, kNth, kEvery, kProbability };
+
+struct SitePolicy {
+  PolicyKind kind = PolicyKind::kNone;
+  std::uint64_t a = 0;  // nth / k
+  std::uint64_t b = 0;  // count (nth policy)
+  double p = 0.0;
+  std::uint64_t rng_state = 0;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> injected{0};
+};
+
+SitePolicy g_sites[kNumFaultSites];
+
+SitePolicy& site_ref(FaultSite site) {
+  return g_sites[static_cast<unsigned>(site)];
+}
+
+void set_armed_bit(FaultSite site, bool armed) {
+  const std::uint32_t bit = 1u << static_cast<unsigned>(site);
+  if (armed) {
+    detail::g_fault_armed_mask.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    detail::g_fault_armed_mask.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+// splitmix64 — small, seedable, and independent of math/rng.h (portability
+// sits below math in the layering).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+
+bool fault_should_fail_slow(FaultSite site) {
+  SitePolicy& s = site_ref(site);
+  const std::uint64_t hit =
+      s.hits.fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
+  bool fail = false;
+  switch (s.kind) {
+    case PolicyKind::kNone:
+      break;
+    case PolicyKind::kNth:
+      fail = hit >= s.a && (s.b == UINT64_MAX || hit - s.a < s.b);
+      break;
+    case PolicyKind::kEvery:
+      fail = s.a != 0 && hit % s.a == 0;
+      break;
+    case PolicyKind::kProbability: {
+      const std::uint64_t r = splitmix64(s.rng_state);
+      fail = static_cast<double>(r >> 11) * 0x1.0p-53 < s.p;
+      break;
+    }
+  }
+  if (fail) s.injected.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+}  // namespace detail
+
+const char* kml_fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMalloc: return "malloc";
+    case FaultSite::kRealloc: return "realloc";
+    case FaultSite::kArena: return "arena";
+    case FaultSite::kFileOpen: return "file_open";
+    case FaultSite::kFileRead: return "file_read";
+    case FaultSite::kFileWrite: return "file_write";
+    case FaultSite::kFileRename: return "file_rename";
+    case FaultSite::kBufferPush: return "buffer_push";
+    case FaultSite::kSiteCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+void arm(FaultSite site, PolicyKind kind, std::uint64_t a, std::uint64_t b,
+         double p, std::uint64_t seed) {
+  SitePolicy& s = site_ref(site);
+  set_armed_bit(site, false);  // quiesce the hot path during the swap
+  s.kind = kind;
+  s.a = a;
+  s.b = b;
+  s.p = p;
+  s.rng_state = seed;
+  s.hits.store(0, std::memory_order_relaxed);
+  s.injected.store(0, std::memory_order_relaxed);
+  set_armed_bit(site, true);
+}
+
+}  // namespace
+
+void kml_fault_arm_nth(FaultSite site, std::uint64_t nth,
+                       std::uint64_t count) {
+  arm(site, PolicyKind::kNth, nth == 0 ? 1 : nth, count, 0.0, 0);
+}
+
+void kml_fault_arm_every(FaultSite site, std::uint64_t k) {
+  arm(site, PolicyKind::kEvery, k == 0 ? 1 : k, 0, 0.0, 0);
+}
+
+void kml_fault_arm_probability(FaultSite site, double p, std::uint64_t seed) {
+  arm(site, PolicyKind::kProbability, 0, 0, p, seed);
+}
+
+void kml_fault_disarm(FaultSite site) {
+  set_armed_bit(site, false);
+  site_ref(site).kind = PolicyKind::kNone;
+}
+
+void kml_fault_disarm_all() {
+  for (unsigned i = 0; i < kNumFaultSites; ++i) {
+    kml_fault_disarm(static_cast<FaultSite>(i));
+  }
+}
+
+std::uint64_t kml_fault_hits(FaultSite site) {
+  return site_ref(site).hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t kml_fault_injected(FaultSite site) {
+  return site_ref(site).injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace kml

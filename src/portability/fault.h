@@ -1,0 +1,89 @@
+// fault.h — deterministic fault-injection registry (robustness harness).
+//
+// KML lives inside the kernel in deployment (§3.1): allocation fails under
+// memory pressure, model files arrive torn, and the I/O path must survive
+// every one of those events. This registry makes each such error path
+// *testable on demand*: a named fault point is compiled into the error-prone
+// call site, and tests arm a deterministic policy against it (fail the Nth
+// hit, fail every Kth hit, or fail with a seeded probability).
+//
+// Cost when disarmed: kml_fault_should_fail() is a single relaxed atomic
+// load of a site bitmask — no branch history pollution, no lock, no counter
+// update. Arming is a test-side operation and may be slow; the hot path only
+// ever pays for the site that is actually armed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace kml {
+
+// Every injectable failure site in the codebase. Adding a site is two
+// lines: an enumerator here and a kml_fault_should_fail() check at the
+// call site (plus a name in fault.cpp).
+enum class FaultSite : unsigned {
+  kMalloc = 0,   // kml_malloc (and zalloc/calloc through it) returns nullptr
+  kRealloc,      // kml_realloc returns nullptr
+  kArena,        // reservation arena refuses to serve (forces heap fallback)
+  kFileOpen,     // kml_fopen returns nullptr
+  kFileRead,     // kml_fread returns a short read
+  kFileWrite,    // kml_fwrite writes half the payload, then reports failure
+  kFileRename,   // kml_frename fails (atomic-save commit step)
+  kBufferPush,   // CircularBuffer::push drops the record as if full
+  kSiteCount,
+};
+
+inline constexpr unsigned kNumFaultSites =
+    static_cast<unsigned>(FaultSite::kSiteCount);
+
+// Human-readable site name (stable; used in logs and test diagnostics).
+const char* kml_fault_site_name(FaultSite site);
+
+namespace detail {
+// Bit i set <=> site i has an armed policy. The only state the hot path
+// reads.
+extern std::atomic<std::uint32_t> g_fault_armed_mask;
+// Policy evaluation for an armed site (counter bump + decision).
+bool fault_should_fail_slow(FaultSite site);
+}  // namespace detail
+
+// Hot-path check, inlined into every fault point. Compiles to one relaxed
+// load + mask test when no policy is armed for `site`.
+inline bool kml_fault_should_fail(FaultSite site) {
+  const std::uint32_t mask =
+      detail::g_fault_armed_mask.load(std::memory_order_relaxed);
+  if ((mask & (1u << static_cast<unsigned>(site))) == 0) return false;
+  return detail::fault_should_fail_slow(site);
+}
+
+// --- Arming (test-side) -----------------------------------------------------
+//
+// Arming calls are safe against concurrent hot-path checks but not against
+// each other; tests arm from one thread. Hit counting starts from zero at
+// each arm.
+
+// Fail hits [nth, nth+count) (1-based); earlier and later hits succeed.
+// count == UINT64_MAX fails every hit from the nth onward.
+void kml_fault_arm_nth(FaultSite site, std::uint64_t nth,
+                       std::uint64_t count = 1);
+
+// Fail every k-th hit (k >= 1; k == 1 fails every hit).
+void kml_fault_arm_every(FaultSite site, std::uint64_t k);
+
+// Fail each hit independently with probability p, from a seeded generator —
+// reproducible across runs with the same seed.
+void kml_fault_arm_probability(FaultSite site, double p, std::uint64_t seed);
+
+void kml_fault_disarm(FaultSite site);
+void kml_fault_disarm_all();
+
+// --- Counters ---------------------------------------------------------------
+
+// Times the site was evaluated while armed (since arming).
+std::uint64_t kml_fault_hits(FaultSite site);
+
+// Times a failure was actually injected (since arming; survives disarm so
+// tests can assert after the fact).
+std::uint64_t kml_fault_injected(FaultSite site);
+
+}  // namespace kml

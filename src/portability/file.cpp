@@ -1,5 +1,7 @@
 #include "portability/file.h"
 
+#include "portability/fault.h"
+
 #include <cstdio>
 #include <cstring>
 #include <new>
@@ -21,6 +23,7 @@ KmlFile* kml_fopen(const char* path, const char* mode) {
   } else {
     return nullptr;
   }
+  if (kml_fault_should_fail(FaultSite::kFileOpen)) return nullptr;
   std::FILE* fp = std::fopen(path, cmode);
   if (fp == nullptr) return nullptr;
   auto* f = new (std::nothrow) KmlFile{fp};
@@ -36,13 +39,23 @@ void kml_fclose(KmlFile* file) {
 
 std::int64_t kml_fread(KmlFile* file, void* buf, std::size_t size) {
   if (file == nullptr || buf == nullptr) return -1;
-  const std::size_t n = std::fread(buf, 1, size, file->fp);
-  if (n < size && std::ferror(file->fp) != 0) return -1;
+  // Injected short read: deliver (and consume) only half the request, the
+  // shape a signal-interrupted or truncated kernel_read produces.
+  const std::size_t want =
+      kml_fault_should_fail(FaultSite::kFileRead) ? size / 2 : size;
+  const std::size_t n = std::fread(buf, 1, want, file->fp);
+  if (n < want && std::ferror(file->fp) != 0) return -1;
   return static_cast<std::int64_t>(n);
 }
 
 std::int64_t kml_fwrite(KmlFile* file, const void* buf, std::size_t size) {
   if (file == nullptr || buf == nullptr) return -1;
+  if (kml_fault_should_fail(FaultSite::kFileWrite)) {
+    // Torn write: half the payload reaches the file, then the write fails —
+    // the crash-mid-save scenario atomic model saves must survive.
+    std::fwrite(buf, 1, size / 2, file->fp);
+    return -1;
+  }
   const std::size_t n = std::fwrite(buf, 1, size, file->fp);
   if (n < size) return -1;
   return static_cast<std::int64_t>(n);
@@ -52,6 +65,17 @@ std::int64_t kml_fsize(const char* path) {
   struct stat st {};
   if (path == nullptr || ::stat(path, &st) != 0) return -1;
   return static_cast<std::int64_t>(st.st_size);
+}
+
+bool kml_frename(const char* from, const char* to) {
+  if (from == nullptr || to == nullptr) return false;
+  if (kml_fault_should_fail(FaultSite::kFileRename)) return false;
+  return std::rename(from, to) == 0;
+}
+
+bool kml_fremove(const char* path) {
+  if (path == nullptr) return false;
+  return std::remove(path) == 0;
 }
 
 }  // namespace kml

@@ -28,4 +28,14 @@ std::int64_t kml_fwrite(KmlFile* file, const void* buf, std::size_t size);
 // Size in bytes of the file at `path`, or -1 if it does not exist.
 std::int64_t kml_fsize(const char* path);
 
+// Atomically replace `to` with `from` (rename(2) semantics: `from` must
+// exist; `to` is replaced if present). The commit step of crash-safe model
+// saves — a reader of `to` sees either the old or the new file, never a
+// torn mix. Returns false on failure.
+bool kml_frename(const char* from, const char* to);
+
+// Delete the file at `path` (cleanup of abandoned temp files). Returns
+// false if nothing was removed.
+bool kml_fremove(const char* path);
+
 }  // namespace kml

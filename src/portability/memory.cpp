@@ -1,5 +1,6 @@
 #include "portability/memory.h"
 
+#include "portability/fault.h"
 #include "portability/log.h"
 
 #include <atomic>
@@ -56,6 +57,9 @@ void account_free(std::size_t size) {
 // Try to serve `total` bytes from the arena; nullptr if it does not fit.
 void* arena_alloc(std::size_t total) {
   if (g_arena.base == nullptr) return nullptr;
+  // Injectable arena exhaustion: exercises the heap-fallback path without
+  // actually filling the reservation.
+  if (kml_fault_should_fail(FaultSite::kArena)) return nullptr;
   std::size_t old = g_arena.offset.load(std::memory_order_relaxed);
   for (;;) {
     if (old + total > g_arena.capacity) return nullptr;
@@ -71,6 +75,10 @@ void* arena_alloc(std::size_t total) {
 
 void* kml_malloc(std::size_t size) {
   if (size == 0) return nullptr;
+  if (kml_fault_should_fail(FaultSite::kMalloc)) {
+    KML_ERROR("kml_malloc: injected failure (%zu bytes)", size);
+    return nullptr;
+  }
   const std::size_t padded = (size + kAlign - 1) & ~(kAlign - 1);
   const std::size_t total = padded + sizeof(BlockHeader);
 
@@ -110,6 +118,10 @@ void* kml_realloc(void* ptr, std::size_t new_size) {
   if (new_size == 0) {
     kml_free(ptr);
     return nullptr;
+  }
+  if (kml_fault_should_fail(FaultSite::kRealloc)) {
+    KML_ERROR("kml_realloc: injected failure (%zu bytes)", new_size);
+    return nullptr;  // original block stays valid, like real realloc
   }
   auto* hdr = reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(ptr) -
                                              sizeof(BlockHeader));

@@ -1,5 +1,7 @@
 #include "readahead/file_tuner.h"
 
+#include "portability/log.h"
+
 namespace kml::readahead {
 
 PerFileTuner::PerFileTuner(sim::StorageStack& stack,
@@ -39,6 +41,31 @@ void PerFileTuner::on_tick(std::uint64_t now_ns) {
 void PerFileTuner::close_window() {
   ++windows_;
   last_decisions_.clear();
+
+  if (config_.health != nullptr &&
+      config_.health->state() != runtime::HealthState::kHealthy) {
+    // Model quarantined: restore every inode we ever actuated back to the
+    // vanilla default, discard the window's records, skip all inference.
+    if (!degraded_active_) {
+      degraded_active_ = true;
+      KML_WARN("file_tuner: health %s — reverting %zu tuned files to "
+               "vanilla readahead (%u KB)",
+               runtime::health_state_name(config_.health->state()),
+               per_file_.size(), config_.vanilla_ra_kb);
+      for (auto& [inode, state] : per_file_) {
+        if (state.actuated && stack_.files().exists(inode)) {
+          stack_.block_layer().set_file_readahead_kb(inode,
+                                                     config_.vanilla_ra_kb);
+        }
+        state.actuated = false;
+      }
+    }
+    for (auto& [inode, state] : per_file_) state.window.clear();
+    degraded_windows_ += 1;
+    return;
+  }
+  degraded_active_ = false;
+
   for (auto& [inode, state] : per_file_) {
     std::vector<data::TraceRecord> window;
     window.swap(state.window);
@@ -58,6 +85,7 @@ void PerFileTuner::close_window() {
     if (cls >= 0 && cls < workloads::kNumTrainingClasses) {
       decision.ra_kb = config_.class_ra_kb[static_cast<std::size_t>(cls)];
       stack_.block_layer().set_file_readahead_kb(inode, decision.ra_kb);
+      state.actuated = true;
     }
     last_decisions_.push_back(decision);
   }

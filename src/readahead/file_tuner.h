@@ -46,12 +46,16 @@ class PerFileTuner {
   std::uint64_t windows() const { return windows_; }
   std::uint64_t dropped_records() const { return buffer_.dropped(); }
 
+  // Windows spent with actuation suspended by the health guard.
+  std::uint64_t degraded_windows() const { return degraded_windows_; }
+
  private:
   void close_window();
 
   struct FileState {
     FeatureExtractor extractor;
     std::vector<data::TraceRecord> window;
+    bool actuated = false;  // we changed this inode's ra from the default
   };
 
   sim::StorageStack& stack_;
@@ -63,6 +67,8 @@ class PerFileTuner {
   int hook_handle_;
   std::uint64_t next_boundary_;
   std::uint64_t windows_ = 0;
+  std::uint64_t degraded_windows_ = 0;
+  bool degraded_active_ = false;
   std::vector<FileDecision> last_decisions_;
 };
 

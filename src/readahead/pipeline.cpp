@@ -243,7 +243,8 @@ EvalOutcome evaluate_closed_loop(const ExperimentConfig& config,
                                  workloads::WorkloadType workload,
                                  const ReadaheadTuner::PredictFn& predictor,
                                  const TunerConfig& tuner_config,
-                                 std::uint64_t seconds) {
+                                 std::uint64_t seconds,
+                                 const workloads::TickFn& kml_extra_tick) {
   EvalOutcome outcome;
   workloads::WorkloadConfig wc;
   wc.type = workload;
@@ -264,10 +265,14 @@ EvalOutcome evaluate_closed_loop(const ExperimentConfig& config,
     ReadaheadTuner tuner(stack, predictor, tuner_config);
     const workloads::RunResult r = run_with_per_second(
         db, wc, seconds, outcome.kml_per_second,
-        [&tuner](std::uint64_t now_ns) { tuner.on_tick(now_ns); });
+        [&tuner, &kml_extra_tick](std::uint64_t now_ns) {
+          tuner.on_tick(now_ns);
+          if (kml_extra_tick) kml_extra_tick(now_ns);
+        });
     outcome.kml_ops_per_sec = r.ops_per_sec;
     outcome.timeline = tuner.timeline();
     outcome.dropped_records = tuner.dropped_records();
+    outcome.degraded_windows = tuner.degraded_windows();
   }
   outcome.speedup = outcome.vanilla_ops_per_sec > 0.0
                         ? outcome.kml_ops_per_sec / outcome.vanilla_ops_per_sec

@@ -119,13 +119,21 @@ struct EvalOutcome {
   std::vector<double> kml_per_second;
   std::vector<TimelinePoint> timeline;     // tuner decisions (KML run)
   std::uint64_t dropped_records = 0;
+  // Windows the tuner spent in the vanilla fallback because the health
+  // guard reported DEGRADED/FAILED (0 unless tuner_config.health is set).
+  std::uint64_t degraded_windows = 0;
 };
 
+// `kml_extra_tick`, when set, is invoked with the virtual clock after the
+// tuner's own tick during the KML run only — the hook tests and benches use
+// to inject faults (e.g. flip the health monitor to FAILED at second N,
+// roll back at second M) while the closed loop runs.
 EvalOutcome evaluate_closed_loop(const ExperimentConfig& config,
                                  workloads::WorkloadType workload,
                                  const ReadaheadTuner::PredictFn& predictor,
                                  const TunerConfig& tuner_config,
-                                 std::uint64_t seconds);
+                                 std::uint64_t seconds,
+                                 const workloads::TickFn& kml_extra_tick = {});
 
 // --- Mixed tenants: global vs per-file actuation ------------------------------
 

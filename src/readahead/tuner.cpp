@@ -1,5 +1,7 @@
 #include "readahead/tuner.h"
 
+#include "portability/log.h"
+
 namespace kml::readahead {
 
 ReadaheadTuner::ReadaheadTuner(sim::StorageStack& stack, PredictFn predict,
@@ -37,6 +39,25 @@ void ReadaheadTuner::on_tick(std::uint64_t now_ns) {
   }
 }
 
+bool ReadaheadTuner::health_allows_actuation() {
+  if (config_.health == nullptr) return true;
+  const runtime::HealthState state = config_.health->state();
+  if (state == runtime::HealthState::kHealthy) {
+    degraded_active_ = false;
+    return true;
+  }
+  // DEGRADED or FAILED: hold the vanilla setting. The revert is done once
+  // on entry so an operator (or test) poking the knob mid-degradation is
+  // not fought every window.
+  if (!degraded_active_) {
+    degraded_active_ = true;
+    stack_.block_layer().set_readahead_kb(config_.vanilla_ra_kb);
+    KML_WARN("tuner: health %s — reverting to vanilla readahead (%u KB)",
+             runtime::health_state_name(state), config_.vanilla_ra_kb);
+  }
+  return false;
+}
+
 void ReadaheadTuner::close_window() {
   std::vector<data::TraceRecord> window;
   window.swap(window_);
@@ -44,6 +65,18 @@ void ReadaheadTuner::close_window() {
   TimelinePoint point;
   point.window = timeline_.size();
   point.events = window.size();
+
+  if (!health_allows_actuation()) {
+    // Model quarantined: no inference, no CPU charge, vanilla readahead in
+    // force. The window's records are discarded (the extractor would only
+    // feed a model nobody trusts right now).
+    point.predicted_class = -1;
+    point.ra_kb = stack_.block_layer().readahead_kb();
+    point.degraded = true;
+    degraded_windows_ += 1;
+    timeline_.push_back(point);
+    return;
+  }
 
   if (window.empty()) {
     // Idle second: keep the current setting.

@@ -13,6 +13,7 @@
 
 #include "data/circular_buffer.h"
 #include "readahead/features.h"
+#include "runtime/health.h"
 #include "sim/stack.h"
 #include "workloads/drivers.h"
 
@@ -32,6 +33,13 @@ struct TunerConfig {
   // Inference cost charged to the virtual clock each window — the paper
   // measures 21 us per inference.
   std::uint64_t inference_cpu_ns = 21'000;
+  // Graceful degradation: while `health` reports DEGRADED or FAILED the
+  // tuner stops actuating model predictions and pins the readahead back to
+  // `vanilla_ra_kb` (the paper's control arm — the stock kernel heuristic
+  // at the device default). nullptr = always trust the model. The monitor
+  // must outlive the tuner.
+  const runtime::HealthMonitor* health = nullptr;
+  std::uint32_t vanilla_ra_kb = 128;
 };
 
 struct TimelinePoint {
@@ -39,6 +47,7 @@ struct TimelinePoint {
   int predicted_class;         // -1 when the window had no events
   std::uint32_t ra_kb;         // readahead in force after actuation
   std::uint64_t events;        // trace records in the window
+  bool degraded = false;       // health guard held the vanilla fallback
 };
 
 class ReadaheadTuner {
@@ -61,8 +70,13 @@ class ReadaheadTuner {
   std::uint64_t dropped_records() const { return buffer_.dropped(); }
   std::uint64_t windows() const { return timeline_.size(); }
 
+  // Windows spent in the vanilla fallback (health guard active) — the
+  // safety-net dwell time evaluate_closed_loop reports.
+  std::uint64_t degraded_windows() const { return degraded_windows_; }
+
  private:
   void close_window();
+  bool health_allows_actuation();
 
   sim::StorageStack& stack_;
   PredictFn predict_;
@@ -73,6 +87,8 @@ class ReadaheadTuner {
   int hook_handle_;
   std::uint64_t next_boundary_;
   std::vector<TimelinePoint> timeline_;
+  std::uint64_t degraded_windows_ = 0;
+  bool degraded_active_ = false;  // vanilla fallback currently pinned
 };
 
 }  // namespace kml::readahead

@@ -3,6 +3,7 @@
 #include "portability/log.h"
 
 #include <cassert>
+#include <cmath>
 #include <vector>
 
 namespace kml::runtime {
@@ -50,7 +51,53 @@ double Engine::train_batch(const matrix::MatD& x, const matrix::MatD& y,
   const double l = net_.train_step(x, y, loss, opt);
   stats_.train_iterations += 1;
   stats_.train_ns_total += now_ns() - start;
+
+  // Validate before the step's weights can become the rollback target: a
+  // non-finite loss or any non-finite weight keeps the previous checkpoint.
+  const bool valid = std::isfinite(l) && weights_finite();
+  if (valid) {
+    checkpoint();
+  } else {
+    stats_.invalid_train_steps += 1;
+    KML_WARN("engine: invalid train step (loss=%f); checkpoint withheld", l);
+  }
+  if (health_ != nullptr) health_->observe_train_step(l, valid);
   return l;
+}
+
+bool Engine::weights_finite() {
+  for (const nn::ParamRef& p : net_.params()) {
+    const matrix::MatD& m = *p.value;
+    const double* data = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (!std::isfinite(data[i])) return false;
+    }
+  }
+  return true;
+}
+
+void Engine::checkpoint() {
+  const std::vector<nn::ParamRef> params = net_.params();
+  good_params_.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    good_params_[i] = *params[i].value;  // deep copy
+  }
+  has_checkpoint_ = true;
+  stats_.checkpoints += 1;
+}
+
+bool Engine::rollback() {
+  if (!has_checkpoint_) return false;
+  const std::vector<nn::ParamRef> params = net_.params();
+  if (params.size() != good_params_.size()) return false;  // topology changed
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!params[i].value->same_shape(good_params_[i])) return false;
+    *params[i].value = good_params_[i];
+  }
+  stats_.rollbacks += 1;
+  KML_INFO("engine: rolled back to last-known-good weights");
+  if (health_ != nullptr) health_->notify_rollback();
+  return true;
 }
 
 }  // namespace kml::runtime

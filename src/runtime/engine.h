@@ -10,9 +10,11 @@
 
 #include "nn/network.h"
 #include "nn/serialize.h"
+#include "runtime/health.h"
 
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 namespace kml::runtime {
 
@@ -23,6 +25,10 @@ struct EngineStats {
   std::uint64_t train_iterations = 0;
   std::uint64_t inference_ns_total = 0;
   std::uint64_t train_ns_total = 0;
+  // Failure accounting (the health-guard's raw material).
+  std::uint64_t invalid_train_steps = 0;  // non-finite loss or weights
+  std::uint64_t checkpoints = 0;          // last-known-good snapshots taken
+  std::uint64_t rollbacks = 0;            // snapshots restored
 
   double avg_inference_us() const {
     return inferences == 0
@@ -52,8 +58,35 @@ class Engine {
   int infer_class(const double* features, int n);
 
   // One SGD iteration on a batch (training mode only). Returns the loss.
+  //
+  // The step is *validated*: if the loss and every weight are finite, the
+  // engine checkpoints the weights as last-known-good; otherwise it counts
+  // an invalid step and keeps the previous checkpoint. Either way the
+  // outcome is reported to the attached HealthMonitor (if any).
   double train_batch(const matrix::MatD& x, const matrix::MatD& y,
                      nn::Loss& loss, nn::Optimizer& opt);
+
+  // Health-guard integration: outcomes of train_batch feed `monitor`
+  // (observe_train_step), and rollback() notifies it. Pass nullptr to
+  // detach. The monitor must outlive the engine.
+  void attach_health(HealthMonitor* monitor) { health_ = monitor; }
+  HealthMonitor* health() const { return health_; }
+
+  // Last-known-good weight management. checkpoint() snapshots the current
+  // weights unconditionally (called automatically after validated train
+  // steps); rollback() restores the snapshot and returns false when none
+  // exists. A successful rollback informs the attached monitor.
+  //
+  // Rollback restores *weights only*: optimizer state (momentum/Adam
+  // moments) lives in the caller's Optimizer and still holds values from
+  // the bad step — re-attach() the optimizer after a rollback, which
+  // recreates its state buffers zeroed.
+  void checkpoint();
+  bool has_checkpoint() const { return has_checkpoint_; }
+  bool rollback();
+
+  // True when every parameter of the network is finite.
+  bool weights_finite();
 
   nn::Network& network() { return net_; }
   const EngineStats& stats() const { return stats_; }
@@ -63,6 +96,10 @@ class Engine {
   nn::Network net_;
   Mode mode_ = Mode::kInference;
   EngineStats stats_;
+  // Last-known-good parameter values, in params() order.
+  std::vector<matrix::MatD> good_params_;
+  bool has_checkpoint_ = false;
+  HealthMonitor* health_ = nullptr;
 };
 
 }  // namespace kml::runtime

@@ -1,0 +1,163 @@
+#include "runtime/health.h"
+
+#include "portability/log.h"
+
+#include <cmath>
+
+namespace kml::runtime {
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "HEALTHY";
+    case HealthState::kDegraded: return "DEGRADED";
+    case HealthState::kFailed: return "FAILED";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {}
+
+void HealthMonitor::enter_degraded() {
+  if (state() == HealthState::kDegraded) return;
+  KML_WARN("health: %s -> DEGRADED", health_state_name(state()));
+  state_.store(static_cast<int>(HealthState::kDegraded),
+               std::memory_order_release);
+  stats_.degradations += 1;
+  clean_streak_ = 0;
+}
+
+void HealthMonitor::enter_failed() {
+  if (state() == HealthState::kFailed) return;
+  KML_WARN("health: %s -> FAILED", health_state_name(state()));
+  state_.store(static_cast<int>(HealthState::kFailed),
+               std::memory_order_release);
+  stats_.failures += 1;
+  clean_streak_ = 0;
+}
+
+void HealthMonitor::enter_healthy() {
+  if (state() == HealthState::kHealthy) return;
+  KML_INFO("health: %s -> HEALTHY", health_state_name(state()));
+  state_.store(static_cast<int>(HealthState::kHealthy),
+               std::memory_order_release);
+  stats_.recoveries += 1;
+  strikes_ = 0;
+  clean_streak_ = 0;
+}
+
+void HealthMonitor::observe_train_step(double loss, bool valid) {
+  std::lock_guard<std::mutex> guard(lock_);
+  stats_.train_steps += 1;
+
+  // (a) Non-finite loss/weights: the model is garbage right now; only a
+  // rollback can start recovery.
+  if (!valid || !std::isfinite(loss)) {
+    stats_.non_finite_events += 1;
+    enter_failed();
+    return;
+  }
+
+  // (b) EWMA divergence. The baseline warms up unconditionally, then only
+  // absorbs non-diverged steps.
+  if (!ewma_primed_) {
+    stats_.loss_ewma = loss;
+    ewma_primed_ = true;
+    return;
+  }
+  const bool warmed = stats_.train_steps > config_.warmup_steps;
+  const double baseline = stats_.loss_ewma;
+  const bool diverged =
+      warmed && loss > config_.divergence_ratio * baseline &&
+      loss > 1e-12;  // a spike over a ~zero baseline is numeric noise
+  if (diverged) {
+    strikes_ += 1;
+    stats_.divergence_strikes += 1;
+    clean_streak_ = 0;
+    if (strikes_ >= config_.strikes_to_fail) {
+      enter_failed();
+    } else if (strikes_ >= config_.strikes_to_degrade) {
+      enter_degraded();
+    }
+    return;
+  }
+
+  stats_.loss_ewma += config_.ewma_alpha * (loss - stats_.loss_ewma);
+  clean_streak_ += 1;
+  if (clean_streak_ >= config_.clean_steps_to_recover &&
+      state() == HealthState::kDegraded) {
+    enter_healthy();
+  }
+}
+
+void HealthMonitor::heartbeat(std::uint64_t now_ns) {
+  last_heartbeat_ns_.store(now_ns, std::memory_order_release);
+  std::lock_guard<std::mutex> guard(lock_);
+  stats_.heartbeats += 1;
+  heartbeat_seen_ = true;
+}
+
+bool HealthMonitor::check_watchdog(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (!heartbeat_seen_) return false;
+  const std::uint64_t last = last_heartbeat_ns_.load(std::memory_order_acquire);
+  if (now_ns <= last || now_ns - last <= config_.heartbeat_timeout_ns) {
+    return false;
+  }
+  stats_.watchdog_timeouts += 1;
+  // A stalled trainer means stale — not garbage — predictions: degrade.
+  enter_degraded();
+  return true;
+}
+
+void HealthMonitor::observe_buffer(std::uint64_t submitted_total,
+                                   std::uint64_t dropped_total) {
+  std::lock_guard<std::mutex> guard(lock_);
+  // Delta since the previous observation, tolerating counter resets.
+  if (submitted_total < last_submitted_ || dropped_total < last_dropped_) {
+    last_submitted_ = submitted_total;
+    last_dropped_ = dropped_total;
+    return;
+  }
+  const std::uint64_t submitted = submitted_total - last_submitted_;
+  const std::uint64_t dropped = dropped_total - last_dropped_;
+  if (submitted < config_.drop_window_min_records) return;  // window too small
+  last_submitted_ = submitted_total;
+  last_dropped_ = dropped_total;
+  const double rate =
+      static_cast<double>(dropped) / static_cast<double>(submitted);
+  if (rate > config_.drop_rate_threshold) {
+    stats_.drop_rate_trips += 1;
+    enter_degraded();
+  }
+}
+
+void HealthMonitor::notify_rollback() {
+  std::lock_guard<std::mutex> guard(lock_);
+  stats_.rollbacks_seen += 1;
+  strikes_ = 0;
+  // Restart the divergence baseline: post-rollback losses come from the
+  // checkpointed weights, not the diverged ones.
+  ewma_primed_ = false;
+  if (state() == HealthState::kFailed) enter_degraded();
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard<std::mutex> guard(lock_);
+  state_.store(static_cast<int>(HealthState::kHealthy),
+               std::memory_order_release);
+  stats_ = HealthStats{};
+  strikes_ = 0;
+  clean_streak_ = 0;
+  ewma_primed_ = false;
+  heartbeat_seen_ = false;
+  last_heartbeat_ns_.store(0, std::memory_order_release);
+  last_submitted_ = 0;
+  last_dropped_ = 0;
+}
+
+HealthStats HealthMonitor::stats() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return stats_;
+}
+
+}  // namespace kml::runtime

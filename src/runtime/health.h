@@ -1,0 +1,133 @@
+// health.h — the health-guard state machine for in-kernel learning.
+//
+// An online learner *will* transiently mispredict or diverge (the RL-storage
+// line of work makes this explicit), and a kernel-resident trainer can stall
+// or produce non-finite weights under pressure. The HealthMonitor is the
+// principled sickness detector the deployment needs: independent signals
+// feed one three-state machine, and the actuation side (readahead tuner)
+// reads the state to decide whether model predictions may touch the I/O
+// path at all.
+//
+//   HEALTHY  — predictions actuate normally.
+//   DEGRADED — suspicious (loss divergence, sample loss, stalled trainer):
+//              stop actuating, fall back to the vanilla heuristic, keep
+//              observing. Recovers to HEALTHY after a clean streak.
+//   FAILED   — model state is untrustworthy (non-finite loss/weights,
+//              repeated divergence): requires an engine rollback to the
+//              last-known-good checkpoint before recovery can begin.
+//
+// Signals:
+//   (a) non-finite loss/weights after Engine::train_batch  -> FAILED
+//   (b) EWMA loss-divergence strikes                       -> DEGRADED/FAILED
+//   (c) training-thread heartbeat watchdog                 -> DEGRADED
+//   (d) circular-buffer drop-rate over threshold           -> DEGRADED
+//
+// Thread model: one writer per signal is fine (trainer thread feeds (a)-(c),
+// the tuner thread feeds (d)); all mutations serialize on an internal mutex,
+// while state() is a lock-free atomic read safe from the I/O path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace kml::runtime {
+
+enum class HealthState : int { kHealthy = 0, kDegraded = 1, kFailed = 2 };
+
+const char* health_state_name(HealthState state);
+
+struct HealthConfig {
+  // (b) EWMA loss divergence: a step whose loss exceeds ratio x the EWMA
+  // baseline is a strike; the baseline only absorbs clean steps, so a
+  // diverging run cannot drag its own threshold up.
+  double ewma_alpha = 0.05;
+  double divergence_ratio = 4.0;
+  std::uint64_t warmup_steps = 16;     // steps before divergence is judged
+  std::uint32_t strikes_to_degrade = 3;
+  std::uint32_t strikes_to_fail = 8;
+  // Clean steps needed to leave DEGRADED (and to clear strikes).
+  std::uint32_t clean_steps_to_recover = 16;
+
+  // (c) Watchdog: a trainer silent for longer than this is considered
+  // stalled. Timestamps are caller-supplied, so tests and simulations can
+  // drive any clock.
+  std::uint64_t heartbeat_timeout_ns = 2'000'000'000;
+
+  // (d) Drop-rate guard: fraction of submitted records dropped, judged over
+  // windows of at least `drop_window_min_records` submissions.
+  double drop_rate_threshold = 0.5;
+  std::uint64_t drop_window_min_records = 1024;
+};
+
+struct HealthStats {
+  std::uint64_t train_steps = 0;        // observations fed to (a)/(b)
+  std::uint64_t non_finite_events = 0;  // (a) trips
+  std::uint64_t divergence_strikes = 0; // (b) strikes (cumulative)
+  std::uint64_t watchdog_timeouts = 0;  // (c) trips
+  std::uint64_t drop_rate_trips = 0;    // (d) trips
+  std::uint64_t heartbeats = 0;
+  std::uint64_t degradations = 0;       // transitions into DEGRADED
+  std::uint64_t failures = 0;           // transitions into FAILED
+  std::uint64_t recoveries = 0;         // transitions back to HEALTHY
+  std::uint64_t rollbacks_seen = 0;     // notify_rollback() calls
+  double loss_ewma = 0.0;               // current baseline
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& config = HealthConfig{});
+
+  // Lock-free; safe from the I/O path.
+  HealthState state() const {
+    return static_cast<HealthState>(state_.load(std::memory_order_acquire));
+  }
+  bool healthy() const { return state() == HealthState::kHealthy; }
+
+  // (a)+(b): one call per Engine::train_batch. `valid` is false when the
+  // step produced a non-finite loss or non-finite weights.
+  void observe_train_step(double loss, bool valid);
+
+  // (c) producer side: the training thread announces liveness.
+  void heartbeat(std::uint64_t now_ns);
+
+  // (c) consumer side: anyone with the same clock checks for a stall.
+  // Returns true if the watchdog tripped on this call. Never trips before
+  // the first heartbeat (a not-yet-started trainer is not a stalled one).
+  bool check_watchdog(std::uint64_t now_ns);
+
+  // (d): cumulative producer counters (monotonic), e.g. from
+  // TrainingThread::processed()+dropped() and ::dropped().
+  void observe_buffer(std::uint64_t submitted_total,
+                      std::uint64_t dropped_total);
+
+  // The engine restored its last-known-good checkpoint: FAILED drops to
+  // DEGRADED (probation); a clean streak then recovers to HEALTHY.
+  void notify_rollback();
+
+  // Back to pristine HEALTHY with zeroed baselines (new model deployed).
+  void reset();
+
+  const HealthConfig& config() const { return config_; }
+  HealthStats stats() const;
+
+ private:
+  // All three require lock_ held.
+  void enter_degraded();
+  void enter_failed();
+  void enter_healthy();
+
+  HealthConfig config_;
+  std::atomic<int> state_{static_cast<int>(HealthState::kHealthy)};
+  mutable std::mutex lock_;
+  HealthStats stats_;
+  std::uint32_t strikes_ = 0;
+  std::uint32_t clean_streak_ = 0;
+  bool ewma_primed_ = false;
+  std::atomic<std::uint64_t> last_heartbeat_ns_{0};
+  bool heartbeat_seen_ = false;
+  std::uint64_t last_submitted_ = 0;
+  std::uint64_t last_dropped_ = 0;
+};
+
+}  // namespace kml::runtime

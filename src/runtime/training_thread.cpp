@@ -2,9 +2,20 @@
 
 #include "portability/log.h"
 
+#include <chrono>
 #include <vector>
 
 namespace kml::runtime {
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 TrainingThread::TrainingThread(std::size_t buffer_capacity, std::size_t batch,
                                train_fn fn, void* user)
@@ -35,6 +46,17 @@ void TrainingThread::thread_main(void* self) {
 void TrainingThread::run() {
   std::vector<data::TraceRecord> scratch(batch_);
   for (;;) {
+    // Liveness + drop-rate signals for the health guard. The heartbeat is
+    // wall-clock: a stalled (or deadlocked) train_fn stops it, which is
+    // exactly what the watchdog is for.
+    if (HealthMonitor* monitor = health_.load(std::memory_order_acquire)) {
+      monitor->heartbeat(wall_ns());
+      const std::uint64_t dropped = buffer_.dropped();
+      monitor->observe_buffer(
+          processed_.load(std::memory_order_relaxed) + buffer_.size() +
+              dropped,
+          dropped);
+    }
     const std::size_t n = buffer_.pop_many(scratch.data(), batch_);
     if (n > 0) {
       if (fn_ != nullptr) fn_(user_, scratch.data(), n);

@@ -16,6 +16,7 @@
 #include "data/circular_buffer.h"
 #include "data/windower.h"
 #include "portability/thread.h"
+#include "runtime/health.h"
 
 #include <atomic>
 #include <cstddef>
@@ -56,6 +57,14 @@ class TrainingThread {
 
   std::size_t buffer_capacity() const { return buffer_.capacity(); }
 
+  // Health-guard integration: once attached, the trainer loop heartbeats
+  // the monitor (wall-clock ns) and reports cumulative processed/dropped
+  // counts for the drop-rate guard. Safe to attach/detach while running;
+  // the monitor must outlive this thread.
+  void attach_health(HealthMonitor* monitor) {
+    health_.store(monitor, std::memory_order_release);
+  }
+
  private:
   static void thread_main(void* self);
   void run();
@@ -66,6 +75,7 @@ class TrainingThread {
   void* user_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> processed_{0};
+  std::atomic<HealthMonitor*> health_{nullptr};
   KmlThread* thread_ = nullptr;
 };
 

@@ -83,6 +83,51 @@ TEST_F(CapiTest, ModelErrorPaths) {
   kml_model_destroy(model);
 }
 
+TEST_F(CapiTest, HealthGuardRoundTrip) {
+  kml_health* health = kml_health_create();
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(kml_health_state(health), KML_HEALTH_HEALTHY);
+
+  // Non-finite training step -> FAILED; rollback -> DEGRADED; a clean
+  // streak -> HEALTHY (mirrors the C++ HealthMonitor contract).
+  kml_health_observe_train_step(health, 0.0 / 0.0, 0);
+  EXPECT_EQ(kml_health_state(health), KML_HEALTH_FAILED);
+  kml_health_notify_rollback(health);
+  EXPECT_EQ(kml_health_state(health), KML_HEALTH_DEGRADED);
+  for (int i = 0; i < 64; ++i) {
+    kml_health_observe_train_step(health, 1.0, 1);
+  }
+  EXPECT_EQ(kml_health_state(health), KML_HEALTH_HEALTHY);
+
+  // Watchdog through the C boundary.
+  kml_health_heartbeat(health, 1000);
+  EXPECT_EQ(kml_health_check_watchdog(health, 1500), 0);
+  EXPECT_EQ(kml_health_check_watchdog(health, 10'000'000'000ull), 1);
+  EXPECT_EQ(kml_health_state(health), KML_HEALTH_DEGRADED);
+
+  kml_health_destroy(health);
+}
+
+TEST_F(CapiTest, HealthGuardDropRate) {
+  kml_health* health = kml_health_create();
+  ASSERT_NE(health, nullptr);
+  kml_health_observe_buffer(health, 2000, 0);
+  EXPECT_EQ(kml_health_state(health), KML_HEALTH_HEALTHY);
+  kml_health_observe_buffer(health, 4000, 1900);
+  EXPECT_EQ(kml_health_state(health), KML_HEALTH_DEGRADED);
+  kml_health_destroy(health);
+}
+
+TEST_F(CapiTest, HealthGuardNullSafety) {
+  EXPECT_EQ(kml_health_state(nullptr), -1);
+  kml_health_observe_train_step(nullptr, 1.0, 1);
+  kml_health_heartbeat(nullptr, 1);
+  EXPECT_EQ(kml_health_check_watchdog(nullptr, 1), 0);
+  kml_health_observe_buffer(nullptr, 1, 1);
+  kml_health_notify_rollback(nullptr);
+  kml_health_destroy(nullptr);  // all no-ops, no crash
+}
+
 TEST_F(CapiTest, DtreeLoadInferDestroy) {
   kml_dtree* tree = kml_dtree_load(kTreePath);
   ASSERT_NE(tree, nullptr);

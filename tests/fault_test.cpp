@@ -1,0 +1,312 @@
+// Tests for the fault-injection registry (src/portability/fault.h) and for
+// the error paths it makes reachable: allocation failure in kml_malloc /
+// kml_realloc / the arena, degraded CircularBuffer and Mat construction,
+// file-op faults, and the atomic model save.
+#include "data/circular_buffer.h"
+#include "matrix/matrix.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "portability/fault.h"
+#include "portability/kml_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace kml {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kml_lib_init();
+    kml_fault_disarm_all();
+    kml_mem_reset_stats();
+  }
+  void TearDown() override {
+    kml_fault_disarm_all();
+    kml_lib_shutdown();
+  }
+};
+
+TEST_F(FaultTest, EverySiteHasAName) {
+  for (unsigned i = 0; i < kNumFaultSites; ++i) {
+    const char* name = kml_fault_site_name(static_cast<FaultSite>(i));
+    ASSERT_NE(name, nullptr) << i;
+    EXPECT_GT(std::strlen(name), 0u) << i;
+  }
+}
+
+TEST_F(FaultTest, DisarmedSiteNeverFails) {
+  for (int i = 0; i < 100; ++i) {
+    void* p = kml_malloc(64);
+    ASSERT_NE(p, nullptr);
+    kml_free(p);
+  }
+  EXPECT_EQ(kml_fault_injected(FaultSite::kMalloc), 0u);
+}
+
+TEST_F(FaultTest, NthPolicyFailsExactlyTheNthHit) {
+  kml_fault_arm_nth(FaultSite::kMalloc, 2);
+  void* a = kml_malloc(32);  // hit 1: succeeds
+  void* b = kml_malloc(32);  // hit 2: injected failure
+  void* c = kml_malloc(32);  // hit 3: succeeds
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(b, nullptr);
+  EXPECT_NE(c, nullptr);
+  EXPECT_EQ(kml_fault_hits(FaultSite::kMalloc), 3u);
+  EXPECT_EQ(kml_fault_injected(FaultSite::kMalloc), 1u);
+  kml_free(a);
+  kml_free(c);
+}
+
+TEST_F(FaultTest, NthPolicyWithCountFailsARange) {
+  kml_fault_arm_nth(FaultSite::kMalloc, 2, 2);  // hits 2 and 3 fail
+  void* a = kml_malloc(32);
+  void* b = kml_malloc(32);
+  void* c = kml_malloc(32);
+  void* d = kml_malloc(32);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(b, nullptr);
+  EXPECT_EQ(c, nullptr);
+  EXPECT_NE(d, nullptr);
+  kml_free(a);
+  kml_free(d);
+}
+
+TEST_F(FaultTest, NthOnwardFailsForever) {
+  kml_fault_arm_nth(FaultSite::kMalloc, 3, UINT64_MAX);
+  void* a = kml_malloc(32);
+  void* b = kml_malloc(32);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(kml_malloc(32), nullptr);
+  kml_free(a);
+  kml_free(b);
+}
+
+TEST_F(FaultTest, EveryKPolicyFailsPeriodically) {
+  kml_fault_arm_every(FaultSite::kMalloc, 3);
+  std::vector<bool> failed;
+  std::vector<void*> live;
+  for (int i = 0; i < 9; ++i) {
+    void* p = kml_malloc(16);
+    failed.push_back(p == nullptr);
+    if (p != nullptr) live.push_back(p);
+  }
+  // Hits 3, 6, 9 fail.
+  const std::vector<bool> expect = {false, false, true,  false, false,
+                                    true,  false, false, true};
+  EXPECT_EQ(failed, expect);
+  EXPECT_EQ(kml_fault_injected(FaultSite::kMalloc), 3u);
+  for (void* p : live) kml_free(p);
+}
+
+TEST_F(FaultTest, ProbabilityPolicyIsSeedDeterministic) {
+  const auto sample = [](std::uint64_t seed) {
+    kml_fault_arm_probability(FaultSite::kMalloc, 0.5, seed);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      void* p = kml_malloc(16);
+      pattern.push_back(p == nullptr);
+      kml_free(p);  // nullptr-safe
+    }
+    kml_fault_disarm(FaultSite::kMalloc);
+    return pattern;
+  };
+  const std::vector<bool> a = sample(42);
+  const std::vector<bool> b = sample(42);
+  const std::vector<bool> c = sample(43);
+  EXPECT_EQ(a, b);       // same seed, same decisions
+  EXPECT_NE(a, c);       // different seed, different stream (overwhelmingly)
+  // p=0.5 over 64 trials: both outcomes must occur.
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(FaultTest, ProbabilityExtremes) {
+  kml_fault_arm_probability(FaultSite::kMalloc, 0.0, 7);
+  for (int i = 0; i < 32; ++i) {
+    void* p = kml_malloc(16);
+    EXPECT_NE(p, nullptr);
+    kml_free(p);
+  }
+  kml_fault_arm_probability(FaultSite::kMalloc, 1.0, 7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(kml_malloc(16), nullptr);
+}
+
+TEST_F(FaultTest, InjectedMallocFailureDoesNotLeakAccounting) {
+  const std::uint64_t before = kml_mem_usage();
+  kml_fault_arm_every(FaultSite::kMalloc, 1);
+  EXPECT_EQ(kml_malloc(1024), nullptr);
+  EXPECT_EQ(kml_zalloc(1024), nullptr);   // routed through kml_malloc
+  EXPECT_EQ(kml_calloc(16, 64), nullptr);
+  kml_fault_disarm(FaultSite::kMalloc);
+  EXPECT_EQ(kml_mem_usage(), before);
+}
+
+TEST_F(FaultTest, ReallocFaultLeavesOriginalBlockValid) {
+  auto* p = static_cast<unsigned char*>(kml_malloc(64));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 64);
+  kml_fault_arm_every(FaultSite::kRealloc, 1);
+  EXPECT_EQ(kml_realloc(p, 4096), nullptr);
+  kml_fault_disarm(FaultSite::kRealloc);
+  // realloc-failure contract: the original block is untouched.
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(p[i], 0xAB) << i;
+  kml_free(p);
+}
+
+TEST_F(FaultTest, ArenaFaultForcesHeapFallback) {
+  ASSERT_TRUE(kml_mem_reserve(1 << 16));
+  const std::size_t arena_before = kml_mem_reserved_remaining();
+  kml_fault_arm_every(FaultSite::kArena, 1);
+  void* p = kml_malloc(256);
+  ASSERT_NE(p, nullptr);  // served from the heap, not the arena
+  EXPECT_EQ(kml_mem_reserved_remaining(), arena_before);
+  kml_fault_disarm(FaultSite::kArena);
+  kml_free(p);
+  kml_mem_release();
+}
+
+TEST_F(FaultTest, CircularBufferDegradesGracefullyOnCtorOom) {
+  // The buffer's single allocation is the first kml_malloc after arming.
+  kml_fault_arm_nth(FaultSite::kMalloc, 1);
+  data::CircularBuffer<int> buffer(1024);
+  kml_fault_disarm(FaultSite::kMalloc);
+
+  EXPECT_EQ(buffer.capacity(), 0u);
+  EXPECT_FALSE(buffer.push(7));  // drops, never dereferences null slots
+  EXPECT_FALSE(buffer.push(8));
+  EXPECT_EQ(buffer.dropped(), 2u);
+  int out = 0;
+  EXPECT_FALSE(buffer.pop(out));
+  EXPECT_TRUE(buffer.empty());
+  // Destructor of the degraded buffer must be a no-op (no double free).
+}
+
+TEST_F(FaultTest, BufferPushFaultForcesDrops) {
+  data::CircularBuffer<int> buffer(64);
+  kml_fault_arm_every(FaultSite::kBufferPush, 2);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (buffer.push(i)) ++accepted;
+  }
+  kml_fault_disarm(FaultSite::kBufferPush);
+  EXPECT_EQ(accepted, 5);
+  EXPECT_EQ(buffer.dropped(), 5u);
+  EXPECT_EQ(buffer.size(), 5u);
+}
+
+TEST_F(FaultTest, MatConstructionSurvivesAllocationFailure) {
+  kml_fault_arm_nth(FaultSite::kMalloc, 1);
+  matrix::MatD m(128, 128);
+  kml_fault_disarm(FaultSite::kMalloc);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+}
+
+TEST_F(FaultTest, LinearConstructionSurvivesAllocationFailure) {
+  // Fail every allocation: weights and bias both come back empty, the
+  // deserializer's lin->weights().empty() check catches it.
+  kml_fault_arm_nth(FaultSite::kMalloc, 1, UINT64_MAX);
+  nn::Linear lin(16, 8);
+  kml_fault_disarm(FaultSite::kMalloc);
+  EXPECT_TRUE(lin.weights().empty());
+}
+
+TEST_F(FaultTest, FileOpenFaultFailsModelLoad) {
+  const std::string path =
+      ::testing::TempDir() + "/kml_fault_open_model.kml";
+  math::Rng rng(3);
+  nn::Network net = nn::build_mlp_classifier(2, 4, 2, rng);
+  ASSERT_TRUE(nn::save_model(net, path.c_str()));
+
+  kml_fault_arm_every(FaultSite::kFileOpen, 1);
+  nn::Network out;
+  EXPECT_FALSE(nn::load_model(out, path.c_str()));
+  kml_fault_disarm(FaultSite::kFileOpen);
+  EXPECT_TRUE(nn::load_model(out, path.c_str()));
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, ShortReadFaultFailsModelLoad) {
+  const std::string path =
+      ::testing::TempDir() + "/kml_fault_shortread_model.kml";
+  math::Rng rng(4);
+  nn::Network net = nn::build_mlp_classifier(2, 4, 2, rng);
+  ASSERT_TRUE(nn::save_model(net, path.c_str()));
+
+  // Every read comes back short *and* consumes only half the requested
+  // bytes; slurp_file's retry loop must still terminate and report failure
+  // rather than parse a torn image. (Reads that eventually deliver all
+  // bytes across retries are legitimate — fail every read to guarantee a
+  // premature EOF.)
+  kml_fault_arm_nth(FaultSite::kFileRead, 1, UINT64_MAX);
+  nn::Network out;
+  EXPECT_FALSE(nn::load_model(out, path.c_str()));
+  kml_fault_disarm(FaultSite::kFileRead);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, WriteFaultAbortsSaveAndKeepsOldModel) {
+  const std::string path =
+      ::testing::TempDir() + "/kml_fault_write_model.kml";
+  const std::string tmp = path + ".tmp";
+  math::Rng rng(5);
+  nn::Network original = nn::build_mlp_classifier(2, 4, 2, rng);
+  ASSERT_TRUE(nn::save_model(original, path.c_str()));
+  const std::int64_t good_size = kml_fsize(path.c_str());
+
+  nn::Network replacement = nn::build_mlp_classifier(2, 8, 2, rng);
+  kml_fault_arm_every(FaultSite::kFileWrite, 1);
+  EXPECT_FALSE(nn::save_model(replacement, path.c_str()));
+  kml_fault_disarm(FaultSite::kFileWrite);
+
+  // Atomic-save contract: the deployed file is byte-for-byte the old model
+  // and the abandoned temp file is cleaned up.
+  EXPECT_EQ(kml_fsize(path.c_str()), good_size);
+  EXPECT_EQ(kml_fsize(tmp.c_str()), -1);
+  nn::Network out;
+  EXPECT_TRUE(nn::load_model(out, path.c_str()));
+  EXPECT_EQ(out.num_layers(), original.num_layers());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, RenameFaultAbortsSaveAndKeepsOldModel) {
+  const std::string path =
+      ::testing::TempDir() + "/kml_fault_rename_model.kml";
+  math::Rng rng(6);
+  nn::Network original = nn::build_mlp_classifier(2, 4, 2, rng);
+  ASSERT_TRUE(nn::save_model(original, path.c_str()));
+
+  kml_fault_arm_every(FaultSite::kFileRename, 1);
+  EXPECT_FALSE(nn::save_model(original, path.c_str()));
+  kml_fault_disarm(FaultSite::kFileRename);
+
+  EXPECT_EQ(kml_fsize((path + ".tmp").c_str()), -1);
+  nn::Network out;
+  EXPECT_TRUE(nn::load_model(out, path.c_str()));
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, DisarmAllClearsEverySite) {
+  for (unsigned i = 0; i < kNumFaultSites; ++i) {
+    kml_fault_arm_every(static_cast<FaultSite>(i), 1);
+  }
+  kml_fault_disarm_all();
+  void* p = kml_malloc(32);
+  EXPECT_NE(p, nullptr);
+  kml_free(p);
+  KmlFile* f = kml_fopen("/dev/null", "r");
+  EXPECT_NE(f, nullptr);
+  kml_fclose(f);
+}
+
+}  // namespace
+}  // namespace kml

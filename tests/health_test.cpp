@@ -1,0 +1,408 @@
+// Tests for the health-guard runtime (src/runtime/health): the monitor's
+// state machine, the engine's validated train steps + checkpoint/rollback,
+// and graceful degradation of the readahead tuners to vanilla readahead.
+#include "kv/minikv.h"
+#include "readahead/file_tuner.h"
+#include "readahead/pipeline.h"
+#include "readahead/tuner.h"
+#include "runtime/engine.h"
+#include "runtime/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace kml::runtime {
+namespace {
+
+HealthConfig fast_config() {
+  HealthConfig config;
+  config.warmup_steps = 4;
+  config.strikes_to_degrade = 2;
+  config.strikes_to_fail = 4;
+  config.clean_steps_to_recover = 3;
+  config.drop_window_min_records = 10;
+  return config;
+}
+
+TEST(HealthMonitor, StartsHealthy) {
+  HealthMonitor monitor;
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_TRUE(monitor.healthy());
+}
+
+TEST(HealthMonitor, StateNamesAreStable) {
+  EXPECT_STREQ(health_state_name(HealthState::kHealthy), "HEALTHY");
+  EXPECT_STREQ(health_state_name(HealthState::kDegraded), "DEGRADED");
+  EXPECT_STREQ(health_state_name(HealthState::kFailed), "FAILED");
+}
+
+TEST(HealthMonitor, NonFiniteLossFailsImmediately) {
+  HealthMonitor monitor(fast_config());
+  monitor.observe_train_step(std::numeric_limits<double>::quiet_NaN(), false);
+  EXPECT_EQ(monitor.state(), HealthState::kFailed);
+  EXPECT_EQ(monitor.stats().non_finite_events, 1u);
+  EXPECT_EQ(monitor.stats().failures, 1u);
+}
+
+TEST(HealthMonitor, DivergenceStrikesDegradeThenFail) {
+  HealthMonitor monitor(fast_config());
+  // Establish a baseline around loss = 1.0.
+  for (int i = 0; i < 8; ++i) monitor.observe_train_step(1.0, true);
+  ASSERT_EQ(monitor.state(), HealthState::kHealthy);
+
+  monitor.observe_train_step(50.0, true);  // strike 1
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  monitor.observe_train_step(50.0, true);  // strike 2 -> DEGRADED
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  monitor.observe_train_step(50.0, true);  // strike 3
+  monitor.observe_train_step(50.0, true);  // strike 4 -> FAILED
+  EXPECT_EQ(monitor.state(), HealthState::kFailed);
+  EXPECT_EQ(monitor.stats().divergence_strikes, 4u);
+}
+
+TEST(HealthMonitor, DivergentLossDoesNotPolluteTheBaseline) {
+  HealthMonitor monitor(fast_config());
+  for (int i = 0; i < 8; ++i) monitor.observe_train_step(1.0, true);
+  const double baseline = monitor.stats().loss_ewma;
+  monitor.observe_train_step(1000.0, true);  // strike; EWMA must not absorb
+  EXPECT_DOUBLE_EQ(monitor.stats().loss_ewma, baseline);
+}
+
+TEST(HealthMonitor, CleanStreakRecoversFromDegraded) {
+  HealthMonitor monitor(fast_config());
+  for (int i = 0; i < 8; ++i) monitor.observe_train_step(1.0, true);
+  monitor.observe_train_step(50.0, true);
+  monitor.observe_train_step(50.0, true);
+  ASSERT_EQ(monitor.state(), HealthState::kDegraded);
+
+  // clean_steps_to_recover = 3 consecutive sane steps.
+  monitor.observe_train_step(1.0, true);
+  monitor.observe_train_step(1.0, true);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  monitor.observe_train_step(1.0, true);
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_EQ(monitor.stats().recoveries, 1u);
+}
+
+TEST(HealthMonitor, FailedDoesNotRecoverWithoutRollback) {
+  HealthMonitor monitor(fast_config());
+  monitor.observe_train_step(std::numeric_limits<double>::infinity(), false);
+  ASSERT_EQ(monitor.state(), HealthState::kFailed);
+  for (int i = 0; i < 50; ++i) monitor.observe_train_step(1.0, true);
+  EXPECT_EQ(monitor.state(), HealthState::kFailed);
+
+  // Rollback opens the door: FAILED -> DEGRADED, then a clean streak heals.
+  monitor.notify_rollback();
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  for (int i = 0; i < 10; ++i) monitor.observe_train_step(1.0, true);
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_EQ(monitor.stats().rollbacks_seen, 1u);
+}
+
+TEST(HealthMonitor, WatchdogNeverTripsBeforeFirstHeartbeat) {
+  HealthMonitor monitor(fast_config());
+  EXPECT_FALSE(monitor.check_watchdog(1'000'000'000'000ull));
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, WatchdogTripsOnStalledTrainer) {
+  HealthConfig config = fast_config();
+  config.heartbeat_timeout_ns = 1000;
+  HealthMonitor monitor(config);
+  monitor.heartbeat(10'000);
+  EXPECT_FALSE(monitor.check_watchdog(10'500));  // within budget
+  EXPECT_TRUE(monitor.check_watchdog(12'000));   // stalled
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_EQ(monitor.stats().watchdog_timeouts, 1u);
+
+  // A resumed heartbeat plus a clean streak recovers.
+  monitor.heartbeat(12'500);
+  EXPECT_FALSE(monitor.check_watchdog(13'000));
+  for (int i = 0; i < 8; ++i) monitor.observe_train_step(1.0, true);
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, DropRateTripDegrades) {
+  HealthMonitor monitor(fast_config());  // threshold 0.5, window >= 10
+  monitor.observe_buffer(100, 0);
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  // Next delta window: 100 more submissions, 80 dropped.
+  monitor.observe_buffer(200, 80);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_EQ(monitor.stats().drop_rate_trips, 1u);
+}
+
+TEST(HealthMonitor, SmallDropWindowsAreNotJudged) {
+  HealthMonitor monitor(fast_config());  // drop_window_min_records = 10
+  monitor.observe_buffer(4, 4);  // 100% drop rate but only 4 records
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, ResetReturnsToPristine) {
+  HealthMonitor monitor(fast_config());
+  monitor.observe_train_step(std::numeric_limits<double>::quiet_NaN(), false);
+  ASSERT_EQ(monitor.state(), HealthState::kFailed);
+  monitor.reset();
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_EQ(monitor.stats().train_steps, 0u);
+}
+
+// --- Engine integration ------------------------------------------------------
+
+nn::Network make_net(std::uint64_t seed = 5) {
+  math::Rng rng(seed);
+  nn::Network net = nn::build_mlp_classifier(2, 4, 2, rng);
+  net.normalizer().import_moments({0.0, 0.0}, {1.0, 1.0});
+  return net;
+}
+
+struct TrainSetup {
+  matrix::MatD x{8, 2};
+  matrix::MatD y{8, 2};
+  nn::CrossEntropyLoss loss;
+  nn::SGD opt{0.1, 0.0};
+
+  explicit TrainSetup(Engine& engine) {
+    math::Rng rng(23);
+    for (int i = 0; i < 8; ++i) {
+      const int cls = i % 2;
+      x.at(i, 0) = rng.normal(cls == 0 ? -1.0 : 1.0, 0.2);
+      x.at(i, 1) = rng.normal(cls == 0 ? 1.0 : -1.0, 0.2);
+      y.at(i, cls) = 1.0;
+    }
+    opt.attach(engine.network().params());
+  }
+};
+
+TEST(EngineHealth, ValidStepsCheckpointAndFeedMonitor) {
+  HealthMonitor monitor(fast_config());
+  Engine engine(make_net());
+  engine.attach_health(&monitor);
+  engine.set_mode(Mode::kTraining);
+  TrainSetup t(engine);
+
+  EXPECT_FALSE(engine.has_checkpoint());
+  engine.train_batch(t.x, t.y, t.loss, t.opt);
+  EXPECT_TRUE(engine.has_checkpoint());
+  EXPECT_EQ(engine.stats().checkpoints, 1u);
+  EXPECT_EQ(engine.stats().invalid_train_steps, 0u);
+  EXPECT_EQ(monitor.stats().train_steps, 1u);
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+}
+
+TEST(EngineHealth, PoisonedWeightsFailTheMonitorAndRollbackRestores) {
+  HealthMonitor monitor(fast_config());
+  Engine engine(make_net());
+  engine.attach_health(&monitor);
+  engine.set_mode(Mode::kTraining);
+  TrainSetup t(engine);
+
+  // A few good steps to establish the checkpoint.
+  for (int i = 0; i < 3; ++i) engine.train_batch(t.x, t.y, t.loss, t.opt);
+  ASSERT_TRUE(engine.has_checkpoint());
+  ASSERT_TRUE(engine.weights_finite());
+
+  engine.set_mode(Mode::kInference);
+  const double probe[2] = {0.4, -0.6};
+  const int before = engine.infer_class(probe, 2);
+
+  // Poison one weight: the next train step sees non-finite weights.
+  auto params = engine.network().params();
+  params[0].value->at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  ASSERT_FALSE(engine.weights_finite());
+
+  engine.set_mode(Mode::kTraining);
+  engine.train_batch(t.x, t.y, t.loss, t.opt);
+  EXPECT_GE(engine.stats().invalid_train_steps, 1u);
+  EXPECT_EQ(monitor.state(), HealthState::kFailed);
+
+  // Rollback to last-known-good: weights finite again, health on probation,
+  // and the restored model must infer exactly as it did pre-poisoning...
+  ASSERT_TRUE(engine.rollback());
+  // Optimizer state still carries NaN from the poisoned step (0 * NaN is
+  // NaN, so even zero momentum keeps it); re-attach to zero the buffers —
+  // the documented post-rollback step.
+  t.opt.attach(engine.network().params());
+  EXPECT_TRUE(engine.weights_finite());
+  EXPECT_EQ(engine.stats().rollbacks, 1u);
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+
+  engine.set_mode(Mode::kInference);
+  EXPECT_EQ(engine.infer_class(probe, 2), before);
+
+  // ...and clean training afterwards recovers full health.
+  engine.set_mode(Mode::kTraining);
+  for (int i = 0; i < 8; ++i) engine.train_batch(t.x, t.y, t.loss, t.opt);
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+}
+
+TEST(EngineHealth, RollbackWithoutCheckpointFails) {
+  Engine engine(make_net());
+  EXPECT_FALSE(engine.has_checkpoint());
+  EXPECT_FALSE(engine.rollback());
+}
+
+}  // namespace
+}  // namespace kml::runtime
+
+// --- Tuner degradation -------------------------------------------------------
+
+namespace kml::readahead {
+namespace {
+
+ExperimentConfig tiny_experiment() {
+  ExperimentConfig config;
+  config.num_keys = 100000;
+  config.cache_pages = 2048;
+  return config;
+}
+
+TEST(TunerDegradation, UnhealthyMonitorRevertsToVanillaAndResumes) {
+  sim::StorageStack stack(make_stack_config(tiny_experiment()));
+  kv::MiniKV db(stack, make_kv_config(tiny_experiment()));
+
+  runtime::HealthMonitor monitor(runtime::HealthConfig{});
+  TunerConfig config;
+  config.class_ra_kb = {512, 16, 256, 32};
+  config.health = &monitor;
+  config.vanilla_ra_kb = 128;
+  int predictions = 0;
+  ReadaheadTuner tuner(
+      stack,
+      [&predictions](const FeatureVector&) {
+        ++predictions;
+        return 1;
+      },
+      config);
+
+  // Healthy window: the class-1 table entry (16 KB) is actuated.
+  for (std::uint64_t k = 0; k < 50; ++k) db.get(k * 977);
+  tuner.on_tick(sim::kNsPerSec + 1);
+  ASSERT_EQ(stack.block_layer().readahead_kb(), 16u);
+  ASSERT_EQ(predictions, 1);
+  EXPECT_FALSE(tuner.timeline().back().degraded);
+
+  // Training blows up -> FAILED. The next window must revert to vanilla and
+  // skip inference entirely.
+  monitor.observe_train_step(std::numeric_limits<double>::quiet_NaN(), false);
+  ASSERT_EQ(monitor.state(), runtime::HealthState::kFailed);
+  for (std::uint64_t k = 0; k < 50; ++k) db.get(k * 1033);
+  tuner.on_tick(2 * sim::kNsPerSec + 1);
+  EXPECT_EQ(stack.block_layer().readahead_kb(), 128u);
+  EXPECT_EQ(predictions, 1);  // no inference while quarantined
+  EXPECT_TRUE(tuner.timeline().back().degraded);
+  EXPECT_EQ(tuner.degraded_windows(), 1u);
+
+  // Stays vanilla while FAILED.
+  for (std::uint64_t k = 0; k < 50; ++k) db.get(k * 1051);
+  tuner.on_tick(3 * sim::kNsPerSec + 1);
+  EXPECT_EQ(stack.block_layer().readahead_kb(), 128u);
+  EXPECT_EQ(tuner.degraded_windows(), 2u);
+
+  // Rollback + clean streak -> HEALTHY; actuation resumes.
+  monitor.notify_rollback();
+  // +1: the first post-rollback step re-primes the EWMA baseline.
+  for (std::uint32_t i = 0; i <= monitor.config().clean_steps_to_recover;
+       ++i) {
+    monitor.observe_train_step(1.0, true);
+  }
+  ASSERT_EQ(monitor.state(), runtime::HealthState::kHealthy);
+  for (std::uint64_t k = 0; k < 50; ++k) db.get(k * 1087);
+  tuner.on_tick(4 * sim::kNsPerSec + 1);
+  EXPECT_EQ(stack.block_layer().readahead_kb(), 16u);
+  EXPECT_EQ(predictions, 2);
+  EXPECT_FALSE(tuner.timeline().back().degraded);
+  EXPECT_EQ(tuner.degraded_windows(), 2u);  // no new degraded windows
+}
+
+TEST(TunerDegradation, NullHealthMeansAlwaysActuate) {
+  sim::StorageStack stack(make_stack_config(tiny_experiment()));
+  kv::MiniKV db(stack, make_kv_config(tiny_experiment()));
+  ReadaheadTuner tuner(
+      stack, [](const FeatureVector&) { return 1; }, TunerConfig{});
+  db.get(1);
+  tuner.on_tick(sim::kNsPerSec + 1);
+  EXPECT_EQ(tuner.degraded_windows(), 0u);
+  EXPECT_FALSE(tuner.timeline().back().degraded);
+}
+
+TEST(TunerDegradation, PerFileTunerRestoresActuatedInodes) {
+  sim::StorageStack stack(make_stack_config(tiny_experiment()));
+  kv::MiniKV db(stack, make_kv_config(tiny_experiment()));
+
+  runtime::HealthMonitor monitor;
+  TunerConfig config;
+  config.class_ra_kb = {512, 16, 256, 32};
+  config.health = &monitor;
+  config.vanilla_ra_kb = 128;
+  PerFileTuner tuner(
+      stack, [](const FeatureVector&) { return 1; }, config,
+      /*min_events=*/1);
+
+  for (std::uint64_t k = 0; k < 200; ++k) db.get(k * 977);
+  tuner.on_tick(sim::kNsPerSec + 1);
+  ASSERT_FALSE(tuner.last_window_decisions().empty());
+  const std::uint64_t inode = tuner.last_window_decisions()[0].inode;
+  ASSERT_EQ(stack.block_layer().file_readahead_kb(inode), 16u);
+
+  // FAILED: the tuned inode reverts to vanilla; no decisions are made.
+  monitor.observe_train_step(std::numeric_limits<double>::quiet_NaN(), false);
+  for (std::uint64_t k = 0; k < 200; ++k) db.get(k * 1033);
+  tuner.on_tick(2 * sim::kNsPerSec + 1);
+  EXPECT_EQ(stack.block_layer().file_readahead_kb(inode), 128u);
+  EXPECT_TRUE(tuner.last_window_decisions().empty());
+  EXPECT_EQ(tuner.degraded_windows(), 1u);
+}
+
+TEST(TunerDegradation, ClosedLoopReportsDegradedWindowsAndRecovers) {
+  // Acceptance scenario: a closed-loop run with divergence injected partway
+  // through falls back to vanilla, then resumes after a rollback.
+  runtime::HealthMonitor monitor;
+  TunerConfig tuner_config;
+  tuner_config.health = &monitor;
+
+  const std::uint64_t seconds = 8;
+  bool poisoned = false;
+  bool rolled_back = false;
+  const auto inject = [&](std::uint64_t now_ns) {
+    if (!poisoned && now_ns >= 3 * sim::kNsPerSec) {
+      poisoned = true;  // trainer diverges at t=3s
+      monitor.observe_train_step(
+          std::numeric_limits<double>::quiet_NaN(), false);
+    }
+    if (!rolled_back && now_ns >= 6 * sim::kNsPerSec) {
+      rolled_back = true;  // operator/engine rolls back at t=6s
+      monitor.notify_rollback();
+      for (std::uint32_t i = 0;
+           i <= monitor.config().clean_steps_to_recover; ++i) {
+        monitor.observe_train_step(1.0, true);
+      }
+    }
+  };
+
+  const EvalOutcome outcome = evaluate_closed_loop(
+      tiny_experiment(), workloads::WorkloadType::kReadRandom,
+      [](const FeatureVector&) { return 1; }, tuner_config, seconds, inject);
+
+  ASSERT_TRUE(poisoned);
+  ASSERT_TRUE(rolled_back);
+  // Roughly seconds 3..6 are degraded; at least one window on each side of
+  // the fault must be healthy (fallback engaged AND recovery resumed).
+  EXPECT_GT(outcome.degraded_windows, 0u);
+  EXPECT_LT(outcome.degraded_windows, outcome.timeline.size());
+  bool saw_degraded = false;
+  bool saw_healthy_after = false;
+  for (const TimelinePoint& p : outcome.timeline) {
+    if (p.degraded) saw_degraded = true;
+    if (saw_degraded && !p.degraded) saw_healthy_after = true;
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_TRUE(saw_healthy_after);
+  EXPECT_GT(outcome.vanilla_ops_per_sec, 0.0);
+  EXPECT_GT(outcome.kml_ops_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace kml::readahead

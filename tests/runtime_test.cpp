@@ -184,5 +184,117 @@ TEST(Engine, FromFileMissingFails) {
   EXPECT_FALSE(Engine::from_file(e, "/tmp/kml_engine_missing.kml"));
 }
 
+TEST(Engine, FromFileFailureLeavesEngineIntact) {
+  // A deployed engine asked to hot-load a bad model file must keep serving
+  // with its current weights and stats.
+  Engine engine(make_tiny_net(29));
+  const double f[2] = {0.2, -0.9};
+  const int before_class = engine.infer_class(f, 2);
+  const std::uint64_t before_inferences = engine.stats().inferences;
+
+  EXPECT_FALSE(Engine::from_file(engine, "/tmp/kml_engine_missing.kml"));
+
+  EXPECT_EQ(engine.stats().inferences, before_inferences);
+  EXPECT_EQ(engine.network().num_layers(), make_tiny_net(29).num_layers());
+  EXPECT_EQ(engine.infer_class(f, 2), before_class);
+}
+
+// --- Shutdown-drain stress ---------------------------------------------------
+
+TEST(TrainingThread, DrainsFullBufferAtShutdown) {
+  // Fill the buffer to capacity with the consumer effectively parked (first
+  // train_fn call sleeps), then destroy: the destructor's drain must deliver
+  // every accepted record, with no deadlock and no loss.
+  struct SlowStart {
+    Collector collector;
+    std::atomic<bool> first{true};
+  } state;
+
+  const auto slow_first_fn = [](void* user, const data::TraceRecord* records,
+                                std::size_t count) {
+    auto* s = static_cast<SlowStart*>(user);
+    if (s->first.exchange(false)) kml_sleep_ms(50);  // park the consumer
+    collect_fn(&s->collector, records, count);
+  };
+
+  std::uint64_t accepted = 0;
+  std::uint64_t sum = 0;
+  {
+    TrainingThread trainer(256, 32, slow_first_fn, &state);
+    // Overfill: some records drop while the consumer sleeps; all *accepted*
+    // records must still arrive.
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      if (trainer.submit(data::TraceRecord{1, i, i, 0})) {
+        ++accepted;
+        sum += i;
+      }
+    }
+  }  // destructor joins; must not deadlock with a full buffer
+  EXPECT_EQ(state.collector.records.load(), accepted);
+  EXPECT_EQ(state.collector.checksum.load(), sum);
+}
+
+TEST(TrainingThread, SlowConsumerShutdownAccountsEveryRecord) {
+  // A train_fn that sleeps on every call: shutdown still terminates and
+  // processed + dropped == submitted.
+  struct Slow {
+    Collector collector;
+  } state;
+  const auto slow_fn = [](void* user, const data::TraceRecord* records,
+                          std::size_t count) {
+    kml_sleep_ms(1);
+    collect_fn(&static_cast<Slow*>(user)->collector, records, count);
+  };
+
+  const std::uint64_t submitted = 2000;
+  std::uint64_t dropped = 0;
+  {
+    TrainingThread trainer(64, 16, slow_fn, &state);
+    for (std::uint64_t i = 0; i < submitted; ++i) {
+      if (!trainer.submit(data::TraceRecord{1, i, i, 0})) ++dropped;
+    }
+    // Snapshot before destruction: drops only happen on the producer side,
+    // which is this thread, so the counter is final.
+    dropped = trainer.dropped();
+  }
+  EXPECT_EQ(state.collector.records.load() + dropped, submitted);
+}
+
+TEST(TrainingThread, HeartbeatsReachAttachedMonitor) {
+  HealthMonitor monitor;
+  Collector collector;
+  TrainingThread trainer(1 << 10, 32, collect_fn, &collector);
+  trainer.attach_health(&monitor);
+  for (int spin = 0; spin < 1000 && monitor.stats().heartbeats == 0; ++spin) {
+    kml_sleep_ms(1);
+  }
+  EXPECT_GT(monitor.stats().heartbeats, 0u);
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+}
+
+TEST(TrainingThread, DropStormTripsAttachedMonitor) {
+  HealthMonitor monitor;  // default: >50% drops over >=1024 records
+  Collector collector;
+  // Tiny buffer + sleeping consumer: almost everything drops.
+  const auto sleepy_fn = [](void* user, const data::TraceRecord* records,
+                            std::size_t count) {
+    kml_sleep_ms(5);
+    collect_fn(static_cast<Collector*>(user), records, count);
+  };
+  {
+    TrainingThread trainer(8, 1, sleepy_fn, &collector);
+    trainer.attach_health(&monitor);
+    for (std::uint64_t i = 0; i < 200000; ++i) {
+      trainer.submit(data::TraceRecord{1, i, i, 0});
+    }
+    for (int spin = 0;
+         spin < 2000 && monitor.state() == HealthState::kHealthy; ++spin) {
+      kml_sleep_ms(1);
+    }
+  }
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_GT(monitor.stats().drop_rate_trips, 0u);
+}
+
 }  // namespace
 }  // namespace kml::runtime

@@ -1,0 +1,314 @@
+// Corruption-fuzz tests for the KML model file format (src/nn/serialize):
+// exhaustive truncation, seeded bit flips (the CRC must catch every one),
+// hostile dimension headers (allocation must stay bounded), version-1
+// compatibility, and the size cap. A loader that can face the kernel's
+// trust boundary has to shrug all of this off — return false, never crash,
+// never over-allocate, never touch `out`.
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "portability/kml_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace kml::nn {
+namespace {
+
+class SerializeFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kml_lib_init();
+    kml_mem_reset_stats();
+  }
+  void TearDown() override { kml_lib_shutdown(); }
+
+  static std::string temp_path(const char* name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  // A realistic small model: the paper's readahead topology with a fitted
+  // normalizer.
+  static Network make_model(std::uint64_t seed = 21) {
+    math::Rng rng(seed);
+    Network net = build_mlp_classifier(5, 8, 4, rng);
+    matrix::MatD x(32, 5);
+    for (int i = 0; i < 32; ++i) {
+      for (int j = 0; j < 5; ++j) x.at(i, j) = rng.normal(j, 1.0 + j);
+    }
+    net.normalizer().fit(x);
+    return net;
+  }
+
+  static void file_bytes(const std::string& path,
+                         std::vector<std::uint8_t>& bytes) {
+    bytes.resize(static_cast<std::size_t>(kml_fsize(path.c_str())));
+    KmlFile* f = kml_fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr);
+    std::int64_t got = 0;
+    while (got < static_cast<std::int64_t>(bytes.size())) {
+      const std::int64_t n =
+          kml_fread(f, bytes.data() + got, bytes.size() - got);
+      ASSERT_GT(n, 0);
+      got += n;
+    }
+    kml_fclose(f);
+  }
+
+  static void write_bytes(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes) {
+    KmlFile* f = kml_fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    if (!bytes.empty()) {
+      ASSERT_EQ(kml_fwrite(f, bytes.data(), bytes.size()),
+                static_cast<std::int64_t>(bytes.size()));
+    }
+    kml_fclose(f);
+  }
+};
+
+TEST_F(SerializeFuzzTest, V2RoundTripAndFooter) {
+  const std::string path = temp_path("fuzz_roundtrip.kml");
+  Network net = make_model();
+  ASSERT_TRUE(save_model(net, path.c_str()));
+
+  std::vector<std::uint8_t> bytes;
+  file_bytes(path, bytes);
+  ASSERT_GE(bytes.size(), 12u);
+
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  EXPECT_EQ(version, kModelVersion);
+
+  // The footer is the CRC of everything before it.
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - 4, sizeof(stored));
+  EXPECT_EQ(stored, model_crc32(bytes.data(), bytes.size() - 4));
+
+  Network out;
+  ASSERT_TRUE(load_model(out, path.c_str()));
+  EXPECT_EQ(out.num_layers(), net.num_layers());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeFuzzTest, TruncationAtEveryByteOffsetFailsCleanly) {
+  const std::string path = temp_path("fuzz_trunc_src.kml");
+  const std::string cut = temp_path("fuzz_trunc_cut.kml");
+  ASSERT_TRUE(save_model(make_model(), path.c_str()));
+  std::vector<std::uint8_t> bytes;
+  file_bytes(path, bytes);
+  ASSERT_GT(bytes.size(), 0u);
+
+  // A pre-populated network proves `out` is untouched across every failed
+  // load, not just left default-constructed.
+  Network out = make_model(99);
+  const int layers_before = out.num_layers();
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_bytes(cut, std::vector<std::uint8_t>(bytes.begin(),
+                                               bytes.begin() + len));
+    ASSERT_FALSE(load_model(out, cut.c_str())) << "truncated at " << len;
+    ASSERT_EQ(out.num_layers(), layers_before) << "out mutated at " << len;
+  }
+  // The intact file still loads.
+  EXPECT_TRUE(load_model(out, path.c_str()));
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST_F(SerializeFuzzTest, ThousandSeededBitFlipsAllRejected) {
+  const std::string path = temp_path("fuzz_flip_src.kml");
+  const std::string flipped = temp_path("fuzz_flip_dst.kml");
+  ASSERT_TRUE(save_model(make_model(), path.c_str()));
+  std::vector<std::uint8_t> bytes;
+  file_bytes(path, bytes);
+
+  const std::uint64_t mem_floor = kml_mem_stats().peak_bytes;
+  std::mt19937_64 rng(0xC0FFEE);
+  std::uniform_int_distribution<std::size_t> byte_at(0, bytes.size() - 1);
+  std::uniform_int_distribution<int> bit_at(0, 7);
+
+  Network out;
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> mutant = bytes;
+    const std::size_t off = byte_at(rng);
+    const int bit = bit_at(rng);
+    mutant[off] ^= static_cast<std::uint8_t>(1u << bit);
+    write_bytes(flipped, mutant);
+    // Every single-bit flip is detectable: either a validation check or the
+    // CRC-32 footer (which catches *all* single-bit errors) must reject it.
+    ASSERT_FALSE(load_model(out, flipped.c_str()))
+        << "bit " << bit << " of byte " << off << " went unnoticed";
+  }
+  // Bounded allocation: no mutant may have driven more than the file-size
+  // cap's worth of transient memory (slack for the parse scaffolding).
+  EXPECT_LT(kml_mem_stats().peak_bytes - mem_floor,
+            static_cast<std::uint64_t>(2 * kMaxModelFileBytes));
+  std::remove(path.c_str());
+  std::remove(flipped.c_str());
+}
+
+// Build a syntactically valid v1 image by hand (no CRC footer — the v1
+// writer never had one).
+std::vector<std::uint8_t> craft_v1_image(std::uint32_t nfeat,
+                                         std::uint32_t nlayers,
+                                         std::uint32_t lin_in,
+                                         std::uint32_t lin_out,
+                                         bool include_weights = true) {
+  std::vector<std::uint8_t> img;
+  const auto u32 = [&img](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    img.insert(img.end(), p, p + 4);
+  };
+  const auto f64 = [&img](double v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    img.insert(img.end(), p, p + 8);
+  };
+  u32(kModelMagic);
+  u32(1);  // version 1
+  u32(nfeat);
+  if (include_weights) {
+    for (std::uint32_t j = 0; j < nfeat; ++j) f64(0.0);  // means
+    for (std::uint32_t j = 0; j < nfeat; ++j) f64(1.0);  // stddevs
+  }
+  u32(nlayers);
+  for (std::uint32_t i = 0; i < nlayers && include_weights; ++i) {
+    u32(1);  // kLinear
+    u32(lin_in);
+    u32(lin_out);
+    for (std::uint64_t k = 0;
+         k < static_cast<std::uint64_t>(lin_in) * lin_out + lin_out; ++k) {
+      f64(0.25);
+    }
+  }
+  return img;
+}
+
+TEST_F(SerializeFuzzTest, GenuineV1FileStillLoads) {
+  const std::string path = temp_path("fuzz_v1_compat.kml");
+  write_bytes(path, craft_v1_image(2, 1, 2, 3));
+  Network out;
+  ASSERT_TRUE(load_model(out, path.c_str()));
+  ASSERT_EQ(out.num_layers(), 1);
+  EXPECT_EQ(out.layer(0).in_features(), 2);
+  EXPECT_EQ(out.layer(0).out_features(), 3);
+  // Weights arrived intact (all 0.25 by construction).
+  auto& lin = static_cast<Linear&>(out.layer(0));
+  EXPECT_DOUBLE_EQ(lin.weights().at(1, 2), 0.25);
+
+  matrix::MatD x(1, 2);
+  x.at(0, 0) = 1.0;
+  x.at(0, 1) = -1.0;
+  const matrix::MatD y = out.forward(x);
+  EXPECT_EQ(y.cols(), 3);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeFuzzTest, HostileDimensionsRejectedWithBoundedAllocation) {
+  const std::string path = temp_path("fuzz_hostile.kml");
+  const std::uint64_t mem_floor = kml_mem_stats().peak_bytes;
+  Network out;
+
+  // Normalizer claims 4 billion features in a 20-byte file.
+  write_bytes(path, craft_v1_image(0xFFFFFFFFu, 0, 0, 0, false));
+  EXPECT_FALSE(load_model(out, path.c_str()));
+
+  // A million layers, no payload behind them.
+  write_bytes(path, craft_v1_image(0, 1'000'000, 0, 0, false));
+  EXPECT_FALSE(load_model(out, path.c_str()));
+
+  // One linear layer claiming 65k x 65k weights (32 GiB) in a tiny file.
+  {
+    std::vector<std::uint8_t> img = craft_v1_image(0, 0, 0, 0, false);
+    img.resize(img.size() - 4);  // drop the nlayers field
+    const auto u32 = [&img](std::uint32_t v) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+      img.insert(img.end(), p, p + 4);
+    };
+    u32(1);        // nlayers
+    u32(1);        // kLinear
+    u32(0xFFFFu);  // in
+    u32(0xFFFFu);  // out
+    write_bytes(path, img);
+    EXPECT_FALSE(load_model(out, path.c_str()));
+  }
+
+  // Unknown layer type.
+  {
+    std::vector<std::uint8_t> img = craft_v1_image(0, 0, 0, 0, false);
+    img.resize(img.size() - 4);
+    const auto u32 = [&img](std::uint32_t v) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+      img.insert(img.end(), p, p + 4);
+    };
+    u32(1);    // nlayers
+    u32(777);  // no such LayerType
+    u32(1);
+    u32(1);
+    write_bytes(path, img);
+    EXPECT_FALSE(load_model(out, path.c_str()));
+  }
+
+  // Trailing garbage after a valid v1 image.
+  {
+    std::vector<std::uint8_t> img = craft_v1_image(2, 1, 2, 3);
+    img.push_back(0xEE);
+    write_bytes(path, img);
+    EXPECT_FALSE(load_model(out, path.c_str()));
+  }
+
+  // None of the hostile headers may have provoked a large allocation.
+  EXPECT_LT(kml_mem_stats().peak_bytes - mem_floor, 64u << 20);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeFuzzTest, OversizedFileRejected) {
+  const std::string path = temp_path("fuzz_oversized.kml");
+  // A sparse file over the cap: write one byte past the limit.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(kMaxModelFileBytes), SEEK_SET),
+            0);
+  std::fputc('x', f);
+  std::fclose(f);
+  ASSERT_GT(kml_fsize(path.c_str()), kMaxModelFileBytes);
+
+  const std::uint64_t mem_floor = kml_mem_stats().peak_bytes;
+  Network out;
+  EXPECT_FALSE(load_model(out, path.c_str()));
+  // Rejected on size alone — before the image was ever slurped.
+  EXPECT_LT(kml_mem_stats().peak_bytes - mem_floor, 1u << 20);
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeFuzzTest, FailedLoadLeavesOutUntouched) {
+  const std::string good = temp_path("fuzz_untouched_good.kml");
+  const std::string bad = temp_path("fuzz_untouched_bad.kml");
+  ASSERT_TRUE(save_model(make_model(31), good.c_str()));
+
+  Network out;
+  ASSERT_TRUE(load_model(out, good.c_str()));
+  matrix::MatD x(1, 5);
+  for (int j = 0; j < 5; ++j) x.at(0, j) = 0.5 * j;
+  const matrix::MatD before = out.forward(out.normalizer().transform(x));
+
+  // Corrupt file: the loaded network must keep producing identical output.
+  std::vector<std::uint8_t> bytes;
+  file_bytes(good, bytes);
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_bytes(bad, bytes);
+  ASSERT_FALSE(load_model(out, bad.c_str()));
+
+  const matrix::MatD after = out.forward(out.normalizer().transform(x));
+  EXPECT_EQ(matrix::max_abs_diff(before, after), 0.0);
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+}  // namespace
+}  // namespace kml::nn

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace kml::sim {
@@ -79,11 +80,12 @@ TEST(FileTableTest, CreateAssignsUniqueInodesAndDefaultRa) {
   FileTable files(128);
   FileHandle& a = files.create(100);
   FileHandle& b = files.create(200);
+  const std::uint64_t a_inode = a.inode;  // a dangles once removed below
   EXPECT_NE(a.inode, b.inode);
   EXPECT_EQ(a.ra_pages, 32u);  // 128 KB / 4 KB
-  EXPECT_TRUE(files.exists(a.inode));
-  files.remove(a.inode);
-  EXPECT_FALSE(files.exists(a.inode));
+  EXPECT_TRUE(files.exists(a_inode));
+  files.remove(a_inode);
+  EXPECT_FALSE(files.exists(a_inode));
 }
 
 TEST(FileTableTest, KbPageConversions) {
