@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decision_tree.dir/bench_decision_tree.cpp.o"
+  "CMakeFiles/bench_decision_tree.dir/bench_decision_tree.cpp.o.d"
+  "bench_decision_tree"
+  "bench_decision_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decision_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_health_guard.dir/bench_health_guard.cpp.o"
+  "CMakeFiles/bench_health_guard.dir/bench_health_guard.cpp.o.d"
+  "bench_health_guard"
+  "bench_health_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_health_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

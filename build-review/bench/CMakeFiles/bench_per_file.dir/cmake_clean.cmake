@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_per_file.dir/bench_per_file.cpp.o"
+  "CMakeFiles/bench_per_file.dir/bench_per_file.cpp.o.d"
+  "bench_per_file"
+  "bench_per_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_per_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_per_file.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readahead_sweep.dir/bench_readahead_sweep.cpp.o"
+  "CMakeFiles/bench_readahead_sweep.dir/bench_readahead_sweep.cpp.o.d"
+  "bench_readahead_sweep"
+  "bench_readahead_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readahead_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

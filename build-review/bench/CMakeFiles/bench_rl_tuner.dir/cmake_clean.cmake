@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rl_tuner.dir/bench_rl_tuner.cpp.o"
+  "CMakeFiles/bench_rl_tuner.dir/bench_rl_tuner.cpp.o.d"
+  "bench_rl_tuner"
+  "bench_rl_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rl_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rnn_workloads.dir/bench_rnn_workloads.cpp.o"
+  "CMakeFiles/bench_rnn_workloads.dir/bench_rnn_workloads.cpp.o.d"
+  "bench_rnn_workloads"
+  "bench_rnn_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rnn_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

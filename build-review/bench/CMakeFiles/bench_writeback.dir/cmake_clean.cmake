@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_writeback.dir/bench_writeback.cpp.o"
+  "CMakeFiles/bench_writeback.dir/bench_writeback.cpp.o.d"
+  "bench_writeback"
+  "bench_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_feature_probe.dir/tool_feature_probe.cpp.o"
+  "CMakeFiles/tool_feature_probe.dir/tool_feature_probe.cpp.o.d"
+  "tool_feature_probe"
+  "tool_feature_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_feature_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

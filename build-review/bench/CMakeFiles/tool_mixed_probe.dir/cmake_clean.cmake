@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_mixed_probe.dir/tool_mixed_probe.cpp.o"
+  "CMakeFiles/tool_mixed_probe.dir/tool_mixed_probe.cpp.o.d"
+  "tool_mixed_probe"
+  "tool_mixed_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_mixed_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_rl_probe.dir/tool_rl_probe.cpp.o"
+  "CMakeFiles/tool_rl_probe.dir/tool_rl_probe.cpp.o.d"
+  "tool_rl_probe"
+  "tool_rl_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_rl_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

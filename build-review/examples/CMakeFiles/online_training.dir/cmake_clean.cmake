@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_training.dir/online_training.cpp.o"
+  "CMakeFiles/online_training.dir/online_training.cpp.o.d"
+  "online_training"
+  "online_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readahead_tuning.dir/readahead_tuning.cpp.o"
+  "CMakeFiles/readahead_tuning.dir/readahead_tuning.cpp.o.d"
+  "readahead_tuning"
+  "readahead_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readahead_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

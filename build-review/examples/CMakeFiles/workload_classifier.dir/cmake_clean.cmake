@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_classifier.dir/workload_classifier.cpp.o"
+  "CMakeFiles/workload_classifier.dir/workload_classifier.cpp.o.d"
+  "workload_classifier"
+  "workload_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_baselines.dir/baselines/markov.cpp.o"
+  "CMakeFiles/kml_baselines.dir/baselines/markov.cpp.o.d"
+  "libkml_baselines.a"
+  "libkml_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

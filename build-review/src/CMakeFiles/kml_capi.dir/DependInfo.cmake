@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capi/kml_api.cpp" "src/CMakeFiles/kml_capi.dir/capi/kml_api.cpp.o" "gcc" "src/CMakeFiles/kml_capi.dir/capi/kml_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_dtree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_capi.dir/capi/kml_api.cpp.o"
+  "CMakeFiles/kml_capi.dir/capi/kml_api.cpp.o.d"
+  "libkml_capi.a"
+  "libkml_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

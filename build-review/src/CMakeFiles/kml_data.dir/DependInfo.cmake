@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/circular_buffer.cpp" "src/CMakeFiles/kml_data.dir/data/circular_buffer.cpp.o" "gcc" "src/CMakeFiles/kml_data.dir/data/circular_buffer.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/kml_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/kml_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/normalizer.cpp" "src/CMakeFiles/kml_data.dir/data/normalizer.cpp.o" "gcc" "src/CMakeFiles/kml_data.dir/data/normalizer.cpp.o.d"
+  "/root/repo/src/data/windower.cpp" "src/CMakeFiles/kml_data.dir/data/windower.cpp.o" "gcc" "src/CMakeFiles/kml_data.dir/data/windower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_data.dir/data/circular_buffer.cpp.o"
+  "CMakeFiles/kml_data.dir/data/circular_buffer.cpp.o.d"
+  "CMakeFiles/kml_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/kml_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/kml_data.dir/data/normalizer.cpp.o"
+  "CMakeFiles/kml_data.dir/data/normalizer.cpp.o.d"
+  "CMakeFiles/kml_data.dir/data/windower.cpp.o"
+  "CMakeFiles/kml_data.dir/data/windower.cpp.o.d"
+  "libkml_data.a"
+  "libkml_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_dtree.dir/dtree/decision_tree.cpp.o"
+  "CMakeFiles/kml_dtree.dir/dtree/decision_tree.cpp.o.d"
+  "libkml_dtree.a"
+  "libkml_dtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_dtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_kv.dir/kv/bloom.cpp.o"
+  "CMakeFiles/kml_kv.dir/kv/bloom.cpp.o.d"
+  "CMakeFiles/kml_kv.dir/kv/iterator.cpp.o"
+  "CMakeFiles/kml_kv.dir/kv/iterator.cpp.o.d"
+  "CMakeFiles/kml_kv.dir/kv/memtable.cpp.o"
+  "CMakeFiles/kml_kv.dir/kv/memtable.cpp.o.d"
+  "CMakeFiles/kml_kv.dir/kv/minikv.cpp.o"
+  "CMakeFiles/kml_kv.dir/kv/minikv.cpp.o.d"
+  "CMakeFiles/kml_kv.dir/kv/table.cpp.o"
+  "CMakeFiles/kml_kv.dir/kv/table.cpp.o.d"
+  "libkml_kv.a"
+  "libkml_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/approx.cpp" "src/CMakeFiles/kml_math.dir/math/approx.cpp.o" "gcc" "src/CMakeFiles/kml_math.dir/math/approx.cpp.o.d"
+  "/root/repo/src/math/fixed.cpp" "src/CMakeFiles/kml_math.dir/math/fixed.cpp.o" "gcc" "src/CMakeFiles/kml_math.dir/math/fixed.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/CMakeFiles/kml_math.dir/math/rng.cpp.o" "gcc" "src/CMakeFiles/kml_math.dir/math/rng.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/CMakeFiles/kml_math.dir/math/stats.cpp.o" "gcc" "src/CMakeFiles/kml_math.dir/math/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

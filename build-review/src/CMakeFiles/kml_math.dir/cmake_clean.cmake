@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_math.dir/math/approx.cpp.o"
+  "CMakeFiles/kml_math.dir/math/approx.cpp.o.d"
+  "CMakeFiles/kml_math.dir/math/fixed.cpp.o"
+  "CMakeFiles/kml_math.dir/math/fixed.cpp.o.d"
+  "CMakeFiles/kml_math.dir/math/rng.cpp.o"
+  "CMakeFiles/kml_math.dir/math/rng.cpp.o.d"
+  "CMakeFiles/kml_math.dir/math/stats.cpp.o"
+  "CMakeFiles/kml_math.dir/math/stats.cpp.o.d"
+  "libkml_math.a"
+  "libkml_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_matrix.dir/matrix/linalg.cpp.o"
+  "CMakeFiles/kml_matrix.dir/matrix/linalg.cpp.o.d"
+  "CMakeFiles/kml_matrix.dir/matrix/matrix.cpp.o"
+  "CMakeFiles/kml_matrix.dir/matrix/matrix.cpp.o.d"
+  "libkml_matrix.a"
+  "libkml_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

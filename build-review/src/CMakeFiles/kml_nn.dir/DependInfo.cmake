@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/kml_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/kml_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/kml_nn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/kml_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/kml_nn.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/quantized.cpp" "src/CMakeFiles/kml_nn.dir/nn/quantized.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/quantized.cpp.o.d"
+  "/root/repo/src/nn/recurrent.cpp" "src/CMakeFiles/kml_nn.dir/nn/recurrent.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/recurrent.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/kml_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/CMakeFiles/kml_nn.dir/nn/sgd.cpp.o" "gcc" "src/CMakeFiles/kml_nn.dir/nn/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

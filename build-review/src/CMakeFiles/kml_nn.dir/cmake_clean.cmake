@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/network.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/network.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/quantized.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/quantized.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/recurrent.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/recurrent.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/kml_nn.dir/nn/sgd.cpp.o"
+  "CMakeFiles/kml_nn.dir/nn/sgd.cpp.o.d"
+  "libkml_nn.a"
+  "libkml_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

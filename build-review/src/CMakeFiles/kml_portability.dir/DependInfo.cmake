@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/portability/fault.cpp" "src/CMakeFiles/kml_portability.dir/portability/fault.cpp.o" "gcc" "src/CMakeFiles/kml_portability.dir/portability/fault.cpp.o.d"
+  "/root/repo/src/portability/file.cpp" "src/CMakeFiles/kml_portability.dir/portability/file.cpp.o" "gcc" "src/CMakeFiles/kml_portability.dir/portability/file.cpp.o.d"
+  "/root/repo/src/portability/kml_lib.cpp" "src/CMakeFiles/kml_portability.dir/portability/kml_lib.cpp.o" "gcc" "src/CMakeFiles/kml_portability.dir/portability/kml_lib.cpp.o.d"
+  "/root/repo/src/portability/log.cpp" "src/CMakeFiles/kml_portability.dir/portability/log.cpp.o" "gcc" "src/CMakeFiles/kml_portability.dir/portability/log.cpp.o.d"
+  "/root/repo/src/portability/memory.cpp" "src/CMakeFiles/kml_portability.dir/portability/memory.cpp.o" "gcc" "src/CMakeFiles/kml_portability.dir/portability/memory.cpp.o.d"
+  "/root/repo/src/portability/thread.cpp" "src/CMakeFiles/kml_portability.dir/portability/thread.cpp.o" "gcc" "src/CMakeFiles/kml_portability.dir/portability/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

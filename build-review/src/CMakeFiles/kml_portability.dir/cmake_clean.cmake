@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_portability.dir/portability/fault.cpp.o"
+  "CMakeFiles/kml_portability.dir/portability/fault.cpp.o.d"
+  "CMakeFiles/kml_portability.dir/portability/file.cpp.o"
+  "CMakeFiles/kml_portability.dir/portability/file.cpp.o.d"
+  "CMakeFiles/kml_portability.dir/portability/kml_lib.cpp.o"
+  "CMakeFiles/kml_portability.dir/portability/kml_lib.cpp.o.d"
+  "CMakeFiles/kml_portability.dir/portability/log.cpp.o"
+  "CMakeFiles/kml_portability.dir/portability/log.cpp.o.d"
+  "CMakeFiles/kml_portability.dir/portability/memory.cpp.o"
+  "CMakeFiles/kml_portability.dir/portability/memory.cpp.o.d"
+  "CMakeFiles/kml_portability.dir/portability/thread.cpp.o"
+  "CMakeFiles/kml_portability.dir/portability/thread.cpp.o.d"
+  "libkml_portability.a"
+  "libkml_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

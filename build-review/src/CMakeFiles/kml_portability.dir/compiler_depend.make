@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kml_portability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/readahead/features.cpp" "src/CMakeFiles/kml_readahead.dir/readahead/features.cpp.o" "gcc" "src/CMakeFiles/kml_readahead.dir/readahead/features.cpp.o.d"
+  "/root/repo/src/readahead/file_tuner.cpp" "src/CMakeFiles/kml_readahead.dir/readahead/file_tuner.cpp.o" "gcc" "src/CMakeFiles/kml_readahead.dir/readahead/file_tuner.cpp.o.d"
+  "/root/repo/src/readahead/model.cpp" "src/CMakeFiles/kml_readahead.dir/readahead/model.cpp.o" "gcc" "src/CMakeFiles/kml_readahead.dir/readahead/model.cpp.o.d"
+  "/root/repo/src/readahead/pipeline.cpp" "src/CMakeFiles/kml_readahead.dir/readahead/pipeline.cpp.o" "gcc" "src/CMakeFiles/kml_readahead.dir/readahead/pipeline.cpp.o.d"
+  "/root/repo/src/readahead/rl_tuner.cpp" "src/CMakeFiles/kml_readahead.dir/readahead/rl_tuner.cpp.o" "gcc" "src/CMakeFiles/kml_readahead.dir/readahead/rl_tuner.cpp.o.d"
+  "/root/repo/src/readahead/tuner.cpp" "src/CMakeFiles/kml_readahead.dir/readahead/tuner.cpp.o" "gcc" "src/CMakeFiles/kml_readahead.dir/readahead/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_dtree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_kv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_readahead.dir/readahead/features.cpp.o"
+  "CMakeFiles/kml_readahead.dir/readahead/features.cpp.o.d"
+  "CMakeFiles/kml_readahead.dir/readahead/file_tuner.cpp.o"
+  "CMakeFiles/kml_readahead.dir/readahead/file_tuner.cpp.o.d"
+  "CMakeFiles/kml_readahead.dir/readahead/model.cpp.o"
+  "CMakeFiles/kml_readahead.dir/readahead/model.cpp.o.d"
+  "CMakeFiles/kml_readahead.dir/readahead/pipeline.cpp.o"
+  "CMakeFiles/kml_readahead.dir/readahead/pipeline.cpp.o.d"
+  "CMakeFiles/kml_readahead.dir/readahead/rl_tuner.cpp.o"
+  "CMakeFiles/kml_readahead.dir/readahead/rl_tuner.cpp.o.d"
+  "CMakeFiles/kml_readahead.dir/readahead/tuner.cpp.o"
+  "CMakeFiles/kml_readahead.dir/readahead/tuner.cpp.o.d"
+  "libkml_readahead.a"
+  "libkml_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

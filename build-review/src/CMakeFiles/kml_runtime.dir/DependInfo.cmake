@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cpp" "src/CMakeFiles/kml_runtime.dir/runtime/engine.cpp.o" "gcc" "src/CMakeFiles/kml_runtime.dir/runtime/engine.cpp.o.d"
+  "/root/repo/src/runtime/health.cpp" "src/CMakeFiles/kml_runtime.dir/runtime/health.cpp.o" "gcc" "src/CMakeFiles/kml_runtime.dir/runtime/health.cpp.o.d"
+  "/root/repo/src/runtime/training_thread.cpp" "src/CMakeFiles/kml_runtime.dir/runtime/training_thread.cpp.o" "gcc" "src/CMakeFiles/kml_runtime.dir/runtime/training_thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_dtree.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

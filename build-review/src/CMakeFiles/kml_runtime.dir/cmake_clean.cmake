@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_runtime.dir/runtime/engine.cpp.o"
+  "CMakeFiles/kml_runtime.dir/runtime/engine.cpp.o.d"
+  "CMakeFiles/kml_runtime.dir/runtime/health.cpp.o"
+  "CMakeFiles/kml_runtime.dir/runtime/health.cpp.o.d"
+  "CMakeFiles/kml_runtime.dir/runtime/training_thread.cpp.o"
+  "CMakeFiles/kml_runtime.dir/runtime/training_thread.cpp.o.d"
+  "libkml_runtime.a"
+  "libkml_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_layer.cpp" "src/CMakeFiles/kml_sim.dir/sim/block_layer.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/block_layer.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/kml_sim.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/kml_sim.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/file.cpp" "src/CMakeFiles/kml_sim.dir/sim/file.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/file.cpp.o.d"
+  "/root/repo/src/sim/page_cache.cpp" "src/CMakeFiles/kml_sim.dir/sim/page_cache.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/page_cache.cpp.o.d"
+  "/root/repo/src/sim/readahead.cpp" "src/CMakeFiles/kml_sim.dir/sim/readahead.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/readahead.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/CMakeFiles/kml_sim.dir/sim/trace_io.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/trace_io.cpp.o.d"
+  "/root/repo/src/sim/tracepoint.cpp" "src/CMakeFiles/kml_sim.dir/sim/tracepoint.cpp.o" "gcc" "src/CMakeFiles/kml_sim.dir/sim/tracepoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_sim.dir/sim/block_layer.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/block_layer.cpp.o.d"
+  "CMakeFiles/kml_sim.dir/sim/clock.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/clock.cpp.o.d"
+  "CMakeFiles/kml_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/kml_sim.dir/sim/file.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/file.cpp.o.d"
+  "CMakeFiles/kml_sim.dir/sim/page_cache.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/page_cache.cpp.o.d"
+  "CMakeFiles/kml_sim.dir/sim/readahead.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/readahead.cpp.o.d"
+  "CMakeFiles/kml_sim.dir/sim/trace_io.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/trace_io.cpp.o.d"
+  "CMakeFiles/kml_sim.dir/sim/tracepoint.cpp.o"
+  "CMakeFiles/kml_sim.dir/sim/tracepoint.cpp.o.d"
+  "libkml_sim.a"
+  "libkml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

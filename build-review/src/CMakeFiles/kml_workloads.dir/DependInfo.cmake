@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/drivers.cpp" "src/CMakeFiles/kml_workloads.dir/workloads/drivers.cpp.o" "gcc" "src/CMakeFiles/kml_workloads.dir/workloads/drivers.cpp.o.d"
+  "/root/repo/src/workloads/mixgraph.cpp" "src/CMakeFiles/kml_workloads.dir/workloads/mixgraph.cpp.o" "gcc" "src/CMakeFiles/kml_workloads.dir/workloads/mixgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/kml_kv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/kml_portability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_workloads.dir/workloads/drivers.cpp.o"
+  "CMakeFiles/kml_workloads.dir/workloads/drivers.cpp.o.d"
+  "CMakeFiles/kml_workloads.dir/workloads/mixgraph.cpp.o"
+  "CMakeFiles/kml_workloads.dir/workloads/mixgraph.cpp.o.d"
+  "libkml_workloads.a"
+  "libkml_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

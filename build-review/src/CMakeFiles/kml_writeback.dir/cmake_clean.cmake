@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_writeback.dir/writeback/workload.cpp.o"
+  "CMakeFiles/kml_writeback.dir/writeback/workload.cpp.o.d"
+  "libkml_writeback.a"
+  "libkml_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

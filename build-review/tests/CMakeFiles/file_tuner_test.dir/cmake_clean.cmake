@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_tuner_test.dir/file_tuner_test.cpp.o"
+  "CMakeFiles/file_tuner_test.dir/file_tuner_test.cpp.o.d"
+  "file_tuner_test"
+  "file_tuner_test.pdb"
+  "file_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

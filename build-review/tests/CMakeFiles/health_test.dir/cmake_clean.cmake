@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_test.dir/health_test.cpp.o"
+  "CMakeFiles/health_test.dir/health_test.cpp.o.d"
+  "health_test"
+  "health_test.pdb"
+  "health_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_test.dir/quantized_test.cpp.o"
+  "CMakeFiles/quantized_test.dir/quantized_test.cpp.o.d"
+  "quantized_test"
+  "quantized_test.pdb"
+  "quantized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

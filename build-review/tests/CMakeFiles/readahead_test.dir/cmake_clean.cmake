@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readahead_test.dir/readahead_test.cpp.o"
+  "CMakeFiles/readahead_test.dir/readahead_test.cpp.o.d"
+  "readahead_test"
+  "readahead_test.pdb"
+  "readahead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrent_test.dir/recurrent_test.cpp.o"
+  "CMakeFiles/recurrent_test.dir/recurrent_test.cpp.o.d"
+  "recurrent_test"
+  "recurrent_test.pdb"
+  "recurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

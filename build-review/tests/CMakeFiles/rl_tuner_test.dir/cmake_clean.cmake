@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_tuner_test.dir/rl_tuner_test.cpp.o"
+  "CMakeFiles/rl_tuner_test.dir/rl_tuner_test.cpp.o.d"
+  "rl_tuner_test"
+  "rl_tuner_test.pdb"
+  "rl_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

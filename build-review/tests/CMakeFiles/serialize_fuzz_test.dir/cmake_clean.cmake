@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_fuzz_test.dir/serialize_fuzz_test.cpp.o"
+  "CMakeFiles/serialize_fuzz_test.dir/serialize_fuzz_test.cpp.o.d"
+  "serialize_fuzz_test"
+  "serialize_fuzz_test.pdb"
+  "serialize_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writeback_test.dir/writeback_test.cpp.o"
+  "CMakeFiles/writeback_test.dir/writeback_test.cpp.o.d"
+  "writeback_test"
+  "writeback_test.pdb"
+  "writeback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writeback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/portability_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fault_test[1]_include.cmake")
+include("/root/repo/build-review/tests/serialize_fuzz_test[1]_include.cmake")
+include("/root/repo/build-review/tests/health_test[1]_include.cmake")
+include("/root/repo/build-review/tests/math_test[1]_include.cmake")
+include("/root/repo/build-review/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build-review/tests/nn_test[1]_include.cmake")
+include("/root/repo/build-review/tests/data_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dtree_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kv_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-review/tests/readahead_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/quantized_test[1]_include.cmake")
+include("/root/repo/build-review/tests/recurrent_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rl_tuner_test[1]_include.cmake")
+include("/root/repo/build-review/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build-review/tests/capi_test[1]_include.cmake")
+include("/root/repo/build-review/tests/file_tuner_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kv_fuzz_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/writeback_test[1]_include.cmake")
