@@ -3,9 +3,13 @@
 #include "dtree/decision_tree.h"
 #include "nn/network.h"
 #include "nn/serialize.h"
+#include "observe/metrics.h"
 #include "runtime/health.h"
 
+#include <climits>
+#include <cstring>
 #include <new>
+#include <string>
 #include <vector>
 
 // Opaque handle definitions: thin wrappers over the C++ objects. All
@@ -70,6 +74,9 @@ int kml_model_infer(const kml_model* model, const double* features, int n) {
       n != model->in_features) {
     return -1;
   }
+  // Same latency histogram Engine::infer_class feeds: a C (kernel-module)
+  // caller gets the inference-p99 health signal for free.
+  KML_SPAN_NS(kml::observe::kMetricInferenceNs);
   auto* mutable_model = const_cast<kml_model*>(model);
   std::vector<double> z(features, features + n);
   mutable_model->net.normalizer().transform_row(z.data(), n);
@@ -128,6 +135,85 @@ void kml_health_notify_rollback(kml_health* health) {
   if (health == nullptr) return;
   health->monitor.notify_rollback();
 }
+
+int kml_metrics_enabled(void) {
+#if KML_OBSERVE_ENABLED
+  return kml::observe::enabled() ? 1 : 0;
+#else
+  return 0;
+#endif
+}
+
+void kml_metrics_set_enabled(int on) {
+  kml::observe::set_enabled(on != 0);
+}
+
+long long kml_metrics_counter(const char* name) {
+#if KML_OBSERVE_ENABLED
+  if (name == nullptr) return -1;
+  kml::observe::Counter* c = kml::observe::find_counter(name);
+  if (c == nullptr) return -1;
+  const unsigned long long v = c->value();
+  return v > static_cast<unsigned long long>(LLONG_MAX) ? LLONG_MAX
+                                                        : static_cast<long long>(v);
+#else
+  (void)name;
+  return -1;
+#endif
+}
+
+long long kml_metrics_gauge(const char* name) {
+#if KML_OBSERVE_ENABLED
+  if (name == nullptr) return -1;
+  kml::observe::Gauge* g = kml::observe::find_gauge(name);
+  return g == nullptr ? -1 : static_cast<long long>(g->value());
+#else
+  (void)name;
+  return -1;
+#endif
+}
+
+long long kml_metrics_hist_count(const char* name) {
+#if KML_OBSERVE_ENABLED
+  if (name == nullptr) return -1;
+  kml::observe::Histogram* h = kml::observe::find_histogram(name);
+  if (h == nullptr) return -1;
+  const unsigned long long v = h->count();
+  return v > static_cast<unsigned long long>(LLONG_MAX) ? LLONG_MAX
+                                                        : static_cast<long long>(v);
+#else
+  (void)name;
+  return -1;
+#endif
+}
+
+long long kml_metrics_hist_percentile(const char* name, int pct) {
+#if KML_OBSERVE_ENABLED
+  if (name == nullptr || pct < 0 || pct > 100) return -1;
+  kml::observe::Histogram* h = kml::observe::find_histogram(name);
+  if (h == nullptr) return -1;
+  const unsigned long long v = h->percentile(static_cast<unsigned>(pct));
+  return v > static_cast<unsigned long long>(LLONG_MAX) ? LLONG_MAX
+                                                        : static_cast<long long>(v);
+#else
+  (void)name;
+  (void)pct;
+  return -1;
+#endif
+}
+
+size_t kml_metrics_export(char* buf, size_t cap, int json) {
+  if (buf == nullptr || cap == 0) return 0;
+  const kml::observe::MetricsSnapshot snap = kml::observe::snapshot();
+  const std::string out = json != 0 ? kml::observe::format_json(snap)
+                                    : kml::observe::format_table(snap);
+  const size_t n = out.size() < cap - 1 ? out.size() : cap - 1;
+  std::memcpy(buf, out.data(), n);
+  buf[n] = '\0';
+  return out.size();
+}
+
+void kml_metrics_reset(void) { kml::observe::reset_all(); }
 
 kml_dtree* kml_dtree_load(const char* path) {
   if (path == nullptr) return nullptr;

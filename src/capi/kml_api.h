@@ -76,6 +76,34 @@ void kml_health_observe_buffer(kml_health* health,
 /* Announce a rollback to last-known-good weights: FAILED -> DEGRADED. */
 void kml_health_notify_rollback(kml_health* health);
 
+/* ---- metrics & tracing (kml::observe) ---- */
+
+/* 1 when the observe layer is compiled in (KML_OBSERVE=ON) and recording;
+ * 0 when compiled out or disabled at runtime. */
+int kml_metrics_enabled(void);
+
+/* Runtime record toggle (no-op when compiled out). */
+void kml_metrics_set_enabled(int on);
+
+/* Counter/gauge value by name; -1 when the metric does not exist (or the
+ * layer is compiled out). Counter values also saturate at LLONG_MAX. */
+long long kml_metrics_counter(const char* name);
+long long kml_metrics_gauge(const char* name);
+
+/* Histogram reads by name; -1 when absent. `pct` is 0..100; the returned
+ * percentile is the lower bound of the bucket holding that rank (ns for
+ * the built-in latency histograms). */
+long long kml_metrics_hist_count(const char* name);
+long long kml_metrics_hist_percentile(const char* name, int pct);
+
+/* Render a full snapshot into `buf` (NUL-terminated, truncated if needed).
+ * `json` != 0 selects the JSON form, else the aligned text table. Returns
+ * the untruncated length (snprintf convention), or 0 on NULL buf/cap. */
+size_t kml_metrics_export(char* buf, size_t cap, int json);
+
+/* Zero every registered metric (registrations survive). */
+void kml_metrics_reset(void);
+
 /* ---- decision trees ('KMLT') ---- */
 
 typedef struct kml_dtree kml_dtree;

@@ -13,6 +13,7 @@
 // consumer thread, which is KML's deployment shape (I/O path -> trainer).
 #pragma once
 
+#include "observe/metrics.h"
 #include "portability/fault.h"
 #include "portability/log.h"
 #include "portability/memory.h"
@@ -95,17 +96,56 @@ class CircularBuffer {
   std::size_t pop_many(T* out, std::size_t max) {
     std::size_t n = 0;
     while (n < max && pop(out[n])) ++n;
+    publish_metrics();
     return n;
+  }
+
+  // Flush push/pop/drop counts and current occupancy into the metrics
+  // registry as deltas since the previous publish. The per-event paths carry
+  // ZERO instrumentation cost: head_/tail_/dropped_ — which the ring must
+  // maintain anyway — are the metric, and this samples them at batch
+  // granularity (every pop_many(); window-drain consumers call it after
+  // their pop() loops). Consumer side only: the pub_* cursors are plain
+  // fields shared with pop_many's calls.
+  void publish_metrics() {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t drop = dropped_.load(std::memory_order_relaxed);
+    if (head != pub_head_) {
+      KML_COUNTER_ADD(observe::kMetricBufferPush, head - pub_head_);
+      pub_head_ = head;
+    }
+    if (tail != pub_tail_) {
+      KML_COUNTER_ADD(observe::kMetricBufferPop, tail - pub_tail_);
+      pub_tail_ = tail;
+    }
+    if (drop != pub_dropped_) {
+      KML_COUNTER_ADD(observe::kMetricBufferDrop, drop - pub_dropped_);
+      pub_dropped_ = drop;
+    }
+    KML_GAUGE_SET(observe::kMetricBufferOccupancy,
+                  head > tail ? head - tail : 0);
   }
 
   // 0 when construction-time allocation failed (degraded mode).
   std::size_t capacity() const { return capacity_; }
 
   // Approximate occupancy (exact when called from the consumer).
+  //
+  // Tail is loaded *before* head: a pop() racing between the two loads can
+  // only make the (stale) tail smaller than it is now, so the difference
+  // over-estimates occupancy by at most the elements consumed in the race
+  // window — it can never go negative and wrap to ~2^64 the way the
+  // head-first order could. The result feeds the drop-rate/occupancy gauge,
+  // where a wrapped value would poison health decisions, so it is also
+  // clamped to [0, capacity] as a final guard.
   std::size_t size() const {
-    const std::uint64_t head = head_.load(std::memory_order_acquire);
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
-    return static_cast<std::size_t>(head - tail);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (head <= tail) return 0;
+    const std::uint64_t occupied = head - tail;
+    return static_cast<std::size_t>(occupied < capacity_ ? occupied
+                                                         : capacity_);
   }
 
   bool empty() const { return size() == 0; }
@@ -118,6 +158,14 @@ class CircularBuffer {
 
  private:
   static std::size_t round_up_pow2(std::size_t v) {
+    // Clamp first: for v above the largest representable power of two the
+    // doubling loop would wrap p to 0 and spin forever. The clamped result
+    // still trips the capacity-overflow guard in the constructor (for any
+    // sizeof(T) > 1), which degrades to the zero-capacity drop-everything
+    // buffer instead of hanging the caller.
+    constexpr std::size_t kMaxPow2 =
+        (std::numeric_limits<std::size_t>::max() >> 1) + 1;
+    if (v > kMaxPow2) return kMaxPow2;
     std::size_t p = 1;
     while (p < v) p <<= 1;
     return p;
@@ -131,6 +179,10 @@ class CircularBuffer {
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
   alignas(64) std::atomic<std::uint64_t> dropped_{0};
+  // Last values flushed to the metrics registry (consumer side only).
+  std::uint64_t pub_head_ = 0;
+  std::uint64_t pub_tail_ = 0;
+  std::uint64_t pub_dropped_ = 0;
 };
 
 }  // namespace kml::data

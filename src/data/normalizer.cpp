@@ -1,6 +1,7 @@
 #include "data/normalizer.h"
 
 #include "math/approx.h"
+#include "observe/metrics.h"
 
 #include <cassert>
 
@@ -61,6 +62,9 @@ ZScoreNormalizer::ZScoreNormalizer(int num_features)
     : stats_(static_cast<std::size_t>(num_features)) {}
 
 void ZScoreNormalizer::fit(const matrix::MatD& x) {
+  // "observe" below is the member function; qualify via kml:: to reach the
+  // metrics namespace.
+  KML_SPAN_NS(kml::observe::kMetricNormalizeNs);
   stats_.assign(static_cast<std::size_t>(x.cols()), math::RunningStats{});
   frozen_ = false;
   for (int i = 0; i < x.rows(); ++i) {
@@ -87,6 +91,7 @@ void ZScoreNormalizer::transform_row(double* features, int n) const {
 }
 
 matrix::MatD ZScoreNormalizer::transform(const matrix::MatD& x) const {
+  KML_SPAN_NS(kml::observe::kMetricNormalizeNs);
   matrix::MatD out = x;
   for (int i = 0; i < out.rows(); ++i) {
     transform_row(out.row(i), out.cols());

@@ -1,0 +1,295 @@
+#include "observe/metrics.h"
+
+#include "portability/fault.h"
+#include "portability/kml_lib.h"
+#include "portability/log.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace kml::observe {
+
+#if KML_OBSERVE_ENABLED
+
+namespace {
+
+// Registration-side spinlock. Registration is a cold, setup-time operation
+// (call sites cache the reference); the record path never takes this. A
+// spinlock instead of std::mutex keeps the subsystem free of blocking
+// primitives end to end, matching the kernel deployment story.
+std::atomic_flag g_reg_lock = ATOMIC_FLAG_INIT;
+
+struct RegLockGuard {
+  RegLockGuard() {
+    while (g_reg_lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~RegLockGuard() { g_reg_lock.clear(std::memory_order_release); }
+};
+
+// Names live in a cold side array (the value slots stay one-per-cacheline
+// without dragging 48 name bytes into them). A slot is published by the
+// release store of the count; readers load the count with acquire.
+template <typename Slot, std::size_t N>
+struct Pool {
+  Slot slots[N];
+  char names[N][kMaxNameLen + 1] = {};
+  std::atomic<std::size_t> count{0};
+  Slot overflow;  // shared spill slot when the pool is exhausted
+  bool overflow_warned = false;
+
+  Slot* find(const char* name) {
+    const std::size_t n = count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::strncmp(names[i], name, kMaxNameLen + 1) == 0) {
+        return &slots[i];
+      }
+    }
+    return nullptr;
+  }
+
+  Slot& find_or_create(const char* name, const char* kind) {
+    if (Slot* hit = find(name)) return *hit;
+    RegLockGuard guard;
+    if (Slot* hit = find(name)) return *hit;  // lost the registration race
+    const std::size_t n = count.load(std::memory_order_relaxed);
+    if (n >= N) {
+      if (!overflow_warned) {
+        overflow_warned = true;
+        KML_WARN("observe: %s pool exhausted (%zu slots); '%s' and later "
+                 "registrations share the overflow slot",
+                 kind, N, name);
+      }
+      return overflow;
+    }
+    std::strncpy(names[n], name, kMaxNameLen);
+    names[n][kMaxNameLen] = '\0';
+    count.store(n + 1, std::memory_order_release);
+    return slots[n];
+  }
+};
+
+std::atomic<bool> g_enabled{true};
+
+Pool<Counter, kMaxCounters>& counters() {
+  static Pool<Counter, kMaxCounters> pool;
+  return pool;
+}
+Pool<Gauge, kMaxGauges>& gauges() {
+  static Pool<Gauge, kMaxGauges> pool;
+  return pool;
+}
+Pool<Histogram, kMaxHistograms>& histograms() {
+  static Pool<Histogram, kMaxHistograms> pool;
+  return pool;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Counter& get_counter(const char* name) {
+  return counters().find_or_create(name, "counter");
+}
+Gauge& get_gauge(const char* name) {
+  return gauges().find_or_create(name, "gauge");
+}
+Histogram& get_histogram(const char* name) {
+  return histograms().find_or_create(name, "histogram");
+}
+
+Counter* find_counter(const char* name) { return counters().find(name); }
+Gauge* find_gauge(const char* name) { return gauges().find(name); }
+Histogram* find_histogram(const char* name) { return histograms().find(name); }
+
+std::uint64_t Histogram::percentile(unsigned pct) const {
+  if (pct > 100) pct = 100;
+  std::uint64_t counts[kNumBuckets];
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Rank of the pct-th value, 1-based, integer ceil: rank(100) == total.
+  const std::uint64_t rank = (total * pct + 99) / 100;
+  std::uint64_t seen = 0;
+  for (unsigned i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return bucket_lower_bound(i);
+  }
+  return bucket_lower_bound(kNumBuckets - 1);
+}
+
+void reset_all() {
+  {
+    auto& pool = counters();
+    const std::size_t n = pool.count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) pool.slots[i].reset();
+    pool.overflow.reset();
+  }
+  {
+    auto& pool = gauges();
+    const std::size_t n = pool.count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) pool.slots[i].reset();
+    pool.overflow.reset();
+  }
+  {
+    auto& pool = histograms();
+    const std::size_t n = pool.count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) pool.slots[i].reset();
+    pool.overflow.reset();
+  }
+}
+
+MetricsSnapshot snapshot() {
+  MetricsSnapshot snap;
+  {
+    auto& pool = counters();
+    const std::size_t n = pool.count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      snap.counters.push_back({pool.names[i], pool.slots[i].value()});
+    }
+  }
+  {
+    auto& pool = gauges();
+    const std::size_t n = pool.count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      snap.gauges.push_back({pool.names[i], pool.slots[i].value()});
+    }
+  }
+  {
+    auto& pool = histograms();
+    const std::size_t n = pool.count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Histogram& h = pool.slots[i];
+      snap.histograms.push_back({pool.names[i], h.count(), h.sum(), h.max(),
+                                 h.percentile(50), h.percentile(90),
+                                 h.percentile(99)});
+    }
+  }
+  // Sampled externals: the fault registry and FPU guard live below observe
+  // in the layering, so their counts are pulled at snapshot time rather
+  // than pushed on their hot paths.
+  for (unsigned i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const std::uint64_t injected = kml_fault_injected(site);
+    if (injected == 0) continue;
+    char name[kMaxNameLen + 1];
+    std::snprintf(name, sizeof(name), "fault.injected.%s",
+                  kml_fault_site_name(site));
+    snap.gauges.push_back({name, static_cast<std::int64_t>(injected)});
+  }
+  snap.gauges.push_back({"portability.fpu_regions",
+                         static_cast<std::int64_t>(kml_fpu_region_count())});
+  return snap;
+}
+
+#else  // !KML_OBSERVE_ENABLED
+
+MetricsSnapshot snapshot() { return MetricsSnapshot{}; }
+
+#endif  // KML_OBSERVE_ENABLED
+
+std::string format_table(const MetricsSnapshot& snap) {
+  std::string out;
+  char line[256];
+  out += "=== kml::observe metrics ===\n";
+  if (!snap.counters.empty()) {
+    out += "-- counters --\n";
+    for (const CounterSnapshot& c : snap.counters) {
+      std::snprintf(line, sizeof(line), "%-40s %20llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "-- gauges --\n";
+    for (const GaugeSnapshot& g : snap.gauges) {
+      std::snprintf(line, sizeof(line), "%-40s %20lld\n", g.name.c_str(),
+                    static_cast<long long>(g.value));
+      out += line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "-- histograms (ns) --\n";
+    std::snprintf(line, sizeof(line), "%-40s %12s %12s %12s %12s %12s\n",
+                  "name", "count", "p50", "p90", "p99", "max");
+    out += line;
+    for (const HistogramSnapshot& h : snap.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "%-40s %12llu %12llu %12llu %12llu %12llu\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    static_cast<unsigned long long>(h.p50),
+                    static_cast<unsigned long long>(h.p90),
+                    static_cast<unsigned long long>(h.p99),
+                    static_cast<unsigned long long>(h.max));
+      out += line;
+    }
+  }
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    out += "(no metrics registered)\n";
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_key(std::string& out, const std::string& name) {
+  out += '"';
+  for (char c : name) {
+    // Metric names are dotted identifiers; escape just enough to stay valid
+    // JSON if someone registers something unusual.
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string format_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  char buf[160];
+  bool first = true;
+  for (const CounterSnapshot& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_key(out, c.name);
+    std::snprintf(buf, sizeof(buf), ":%llu",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSnapshot& g : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_key(out, g.name);
+    std::snprintf(buf, sizeof(buf), ":%lld", static_cast<long long>(g.value));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_key(out, h.name);
+    std::snprintf(buf, sizeof(buf),
+                  ":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,\"p50\":%llu,"
+                  "\"p90\":%llu,\"p99\":%llu}",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.max),
+                  static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p90),
+                  static_cast<unsigned long long>(h.p99));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace kml::observe

@@ -1,0 +1,359 @@
+// metrics.h — kernel-constraint-respecting metrics & tracing (kml::observe).
+//
+// The paper's overhead story (§3.1, §4) demands that KML observe the I/O
+// path without perturbing it: hooks never block, never take a lock, never
+// touch the FPU. This layer makes "what is the framework doing right now,
+// and what does it cost?" answerable under exactly those rules:
+//
+//   * Counters and gauges are single relaxed atomic RMWs/stores on
+//     dedicated cache lines — one uncontended RMW per hot-path increment,
+//     no false sharing with neighbouring metrics.
+//   * Latency histograms are log-scale with linear sub-buckets (the
+//     HdrHistogram/kernel-hist shape), integer-only end to end: bucketing
+//     is a count-leading-zeros plus shift, percentile extraction walks
+//     bucket counts with integer arithmetic. No doubles anywhere on the
+//     record *or* read path, so a kernel backend never brackets this code
+//     with kernel_fpu_begin/end.
+//   * Trace spans are RAII timers over the portability clock
+//     (kml_now_ns()) recording into a histogram on scope exit.
+//   * Registration is find-or-create by name under a spinlock — a cold,
+//     setup-time operation. Call sites cache the returned reference in a
+//     function-local static, so the steady-state record path never touches
+//     the registry again.
+//
+// Kill switches, outermost first:
+//   * Compile time: -DKML_OBSERVE=OFF (CMake) defines KML_OBSERVE_ENABLED=0
+//     and every KML_* macro below expands to ((void)0) — zero code, zero
+//     data, zero clock reads.
+//   * Run time: observe::set_enabled(false) short-circuits the macros with
+//     one relaxed bool load (bench_overheads uses this to price the
+//     instrumentation itself).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef KML_OBSERVE_ENABLED
+#define KML_OBSERVE_ENABLED 1
+#endif
+
+#if KML_OBSERVE_ENABLED
+#include "portability/kml_lib.h"
+
+#include <atomic>
+#include <bit>
+#endif
+
+#include <string>
+#include <vector>
+
+namespace kml::observe {
+
+// Registry capacity. Fixed at compile time: the registry is static storage,
+// never allocates, and never moves a metric once registered (call sites hold
+// plain references).
+inline constexpr std::size_t kMaxNameLen = 47;
+inline constexpr std::size_t kMaxCounters = 128;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 32;
+inline constexpr std::size_t kCachelineBytes = 64;
+
+// --- Well-known metric names -------------------------------------------------
+//
+// The instrumented seams and the consumers (runtime/health, tool_metrics_dump,
+// tests) agree on these; ad-hoc names are fine for everything else.
+inline constexpr char kMetricBufferPush[] = "data.buffer.push";
+inline constexpr char kMetricBufferPop[] = "data.buffer.pop";
+inline constexpr char kMetricBufferDrop[] = "data.buffer.drop";
+inline constexpr char kMetricBufferOccupancy[] = "data.buffer.occupancy";
+inline constexpr char kMetricNormalizeNs[] = "data.normalize_ns";
+inline constexpr char kMetricTrainerBatches[] = "runtime.trainer.batches";
+inline constexpr char kMetricTrainerRecords[] = "runtime.trainer.records";
+inline constexpr char kMetricTrainBatchNs[] = "runtime.train_batch_ns";
+inline constexpr char kMetricInferenceNs[] = "runtime.inference_ns";
+inline constexpr char kMetricEngineCheckpoints[] = "runtime.engine.checkpoints";
+inline constexpr char kMetricEngineRollbacks[] = "runtime.engine.rollbacks";
+inline constexpr char kMetricEngineInvalidSteps[] =
+    "runtime.engine.invalid_steps";
+inline constexpr char kMetricRaWindows[] = "readahead.windows";
+inline constexpr char kMetricRaDegradedWindows[] = "readahead.degraded_windows";
+inline constexpr char kMetricRaSetKb[] = "readahead.ra_kb";
+inline constexpr char kMetricCacheHit[] = "sim.cache.hit";
+inline constexpr char kMetricCacheMiss[] = "sim.cache.miss";
+
+#if KML_OBSERVE_ENABLED
+
+// --- Metric primitives -------------------------------------------------------
+
+// Monotonic event count. One relaxed fetch_add per increment; the alignas
+// keeps each registered counter on its own cache line so two hot counters
+// never ping-pong a line between CPUs.
+class alignas(kCachelineBytes) Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-written value (occupancy, current readahead setting, ...). Plain
+// relaxed store; last writer wins.
+class alignas(kCachelineBytes) Gauge {
+ public:
+  void set(std::int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Fixed-point log-scale histogram for latencies (or any u64 magnitude).
+//
+// Bucketing: values below 2^kSubBits land in exact linear buckets; above
+// that, each power-of-two octave is split into 2^kSubBits linear sub-buckets
+// (resolution = 1/2^kSubBits of the value, i.e. 25% with kSubBits=2 — the
+// right precision/space point for "is p99 microseconds or milliseconds").
+// The index is computed from the position of the most significant bit plus
+// the next kSubBits bits — integers only, one bit_width and a shift.
+class alignas(kCachelineBytes) Histogram {
+ public:
+  static constexpr unsigned kSubBits = 2;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;
+  // Linear region [0, kSubBuckets) + one sub-bucket group per octave for
+  // msb in [kSubBits, 63].
+  static constexpr unsigned kNumBuckets =
+      kSubBuckets + ((64 - kSubBits - 1) << kSubBits) + kSubBuckets;
+
+  static unsigned bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<unsigned>(v);
+    const unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+    const unsigned shift = msb - kSubBits;
+    const unsigned sub = static_cast<unsigned>((v >> shift) & (kSubBuckets - 1));
+    return ((msb - kSubBits + 1) << kSubBits) + sub;
+  }
+
+  // Smallest value mapping to bucket `idx` (exact inverse of bucket_index).
+  static std::uint64_t bucket_lower_bound(unsigned idx) {
+    if (idx < kSubBuckets) return idx;
+    const unsigned msb = (idx >> kSubBits) + kSubBits - 1;
+    const unsigned sub = idx & (kSubBuckets - 1);
+    return (1ull << msb) +
+           (static_cast<std::uint64_t>(sub) << (msb - kSubBits));
+  }
+
+  // Record path: two relaxed RMWs (bucket count + running sum), no FPU.
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Racy max is acceptable: a lost update under-reports transiently and
+    // the CAS loop terminates because max_ only grows.
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  // Value at percentile `pct` (0..100), integer-only: returns the lower
+  // bound of the bucket holding the pct-th recorded value (0 when empty).
+  std::uint64_t percentile(unsigned pct) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// --- Registry ---------------------------------------------------------------
+
+// Runtime record toggle (default on). One relaxed load on the hot path.
+bool enabled();
+void set_enabled(bool on);
+
+// Find-or-create by name. Cold path (spinlock-guarded linear scan); cache
+// the reference. When the pool for a kind is exhausted the call returns a
+// shared overflow slot and logs once — increments still work, attribution
+// degrades, nothing crashes.
+Counter& get_counter(const char* name);
+Gauge& get_gauge(const char* name);
+Histogram& get_histogram(const char* name);
+
+// Lookup without creating; nullptr when absent (C API read path).
+Counter* find_counter(const char* name);
+Gauge* find_gauge(const char* name);
+Histogram* find_histogram(const char* name);
+
+// Zero every registered value (registrations and cached references stay
+// valid). Test/bench hygiene between phases.
+void reset_all();
+
+// --- Convenience wrappers for cold call sites -------------------------------
+//
+// Per-call name lookup; fine for once-per-window work (tuner decisions),
+// wrong for per-event work — use the KML_* macros there.
+inline void counter_add(const char* name, std::uint64_t delta = 1) {
+  if (enabled()) get_counter(name).add(delta);
+}
+inline void gauge_set(const char* name, std::int64_t value) {
+  if (enabled()) get_gauge(name).set(value);
+}
+inline void hist_record(const char* name, std::uint64_t value) {
+  if (enabled()) get_histogram(name).record(value);
+}
+
+// --- Trace spans ------------------------------------------------------------
+
+// RAII latency span over the portability clock; records ns into the bound
+// histogram at scope exit. A null histogram (observe disabled at runtime)
+// skips both clock reads.
+class SpanTimer {
+ public:
+  explicit SpanTimer(Histogram* h) : h_(h), start_(h ? kml_now_ns() : 0) {}
+  ~SpanTimer() {
+    if (h_ != nullptr) h_->record(kml_now_ns() - start_);
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+#else  // !KML_OBSERVE_ENABLED
+
+// Compiled-out stubs: the read-side API keeps its signatures so consumers
+// (health monitor, C API) compile unchanged and see an empty registry.
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline void reset_all() {}
+inline void counter_add(const char*, std::uint64_t = 1) {}
+inline void gauge_set(const char*, std::int64_t) {}
+inline void hist_record(const char*, std::uint64_t) {}
+
+#endif  // KML_OBSERVE_ENABLED
+
+// --- Snapshot & export (both build modes) -----------------------------------
+//
+// Cold path by construction: relaxed reads of every registered atom into
+// value structs, then formatting. May allocate; never called from the I/O
+// path. With KML_OBSERVE=OFF the snapshot is empty and formatting still
+// works (the C API stays link-compatible).
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count;
+  std::uint64_t sum;
+  std::uint64_t max;
+  std::uint64_t p50;
+  std::uint64_t p90;
+  std::uint64_t p99;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+// Reads the registry plus sampled externals: fault-injection counts per
+// armed site (gauge "fault.injected.<site>") and the FPU region count
+// (gauge "portability.fpu_regions").
+MetricsSnapshot snapshot();
+
+// Aligned human-readable table.
+std::string format_table(const MetricsSnapshot& snap);
+
+// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+std::string format_json(const MetricsSnapshot& snap);
+
+}  // namespace kml::observe
+
+// --- Hot-path instrumentation macros ----------------------------------------
+//
+// Statement macros. With KML_OBSERVE=OFF they expand to ((void)0); otherwise
+// they cache the metric handle in a function-local static (registry lookup
+// happens once per site) and pay one relaxed-bool branch + one relaxed RMW.
+
+#define KML_OBS_CAT2(a, b) a##b
+#define KML_OBS_CAT(a, b) KML_OBS_CAT2(a, b)
+
+#if KML_OBSERVE_ENABLED
+
+#define KML_COUNTER_ADD(name, delta)                                       \
+  do {                                                                     \
+    if (::kml::observe::enabled()) {                                       \
+      static ::kml::observe::Counter& KML_OBS_CAT(kml_obs_c_, __LINE__) =  \
+          ::kml::observe::get_counter(name);                               \
+      KML_OBS_CAT(kml_obs_c_, __LINE__).add(delta);                        \
+    }                                                                      \
+  } while (0)
+
+#define KML_GAUGE_SET(name, value)                                         \
+  do {                                                                     \
+    if (::kml::observe::enabled()) {                                       \
+      static ::kml::observe::Gauge& KML_OBS_CAT(kml_obs_g_, __LINE__) =    \
+          ::kml::observe::get_gauge(name);                                 \
+      KML_OBS_CAT(kml_obs_g_, __LINE__)                                    \
+          .set(static_cast<std::int64_t>(value));                          \
+    }                                                                      \
+  } while (0)
+
+#define KML_HIST_RECORD(name, value)                                       \
+  do {                                                                     \
+    if (::kml::observe::enabled()) {                                       \
+      static ::kml::observe::Histogram& KML_OBS_CAT(kml_obs_h_,            \
+                                                    __LINE__) =            \
+          ::kml::observe::get_histogram(name);                             \
+      KML_OBS_CAT(kml_obs_h_, __LINE__)                                    \
+          .record(static_cast<std::uint64_t>(value));                      \
+    }                                                                      \
+  } while (0)
+
+// Times the rest of the enclosing scope into histogram `name`. Must appear
+// as its own statement at block scope.
+#define KML_SPAN_NS(name)                                                  \
+  static ::kml::observe::Histogram* KML_OBS_CAT(kml_obs_sh_, __LINE__) =   \
+      &::kml::observe::get_histogram(name);                                \
+  ::kml::observe::SpanTimer KML_OBS_CAT(kml_obs_sp_, __LINE__)(            \
+      ::kml::observe::enabled() ? KML_OBS_CAT(kml_obs_sh_, __LINE__)       \
+                                : nullptr)
+
+#else  // !KML_OBSERVE_ENABLED
+
+#define KML_COUNTER_ADD(name, delta) ((void)0)
+#define KML_GAUGE_SET(name, value) ((void)0)
+#define KML_HIST_RECORD(name, value) ((void)0)
+#define KML_SPAN_NS(name) ((void)0)
+
+#endif  // KML_OBSERVE_ENABLED
+
+#define KML_COUNTER_INC(name) KML_COUNTER_ADD(name, 1)

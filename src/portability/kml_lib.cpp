@@ -1,6 +1,7 @@
 #include "portability/kml_lib.h"
 
 #include <atomic>
+#include <chrono>
 
 namespace kml {
 namespace {
@@ -41,6 +42,14 @@ bool kml_fpu_in_region() { return t_fpu_depth > 0; }
 
 void kml_fpu_reset_stats() {
   g_fpu_regions.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t kml_now_ns() {
+  // Kernel backend: ktime_get_ns(). Userspace: steady_clock.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace kml

@@ -48,4 +48,13 @@ bool kml_fpu_in_region();
 // Reset the region counter (benchmark hygiene).
 void kml_fpu_reset_stats();
 
+// --- Monotonic clock ------------------------------------------------------
+//
+// Nanoseconds from an arbitrary monotonic epoch. The one wall-clock source
+// KML modules may use directly (a kernel backend maps it to ktime_get_ns());
+// latency spans, watchdog heartbeats, and engine timing all read this so a
+// backend swap retimes everything at once. Integer-only, safe outside FPU
+// regions.
+std::uint64_t kml_now_ns();
+
 }  // namespace kml

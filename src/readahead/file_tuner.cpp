@@ -1,5 +1,6 @@
 #include "readahead/file_tuner.h"
 
+#include "observe/metrics.h"
 #include "portability/log.h"
 
 namespace kml::readahead {
@@ -32,6 +33,7 @@ void PerFileTuner::on_tick(std::uint64_t now_ns) {
   while (buffer_.pop(rec)) {
     per_file_[rec.inode].window.push_back(rec);
   }
+  buffer_.publish_metrics();
   while (now_ns >= next_boundary_) {
     close_window();
     next_boundary_ += config_.period_ns;
@@ -62,6 +64,7 @@ void PerFileTuner::close_window() {
     }
     for (auto& [inode, state] : per_file_) state.window.clear();
     degraded_windows_ += 1;
+    observe::counter_add(observe::kMetricRaDegradedWindows);
     return;
   }
   degraded_active_ = false;
@@ -86,6 +89,8 @@ void PerFileTuner::close_window() {
       decision.ra_kb = config_.class_ra_kb[static_cast<std::size_t>(cls)];
       stack_.block_layer().set_file_readahead_kb(inode, decision.ra_kb);
       state.actuated = true;
+      count_decision(cls);
+      observe::counter_add("readahead.file.actuations");
     }
     last_decisions_.push_back(decision);
   }

@@ -1,6 +1,7 @@
 #include "readahead/rl_tuner.h"
 
 #include "math/approx.h"
+#include "observe/metrics.h"
 
 #include <cassert>
 
@@ -90,6 +91,7 @@ void QLearningTuner::on_tick(std::uint64_t now_ns,
                              std::uint64_t ops_completed) {
   data::TraceRecord rec;
   while (buffer_.pop(rec)) window_.push_back(rec);
+  buffer_.publish_metrics();
   while (now_ns >= next_boundary_) {
     close_window(ops_completed);
     next_boundary_ += config_.period_ns;
@@ -175,6 +177,8 @@ void QLearningTuner::close_window(std::uint64_t ops_completed) {
   const std::uint32_t ra_kb =
       config_.actions_kb[static_cast<std::size_t>(action)];
   actuate_(ra_kb);
+  observe::counter_add("readahead.rl.actuations");
+  observe::gauge_set(observe::kMetricRaSetKb, ra_kb);
   stack_.charge_cpu_ns(2'000);  // table lookup + update: cheap
 
   prev_state_ = state;

@@ -1,8 +1,22 @@
 #include "readahead/tuner.h"
 
+#include "observe/metrics.h"
 #include "portability/log.h"
 
+#include <cstdio>
+
 namespace kml::readahead {
+
+// Per-class decision counter name ("readahead.decision.<workload>"); the
+// registry copies the name at registration, so the stack buffer is fine.
+void count_decision(int cls) {
+  if (cls < 0 || cls >= workloads::kNumTrainingClasses) return;
+  char name[48];
+  std::snprintf(name, sizeof(name), "readahead.decision.%s",
+                workloads::workload_name(
+                    static_cast<workloads::WorkloadType>(cls)));
+  observe::counter_add(name);
+}
 
 ReadaheadTuner::ReadaheadTuner(sim::StorageStack& stack, PredictFn predict,
                                const TunerConfig& config)
@@ -32,6 +46,7 @@ void ReadaheadTuner::on_tick(std::uint64_t now_ns) {
   // second without drops.
   data::TraceRecord rec;
   while (buffer_.pop(rec)) window_.push_back(rec);
+  buffer_.publish_metrics();
 
   while (now_ns >= next_boundary_) {
     close_window();
@@ -66,6 +81,8 @@ void ReadaheadTuner::close_window() {
   point.window = timeline_.size();
   point.events = window.size();
 
+  observe::counter_add(observe::kMetricRaWindows);
+
   if (!health_allows_actuation()) {
     // Model quarantined: no inference, no CPU charge, vanilla readahead in
     // force. The window's records are discarded (the extractor would only
@@ -74,6 +91,7 @@ void ReadaheadTuner::close_window() {
     point.ra_kb = stack_.block_layer().readahead_kb();
     point.degraded = true;
     degraded_windows_ += 1;
+    observe::counter_add(observe::kMetricRaDegradedWindows);
     timeline_.push_back(point);
     return;
   }
@@ -95,6 +113,8 @@ void ReadaheadTuner::close_window() {
   if (cls >= 0 && cls < workloads::kNumTrainingClasses) {
     ra_kb = config_.class_ra_kb[static_cast<std::size_t>(cls)];
     stack_.block_layer().set_readahead_kb(ra_kb);
+    count_decision(cls);
+    observe::gauge_set(observe::kMetricRaSetKb, ra_kb);
   }
   point.predicted_class = cls;
   point.ra_kb = ra_kb;

@@ -23,6 +23,11 @@
 
 namespace kml::readahead {
 
+// Bump the per-class decision counter ("readahead.decision.<workload>") in
+// the metrics registry; shared by the global and per-file tuners. Ignores
+// out-of-range classes.
+void count_decision(int cls);
+
 struct TunerConfig {
   // Actuation table: predicted class -> readahead KB. Built per device from
   // the §4 workload study (pipeline.h::best_ra_table).

@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include "observe/metrics.h"
+#include "portability/kml_lib.h"
 #include "portability/log.h"
 
 #include <cassert>
@@ -7,16 +9,6 @@
 #include <vector>
 
 namespace kml::runtime {
-namespace {
-
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
 
 Engine::Engine(nn::Network net) : net_(std::move(net)) {}
 
@@ -29,7 +21,7 @@ bool Engine::from_file(Engine& out, const char* path) {
 
 int Engine::infer_class(const double* features, int n) {
   assert(mode_ == Mode::kInference);
-  const std::uint64_t start = now_ns();
+  const std::uint64_t start = kml_now_ns();
 
   // Normalize a copy of the features with the deployed moments.
   std::vector<double> z(features, features + n);
@@ -40,17 +32,19 @@ int Engine::infer_class(const double* features, int n) {
   const matrix::MatI pred = net_.predict_classes(x);
 
   stats_.inferences += 1;
-  stats_.inference_ns_total += now_ns() - start;
+  const std::uint64_t elapsed = kml_now_ns() - start;
+  stats_.inference_ns_total += elapsed;
+  KML_HIST_RECORD(observe::kMetricInferenceNs, elapsed);
   return pred.at(0, 0);
 }
 
 double Engine::train_batch(const matrix::MatD& x, const matrix::MatD& y,
                            nn::Loss& loss, nn::Optimizer& opt) {
   assert(mode_ == Mode::kTraining);
-  const std::uint64_t start = now_ns();
+  const std::uint64_t start = kml_now_ns();
   const double l = net_.train_step(x, y, loss, opt);
   stats_.train_iterations += 1;
-  stats_.train_ns_total += now_ns() - start;
+  stats_.train_ns_total += kml_now_ns() - start;
 
   // Validate before the step's weights can become the rollback target: a
   // non-finite loss or any non-finite weight keeps the previous checkpoint.
@@ -59,6 +53,7 @@ double Engine::train_batch(const matrix::MatD& x, const matrix::MatD& y,
     checkpoint();
   } else {
     stats_.invalid_train_steps += 1;
+    KML_COUNTER_INC(observe::kMetricEngineInvalidSteps);
     KML_WARN("engine: invalid train step (loss=%f); checkpoint withheld", l);
   }
   if (health_ != nullptr) health_->observe_train_step(l, valid);
@@ -84,6 +79,7 @@ void Engine::checkpoint() {
   }
   has_checkpoint_ = true;
   stats_.checkpoints += 1;
+  KML_COUNTER_INC(observe::kMetricEngineCheckpoints);
 }
 
 bool Engine::rollback() {
@@ -95,6 +91,7 @@ bool Engine::rollback() {
     *params[i].value = good_params_[i];
   }
   stats_.rollbacks += 1;
+  KML_COUNTER_INC(observe::kMetricEngineRollbacks);
   KML_INFO("engine: rolled back to last-known-good weights");
   if (health_ != nullptr) health_->notify_rollback();
   return true;

@@ -12,7 +12,6 @@
 #include "nn/serialize.h"
 #include "runtime/health.h"
 
-#include <chrono>
 #include <cstdint>
 #include <vector>
 

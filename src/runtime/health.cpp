@@ -1,5 +1,6 @@
 #include "runtime/health.h"
 
+#include "observe/metrics.h"
 #include "portability/log.h"
 
 #include <cmath>
@@ -131,6 +132,66 @@ void HealthMonitor::observe_buffer(std::uint64_t submitted_total,
   }
 }
 
+void HealthMonitor::observe_registry() {
+#if KML_OBSERVE_ENABLED
+  // Read the registry outside the lock (all relaxed atomic reads).
+  observe::Counter* push = observe::find_counter(observe::kMetricBufferPush);
+  observe::Counter* drop = observe::find_counter(observe::kMetricBufferDrop);
+  const std::uint64_t pushed = push != nullptr ? push->value() : 0;
+  const std::uint64_t dropped = drop != nullptr ? drop->value() : 0;
+  const std::uint64_t submitted = pushed + dropped;
+  std::uint64_t inferences = 0;
+  std::uint64_t p99 = 0;
+  if (config_.inference_p99_degrade_ns > 0) {
+    if (observe::Histogram* h =
+            observe::find_histogram(observe::kMetricInferenceNs)) {
+      inferences = h->count();
+      p99 = h->percentile(99);
+    }
+  }
+
+  std::lock_guard<std::mutex> guard(lock_);
+  if (!registry_primed_) {
+    registry_primed_ = true;
+    registry_last_submitted_ = submitted;
+    registry_last_dropped_ = dropped;
+    registry_last_inferences_ = inferences;
+    return;
+  }
+
+  // (d) drop rate over the delta window, tolerating registry resets.
+  if (submitted < registry_last_submitted_ ||
+      dropped < registry_last_dropped_) {
+    registry_last_submitted_ = submitted;
+    registry_last_dropped_ = dropped;
+  } else if (submitted - registry_last_submitted_ >=
+             config_.drop_window_min_records) {
+    const std::uint64_t sub_delta = submitted - registry_last_submitted_;
+    const std::uint64_t drop_delta = dropped - registry_last_dropped_;
+    registry_last_submitted_ = submitted;
+    registry_last_dropped_ = dropped;
+    const double rate =
+        static_cast<double>(drop_delta) / static_cast<double>(sub_delta);
+    if (rate > config_.drop_rate_threshold) {
+      stats_.drop_rate_trips += 1;
+      enter_degraded();
+    }
+  }
+
+  // (e) inference p99. The histogram is cumulative, so only judge while
+  // inferences are actually flowing (count advanced since the last poll) —
+  // a quiesced model cannot trip the guard on stale history alone.
+  if (config_.inference_p99_degrade_ns > 0 &&
+      inferences > registry_last_inferences_) {
+    registry_last_inferences_ = inferences;
+    if (p99 > config_.inference_p99_degrade_ns) {
+      stats_.latency_trips += 1;
+      enter_degraded();
+    }
+  }
+#endif  // KML_OBSERVE_ENABLED
+}
+
 void HealthMonitor::notify_rollback() {
   std::lock_guard<std::mutex> guard(lock_);
   stats_.rollbacks_seen += 1;
@@ -153,6 +214,10 @@ void HealthMonitor::reset() {
   last_heartbeat_ns_.store(0, std::memory_order_release);
   last_submitted_ = 0;
   last_dropped_ = 0;
+  registry_primed_ = false;
+  registry_last_submitted_ = 0;
+  registry_last_dropped_ = 0;
+  registry_last_inferences_ = 0;
 }
 
 HealthStats HealthMonitor::stats() const {

@@ -58,6 +58,13 @@ struct HealthConfig {
   // windows of at least `drop_window_min_records` submissions.
   double drop_rate_threshold = 0.5;
   std::uint64_t drop_window_min_records = 1024;
+
+  // (e) Inference-latency guard (registry-sourced): if the p99 of the
+  // "runtime.inference_ns" histogram exceeds this while inferences are
+  // flowing, the model is too slow for the I/O path and the tuner should
+  // fall back. 0 disables the signal (the threshold is deployment-
+  // specific; the paper's budget is ~21 us on their hardware).
+  std::uint64_t inference_p99_degrade_ns = 0;
 };
 
 struct HealthStats {
@@ -66,6 +73,7 @@ struct HealthStats {
   std::uint64_t divergence_strikes = 0; // (b) strikes (cumulative)
   std::uint64_t watchdog_timeouts = 0;  // (c) trips
   std::uint64_t drop_rate_trips = 0;    // (d) trips
+  std::uint64_t latency_trips = 0;      // (e) trips (inference p99 guard)
   std::uint64_t heartbeats = 0;
   std::uint64_t degradations = 0;       // transitions into DEGRADED
   std::uint64_t failures = 0;           // transitions into FAILED
@@ -101,6 +109,15 @@ class HealthMonitor {
   void observe_buffer(std::uint64_t submitted_total,
                       std::uint64_t dropped_total);
 
+  // (d)+(e) from the metrics registry — the single source of truth when the
+  // observe layer is compiled in and recording. Reads the global buffer
+  // push/drop counters for the drop-rate guard and the inference-latency
+  // histogram p99 for the latency guard. The first call only primes the
+  // baselines (registry counters are process-global and may predate this
+  // monitor); deltas are judged from the second call on. No-op with
+  // KML_OBSERVE=OFF (the registry is empty).
+  void observe_registry();
+
   // The engine restored its last-known-good checkpoint: FAILED drops to
   // DEGRADED (probation); a clean streak then recovers to HEALTHY.
   void notify_rollback();
@@ -128,6 +145,12 @@ class HealthMonitor {
   bool heartbeat_seen_ = false;
   std::uint64_t last_submitted_ = 0;
   std::uint64_t last_dropped_ = 0;
+  // Registry-path baselines, separate from the observe_buffer() ones so a
+  // deployment mixing both sources cannot corrupt either delta stream.
+  bool registry_primed_ = false;
+  std::uint64_t registry_last_submitted_ = 0;
+  std::uint64_t registry_last_dropped_ = 0;
+  std::uint64_t registry_last_inferences_ = 0;
 };
 
 }  // namespace kml::runtime

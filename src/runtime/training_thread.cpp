@@ -1,21 +1,12 @@
 #include "runtime/training_thread.h"
 
+#include "observe/metrics.h"
+#include "portability/kml_lib.h"
 #include "portability/log.h"
 
-#include <chrono>
 #include <vector>
 
 namespace kml::runtime {
-namespace {
-
-std::uint64_t wall_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
 
 TrainingThread::TrainingThread(std::size_t buffer_capacity, std::size_t batch,
                                train_fn fn, void* user)
@@ -43,32 +34,47 @@ void TrainingThread::thread_main(void* self) {
   static_cast<TrainingThread*>(self)->run();
 }
 
+void TrainingThread::run_batch(data::TraceRecord* records, std::size_t n) {
+  {
+    KML_SPAN_NS(observe::kMetricTrainBatchNs);
+    if (fn_ != nullptr) fn_(user_, records, n);
+  }
+  processed_.fetch_add(n, std::memory_order_relaxed);
+  KML_COUNTER_INC(observe::kMetricTrainerBatches);
+  KML_COUNTER_ADD(observe::kMetricTrainerRecords, n);
+}
+
 void TrainingThread::run() {
   std::vector<data::TraceRecord> scratch(batch_);
   for (;;) {
     // Liveness + drop-rate signals for the health guard. The heartbeat is
     // wall-clock: a stalled (or deadlocked) train_fn stops it, which is
-    // exactly what the watchdog is for.
+    // exactly what the watchdog is for. Drop-rate (and the optional
+    // inference-latency guard) come from the metrics registry — the single
+    // source of truth — with the private counters as the fallback when the
+    // observe layer is compiled out or disabled at runtime.
     if (HealthMonitor* monitor = health_.load(std::memory_order_acquire)) {
-      monitor->heartbeat(wall_ns());
-      const std::uint64_t dropped = buffer_.dropped();
-      monitor->observe_buffer(
-          processed_.load(std::memory_order_relaxed) + buffer_.size() +
-              dropped,
-          dropped);
+      monitor->heartbeat(kml_now_ns());
+      if (observe::enabled()) {
+        monitor->observe_registry();
+      } else {
+        const std::uint64_t dropped = buffer_.dropped();
+        monitor->observe_buffer(
+            processed_.load(std::memory_order_relaxed) + buffer_.size() +
+                dropped,
+            dropped);
+      }
     }
     const std::size_t n = buffer_.pop_many(scratch.data(), batch_);
     if (n > 0) {
-      if (fn_ != nullptr) fn_(user_, scratch.data(), n);
-      processed_.fetch_add(n, std::memory_order_relaxed);
+      run_batch(scratch.data(), n);
       continue;  // keep draining while there is work
     }
     if (stop_.load(std::memory_order_acquire)) {
       // Final drain after stop: consume whatever raced in.
       const std::size_t rest = buffer_.pop_many(scratch.data(), batch_);
       if (rest > 0) {
-        if (fn_ != nullptr) fn_(user_, scratch.data(), rest);
-        processed_.fetch_add(rest, std::memory_order_relaxed);
+        run_batch(scratch.data(), rest);
         continue;
       }
       return;

@@ -58,16 +58,26 @@ class TrainingThread {
   std::size_t buffer_capacity() const { return buffer_.capacity(); }
 
   // Health-guard integration: once attached, the trainer loop heartbeats
-  // the monitor (wall-clock ns) and reports cumulative processed/dropped
-  // counts for the drop-rate guard. Safe to attach/detach while running;
-  // the monitor must outlive this thread.
+  // the monitor (wall-clock ns) and feeds it drop-rate (and optionally
+  // inference-latency) signals from the metrics registry, falling back to
+  // the private processed/dropped counters when observe is off. Safe to
+  // attach/detach while running; the monitor must outlive this thread.
   void attach_health(HealthMonitor* monitor) {
     health_.store(monitor, std::memory_order_release);
+    // Prime the registry baselines synchronously on the attaching thread:
+    // if priming waited for the trainer loop's first poll, a burst of
+    // submissions racing the thread's first scheduling would be absorbed
+    // into the baseline and never judged.
+    if (monitor != nullptr && observe::enabled()) {
+      monitor->observe_registry();
+    }
   }
 
  private:
   static void thread_main(void* self);
   void run();
+  // One train_fn call: timed span + processed/records accounting.
+  void run_batch(data::TraceRecord* records, std::size_t n);
 
   data::CircularBuffer<data::TraceRecord> buffer_;
   std::size_t batch_;

@@ -1,5 +1,7 @@
 #include "sim/page_cache.h"
 
+#include "observe/metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <vector>
@@ -21,6 +23,7 @@ void PageCache::read(FileHandle& file, std::uint64_t pgoff,
     auto it = pages_.find(key);
     if (it != pages_.end()) {
       ++stats_.hits;
+      KML_COUNTER_INC(observe::kMetricCacheHit);
       Page& page = *it->second;
       if (page.speculative) {
         page.speculative = false;
@@ -37,6 +40,7 @@ void PageCache::read(FileHandle& file, std::uint64_t pgoff,
       continue;
     }
     ++stats_.misses;
+    KML_COUNTER_INC(observe::kMetricCacheMiss);
     ra_engine_.on_sync_miss(*this, file, p);
     // Under extreme cache pressure the fresh page can already be evicted;
     // the reader still consumed it (it was copied to userspace), so no

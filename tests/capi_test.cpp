@@ -6,10 +6,12 @@
 #include "dtree/decision_tree.h"
 #include "nn/network.h"
 #include "nn/serialize.h"
+#include "observe/metrics.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 namespace {
 
@@ -126,6 +128,63 @@ TEST_F(CapiTest, HealthGuardNullSafety) {
   kml_health_observe_buffer(nullptr, 1, 1);
   kml_health_notify_rollback(nullptr);
   kml_health_destroy(nullptr);  // all no-ops, no crash
+}
+
+TEST_F(CapiTest, MetricsSnapshotRoundTrip) {
+  if (kml_metrics_enabled() == 0) {
+    // Compiled out (KML_OBSERVE=OFF): reads report absence, export still
+    // renders a well-formed empty snapshot.
+    EXPECT_EQ(kml_metrics_counter("capi.test.counter"), -1);
+    EXPECT_EQ(kml_metrics_hist_count("capi.test.hist"), -1);
+    char buf[256];
+    EXPECT_GT(kml_metrics_export(buf, sizeof(buf), 1), 0u);
+    return;
+  }
+
+  const long long c0 = kml_metrics_counter("capi.test.counter");
+  observe::counter_add("capi.test.counter", 7);
+  observe::gauge_set("capi.test.gauge", -5);
+  for (int i = 0; i < 10; ++i) observe::hist_record("capi.test.hist", 4096);
+
+  EXPECT_EQ(kml_metrics_counter("capi.test.counter"),
+            (c0 < 0 ? 0 : c0) + 7);
+  EXPECT_EQ(kml_metrics_gauge("capi.test.gauge"), -5);
+  EXPECT_GE(kml_metrics_hist_count("capi.test.hist"), 10);
+  // 4096 is a power of two, i.e. exactly a bucket lower bound.
+  EXPECT_EQ(kml_metrics_hist_percentile("capi.test.hist", 50), 4096);
+
+  // Round trip through both export formats.
+  char table[1 << 14];
+  char json[1 << 14];
+  ASSERT_LT(kml_metrics_export(table, sizeof(table), 0), sizeof(table));
+  ASSERT_LT(kml_metrics_export(json, sizeof(json), 1), sizeof(json));
+  EXPECT_NE(std::strstr(table, "capi.test.counter"), nullptr);
+  EXPECT_NE(std::strstr(json, "\"capi.test.gauge\":-5"), nullptr);
+  EXPECT_NE(std::strstr(json, "\"capi.test.hist\""), nullptr);
+
+  // Truncation keeps the snprintf convention: full length returned, output
+  // NUL-terminated within cap.
+  char tiny[8];
+  const size_t need = kml_metrics_export(tiny, sizeof(tiny), 0);
+  EXPECT_GE(need, sizeof(tiny));
+  EXPECT_EQ(tiny[sizeof(tiny) - 1], '\0');
+}
+
+TEST_F(CapiTest, MetricsToggleAndNullSafety) {
+  EXPECT_EQ(kml_metrics_counter(nullptr), -1);
+  EXPECT_EQ(kml_metrics_gauge(nullptr), -1);
+  EXPECT_EQ(kml_metrics_hist_count(nullptr), -1);
+  EXPECT_EQ(kml_metrics_hist_percentile("x", -1), -1);
+  EXPECT_EQ(kml_metrics_hist_percentile("x", 101), -1);
+  EXPECT_EQ(kml_metrics_export(nullptr, 64, 0), 0u);
+
+  if (kml_metrics_enabled() == 0) return;  // compiled out
+  kml_metrics_set_enabled(0);
+  EXPECT_EQ(kml_metrics_enabled(), 0);
+  observe::counter_add("capi.test.toggled", 1);  // dropped while disabled
+  kml_metrics_set_enabled(1);
+  EXPECT_EQ(kml_metrics_enabled(), 1);
+  EXPECT_EQ(kml_metrics_counter("capi.test.toggled"), -1);  // never created
 }
 
 TEST_F(CapiTest, DtreeLoadInferDestroy) {

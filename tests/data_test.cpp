@@ -5,11 +5,14 @@
 #include "data/dataset.h"
 #include "data/normalizer.h"
 #include "data/windower.h"
+#include "observe/metrics.h"
 #include "portability/thread.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 namespace kml::data {
@@ -348,6 +351,117 @@ TEST(Windower, AdvanceClosesWindowsWithoutRecords) {
   w.advance_to(550);
   EXPECT_EQ(windows, 5);
 }
+
+// --- regressions -------------------------------------------------------------
+
+// round_up_pow2 used to spin forever for capacities above the largest
+// power of two representable in size_t (the doubling loop wrapped to 0).
+// The constructor must instead degrade to the zero-capacity drop-everything
+// buffer — quickly.
+TEST(CircularBuffer, HugeCapacityRequestDegradesInsteadOfHanging) {
+  constexpr std::size_t kTooBig =
+      std::numeric_limits<std::size_t>::max() / 2 + 2;
+  CircularBuffer<std::uint64_t> buf(kTooBig);
+  EXPECT_EQ(buf.capacity(), 0u);
+  EXPECT_FALSE(buf.push(1));
+  EXPECT_EQ(buf.dropped(), 1u);
+  std::uint64_t out;
+  EXPECT_FALSE(buf.pop(out));
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+// size() used to load head before tail; a pop() landing between the two
+// loads could make tail > head and the unsigned subtraction wrapped to
+// ~2^64. Deterministic shape of that interleaving: size() computed from a
+// stale head and a newer tail must clamp to 0, and any result must stay
+// within [0, capacity].
+TEST(CircularBuffer, SizeNeverExceedsCapacity) {
+  CircularBuffer<std::uint64_t> buf(8);
+  for (std::uint64_t i = 0; i < 8; ++i) ASSERT_TRUE(buf.push(i));
+  std::uint64_t out;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_LE(buf.size(), buf.capacity());
+    ASSERT_TRUE(buf.pop(out));
+  }
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+// Threaded version of the same regression: a producer, a consumer, and a
+// third thread hammering size() concurrently. Any torn/wrapped read shows
+// up as size() > capacity.
+struct SizeStressCtx {
+  CircularBuffer<std::uint64_t>* buf;
+  std::atomic<bool>* stop;
+  std::atomic<std::uint64_t>* violations;
+};
+
+TEST(CircularBuffer, ConcurrentSizeReaderStaysInBounds) {
+  CircularBuffer<std::uint64_t> buf(64);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  SizeStressCtx ctx{&buf, &stop, &violations};
+
+  auto producer = +[](void* arg) {
+    auto* c = static_cast<SizeStressCtx*>(arg);
+    for (std::uint64_t i = 0; i < 300000; ++i) c->buf->push(i);
+    c->stop->store(true, std::memory_order_release);
+  };
+  auto reader = +[](void* arg) {
+    auto* c = static_cast<SizeStressCtx*>(arg);
+    while (!c->stop->load(std::memory_order_acquire)) {
+      if (c->buf->size() > c->buf->capacity()) {
+        c->violations->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  KmlThread* tp = kml_thread_create(producer, &ctx, "producer");
+  KmlThread* tr = kml_thread_create(reader, &ctx, "size-reader");
+  ASSERT_NE(tp, nullptr);
+  ASSERT_NE(tr, nullptr);
+
+  // Consumer on the test thread: pops race the size() reader's loads.
+  std::uint64_t received = 0;
+  std::uint64_t out;
+  while (!stop.load(std::memory_order_acquire) || !buf.empty()) {
+    if (buf.pop(out)) {
+      ++received;
+    } else {
+      kml_thread_yield();
+    }
+  }
+  kml_thread_join(tp);
+  kml_thread_join(tr);
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(received + buf.dropped(), 300000u);
+}
+
+// Consumer-side metric publication: pop_many flushes push/pop/drop deltas
+// into the process-global registry. Read deltas (other tests and library
+// code share the same counters when the whole binary runs in one process).
+#if KML_OBSERVE_ENABLED
+TEST(CircularBuffer, PopManyPublishesRegistryDeltas) {
+  if (!observe::enabled()) GTEST_SKIP() << "observe disabled at runtime";
+  const std::uint64_t push0 =
+      observe::get_counter(observe::kMetricBufferPush).value();
+  const std::uint64_t pop0 =
+      observe::get_counter(observe::kMetricBufferPop).value();
+  const std::uint64_t drop0 =
+      observe::get_counter(observe::kMetricBufferDrop).value();
+
+  CircularBuffer<int> buf(4);
+  for (int i = 0; i < 6; ++i) buf.push(i);  // 4 land, 2 drop
+  int out[4];
+  EXPECT_EQ(buf.pop_many(out, 4), 4u);
+
+  EXPECT_EQ(observe::get_counter(observe::kMetricBufferPush).value() - push0,
+            4u);
+  EXPECT_EQ(observe::get_counter(observe::kMetricBufferPop).value() - pop0,
+            4u);
+  EXPECT_EQ(observe::get_counter(observe::kMetricBufferDrop).value() - drop0,
+            2u);
+  EXPECT_EQ(observe::get_gauge(observe::kMetricBufferOccupancy).value(), 0);
+}
+#endif  // KML_OBSERVE_ENABLED
 
 }  // namespace
 }  // namespace kml::data

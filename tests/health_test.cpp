@@ -2,6 +2,7 @@
 // state machine, the engine's validated train steps + checkpoint/rollback,
 // and graceful degradation of the readahead tuners to vanilla readahead.
 #include "kv/minikv.h"
+#include "observe/metrics.h"
 #include "readahead/file_tuner.h"
 #include "readahead/pipeline.h"
 #include "readahead/tuner.h"
@@ -139,6 +140,65 @@ TEST(HealthMonitor, SmallDropWindowsAreNotJudged) {
   monitor.observe_buffer(4, 4);  // 100% drop rate but only 4 records
   EXPECT_EQ(monitor.state(), HealthState::kHealthy);
 }
+
+#if KML_OBSERVE_ENABLED
+
+// Registry-sourced signals: the monitor pulls drop-rate and inference-p99
+// straight from the global metrics registry instead of being hand-fed.
+// These tests drive the same counters/histograms the instrumented code
+// bumps; deltas-based judging makes them robust to whatever other tests in
+// this process contributed before the priming call.
+TEST(HealthMonitor, RegistryDropRateTripDegrades) {
+  observe::Counter& push =
+      observe::get_counter(observe::kMetricBufferPush);
+  observe::Counter& drop =
+      observe::get_counter(observe::kMetricBufferDrop);
+  HealthMonitor monitor(fast_config());  // threshold 0.5, window >= 10
+  monitor.observe_registry();            // primes baselines
+  push.add(100);
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  push.add(20);
+  drop.add(80);  // 80% of this window's 100 submissions dropped
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_EQ(monitor.stats().drop_rate_trips, 1u);
+}
+
+TEST(HealthMonitor, RegistryInferenceLatencyTripDegrades) {
+  observe::Histogram& hist =
+      observe::get_histogram(observe::kMetricInferenceNs);
+  hist.reset();  // cumulative p99 — clear whatever this process recorded
+  HealthConfig config = fast_config();
+  config.inference_p99_degrade_ns = 1'000'000;  // budget: 1 ms
+  HealthMonitor monitor(config);
+  monitor.observe_registry();  // primes baselines
+  for (int i = 0; i < 100; ++i) hist.record(50'000'000);  // 50 ms each
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_EQ(monitor.stats().latency_trips, 1u);
+
+  // Quiesced model: no new inferences -> the (cumulative) histogram must
+  // not re-trip the guard on stale history.
+  monitor.reset();
+  monitor.observe_registry();  // re-prime after reset
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_EQ(monitor.stats().latency_trips, 0u);
+}
+
+TEST(HealthMonitor, RegistryLatencySignalDisabledByDefault) {
+  observe::Histogram& hist =
+      observe::get_histogram(observe::kMetricInferenceNs);
+  HealthMonitor monitor(fast_config());  // inference_p99_degrade_ns = 0
+  monitor.observe_registry();
+  for (int i = 0; i < 100; ++i) hist.record(50'000'000);
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_EQ(monitor.stats().latency_trips, 0u);
+}
+
+#endif  // KML_OBSERVE_ENABLED
 
 TEST(HealthMonitor, ResetReturnsToPristine) {
   HealthMonitor monitor(fast_config());

@@ -1,0 +1,236 @@
+// Tests for src/observe: counter/gauge/histogram semantics, the fixed-point
+// log-scale bucketing math (exact inverse, edge values, overflow), integer
+// percentile extraction, registry find-or-create and overflow behaviour,
+// span timers, and the snapshot/export formats.
+//
+// The registry is process-global; every test namespaces its metric names
+// and reads deltas rather than absolute values where another test (or the
+// instrumented library code itself) could plausibly share a name.
+#include "observe/metrics.h"
+
+#include "portability/thread.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace kml::observe {
+namespace {
+
+#if !KML_OBSERVE_ENABLED
+
+// Compiled-out build: the stubs must report disabled and produce an empty
+// (but well-formed) export so consumers stay link- and logic-compatible.
+TEST(Disabled, StubsReportDisabledAndExportEmpty) {
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_FALSE(enabled());  // compile-time switch wins
+  counter_add("test.disabled.counter", 3);
+  KML_COUNTER_INC("test.disabled.counter");
+  const MetricsSnapshot snap = snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_FALSE(format_json(snap).empty());
+}
+
+#else  // KML_OBSERVE_ENABLED
+
+TEST(Counter, AddAndReset) {
+  Counter& c = get_counter("test.counter.basic");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, RegistryReturnsSameSlotForSameName) {
+  Counter& a = get_counter("test.counter.identity");
+  Counter& b = get_counter("test.counter.identity");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(find_counter("test.counter.identity"), &a);
+  EXPECT_EQ(find_counter("test.counter.no-such-name"), nullptr);
+}
+
+TEST(Gauge, LastWriterWins) {
+  Gauge& g = get_gauge("test.gauge.basic");
+  g.set(7);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+// --- histogram bucketing math ------------------------------------------------
+
+TEST(HistogramMath, LinearRegionIsExact) {
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(static_cast<unsigned>(v)), v);
+  }
+}
+
+TEST(HistogramMath, LowerBoundIsExactInverse) {
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // just below it to the previous bucket.
+  for (unsigned idx = 0; idx < Histogram::kNumBuckets; ++idx) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(idx);
+    EXPECT_EQ(Histogram::bucket_index(lo), idx) << "lower bound of " << idx;
+    if (lo > 0) {
+      EXPECT_EQ(Histogram::bucket_index(lo - 1), idx - 1)
+          << "value below bucket " << idx;
+    }
+  }
+}
+
+TEST(HistogramMath, IndexIsMonotonicAcrossOctaves) {
+  unsigned last = 0;
+  for (unsigned shift = 0; shift < 64; ++shift) {
+    const std::uint64_t v = 1ull << shift;
+    const unsigned idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, last);
+    last = idx;
+  }
+}
+
+TEST(HistogramMath, MaxValueLandsInLastBucket) {
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramMath, RelativeErrorBoundedBySubBucketWidth) {
+  // Log-scale with 2^kSubBits sub-buckets: the lower bound under-reports a
+  // recorded value by at most 1/2^kSubBits of it (25% with kSubBits=2).
+  for (std::uint64_t v : {5ull, 100ull, 12'345ull, 1'000'000'007ull,
+                          (1ull << 40) + 17}) {
+    const std::uint64_t lo =
+        Histogram::bucket_lower_bound(Histogram::bucket_index(v));
+    EXPECT_LE(lo, v);
+    EXPECT_GE(lo, v - v / Histogram::kSubBuckets);
+  }
+}
+
+// --- histogram recording -----------------------------------------------------
+
+TEST(Histogram, RecordsEdgeValues) {
+  Histogram& h = get_histogram("test.hist.edges");
+  h.reset();
+  h.record(0);
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+  // sum wraps modulo 2^64 by design (relaxed fetch_add) — count and max are
+  // the trustworthy aggregates at the extremes.
+  EXPECT_EQ(h.percentile(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(h.percentile(100)),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, PercentilesWalkBucketCounts) {
+  Histogram& h = get_histogram("test.hist.pcts");
+  h.reset();
+  // 90 fast ops at ~1000, 10 slow ops at ~1e6: p50/p90 must sit in the fast
+  // bucket, p99 in the slow one.
+  for (int i = 0; i < 90; ++i) h.record(1000);
+  for (int i = 0; i < 10; ++i) h.record(1'000'000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50),
+            Histogram::bucket_lower_bound(Histogram::bucket_index(1000)));
+  EXPECT_EQ(h.percentile(90),
+            Histogram::bucket_lower_bound(Histogram::bucket_index(1000)));
+  EXPECT_EQ(h.percentile(99),
+            Histogram::bucket_lower_bound(Histogram::bucket_index(1'000'000)));
+  EXPECT_EQ(h.max(), 1'000'000u);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram& h = get_histogram("test.hist.empty");
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+// --- runtime toggle & spans --------------------------------------------------
+
+TEST(Toggle, DisabledStopsMacroRecording) {
+  Counter& c = get_counter("test.toggle.counter");
+  const std::uint64_t before = c.value();
+  set_enabled(false);
+  KML_COUNTER_INC("test.toggle.counter");
+  counter_add("test.toggle.counter");
+  set_enabled(true);
+  EXPECT_EQ(c.value(), before);
+  KML_COUNTER_INC("test.toggle.counter");
+  EXPECT_EQ(c.value(), before + 1);
+}
+
+TEST(Span, RecordsElapsedNanoseconds) {
+  Histogram& h = get_histogram("test.span.hist");
+  h.reset();
+  {
+    KML_SPAN_NS("test.span.hist");
+    kml_sleep_ms(2);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 1'000'000u);  // slept >= 2 ms; allow coarse clocks
+}
+
+// --- snapshot & export -------------------------------------------------------
+
+TEST(Snapshot, ExportsRegisteredMetricsInBothFormats) {
+  get_counter("test.snap.counter").add(5);
+  get_gauge("test.snap.gauge").set(-17);
+  Histogram& h = get_histogram("test.snap.hist");
+  h.record(4096);
+
+  const MetricsSnapshot snap = snapshot();
+  const std::string table = format_table(snap);
+  const std::string json = format_json(snap);
+
+  EXPECT_NE(table.find("test.snap.counter"), std::string::npos);
+  EXPECT_NE(table.find("test.snap.gauge"), std::string::npos);
+  EXPECT_NE(table.find("test.snap.hist"), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap.gauge\":-17"), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap.hist\""), std::string::npos);
+}
+
+TEST(Snapshot, ResetAllZeroesValuesButKeepsRegistrations) {
+  Counter& c = get_counter("test.reset.counter");
+  Histogram& h = get_histogram("test.reset.hist");
+  c.add(9);
+  h.record(123);
+  reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(find_counter("test.reset.counter"), &c);  // registration survives
+}
+
+// --- registry overflow -------------------------------------------------------
+// Declared last: flooding the pool is irreversible within a process, so this
+// must not run before the tests that register real gauges.
+
+TEST(RegistryOverflow, GaugePoolExhaustionDegradesToSharedSlot) {
+  // Exhaust the gauge pool with throwaway names. Registration must never
+  // crash or return null — past capacity every name shares one overflow
+  // slot (attribution degrades, increments survive).
+  char name[64];
+  Gauge* last = nullptr;
+  for (std::size_t i = 0; i < kMaxGauges + 8; ++i) {
+    std::snprintf(name, sizeof(name), "test.gauge.flood.%zu", i);
+    last = &get_gauge(name);
+    last->set(static_cast<std::int64_t>(i));
+  }
+  ASSERT_NE(last, nullptr);
+  Gauge& overflow = get_gauge("test.gauge.flood.another");
+  EXPECT_EQ(&overflow, last);  // both past capacity -> same shared slot
+}
+
+#endif  // KML_OBSERVE_ENABLED
+
+}  // namespace
+}  // namespace kml::observe

@@ -1,0 +1,26 @@
+#!/bin/sh
+# repo_hygiene.sh — fail if build output is tracked by git.
+#
+# PR 1's review produced a committed build tree (~900 object files and
+# CMake state under build-review/); this guard keeps that class of mistake
+# from coming back. Run from anywhere; passes trivially when the checkout
+# is not a git work tree (release tarballs, vendored copies).
+
+repo_root="$(dirname "$0")/.."
+cd "$repo_root" || exit 1
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "repo_hygiene: not a git work tree; skipping"
+  exit 0
+fi
+
+offenders=$(git ls-files | grep -E '^build|(^|/)CMakeCache\.txt$|\.o$' )
+if [ -n "$offenders" ]; then
+  echo "repo_hygiene: build output is tracked by git:"
+  echo "$offenders" | head -20
+  echo "repo_hygiene: run 'git rm -r --cached <path>' and check .gitignore"
+  exit 1
+fi
+
+echo "repo_hygiene: clean"
+exit 0
