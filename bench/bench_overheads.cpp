@@ -91,6 +91,28 @@ void BM_ReadaheadInference(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadaheadInference);
 
+// Batched inference: a window of samples in one forward pass, the shape of
+// call the per-file tuner makes once per second.
+void BM_ReadaheadInferenceBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  runtime::Engine engine(make_readahead_shaped_net());
+  engine.warm_up(batch);
+  std::vector<double> features;
+  math::Rng rng(11);
+  for (int i = 0; i < batch * readahead::kNumSelectedFeatures; ++i) {
+    features.push_back(10.0 + rng.next_double());
+  }
+  std::vector<int> classes(static_cast<std::size_t>(batch), -1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.infer_batch(features.data(), readahead::kNumSelectedFeatures,
+                           batch, classes.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel("items/s = samples/s");
+}
+BENCHMARK(BM_ReadaheadInferenceBatch)->Arg(16)->Arg(64);
+
 // --- one training iteration ---------------------------------------------------
 
 void BM_ReadaheadTrainingIteration(benchmark::State& state) {
@@ -125,8 +147,23 @@ void BM_MatmulDouble(benchmark::State& state) {
     matrix::matmul(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
+  state.SetLabel("register-tiled");
 }
 BENCHMARK(BM_MatmulDouble)->Arg(16)->Arg(64);
+
+void BM_MatmulDoubleNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  math::Rng rng(5);
+  matrix::MatD a = matrix::random_uniform(n, n, -1.0, 1.0, rng);
+  matrix::MatD b = matrix::random_uniform(n, n, -1.0, 1.0, rng);
+  matrix::MatD c(n, n);
+  for (auto _ : state) {
+    matrix::matmul_naive(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel("reference i-k-j");
+}
+BENCHMARK(BM_MatmulDoubleNaive)->Arg(16)->Arg(64);
 
 void BM_MatmulFixedPoint(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -176,6 +213,79 @@ void report_memory_footprint() {
               "(paper: +676 B)\n",
               static_cast<unsigned long long>(inference_peak));
   delete net;
+}
+
+// --- hot-path allocation count (exact, via kml_malloc accounting) -------------
+
+// The zero-allocation contract, measured the same way the ctest guard
+// enforces it: after one warm-up call, N steady-state inferences must add
+// exactly zero to the cumulative allocation counter.
+void report_inference_allocations() {
+  runtime::Engine engine(make_readahead_shaped_net());
+  const double features[readahead::kNumSelectedFeatures] = {11.0, 12.4, 11.9,
+                                                            8.0, 4.8};
+  engine.infer_class(features, readahead::kNumSelectedFeatures);  // warm
+
+  constexpr int kCalls = 10'000;
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  for (int i = 0; i < kCalls; ++i) {
+    engine.infer_class(features, readahead::kNumSelectedFeatures);
+  }
+  const std::uint64_t allocs = kml_mem_stats().total_allocs - before;
+
+  std::printf("\n--- steady-state inference allocations ---\n");
+  std::printf("heap allocations per inference:         %.4f "
+              "(%llu over %d calls; target: 0)\n",
+              static_cast<double>(allocs) / kCalls,
+              static_cast<unsigned long long>(allocs), kCalls);
+}
+
+// --- blocked vs naive matmul throughput ---------------------------------------
+
+// Acceptance gate for the register-tiled kernels: >= 2x the reference
+// i-k-j loop at 64x64x64 (results are bit-identical; only the schedule
+// differs).
+void report_matmul_speedup() {
+  constexpr int kN = 64;
+  constexpr int kReps = 2'000;
+  constexpr int kRounds = 5;
+  math::Rng rng(5);
+  matrix::MatD a = matrix::random_uniform(kN, kN, -1.0, 1.0, rng);
+  matrix::MatD b = matrix::random_uniform(kN, kN, -1.0, 1.0, rng);
+  matrix::MatD c(kN, kN);
+
+  const auto time_kernel = [&](auto&& kernel) {
+    std::uint64_t best = ~0ULL;
+    for (int r = 0; r < kRounds; ++r) {
+      const std::uint64_t start = kml_now_ns();
+      for (int i = 0; i < kReps; ++i) {
+        kernel(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+      }
+      const std::uint64_t elapsed = kml_now_ns() - start;
+      if (elapsed < best) best = elapsed;
+    }
+    return static_cast<double>(best) / kReps;
+  };
+
+  const double naive_ns =
+      time_kernel([](const auto& x, const auto& y, auto& out) {
+        matrix::matmul_naive(x, y, out);
+      });
+  const double blocked_ns =
+      time_kernel([](const auto& x, const auto& y, auto& out) {
+        matrix::matmul(x, y, out);
+      });
+  const double flops = 2.0 * kN * kN * kN;
+
+  std::printf("\n--- blocked vs naive matmul (%dx%dx%d, double) ---\n", kN,
+              kN, kN);
+  std::printf("naive i-k-j:      %8.0f ns  (%.2f GFLOP/s)\n", naive_ns,
+              flops / naive_ns);
+  std::printf("register-tiled:   %8.0f ns  (%.2f GFLOP/s)\n", blocked_ns,
+              flops / blocked_ns);
+  std::printf("speedup:          %.2fx (target: >= 2x)\n",
+              naive_ns / blocked_ns);
 }
 
 // --- observe-layer overhead (runtime toggle on the same binary) ---------------
@@ -242,6 +352,8 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   report_memory_footprint();
+  report_inference_allocations();
+  report_matmul_speedup();
   report_observe_overhead();
   return 0;
 }

@@ -28,13 +28,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  nn::Network net = bench::train_or_load_model(bench::kDefaultModelPath);
-  const auto predictor = bench::nn_predictor(net);
+  // Deploy through the runtime engine: per-sample inference for the global
+  // tuner, one batched forward pass per window for the per-file tuner (and
+  // warmed-up buffers, so the closed loop never hits the allocator).
+  runtime::Engine engine(bench::train_or_load_model(bench::kDefaultModelPath));
+  engine.warm_up(64);
+  const auto predictor = readahead::make_engine_predictor(engine);
 
   readahead::ExperimentConfig config;
   config.device = device;
   readahead::TunerConfig tuner_config;
   tuner_config.class_ra_kb = bench::actuation_table(config);
+  tuner_config.batch_predict = readahead::make_engine_batch_predictor(engine);
 
   std::printf("\nmixed tenants on %s: sequential scanner + random reader, "
               "%llu virtual seconds\n\n",

@@ -4,6 +4,7 @@
 #include "nn/network.h"
 #include "nn/serialize.h"
 #include "observe/metrics.h"
+#include "runtime/engine.h"
 #include "runtime/health.h"
 
 #include <climits>
@@ -17,6 +18,14 @@
 // the C boundary).
 struct kml_model {
   kml::nn::Network net;
+  int in_features;
+  int num_classes;
+  // Input staging for the allocation-free inference path.
+  kml::matrix::MatD x_scratch;
+};
+
+struct kml_engine {
+  kml::runtime::Engine engine;
   int in_features;
   int num_classes;
 };
@@ -64,6 +73,10 @@ kml_model* kml_model_load(const char* path) {
     delete handle;
     return nullptr;
   }
+  // The C API exposes no training entry points, so the backward-pass caches
+  // are dead weight: eval mode drops them and makes inference allocation-
+  // free at steady state.
+  handle->net.set_training(false);
   return handle;
 }
 
@@ -77,12 +90,17 @@ int kml_model_infer(const kml_model* model, const double* features, int n) {
   // Same latency histogram Engine::infer_class feeds: a C (kernel-module)
   // caller gets the inference-p99 health signal for free.
   KML_SPAN_NS(kml::observe::kMetricInferenceNs);
-  auto* mutable_model = const_cast<kml_model*>(model);
-  std::vector<double> z(features, features + n);
-  mutable_model->net.normalizer().transform_row(z.data(), n);
-  kml::matrix::MatD x(1, n);
-  for (int j = 0; j < n; ++j) x.at(0, j) = z[static_cast<std::size_t>(j)];
-  return mutable_model->net.predict_classes(x).at(0, 0);
+  auto* m = const_cast<kml_model*>(model);
+  m->x_scratch.ensure_shape(1, n);
+  for (int j = 0; j < n; ++j) m->x_scratch.at(0, j) = features[j];
+  m->net.normalizer().transform_row(m->x_scratch.row(0), n);
+  const kml::matrix::MatD& out = m->net.forward_scratch(m->x_scratch);
+  const double* row = out.row(0);
+  int best = 0;
+  for (int j = 1; j < out.cols(); ++j) {
+    if (row[j] > row[best]) best = j;
+  }
+  return best;
 }
 
 int kml_model_num_features(const kml_model* model) {
@@ -95,6 +113,53 @@ int kml_model_num_classes(const kml_model* model) {
 
 size_t kml_model_weight_bytes(const kml_model* model) {
   return model == nullptr ? 0 : model->net.param_bytes();
+}
+
+kml_engine* kml_engine_load(const char* path) {
+  if (path == nullptr) return nullptr;
+  kml::nn::Network net;
+  if (!kml::nn::load_model(net, path)) return nullptr;
+  auto* handle = new (std::nothrow)
+      kml_engine{kml::runtime::Engine(std::move(net)), 0, 0};
+  if (handle == nullptr) return nullptr;
+  handle->in_features = chain_in_features(handle->engine.network());
+  handle->num_classes = chain_out_features(handle->engine.network());
+  if (handle->in_features <= 0 || handle->num_classes <= 0) {
+    delete handle;
+    return nullptr;
+  }
+  handle->engine.warm_up(KML_ENGINE_DEFAULT_BATCH);
+  return handle;
+}
+
+void kml_engine_destroy(kml_engine* engine) { delete engine; }
+
+int kml_engine_infer(const kml_engine* engine, const double* features,
+                     int n) {
+  if (engine == nullptr || features == nullptr ||
+      n != engine->in_features) {
+    return -1;
+  }
+  return const_cast<kml_engine*>(engine)->engine.infer_class(features, n);
+}
+
+int kml_engine_infer_batch(const kml_engine* engine, const double* features,
+                           int n, int count, int* classes_out) {
+  if (engine == nullptr || features == nullptr || classes_out == nullptr ||
+      n != engine->in_features || count <= 0) {
+    return -1;
+  }
+  return const_cast<kml_engine*>(engine)->engine.infer_batch(features, n,
+                                                             count,
+                                                             classes_out);
+}
+
+int kml_engine_num_features(const kml_engine* engine) {
+  return engine == nullptr ? -1 : engine->in_features;
+}
+
+int kml_engine_num_classes(const kml_engine* engine) {
+  return engine == nullptr ? -1 : engine->num_classes;
 }
 
 kml_health* kml_health_create(void) {

@@ -39,6 +39,38 @@ int kml_model_num_classes(const kml_model* model);
 /* Bytes of parameter storage (the deployment footprint). 0 on error. */
 size_t kml_model_weight_bytes(const kml_model* model);
 
+/* ---- inference engine (instrumented, zero-allocation hot path) ---- */
+
+/* A loaded model wrapped in the KML runtime engine: latency-instrumented
+ * inference whose steady-state path performs no heap allocations (the
+ * paper's §3.3 memory-reservation discipline), plus batched classification
+ * so a caller can classify a whole window of samples in one forward pass. */
+typedef struct kml_engine kml_engine;
+
+/* Load a model file into an engine. Hot-path buffers are pre-warmed for
+ * batches of up to KML_ENGINE_DEFAULT_BATCH rows, so even the first call
+ * is allocation-free. NULL on failure. */
+#define KML_ENGINE_DEFAULT_BATCH 64
+kml_engine* kml_engine_load(const char* path);
+
+void kml_engine_destroy(kml_engine* engine);
+
+/* Classify one raw feature vector (normalizer applied). Returns the class
+ * index, or -1 on error / feature-count mismatch. */
+int kml_engine_infer(const kml_engine* engine, const double* features, int n);
+
+/* Classify `count` feature vectors in one forward pass. `features` is
+ * row-major (count x n); classes_out[i] receives row i's class. Returns the
+ * number of rows classified (count), or -1 on error. */
+int kml_engine_infer_batch(const kml_engine* engine, const double* features,
+                           int n, int count, int* classes_out);
+
+/* Expected input width; -1 on error. */
+int kml_engine_num_features(const kml_engine* engine);
+
+/* Output class count; -1 on error. */
+int kml_engine_num_classes(const kml_engine* engine);
+
 /* ---- health guard (graceful degradation) ---- */
 
 typedef struct kml_health kml_health;

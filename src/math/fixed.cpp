@@ -30,7 +30,14 @@ double Fixed::to_double() const {
   return static_cast<double>(raw_) / static_cast<double>(kOne);
 }
 
-int Fixed::to_int() const { return static_cast<int>(raw_ >> kFracBits); }
+int Fixed::to_int() const {
+  // Round to nearest, ties away from zero — symmetric for negative values
+  // (an arithmetic right-shift would floor toward -inf instead, biasing
+  // every negative conversion down by up to one unit).
+  constexpr std::int64_t kHalf = kOne / 2;
+  const std::int64_t wide = raw_;
+  return static_cast<int>((wide + (wide >= 0 ? kHalf : -kHalf)) / kOne);
+}
 
 Fixed Fixed::operator+(Fixed o) const {
   return from_raw(saturate(static_cast<std::int64_t>(raw_) + o.raw_));
@@ -41,15 +48,25 @@ Fixed Fixed::operator-(Fixed o) const {
 }
 
 Fixed Fixed::operator*(Fixed o) const {
+  // Round to nearest, ties away from zero. The shift this replaces rounded
+  // toward -inf, so negative products carried a systematic downward bias —
+  // the opposite contract from from_double's round-to-nearest. Note the
+  // truncating division: an arithmetic shift of the biased value would
+  // still floor and reintroduce the bug for negative products.
+  constexpr std::int64_t kHalf = static_cast<std::int64_t>(kOne) / 2;
+  const std::int64_t prod = static_cast<std::int64_t>(raw_) * o.raw_;
   const std::int64_t wide =
-      (static_cast<std::int64_t>(raw_) * o.raw_) >> kFracBits;
+      (prod + (prod >= 0 ? kHalf : -kHalf)) / kOne;
   return from_raw(saturate(wide));
 }
 
 Fixed Fixed::operator/(Fixed o) const {
   if (o.raw_ == 0) return raw_ >= 0 ? max() : min();
-  const std::int64_t wide =
-      (static_cast<std::int64_t>(raw_) << kFracBits) / o.raw_;
+  // Compute one extra fractional bit, then round to nearest (ties away
+  // from zero) instead of truncating toward zero.
+  const std::int64_t q2 =
+      (static_cast<std::int64_t>(raw_) << (kFracBits + 1)) / o.raw_;
+  const std::int64_t wide = (q2 + (q2 >= 0 ? 1 : -1)) / 2;
   return from_raw(saturate(wide));
 }
 

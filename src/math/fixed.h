@@ -33,7 +33,7 @@ class Fixed {
   }
 
   double to_double() const;
-  int to_int() const;  // truncates toward zero
+  int to_int() const;  // rounds to nearest, ties away from zero
   constexpr std::int32_t raw() const { return raw_; }
 
   Fixed operator+(Fixed o) const;

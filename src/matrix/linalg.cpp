@@ -2,8 +2,223 @@
 
 namespace kml::matrix {
 
+namespace {
+
+// Register-tile footprint: kMr x kNr partial sums held in locals across the
+// whole k loop. 8 x 4 measured fastest at -O2 on baseline x86-64 (SSE2):
+// each tile row is two 2-wide vector accumulators, and the tall tile
+// amortizes every b-row load across eight rows of a.
+constexpr int kMr = 8;
+constexpr int kNr = 4;
+
+// One output tile of matmul: out[i0..i0+mr) x [j0..j0+nr) = a * b over the
+// full k range, k strictly ascending per element (bit-identity contract).
+// The mr==kMr && nr==kNr fast path gives the compiler constant trip counts
+// to unroll/vectorize; ragged edge tiles take the runtime-bound path.
+template <typename T, int MR, int NR>
+inline void matmul_tile_fixed(const T* a, int lda, const T* b, int ldb,
+                              T* out, int ldo, int kdim) {
+  T acc[MR][NR] = {};
+  for (int k = 0; k < kdim; ++k) {
+    const T* brow = b + static_cast<std::size_t>(k) * ldb;
+    for (int mi = 0; mi < MR; ++mi) {
+      const T aik = a[static_cast<std::size_t>(mi) * lda + k];
+      for (int ni = 0; ni < NR; ++ni) acc[mi][ni] += aik * brow[ni];
+    }
+  }
+  for (int mi = 0; mi < MR; ++mi) {
+    for (int ni = 0; ni < NR; ++ni) {
+      out[static_cast<std::size_t>(mi) * ldo + ni] = acc[mi][ni];
+    }
+  }
+}
+
+template <typename T>
+inline void matmul_tile_edge(const T* a, int lda, const T* b, int ldb, T* out,
+                             int ldo, int kdim, int mr, int nr) {
+  T acc[kMr][kNr] = {};
+  for (int k = 0; k < kdim; ++k) {
+    const T* brow = b + static_cast<std::size_t>(k) * ldb;
+    for (int mi = 0; mi < mr; ++mi) {
+      const T aik = a[static_cast<std::size_t>(mi) * lda + k];
+      for (int ni = 0; ni < nr; ++ni) acc[mi][ni] += aik * brow[ni];
+    }
+  }
+  for (int mi = 0; mi < mr; ++mi) {
+    for (int ni = 0; ni < nr; ++ni) {
+      out[static_cast<std::size_t>(mi) * ldo + ni] = acc[mi][ni];
+    }
+  }
+}
+
+// Tile of out = a^T * b: a is (kdim x m) so the mi-th tile row reads a's
+// column i0+mi, stride lda. Same ascending-k reduction.
+template <typename T, int MR, int NR>
+inline void matmul_at_tile_fixed(const T* a, int lda, const T* b, int ldb,
+                                 T* out, int ldo, int kdim) {
+  T acc[MR][NR] = {};
+  for (int k = 0; k < kdim; ++k) {
+    const T* arow = a + static_cast<std::size_t>(k) * lda;
+    const T* brow = b + static_cast<std::size_t>(k) * ldb;
+    for (int mi = 0; mi < MR; ++mi) {
+      const T aki = arow[mi];
+      for (int ni = 0; ni < NR; ++ni) acc[mi][ni] += aki * brow[ni];
+    }
+  }
+  for (int mi = 0; mi < MR; ++mi) {
+    for (int ni = 0; ni < NR; ++ni) {
+      out[static_cast<std::size_t>(mi) * ldo + ni] = acc[mi][ni];
+    }
+  }
+}
+
+template <typename T>
+inline void matmul_at_tile_edge(const T* a, int lda, const T* b, int ldb,
+                                T* out, int ldo, int kdim, int mr, int nr) {
+  T acc[kMr][kNr] = {};
+  for (int k = 0; k < kdim; ++k) {
+    const T* arow = a + static_cast<std::size_t>(k) * lda;
+    const T* brow = b + static_cast<std::size_t>(k) * ldb;
+    for (int mi = 0; mi < mr; ++mi) {
+      const T aki = arow[mi];
+      for (int ni = 0; ni < nr; ++ni) acc[mi][ni] += aki * brow[ni];
+    }
+  }
+  for (int mi = 0; mi < mr; ++mi) {
+    for (int ni = 0; ni < nr; ++ni) {
+      out[static_cast<std::size_t>(mi) * ldo + ni] = acc[mi][ni];
+    }
+  }
+}
+
+// Tile of out = a * b^T: both operands are walked along their rows, the
+// reduction is a dot product per element, k ascending as in the naive dot.
+template <typename T, int MR, int NR>
+inline void matmul_bt_tile_fixed(const T* a, int lda, const T* b, int ldb,
+                                 T* out, int ldo, int kdim) {
+  T acc[MR][NR] = {};
+  for (int k = 0; k < kdim; ++k) {
+    for (int mi = 0; mi < MR; ++mi) {
+      const T aik = a[static_cast<std::size_t>(mi) * lda + k];
+      for (int ni = 0; ni < NR; ++ni) {
+        acc[mi][ni] += aik * b[static_cast<std::size_t>(ni) * ldb + k];
+      }
+    }
+  }
+  for (int mi = 0; mi < MR; ++mi) {
+    for (int ni = 0; ni < NR; ++ni) {
+      out[static_cast<std::size_t>(mi) * ldo + ni] = acc[mi][ni];
+    }
+  }
+}
+
+template <typename T>
+inline void matmul_bt_tile_edge(const T* a, int lda, const T* b, int ldb,
+                                T* out, int ldo, int kdim, int mr, int nr) {
+  T acc[kMr][kNr] = {};
+  for (int k = 0; k < kdim; ++k) {
+    for (int mi = 0; mi < mr; ++mi) {
+      const T aik = a[static_cast<std::size_t>(mi) * lda + k];
+      for (int ni = 0; ni < nr; ++ni) {
+        acc[mi][ni] += aik * b[static_cast<std::size_t>(ni) * ldb + k];
+      }
+    }
+  }
+  for (int mi = 0; mi < mr; ++mi) {
+    for (int ni = 0; ni < nr; ++ni) {
+      out[static_cast<std::size_t>(mi) * ldo + ni] = acc[mi][ni];
+    }
+  }
+}
+
+}  // namespace
+
 template <typename T>
 void matmul(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.cols() == b.rows());
+  assert(out.rows() == a.rows() && out.cols() == b.cols());
+  FpuGuard<T> guard;
+  const int m = a.rows();
+  const int n = b.cols();
+  const int kdim = a.cols();
+  const int lda = a.cols();
+  const int ldb = b.cols();
+  const int ldo = out.cols();
+  for (int i0 = 0; i0 < m; i0 += kMr) {
+    const int mr = m - i0 < kMr ? m - i0 : kMr;
+    const T* atile = a.data() + static_cast<std::size_t>(i0) * lda;
+    for (int j0 = 0; j0 < n; j0 += kNr) {
+      const int nr = n - j0 < kNr ? n - j0 : kNr;
+      T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
+      if (mr == kMr && nr == kNr) {
+        matmul_tile_fixed<T, kMr, kNr>(atile, lda, b.data() + j0, ldb, otile,
+                                       ldo, kdim);
+      } else {
+        matmul_tile_edge<T>(atile, lda, b.data() + j0, ldb, otile, ldo, kdim,
+                            mr, nr);
+      }
+    }
+  }
+}
+
+template <typename T>
+void matmul_bt(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.cols() == b.cols());
+  assert(out.rows() == a.rows() && out.cols() == b.rows());
+  FpuGuard<T> guard;
+  const int m = a.rows();
+  const int n = b.rows();
+  const int kdim = a.cols();
+  const int lda = a.cols();
+  const int ldb = b.cols();
+  const int ldo = out.cols();
+  for (int i0 = 0; i0 < m; i0 += kMr) {
+    const int mr = m - i0 < kMr ? m - i0 : kMr;
+    const T* atile = a.data() + static_cast<std::size_t>(i0) * lda;
+    for (int j0 = 0; j0 < n; j0 += kNr) {
+      const int nr = n - j0 < kNr ? n - j0 : kNr;
+      const T* btile = b.data() + static_cast<std::size_t>(j0) * ldb;
+      T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
+      if (mr == kMr && nr == kNr) {
+        matmul_bt_tile_fixed<T, kMr, kNr>(atile, lda, btile, ldb, otile, ldo,
+                                          kdim);
+      } else {
+        matmul_bt_tile_edge<T>(atile, lda, btile, ldb, otile, ldo, kdim, mr,
+                               nr);
+      }
+    }
+  }
+}
+
+template <typename T>
+void matmul_at(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  assert(a.rows() == b.rows());
+  assert(out.rows() == a.cols() && out.cols() == b.cols());
+  FpuGuard<T> guard;
+  const int m = a.cols();
+  const int n = b.cols();
+  const int kdim = a.rows();
+  const int lda = a.cols();
+  const int ldb = b.cols();
+  const int ldo = out.cols();
+  for (int i0 = 0; i0 < m; i0 += kMr) {
+    const int mr = m - i0 < kMr ? m - i0 : kMr;
+    for (int j0 = 0; j0 < n; j0 += kNr) {
+      const int nr = n - j0 < kNr ? n - j0 : kNr;
+      T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
+      if (mr == kMr && nr == kNr) {
+        matmul_at_tile_fixed<T, kMr, kNr>(a.data() + i0, lda, b.data() + j0,
+                                          ldb, otile, ldo, kdim);
+      } else {
+        matmul_at_tile_edge<T>(a.data() + i0, lda, b.data() + j0, ldb, otile,
+                               ldo, kdim, mr, nr);
+      }
+    }
+  }
+}
+
+template <typename T>
+void matmul_naive(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   assert(a.cols() == b.rows());
   assert(out.rows() == a.rows() && out.cols() == b.cols());
   FpuGuard<T> guard;
@@ -22,7 +237,7 @@ void matmul(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
 }
 
 template <typename T>
-void matmul_bt(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+void matmul_bt_naive(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   assert(a.cols() == b.cols());
   assert(out.rows() == a.rows() && out.cols() == b.rows());
   FpuGuard<T> guard;
@@ -39,7 +254,7 @@ void matmul_bt(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
 }
 
 template <typename T>
-void matmul_at(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+void matmul_at_naive(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   assert(a.rows() == b.rows());
   assert(out.rows() == a.cols() && out.cols() == b.cols());
   FpuGuard<T> guard;
@@ -162,6 +377,9 @@ double frobenius_norm(const MatD& m) {
   template void matmul<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
   template void matmul_bt<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
   template void matmul_at<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
+  template void matmul_naive<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
+  template void matmul_bt_naive<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
+  template void matmul_at_naive<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \
   template void add<T>(const Mat<T>&, const Mat<T>&, Mat<T>&);  \
   template void sub<T>(const Mat<T>&, const Mat<T>&, Mat<T>&);  \
   template void hadamard<T>(const Mat<T>&, const Mat<T>&, Mat<T>&); \

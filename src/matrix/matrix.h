@@ -67,6 +67,7 @@ class Mat {
         cols_ = 0;
         return;
       }
+      cap_ = size();
       for (std::size_t i = 0; i < size(); ++i) data_[i] = T{};
     }
   }
@@ -76,9 +77,10 @@ class Mat {
   }
 
   Mat(Mat&& o) noexcept
-      : rows_(o.rows_), cols_(o.cols_), data_(o.data_) {
+      : rows_(o.rows_), cols_(o.cols_), cap_(o.cap_), data_(o.data_) {
     o.rows_ = 0;
     o.cols_ = 0;
+    o.cap_ = 0;
     o.data_ = nullptr;
   }
 
@@ -92,6 +94,7 @@ class Mat {
   void swap(Mat& o) noexcept {
     std::swap(rows_, o.rows_);
     std::swap(cols_, o.cols_);
+    std::swap(cap_, o.cap_);
     std::swap(data_, o.data_);
   }
 
@@ -100,7 +103,43 @@ class Mat {
   std::size_t size() const {
     return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
   }
+  // Allocated element capacity; >= size() whenever storage is live. The
+  // storage backing a shrunken matrix is retained so later ensure_shape()
+  // calls can grow back without touching the allocator.
+  std::size_t capacity() const { return cap_; }
   bool empty() const { return size() == 0; }
+
+  // Reshape for full overwrite: the hot-path reuse primitive. Keeps the
+  // existing storage whenever rows*cols fits the allocated capacity (the
+  // surviving elements are unspecified — callers must write every element),
+  // and only reallocates on growth. Steady-state shapes hit the allocator
+  // zero times.
+  void ensure_shape(int rows, int cols) {
+    assert(rows >= 0 && cols >= 0);
+    const std::size_t need =
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+    if (need <= cap_ && data_ != nullptr) {
+      rows_ = rows;
+      cols_ = cols;
+      return;
+    }
+    if (need == 0) {
+      rows_ = rows;
+      cols_ = cols;
+      return;
+    }
+    Mat fresh(rows, cols);
+    swap(fresh);
+  }
+
+  // Deep copy into this matrix, reusing storage when it fits (unlike
+  // operator=, which always reallocates through the copy ctor). The cache
+  // and checkpoint paths use this to stay allocation-free at steady state.
+  void copy_from(const Mat& o) {
+    if (this == &o) return;
+    ensure_shape(o.rows_, o.cols_);
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = o.data_[i];
+  }
 
   T& at(int r, int c) {
     assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
@@ -146,6 +185,7 @@ class Mat {
  private:
   int rows_ = 0;
   int cols_ = 0;
+  std::size_t cap_ = 0;  // allocated elements; size() <= cap_ when live
   T* data_ = nullptr;
 };
 

@@ -5,53 +5,102 @@
 namespace kml::nn {
 
 matrix::MatD Sigmoid::forward(const matrix::MatD& in) {
-  matrix::MatD out = in;
-  out.apply([](double x) { return math::kml_sigmoid(x); });
-  cached_out_ = out;
+  matrix::MatD out;
+  forward_into(in, out);
   return out;
+}
+
+void Sigmoid::forward_into(const matrix::MatD& in, matrix::MatD& out) {
+  out.ensure_shape(in.rows(), in.cols());
+  {
+    matrix::FpuGuard<double> guard;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out.data()[i] = math::kml_sigmoid(in.data()[i]);
+    }
+  }
+  // sigmoid' = y*(1-y) needs the output; eval mode skips the cache.
+  if (training_) cached_out_.copy_from(out);
 }
 
 matrix::MatD Sigmoid::backward(const matrix::MatD& grad_out) {
-  matrix::MatD grad_in = grad_out;
-  matrix::FpuGuard<double> guard;
-  for (std::size_t i = 0; i < grad_in.size(); ++i) {
-    const double y = cached_out_.data()[i];
-    grad_in.data()[i] *= y * (1.0 - y);
-  }
+  matrix::MatD grad_in;
+  backward_into(grad_out, grad_in);
   return grad_in;
+}
+
+void Sigmoid::backward_into(const matrix::MatD& grad_out,
+                            matrix::MatD& grad_in) {
+  grad_in.ensure_shape(grad_out.rows(), grad_out.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const double y = cached_out_.data()[i];
+    grad_in.data()[i] = grad_out.data()[i] * (y * (1.0 - y));
+  }
 }
 
 matrix::MatD ReLU::forward(const matrix::MatD& in) {
-  cached_in_ = in;
-  matrix::MatD out = in;
-  out.apply([](double x) { return x > 0.0 ? x : 0.0; });
+  matrix::MatD out;
+  forward_into(in, out);
   return out;
+}
+
+void ReLU::forward_into(const matrix::MatD& in, matrix::MatD& out) {
+  if (training_) cached_in_.copy_from(in);
+  out.ensure_shape(in.rows(), in.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double x = in.data()[i];
+    out.data()[i] = x > 0.0 ? x : 0.0;
+  }
 }
 
 matrix::MatD ReLU::backward(const matrix::MatD& grad_out) {
-  matrix::MatD grad_in = grad_out;
-  matrix::FpuGuard<double> guard;
-  for (std::size_t i = 0; i < grad_in.size(); ++i) {
-    if (cached_in_.data()[i] <= 0.0) grad_in.data()[i] = 0.0;
-  }
+  matrix::MatD grad_in;
+  backward_into(grad_out, grad_in);
   return grad_in;
+}
+
+void ReLU::backward_into(const matrix::MatD& grad_out,
+                         matrix::MatD& grad_in) {
+  grad_in.ensure_shape(grad_out.rows(), grad_out.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in.data()[i] =
+        cached_in_.data()[i] <= 0.0 ? 0.0 : grad_out.data()[i];
+  }
 }
 
 matrix::MatD Tanh::forward(const matrix::MatD& in) {
-  matrix::MatD out = in;
-  out.apply([](double x) { return math::kml_tanh(x); });
-  cached_out_ = out;
+  matrix::MatD out;
+  forward_into(in, out);
   return out;
 }
 
-matrix::MatD Tanh::backward(const matrix::MatD& grad_out) {
-  matrix::MatD grad_in = grad_out;
-  matrix::FpuGuard<double> guard;
-  for (std::size_t i = 0; i < grad_in.size(); ++i) {
-    const double y = cached_out_.data()[i];
-    grad_in.data()[i] *= 1.0 - y * y;
+void Tanh::forward_into(const matrix::MatD& in, matrix::MatD& out) {
+  out.ensure_shape(in.rows(), in.cols());
+  {
+    matrix::FpuGuard<double> guard;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out.data()[i] = math::kml_tanh(in.data()[i]);
+    }
   }
+  if (training_) cached_out_.copy_from(out);
+}
+
+matrix::MatD Tanh::backward(const matrix::MatD& grad_out) {
+  matrix::MatD grad_in;
+  backward_into(grad_out, grad_in);
   return grad_in;
+}
+
+void Tanh::backward_into(const matrix::MatD& grad_out,
+                         matrix::MatD& grad_in) {
+  grad_in.ensure_shape(grad_out.rows(), grad_out.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const double y = cached_out_.data()[i];
+    grad_in.data()[i] = grad_out.data()[i] * (1.0 - y * y);
+  }
 }
 
 }  // namespace kml::nn

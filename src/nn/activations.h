@@ -13,6 +13,9 @@ class Sigmoid : public Layer {
  public:
   matrix::MatD forward(const matrix::MatD& in) override;
   matrix::MatD backward(const matrix::MatD& grad_out) override;
+  void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
+  void backward_into(const matrix::MatD& grad_out,
+                     matrix::MatD& grad_in) override;
   LayerType type() const override { return LayerType::kSigmoid; }
   const char* name() const override { return "sigmoid"; }
 
@@ -24,6 +27,9 @@ class ReLU : public Layer {
  public:
   matrix::MatD forward(const matrix::MatD& in) override;
   matrix::MatD backward(const matrix::MatD& grad_out) override;
+  void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
+  void backward_into(const matrix::MatD& grad_out,
+                     matrix::MatD& grad_in) override;
   LayerType type() const override { return LayerType::kReLU; }
   const char* name() const override { return "relu"; }
 
@@ -35,6 +41,9 @@ class Tanh : public Layer {
  public:
   matrix::MatD forward(const matrix::MatD& in) override;
   matrix::MatD backward(const matrix::MatD& grad_out) override;
+  void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
+  void backward_into(const matrix::MatD& grad_out,
+                     matrix::MatD& grad_in) override;
   LayerType type() const override { return LayerType::kTanh; }
   const char* name() const override { return "tanh"; }
 

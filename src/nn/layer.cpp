@@ -8,4 +8,13 @@ void Layer::zero_grad() {
   }
 }
 
+void Layer::forward_into(const matrix::MatD& in, matrix::MatD& out) {
+  out.copy_from(forward(in));
+}
+
+void Layer::backward_into(const matrix::MatD& grad_out,
+                          matrix::MatD& grad_in) {
+  grad_in.copy_from(backward(grad_out));
+}
+
 }  // namespace kml::nn

@@ -47,11 +47,29 @@ class Layer {
   // same batch.
   virtual matrix::MatD backward(const matrix::MatD& grad_out) = 0;
 
+  // Allocation-free hot path: identical math to forward()/backward() but
+  // the result lands in caller-owned scratch (reshaped via ensure_shape, so
+  // steady-state repeat shapes never hit the allocator). `out`/`grad_in`
+  // must not alias `in`/`grad_out`. The base implementations fall back to
+  // the allocating path so external Layer subclasses keep working; every
+  // in-tree layer overrides them.
+  virtual void forward_into(const matrix::MatD& in, matrix::MatD& out);
+  virtual void backward_into(const matrix::MatD& grad_out,
+                             matrix::MatD& grad_in);
+
   // Trainable parameters (empty for activations).
   virtual std::vector<ParamRef> params() { return {}; }
 
-  // Zero all parameter gradients before a new batch.
-  void zero_grad();
+  // Zero all parameter gradients before a new batch. Virtual so layers with
+  // parameters can fill their grad buffers directly instead of paying the
+  // params() vector allocation per training step.
+  virtual void zero_grad();
+
+  // Train/eval mode (default: training, matching historical behaviour).
+  // Eval mode lets layers skip the backward-pass caches entirely — the
+  // deep copies of every activation that made inference allocate.
+  void set_training(bool on) { training_ = on; }
+  bool training() const { return training_; }
 
   virtual LayerType type() const = 0;
   virtual const char* name() const = 0;
@@ -59,6 +77,9 @@ class Layer {
   // Feature counts; 0 means "shape-preserving" (activations).
   virtual int in_features() const { return 0; }
   virtual int out_features() const { return 0; }
+
+ protected:
+  bool training_ = true;
 };
 
 }  // namespace kml::nn

@@ -17,30 +17,51 @@ Linear::Linear(int in_features, int out_features)
       grad_b_(1, out_features) {}
 
 matrix::MatD Linear::forward(const matrix::MatD& in) {
-  cached_in_ = in;
-  matrix::MatD out(in.rows(), weights_.cols());
-  matrix::matmul(in, weights_, out);
-  matrix::add_bias_row(out, bias_);
+  matrix::MatD out;
+  forward_into(in, out);
   return out;
 }
 
+void Linear::forward_into(const matrix::MatD& in, matrix::MatD& out) {
+  assert(in.data() != out.data());
+  // The backward pass needs the input activation; inference does not — in
+  // eval mode the deep copy (the per-call allocation the paper's 21 µs
+  // inference budget cannot afford) is skipped entirely.
+  if (training_) cached_in_.copy_from(in);
+  out.ensure_shape(in.rows(), weights_.cols());
+  matrix::matmul(in, weights_, out);
+  matrix::add_bias_row(out, bias_);
+}
+
 matrix::MatD Linear::backward(const matrix::MatD& grad_out) {
-  // dL/dW += in^T * grad_out;  dL/db += column sums;  dL/din = grad_out * W^T
-  matrix::MatD gw(weights_.rows(), weights_.cols());
-  matrix::matmul_at(cached_in_, grad_out, gw);
-  matrix::add(grad_w_, gw, grad_w_);
-
-  matrix::MatD gb(1, bias_.cols());
-  matrix::col_sums(grad_out, gb);
-  matrix::add(grad_b_, gb, grad_b_);
-
-  matrix::MatD grad_in(grad_out.rows(), weights_.rows());
-  matrix::matmul_bt(grad_out, weights_, grad_in);
+  matrix::MatD grad_in;
+  backward_into(grad_out, grad_in);
   return grad_in;
+}
+
+void Linear::backward_into(const matrix::MatD& grad_out,
+                           matrix::MatD& grad_in) {
+  assert(grad_out.data() != grad_in.data());
+  // dL/dW += in^T * grad_out;  dL/db += column sums;  dL/din = grad_out * W^T
+  scratch_gw_.ensure_shape(weights_.rows(), weights_.cols());
+  matrix::matmul_at(cached_in_, grad_out, scratch_gw_);
+  matrix::add(grad_w_, scratch_gw_, grad_w_);
+
+  scratch_gb_.ensure_shape(1, bias_.cols());
+  matrix::col_sums(grad_out, scratch_gb_);
+  matrix::add(grad_b_, scratch_gb_, grad_b_);
+
+  grad_in.ensure_shape(grad_out.rows(), weights_.rows());
+  matrix::matmul_bt(grad_out, weights_, grad_in);
 }
 
 std::vector<ParamRef> Linear::params() {
   return {{&weights_, &grad_w_}, {&bias_, &grad_b_}};
+}
+
+void Linear::zero_grad() {
+  grad_w_.fill(0.0);
+  grad_b_.fill(0.0);
 }
 
 }  // namespace kml::nn

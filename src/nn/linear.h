@@ -15,7 +15,11 @@ class Linear : public Layer {
 
   matrix::MatD forward(const matrix::MatD& in) override;
   matrix::MatD backward(const matrix::MatD& grad_out) override;
+  void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
+  void backward_into(const matrix::MatD& grad_out,
+                     matrix::MatD& grad_in) override;
   std::vector<ParamRef> params() override;
+  void zero_grad() override;
 
   LayerType type() const override { return LayerType::kLinear; }
   const char* name() const override { return "linear"; }
@@ -33,6 +37,10 @@ class Linear : public Layer {
   matrix::MatD grad_w_;
   matrix::MatD grad_b_;
   matrix::MatD cached_in_;  // saved activation for the backward pass
+  // Per-batch gradient scratch: backward() accumulates into grad_w_/grad_b_
+  // through these so repeated steps reuse one allocation.
+  matrix::MatD scratch_gw_;
+  matrix::MatD scratch_gb_;
 };
 
 }  // namespace kml::nn

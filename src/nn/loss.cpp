@@ -10,9 +10,12 @@ namespace kml::nn {
 double CrossEntropyLoss::forward(const matrix::MatD& pred,
                                  const matrix::MatD& target) {
   assert(pred.same_shape(target));
-  cached_softmax_ = matrix::MatD(pred.rows(), pred.cols());
+  // Cache reuse: ensure_shape only reallocates on growth, so steady-state
+  // batches of one shape hit the allocator exactly zero times (previously
+  // every call paid a fresh softmax matrix plus a target deep copy).
+  cached_softmax_.ensure_shape(pred.rows(), pred.cols());
   matrix::softmax_rows(pred, cached_softmax_);
-  cached_target_ = target;
+  cached_target_.copy_from(target);
 
   matrix::FpuGuard<double> guard;
   double total = 0.0;
@@ -31,18 +34,23 @@ double CrossEntropyLoss::forward(const matrix::MatD& pred,
 }
 
 matrix::MatD CrossEntropyLoss::backward() {
+  matrix::MatD grad;
+  backward_into(grad);
+  return grad;
+}
+
+void CrossEntropyLoss::backward_into(matrix::MatD& grad) {
   assert(!cached_softmax_.empty());
-  matrix::MatD grad(cached_softmax_.rows(), cached_softmax_.cols());
+  grad.ensure_shape(cached_softmax_.rows(), cached_softmax_.cols());
   matrix::sub(cached_softmax_, cached_target_, grad);
   matrix::scale(grad, 1.0 / static_cast<double>(grad.rows()));
-  return grad;
 }
 
 double MSELoss::forward(const matrix::MatD& pred,
                         const matrix::MatD& target) {
   assert(pred.same_shape(target));
-  cached_pred_ = pred;
-  cached_target_ = target;
+  cached_pred_.copy_from(pred);
+  cached_target_.copy_from(target);
   matrix::FpuGuard<double> guard;
   double total = 0.0;
   for (std::size_t i = 0; i < pred.size(); ++i) {
@@ -53,11 +61,16 @@ double MSELoss::forward(const matrix::MatD& pred,
 }
 
 matrix::MatD MSELoss::backward() {
+  matrix::MatD grad;
+  backward_into(grad);
+  return grad;
+}
+
+void MSELoss::backward_into(matrix::MatD& grad) {
   assert(!cached_pred_.empty());
-  matrix::MatD grad(cached_pred_.rows(), cached_pred_.cols());
+  grad.ensure_shape(cached_pred_.rows(), cached_pred_.cols());
   matrix::sub(cached_pred_, cached_target_, grad);
   matrix::scale(grad, 2.0 / static_cast<double>(grad.size()));
-  return grad;
 }
 
 }  // namespace kml::nn

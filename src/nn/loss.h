@@ -23,6 +23,10 @@ class Loss {
   // on the same pair.
   virtual matrix::MatD backward() = 0;
 
+  // Allocation-free variant: same gradient, written into caller scratch.
+  // Default falls back to backward(); both in-tree losses override.
+  virtual void backward_into(matrix::MatD& grad) { grad.copy_from(backward()); }
+
   virtual const char* name() const = 0;
 };
 
@@ -33,6 +37,7 @@ class CrossEntropyLoss : public Loss {
   double forward(const matrix::MatD& pred,
                  const matrix::MatD& target) override;
   matrix::MatD backward() override;
+  void backward_into(matrix::MatD& grad) override;
   const char* name() const override { return "cross_entropy"; }
 
  private:
@@ -46,6 +51,7 @@ class MSELoss : public Loss {
   double forward(const matrix::MatD& pred,
                  const matrix::MatD& target) override;
   matrix::MatD backward() override;
+  void backward_into(matrix::MatD& grad) override;
   const char* name() const override { return "mse"; }
 
  private:

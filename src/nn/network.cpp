@@ -10,26 +10,64 @@ namespace kml::nn {
 
 Network& Network::add(std::unique_ptr<Layer> layer) {
   assert(layer != nullptr);
+  layer->set_training(training_);
   layers_.push_back(std::move(layer));
   return *this;
 }
 
 matrix::MatD Network::forward(const matrix::MatD& in) {
-  matrix::MatD activation = in;
+  matrix::MatD out;
+  out.copy_from(forward_scratch(in));
+  return out;
+}
+
+const matrix::MatD& Network::forward_scratch(const matrix::MatD& in) {
+  const matrix::MatD* cur = &in;
+  int slot = 0;
   for (auto& layer : layers_) {
-    activation = layer->forward(activation);
+    layer->forward_into(*cur, fscratch_[slot]);
+    cur = &fscratch_[slot];
+    slot ^= 1;
   }
-  return activation;
+  return *cur;
+}
+
+void Network::set_training(bool on) {
+  training_ = on;
+  for (auto& layer : layers_) layer->set_training(on);
+}
+
+int Network::max_feature_width() const {
+  int w = 0;
+  for (const auto& layer : layers_) {
+    if (layer->in_features() > w) w = layer->in_features();
+    if (layer->out_features() > w) w = layer->out_features();
+  }
+  return w;
+}
+
+void Network::reserve_scratch(int max_rows) {
+  const int w = max_feature_width();
+  if (max_rows <= 0 || w <= 0) return;
+  for (auto& s : fscratch_) s.ensure_shape(max_rows, w);
+  for (auto& s : gscratch_) s.ensure_shape(max_rows, w);
 }
 
 double Network::train_step(const matrix::MatD& x, const matrix::MatD& y,
                            Loss& loss, Optimizer& opt) {
+  // Backward needs the per-layer caches; re-arm them if the caller left the
+  // network in eval mode.
+  if (!training_) set_training(true);
   for (auto& layer : layers_) layer->zero_grad();
-  const matrix::MatD pred = forward(x);
+  const matrix::MatD& pred = forward_scratch(x);
   const double batch_loss = loss.forward(pred, y);
-  matrix::MatD grad = loss.backward();
+  loss.backward_into(gscratch_[0]);
+  const matrix::MatD* grad = &gscratch_[0];
+  int slot = 1;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = (*it)->backward(grad);
+    (*it)->backward_into(*grad, gscratch_[slot]);
+    grad = &gscratch_[slot];
+    slot ^= 1;
   }
   opt.step();
   return batch_loss;
@@ -39,10 +77,23 @@ TrainReport Network::train(const matrix::MatD& x, const matrix::MatD& y,
                            Loss& loss, Optimizer& opt, int epochs,
                            int batch_size,
                            math::Rng& rng) {
-  assert(x.rows() == y.rows());
-  assert(batch_size > 0);
-  const int n = x.rows();
   TrainReport report;
+  if (x.rows() == 0) {
+    report.ok = false;
+    report.error = "empty training set";
+    return report;
+  }
+  if (x.rows() != y.rows()) {
+    report.ok = false;
+    report.error = "x/y row count mismatch";
+    return report;
+  }
+  if (batch_size <= 0) {
+    report.ok = false;
+    report.error = "batch_size must be positive";
+    return report;
+  }
+  const int n = x.rows();
   std::vector<int> order(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
 
@@ -58,14 +109,17 @@ TrainReport Network::train(const matrix::MatD& x, const matrix::MatD& y,
     int batches = 0;
     for (int start = 0; start < n; start += batch_size) {
       const int count = start + batch_size <= n ? batch_size : n - start;
-      matrix::MatD bx(count, x.cols());
-      matrix::MatD by(count, y.cols());
+      // One staging pair reused across all batches and epochs; the final
+      // ragged batch shrinks in place and the next epoch's full batch grows
+      // back into the same retained capacity.
+      batch_x_.ensure_shape(count, x.cols());
+      batch_y_.ensure_shape(count, y.cols());
       for (int r = 0; r < count; ++r) {
         const int src = order[static_cast<std::size_t>(start + r)];
-        for (int c = 0; c < x.cols(); ++c) bx.at(r, c) = x.at(src, c);
-        for (int c = 0; c < y.cols(); ++c) by.at(r, c) = y.at(src, c);
+        for (int c = 0; c < x.cols(); ++c) batch_x_.at(r, c) = x.at(src, c);
+        for (int c = 0; c < y.cols(); ++c) batch_y_.at(r, c) = y.at(src, c);
       }
-      epoch_loss += train_step(bx, by, loss, opt);
+      epoch_loss += train_step(batch_x_, batch_y_, loss, opt);
       ++batches;
     }
     epoch_loss /= batches > 0 ? batches : 1;
@@ -77,7 +131,7 @@ TrainReport Network::train(const matrix::MatD& x, const matrix::MatD& y,
 }
 
 matrix::MatI Network::predict_classes(const matrix::MatD& x) {
-  return matrix::argmax_rows(forward(x));
+  return matrix::argmax_rows(forward_scratch(x));
 }
 
 double Network::accuracy(const matrix::MatD& x, const matrix::MatI& labels) {

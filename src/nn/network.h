@@ -20,6 +20,11 @@ struct TrainReport {
   int epochs = 0;
   double final_loss = 0.0;
   std::vector<double> epoch_losses;
+  // Shape validation outcome. Bad inputs (empty set, row mismatch, bad
+  // batch size) used to be assert-only — release builds trained on garbage.
+  // Now they return ok=false with a static description and train nothing.
+  bool ok = true;
+  const char* error = nullptr;
 };
 
 class Network {
@@ -37,6 +42,27 @@ class Network {
 
   // Inference: run the chain forward. Thread-safe only against itself.
   matrix::MatD forward(const matrix::MatD& in);
+
+  // Allocation-free forward pass: layers ping-pong between two network-
+  // owned scratch matrices (layer i reads one slot and writes the other, so
+  // no layer ever aliases its own input). The returned reference points at
+  // network scratch and is valid until the next forward/train call. After
+  // the first call at a given batch shape, steady-state repeats perform
+  // zero heap allocations.
+  const matrix::MatD& forward_scratch(const matrix::MatD& in);
+
+  // Train/eval mode, propagated to every layer (layers added later inherit
+  // it). Eval mode skips all backward-pass caches — required for the
+  // zero-allocation inference guarantee; training mode restores them.
+  void set_training(bool on);
+  bool training() const { return training_; }
+
+  // Presize the forward/backward scratch (and each layer's caches, via one
+  // throwaway training step shape) for batches of up to `max_rows` rows, so
+  // even the first hot-path call allocates nothing. Called by the runtime
+  // engine at build/load time — the paper's §3.3 "reserve before use"
+  // memory discipline.
+  void reserve_scratch(int max_rows);
 
   // One SGD step on a (mini-)batch: zero grads, forward, loss, backward,
   // optimizer step. Returns the batch loss. `opt` must be attach()ed to
@@ -67,8 +93,20 @@ class Network {
   const data::ZScoreNormalizer& normalizer() const { return normalizer_; }
 
  private:
+  // Widest activation row any layer produces or consumes (for scratch
+  // presizing); 0 when the chain has no linear layers.
+  int max_feature_width() const;
+
   std::vector<std::unique_ptr<Layer>> layers_;
   data::ZScoreNormalizer normalizer_;
+  bool training_ = true;
+  // Ping-pong scratch pairs for the allocation-free paths: activations for
+  // forward_scratch, gradients for train_step's backward sweep.
+  matrix::MatD fscratch_[2];
+  matrix::MatD gscratch_[2];
+  // Mini-batch staging reused across every batch of every epoch in train().
+  matrix::MatD batch_x_;
+  matrix::MatD batch_y_;
 };
 
 // The readahead network architecture from §4: three linear layers joined by

@@ -24,8 +24,10 @@ matrix::MatD RnnCell::forward_sequence(const matrix::MatD& sequence) {
   assert(sequence.cols() == wx_.rows());
   const int t_steps = sequence.rows();
   const int hidden = wx_.cols();
-  cached_in_ = sequence;
-  cached_h_ = matrix::MatD(t_steps, hidden);
+  // Cache reuse: repeated same-shape sequences skip the allocator
+  // (cached_h_ is fully overwritten below, so no zero-fill is needed).
+  cached_in_.copy_from(sequence);
+  cached_h_.ensure_shape(t_steps, hidden);
 
   matrix::FpuGuard<double> guard;
   std::vector<double> prev(static_cast<std::size_t>(hidden), 0.0);
@@ -114,10 +116,11 @@ matrix::MatD LstmCell::forward_sequence(const matrix::MatD& sequence) {
   assert(sequence.cols() == wx_.rows());
   const int t_steps = sequence.rows();
   const int hidden = hidden_size();
-  cached_in_ = sequence;
-  cached_h_ = matrix::MatD(t_steps, hidden);
-  cached_c_ = matrix::MatD(t_steps, hidden);
-  cached_gates_ = matrix::MatD(t_steps, 4 * hidden);
+  // Cache reuse as in RnnCell: every element below is overwritten.
+  cached_in_.copy_from(sequence);
+  cached_h_.ensure_shape(t_steps, hidden);
+  cached_c_.ensure_shape(t_steps, hidden);
+  cached_gates_.ensure_shape(t_steps, 4 * hidden);
 
   matrix::FpuGuard<double> guard;
   std::vector<double> h_prev(static_cast<std::size_t>(hidden), 0.0);

@@ -69,30 +69,55 @@ void PerFileTuner::close_window() {
   }
   degraded_active_ = false;
 
+  // Pass 1: featurize every eligible inode. The feature rows are staged
+  // contiguously so the whole window can be classified in one batched
+  // inference (one network forward pass) instead of one per file.
+  batch_features_.clear();
   for (auto& [inode, state] : per_file_) {
     std::vector<data::TraceRecord> window;
     window.swap(state.window);
     if (window.size() < min_events_) continue;
     if (!stack_.files().exists(inode)) continue;  // compacted away
 
-    const FeatureVector features = state.extractor.extract_selected(
-        window, stack_.block_layer().file_readahead_kb(inode));
-    const int cls = predict_(features);
-    stack_.charge_cpu_ns(config_.inference_cpu_ns);
-
+    batch_features_.push_back(state.extractor.extract_selected(
+        window, stack_.block_layer().file_readahead_kb(inode)));
     FileDecision decision;
     decision.inode = inode;
-    decision.predicted_class = cls;
+    decision.predicted_class = -1;
     decision.events = window.size();
     decision.ra_kb = stack_.block_layer().file_readahead_kb(inode);
+    last_decisions_.push_back(decision);
+  }
+  if (last_decisions_.empty()) return;
+
+  // Pass 2: classify the window. CPU is charged per sample either way, so
+  // the virtual timeline is independent of which path runs.
+  const int count = static_cast<int>(last_decisions_.size());
+  batch_classes_.assign(static_cast<std::size_t>(count), -1);
+  if (config_.batch_predict) {
+    config_.batch_predict(batch_features_.data(), count,
+                          batch_classes_.data());
+  } else {
+    for (int i = 0; i < count; ++i) {
+      batch_classes_[static_cast<std::size_t>(i)] =
+          predict_(batch_features_[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (int i = 0; i < count; ++i) stack_.charge_cpu_ns(config_.inference_cpu_ns);
+
+  // Pass 3: actuate.
+  for (int i = 0; i < count; ++i) {
+    FileDecision& decision = last_decisions_[static_cast<std::size_t>(i)];
+    const int cls = batch_classes_[static_cast<std::size_t>(i)];
+    decision.predicted_class = cls;
     if (cls >= 0 && cls < workloads::kNumTrainingClasses) {
       decision.ra_kb = config_.class_ra_kb[static_cast<std::size_t>(cls)];
-      stack_.block_layer().set_file_readahead_kb(inode, decision.ra_kb);
-      state.actuated = true;
+      stack_.block_layer().set_file_readahead_kb(decision.inode,
+                                                 decision.ra_kb);
+      per_file_[decision.inode].actuated = true;
       count_decision(cls);
       observe::counter_add("readahead.file.actuations");
     }
-    last_decisions_.push_back(decision);
   }
 }
 

@@ -70,6 +70,11 @@ class PerFileTuner {
   std::uint64_t degraded_windows_ = 0;
   bool degraded_active_ = false;
   std::vector<FileDecision> last_decisions_;
+  // Window-scoped batch staging, reused across windows: feature rows for
+  // every eligible inode (contiguous, ready for one batched inference) and
+  // the class ids coming back.
+  std::vector<FeatureVector> batch_features_;
+  std::vector<int> batch_classes_;
 };
 
 }  // namespace kml::readahead

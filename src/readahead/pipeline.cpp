@@ -9,6 +9,26 @@
 
 namespace kml::readahead {
 
+ReadaheadTuner::PredictFn make_engine_predictor(runtime::Engine& engine) {
+  return [&engine](const FeatureVector& features) {
+    return engine.infer_class(features.data(), kNumSelectedFeatures);
+  };
+}
+
+BatchPredictFn make_engine_batch_predictor(runtime::Engine& engine) {
+  // A FeatureVector is a padding-free std::array of doubles, so `count` of
+  // them in a row form exactly the row-major (count x kNumSelectedFeatures)
+  // block Engine::infer_batch expects.
+  static_assert(sizeof(FeatureVector) ==
+                kNumSelectedFeatures * sizeof(double));
+  return [&engine](const FeatureVector* features, int count,
+                   int* classes_out) {
+    if (features == nullptr || count <= 0) return;
+    engine.infer_batch(features->data(), kNumSelectedFeatures, count,
+                       classes_out);
+  };
+}
+
 kv::KVConfig make_kv_config(const ExperimentConfig& config) {
   kv::KVConfig kv;
   kv.num_keys = config.num_keys;

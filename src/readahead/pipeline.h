@@ -15,12 +15,23 @@
 #include "readahead/file_tuner.h"
 #include "readahead/rl_tuner.h"
 #include "readahead/tuner.h"
+#include "runtime/engine.h"
 #include "sim/trace_io.h"
 #include "workloads/drivers.h"
 
 #include <vector>
 
 namespace kml::readahead {
+
+// --- Engine -> classifier adapters -------------------------------------------
+
+// Per-sample classifier over a runtime Engine (must be in inference mode
+// and outlive the returned function).
+ReadaheadTuner::PredictFn make_engine_predictor(runtime::Engine& engine);
+
+// Batched classifier over Engine::infer_batch: a whole window of feature
+// rows classified in one forward pass. Plug into TunerConfig::batch_predict.
+BatchPredictFn make_engine_batch_predictor(runtime::Engine& engine);
 
 // Shared experiment scale. The defaults are chosen so that the database is
 // ~16x the page cache (misses dominate for uniform-random reads) while runs

@@ -106,7 +106,12 @@ void ReadaheadTuner::close_window() {
 
   const FeatureVector features = extractor_.extract_selected(
       window, stack_.block_layer().readahead_kb());
-  const int cls = predict_(features);
+  int cls = -1;
+  if (config_.batch_predict) {
+    config_.batch_predict(&features, 1, &cls);
+  } else {
+    cls = predict_(features);
+  }
   stack_.charge_cpu_ns(config_.inference_cpu_ns);
 
   std::uint32_t ra_kb = stack_.block_layer().readahead_kb();

@@ -28,6 +28,16 @@ namespace kml::readahead {
 // out-of-range classes.
 void count_decision(int cls);
 
+// Batched classifier: `count` raw (un-normalized) feature rows, contiguous
+// in memory, classified in one pass; class ids land in classes_out. The
+// per-file tuner collects every eligible inode's features in a window and
+// classifies them with a single call (one network forward pass instead of
+// one per file); pipeline.h::make_engine_batch_predictor adapts a runtime
+// Engine to this signature.
+using BatchPredictFn =
+    std::function<void(const FeatureVector* features, int count,
+                       int* classes_out)>;
+
 struct TunerConfig {
   // Actuation table: predicted class -> readahead KB. Built per device from
   // the §4 workload study (pipeline.h::best_ra_table).
@@ -45,6 +55,10 @@ struct TunerConfig {
   // must outlive the tuner.
   const runtime::HealthMonitor* health = nullptr;
   std::uint32_t vanilla_ra_kb = 128;
+  // Optional batched classifier. When set, tuners prefer it over the
+  // per-sample PredictFn; the virtual-clock CPU charge stays per-sample
+  // (inference_cpu_ns each), so timelines are identical either way.
+  BatchPredictFn batch_predict;
 };
 
 struct TimelinePoint {

@@ -10,7 +10,24 @@
 
 namespace kml::runtime {
 
-Engine::Engine(nn::Network net) : net_(std::move(net)) {}
+namespace {
+
+// Argmax over one output row — the allocation-free core of argmax_rows.
+int argmax_row(const matrix::MatD& m, int row) {
+  const double* r = m.row(row);
+  int best = 0;
+  for (int j = 1; j < m.cols(); ++j) {
+    if (r[j] > r[best]) best = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+Engine::Engine(nn::Network net) : net_(std::move(net)) {
+  params_ = net_.params();
+  net_.set_training(mode_ == Mode::kTraining);
+}
 
 bool Engine::from_file(Engine& out, const char* path) {
   nn::Network net;
@@ -19,23 +36,77 @@ bool Engine::from_file(Engine& out, const char* path) {
   return true;
 }
 
+int Engine::model_in_features() {
+  for (int i = 0; i < net_.num_layers(); ++i) {
+    const int in = net_.layer(i).in_features();
+    if (in > 0) return in;
+  }
+  return 0;
+}
+
+void Engine::warm_up(int max_batch_rows) {
+  if (max_batch_rows <= 0) return;
+  net_.reserve_scratch(max_batch_rows);
+  const int n = model_in_features();
+  if (n > 0) {
+    ws_.warm(kSlotInferIn, 1, n);
+    ws_.warm(kSlotBatchIn, max_batch_rows, n);
+  }
+  // Shadow copies for checkpoint() at the parameter shapes (contents are
+  // garbage until the first real checkpoint; has_checkpoint_ stays false).
+  good_params_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    good_params_[i].ensure_shape(params_[i].value->rows(),
+                                 params_[i].value->cols());
+  }
+}
+
 int Engine::infer_class(const double* features, int n) {
   assert(mode_ == Mode::kInference);
   const std::uint64_t start = kml_now_ns();
 
-  // Normalize a copy of the features with the deployed moments.
-  std::vector<double> z(features, features + n);
-  net_.normalizer().transform_row(z.data(), n);
+  // Stage and normalize in workspace scratch (the deployed moments are
+  // frozen; transform_row works in place).
+  matrix::MatD& x = ws_.slot(kSlotInferIn);
+  x.ensure_shape(1, n);
+  for (int j = 0; j < n; ++j) x.at(0, j) = features[j];
+  net_.normalizer().transform_row(x.row(0), n);
 
-  matrix::MatD x(1, n);
-  for (int j = 0; j < n; ++j) x.at(0, j) = z[static_cast<std::size_t>(j)];
-  const matrix::MatI pred = net_.predict_classes(x);
+  const matrix::MatD& out = net_.forward_scratch(x);
+  const int pred = argmax_row(out, 0);
 
   stats_.inferences += 1;
   const std::uint64_t elapsed = kml_now_ns() - start;
   stats_.inference_ns_total += elapsed;
   KML_HIST_RECORD(observe::kMetricInferenceNs, elapsed);
-  return pred.at(0, 0);
+  return pred;
+}
+
+int Engine::infer_batch(const double* features, int n, int count,
+                        int* classes_out) {
+  assert(mode_ == Mode::kInference);
+  if (features == nullptr || classes_out == nullptr || n <= 0 || count <= 0) {
+    return 0;
+  }
+  const std::uint64_t start = kml_now_ns();
+
+  matrix::MatD& x = ws_.slot(kSlotBatchIn);
+  x.ensure_shape(count, n);
+  for (int i = 0; i < count; ++i) {
+    double* xrow = x.row(i);
+    const double* frow = features + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) xrow[j] = frow[j];
+    net_.normalizer().transform_row(xrow, n);
+  }
+
+  const matrix::MatD& out = net_.forward_scratch(x);
+  for (int i = 0; i < count; ++i) classes_out[i] = argmax_row(out, i);
+
+  stats_.inferences += static_cast<std::uint64_t>(count);
+  const std::uint64_t elapsed = kml_now_ns() - start;
+  stats_.inference_ns_total += elapsed;
+  KML_HIST_RECORD(observe::kMetricInferenceNs, elapsed);
+  return count;
 }
 
 double Engine::train_batch(const matrix::MatD& x, const matrix::MatD& y,
@@ -61,7 +132,7 @@ double Engine::train_batch(const matrix::MatD& x, const matrix::MatD& y,
 }
 
 bool Engine::weights_finite() {
-  for (const nn::ParamRef& p : net_.params()) {
+  for (const nn::ParamRef& p : params_) {
     const matrix::MatD& m = *p.value;
     const double* data = m.data();
     for (std::size_t i = 0; i < m.size(); ++i) {
@@ -72,10 +143,11 @@ bool Engine::weights_finite() {
 }
 
 void Engine::checkpoint() {
-  const std::vector<nn::ParamRef> params = net_.params();
-  good_params_.resize(params.size());
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    good_params_[i] = *params[i].value;  // deep copy
+  good_params_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    // Deep copy into retained storage: after the first checkpoint (or a
+    // warm_up), per-step snapshots never touch the allocator.
+    good_params_[i].copy_from(*params_[i].value);
   }
   has_checkpoint_ = true;
   stats_.checkpoints += 1;
@@ -84,11 +156,10 @@ void Engine::checkpoint() {
 
 bool Engine::rollback() {
   if (!has_checkpoint_) return false;
-  const std::vector<nn::ParamRef> params = net_.params();
-  if (params.size() != good_params_.size()) return false;  // topology changed
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (!params[i].value->same_shape(good_params_[i])) return false;
-    *params[i].value = good_params_[i];
+  if (params_.size() != good_params_.size()) return false;  // topology changed
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].value->same_shape(good_params_[i])) return false;
+    params_[i].value->copy_from(good_params_[i]);
   }
   stats_.rollbacks += 1;
   KML_COUNTER_INC(observe::kMetricEngineRollbacks);

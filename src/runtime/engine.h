@@ -11,6 +11,7 @@
 #include "nn/network.h"
 #include "nn/serialize.h"
 #include "runtime/health.h"
+#include "runtime/workspace.h"
 
 #include <cstdint>
 #include <vector>
@@ -49,12 +50,34 @@ class Engine {
   static bool from_file(Engine& out, const char* path);
 
   Mode mode() const { return mode_; }
-  void set_mode(Mode m) { mode_ = m; }
+  // Mode switching also flips the network's train/eval flag: inference mode
+  // disables every backward-pass cache, which is what makes the steady-state
+  // inference path allocation-free.
+  void set_mode(Mode m) {
+    mode_ = m;
+    net_.set_training(m == Mode::kTraining);
+  }
 
   // Classify one raw (un-normalized) feature vector. Applies the model's
   // Z-score normalizer, then argmax over the network output. Only legal in
-  // inference mode.
+  // inference mode. After the first call at a given feature count, repeat
+  // calls perform zero heap allocations (enforced by a ctest guard).
   int infer_class(const double* features, int n);
+
+  // Classify `count` feature vectors in one forward pass. `features` is
+  // row-major (count x n); the predicted class of row i lands in
+  // classes_out[i]. One matmul over the whole window amortizes the per-call
+  // fixed costs that dominate tiny models. Returns the number of rows
+  // classified (count, or 0 on bad arguments). Zero-allocation at steady
+  // state, like infer_class.
+  int infer_batch(const double* features, int n, int count, int* classes_out);
+
+  // Presize every hot-path buffer — the network's forward/backward scratch,
+  // the engine's input staging slots, and the checkpoint shadow — for
+  // batches of up to `max_batch_rows` rows, so even the *first* inference
+  // or training step allocates nothing. The §3.3 "reserve before use"
+  // discipline, applied at model build/load time.
+  void warm_up(int max_batch_rows);
 
   // One SGD iteration on a batch (training mode only). Returns the loss.
   //
@@ -88,13 +111,26 @@ class Engine {
   bool weights_finite();
 
   nn::Network& network() { return net_; }
+  Workspace& workspace() { return ws_; }
   const EngineStats& stats() const { return stats_; }
   void reset_stats() { stats_ = EngineStats{}; }
 
  private:
+  // Workspace slot assignments.
+  static constexpr int kSlotInferIn = 0;  // 1 x n single-sample staging
+  static constexpr int kSlotBatchIn = 1;  // count x n batched staging
+
+  int model_in_features();
+
   nn::Network net_;
   Mode mode_ = Mode::kInference;
   EngineStats stats_;
+  // Input staging pool; reshaped in place on the hot path.
+  Workspace ws_;
+  // net_.params() materializes a fresh vector per call; cached once here.
+  // ParamRefs point into Layer-owned matrices, whose addresses survive
+  // Network moves (layers are held by unique_ptr).
+  std::vector<nn::ParamRef> params_;
   // Last-known-good parameter values, in params() order.
   std::vector<matrix::MatD> good_params_;
   bool has_checkpoint_ = false;

@@ -1,0 +1,25 @@
+#include "runtime/workspace.h"
+
+#include "portability/memory.h"
+
+namespace kml::runtime {
+
+std::size_t Workspace::bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) total += s.capacity() * sizeof(double);
+  return total;
+}
+
+bool Workspace::reserve_arena(std::size_t bytes) {
+  if (bytes == 0) return false;
+  // Each arena-served block pays a 16-byte accounting header plus up to 15
+  // bytes of alignment padding; pad the payload request so `bytes` of
+  // matrix data genuinely fit. 32 bytes per slot covers the worst case for
+  // the handful of blocks a workspace creates.
+  const std::size_t overhead = static_cast<std::size_t>(kMaxSlots) * 32;
+  return kml_mem_reserve(bytes + overhead);
+}
+
+void Workspace::release_arena() { kml_mem_release(); }
+
+}  // namespace kml::runtime

@@ -1,0 +1,65 @@
+// workspace.h — preallocated scratch pool for the ML hot path (§3.3).
+//
+// The paper's memory-reservation discipline: a kernel deployment must not
+// call the allocator from the inference/training hot path, because under
+// memory pressure an allocation can stall (hurting tail latency) or fail
+// (killing a training step). A Workspace is a small fixed set of matrix
+// slots, presized once at build/load time and reshaped in place afterwards
+// — every steady-state use is allocation-free, and the whole pool's
+// footprint is visible through portability's byte accounting. It can also
+// bridge to kml_mem_reserve() so the backing bytes come out of the
+// up-front arena rather than the system allocator.
+#pragma once
+
+#include "matrix/matrix.h"
+
+#include <array>
+#include <cstddef>
+
+namespace kml::runtime {
+
+class Workspace {
+ public:
+  // Fixed slot count: a std::vector here could grow (and therefore
+  // allocate) from the hot path, which is exactly what this class exists
+  // to prevent.
+  static constexpr int kMaxSlots = 8;
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  // Scratch slot `i` (0-based). Callers reshape via Mat::ensure_shape, so a
+  // slot only ever allocates when it grows past its high-water capacity.
+  matrix::MatD& slot(int i) {
+    assert(i >= 0 && i < kMaxSlots);
+    return slots_[static_cast<std::size_t>(i)];
+  }
+  const matrix::MatD& slot(int i) const {
+    assert(i >= 0 && i < kMaxSlots);
+    return slots_[static_cast<std::size_t>(i)];
+  }
+
+  // Presize a slot's capacity to rows x cols (shape is left at the warmed
+  // size; the next ensure_shape adjusts it without allocating).
+  void warm(int i, int rows, int cols) { slot(i).ensure_shape(rows, cols); }
+
+  // Bytes of matrix capacity currently held across all slots — the
+  // analytic cross-check against kml_mem_stats() for the pool.
+  std::size_t bytes() const;
+
+  // Bridge to the portability reservation arena: carve out `bytes` of
+  // payload up front (padded for per-block headers) so subsequent warm()
+  // calls — and any other kml_malloc — are served from the arena,
+  // lock-free. Returns false if the backing allocation failed or an arena
+  // with live blocks is already installed.
+  static bool reserve_arena(std::size_t bytes);
+  static void release_arena();
+
+ private:
+  std::array<matrix::MatD, kMaxSlots> slots_;
+};
+
+}  // namespace kml::runtime

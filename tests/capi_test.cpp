@@ -85,6 +85,100 @@ TEST_F(CapiTest, ModelErrorPaths) {
   kml_model_destroy(model);
 }
 
+TEST_F(CapiTest, ModelInferSteadyStateDoesNotAllocate) {
+  kml_model* model = kml_model_load(kModelPath);
+  ASSERT_NE(model, nullptr);
+  const double features[4] = {1.0, -2.0, 0.5, 3.0};
+  const int expected = kml_model_infer(model, features, 4);  // warm-up
+
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(kml_model_infer(model, features, 4), expected);
+  }
+  EXPECT_EQ(kml_mem_stats().total_allocs, before);
+  kml_model_destroy(model);
+}
+
+TEST_F(CapiTest, EngineLoadInferDestroy) {
+  kml_engine* engine = kml_engine_load(kModelPath);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(kml_engine_num_features(engine), 4);
+  EXPECT_EQ(kml_engine_num_classes(engine), 3);
+
+  // Agreement with the plain model handle over a spread of inputs.
+  kml_model* model = kml_model_load(kModelPath);
+  ASSERT_NE(model, nullptr);
+  math::Rng rng(9);
+  for (int i = 0; i < 32; ++i) {
+    double f[4];
+    for (double& v : f) v = rng.next_double() * 20.0 - 10.0;
+    const int cls = kml_engine_infer(engine, f, 4);
+    EXPECT_GE(cls, 0);
+    EXPECT_LT(cls, 3);
+    EXPECT_EQ(cls, kml_model_infer(model, f, 4)) << i;
+  }
+  kml_model_destroy(model);
+  kml_engine_destroy(engine);
+}
+
+TEST_F(CapiTest, EngineInferBatchAgreesWithSingle) {
+  kml_engine* engine = kml_engine_load(kModelPath);
+  ASSERT_NE(engine, nullptr);
+
+  constexpr int kCount = 13;
+  double features[kCount * 4];
+  math::Rng rng(15);
+  for (double& v : features) v = rng.next_double() * 20.0 - 10.0;
+  int classes[kCount];
+  ASSERT_EQ(kml_engine_infer_batch(engine, features, 4, kCount, classes),
+            kCount);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(classes[i], kml_engine_infer(engine, &features[i * 4], 4)) << i;
+  }
+  kml_engine_destroy(engine);
+}
+
+TEST_F(CapiTest, EngineInferSteadyStateDoesNotAllocate) {
+  // kml_engine_load warm-ups for KML_ENGINE_DEFAULT_BATCH rows, so even the
+  // *first* single and batched inference must be allocation-free.
+  kml_engine* engine = kml_engine_load(kModelPath);
+  ASSERT_NE(engine, nullptr);
+  double features[KML_ENGINE_DEFAULT_BATCH * 4];
+  math::Rng rng(21);
+  for (double& v : features) v = rng.next_double();
+  int classes[KML_ENGINE_DEFAULT_BATCH];
+
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  for (int i = 0; i < 100; ++i) {
+    kml_engine_infer(engine, features, 4);
+    kml_engine_infer_batch(engine, features, 4, KML_ENGINE_DEFAULT_BATCH,
+                           classes);
+  }
+  EXPECT_EQ(kml_mem_stats().total_allocs, before);
+  kml_engine_destroy(engine);
+}
+
+TEST_F(CapiTest, EngineErrorPaths) {
+  EXPECT_EQ(kml_engine_load(nullptr), nullptr);
+  EXPECT_EQ(kml_engine_load("/tmp/kml_capi_missing.kml"), nullptr);
+  EXPECT_EQ(kml_engine_infer(nullptr, nullptr, 4), -1);
+  EXPECT_EQ(kml_engine_infer_batch(nullptr, nullptr, 4, 1, nullptr), -1);
+  EXPECT_EQ(kml_engine_num_features(nullptr), -1);
+  EXPECT_EQ(kml_engine_num_classes(nullptr), -1);
+  kml_engine_destroy(nullptr);  // no-op
+
+  kml_engine* engine = kml_engine_load(kModelPath);
+  ASSERT_NE(engine, nullptr);
+  const double f[4] = {0, 0, 0, 0};
+  int cls = 0;
+  EXPECT_EQ(kml_engine_infer(engine, f, 3), -1);  // width mismatch
+  EXPECT_EQ(kml_engine_infer(engine, nullptr, 4), -1);
+  EXPECT_EQ(kml_engine_infer_batch(engine, f, 4, 0, &cls), -1);
+  EXPECT_EQ(kml_engine_infer_batch(engine, f, 4, 1, nullptr), -1);
+  EXPECT_EQ(kml_engine_infer_batch(engine, f, 3, 1, &cls), -1);
+  kml_engine_destroy(engine);
+}
+
 TEST_F(CapiTest, HealthGuardRoundTrip) {
   kml_health* health = kml_health_create();
   ASSERT_NE(health, nullptr);

@@ -149,6 +149,65 @@ TEST(Fixed, DivideByZeroSaturates) {
   EXPECT_EQ(Fixed::from_int(-5) / Fixed::zero(), Fixed::min());
 }
 
+TEST(Fixed, MultiplyRoundsToNearest) {
+  // Regression: multiply used an arithmetic right shift, which floors — so
+  // every negative product was biased one ULP toward -inf. Q16.16 products
+  // now round to nearest, ties away from zero, symmetrically in sign.
+  const Fixed a = Fixed::from_double(0.1);   // inexact in Q16.16
+  const Fixed b = Fixed::from_double(0.7);
+  EXPECT_EQ(((-a) * b).raw(), -(a * b).raw());
+  EXPECT_EQ((a * (-b)).raw(), -(a * b).raw());
+  EXPECT_EQ(((-a) * (-b)).raw(), (a * b).raw());
+
+  // Smallest representable halves: 2^-16 * 0.5 = 2^-17, exactly a tie —
+  // rounds away from zero instead of truncating to 0.
+  const Fixed ulp = Fixed::from_raw(1);
+  const Fixed half = Fixed::from_double(0.5);
+  EXPECT_EQ((ulp * half).raw(), 1);
+  EXPECT_EQ(((-ulp) * half).raw(), -1);
+}
+
+TEST(Fixed, MultiplySymmetricOverSweep) {
+  // (-a)*b == -(a*b) for a sweep of raw values that exercise all fractional
+  // bit patterns; the old shift-based multiply failed for most of these.
+  for (std::int32_t ra = 1; ra < 1 << 18; ra = ra * 3 + 1) {
+    for (std::int32_t rb = 1; rb < 1 << 18; rb = rb * 5 + 3) {
+      const Fixed a = Fixed::from_raw(ra);
+      const Fixed b = Fixed::from_raw(rb);
+      ASSERT_EQ(((-a) * b).raw(), -(a * b).raw()) << ra << " * " << rb;
+    }
+  }
+}
+
+TEST(Fixed, DivideRoundsToNearest) {
+  // 1 / 3 in Q16.16: true quotient 21845.33 -> 21845; 2 / 3: 43690.67 ->
+  // 43691 (the floor-based divide gave 43690). Negatives mirror exactly.
+  const Fixed one = Fixed::from_int(1);
+  const Fixed two = Fixed::from_int(2);
+  const Fixed three = Fixed::from_int(3);
+  EXPECT_EQ((one / three).raw(), 21845);
+  EXPECT_EQ((two / three).raw(), 43691);
+  EXPECT_EQ(((-two) / three).raw(), -43691);
+  EXPECT_EQ((two / (-three)).raw(), -43691);
+}
+
+TEST(Fixed, ToIntRoundsToNearestTiesAway) {
+  // Regression: to_int() used an arithmetic shift, i.e. floor — so
+  // to_int(2.9) returned 2 and to_int(-2.4) returned -3. Now symmetric
+  // round-half-away-from-zero.
+  EXPECT_EQ(Fixed::from_double(2.9).to_int(), 3);
+  EXPECT_EQ(Fixed::from_double(2.4).to_int(), 2);
+  EXPECT_EQ(Fixed::from_double(2.5).to_int(), 3);
+  EXPECT_EQ(Fixed::from_double(-2.4).to_int(), -2);
+  EXPECT_EQ(Fixed::from_double(-2.5).to_int(), -3);
+  EXPECT_EQ(Fixed::from_double(-2.9).to_int(), -3);
+  EXPECT_EQ(Fixed::from_double(-0.4).to_int(), 0);
+  EXPECT_EQ(Fixed::from_double(0.5).to_int(), 1);
+  for (int v = -50; v <= 50; ++v) {
+    EXPECT_EQ(Fixed::from_int(v).to_int(), v) << v;  // integers exact
+  }
+}
+
 TEST(Fixed, SigmoidApproximationBounds) {
   // Piecewise-linear sigmoid: max abs error vs the real one is ~0.07 inside
   // (-4, 4) and exact at the rails.

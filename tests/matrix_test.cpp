@@ -214,6 +214,100 @@ TEST(Dtypes, FloatRoundTrip) {
   EXPECT_TRUE(approx_equal(a, to_double(to_float(a)), 1e-6));
 }
 
+TEST(Mat, EnsureShapeReusesCapacity) {
+  MatD m(8, 8);
+  const double* ptr = m.data();
+  EXPECT_EQ(m.capacity(), 64u);
+
+  // Shrinking and reshaping within capacity must not reallocate.
+  m.ensure_shape(2, 3);
+  EXPECT_EQ(m.data(), ptr);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.capacity(), 64u);
+  m.ensure_shape(64, 1);
+  EXPECT_EQ(m.data(), ptr);
+
+  // Growth reallocates and zero-initializes (fresh Mat semantics).
+  m.ensure_shape(9, 9);
+  EXPECT_EQ(m.capacity(), 81u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0);
+}
+
+TEST(Mat, EnsureShapeNoAllocWithinCapacity) {
+  MatD m(10, 10);
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  for (int i = 1; i <= 10; ++i) m.ensure_shape(i, 10);
+  m.ensure_shape(10, 10);
+  EXPECT_EQ(kml_mem_stats().total_allocs, before);
+}
+
+TEST(Mat, CopyFromReusesStorageWhenShapeMatches) {
+  MatD src(3, 4);
+  for (std::size_t i = 0; i < src.size(); ++i) src.data()[i] = 0.5 * i;
+  MatD dst(3, 4);
+  const double* ptr = dst.data();
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  dst.copy_from(src);
+  EXPECT_EQ(kml_mem_stats().total_allocs, before);
+  EXPECT_EQ(dst.data(), ptr);
+  EXPECT_TRUE(approx_equal(src, dst, 0.0));
+
+  dst.copy_from(dst);  // self-copy is a no-op
+  EXPECT_EQ(dst.data(), ptr);
+}
+
+// The register-tiled kernels must produce bit-for-bit the same values as
+// the reference i-k-j loops: same additions, same order, per output
+// element. Exercised over ragged shapes (row/column vectors, dimensions
+// that are not multiples of the tile) so every edge-tile path runs.
+TEST(Matmul, BlockedMatchesNaiveBitForBit) {
+  const int shapes[][3] = {{1, 1, 1},  {1, 8, 1},   {8, 1, 8},   {1, 64, 7},
+                           {5, 7, 9},  {3, 3, 3},   {17, 13, 11}, {4, 8, 4},
+                           {8, 4, 8},  {64, 64, 64}, {2, 100, 3}, {33, 5, 65}};
+  math::Rng rng(77);
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    MatD a = random_uniform(m, k, -3.0, 3.0, rng);
+    MatD b = random_uniform(k, n, -3.0, 3.0, rng);
+    MatD blocked(m, n);
+    MatD naive(m, n);
+    matmul(a, b, blocked);
+    matmul_naive(a, b, naive);
+    EXPECT_EQ(max_abs_diff(blocked, naive), 0.0)
+        << "matmul mismatch at " << m << "x" << k << "x" << n;
+
+    MatD bt = transpose(b);
+    MatD blocked_bt(m, n);
+    MatD naive_bt(m, n);
+    matmul_bt(a, bt, blocked_bt);
+    matmul_bt_naive(a, bt, naive_bt);
+    EXPECT_EQ(max_abs_diff(blocked_bt, naive_bt), 0.0)
+        << "matmul_bt mismatch at " << m << "x" << k << "x" << n;
+
+    MatD at = transpose(a);
+    MatD blocked_at(m, n);
+    MatD naive_at(m, n);
+    matmul_at(at, b, blocked_at);
+    matmul_at_naive(at, b, naive_at);
+    EXPECT_EQ(max_abs_diff(blocked_at, naive_at), 0.0)
+        << "matmul_at mismatch at " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(Matmul, BlockedMatchesNaiveFixedPoint) {
+  math::Rng rng(78);
+  MatX a = to_fixed(random_uniform(7, 9, -1.0, 1.0, rng));
+  MatX b = to_fixed(random_uniform(9, 5, -1.0, 1.0, rng));
+  MatX blocked(7, 5);
+  MatX naive(7, 5);
+  matmul(a, b, blocked);
+  matmul_naive(a, b, naive);
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    EXPECT_EQ(blocked.data()[i].raw(), naive.data()[i].raw());
+  }
+}
+
 TEST(FpuGuards, OneRegionPerFpOperation) {
   kml_fpu_reset_stats();
   math::Rng rng(55);

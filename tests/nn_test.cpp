@@ -280,6 +280,68 @@ TEST(Network, TrainingLossDecreases) {
   EXPECT_LT(report.epoch_losses.back(), report.epoch_losses.front());
 }
 
+TEST(Network, TrainRejectsBadInputsExplicitly) {
+  // Shape validation used to be assert-only; in release builds train()
+  // would happily chew on mismatched batches. Now it reports.
+  math::Rng rng(31);
+  Network net = build_mlp_classifier(3, 4, 2, rng);
+  CrossEntropyLoss loss;
+  SGD opt(0.1, 0.0);
+  opt.attach(net.params());
+
+  matrix::MatD x(4, 3);
+  matrix::MatD y(4, 2);
+
+  const TrainReport empty = net.train(matrix::MatD(0, 3), matrix::MatD(0, 2),
+                                      loss, opt, 5, 2, rng);
+  EXPECT_FALSE(empty.ok);
+  ASSERT_NE(empty.error, nullptr);
+  EXPECT_STREQ(empty.error, "empty training set");
+  EXPECT_EQ(empty.epochs, 0);
+
+  const TrainReport mismatch =
+      net.train(x, matrix::MatD(3, 2), loss, opt, 5, 2, rng);
+  EXPECT_FALSE(mismatch.ok);
+  ASSERT_NE(mismatch.error, nullptr);
+  EXPECT_STREQ(mismatch.error, "x/y row count mismatch");
+
+  const TrainReport bad_batch = net.train(x, y, loss, opt, 5, 0, rng);
+  EXPECT_FALSE(bad_batch.ok);
+  ASSERT_NE(bad_batch.error, nullptr);
+  EXPECT_STREQ(bad_batch.error, "batch_size must be positive");
+
+  const TrainReport good = net.train(x, y, loss, opt, 1, 2, rng);
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(good.error, nullptr);
+  EXPECT_EQ(good.epochs, 1);
+}
+
+TEST(Network, EvalModeForwardMatchesTrainMode) {
+  // Eval mode skips the backward caches but must not change outputs.
+  math::Rng rng(37);
+  Network net = build_mlp_classifier(4, 8, 3, rng);
+  matrix::MatD x = matrix::random_uniform(5, 4, -1.0, 1.0, rng);
+
+  net.set_training(true);
+  const matrix::MatD train_out = net.forward(x);
+  net.set_training(false);
+  const matrix::MatD eval_out = net.forward(x);
+  EXPECT_TRUE(approx_equal(train_out, eval_out, 0.0));
+  for (int i = 0; i < net.num_layers(); ++i) {
+    EXPECT_FALSE(net.layer(i).training());
+  }
+}
+
+TEST(Network, ForwardScratchMatchesForward) {
+  math::Rng rng(41);
+  Network net = build_mlp_classifier(4, 8, 3, rng);
+  net.set_training(false);
+  matrix::MatD x = matrix::random_uniform(6, 4, -1.0, 1.0, rng);
+  const matrix::MatD copying = net.forward(x);
+  const matrix::MatD& scratch = net.forward_scratch(x);
+  EXPECT_TRUE(approx_equal(copying, scratch, 0.0));
+}
+
 TEST(Network, ParamBytesMatchesArchitecture) {
   math::Rng rng(23);
   Network net = build_mlp_classifier(5, 16, 4, rng);

@@ -199,6 +199,111 @@ TEST(Engine, FromFileFailureLeavesEngineIntact) {
   EXPECT_EQ(engine.infer_class(f, 2), before_class);
 }
 
+// --- Zero-allocation hot paths -----------------------------------------------
+// These are the ctest guards for the allocation contract: after one warm-up
+// call, steady-state inference and training must not touch the heap. Every
+// matrix allocation flows through kml_malloc, so the accounting is exact.
+
+TEST(Engine, SteadyStateInferencePerformsZeroAllocations) {
+  Engine engine(make_tiny_net());
+  const double f[2] = {0.5, -0.5};
+  const int expected = engine.infer_class(f, 2);  // warm-up allocates caches
+
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(engine.infer_class(f, 2), expected);
+  }
+  EXPECT_EQ(kml_mem_stats().total_allocs, before)
+      << "steady-state inference must not allocate";
+}
+
+TEST(Engine, WarmUpMakesFirstInferenceAllocationFree) {
+  Engine engine(make_tiny_net());
+  engine.warm_up(/*max_batch_rows=*/4);
+  const double f[2] = {0.5, -0.5};
+
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  engine.infer_class(f, 2);
+  double batch[4 * 2] = {0.5, -0.5, 1.0, 2.0, -1.0, 0.0, 0.25, 0.75};
+  int classes[4] = {};
+  engine.infer_batch(batch, 2, 4, classes);
+  EXPECT_EQ(kml_mem_stats().total_allocs, before)
+      << "after warm_up even the first calls must not allocate";
+}
+
+TEST(Engine, SteadyStateTrainingPerformsZeroAllocations) {
+  Engine engine(make_tiny_net());
+  engine.set_mode(Mode::kTraining);
+  matrix::MatD x(4, 2);
+  matrix::MatD y(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = 0.1 * i;
+    x.at(i, 1) = -0.1 * i;
+    y.at(i, i % 2) = 1.0;
+  }
+  nn::CrossEntropyLoss loss;
+  nn::SGD opt(0.1, 0.9);
+  opt.attach(engine.network().params());
+  engine.train_batch(x, y, loss, opt);  // warm-up allocates caches
+
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  for (int i = 0; i < 100; ++i) engine.train_batch(x, y, loss, opt);
+  EXPECT_EQ(kml_mem_stats().total_allocs, before)
+      << "steady-state training must not allocate";
+}
+
+TEST(Engine, InferBatchAgreesWithLoopedInfer) {
+  Engine engine(make_tiny_net(23));
+  math::Rng rng(47);
+  constexpr int kCount = 17;  // not a multiple of any tile size
+  std::vector<double> features;
+  for (int i = 0; i < kCount * 2; ++i) {
+    features.push_back(rng.next_double() * 4.0 - 2.0);
+  }
+
+  int batched[kCount];
+  ASSERT_EQ(engine.infer_batch(features.data(), 2, kCount, batched), kCount);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(batched[i], engine.infer_class(&features[i * 2], 2)) << i;
+  }
+  // Stats: the batch counted each sample as one inference.
+  EXPECT_EQ(engine.stats().inferences,
+            static_cast<std::uint64_t>(kCount + kCount));
+}
+
+TEST(Engine, InferBatchRejectsBadArguments) {
+  Engine engine(make_tiny_net());
+  const double f[2] = {0.5, -0.5};
+  int cls = -1;
+  EXPECT_EQ(engine.infer_batch(nullptr, 2, 1, &cls), 0);
+  EXPECT_EQ(engine.infer_batch(f, 2, 1, nullptr), 0);
+  EXPECT_EQ(engine.infer_batch(f, 2, 0, &cls), 0);
+  EXPECT_EQ(engine.infer_batch(f, 2, -3, &cls), 0);
+  EXPECT_EQ(engine.infer_batch(f, 0, 1, &cls), 0);
+  EXPECT_EQ(cls, -1);
+}
+
+TEST(Engine, CheckpointRollbackSteadyStateDoesNotAllocate) {
+  Engine engine(make_tiny_net());
+  engine.checkpoint();  // warm-up sizes the checkpoint buffers
+  const std::uint64_t before = kml_mem_stats().total_allocs;
+  engine.checkpoint();
+  EXPECT_TRUE(engine.rollback());
+  EXPECT_EQ(kml_mem_stats().total_allocs, before);
+}
+
+TEST(Workspace, SlotsWarmAndAccountBytes) {
+  Workspace ws;
+  EXPECT_EQ(ws.bytes(), 0u);
+  ws.warm(0, 4, 8);
+  ws.warm(1, 2, 2);
+  EXPECT_EQ(ws.bytes(), (4 * 8 + 2 * 2) * sizeof(double));
+  double* ptr = ws.slot(0).data();
+  ws.warm(0, 2, 8);  // shrink: same storage
+  EXPECT_EQ(ws.slot(0).data(), ptr);
+  EXPECT_EQ(ws.bytes(), (4 * 8 + 2 * 2) * sizeof(double));
+}
+
 // --- Shutdown-drain stress ---------------------------------------------------
 
 TEST(TrainingThread, DrainsFullBufferAtShutdown) {
