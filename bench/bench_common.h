@@ -11,8 +11,54 @@
 #include "nn/serialize.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace kml::bench {
+
+// --- machine-readable results (--json) ---------------------------------------
+
+// Consume `flag` from argv if present (so later argv consumers — e.g.
+// benchmark::Initialize — never see it). Returns whether it was present.
+inline bool consume_flag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (!found && std::strcmp(argv[i], flag) == 0) {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return found;
+}
+
+// Minimal flat JSON document: numeric fields only, insertion order
+// preserved. Enough for the BENCH_*.json artifacts a driver script diffs
+// across commits; not a general serializer.
+class JsonReport {
+ public:
+  void add(const char* key, double value) { fields_.emplace_back(key, value); }
+
+  bool write_file(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.6f%s\n", fields_[i].first.c_str(),
+                   fields_[i].second, i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> fields_;
+};
 
 inline constexpr const char* kDefaultModelPath = "readahead_model.kml";
 inline constexpr const char* kDefaultDatasetPath = "readahead_traces.csv";

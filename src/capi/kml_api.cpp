@@ -4,6 +4,7 @@
 #include "nn/network.h"
 #include "nn/serialize.h"
 #include "observe/metrics.h"
+#include "portability/threadpool.h"
 #include "runtime/engine.h"
 #include "runtime/health.h"
 
@@ -60,6 +61,10 @@ int chain_out_features(kml::nn::Network& net) {
 }  // namespace
 
 extern "C" {
+
+void kml_set_threads(unsigned n) { kml::kml_pool_set_threads(n); }
+
+unsigned kml_get_threads(void) { return kml::kml_pool_threads(); }
 
 kml_model* kml_model_load(const char* path) {
   if (path == nullptr) return nullptr;

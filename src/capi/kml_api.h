@@ -17,6 +17,19 @@
 extern "C" {
 #endif
 
+/* ---- threading ---- */
+
+/* Set the KML worker-pool size used by the parallel kernels (matmul,
+ * batched inference, data-parallel training). 0 = hardware concurrency,
+ * 1 = fully serial (bit-identical to single-threaded builds). The
+ * KML_THREADS environment variable provides the initial value. Results of
+ * the compute kernels are bit-identical at any thread count; training
+ * gradients are run-to-run deterministic for a fixed thread count. */
+void kml_set_threads(unsigned n);
+
+/* Current worker-pool size (including the calling thread). */
+unsigned kml_get_threads(void);
+
 /* ---- neural-network models (KML model file format, 'KMLM') ---- */
 
 typedef struct kml_model kml_model;

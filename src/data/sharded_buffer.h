@@ -1,0 +1,125 @@
+// sharded_buffer.h — N-shard generalization of the SPSC collection ring.
+//
+// The single CircularBuffer serializes all data-collection hooks through one
+// producer cursor; with per-CPU hooks (multi-core I/O paths, §3.1) that
+// cursor becomes a contended cache line. A ShardedBuffer gives each producer
+// its own SPSC ring — push(value, shard) keyed by the producer's stable id
+// (CPU number in a kernel deployment, thread slot here) — preserving the
+// wait-free, never-blocking producer contract per shard with ZERO new
+// synchronization: every (producer, shard) pair is still exactly the SPSC
+// shape CircularBuffer guarantees.
+//
+// The single consumer (training thread) drains shards round-robin via
+// pop_many, so no shard can starve the others, and publishes the aggregated
+// ring metrics at the same batch granularity as before. shards == 1 is
+// bit-for-bit today's single-ring behavior.
+#pragma once
+
+#include "data/circular_buffer.h"
+
+#include <memory>
+#include <vector>
+
+namespace kml::data {
+
+template <typename T>
+class ShardedBuffer {
+ public:
+  static constexpr unsigned kMaxShards = 64;
+
+  // `capacity` is the TOTAL capacity budget, split evenly across shards
+  // (each shard rounds up to a power of two, as before). shards is clamped
+  // to [1, kMaxShards].
+  explicit ShardedBuffer(std::size_t capacity, unsigned shards = 1) {
+    if (shards < 1) shards = 1;
+    if (shards > kMaxShards) shards = kMaxShards;
+    const std::size_t per =
+        (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+      shards_.push_back(
+          std::make_unique<CircularBuffer<T>>(per == 0 ? 1 : per));
+    }
+  }
+
+  ShardedBuffer(const ShardedBuffer&) = delete;
+  ShardedBuffer& operator=(const ShardedBuffer&) = delete;
+
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  // Producer side: wait-free, safe for one producer per shard. Producers
+  // with ids beyond the shard count fold back with a modulo — correctness
+  // then requires those producers to serialize among themselves, which is
+  // the pre-sharding contract.
+  bool push(const T& value, unsigned shard = 0) {
+    return shards_[shard % shards_.size()]->push(value);
+  }
+
+  // Consumer side: single consumer only. Round-robin drain across shards —
+  // the cursor persists across calls so a hot shard cannot starve the rest.
+  std::size_t pop_many(T* out, std::size_t max) {
+    const std::size_t n_shards = shards_.size();
+    std::size_t n = 0;
+    std::size_t dry = 0;  // consecutive empty shards seen
+    while (n < max && dry < n_shards) {
+      if (shards_[cursor_]->pop(out[n])) {
+        ++n;
+        dry = 0;
+      } else {
+        ++dry;
+      }
+      cursor_ = (cursor_ + 1) % n_shards;
+    }
+    publish_metrics();
+    return n;
+  }
+
+  // Single-element drain, same round-robin cursor, no metric publication —
+  // window-drain consumers call publish_metrics() once after their loop,
+  // exactly like the single-ring pattern.
+  bool pop(T& out) {
+    const std::size_t n_shards = shards_.size();
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      const std::size_t idx = cursor_;
+      cursor_ = (cursor_ + 1) % n_shards;
+      if (shards_[idx]->pop(out)) return true;
+    }
+    return false;
+  }
+
+  // Aggregate the per-shard ring counters into the shared observe registry
+  // (each shard publishes its own deltas; the registry sums them).
+  void publish_metrics() {
+    for (auto& s : shards_) s->publish_metrics();
+  }
+
+  // Aggregates across shards. Approximate under concurrent producers,
+  // exactly like the single-ring size().
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->size();
+    return total;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->capacity();
+    return total;
+  }
+
+  std::uint64_t dropped() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->dropped();
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<CircularBuffer<T>>> shards_;
+  std::size_t cursor_ = 0;  // consumer-side round-robin position
+};
+
+}  // namespace kml::data

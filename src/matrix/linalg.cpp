@@ -1,5 +1,7 @@
 #include "matrix/linalg.h"
 
+#include "portability/threadpool.h"
+
 namespace kml::matrix {
 
 namespace {
@@ -10,6 +12,22 @@ namespace {
 // amortizes every b-row load across eight rows of a.
 constexpr int kMr = 8;
 constexpr int kNr = 4;
+
+// Parallelization policy. Kernels partition independent output rows (or
+// elements) across the pool with static chunking: every output element is
+// computed by exactly one worker running the same k-ascending loops as the
+// serial code, so results are bit-identical at ANY thread count. The grain
+// keeps at least kParMinWork scalar mul-adds (or elementwise ops) per
+// chunk — below that, dispatch overhead beats the win and parallel_for
+// degrades to the plain serial loop (preserving, among other things, the
+// one-FPU-region-per-op property for small matrices).
+constexpr long kParMinWork = 32'768;
+
+inline long par_grain(long work_per_unit) {
+  if (work_per_unit < 1) work_per_unit = 1;
+  const long g = (kParMinWork + work_per_unit - 1) / work_per_unit;
+  return g < 1 ? 1 : g;
+}
 
 // One output tile of matmul: out[i0..i0+mr) x [j0..j0+nr) = a * b over the
 // full k range, k strictly ascending per element (bit-identity contract).
@@ -144,21 +162,30 @@ void matmul(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   const int lda = a.cols();
   const int ldb = b.cols();
   const int ldo = out.cols();
-  for (int i0 = 0; i0 < m; i0 += kMr) {
-    const int mr = m - i0 < kMr ? m - i0 : kMr;
-    const T* atile = a.data() + static_cast<std::size_t>(i0) * lda;
-    for (int j0 = 0; j0 < n; j0 += kNr) {
-      const int nr = n - j0 < kNr ? n - j0 : kNr;
-      T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
-      if (mr == kMr && nr == kNr) {
-        matmul_tile_fixed<T, kMr, kNr>(atile, lda, b.data() + j0, ldb, otile,
-                                       ldo, kdim);
-      } else {
-        matmul_tile_edge<T>(atile, lda, b.data() + j0, ldb, otile, ldo, kdim,
-                            mr, nr);
+  // Row-blocks are independent: each writes a disjoint kMr-row stripe of
+  // out. Partitioning them across workers keeps every output element on
+  // exactly one worker with the same k-ascending tile loops.
+  const long blocks = (m + kMr - 1) / kMr;
+  const long block_work = static_cast<long>(kMr) * n * kdim;
+  parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
+    FpuGuard<T> wguard;
+    for (long bi = b0; bi < b1; ++bi) {
+      const int i0 = static_cast<int>(bi) * kMr;
+      const int mr = m - i0 < kMr ? m - i0 : kMr;
+      const T* atile = a.data() + static_cast<std::size_t>(i0) * lda;
+      for (int j0 = 0; j0 < n; j0 += kNr) {
+        const int nr = n - j0 < kNr ? n - j0 : kNr;
+        T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
+        if (mr == kMr && nr == kNr) {
+          matmul_tile_fixed<T, kMr, kNr>(atile, lda, b.data() + j0, ldb,
+                                         otile, ldo, kdim);
+        } else {
+          matmul_tile_edge<T>(atile, lda, b.data() + j0, ldb, otile, ldo,
+                              kdim, mr, nr);
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>
@@ -172,22 +199,28 @@ void matmul_bt(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   const int lda = a.cols();
   const int ldb = b.cols();
   const int ldo = out.cols();
-  for (int i0 = 0; i0 < m; i0 += kMr) {
-    const int mr = m - i0 < kMr ? m - i0 : kMr;
-    const T* atile = a.data() + static_cast<std::size_t>(i0) * lda;
-    for (int j0 = 0; j0 < n; j0 += kNr) {
-      const int nr = n - j0 < kNr ? n - j0 : kNr;
-      const T* btile = b.data() + static_cast<std::size_t>(j0) * ldb;
-      T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
-      if (mr == kMr && nr == kNr) {
-        matmul_bt_tile_fixed<T, kMr, kNr>(atile, lda, btile, ldb, otile, ldo,
-                                          kdim);
-      } else {
-        matmul_bt_tile_edge<T>(atile, lda, btile, ldb, otile, ldo, kdim, mr,
-                               nr);
+  const long blocks = (m + kMr - 1) / kMr;
+  const long block_work = static_cast<long>(kMr) * n * kdim;
+  parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
+    FpuGuard<T> wguard;
+    for (long bi = b0; bi < b1; ++bi) {
+      const int i0 = static_cast<int>(bi) * kMr;
+      const int mr = m - i0 < kMr ? m - i0 : kMr;
+      const T* atile = a.data() + static_cast<std::size_t>(i0) * lda;
+      for (int j0 = 0; j0 < n; j0 += kNr) {
+        const int nr = n - j0 < kNr ? n - j0 : kNr;
+        const T* btile = b.data() + static_cast<std::size_t>(j0) * ldb;
+        T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
+        if (mr == kMr && nr == kNr) {
+          matmul_bt_tile_fixed<T, kMr, kNr>(atile, lda, btile, ldb, otile,
+                                            ldo, kdim);
+        } else {
+          matmul_bt_tile_edge<T>(atile, lda, btile, ldb, otile, ldo, kdim,
+                                 mr, nr);
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>
@@ -201,20 +234,26 @@ void matmul_at(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   const int lda = a.cols();
   const int ldb = b.cols();
   const int ldo = out.cols();
-  for (int i0 = 0; i0 < m; i0 += kMr) {
-    const int mr = m - i0 < kMr ? m - i0 : kMr;
-    for (int j0 = 0; j0 < n; j0 += kNr) {
-      const int nr = n - j0 < kNr ? n - j0 : kNr;
-      T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
-      if (mr == kMr && nr == kNr) {
-        matmul_at_tile_fixed<T, kMr, kNr>(a.data() + i0, lda, b.data() + j0,
-                                          ldb, otile, ldo, kdim);
-      } else {
-        matmul_at_tile_edge<T>(a.data() + i0, lda, b.data() + j0, ldb, otile,
-                               ldo, kdim, mr, nr);
+  const long blocks = (m + kMr - 1) / kMr;
+  const long block_work = static_cast<long>(kMr) * n * kdim;
+  parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
+    FpuGuard<T> wguard;
+    for (long bi = b0; bi < b1; ++bi) {
+      const int i0 = static_cast<int>(bi) * kMr;
+      const int mr = m - i0 < kMr ? m - i0 : kMr;
+      for (int j0 = 0; j0 < n; j0 += kNr) {
+        const int nr = n - j0 < kNr ? n - j0 : kNr;
+        T* otile = out.data() + static_cast<std::size_t>(i0) * ldo + j0;
+        if (mr == kMr && nr == kNr) {
+          matmul_at_tile_fixed<T, kMr, kNr>(a.data() + i0, lda, b.data() + j0,
+                                            ldb, otile, ldo, kdim);
+        } else {
+          matmul_at_tile_edge<T>(a.data() + i0, lda, b.data() + j0, ldb,
+                                 otile, ldo, kdim, mr, nr);
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>
@@ -276,35 +315,51 @@ template <typename T>
 void add(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   assert(a.same_shape(b) && a.same_shape(out));
   FpuGuard<T> guard;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out.data()[i] = a.data()[i] + b.data()[i];
-  }
+  parallel_for(static_cast<long>(a.size()), par_grain(1),
+               [&](long i0, long i1, int) {
+                 FpuGuard<T> wguard;
+                 for (long i = i0; i < i1; ++i) {
+                   out.data()[i] = a.data()[i] + b.data()[i];
+                 }
+               });
 }
 
 template <typename T>
 void sub(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   assert(a.same_shape(b) && a.same_shape(out));
   FpuGuard<T> guard;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out.data()[i] = a.data()[i] - b.data()[i];
-  }
+  parallel_for(static_cast<long>(a.size()), par_grain(1),
+               [&](long i0, long i1, int) {
+                 FpuGuard<T> wguard;
+                 for (long i = i0; i < i1; ++i) {
+                   out.data()[i] = a.data()[i] - b.data()[i];
+                 }
+               });
 }
 
 template <typename T>
 void hadamard(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   assert(a.same_shape(b) && a.same_shape(out));
   FpuGuard<T> guard;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out.data()[i] = a.data()[i] * b.data()[i];
-  }
+  parallel_for(static_cast<long>(a.size()), par_grain(1),
+               [&](long i0, long i1, int) {
+                 FpuGuard<T> wguard;
+                 for (long i = i0; i < i1; ++i) {
+                   out.data()[i] = a.data()[i] * b.data()[i];
+                 }
+               });
 }
 
 void axpy(double alpha, const MatD& b, MatD& a) {
   assert(a.same_shape(b));
   FpuGuard<double> guard;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a.data()[i] += alpha * b.data()[i];
-  }
+  parallel_for(static_cast<long>(a.size()), par_grain(1),
+               [&](long i0, long i1, int) {
+                 FpuGuard<double> wguard;
+                 for (long i = i0; i < i1; ++i) {
+                   a.data()[i] += alpha * b.data()[i];
+                 }
+               });
 }
 
 template <typename T>
@@ -320,16 +375,23 @@ Mat<T> transpose(const Mat<T>& m) {
 
 void scale(MatD& m, double alpha) {
   FpuGuard<double> guard;
-  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] *= alpha;
+  parallel_for(static_cast<long>(m.size()), par_grain(1),
+               [&](long i0, long i1, int) {
+                 FpuGuard<double> wguard;
+                 for (long i = i0; i < i1; ++i) m.data()[i] *= alpha;
+               });
 }
 
 void add_bias_row(MatD& a, const MatD& bias) {
   assert(bias.rows() == 1 && bias.cols() == a.cols());
   FpuGuard<double> guard;
-  for (int i = 0; i < a.rows(); ++i) {
-    double* arow = a.row(i);
-    for (int j = 0; j < a.cols(); ++j) arow[j] += bias.at(0, j);
-  }
+  parallel_for(a.rows(), par_grain(a.cols()), [&](long r0, long r1, int) {
+    FpuGuard<double> wguard;
+    for (long i = r0; i < r1; ++i) {
+      double* arow = a.row(static_cast<int>(i));
+      for (int j = 0; j < a.cols(); ++j) arow[j] += bias.at(0, j);
+    }
+  });
 }
 
 void col_sums(const MatD& a, MatD& out) {
@@ -345,9 +407,15 @@ void col_sums(const MatD& a, MatD& out) {
 void softmax_rows(const MatD& in, MatD& out) {
   assert(in.same_shape(out));
   FpuGuard<double> guard;
-  for (int i = 0; i < in.rows(); ++i) {
-    math::kml_softmax(in.row(i), out.row(i), in.cols());
-  }
+  // exp dominates, so weight a row at ~16 mul-add equivalents per element.
+  parallel_for(in.rows(), par_grain(static_cast<long>(in.cols()) * 16),
+               [&](long r0, long r1, int) {
+                 FpuGuard<double> wguard;
+                 for (long i = r0; i < r1; ++i) {
+                   math::kml_softmax(in.row(static_cast<int>(i)),
+                                     out.row(static_cast<int>(i)), in.cols());
+                 }
+               });
 }
 
 MatI argmax_rows(const MatD& m) {

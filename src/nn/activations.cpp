@@ -38,6 +38,28 @@ void Sigmoid::backward_into(const matrix::MatD& grad_out,
   }
 }
 
+void Sigmoid::forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                            LayerSlice& ctx) {
+  out.ensure_shape(in.rows(), in.cols());
+  {
+    matrix::FpuGuard<double> guard;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out.data()[i] = math::kml_sigmoid(in.data()[i]);
+    }
+  }
+  ctx.cache.copy_from(out);
+}
+
+void Sigmoid::backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                             matrix::MatD& grad_in) {
+  grad_in.ensure_shape(grad_out.rows(), grad_out.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const double y = ctx.cache.data()[i];
+    grad_in.data()[i] = grad_out.data()[i] * (y * (1.0 - y));
+  }
+}
+
 matrix::MatD ReLU::forward(const matrix::MatD& in) {
   matrix::MatD out;
   forward_into(in, out);
@@ -70,6 +92,27 @@ void ReLU::backward_into(const matrix::MatD& grad_out,
   }
 }
 
+void ReLU::forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                         LayerSlice& ctx) {
+  ctx.cache.copy_from(in);
+  out.ensure_shape(in.rows(), in.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double x = in.data()[i];
+    out.data()[i] = x > 0.0 ? x : 0.0;
+  }
+}
+
+void ReLU::backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                          matrix::MatD& grad_in) {
+  grad_in.ensure_shape(grad_out.rows(), grad_out.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in.data()[i] =
+        ctx.cache.data()[i] <= 0.0 ? 0.0 : grad_out.data()[i];
+  }
+}
+
 matrix::MatD Tanh::forward(const matrix::MatD& in) {
   matrix::MatD out;
   forward_into(in, out);
@@ -99,6 +142,28 @@ void Tanh::backward_into(const matrix::MatD& grad_out,
   matrix::FpuGuard<double> guard;
   for (std::size_t i = 0; i < grad_out.size(); ++i) {
     const double y = cached_out_.data()[i];
+    grad_in.data()[i] = grad_out.data()[i] * (1.0 - y * y);
+  }
+}
+
+void Tanh::forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                         LayerSlice& ctx) {
+  out.ensure_shape(in.rows(), in.cols());
+  {
+    matrix::FpuGuard<double> guard;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out.data()[i] = math::kml_tanh(in.data()[i]);
+    }
+  }
+  ctx.cache.copy_from(out);
+}
+
+void Tanh::backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                          matrix::MatD& grad_in) {
+  grad_in.ensure_shape(grad_out.rows(), grad_out.cols());
+  matrix::FpuGuard<double> guard;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    const double y = ctx.cache.data()[i];
     grad_in.data()[i] = grad_out.data()[i] * (1.0 - y * y);
   }
 }

@@ -16,6 +16,11 @@ class Sigmoid : public Layer {
   void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
   void backward_into(const matrix::MatD& grad_out,
                      matrix::MatD& grad_in) override;
+  bool supports_parallel_train() const override { return true; }
+  void forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                     LayerSlice& ctx) override;
+  void backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                      matrix::MatD& grad_in) override;
   LayerType type() const override { return LayerType::kSigmoid; }
   const char* name() const override { return "sigmoid"; }
 
@@ -30,6 +35,11 @@ class ReLU : public Layer {
   void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
   void backward_into(const matrix::MatD& grad_out,
                      matrix::MatD& grad_in) override;
+  bool supports_parallel_train() const override { return true; }
+  void forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                     LayerSlice& ctx) override;
+  void backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                      matrix::MatD& grad_in) override;
   LayerType type() const override { return LayerType::kReLU; }
   const char* name() const override { return "relu"; }
 
@@ -44,6 +54,11 @@ class Tanh : public Layer {
   void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
   void backward_into(const matrix::MatD& grad_out,
                      matrix::MatD& grad_in) override;
+  bool supports_parallel_train() const override { return true; }
+  void forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                     LayerSlice& ctx) override;
+  void backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                      matrix::MatD& grad_in) override;
   LayerType type() const override { return LayerType::kTanh; }
   const char* name() const override { return "tanh"; }
 

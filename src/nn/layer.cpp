@@ -17,4 +17,16 @@ void Layer::backward_into(const matrix::MatD& grad_out,
   grad_in.copy_from(backward(grad_out));
 }
 
+void Layer::forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                          LayerSlice& /*ctx*/) {
+  // Serial-only fallback for external subclasses (supports_parallel_train()
+  // is false, so the Network never runs this concurrently).
+  forward_into(in, out);
+}
+
+void Layer::backward_slice(const matrix::MatD& grad_out, LayerSlice& /*ctx*/,
+                           matrix::MatD& grad_in) {
+  backward_into(grad_out, grad_in);
+}
+
 }  // namespace kml::nn

@@ -34,6 +34,18 @@ struct ParamRef {
   matrix::MatD* grad;
 };
 
+// Per-(layer, worker) training context for the data-parallel minibatch path.
+// The serial path keeps the backward caches and gradient accumulators inside
+// the layer; when a minibatch is split across workers each worker needs its
+// own copies, owned by the Network and handed in here. `pgrads` holds the
+// worker's *partial* parameter gradients (same order as params()); the
+// Network reduces them into the layer's accumulators in fixed worker-index
+// order after the parallel region.
+struct LayerSlice {
+  matrix::MatD cache;                 // layer-specific saved activation
+  std::vector<matrix::MatD> pgrads;   // partial dL/d(param) per params() entry
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -56,6 +68,21 @@ class Layer {
   virtual void forward_into(const matrix::MatD& in, matrix::MatD& out);
   virtual void backward_into(const matrix::MatD& grad_out,
                              matrix::MatD& grad_in);
+
+  // Data-parallel training path: identical math to forward_into/
+  // backward_into, but all mutable state (backward caches, parameter-
+  // gradient accumulation) lives in the caller-owned per-worker `ctx`, so
+  // distinct workers can run disjoint row slices of one minibatch
+  // concurrently. backward_slice OVERWRITES ctx.pgrads with this slice's
+  // partial gradients (it does not accumulate into the layer). Layers that
+  // override these return true from supports_parallel_train(); the base
+  // fallbacks run the serial member-state path and are only valid when no
+  // other slice is in flight.
+  virtual bool supports_parallel_train() const { return false; }
+  virtual void forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                             LayerSlice& ctx);
+  virtual void backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                              matrix::MatD& grad_in);
 
   // Trainable parameters (empty for activations).
   virtual std::vector<ParamRef> params() { return {}; }

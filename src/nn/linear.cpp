@@ -55,6 +55,30 @@ void Linear::backward_into(const matrix::MatD& grad_out,
   matrix::matmul_bt(grad_out, weights_, grad_in);
 }
 
+void Linear::forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                           LayerSlice& ctx) {
+  assert(in.data() != out.data());
+  // Same math as forward_into, but the backward cache is the worker's own.
+  ctx.cache.copy_from(in);
+  out.ensure_shape(in.rows(), weights_.cols());
+  matrix::matmul(in, weights_, out);
+  matrix::add_bias_row(out, bias_);
+}
+
+void Linear::backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                            matrix::MatD& grad_in) {
+  assert(grad_out.data() != grad_in.data());
+  if (ctx.pgrads.size() < 2) ctx.pgrads.resize(2);  // first use only
+  matrix::MatD& gw = ctx.pgrads[0];
+  matrix::MatD& gb = ctx.pgrads[1];
+  gw.ensure_shape(weights_.rows(), weights_.cols());
+  matrix::matmul_at(ctx.cache, grad_out, gw);
+  gb.ensure_shape(1, bias_.cols());
+  matrix::col_sums(grad_out, gb);
+  grad_in.ensure_shape(grad_out.rows(), weights_.rows());
+  matrix::matmul_bt(grad_out, weights_, grad_in);
+}
+
 std::vector<ParamRef> Linear::params() {
   return {{&weights_, &grad_w_}, {&bias_, &grad_b_}};
 }

@@ -18,6 +18,11 @@ class Linear : public Layer {
   void forward_into(const matrix::MatD& in, matrix::MatD& out) override;
   void backward_into(const matrix::MatD& grad_out,
                      matrix::MatD& grad_in) override;
+  bool supports_parallel_train() const override { return true; }
+  void forward_slice(const matrix::MatD& in, matrix::MatD& out,
+                     LayerSlice& ctx) override;
+  void backward_slice(const matrix::MatD& grad_out, LayerSlice& ctx,
+                      matrix::MatD& grad_in) override;
   std::vector<ParamRef> params() override;
   void zero_grad() override;
 

@@ -7,6 +7,23 @@
 
 namespace kml::nn {
 
+double Loss::forward_backward_slice(const matrix::MatD& pred,
+                                    const matrix::MatD& target,
+                                    int total_rows, matrix::MatD& grad) {
+  // Serial-only fallback for external subclasses (supports_slices() is
+  // false, so the Network never runs this concurrently). Rescale the mean-
+  // normalized gradient back to slice convention.
+  const double mean_loss = forward(pred, target);
+  backward_into(grad);
+  const double slice_norm = slice_loss_norm(pred.rows(), pred.cols());
+  matrix::scale(grad, slice_norm / slice_loss_norm(total_rows, pred.cols()));
+  return mean_loss * slice_norm;
+}
+
+double Loss::slice_loss_norm(int total_rows, int /*cols*/) const {
+  return static_cast<double>(total_rows);
+}
+
 double CrossEntropyLoss::forward(const matrix::MatD& pred,
                                  const matrix::MatD& target) {
   assert(pred.same_shape(target));
@@ -31,6 +48,37 @@ double CrossEntropyLoss::forward(const matrix::MatD& pred,
     }
   }
   return total / static_cast<double>(pred.rows());
+}
+
+double CrossEntropyLoss::forward_backward_slice(const matrix::MatD& pred,
+                                                const matrix::MatD& target,
+                                                int total_rows,
+                                                matrix::MatD& grad) {
+  assert(pred.same_shape(target));
+  // Fused softmax + NLL sum + gradient, all in caller scratch: the softmax
+  // lands directly in `grad`, then becomes (softmax - target) / total in
+  // place. No member state, so worker slices can run concurrently.
+  grad.ensure_shape(pred.rows(), pred.cols());
+  matrix::softmax_rows(pred, grad);
+  matrix::FpuGuard<double> guard;
+  double total = 0.0;
+  for (int i = 0; i < pred.rows(); ++i) {
+    for (int j = 0; j < pred.cols(); ++j) {
+      if (target.at(i, j) > 0.0) {
+        const double p = math::kml_max(grad.at(i, j), 1e-300);
+        total += -math::kml_log(p) * target.at(i, j);
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(total_rows);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] = (grad.data()[i] - target.data()[i]) * inv;
+  }
+  return total;
+}
+
+double CrossEntropyLoss::slice_loss_norm(int total_rows, int /*cols*/) const {
+  return static_cast<double>(total_rows);
 }
 
 matrix::MatD CrossEntropyLoss::backward() {
@@ -58,6 +106,29 @@ double MSELoss::forward(const matrix::MatD& pred,
     total += d * d;
   }
   return total / static_cast<double>(pred.size());
+}
+
+double MSELoss::forward_backward_slice(const matrix::MatD& pred,
+                                       const matrix::MatD& target,
+                                       int total_rows, matrix::MatD& grad) {
+  assert(pred.same_shape(target));
+  grad.ensure_shape(pred.rows(), pred.cols());
+  matrix::FpuGuard<double> guard;
+  const double scale =
+      2.0 / (static_cast<double>(total_rows) *
+             static_cast<double>(pred.cols() > 0 ? pred.cols() : 1));
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    total += d * d;
+    grad.data()[i] = d * scale;
+  }
+  return total;
+}
+
+double MSELoss::slice_loss_norm(int total_rows, int cols) const {
+  return static_cast<double>(total_rows) *
+         static_cast<double>(cols > 0 ? cols : 1);
 }
 
 matrix::MatD MSELoss::backward() {

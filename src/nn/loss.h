@@ -27,6 +27,20 @@ class Loss {
   // Default falls back to backward(); both in-tree losses override.
   virtual void backward_into(matrix::MatD& grad) { grad.copy_from(backward()); }
 
+  // Data-parallel slice evaluation: compute the UNNORMALIZED loss sum over
+  // the rows of pred/target (one worker's slice of a minibatch) and write
+  // dL/d(pred) for those rows into `grad`, using `total_rows` — the full
+  // minibatch row count — as the gradient normalizer. Stateless: touches no
+  // loss member state, so distinct workers can run concurrently. The batch
+  // loss is the worker-index-ordered sum of slice returns divided by
+  // slice_loss_norm(). Losses that override these return true from
+  // supports_slices().
+  virtual bool supports_slices() const { return false; }
+  virtual double forward_backward_slice(const matrix::MatD& pred,
+                                        const matrix::MatD& target,
+                                        int total_rows, matrix::MatD& grad);
+  virtual double slice_loss_norm(int total_rows, int cols) const;
+
   virtual const char* name() const = 0;
 };
 
@@ -38,6 +52,11 @@ class CrossEntropyLoss : public Loss {
                  const matrix::MatD& target) override;
   matrix::MatD backward() override;
   void backward_into(matrix::MatD& grad) override;
+  bool supports_slices() const override { return true; }
+  double forward_backward_slice(const matrix::MatD& pred,
+                                const matrix::MatD& target, int total_rows,
+                                matrix::MatD& grad) override;
+  double slice_loss_norm(int total_rows, int cols) const override;
   const char* name() const override { return "cross_entropy"; }
 
  private:
@@ -52,6 +71,11 @@ class MSELoss : public Loss {
                  const matrix::MatD& target) override;
   matrix::MatD backward() override;
   void backward_into(matrix::MatD& grad) override;
+  bool supports_slices() const override { return true; }
+  double forward_backward_slice(const matrix::MatD& pred,
+                                const matrix::MatD& target, int total_rows,
+                                matrix::MatD& grad) override;
+  double slice_loss_norm(int total_rows, int cols) const override;
   const char* name() const override { return "mse"; }
 
  private:

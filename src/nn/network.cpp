@@ -3,6 +3,7 @@
 #include "matrix/linalg.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
+#include "portability/threadpool.h"
 
 #include <cassert>
 
@@ -51,6 +52,39 @@ void Network::reserve_scratch(int max_rows) {
   if (max_rows <= 0 || w <= 0) return;
   for (auto& s : fscratch_) s.ensure_shape(max_rows, w);
   for (auto& s : gscratch_) s.ensure_shape(max_rows, w);
+
+  // Also presize the data-parallel worker slices for the current thread
+  // knob, so the first hot parallel training step allocates nothing.
+  const int workers = static_cast<int>(
+      kml_pool_workers_for(max_rows, kTrainRowsPerWorker));
+  if (workers <= 1 || !layers_support_parallel()) return;
+  refresh_param_cache();
+  const int chunk = (max_rows + workers - 1) / workers;
+  if (static_cast<int>(wslices_.size()) < workers) {
+    wslices_.resize(static_cast<std::size_t>(workers));
+  }
+  for (int wi = 0; wi < workers; ++wi) {
+    auto& ws = wslices_[static_cast<std::size_t>(wi)];
+    ws.x.ensure_shape(chunk, w);
+    ws.y.ensure_shape(chunk, w);
+    for (auto& s : ws.f) s.ensure_shape(chunk, w);
+    for (auto& s : ws.g) s.ensure_shape(chunk, w);
+    if (ws.layers.size() != layers_.size()) {
+      ws.layers.assign(layers_.size(), LayerSlice{});
+    }
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      LayerSlice& slice = ws.layers[li];
+      slice.cache.ensure_shape(chunk, w);
+      const auto& prefs = param_cache_[li];
+      if (slice.pgrads.size() < prefs.size()) {
+        slice.pgrads.resize(prefs.size());
+      }
+      for (std::size_t pi = 0; pi < prefs.size(); ++pi) {
+        slice.pgrads[pi].ensure_shape(prefs[pi].value->rows(),
+                                      prefs[pi].value->cols());
+      }
+    }
+  }
 }
 
 double Network::train_step(const matrix::MatD& x, const matrix::MatD& y,
@@ -58,6 +92,20 @@ double Network::train_step(const matrix::MatD& x, const matrix::MatD& y,
   // Backward needs the per-layer caches; re-arm them if the caller left the
   // network in eval mode.
   if (!training_) set_training(true);
+  // Worker count is a pure function of the batch shape and the pool's
+  // thread knob — never of timing — so a given (seed, thread count) always
+  // trains the same way. 1 worker takes the exact pre-pool serial path.
+  const unsigned workers =
+      (loss.supports_slices() && layers_support_parallel())
+          ? kml_pool_workers_for(x.rows(), kTrainRowsPerWorker)
+          : 1u;
+  if (workers <= 1) return train_step_serial(x, y, loss, opt);
+  return train_step_parallel(x, y, loss, opt, static_cast<int>(workers));
+}
+
+double Network::train_step_serial(const matrix::MatD& x,
+                                  const matrix::MatD& y, Loss& loss,
+                                  Optimizer& opt) {
   for (auto& layer : layers_) layer->zero_grad();
   const matrix::MatD& pred = forward_scratch(x);
   const double batch_loss = loss.forward(pred, y);
@@ -71,6 +119,105 @@ double Network::train_step(const matrix::MatD& x, const matrix::MatD& y,
   }
   opt.step();
   return batch_loss;
+}
+
+bool Network::layers_support_parallel() const {
+  for (const auto& layer : layers_) {
+    if (!layer->supports_parallel_train()) return false;
+  }
+  return !layers_.empty();
+}
+
+void Network::refresh_param_cache() {
+  if (param_cache_.size() == layers_.size()) return;
+  param_cache_.clear();
+  param_cache_.reserve(layers_.size());
+  for (auto& layer : layers_) param_cache_.push_back(layer->params());
+}
+
+double Network::train_step_parallel(const matrix::MatD& x,
+                                    const matrix::MatD& y, Loss& loss,
+                                    Optimizer& opt, int workers) {
+  const int rows = x.rows();
+  const int nlayers = static_cast<int>(layers_.size());
+  const int chunk = (rows + workers - 1) / workers;
+  refresh_param_cache();
+  if (static_cast<int>(wslices_.size()) < workers) {
+    wslices_.resize(static_cast<std::size_t>(workers));
+  }
+  for (int w = 0; w < workers; ++w) {
+    auto& ws = wslices_[static_cast<std::size_t>(w)];
+    if (static_cast<int>(ws.layers.size()) != nlayers) {
+      ws.layers.assign(static_cast<std::size_t>(nlayers), LayerSlice{});
+    }
+  }
+  for (auto& layer : layers_) layer->zero_grad();
+
+  // Each worker runs forward/backward on its contiguous row slice using
+  // only its own WorkerSlice — no shared mutable state. The body is keyed
+  // by the loop index (not the pool slot), so even a degraded-to-serial
+  // dispatch computes the identical slices.
+  parallel_for(workers, 1, [&](long b0, long b1, int) {
+    for (long w = b0; w < b1; ++w) {
+      WorkerSlice& ws = wslices_[static_cast<std::size_t>(w)];
+      const int r0 = static_cast<int>(w) * chunk;
+      const int r1 = r0 + chunk < rows ? r0 + chunk : rows;
+      const int count = r1 - r0;
+      ws.loss_sum = 0.0;
+      ws.active = count > 0;
+      if (!ws.active) continue;
+      ws.x.ensure_shape(count, x.cols());
+      ws.y.ensure_shape(count, y.cols());
+      for (int r = 0; r < count; ++r) {
+        const double* xs = x.row(r0 + r);
+        double* xd = ws.x.row(r);
+        for (int c = 0; c < x.cols(); ++c) xd[c] = xs[c];
+        const double* ys = y.row(r0 + r);
+        double* yd = ws.y.row(r);
+        for (int c = 0; c < y.cols(); ++c) yd[c] = ys[c];
+      }
+      const matrix::MatD* cur = &ws.x;
+      int slot = 0;
+      for (int li = 0; li < nlayers; ++li) {
+        layers_[static_cast<std::size_t>(li)]->forward_slice(
+            *cur, ws.f[slot], ws.layers[static_cast<std::size_t>(li)]);
+        cur = &ws.f[slot];
+        slot ^= 1;
+      }
+      ws.loss_sum = loss.forward_backward_slice(*cur, ws.y, rows, ws.g[0]);
+      const matrix::MatD* grad = &ws.g[0];
+      slot = 1;
+      for (int li = nlayers - 1; li >= 0; --li) {
+        layers_[static_cast<std::size_t>(li)]->backward_slice(
+            *grad, ws.layers[static_cast<std::size_t>(li)], ws.g[slot]);
+        grad = &ws.g[slot];
+        slot ^= 1;
+      }
+    }
+  });
+
+  // Deterministic reduction: ascending worker index, always the same
+  // float-summation order for a given (batch shape, thread count).
+  double total = 0.0;
+  for (int w = 0; w < workers; ++w) {
+    if (wslices_[static_cast<std::size_t>(w)].active) {
+      total += wslices_[static_cast<std::size_t>(w)].loss_sum;
+    }
+  }
+  for (int li = 0; li < nlayers; ++li) {
+    auto& prefs = param_cache_[static_cast<std::size_t>(li)];
+    for (std::size_t pi = 0; pi < prefs.size(); ++pi) {
+      for (int w = 0; w < workers; ++w) {
+        WorkerSlice& ws = wslices_[static_cast<std::size_t>(w)];
+        if (!ws.active) continue;
+        matrix::add(*prefs[pi].grad,
+                    ws.layers[static_cast<std::size_t>(li)].pgrads[pi],
+                    *prefs[pi].grad);
+      }
+    }
+  }
+  opt.step();
+  return total / loss.slice_loss_norm(rows, y.cols());
 }
 
 TrainReport Network::train(const matrix::MatD& x, const matrix::MatD& y,

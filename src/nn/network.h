@@ -67,6 +67,15 @@ class Network {
   // One SGD step on a (mini-)batch: zero grads, forward, loss, backward,
   // optimizer step. Returns the batch loss. `opt` must be attach()ed to
   // this network's params() first.
+  //
+  // When the thread pool has more than one worker and every layer (and the
+  // loss) supports the slice API, the minibatch is split across workers
+  // data-parallel: each worker runs forward/backward on a contiguous row
+  // slice into its own scratch, and the partial gradients are reduced in
+  // fixed worker-index order — run-to-run deterministic for a given thread
+  // count. At 1 thread this is exactly the serial path (bit-identical to
+  // pre-pool builds); gradient values at other thread counts differ only by
+  // float-summation rounding (DESIGN.md §10).
   double train_step(const matrix::MatD& x, const matrix::MatD& y, Loss& loss,
                     Optimizer& opt);
 
@@ -93,9 +102,34 @@ class Network {
   const data::ZScoreNormalizer& normalizer() const { return normalizer_; }
 
  private:
+  // Per-worker context for the data-parallel training path: staged input
+  // rows, ping-pong activation/gradient scratch, and one LayerSlice per
+  // layer. All matrices retain capacity across steps (zero steady-state
+  // allocations).
+  struct WorkerSlice {
+    matrix::MatD x, y;
+    matrix::MatD f[2];
+    matrix::MatD g[2];
+    std::vector<LayerSlice> layers;
+    double loss_sum = 0.0;
+    bool active = false;  // false for trailing empty slices of tiny batches
+  };
+
   // Widest activation row any layer produces or consumes (for scratch
   // presizing); 0 when the chain has no linear layers.
   int max_feature_width() const;
+
+  // Serial train_step body (the pre-pool path, used at 1 worker).
+  double train_step_serial(const matrix::MatD& x, const matrix::MatD& y,
+                           Loss& loss, Optimizer& opt);
+  // Data-parallel body: `workers` > 1 slices of the batch, reduced in
+  // worker-index order.
+  double train_step_parallel(const matrix::MatD& x, const matrix::MatD& y,
+                             Loss& loss, Optimizer& opt, int workers);
+  // True when every layer implements the slice API.
+  bool layers_support_parallel() const;
+  // Rebuild param_cache_ if layers were added since the last training step.
+  void refresh_param_cache();
 
   std::vector<std::unique_ptr<Layer>> layers_;
   data::ZScoreNormalizer normalizer_;
@@ -107,7 +141,16 @@ class Network {
   // Mini-batch staging reused across every batch of every epoch in train().
   matrix::MatD batch_x_;
   matrix::MatD batch_y_;
+  // Data-parallel training state (empty until the first parallel step).
+  std::vector<WorkerSlice> wslices_;
+  // params() per layer, cached so the hot training path never rebuilds the
+  // vectors (ParamRefs point at stable layer members).
+  std::vector<std::vector<ParamRef>> param_cache_;
 };
+
+// Minimum minibatch rows per training worker: below this the per-slice
+// staging + reduction overhead beats the win.
+inline constexpr int kTrainRowsPerWorker = 8;
 
 // The readahead network architecture from §4: three linear layers joined by
 // sigmoid activations (in -> hidden -> hidden -> classes).

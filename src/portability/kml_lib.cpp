@@ -1,5 +1,7 @@
 #include "portability/kml_lib.h"
 
+#include "portability/threadpool.h"
+
 #include <atomic>
 #include <chrono>
 
@@ -18,6 +20,7 @@ bool kml_lib_init() {
 }
 
 void kml_lib_shutdown() {
+  kml_pool_shutdown();
   kml_mem_release();
   g_initialized.store(false, std::memory_order_release);
 }

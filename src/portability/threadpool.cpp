@@ -1,0 +1,263 @@
+#include "portability/threadpool.h"
+
+#include "portability/log.h"
+#include "portability/thread.h"
+
+#include <cstdlib>
+
+namespace kml {
+
+namespace {
+
+constexpr unsigned kMaxWorkers = 64;  // pool threads (excluding the caller)
+
+// Idle backoff: brief hot spin (a job burst keeps threads here), then
+// sched-yield — nearly free, and the only viable wait when the pool is
+// oversubscribed on few CPUs — then a real sleep once the pool has clearly
+// gone quiescent. Sleeping too early is the trap: a 1 ms sleep in the wake
+// path turns every dispatch into a millisecond, which is death by latency
+// for per-minibatch dispatches.
+constexpr unsigned kIdleSpin = 64;
+constexpr unsigned kIdleYield = 65536;
+
+inline void idle_backoff(unsigned idle) {
+  if (idle > kIdleYield) {
+    kml_sleep_ms(1);
+  } else if (idle > kIdleSpin) {
+    kml_thread_yield();
+  }
+}
+
+// One published job. Fields are written under the submit lock and published
+// to workers by the release-store of epoch; workers acquire-load epoch
+// before reading them.
+struct Job {
+  kml_parallel_fn fn = nullptr;
+  void* arg = nullptr;
+  long n = 0;
+  long chunk = 0;    // indices per worker slot (static partition)
+  int workers = 0;   // participating worker slots, including the caller
+};
+
+struct Pool {
+  KmlAtomic64 submit_lock;   // 0 free / 1 held; CAS-acquired
+  KmlAtomic64 epoch;         // bumped per job; workers wait on it
+  KmlAtomic64 done;          // epoch acknowledgments by pool workers. EVERY
+                             // spawned worker acks every epoch, even when
+                             // its slot has no chunk: the ack is what lets
+                             // the submitter reuse the job slot — without
+                             // it, a descheduled non-participant could
+                             // still be reading job fields when the next
+                             // submission overwrites them (and might then
+                             // run a chunk of the wrong job).
+  KmlAtomic64 stop;          // 1 = workers must exit
+  KmlAtomic64 target;        // desired total threads; 0 = unresolved.
+                             // Lock-free readable: kml_pool_threads() may be
+                             // called from inside a worker chunk while the
+                             // submitter holds the lock.
+  Job job;
+  KmlThread* threads[kMaxWorkers];
+  unsigned spawned = 0;      // live pool workers (excluding the caller)
+};
+
+Pool g_pool;  // zero-initialized static storage
+
+// True while the current thread is executing a pool chunk: nested
+// parallel_for calls from kernel code (a worker's matmul calling
+// parallel_for again) run serially inline instead of deadlocking on the
+// pool. A kernel backend would use a per-cpu flag.
+thread_local bool t_in_worker = false;
+
+struct WorkerArg {
+  int slot;  // this worker's static slot (1..spawned; caller is 0)
+  // Epoch at spawn time, recorded BEFORE the spawning submission publishes
+  // its job. A fresh load inside the worker would race the publisher: a
+  // worker first scheduled after the epoch bump would adopt the new epoch
+  // as "seen", skip the very job that spawned it, and deadlock the waiting
+  // caller.
+  std::int64_t start_epoch;
+};
+WorkerArg g_worker_args[kMaxWorkers];
+
+// Run this slot's chunk of the current job, if the slot participates.
+void run_chunk(const Job& job, int slot) {
+  const long begin = static_cast<long>(slot) * job.chunk;
+  if (begin >= job.n) return;
+  long end = begin + job.chunk;
+  if (end > job.n) end = job.n;
+  job.fn(job.arg, begin, end, slot);
+}
+
+void worker_main(void* arg) {
+  const int slot = static_cast<WorkerArg*>(arg)->slot;
+  t_in_worker = true;  // a worker's own kernels never re-enter the pool
+  std::int64_t seen = static_cast<WorkerArg*>(arg)->start_epoch;
+  unsigned idle = 0;
+  for (;;) {
+    const std::int64_t e = kml_atomic_load64(&g_pool.epoch);
+    if (kml_atomic_load64(&g_pool.stop) != 0) return;
+    if (e == seen) {
+      idle_backoff(++idle);
+      continue;
+    }
+    seen = e;
+    idle = 0;
+    if (slot < g_pool.job.workers) {
+      run_chunk(g_pool.job, slot);
+    }
+    kml_atomic_add64(&g_pool.done, 1);  // ack even with no chunk (see Pool)
+  }
+}
+
+unsigned clamp_threads(long v) {
+  if (v < 1) return 1;
+  if (v > static_cast<long>(kMaxWorkers)) return kMaxWorkers;
+  return static_cast<unsigned>(v);
+}
+
+// Lock-free lazy resolution of the thread-count knob: default is hardware
+// concurrency, overridable by the KML_THREADS environment variable. Racing
+// resolvers compute the same value; first CAS wins.
+unsigned resolve_target() {
+  std::int64_t t = kml_atomic_load64(&g_pool.target);
+  if (t > 0) return static_cast<unsigned>(t);
+  unsigned n = kml_num_cpus();
+  if (const char* env = std::getenv("KML_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) n = clamp_threads(v);
+  }
+  n = clamp_threads(static_cast<long>(n));
+  kml_atomic_cas64(&g_pool.target, 0, static_cast<std::int64_t>(n));
+  return static_cast<unsigned>(kml_atomic_load64(&g_pool.target));
+}
+
+// Caller must hold the submit lock.
+void join_workers_locked() {
+  if (g_pool.spawned == 0) return;
+  kml_atomic_store64(&g_pool.stop, 1);
+  // Wake sleepers: epoch movement is what spinners watch. Workers re-check
+  // stop immediately after every epoch load, so none runs a stale job.
+  kml_atomic_add64(&g_pool.epoch, 1);
+  for (unsigned i = 0; i < g_pool.spawned; ++i) {
+    kml_thread_join(g_pool.threads[i]);
+    g_pool.threads[i] = nullptr;
+  }
+  g_pool.spawned = 0;
+  kml_atomic_store64(&g_pool.stop, 0);
+}
+
+// Caller must hold the submit lock. Returns the usable worker-slot count
+// (spawned + 1); short spawns degrade to fewer slots rather than failing.
+unsigned ensure_workers_locked(unsigned target) {
+  const unsigned want = target - 1;
+  if (g_pool.spawned == want) return g_pool.spawned + 1;
+  join_workers_locked();
+  const std::int64_t base_epoch = kml_atomic_load64(&g_pool.epoch);
+  for (unsigned i = 0; i < want; ++i) {
+    g_worker_args[i].slot = static_cast<int>(i) + 1;
+    g_worker_args[i].start_epoch = base_epoch;
+    g_pool.threads[i] =
+        kml_thread_create(&worker_main, &g_worker_args[i], "kml-pool");
+    if (g_pool.threads[i] == nullptr) {
+      KML_WARN("threadpool: spawned %u/%u workers; degrading", i, want);
+      break;
+    }
+    ++g_pool.spawned;
+  }
+  return g_pool.spawned + 1;
+}
+
+bool try_lock_submit() {
+  return kml_atomic_cas64(&g_pool.submit_lock, 0, 1);
+}
+
+void unlock_submit() { kml_atomic_store64(&g_pool.submit_lock, 0); }
+
+inline long chunks_for(long n, long grain) {
+  if (grain < 1) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+}  // namespace
+
+void kml_pool_set_threads(unsigned n) {
+  // Serialize against in-flight jobs and resizes. Spin: resizes are rare
+  // control-plane operations.
+  while (!try_lock_submit()) kml_thread_yield();
+  const unsigned resolved =
+      n == 0 ? clamp_threads(static_cast<long>(kml_num_cpus()))
+             : clamp_threads(static_cast<long>(n));
+  kml_atomic_store64(&g_pool.target, static_cast<std::int64_t>(resolved));
+  // Shrinking to 1 parks the machine immediately; growth is lazy (the next
+  // parallel_for spawns what it needs).
+  if (resolved == 1) join_workers_locked();
+  unlock_submit();
+}
+
+unsigned kml_pool_threads() { return resolve_target(); }
+
+unsigned kml_pool_workers_for(long n, long grain) {
+  if (n <= 0) return 1;
+  const long chunks = chunks_for(n, grain);
+  const long t = static_cast<long>(resolve_target());
+  const long w = chunks < t ? chunks : t;
+  return w < 1 ? 1u : static_cast<unsigned>(w);
+}
+
+void kml_pool_shutdown() {
+  while (!try_lock_submit()) kml_thread_yield();
+  join_workers_locked();
+  unlock_submit();
+}
+
+void kml_parallel_for(long n, long grain, kml_parallel_fn fn, void* arg) {
+  if (n <= 0 || fn == nullptr) return;
+  // Serial fast paths: single-chunk loops, nested calls from inside a
+  // worker, a 1-thread pool, and contended submissions all run inline —
+  // static chunking makes the results identical either way.
+  if (t_in_worker) {
+    fn(arg, 0, n, 0);
+    return;
+  }
+  const long chunks = chunks_for(n, grain);
+  if (chunks <= 1 || resolve_target() <= 1 || !try_lock_submit()) {
+    fn(arg, 0, n, 0);
+    return;
+  }
+
+  const unsigned slots = ensure_workers_locked(resolve_target());
+  const long workers = chunks < static_cast<long>(slots)
+                           ? chunks
+                           : static_cast<long>(slots);
+  if (workers <= 1) {
+    unlock_submit();
+    fn(arg, 0, n, 0);
+    return;
+  }
+
+  Job& job = g_pool.job;
+  job.fn = fn;
+  job.arg = arg;
+  job.n = n;
+  job.chunk = (n + workers - 1) / workers;
+  job.workers = static_cast<int>(workers);
+  kml_atomic_store64(&g_pool.done, 0);
+  kml_atomic_add64(&g_pool.epoch, 1);  // release: publishes the job
+
+  // The caller is worker slot 0.
+  t_in_worker = true;
+  run_chunk(job, 0);
+  t_in_worker = false;
+
+  // Wait for EVERY spawned worker to acknowledge the epoch — participants
+  // after running their chunk, the rest immediately — so the job slot is
+  // quiescent before the next submission may rewrite it.
+  const std::int64_t need = static_cast<std::int64_t>(g_pool.spawned);
+  unsigned idle = 0;
+  while (kml_atomic_load64(&g_pool.done) != need) {
+    idle_backoff(++idle);
+  }
+  unlock_submit();
+}
+
+}  // namespace kml

@@ -1,0 +1,74 @@
+// threadpool.h — fixed-size worker pool for deterministic data parallelism.
+//
+// KML's compute kernels (matmul, batched inference, minibatch training) are
+// embarrassingly parallel across output rows, but a kernel deployment cannot
+// spawn threads ad hoc: thread creation is expensive and the §3.2 sizing
+// advice ("leave at least one available CPU core") wants one fixed, visible
+// set of workers. This pool is built *only* on the portability seams —
+// kml_thread_create/join/yield/sleep and the kml_atomic_* operations — so a
+// kernel backend maps the workers onto kthreads without touching callers.
+//
+// Determinism contract: parallel_for(n, grain, fn) partitions [0, n) into
+// one contiguous chunk per worker with *static* chunking — chunk boundaries
+// depend only on (n, grain, worker count), never on timing. Each index is
+// visited by exactly one worker, so any kernel whose per-index work is
+// independent (every matmul output element, every activation element)
+// produces bit-identical results at ANY worker count. Kernels that *reduce*
+// across indices (gradient sums) are deterministic per worker count when
+// the caller reduces per-chunk partials in worker-index order.
+//
+// Scheduling contract: jobs are serviced by the calling thread (worker 0)
+// plus up to threads-1 pool workers. Nested parallel_for calls from inside
+// a worker run serially inline (no deadlock, same results); concurrent
+// submissions from distinct threads are serialized by a try-lock — the
+// loser simply runs its loop serially inline, which is always correct.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace kml {
+
+// Chunk body: process indices [begin, end); `worker` is the chunk's static
+// worker slot in [0, workers) — stable input for per-worker scratch.
+using kml_parallel_fn = void (*)(void* arg, long begin, long end, int worker);
+
+// Set the pool size. 0 = hardware concurrency (kml_num_cpus), 1 = fully
+// serial (no workers are ever spawned or woken). Takes effect on the next
+// parallel_for; safe to call at any time from any thread not currently
+// inside a parallel region. The KML_THREADS environment variable, when set,
+// provides the initial value.
+void kml_pool_set_threads(unsigned n);
+
+// Current target worker count (including the calling thread).
+unsigned kml_pool_threads();
+
+// Workers a parallel_for(n, grain, ...) would use right now: the static
+// chunk count min(kml_pool_threads(), ceil(n / grain)), at least 1. Callers
+// that pre-size per-worker scratch (the zero-allocation training path) key
+// off this.
+unsigned kml_pool_workers_for(long n, long grain);
+
+// Join and destroy all pool workers (kml_lib_shutdown calls this). The next
+// parallel_for respawns them on demand.
+void kml_pool_shutdown();
+
+// Statically partition [0, n) into min(threads, ceil(n/grain)) contiguous
+// chunks and run fn on each, one chunk per worker, concurrently. Blocks
+// until every chunk completed. grain is the minimum indices per chunk
+// (>= 1) — the oversubscription guard for small loops. n <= 0 is a no-op.
+void kml_parallel_for(long n, long grain, kml_parallel_fn fn, void* arg);
+
+// C++ convenience wrapper: f(begin, end, worker).
+template <typename F>
+void parallel_for(long n, long grain, F&& f) {
+  using Fn = std::remove_reference_t<F>;
+  kml_parallel_for(
+      n, grain,
+      [](void* arg, long begin, long end, int worker) {
+        (*static_cast<Fn*>(arg))(begin, end, worker);
+      },
+      const_cast<void*>(static_cast<const void*>(&f)));
+}
+
+}  // namespace kml

@@ -13,7 +13,7 @@ PerFileTuner::PerFileTuner(sim::StorageStack& stack,
       predict_(std::move(predict)),
       config_(config),
       min_events_(min_events),
-      buffer_(config.buffer_capacity),
+      buffer_(config.buffer_capacity, config.buffer_shards),
       next_boundary_(stack.clock().now_ns() + config.period_ns) {
   hook_handle_ = stack_.tracepoints().register_hook(
       [this](const sim::TraceEvent& ev) {

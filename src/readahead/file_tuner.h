@@ -8,7 +8,7 @@
 // classifier per file, and actuates each struct file independently.
 #pragma once
 
-#include "data/circular_buffer.h"
+#include "data/sharded_buffer.h"
 #include "readahead/features.h"
 #include "readahead/tuner.h"
 #include "sim/stack.h"
@@ -62,7 +62,7 @@ class PerFileTuner {
   ReadaheadTuner::PredictFn predict_;
   TunerConfig config_;
   std::uint64_t min_events_;
-  data::CircularBuffer<data::TraceRecord> buffer_;
+  data::ShardedBuffer<data::TraceRecord> buffer_;
   std::unordered_map<std::uint64_t, FileState> per_file_;
   int hook_handle_;
   std::uint64_t next_boundary_;

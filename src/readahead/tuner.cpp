@@ -23,7 +23,7 @@ ReadaheadTuner::ReadaheadTuner(sim::StorageStack& stack, PredictFn predict,
     : stack_(stack),
       predict_(std::move(predict)),
       config_(config),
-      buffer_(config.buffer_capacity),
+      buffer_(config.buffer_capacity, config.buffer_shards),
       next_boundary_(stack.clock().now_ns() + config.period_ns) {
   // The data-collection hook: the inline, lock-free, FPU-free part of the
   // loop. It only converts the tracepoint payload and pushes it.

@@ -11,7 +11,7 @@
 // circuit the paper describes.
 #pragma once
 
-#include "data/circular_buffer.h"
+#include "data/sharded_buffer.h"
 #include "readahead/features.h"
 #include "runtime/health.h"
 #include "sim/stack.h"
@@ -45,6 +45,10 @@ struct TunerConfig {
       1024, 16, 1024, 32};
   std::uint64_t period_ns = sim::kNsPerSec;  // paper: inference once per sec
   std::size_t buffer_capacity = 1 << 16;
+  // Collection-ring shards (1 = classic single SPSC ring). Per-CPU
+  // collection hooks give each producer its own shard; the window drain
+  // aggregates across shards round-robin.
+  unsigned buffer_shards = 1;
   // Inference cost charged to the virtual clock each window — the paper
   // measures 21 us per inference.
   std::uint64_t inference_cpu_ns = 21'000;
@@ -100,7 +104,7 @@ class ReadaheadTuner {
   sim::StorageStack& stack_;
   PredictFn predict_;
   TunerConfig config_;
-  data::CircularBuffer<data::TraceRecord> buffer_;
+  data::ShardedBuffer<data::TraceRecord> buffer_;
   std::vector<data::TraceRecord> window_;  // drained records, current window
   FeatureExtractor extractor_;
   int hook_handle_;

@@ -3,6 +3,7 @@
 #include "observe/metrics.h"
 #include "portability/kml_lib.h"
 #include "portability/log.h"
+#include "portability/threadpool.h"
 
 #include <cassert>
 #include <cmath>
@@ -92,15 +93,28 @@ int Engine::infer_batch(const double* features, int n, int count,
 
   matrix::MatD& x = ws_.slot(kSlotBatchIn);
   x.ensure_shape(count, n);
-  for (int i = 0; i < count; ++i) {
-    double* xrow = x.row(i);
-    const double* frow = features + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) xrow[j] = frow[j];
-    net_.normalizer().transform_row(xrow, n);
-  }
+  // Rows are staged/normalized and argmax'd independently, so both loops
+  // partition across the pool (bit-identical at any thread count); the
+  // forward pass parallelizes inside the matmul kernels. Grain keeps a few
+  // thousand elements per chunk so small batches stay serial.
+  const long row_grain = n > 0 ? (4096 + n - 1) / n : 1;
+  parallel_for(count, row_grain, [&](long i0, long i1, int) {
+    for (long i = i0; i < i1; ++i) {
+      double* xrow = x.row(static_cast<int>(i));
+      const double* frow = features + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) xrow[j] = frow[j];
+      net_.normalizer().transform_row(xrow, n);
+    }
+  });
 
   const matrix::MatD& out = net_.forward_scratch(x);
-  for (int i = 0; i < count; ++i) classes_out[i] = argmax_row(out, i);
+  const long out_grain =
+      out.cols() > 0 ? (4096 + out.cols() - 1) / out.cols() : 1;
+  parallel_for(count, out_grain, [&](long i0, long i1, int) {
+    for (long i = i0; i < i1; ++i) {
+      classes_out[i] = argmax_row(out, static_cast<int>(i));
+    }
+  });
 
   stats_.inferences += static_cast<std::uint64_t>(count);
   const std::uint64_t elapsed = kml_now_ns() - start;

@@ -9,8 +9,8 @@
 namespace kml::runtime {
 
 TrainingThread::TrainingThread(std::size_t buffer_capacity, std::size_t batch,
-                               train_fn fn, void* user)
-    : buffer_(buffer_capacity),
+                               train_fn fn, void* user, unsigned shards)
+    : buffer_(buffer_capacity, shards),
       batch_(batch == 0 ? 1 : batch),
       fn_(fn),
       user_(user) {
@@ -26,8 +26,8 @@ TrainingThread::~TrainingThread() {
   kml_thread_join(thread_);
 }
 
-bool TrainingThread::submit(const data::TraceRecord& record) {
-  return buffer_.push(record);
+bool TrainingThread::submit(const data::TraceRecord& record, unsigned shard) {
+  return buffer_.push(record, shard);
 }
 
 void TrainingThread::thread_main(void* self) {

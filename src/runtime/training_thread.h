@@ -13,7 +13,7 @@
 // serially); this class enforces that by owning the consumer side outright.
 #pragma once
 
-#include "data/circular_buffer.h"
+#include "data/sharded_buffer.h"
 #include "data/windower.h"
 #include "portability/thread.h"
 #include "runtime/health.h"
@@ -31,9 +31,12 @@ using train_fn = void (*)(void* user, const data::TraceRecord* records,
 class TrainingThread {
  public:
   // Starts the thread immediately. `buffer_capacity` caps memory (§3.1);
-  // `batch` is the max records handed to one train_fn call.
+  // `batch` is the max records handed to one train_fn call. `shards` splits
+  // the collection ring into per-producer SPSC shards (1 = the classic
+  // single ring): producers on distinct shards never touch a shared cache
+  // line, matching per-CPU collection hooks.
   TrainingThread(std::size_t buffer_capacity, std::size_t batch,
-                 train_fn fn, void* user);
+                 train_fn fn, void* user, unsigned shards = 1);
 
   // Stops and joins the thread; remaining buffered records are drained
   // through one final train_fn call sequence first.
@@ -42,10 +45,13 @@ class TrainingThread {
   TrainingThread(const TrainingThread&) = delete;
   TrainingThread& operator=(const TrainingThread&) = delete;
 
-  // Producer API — wait-free, safe from exactly one producer thread.
-  // Returns false when the buffer is full (the record is dropped and
-  // counted).
-  bool submit(const data::TraceRecord& record);
+  // Producer API — wait-free, safe from exactly one producer thread *per
+  // shard*. `shard` is the producer's stable id (per-CPU hooks pass their
+  // CPU number); ids beyond shard_count() fold back modulo. Returns false
+  // when the shard is full (the record is dropped and counted).
+  bool submit(const data::TraceRecord& record, unsigned shard = 0);
+
+  unsigned shard_count() const { return buffer_.shard_count(); }
 
   // Records handed to train_fn so far.
   std::uint64_t processed() const {
@@ -79,7 +85,7 @@ class TrainingThread {
   // One train_fn call: timed span + processed/records accounting.
   void run_batch(data::TraceRecord* records, std::size_t n);
 
-  data::CircularBuffer<data::TraceRecord> buffer_;
+  data::ShardedBuffer<data::TraceRecord> buffer_;
   std::size_t batch_;
   train_fn fn_;
   void* user_;

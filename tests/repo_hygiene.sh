@@ -22,5 +22,21 @@ if [ -n "$offenders" ]; then
   exit 1
 fi
 
+# Thread creation must flow through the portability seam (src/portability),
+# so a kernel backend can swap in kthread_run / atomic64_t: direct
+# std::thread / std::jthread / std::async / pthread_* use anywhere else in
+# src/ breaks that substitution. (Synchronization types like std::mutex are
+# fine — only thread-creation and raw-pthread primitives are flagged.)
+thread_offenders=$(git ls-files src | grep -E '\.(cpp|h)$' |
+  grep -v '^src/portability/' |
+  xargs grep -l -E 'std::thread|std::jthread|std::async|pthread_[a-z]' \
+    2>/dev/null)
+if [ -n "$thread_offenders" ]; then
+  echo "repo_hygiene: raw threading primitives outside src/portability/:"
+  echo "$thread_offenders" | head -20
+  echo "repo_hygiene: use kml_thread_create / kml_parallel_for instead"
+  exit 1
+fi
+
 echo "repo_hygiene: clean"
 exit 0
