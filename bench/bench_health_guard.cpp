@@ -9,7 +9,10 @@
 // of whatever a broken model would have actuated.
 //
 // Usage: bench_health_guard [seconds] [fail_at] [recover_at]
-//            [--device nvme|ssd] [--workload <name>] [--model path]
+//            [--device nvme|ssd] [--workload <name>] [--model path] [--json]
+//
+// --json additionally writes the headline numbers to
+// BENCH_health_guard.json (same convention as bench_overheads).
 #include "bench_common.h"
 
 #include "runtime/health.h"
@@ -22,6 +25,7 @@
 int main(int argc, char** argv) {
   using namespace kml;
 
+  const bool json = bench::consume_flag(&argc, argv, "--json");
   std::uint64_t seconds = 30;
   std::uint64_t fail_at = 10;
   std::uint64_t recover_at = 20;
@@ -127,5 +131,30 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(monitor.stats().degradations),
               static_cast<unsigned long long>(monitor.stats().recoveries),
               runtime::health_state_name(monitor.state()));
+
+  if (json) {
+    bench::JsonReport report;
+    report.add("seconds", static_cast<double>(seconds));
+    report.add("fail_at", static_cast<double>(fail_at));
+    report.add("recover_at", static_cast<double>(recover_at));
+    report.add("vanilla_ops_per_sec", outcome.vanilla_ops_per_sec);
+    report.add("kml_ops_per_sec", outcome.kml_ops_per_sec);
+    report.add("speedup", outcome.speedup);
+    report.add("degraded_windows",
+               static_cast<double>(outcome.degraded_windows));
+    report.add("windows", static_cast<double>(outcome.timeline.size()));
+    report.add("failures", static_cast<double>(monitor.stats().failures));
+    report.add("degradations",
+               static_cast<double>(monitor.stats().degradations));
+    report.add("recoveries", static_cast<double>(monitor.stats().recoveries));
+    report.add("final_state", static_cast<double>(monitor.state()));
+    const char* path = "BENCH_health_guard.json";
+    if (report.write_file(path)) {
+      std::printf("\nwrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return 1;
+    }
+  }
   return 0;
 }

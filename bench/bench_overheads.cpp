@@ -18,6 +18,7 @@
 #include "bench_common.h"
 #include "data/circular_buffer.h"
 #include "matrix/linalg.h"
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 #include "portability/kml_lib.h"
 #include "portability/threadpool.h"
@@ -437,9 +438,92 @@ void report_observe_overhead() {
   std::printf("observe off:  %.2f ns/op\n", off_ns);
   std::printf("delta:        %+.2f%% (target: < 5%%)\n", delta_pct);
 #else
+  (void)delta_pct;  // meaningless when the layer is compiled out
   std::printf("compiled out (KML_OBSERVE=OFF): %.2f ns/op either way\n",
               on_ns);
 #endif
+}
+
+// --- flight-recorder overhead (runtime toggle on the same binary) -------------
+
+struct FlightOverhead {
+  double on_ns;    // collection hot path, recorder recording
+  double off_ns;   // collection hot path, recorder disabled
+  double delta_pct;
+  double event_ns; // one raw KML_EVENT while recording
+};
+
+// Same collection loop as report_observe_overhead (its per-batch
+// publish_metrics() is where the buffer's KML_EVENTs fire), timed with the
+// flight recorder recording vs runtime-disabled, plus the raw cost of one
+// KML_EVENT. Design target for the on/off delta: < 5%; the off path is one
+// relaxed load per publish.
+FlightOverhead report_flight_overhead() {
+  constexpr std::uint64_t kIters = 4'000'000;
+  constexpr std::size_t kBatch = 256;
+  constexpr int kRounds = 5;
+
+  data::CircularBuffer<data::TraceRecord> buffer(1 << 16);
+  data::TraceRecord rec{1, 0, 0, 0};
+  data::TraceRecord sink[kBatch];
+
+  const auto time_round = [&]() {
+    const std::uint64_t start = kml_now_ns();
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      rec.pgoff = i;
+      benchmark::DoNotOptimize(buffer.push(rec));
+      if ((i & (kBatch - 1)) == kBatch - 1) {
+        benchmark::DoNotOptimize(buffer.pop_many(sink, kBatch));
+      }
+    }
+    return kml_now_ns() - start;
+  };
+
+  const bool was_enabled = observe::enabled();
+  observe::set_enabled(true);
+  std::uint64_t best_on = ~0ULL;
+  std::uint64_t best_off = ~0ULL;
+  for (int r = 0; r < kRounds; ++r) {
+    observe::flight_set_enabled(true);
+    const std::uint64_t on = time_round();
+    observe::flight_set_enabled(false);
+    const std::uint64_t off = time_round();
+    if (on < best_on) best_on = on;
+    if (off < best_off) best_off = off;
+  }
+
+  // Raw per-event cost while recording (the ring wraps; that is the design).
+  observe::flight_set_enabled(true);
+  constexpr std::uint64_t kEvents = 4'000'000;
+  std::uint64_t best_ev = ~0ULL;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t start = kml_now_ns();
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      KML_EVENT(observe::EventId::kPoolDispatch, i, 0);
+    }
+    const std::uint64_t elapsed = kml_now_ns() - start;
+    if (elapsed < best_ev) best_ev = elapsed;
+  }
+  observe::flight_reset();
+  observe::set_enabled(was_enabled);
+
+  FlightOverhead f;
+  f.on_ns = static_cast<double>(best_on) / kIters;
+  f.off_ns = static_cast<double>(best_off) / kIters;
+  f.delta_pct =
+      f.off_ns > 0.0 ? (f.on_ns - f.off_ns) / f.off_ns * 100.0 : 0.0;
+  f.event_ns = static_cast<double>(best_ev) / kEvents;
+  std::printf("\n--- flight-recorder overhead (data-collection hot path) ---\n");
+#if KML_OBSERVE_ENABLED
+  std::printf("recorder on:  %.2f ns/op\n", f.on_ns);
+  std::printf("recorder off: %.2f ns/op\n", f.off_ns);
+  std::printf("delta:        %+.2f%% (target: < 5%%)\n", f.delta_pct);
+  std::printf("raw KML_EVENT: %.2f ns/event\n", f.event_ns);
+#else
+  std::printf("compiled out (KML_OBSERVE=OFF): %.2f ns/op either way\n",
+              f.on_ns);
+#endif
+  return f;
 }
 
 }  // namespace
@@ -456,6 +540,7 @@ int main(int argc, char** argv) {
   const MatmulCosts matmul = report_matmul_speedup();
   const BatchScaling batch = report_batch_thread_scaling();
   if (!json) report_observe_overhead();
+  const FlightOverhead flight = report_flight_overhead();
 
   if (json) {
     bench::JsonReport report;
@@ -471,6 +556,10 @@ int main(int argc, char** argv) {
     report.add("batch_infer_speedup_4v1",
                batch.ns_per_sample_t1 / batch.ns_per_sample_t4);
     report.add("num_cpus", static_cast<double>(kml_num_cpus()));
+    report.add("flight_on_ns_per_op", flight.on_ns);
+    report.add("flight_off_ns_per_op", flight.off_ns);
+    report.add("flight_delta_pct", flight.delta_pct);
+    report.add("flight_event_ns", flight.event_ns);
     const char* path = "BENCH_overheads.json";
     if (report.write_file(path)) {
       std::printf("\nwrote %s\n", path);

@@ -10,7 +10,10 @@
 // ratio per cell. Expected shape (EXPERIMENTS.md): readseq ~1.0x (device-
 // bound), readrandom the largest win, SSD wins exceed NVMe wins.
 //
-// Usage: bench_table2 [eval-seconds] [--model path]
+// Usage: bench_table2 [eval-seconds] [--model path] [--json]
+//
+// --json additionally writes every per-cell speedup and the device averages
+// to BENCH_table2.json (same convention as bench_overheads).
 #include "bench_common.h"
 
 #include <cstdlib>
@@ -19,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace kml;
 
+  const bool json = bench::consume_flag(&argc, argv, "--json");
   std::uint64_t eval_seconds = 15;
   const char* model_path = bench::kDefaultModelPath;
   for (int i = 1; i < argc; ++i) {
@@ -94,5 +98,29 @@ int main(int argc, char** argv) {
   std::printf("\naverage gain: NVMe %+.1f%% (paper +37.3%%), SSD %+.1f%% "
               "(paper +82.5%%)\n",
               (avg[0] - 1.0) * 100.0, (avg[1] - 1.0) * 100.0);
+
+  if (json) {
+    bench::JsonReport report;
+    report.add("eval_seconds", static_cast<double>(eval_seconds));
+    char key[80];
+    for (int d = 0; d < 2; ++d) {
+      for (int w = 0; w < workloads::kNumWorkloads; ++w) {
+        std::snprintf(key, sizeof(key), "%s_%s_speedup",
+                      d == 0 ? "nvme" : "ssd",
+                      workloads::workload_name(
+                          static_cast<workloads::WorkloadType>(w)));
+        report.add(key, runs[d].speedups[w]);
+      }
+    }
+    report.add("nvme_avg_speedup", avg[0]);
+    report.add("ssd_avg_speedup", avg[1]);
+    const char* path = "BENCH_table2.json";
+    if (report.write_file(path)) {
+      std::printf("\nwrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return 1;
+    }
+  }
   return 0;
 }

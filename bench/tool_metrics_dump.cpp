@@ -108,6 +108,16 @@ int main(int argc, char** argv) {
                 outcome.vanilla_ops_per_sec, outcome.kml_ops_per_sec,
                 static_cast<unsigned long long>(outcome.timeline.size()),
                 static_cast<unsigned long long>(outcome.dropped_records));
+    // Registrations silently refused because a pool filled up. Non-zero
+    // means some metric above is missing data — raise kMaxCounters & co.
+    // (Read through registry_overflow_count(): the export surfaces the same
+    // number as the synthetic "observe.registry.overflow" counter row.)
+    std::printf("registry overflow: %llu dropped registration(s)%s\n",
+                static_cast<unsigned long long>(
+                    observe::registry_overflow_count()),
+                observe::registry_overflow_count() > 0
+                    ? "  <-- pools too small, metrics were lost"
+                    : "");
   }
   return 0;
 }

@@ -3,6 +3,9 @@
 #include "dtree/decision_tree.h"
 #include "nn/network.h"
 #include "nn/serialize.h"
+#include "observe/export.h"
+#include "observe/flight_recorder.h"
+#include "observe/introspect.h"
 #include "observe/metrics.h"
 #include "portability/threadpool.h"
 #include "runtime/engine.h"
@@ -221,6 +224,15 @@ void kml_metrics_set_enabled(int on) {
 long long kml_metrics_counter(const char* name) {
 #if KML_OBSERVE_ENABLED
   if (name == nullptr) return -1;
+  // The overflow counter is synthetic (exported in snapshots but never
+  // occupies a registry slot); serve it here so C consumers can read the
+  // same name the JSON export shows.
+  if (std::strcmp(name, kml::observe::kMetricRegistryOverflow) == 0) {
+    const unsigned long long v = kml::observe::registry_overflow_count();
+    return v > static_cast<unsigned long long>(LLONG_MAX)
+               ? LLONG_MAX
+               : static_cast<long long>(v);
+  }
   kml::observe::Counter* c = kml::observe::find_counter(name);
   if (c == nullptr) return -1;
   const unsigned long long v = c->value();
@@ -284,6 +296,67 @@ size_t kml_metrics_export(char* buf, size_t cap, int json) {
 }
 
 void kml_metrics_reset(void) { kml::observe::reset_all(); }
+
+namespace {
+
+/* Shared snprintf-convention string exporter. */
+size_t export_string(char* buf, size_t cap, const std::string& out) {
+  if (buf == nullptr || cap == 0) return 0;
+  const size_t n = out.size() < cap - 1 ? out.size() : cap - 1;
+  std::memcpy(buf, out.data(), n);
+  buf[n] = '\0';
+  return out.size();
+}
+
+}  // namespace
+
+int kml_trace_enabled(void) {
+  return kml::observe::flight_recording() ? 1 : 0;
+}
+
+void kml_trace_set_enabled(int on) {
+  kml::observe::flight_set_enabled(on != 0);
+}
+
+void kml_trace_freeze(void) { kml::observe::flight_freeze(); }
+
+void kml_trace_thaw(void) { kml::observe::flight_thaw(); }
+
+int kml_trace_frozen(void) { return kml::observe::flight_frozen() ? 1 : 0; }
+
+void kml_trace_reset(void) { kml::observe::flight_reset(); }
+
+unsigned long long kml_trace_event_count(void) {
+  return kml::observe::flight_total_events();
+}
+
+size_t kml_trace_export(char* buf, size_t cap) {
+  if (buf == nullptr || cap == 0) return 0;
+  return export_string(
+      buf, cap,
+      kml::observe::format_chrome_trace(kml::observe::flight_snapshot()));
+}
+
+int kml_trace_dump(const char* prefix) {
+  if (prefix == nullptr) return 0;
+  return kml::observe::flight_dump_files(kml::observe::flight_snapshot(),
+                                         prefix)
+             ? 1
+             : 0;
+}
+
+unsigned long long kml_introspect_steps(void) {
+  return kml::observe::introspect_steps();
+}
+
+void kml_introspect_reset(void) { kml::observe::introspect_reset(); }
+
+size_t kml_introspect_export(char* buf, size_t cap) {
+  if (buf == nullptr || cap == 0) return 0;
+  return export_string(buf, cap,
+                       kml::observe::format_introspect_json(
+                           kml::observe::introspect_snapshot()));
+}
 
 kml_dtree* kml_dtree_load(const char* path) {
   if (path == nullptr) return nullptr;

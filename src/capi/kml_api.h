@@ -149,6 +149,50 @@ size_t kml_metrics_export(char* buf, size_t cap, int json);
 /* Zero every registered metric (registrations survive). */
 void kml_metrics_reset(void);
 
+/* ---- flight recorder (kml::observe binary trace ring) ---- */
+
+/* 1 when the flight recorder is compiled in, enabled, and not frozen. */
+int kml_trace_enabled(void);
+
+/* Runtime record toggle (independent of the freeze latch). */
+void kml_trace_set_enabled(int on);
+
+/* Freeze/thaw the rings: frozen rings drop new events so the window around
+ * an incident survives until it is exported. The health monitor freezes
+ * automatically when it degrades. */
+void kml_trace_freeze(void);
+void kml_trace_thaw(void);
+int kml_trace_frozen(void);
+
+/* Clear every ring and the freeze latch (events recorded so far are lost). */
+void kml_trace_reset(void);
+
+/* Total events recorded since start/reset (kept events; wrapped-over events
+ * still count). 0 when compiled out. */
+unsigned long long kml_trace_event_count(void);
+
+/* Render the current rings as Chrome trace-event JSON (load the file in
+ * chrome://tracing or Perfetto). Snprintf convention: returns the
+ * untruncated length, writes at most cap-1 bytes + NUL. 0 on NULL/0 cap. */
+size_t kml_trace_export(char* buf, size_t cap);
+
+/* Dump the rings to <prefix>.bin (raw 32-byte events) and <prefix>.txt
+ * (human-readable). Returns 1 on success, 0 on failure/compiled-out. */
+int kml_trace_dump(const char* prefix);
+
+/* ---- model introspection (per-training-step ring) ---- */
+
+/* Training steps recorded into the introspection ring since start/reset. */
+unsigned long long kml_introspect_steps(void);
+
+/* Clear the introspection ring. */
+void kml_introspect_reset(void);
+
+/* Render the introspection ring as versioned JSON ("kml.introspect.v1"):
+ * per-step loss and per-layer gradient/weight-delta L2 norms, milli-scaled
+ * integers. Snprintf convention, like kml_trace_export. */
+size_t kml_introspect_export(char* buf, size_t cap);
+
 /* ---- decision trees ('KMLT') ---- */
 
 typedef struct kml_dtree kml_dtree;

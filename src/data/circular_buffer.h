@@ -13,6 +13,7 @@
 // consumer thread, which is KML's deployment shape (I/O path -> trainer).
 #pragma once
 
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 #include "portability/fault.h"
 #include "portability/log.h"
@@ -113,6 +114,8 @@ class CircularBuffer {
     const std::uint64_t drop = dropped_.load(std::memory_order_relaxed);
     if (head != pub_head_) {
       KML_COUNTER_ADD(observe::kMetricBufferPush, head - pub_head_);
+      KML_EVENT(observe::EventId::kBufferPush, head - pub_head_,
+                head > tail ? head - tail : 0);
       pub_head_ = head;
     }
     if (tail != pub_tail_) {
@@ -121,6 +124,7 @@ class CircularBuffer {
     }
     if (drop != pub_dropped_) {
       KML_COUNTER_ADD(observe::kMetricBufferDrop, drop - pub_dropped_);
+      KML_EVENT(observe::EventId::kBufferDrop, drop - pub_dropped_, 0);
       pub_dropped_ = drop;
     }
     KML_GAUGE_SET(observe::kMetricBufferOccupancy,

@@ -123,4 +123,39 @@ void ZScoreNormalizer::import_moments(const std::vector<double>& means,
   stats_.assign(means.size(), math::RunningStats{});
 }
 
+void DriftTracker::set_baseline(const ZScoreNormalizer& norm) {
+  norm.export_moments(base_mean_, base_std_);
+  stats_.assign(base_mean_.size(), math::RunningStats{});
+  samples_ = 0;
+}
+
+void DriftTracker::observe_row(const double* features, int n) {
+  if (static_cast<std::size_t>(n) != stats_.size() || n <= 0) return;
+  for (int j = 0; j < n; ++j) {
+    stats_[static_cast<std::size_t>(j)].add(features[j]);
+  }
+  samples_ += 1;
+}
+
+std::int64_t DriftTracker::max_z_milli() const {
+  if (samples_ < kMinSamples) return 0;
+  double worst = 0.0;
+  for (std::size_t j = 0; j < stats_.size(); ++j) {
+    const double s = base_std_[j];
+    if (s < 1e-12) continue;  // constant training feature: z is undefined
+    double z = (stats_[j].mean() - base_mean_[j]) / s;
+    if (z < 0.0) z = -z;
+    if (z > worst) worst = z;
+  }
+  // Milli-scale with a saturation clamp so an absurd drift cannot overflow
+  // the integer channel.
+  if (worst > 9e15) worst = 9e15;
+  return static_cast<std::int64_t>(worst * 1000.0);
+}
+
+void DriftTracker::reset() {
+  stats_.assign(base_mean_.size(), math::RunningStats{});
+  samples_ = 0;
+}
+
 }  // namespace kml::data

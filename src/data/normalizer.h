@@ -76,4 +76,45 @@ class ZScoreNormalizer {
   bool frozen_ = false;
 };
 
+// Input-drift detector: running per-feature statistics over the live input
+// stream, compared against the frozen training-time baseline a deployed
+// normalizer carries. The signal is the max across features of
+// |running_mean - baseline_mean| / baseline_std — "how many training-time
+// standard deviations has the input mean moved", the classic covariate-
+// shift alarm. A drifted input distribution silently invalidates the model
+// even while every weight stays finite, which is why the health monitor
+// treats it as its own DEGRADED signal.
+//
+// This class does double math and therefore lives in the data layer, above
+// the FPU line; it exports the z-score as a milli-scaled integer for the
+// observe registry. observe_row() is allocation-free after set_baseline().
+class DriftTracker {
+ public:
+  DriftTracker() = default;
+
+  // Adopt `norm`'s current moments (frozen ones when set) as the baseline.
+  // Features whose baseline stddev is ~0 are skipped (no meaningful z).
+  void set_baseline(const ZScoreNormalizer& norm);
+  bool active() const { return !base_mean_.empty(); }
+
+  // Fold one raw (pre-normalization) feature row into the running stats.
+  void observe_row(const double* features, int n);
+
+  // Max per-feature |z| of the running mean vs the baseline, scaled x1000
+  // and truncated toward zero. 0 until kMinSamples rows have been seen (a
+  // handful of samples is noise, not drift).
+  std::int64_t max_z_milli() const;
+
+  std::uint64_t samples() const { return samples_; }
+  void reset();
+
+  static constexpr std::uint64_t kMinSamples = 32;
+
+ private:
+  std::vector<double> base_mean_;
+  std::vector<double> base_std_;
+  std::vector<math::RunningStats> stats_;
+  std::uint64_t samples_ = 0;
+};
+
 }  // namespace kml::data

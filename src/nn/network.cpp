@@ -3,11 +3,26 @@
 #include "matrix/linalg.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
+#include "observe/flight_recorder.h"
 #include "portability/threadpool.h"
 
 #include <cassert>
 
 namespace kml::nn {
+
+namespace {
+
+// Double -> milli-scaled integer for the integer-only observe channel,
+// saturating instead of invoking UB on absurd losses. Unused when the
+// KML_EVENT call sites compile away under KML_OBSERVE=OFF.
+[[maybe_unused]] std::uint64_t loss_milli_bits(double v) {
+  double m = v * 1000.0;
+  if (m > 9e18) m = 9e18;
+  if (m < -9e18) m = -9e18;
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(m));
+}
+
+}  // namespace
 
 Network& Network::add(std::unique_ptr<Layer> layer) {
   assert(layer != nullptr);
@@ -245,6 +260,9 @@ TrainReport Network::train(const matrix::MatD& x, const matrix::MatD& y,
   for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
 
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    KML_EVENT(observe::EventId::kTrainEpochBegin,
+              static_cast<std::uint64_t>(epoch),
+              static_cast<std::uint64_t>(epochs));
     // Fisher–Yates reshuffle each epoch.
     for (int i = n - 1; i > 0; --i) {
       const int j = static_cast<int>(
@@ -270,6 +288,8 @@ TrainReport Network::train(const matrix::MatD& x, const matrix::MatD& y,
       ++batches;
     }
     epoch_loss /= batches > 0 ? batches : 1;
+    KML_EVENT(observe::EventId::kTrainEpochEnd,
+              static_cast<std::uint64_t>(epoch), loss_milli_bits(epoch_loss));
     report.epoch_losses.push_back(epoch_loss);
     report.final_loss = epoch_loss;
     ++report.epochs;

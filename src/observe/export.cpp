@@ -1,0 +1,168 @@
+#include "observe/export.h"
+
+#include <cstdio>
+
+namespace kml::observe {
+
+namespace {
+
+// Chrome trace timestamps are microseconds; render ns as micros with three
+// fractional digits using integer math only.
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+// The begin/end pairs the exporter stitches into duration spans.
+bool span_pair(EventId id, EventId& end_id, const char** span_name) {
+  switch (id) {
+    case EventId::kTrainBatchBegin:
+      end_id = EventId::kTrainBatchEnd;
+      *span_name = "trainer.batch";
+      return true;
+    case EventId::kTrainEpochBegin:
+      end_id = EventId::kTrainEpochEnd;
+      *span_name = "train.epoch";
+      return true;
+    default:
+      return false;
+  }
+}
+
+void append_instant(std::string& out, const TraceEvent& e, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += "{\"name\":\"";
+  out += event_name(static_cast<EventId>(e.event_id));
+  out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+  append_ts_us(out, e.ts_ns);
+  out += ",\"pid\":1,\"tid\":";
+  append_u64(out, e.thread_id);
+  out += ",\"args\":{\"a0\":";
+  append_u64(out, e.arg0);
+  out += ",\"a1\":";
+  append_u64(out, e.arg1);
+  out += "}}";
+}
+
+void append_span(std::string& out, const char* name, const TraceEvent& begin,
+                 const TraceEvent& end, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"X\",\"ts\":";
+  append_ts_us(out, begin.ts_ns);
+  out += ",\"dur\":";
+  append_ts_us(out, end.ts_ns >= begin.ts_ns ? end.ts_ns - begin.ts_ns : 0);
+  out += ",\"pid\":1,\"tid\":";
+  append_u64(out, begin.thread_id);
+  out += ",\"args\":{\"a0\":";
+  append_u64(out, begin.arg0);
+  out += ",\"a1\":";
+  append_u64(out, begin.arg1);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string format_chrome_trace(const FlightSnapshot& snap) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const FlightThreadDump& t : snap.threads) {
+    const std::size_t n = t.events.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = t.events[i];
+      EventId end_id;
+      const char* span_name = nullptr;
+      if (span_pair(static_cast<EventId>(e.event_id), end_id, &span_name)) {
+        // Find the matching end in this thread's (time-ordered) stream.
+        // Begin/end seams are non-reentrant per thread, so the first end of
+        // the right kind is the match; a wrapped-away end degrades the
+        // begin to an instant.
+        std::size_t j = i + 1;
+        while (j < n && t.events[j].event_id !=
+                            static_cast<std::uint16_t>(end_id)) {
+          ++j;
+        }
+        if (j < n) {
+          append_span(out, span_name, e, t.events[j], first);
+          continue;
+        }
+      } else if (e.event_id ==
+                     static_cast<std::uint16_t>(EventId::kTrainBatchEnd) ||
+                 e.event_id ==
+                     static_cast<std::uint16_t>(EventId::kTrainEpochEnd)) {
+        // Ends are consumed by their begins; an orphan (begin overwritten
+        // by ring wrap) still shows up as an instant.
+        bool claimed = false;
+        for (std::size_t k = i; k-- > 0;) {
+          EventId eid;
+          const char* sn = nullptr;
+          if (span_pair(static_cast<EventId>(t.events[k].event_id), eid,
+                        &sn) &&
+              static_cast<std::uint16_t>(eid) == e.event_id) {
+            claimed = true;
+            break;
+          }
+        }
+        if (claimed) continue;
+      }
+      append_instant(out, e, first);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string format_introspect_json(const IntrospectSnapshot& snap) {
+  std::string out = "{\"schema\":\"kml.introspect.v1\",\"total_recorded\":";
+  append_u64(out, snap.total_recorded);
+  out += ",\"steps\":[";
+  bool first = true;
+  for (const StepSample& s : snap.steps) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"step\":";
+    append_u64(out, s.step);
+    out += ",\"ts_ns\":";
+    append_u64(out, s.ts_ns);
+    out += ",\"loss_milli\":";
+    append_i64(out, s.loss_milli);
+    out += ",\"valid\":";
+    append_u64(out, s.valid);
+    out += ",\"grad_norm_milli\":[";
+    for (std::uint32_t i = 0; i < s.num_layers && i < kIntrospectLayers;
+         ++i) {
+      if (i != 0) out += ',';
+      append_i64(out, s.grad_norm_milli[i]);
+    }
+    out += "],\"wdelta_norm_milli\":[";
+    for (std::uint32_t i = 0; i < s.num_layers && i < kIntrospectLayers;
+         ++i) {
+      if (i != 0) out += ',';
+      append_i64(out, s.wdelta_norm_milli[i]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace kml::observe

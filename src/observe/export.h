@@ -1,0 +1,35 @@
+// export.h — serialize observe state for external tooling.
+//
+// Two consumers, two formats:
+//   * Chrome `trace_event` JSON (Perfetto / chrome://tracing): the flight
+//     recorder's binary events become instant events, and begin/end pairs
+//     (trainer batches, training epochs) are stitched into duration ("X")
+//     spans per thread — any bench/test/sim run becomes an openable
+//     timeline.
+//   * Versioned JSON snapshots ("schema" discriminator, kml.*.v1) for the
+//     metrics registry and the introspection ring, so downstream parsers
+//     can evolve without sniffing.
+//
+// Formatting is integer-only (timestamps render as micros with a .3f
+// fractional part via integer division — no FPU), works in both build
+// modes (empty snapshots produce valid, empty documents), and is cold by
+// construction: it allocates strings and must never run on the I/O path.
+#pragma once
+
+#include "observe/flight_recorder.h"
+#include "observe/introspect.h"
+
+#include <string>
+
+namespace kml::observe {
+
+// Chrome trace_event JSON object: {"displayTimeUnit":"ns",
+// "traceEvents":[...]}. Every event carries pid 1 and the recording
+// thread's id as tid; unpaired begin/end events degrade to instants.
+std::string format_chrome_trace(const FlightSnapshot& snap);
+
+// {"schema":"kml.introspect.v1","steps":[{...}]}; norms/losses stay in
+// milli-units (field names carry the _milli suffix).
+std::string format_introspect_json(const IntrospectSnapshot& snap);
+
+}  // namespace kml::observe

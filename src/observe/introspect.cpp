@@ -1,0 +1,54 @@
+#include "observe/introspect.h"
+
+#if KML_OBSERVE_ENABLED
+
+#include "observe/metrics.h"
+
+#include <atomic>
+
+namespace kml::observe {
+
+namespace {
+
+struct IntrospectRing {
+  StepSample samples[kIntrospectCapacity];
+  // Monotonic write cursor, release-published per record so a racing
+  // snapshot never reads a slot mid-write as "committed".
+  std::atomic<std::uint64_t> head{0};
+};
+
+IntrospectRing g_ring;
+
+}  // namespace
+
+void introspect_record(const StepSample& sample) {
+  if (!enabled()) return;
+  const std::uint64_t h = g_ring.head.load(std::memory_order_relaxed);
+  g_ring.samples[h & (kIntrospectCapacity - 1)] = sample;
+  g_ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t introspect_steps() {
+  return g_ring.head.load(std::memory_order_acquire);
+}
+
+void introspect_reset() {
+  g_ring.head.store(0, std::memory_order_release);
+}
+
+IntrospectSnapshot introspect_snapshot() {
+  IntrospectSnapshot snap;
+  const std::uint64_t head = g_ring.head.load(std::memory_order_acquire);
+  snap.total_recorded = head;
+  const std::uint64_t count =
+      head < kIntrospectCapacity ? head : kIntrospectCapacity;
+  snap.steps.reserve(count);
+  for (std::uint64_t k = head - count; k < head; ++k) {
+    snap.steps.push_back(g_ring.samples[k & (kIntrospectCapacity - 1)]);
+  }
+  return snap;
+}
+
+}  // namespace kml::observe
+
+#endif  // KML_OBSERVE_ENABLED

@@ -1,0 +1,76 @@
+// introspect.h — per-training-step model introspection ring.
+//
+// "Is the model drifting because the input distribution moved?" and "which
+// layer exploded?" need per-step signals, not aggregates. This ring keeps
+// the last kIntrospectCapacity training steps: loss, per-layer gradient
+// L2-norm and weight-delta norm, all as scaled integers (milli-units —
+// value x 1000, truncated toward zero) so this layer stays FPU-free like
+// the rest of kml::observe. The producers (runtime::Engine, nn::Network)
+// live above the FPU line and do the double -> milli conversion from
+// buffers they already materialized; nothing here allocates or locks on the
+// record path.
+//
+// Single-writer: exactly one trainer thread records steps (the engine's
+// train_batch contract); readers copy the ring out cold. With
+// KML_OBSERVE=OFF everything stubs to no-ops with zero statics.
+#pragma once
+
+#include <cstdint>
+
+#ifndef KML_OBSERVE_ENABLED
+#define KML_OBSERVE_ENABLED 1
+#endif
+
+#include <vector>
+
+namespace kml::observe {
+
+// Ring geometry. Layers beyond kIntrospectLayers fold their norms into the
+// last slot (a 3-linear-layer readahead model fits with room to spare).
+inline constexpr unsigned kIntrospectCapacity = 256;  // power of two
+inline constexpr unsigned kIntrospectLayers = 8;
+
+// One training step. Norms are L2, in milli-units; loss is milli-units,
+// two's complement (losses are non-negative in practice but the format
+// does not assume it).
+struct StepSample {
+  std::uint64_t step = 0;      // engine train-iteration number (1-based)
+  std::uint64_t ts_ns = 0;
+  std::int64_t loss_milli = 0;
+  std::uint32_t num_layers = 0;  // trainable layers reported (clamped)
+  std::uint32_t valid = 0;       // 0 = invalid step (non-finite loss/weights)
+  std::int64_t grad_norm_milli[kIntrospectLayers] = {};
+  std::int64_t wdelta_norm_milli[kIntrospectLayers] = {};
+};
+
+struct IntrospectSnapshot {
+  std::vector<StepSample> steps;  // oldest -> newest
+  std::uint64_t total_recorded = 0;
+};
+
+#if KML_OBSERVE_ENABLED
+
+// Record one step (single writer: the training thread). Copies the sample
+// into the ring; no allocation, no locks, no FPU.
+void introspect_record(const StepSample& sample);
+
+// Steps recorded since the last reset (monotonic; ring holds the tail).
+std::uint64_t introspect_steps();
+
+void introspect_reset();
+
+// Copy-out, oldest first. Cold path; may allocate.
+IntrospectSnapshot introspect_snapshot();
+
+#else  // !KML_OBSERVE_ENABLED
+
+inline void introspect_record(const StepSample&) {}
+inline std::uint64_t introspect_steps() { return 0; }
+inline void introspect_reset() {}
+inline IntrospectSnapshot introspect_snapshot() {
+  return IntrospectSnapshot{};
+}
+
+#endif  // KML_OBSERVE_ENABLED
+
+}  // namespace kml::observe

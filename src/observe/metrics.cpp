@@ -36,6 +36,10 @@ struct Pool {
   char names[N][kMaxNameLen + 1] = {};
   std::atomic<std::size_t> count{0};
   Slot overflow;  // shared spill slot when the pool is exhausted
+  // Lookups that resolved to the spill slot. A flooded registry keeps
+  // re-resolving the same unregistered names, so this over-counts distinct
+  // names — it is a "how bad is the exhaustion" meter, not a name census.
+  std::atomic<std::uint64_t> overflow_hits{0};
   bool overflow_warned = false;
 
   Slot* find(const char* name) {
@@ -54,6 +58,7 @@ struct Pool {
     if (Slot* hit = find(name)) return *hit;  // lost the registration race
     const std::size_t n = count.load(std::memory_order_relaxed);
     if (n >= N) {
+      overflow_hits.fetch_add(1, std::memory_order_relaxed);
       if (!overflow_warned) {
         overflow_warned = true;
         KML_WARN("observe: %s pool exhausted (%zu slots); '%s' and later "
@@ -103,6 +108,12 @@ Counter* find_counter(const char* name) { return counters().find(name); }
 Gauge* find_gauge(const char* name) { return gauges().find(name); }
 Histogram* find_histogram(const char* name) { return histograms().find(name); }
 
+std::uint64_t registry_overflow_count() {
+  return counters().overflow_hits.load(std::memory_order_relaxed) +
+         gauges().overflow_hits.load(std::memory_order_relaxed) +
+         histograms().overflow_hits.load(std::memory_order_relaxed);
+}
+
 std::uint64_t Histogram::percentile(unsigned pct) const {
   if (pct > 100) pct = 100;
   std::uint64_t counts[kNumBuckets];
@@ -113,7 +124,11 @@ std::uint64_t Histogram::percentile(unsigned pct) const {
   }
   if (total == 0) return 0;
   // Rank of the pct-th value, 1-based, integer ceil: rank(100) == total.
-  const std::uint64_t rank = (total * pct + 99) / 100;
+  // Clamped to >= 1 so pct=0 means "the smallest recorded value's bucket" —
+  // an unclamped rank 0 would match the first (possibly empty) bucket and
+  // report 0 for data that never contained it.
+  std::uint64_t rank = (total * pct + 99) / 100;
+  if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
   for (unsigned i = 0; i < kNumBuckets; ++i) {
     seen += counts[i];
@@ -166,9 +181,14 @@ MetricsSnapshot snapshot() {
       const Histogram& h = pool.slots[i];
       snap.histograms.push_back({pool.names[i], h.count(), h.sum(), h.max(),
                                  h.percentile(50), h.percentile(90),
-                                 h.percentile(99)});
+                                 h.percentile(99), h.overflow_count()});
     }
   }
+  // Synthetic row: pool-exhaustion meter. Always present so dashboards see
+  // an explicit zero; never occupies a registry slot itself (which would be
+  // one more way to overflow).
+  snap.counters.push_back(
+      {kMetricRegistryOverflow, registry_overflow_count()});
   // Sampled externals: the fault registry and FPU guard live below observe
   // in the layering, so their counts are pulled at snapshot time rather
   // than pushed on their hot paths.
@@ -214,17 +234,18 @@ std::string format_table(const MetricsSnapshot& snap) {
   }
   if (!snap.histograms.empty()) {
     out += "-- histograms (ns) --\n";
-    std::snprintf(line, sizeof(line), "%-40s %12s %12s %12s %12s %12s\n",
-                  "name", "count", "p50", "p90", "p99", "max");
+    std::snprintf(line, sizeof(line), "%-40s %12s %12s %12s %12s %12s %8s\n",
+                  "name", "count", "p50", "p90", "p99", "max", "ovfl");
     out += line;
     for (const HistogramSnapshot& h : snap.histograms) {
       std::snprintf(line, sizeof(line),
-                    "%-40s %12llu %12llu %12llu %12llu %12llu\n",
+                    "%-40s %12llu %12llu %12llu %12llu %12llu %8llu\n",
                     h.name.c_str(), static_cast<unsigned long long>(h.count),
                     static_cast<unsigned long long>(h.p50),
                     static_cast<unsigned long long>(h.p90),
                     static_cast<unsigned long long>(h.p99),
-                    static_cast<unsigned long long>(h.max));
+                    static_cast<unsigned long long>(h.max),
+                    static_cast<unsigned long long>(h.overflow));
       out += line;
     }
   }
@@ -251,8 +272,9 @@ void append_json_key(std::string& out, const std::string& name) {
 }  // namespace
 
 std::string format_json(const MetricsSnapshot& snap) {
-  std::string out = "{\"counters\":{";
-  char buf[160];
+  std::string out = "{\"schema\":\"kml.metrics.v1\",\"counters\":{";
+  // Widest histogram entry: 7 u64 fields at up to 20 digits plus keys.
+  char buf[256];
   bool first = true;
   for (const CounterSnapshot& c : snap.counters) {
     if (!first) out += ',';
@@ -279,13 +301,14 @@ std::string format_json(const MetricsSnapshot& snap) {
     append_json_key(out, h.name);
     std::snprintf(buf, sizeof(buf),
                   ":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,\"p50\":%llu,"
-                  "\"p90\":%llu,\"p99\":%llu}",
+                  "\"p90\":%llu,\"p99\":%llu,\"overflow\":%llu}",
                   static_cast<unsigned long long>(h.count),
                   static_cast<unsigned long long>(h.sum),
                   static_cast<unsigned long long>(h.max),
                   static_cast<unsigned long long>(h.p50),
                   static_cast<unsigned long long>(h.p90),
-                  static_cast<unsigned long long>(h.p99));
+                  static_cast<unsigned long long>(h.p99),
+                  static_cast<unsigned long long>(h.overflow));
     out += buf;
   }
   out += "}}";

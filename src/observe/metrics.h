@@ -80,6 +80,16 @@ inline constexpr char kMetricRaDegradedWindows[] = "readahead.degraded_windows";
 inline constexpr char kMetricRaSetKb[] = "readahead.ra_kb";
 inline constexpr char kMetricCacheHit[] = "sim.cache.hit";
 inline constexpr char kMetricCacheMiss[] = "sim.cache.miss";
+// Introspection v2 signals (PR 5). Milli-suffixed metrics carry scaled
+// integers (value x 1000) — the producers convert above the FPU line.
+inline constexpr char kMetricTrainSteps[] = "nn.train.steps";
+inline constexpr char kMetricGradNormMilli[] = "nn.train.grad_norm_milli";
+inline constexpr char kMetricConfidenceMilli[] = "nn.infer.confidence_milli";
+inline constexpr char kMetricDriftZMilli[] = "data.drift.max_z_milli";
+inline constexpr char kMetricDriftSamples[] = "data.drift.samples";
+// Synthetic counter row in snapshot(): registrations that spilled into a
+// pool's shared overflow slot (never occupies a registry slot itself).
+inline constexpr char kMetricRegistryOverflow[] = "observe.registry.overflow";
 
 #if KML_OBSERVE_ENABLED
 
@@ -166,8 +176,17 @@ class alignas(kCachelineBytes) Histogram {
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
-  // Value at percentile `pct` (0..100), integer-only: returns the lower
-  // bound of the bucket holding the pct-th recorded value (0 when empty).
+  // Records in the topmost bucket — values at the format ceiling, where the
+  // log-scale resolution has degenerated. A non-zero count means the
+  // histogram is saturated and its upper percentiles are lower bounds only.
+  std::uint64_t overflow_count() const {
+    return buckets_[kNumBuckets - 1].load(std::memory_order_relaxed);
+  }
+
+  // Value at percentile `pct`, integer-only: returns the lower bound of the
+  // bucket holding the pct-th recorded value. Edge cases are pinned: an
+  // empty histogram returns 0, pct=0 returns the smallest recorded bucket
+  // (rank clamps to 1, never "before the data"), and pct>100 clamps to 100.
   std::uint64_t percentile(unsigned pct) const;
 
   void reset() {
@@ -204,6 +223,12 @@ Histogram* find_histogram(const char* name);
 // Zero every registered value (registrations and cached references stay
 // valid). Test/bench hygiene between phases.
 void reset_all();
+
+// Registrations (across all three pools) that resolved to a shared overflow
+// slot because the pool was exhausted. Monotonic; survives reset_all()
+// because the exhaustion itself does. Exported by snapshot() as the
+// "observe.registry.overflow" counter.
+std::uint64_t registry_overflow_count();
 
 // --- Convenience wrappers for cold call sites -------------------------------
 //
@@ -245,6 +270,7 @@ class SpanTimer {
 inline bool enabled() { return false; }
 inline void set_enabled(bool) {}
 inline void reset_all() {}
+inline std::uint64_t registry_overflow_count() { return 0; }
 inline void counter_add(const char*, std::uint64_t = 1) {}
 inline void gauge_set(const char*, std::int64_t) {}
 inline void hist_record(const char*, std::uint64_t) {}
@@ -276,6 +302,9 @@ struct HistogramSnapshot {
   std::uint64_t p50;
   std::uint64_t p90;
   std::uint64_t p99;
+  // Records in the topmost bucket (saturation indicator; see
+  // Histogram::overflow_count).
+  std::uint64_t overflow;
 };
 
 struct MetricsSnapshot {
@@ -292,7 +321,9 @@ MetricsSnapshot snapshot();
 // Aligned human-readable table.
 std::string format_table(const MetricsSnapshot& snap);
 
-// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+// Single versioned JSON object:
+// {"schema":"kml.metrics.v1","counters":{...},"gauges":{...},
+//  "histograms":{...}}.
 std::string format_json(const MetricsSnapshot& snap);
 
 }  // namespace kml::observe

@@ -85,6 +85,7 @@ const char* kml_fault_site_name(FaultSite site) {
     case FaultSite::kFileWrite: return "file_write";
     case FaultSite::kFileRename: return "file_rename";
     case FaultSite::kBufferPush: return "buffer_push";
+    case FaultSite::kTrainStep: return "train_step";
     case FaultSite::kSiteCount: break;
   }
   return "unknown";

@@ -30,6 +30,9 @@ enum class FaultSite : unsigned {
   kFileWrite,    // kml_fwrite writes half the payload, then reports failure
   kFileRename,   // kml_frename fails (atomic-save commit step)
   kBufferPush,   // CircularBuffer::push drops the record as if full
+  kTrainStep,    // Engine::train_batch treats the step as invalid (as if the
+                 // loss had come back non-finite) — drives the health guard
+                 // and flight-recorder causal-chain rehearsals
   kSiteCount,
 };
 

@@ -2,6 +2,7 @@
 
 #include "portability/log.h"
 #include "portability/thread.h"
+#include "portability/trace_hook.h"
 
 #include <cstdlib>
 
@@ -242,7 +243,10 @@ void kml_parallel_for(long n, long grain, kml_parallel_fn fn, void* arg) {
   job.chunk = (n + workers - 1) / workers;
   job.workers = static_cast<int>(workers);
   kml_atomic_store64(&g_pool.done, 0);
-  kml_atomic_add64(&g_pool.epoch, 1);  // release: publishes the job
+  const std::int64_t epoch =
+      kml_atomic_add64(&g_pool.epoch, 1);  // release: publishes the job
+  kml_trace_emit(kTraceEvPoolDispatch, static_cast<std::uint64_t>(epoch),
+                 static_cast<std::uint64_t>(workers));
 
   // The caller is worker slot 0.
   t_in_worker = true;

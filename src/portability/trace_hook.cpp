@@ -1,0 +1,17 @@
+#include "portability/trace_hook.h"
+
+namespace kml {
+
+namespace detail {
+std::atomic<kml_trace_hook_fn> g_trace_hook{nullptr};
+}  // namespace detail
+
+void kml_set_trace_hook(kml_trace_hook_fn fn) {
+  detail::g_trace_hook.store(fn, std::memory_order_release);
+}
+
+kml_trace_hook_fn kml_get_trace_hook() {
+  return detail::g_trace_hook.load(std::memory_order_acquire);
+}
+
+}  // namespace kml

@@ -1,0 +1,47 @@
+// trace_hook.h — upcall seam for flight-recorder events from the lowest
+// layer.
+//
+// Layering (DESIGN.md §6) forbids portability code from calling into
+// kml::observe, yet the flight recorder wants events from inside the thread
+// pool (epoch dispatch is the seam that explains every parallel-region
+// hiccup). This hook inverts the dependency: the observe layer installs one
+// function pointer at startup; portability call sites emit through it.
+//
+// Cost with no hook installed (KML_OBSERVE=OFF, or before the observe layer
+// initializes): one relaxed atomic load and a predicted-not-taken branch —
+// no clock read, no stores. The hook itself must honour the same contract
+// as the call sites: no locks, no FPU, no allocation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace kml {
+
+// Event ids below 16 are reserved for portability-layer emitters; the
+// observe layer's EventId enum mirrors them verbatim so one id space covers
+// the whole process.
+inline constexpr std::uint16_t kTraceEvPoolDispatch = 1;
+
+using kml_trace_hook_fn = void (*)(std::uint16_t event_id, std::uint64_t arg0,
+                                   std::uint64_t arg1);
+
+namespace detail {
+extern std::atomic<kml_trace_hook_fn> g_trace_hook;
+}  // namespace detail
+
+// Install (or clear, with nullptr) the process-wide hook. Last writer wins;
+// safe against concurrent emitters.
+void kml_set_trace_hook(kml_trace_hook_fn fn);
+kml_trace_hook_fn kml_get_trace_hook();
+
+// Hot-path emit, inlined into portability call sites.
+inline void kml_trace_emit(std::uint16_t event_id, std::uint64_t arg0,
+                           std::uint64_t arg1) {
+  if (kml_trace_hook_fn fn =
+          detail::g_trace_hook.load(std::memory_order_acquire)) {
+    fn(event_id, arg0, arg1);
+  }
+}
+
+}  // namespace kml

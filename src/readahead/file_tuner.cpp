@@ -1,5 +1,6 @@
 #include "readahead/file_tuner.h"
 
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 #include "portability/log.h"
 
@@ -117,6 +118,8 @@ void PerFileTuner::close_window() {
       per_file_[decision.inode].actuated = true;
       count_decision(cls);
       observe::counter_add("readahead.file.actuations");
+      KML_EVENT(observe::EventId::kFileTunerDecision,
+                static_cast<std::uint64_t>(cls), decision.ra_kb);
     }
   }
 }

@@ -1,6 +1,7 @@
 #include "readahead/rl_tuner.h"
 
 #include "math/approx.h"
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 
 #include <cassert>
@@ -179,6 +180,8 @@ void QLearningTuner::close_window(std::uint64_t ops_completed) {
   actuate_(ra_kb);
   observe::counter_add("readahead.rl.actuations");
   observe::gauge_set(observe::kMetricRaSetKb, ra_kb);
+  KML_EVENT(observe::EventId::kRlTunerDecision,
+            static_cast<std::uint64_t>(action), ra_kb);
   stack_.charge_cpu_ns(2'000);  // table lookup + update: cheap
 
   prev_state_ = state;

@@ -1,5 +1,6 @@
 #include "readahead/tuner.h"
 
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 #include "portability/log.h"
 
@@ -120,6 +121,8 @@ void ReadaheadTuner::close_window() {
     stack_.block_layer().set_readahead_kb(ra_kb);
     count_decision(cls);
     observe::gauge_set(observe::kMetricRaSetKb, ra_kb);
+    KML_EVENT(observe::EventId::kTunerDecision,
+              static_cast<std::uint64_t>(cls), ra_kb);
   }
   point.predicted_class = cls;
   point.ra_kb = ra_kb;

@@ -110,6 +110,14 @@ class Engine {
   // True when every parameter of the network is finite.
   bool weights_finite();
 
+  // Input-drift tracking: infer_class/infer_batch feed every raw feature
+  // row into this tracker, whose baseline is the normalizer's (frozen)
+  // training-time moments. The max |z| is published to the registry
+  // ("data.drift.max_z_milli") so the health monitor can watch it.
+  const data::DriftTracker& drift() const { return drift_; }
+  // Re-adopt the normalizer's current moments (e.g. after a refit).
+  void rebaseline_drift();
+
   nn::Network& network() { return net_; }
   Workspace& workspace() { return ws_; }
   const EngineStats& stats() const { return stats_; }
@@ -121,6 +129,17 @@ class Engine {
   static constexpr int kSlotBatchIn = 1;  // count x n batched staging
 
   int model_in_features();
+
+  // Per-step model introspection (loss + per-layer gradient/weight-delta
+  // norms) into the observe ring; no-op when observe is disabled. Must stay
+  // allocation-free: it reads params_/good_params_ and the cached
+  // param_layer_ map only.
+  void record_introspection(double loss, bool valid, std::uint64_t ts_ns);
+  // Drift bookkeeping shared by the infer paths.
+  void observe_drift_row(const double* features, int n);
+  // Top-2 output margin of `row`, milli-scaled, recorded as the
+  // prediction-confidence histogram.
+  static std::int64_t confidence_milli(const matrix::MatD& out, int row);
 
   nn::Network net_;
   Mode mode_ = Mode::kInference;
@@ -135,6 +154,11 @@ class Engine {
   std::vector<matrix::MatD> good_params_;
   bool has_checkpoint_ = false;
   HealthMonitor* health_ = nullptr;
+  // params_[i] belongs to trainable layer param_layer_[i] (introspection
+  // attribution; built once at construction).
+  std::vector<int> param_layer_;
+  int trainable_layers_ = 0;
+  data::DriftTracker drift_;
 };
 
 }  // namespace kml::runtime

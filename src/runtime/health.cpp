@@ -1,11 +1,24 @@
 #include "runtime/health.h"
 
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 #include "portability/log.h"
 
 #include <cmath>
 
 namespace kml::runtime {
+
+namespace {
+
+// kHealthTransition args are (old_state, new_state) as integers.
+inline void emit_transition(HealthState from, HealthState to) {
+  (void)from;  // unused when KML_OBSERVE=OFF compiles the event away
+  (void)to;
+  KML_EVENT(observe::EventId::kHealthTransition,
+            static_cast<std::uint64_t>(from), static_cast<std::uint64_t>(to));
+}
+
+}  // namespace
 
 const char* health_state_name(HealthState state) {
   switch (state) {
@@ -21,29 +34,48 @@ HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {}
 void HealthMonitor::enter_degraded() {
   if (state() == HealthState::kDegraded) return;
   KML_WARN("health: %s -> DEGRADED", health_state_name(state()));
+  emit_transition(state(), HealthState::kDegraded);
   state_.store(static_cast<int>(HealthState::kDegraded),
                std::memory_order_release);
   stats_.degradations += 1;
   clean_streak_ = 0;
+  // Preserve the events that led here (the transition itself included).
+  freeze_flight();
 }
 
 void HealthMonitor::enter_failed() {
   if (state() == HealthState::kFailed) return;
   KML_WARN("health: %s -> FAILED", health_state_name(state()));
+  emit_transition(state(), HealthState::kFailed);
   state_.store(static_cast<int>(HealthState::kFailed),
                std::memory_order_release);
   stats_.failures += 1;
   clean_streak_ = 0;
+  // No freeze here — see the header: the imminent rollback and
+  // FAILED->DEGRADED probation transition complete the causal chain, and
+  // entering DEGRADED freezes with all of it on record.
 }
 
 void HealthMonitor::enter_healthy() {
   if (state() == HealthState::kHealthy) return;
   KML_INFO("health: %s -> HEALTHY", health_state_name(state()));
+  emit_transition(state(), HealthState::kHealthy);
   state_.store(static_cast<int>(HealthState::kHealthy),
                std::memory_order_release);
   stats_.recoveries += 1;
   strikes_ = 0;
   clean_streak_ = 0;
+  // Recovered: resume recording so the next incident gets a fresh window.
+  observe::flight_thaw();
+}
+
+void HealthMonitor::freeze_flight() {
+  if (observe::flight_frozen()) return;
+  observe::flight_freeze();
+  if (config_.flight_dump_prefix != nullptr) {
+    observe::flight_dump_files(observe::flight_snapshot(),
+                               config_.flight_dump_prefix);
+  }
 }
 
 void HealthMonitor::observe_train_step(double loss, bool valid) {
@@ -149,6 +181,22 @@ void HealthMonitor::observe_registry() {
       p99 = h->percentile(99);
     }
   }
+  std::uint64_t train_steps = 0;
+  std::int64_t grad_norm_milli = 0;
+  if (config_.grad_norm_degrade_milli > 0) {
+    if (observe::Counter* c = observe::find_counter(observe::kMetricTrainSteps))
+      train_steps = c->value();
+    if (observe::Gauge* g = observe::find_gauge(observe::kMetricGradNormMilli))
+      grad_norm_milli = g->value();
+  }
+  std::uint64_t drift_samples = 0;
+  std::int64_t drift_z_milli = 0;
+  if (config_.drift_z_degrade_milli > 0) {
+    if (observe::Gauge* g = observe::find_gauge(observe::kMetricDriftSamples))
+      drift_samples = static_cast<std::uint64_t>(g->value());
+    if (observe::Gauge* g = observe::find_gauge(observe::kMetricDriftZMilli))
+      drift_z_milli = g->value();
+  }
 
   std::lock_guard<std::mutex> guard(lock_);
   if (!registry_primed_) {
@@ -156,6 +204,8 @@ void HealthMonitor::observe_registry() {
     registry_last_submitted_ = submitted;
     registry_last_dropped_ = dropped;
     registry_last_inferences_ = inferences;
+    registry_last_train_steps_ = train_steps;
+    registry_last_drift_samples_ = drift_samples;
     return;
   }
 
@@ -189,6 +239,31 @@ void HealthMonitor::observe_registry() {
       enter_degraded();
     }
   }
+
+  // (f) gradient explosion. Gauge = worst per-layer gradient L2-norm of the
+  // most recent step; only judged while training actually progresses.
+  if (config_.grad_norm_degrade_milli > 0 &&
+      train_steps > registry_last_train_steps_) {
+    registry_last_train_steps_ = train_steps;
+    if (grad_norm_milli > 0 &&
+        static_cast<std::uint64_t>(grad_norm_milli) >
+            config_.grad_norm_degrade_milli) {
+      stats_.grad_trips += 1;
+      enter_degraded();
+    }
+  }
+
+  // (g) input drift. Gauge = max per-feature |z| of the live input mean vs
+  // the training baseline; only judged while inference traffic flows.
+  if (config_.drift_z_degrade_milli > 0 &&
+      drift_samples > registry_last_drift_samples_) {
+    registry_last_drift_samples_ = drift_samples;
+    if (drift_z_milli > 0 && static_cast<std::uint64_t>(drift_z_milli) >
+                                 config_.drift_z_degrade_milli) {
+      stats_.drift_trips += 1;
+      enter_degraded();
+    }
+  }
 #endif  // KML_OBSERVE_ENABLED
 }
 
@@ -218,6 +293,10 @@ void HealthMonitor::reset() {
   registry_last_submitted_ = 0;
   registry_last_dropped_ = 0;
   registry_last_inferences_ = 0;
+  registry_last_train_steps_ = 0;
+  registry_last_drift_samples_ = 0;
+  // New model deployed: resume flight recording for its first incident.
+  observe::flight_thaw();
 }
 
 HealthStats HealthMonitor::stats() const {

@@ -65,6 +65,25 @@ struct HealthConfig {
   // fall back. 0 disables the signal (the threshold is deployment-
   // specific; the paper's budget is ~21 us on their hardware).
   std::uint64_t inference_p99_degrade_ns = 0;
+
+  // (f) Gradient-explosion guard (registry-sourced): worst per-layer
+  // gradient L2-norm, milli-scaled ("nn.train.grad_norm_milli"), judged
+  // only while the train-step counter advances. A blowing-up gradient
+  // predicts non-finite weights several steps before they happen. 0
+  // disables.
+  std::uint64_t grad_norm_degrade_milli = 0;
+
+  // (g) Input-drift guard (registry-sourced): max per-feature |z| of the
+  // live input mean vs the training baseline, milli-scaled
+  // ("data.drift.max_z_milli"), judged only while the drift sample count
+  // advances. Drifted inputs invalidate the model silently — every weight
+  // stays finite. 0 disables.
+  std::uint64_t drift_z_degrade_milli = 0;
+
+  // Flight-recorder dump file prefix (writes <prefix>.bin/<prefix>.txt when
+  // the recorder freezes on a bad transition). nullptr = freeze only, no
+  // dump. The pointed-to string must outlive the monitor.
+  const char* flight_dump_prefix = nullptr;
 };
 
 struct HealthStats {
@@ -74,6 +93,8 @@ struct HealthStats {
   std::uint64_t watchdog_timeouts = 0;  // (c) trips
   std::uint64_t drop_rate_trips = 0;    // (d) trips
   std::uint64_t latency_trips = 0;      // (e) trips (inference p99 guard)
+  std::uint64_t grad_trips = 0;         // (f) trips (gradient explosion)
+  std::uint64_t drift_trips = 0;        // (g) trips (input drift)
   std::uint64_t heartbeats = 0;
   std::uint64_t degradations = 0;       // transitions into DEGRADED
   std::uint64_t failures = 0;           // transitions into FAILED
@@ -109,13 +130,16 @@ class HealthMonitor {
   void observe_buffer(std::uint64_t submitted_total,
                       std::uint64_t dropped_total);
 
-  // (d)+(e) from the metrics registry — the single source of truth when the
-  // observe layer is compiled in and recording. Reads the global buffer
-  // push/drop counters for the drop-rate guard and the inference-latency
-  // histogram p99 for the latency guard. The first call only primes the
-  // baselines (registry counters are process-global and may predate this
-  // monitor); deltas are judged from the second call on. No-op with
-  // KML_OBSERVE=OFF (the registry is empty).
+  // (d)+(e)+(f)+(g) from the metrics registry — the single source of truth
+  // when the observe layer is compiled in and recording. Reads the global
+  // buffer push/drop counters for the drop-rate guard, the inference-latency
+  // histogram p99 for the latency guard, the gradient-norm gauge for the
+  // explosion guard, and the drift gauges for the covariate-shift guard. The
+  // first call only primes the baselines (registry counters are
+  // process-global and may predate this monitor); deltas are judged from the
+  // second call on, and each gauge is judged only while its companion
+  // progress counter advances (a quiesced model cannot trip on stale
+  // history). No-op with KML_OBSERVE=OFF (the registry is empty).
   void observe_registry();
 
   // The engine restored its last-known-good checkpoint: FAILED drops to
@@ -129,10 +153,17 @@ class HealthMonitor {
   HealthStats stats() const;
 
  private:
-  // All three require lock_ held.
+  // All three require lock_ held. Each transition is stamped into the
+  // flight recorder; entering DEGRADED freezes it (and dumps, when
+  // configured) so the events leading up to the sickness survive. FAILED
+  // deliberately does NOT freeze: the expected next events — rollback, then
+  // the FAILED->DEGRADED probation transition — are the tail of the causal
+  // chain the dump exists to show, and freezing early would truncate it.
   void enter_degraded();
   void enter_failed();
   void enter_healthy();
+  // Freeze the flight recorder (idempotent) and dump if configured.
+  void freeze_flight();
 
   HealthConfig config_;
   std::atomic<int> state_{static_cast<int>(HealthState::kHealthy)};
@@ -151,6 +182,8 @@ class HealthMonitor {
   std::uint64_t registry_last_submitted_ = 0;
   std::uint64_t registry_last_dropped_ = 0;
   std::uint64_t registry_last_inferences_ = 0;
+  std::uint64_t registry_last_train_steps_ = 0;
+  std::uint64_t registry_last_drift_samples_ = 0;
 };
 
 }  // namespace kml::runtime

@@ -1,5 +1,6 @@
 #include "runtime/training_thread.h"
 
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 #include "portability/kml_lib.h"
 #include "portability/log.h"
@@ -35,10 +36,16 @@ void TrainingThread::thread_main(void* self) {
 }
 
 void TrainingThread::run_batch(data::TraceRecord* records, std::size_t n) {
+  // Batch seq is the pre-increment count: begin/end share it as arg0, which
+  // is what lets the exporter stitch them into one Chrome-trace span.
+  const std::uint64_t seq = ++batch_seq_;
+  (void)seq;  // unused when KML_OBSERVE=OFF compiles the events away
+  KML_EVENT(observe::EventId::kTrainBatchBegin, seq, n);
   {
     KML_SPAN_NS(observe::kMetricTrainBatchNs);
     if (fn_ != nullptr) fn_(user_, records, n);
   }
+  KML_EVENT(observe::EventId::kTrainBatchEnd, seq, n);
   processed_.fetch_add(n, std::memory_order_relaxed);
   KML_COUNTER_INC(observe::kMetricTrainerBatches);
   KML_COUNTER_ADD(observe::kMetricTrainerRecords, n);

@@ -91,6 +91,8 @@ class TrainingThread {
   void* user_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> processed_{0};
+  // Batch sequence number (trainer thread only); flight-recorder span id.
+  std::uint64_t batch_seq_ = 0;
   std::atomic<HealthMonitor*> health_{nullptr};
   KmlThread* thread_ = nullptr;
 };

@@ -1,0 +1,92 @@
+#!/bin/sh
+# observe_off_build.sh — prove the KML_OBSERVE=OFF build stays honest.
+#
+# The whole observability layer must compile away: with
+# -DKML_OBSERVE_ENABLED=0 every src/observe translation unit and a probe TU
+# that exercises every public macro and function must compile warning-clean,
+# and the probe must link no observe statics (no global constructors, no
+# data/bss symbols) — "zero added statics" is the acceptance bar, checked
+# with nm when available.
+#
+# Usage: observe_off_build.sh <c++-compiler> <repo-source-dir>
+
+CXX="${1:-c++}"
+SRC="${2:-$(dirname "$0")/..}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "observe_off_build: compiler '$CXX' not found; skipping"
+  exit 0
+fi
+
+tmp="${TMPDIR:-/tmp}/kml_observe_off.$$"
+mkdir -p "$tmp" || exit 1
+trap 'rm -rf "$tmp"' EXIT
+
+FLAGS="-std=c++20 -DKML_OBSERVE_ENABLED=0 -I$SRC/src -Wall -Wextra -Werror -c"
+
+# 1. Every observe TU compiles with the layer switched off.
+for f in "$SRC"/src/observe/*.cpp; do
+  if ! "$CXX" $FLAGS "$f" -o "$tmp/$(basename "$f").o"; then
+    echo "observe_off_build: $f does not compile with KML_OBSERVE=OFF"
+    exit 1
+  fi
+done
+
+# 2. A consumer TU that touches the full macro/API surface compiles to
+#    nothing: macros expand to ((void)0), functions to inline no-op stubs.
+cat > "$tmp/probe.cpp" <<'EOF'
+#include "observe/export.h"
+#include "observe/flight_recorder.h"
+#include "observe/introspect.h"
+#include "observe/metrics.h"
+
+using namespace kml::observe;
+
+int run_probe() {
+  KML_COUNTER_INC("probe.counter");
+  KML_COUNTER_ADD("probe.counter", 5);
+  KML_GAUGE_SET("probe.gauge", -1);
+  KML_HIST_RECORD("probe.hist", 42);
+  KML_EVENT(EventId::kTunerDecision, 1, 2);
+  { KML_SPAN_NS("probe.span"); }
+  counter_add("probe.counter");
+  gauge_set("probe.gauge", 7);
+  hist_record("probe.hist", 9);
+  flight_record(EventId::kBufferPush, 1, 2);
+  flight_freeze();
+  flight_thaw();
+  flight_reset();
+  StepSample s;
+  introspect_record(s);
+  int alive = enabled() ? 1 : 0;
+  alive += flight_recording() ? 1 : 0;
+  alive += static_cast<int>(flight_total_events());
+  alive += static_cast<int>(introspect_steps());
+  alive += static_cast<int>(registry_overflow_count());
+  alive += static_cast<int>(format_json(snapshot()).size());
+  alive += static_cast<int>(format_chrome_trace(flight_snapshot()).size());
+  alive += static_cast<int>(format_introspect_json(introspect_snapshot())
+                                .size());
+  alive += static_cast<int>(format_flight_text(flight_snapshot()).size());
+  return alive;
+}
+EOF
+if ! "$CXX" $FLAGS "$tmp/probe.cpp" -o "$tmp/probe.o"; then
+  echo "observe_off_build: macro/API surface does not compile when OFF"
+  exit 1
+fi
+
+# 3. Zero added statics: the probe object must carry no global constructors
+#    and no data/bss definitions — everything compiled away.
+if command -v nm >/dev/null 2>&1; then
+  statics=$(nm "$tmp/probe.o" 2>/dev/null |
+    grep -E ' [bBdD] |_GLOBAL__sub_I|static_initialization')
+  if [ -n "$statics" ]; then
+    echo "observe_off_build: OFF probe still defines static storage:"
+    echo "$statics" | head -10
+    exit 1
+  fi
+fi
+
+echo "observe_off_build: clean"
+exit 0

@@ -150,8 +150,56 @@ TEST(Histogram, EmptyPercentileIsZero) {
   Histogram& h = get_histogram("test.hist.empty");
   h.reset();
   EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0), 0u);
   EXPECT_EQ(h.percentile(50), 0u);
   EXPECT_EQ(h.percentile(99), 0u);
+  EXPECT_EQ(h.percentile(1'000'000), 0u);  // clamp + empty together
+}
+
+TEST(Histogram, PercentileZeroIsSmallestRecordedBucket) {
+  // Regression: pct=0 used to compute rank 0 and report the first (empty)
+  // bucket — i.e. 0 — for data that never contained a zero. The rank
+  // clamps to 1, so p0 is the smallest *recorded* value's bucket.
+  Histogram& h = get_histogram("test.hist.p0");
+  h.reset();
+  for (int i = 0; i < 5; ++i) h.record(4096);
+  EXPECT_EQ(h.percentile(0),
+            Histogram::bucket_lower_bound(Histogram::bucket_index(4096)));
+}
+
+TEST(Histogram, PercentileAbove100ClampsTo100) {
+  Histogram& h = get_histogram("test.hist.clamp");
+  h.reset();
+  h.record(10);
+  h.record(1'000'000);
+  EXPECT_EQ(h.percentile(101), h.percentile(100));
+  EXPECT_EQ(h.percentile(std::numeric_limits<unsigned>::max()),
+            h.percentile(100));
+}
+
+TEST(Histogram, OverflowBucketIsCountedAndExported) {
+  Histogram& h = get_histogram("test.hist.ovfl");
+  h.reset();
+  EXPECT_EQ(h.overflow_count(), 0u);
+  h.record(1000);  // ordinary value: not an overflow
+  EXPECT_EQ(h.overflow_count(), 0u);
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  h.record(std::numeric_limits<std::uint64_t>::max() - 1);
+  EXPECT_EQ(h.overflow_count(), 2u);
+
+  // The saturation count rides along in the snapshot rows and both export
+  // formats (the "ovfl" table column / "overflow" JSON field).
+  const MetricsSnapshot snap = snapshot();
+  bool found = false;
+  for (const auto& row : snap.histograms) {
+    if (row.name == std::string("test.hist.ovfl")) {
+      found = true;
+      EXPECT_EQ(row.overflow, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(format_json(snap).find("\"overflow\":"), std::string::npos);
+  EXPECT_NE(format_table(snap).find("ovfl"), std::string::npos);
 }
 
 // --- runtime toggle & spans --------------------------------------------------
@@ -228,6 +276,32 @@ TEST(RegistryOverflow, GaugePoolExhaustionDegradesToSharedSlot) {
   ASSERT_NE(last, nullptr);
   Gauge& overflow = get_gauge("test.gauge.flood.another");
   EXPECT_EQ(&overflow, last);  // both past capacity -> same shared slot
+}
+
+TEST(RegistryOverflow, OverflowCountSurfacesAsSyntheticCounter) {
+  // Flood the counter pool past capacity, then check the loss is visible:
+  // registry_overflow_count() counts the refused registrations, and the
+  // snapshot surfaces them as the synthetic "observe.registry.overflow"
+  // counter so tool_metrics_dump (and any registry consumer) can alarm on
+  // silently-dropped metrics.
+  char name[64];
+  for (std::size_t i = 0; i < kMaxCounters + 4; ++i) {
+    std::snprintf(name, sizeof(name), "test.counter.flood.%zu", i);
+    get_counter(name).add(1);
+  }
+  EXPECT_GE(registry_overflow_count(), 4u);
+
+  const MetricsSnapshot snap = snapshot();
+  bool found = false;
+  for (const auto& row : snap.counters) {
+    if (row.name == kMetricRegistryOverflow) {
+      found = true;
+      EXPECT_GE(row.value, 4u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(format_json(snap).find("\"observe.registry.overflow\""),
+            std::string::npos);
 }
 
 #endif  // KML_OBSERVE_ENABLED

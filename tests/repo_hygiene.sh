@@ -38,5 +38,24 @@ if [ -n "$thread_offenders" ]; then
   exit 1
 fi
 
+# kml::observe is the record-path layer and must stay FPU-free: kernel
+# record paths cannot touch floating point (no kernel_fpu_begin on a trace
+# hook). Producers above the FPU line (runtime/nn/data) convert to
+# milli-unit integers before calling in, so no observe source may even
+# declare a float/double. Comments are stripped first; the word-boundary
+# match also catches parameters and casts.
+fpu_offenders=$(git ls-files src/observe | grep -E '\.(cpp|h)$' |
+  while read -r f; do
+    if sed -e 's://.*$::' "$f" | grep -qE '\b(float|double)\b'; then
+      echo "$f"
+    fi
+  done)
+if [ -n "$fpu_offenders" ]; then
+  echo "repo_hygiene: float/double in the FPU-free observe layer:"
+  echo "$fpu_offenders"
+  echo "repo_hygiene: convert to milli-unit integers in the producer instead"
+  exit 1
+fi
+
 echo "repo_hygiene: clean"
 exit 0
