@@ -1,0 +1,182 @@
+// bench_kv — durability and concurrency numbers for the crash-consistent
+// MiniKV (DESIGN.md §12).
+//
+// Two measurements, both real wall-clock (the durability plane and the
+// epoch-protected read path never touch the virtual-time simulator):
+//
+//   1. Recovery time: populate a durable store across several flushes and
+//      a checkpoint, kill it with a WAL tail outstanding, and time
+//      MiniKV::recover() — manifest load, run-file rebuild, WAL replay,
+//      and the post-replay flush + rotation.
+//   2. Concurrent-read throughput: get_concurrent() ops/sec against the
+//      recovered store at 1, 2, and 4 reader threads (kml_thread_create,
+//      same seam the kernel backend maps to kthread_run).
+//
+// Usage: bench_kv [--json] [--dir path]
+//
+// --json writes BENCH_kv.json (flat numeric fields, same convention as the
+// other bench binaries). --dir overrides the scratch directory (default
+// bench_kv.dbdir under the working directory; recreated on every run).
+#include "bench_common.h"
+
+#include "kv/minikv.h"
+#include "math/rng.h"
+#include "portability/epoch.h"
+#include "portability/kml_lib.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+namespace {
+
+using namespace kml;
+
+struct ReadWorker {
+  kv::MiniKV* db = nullptr;
+  std::uint64_t ops = 0;
+  std::uint64_t key_space = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t hits = 0;
+};
+
+void read_worker_main(void* arg) {
+  auto* w = static_cast<ReadWorker*>(arg);
+  math::Rng rng(w->seed);
+  for (std::uint64_t i = 0; i < w->ops; ++i) {
+    if (w->db->get_concurrent(rng.next_below(w->key_space))) ++w->hits;
+  }
+}
+
+// Run `threads` concurrent readers, `ops_per_thread` lookups each; returns
+// aggregate ops/sec.
+double run_readers(kv::MiniKV& db, unsigned threads,
+                   std::uint64_t ops_per_thread) {
+  std::vector<ReadWorker> workers(threads);
+  std::vector<KmlThread*> handles(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers[t].db = &db;
+    workers[t].ops = ops_per_thread;
+    workers[t].key_space = db.num_keys();  // base keys: always hits
+    workers[t].seed = 0x6b76u + t;
+  }
+  const std::uint64_t start = kml_now_ns();
+  for (unsigned t = 0; t < threads; ++t) {
+    handles[t] = kml_thread_create(read_worker_main, &workers[t], "kvread");
+  }
+  for (unsigned t = 0; t < threads; ++t) {
+    if (handles[t] != nullptr) kml_thread_join(handles[t]);
+  }
+  const std::uint64_t elapsed = kml_now_ns() - start;
+  const double total_ops =
+      static_cast<double>(ops_per_thread) * static_cast<double>(threads);
+  return elapsed == 0 ? 0.0 : total_ops * 1e9 / static_cast<double>(elapsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::consume_flag(&argc, argv, "--json");
+  std::string dir = "bench_kv.dbdir";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    }
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  kv::KVConfig config;
+  config.num_keys = 200'000;
+  config.memtable_limit_bytes = 1u << 20;  // 8192 entries per flush
+  config.durable_dir = dir;
+
+  // --- populate, checkpoint, kill -------------------------------------------
+  std::uint64_t durable_at_crash = 0;
+  std::uint64_t last_at_crash = 0;
+  {
+    sim::StorageStack stack(sim::StackConfig{});
+    kv::MiniKV db(stack, config);
+    math::Rng rng(42);
+    const std::uint64_t key_space = 4 * config.num_keys;
+    for (int i = 0; i < 60'000; ++i) db.put(rng.next_below(key_space));
+    if (!db.checkpoint()) {
+      std::fprintf(stderr, "bench_kv: checkpoint failed\n");
+      return 1;
+    }
+    // A post-checkpoint burst leaves a real WAL tail for recovery to replay.
+    for (int i = 0; i < 20'000; ++i) db.put(rng.next_below(key_space));
+    db.crash();
+    durable_at_crash = db.durable_seq();
+    last_at_crash = db.last_seq();
+    std::printf("populated: %llu puts (%llu flushes, %llu compactions), "
+                "crashed with durable_seq=%llu last_seq=%llu\n",
+                static_cast<unsigned long long>(db.stats().puts),
+                static_cast<unsigned long long>(db.stats().flushes),
+                static_cast<unsigned long long>(db.stats().compactions),
+                static_cast<unsigned long long>(durable_at_crash),
+                static_cast<unsigned long long>(last_at_crash));
+  }
+
+  // --- timed recovery --------------------------------------------------------
+  sim::StorageStack stack(sim::StackConfig{});
+  const std::uint64_t t0 = kml_now_ns();
+  auto db = kv::MiniKV::recover(stack, config);
+  const std::uint64_t recovery_ns = kml_now_ns() - t0;
+  if (db == nullptr) {
+    std::fprintf(stderr, "bench_kv: recovery failed\n");
+    return 1;
+  }
+  std::printf("recovered in %.2f ms: %llu WAL records replayed, "
+              "%zu runs, durable_seq=%llu\n",
+              static_cast<double>(recovery_ns) / 1e6,
+              static_cast<unsigned long long>(
+                  db->stats().wal_records_replayed),
+              db->run_count(),
+              static_cast<unsigned long long>(db->durable_seq()));
+
+  // --- concurrent-read throughput against the recovered store ---------------
+  constexpr std::uint64_t kOpsPerThread = 2'000'000;
+  const unsigned thread_counts[] = {1, 2, 4};
+  double ops_per_sec[3] = {0.0, 0.0, 0.0};
+  for (int i = 0; i < 3; ++i) {
+    ops_per_sec[i] = run_readers(*db, thread_counts[i], kOpsPerThread);
+    std::printf("concurrent reads, %u thread%s: %8.2f Mops/s\n",
+                thread_counts[i], thread_counts[i] == 1 ? " " : "s",
+                ops_per_sec[i] / 1e6);
+  }
+  const double scaling =
+      ops_per_sec[0] == 0.0 ? 0.0 : ops_per_sec[2] / ops_per_sec[0];
+  std::printf("4-thread scaling over 1 thread: %.2fx (on %u online CPUs; "
+              "flat aggregate is expected when threads > CPUs)\n",
+              scaling, kml_num_cpus());
+  std::printf("epoch domain: %llu retired, %llu freed, %llu stalls\n",
+              static_cast<unsigned long long>(kml_epoch_retired_total()),
+              static_cast<unsigned long long>(kml_epoch_freed_total()),
+              static_cast<unsigned long long>(kml_epoch_stalls()));
+
+  if (json) {
+    bench::JsonReport report;
+    report.add("recovery_ns", static_cast<double>(recovery_ns));
+    report.add("recovery_ms", static_cast<double>(recovery_ns) / 1e6);
+    report.add("wal_records_replayed",
+               static_cast<double>(db->stats().wal_records_replayed));
+    report.add("runs_after_recovery", static_cast<double>(db->run_count()));
+    report.add("durable_seq", static_cast<double>(db->durable_seq()));
+    report.add("concurrent_read_ops_per_sec_1t", ops_per_sec[0]);
+    report.add("concurrent_read_ops_per_sec_2t", ops_per_sec[1]);
+    report.add("concurrent_read_ops_per_sec_4t", ops_per_sec[2]);
+    report.add("scaling_4t_over_1t", scaling);
+    report.add("cpus", static_cast<double>(kml_num_cpus()));
+    const char* path = "BENCH_kv.json";
+    if (report.write_file(path)) {
+      std::printf("wrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return 1;
+    }
+  }
+  return 0;
+}

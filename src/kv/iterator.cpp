@@ -7,16 +7,33 @@ namespace kml::kv {
 
 // Sources: [0] = memtable snapshot (newest), then overlay runs newest->oldest,
 // then the base run. Lower source index wins on duplicate keys.
-Iterator::Iterator(MiniKV& db) : db_(db) {
+Iterator::Iterator(MiniKV& db) : db_(db), generation_(db.generation()) {
   Source mem;
   mem.table = nullptr;
   sources_.push_back(mem);
-  snapshot_ = db.memtable_.sorted_keys();
-  for (auto it = db.runs_.rbegin(); it != db.runs_.rend(); ++it) {
+  const MiniKV::LiveState* state = db.live();
+  snapshot_ = state->mem->sorted_keys();
+  pinned_runs_ = state->runs;
+  for (auto it = pinned_runs_.rbegin(); it != pinned_runs_.rend(); ++it) {
     Source s;
     s.table = it->get();
     sources_.push_back(s);
   }
+}
+
+bool Iterator::ensure_current() {
+  if (invalidated_) return false;
+  if (db_.generation() != generation_) {
+    // The backing store mutated under this iterator. Debug builds stop the
+    // test on the spot; release builds park the iterator in a permanent,
+    // queryable error state instead of serving stale (or, pre-generation-
+    // counter, freed) runs.
+    assert(!"kv::Iterator used after MiniKV mutation invalidated it");
+    invalidated_ = true;
+    valid_ = false;
+    return false;
+  }
+  return true;
 }
 
 std::uint64_t Iterator::source_count(const Source& s) const {
@@ -118,13 +135,23 @@ void Iterator::settle_backward() {
   }
 }
 
-void Iterator::seek_to_first() { seek_forward(0); }
+void Iterator::seek_to_first() {
+  if (!ensure_current()) return;
+  seek_forward(0);
+}
 
-void Iterator::seek_to_last() { seek_backward(UINT64_MAX); }
+void Iterator::seek_to_last() {
+  if (!ensure_current()) return;
+  seek_backward(UINT64_MAX);
+}
 
-void Iterator::seek(std::uint64_t key) { seek_forward(key); }
+void Iterator::seek(std::uint64_t key) {
+  if (!ensure_current()) return;
+  seek_forward(key);
+}
 
 void Iterator::next() {
+  if (!ensure_current()) return;
   assert(valid_);
   db_.stack_->charge_cpu_ns(db_.config_.cpu_next_ns);
   ++db_.stats_.iter_steps;
@@ -148,6 +175,7 @@ void Iterator::next() {
 }
 
 void Iterator::prev() {
+  if (!ensure_current()) return;
   assert(valid_);
   db_.stack_->charge_cpu_ns(db_.config_.cpu_next_ns);
   ++db_.stats_.iter_steps;

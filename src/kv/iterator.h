@@ -26,6 +26,14 @@ class Iterator {
   void next();
   void prev();
 
+  // An iterator captures MiniKV::generation() at construction; any
+  // mutation (put/flush/compact/checkpoint) moves it. The first operation
+  // on a stale iterator trips an assert in debug builds and, in all
+  // builds, parks the iterator here permanently: valid() turns false and
+  // every further call is a no-op. Loud beats silently reading runs that
+  // compaction may have retired.
+  bool invalidated() const { return invalidated_; }
+
  private:
   struct Source {
     const Table* table;     // nullptr for the memtable snapshot
@@ -35,6 +43,7 @@ class Iterator {
     std::uint64_t loaded_block = UINT64_MAX;
   };
 
+  bool ensure_current();  // generation check; false = invalidated
   std::uint64_t source_count(const Source& s) const;
   std::uint64_t source_key_at(const Source& s, std::uint64_t idx) const;
   std::uint64_t source_lower_bound(const Source& s, std::uint64_t key) const;
@@ -45,10 +54,16 @@ class Iterator {
   void settle_backward();  // pick max key across sources, dedupe
 
   MiniKV& db_;
+  std::uint64_t generation_;             // db generation at construction
   std::vector<std::uint64_t> snapshot_;  // memtable keys at construction
+  // Keeps the captured runs alive even if the db compacts them away while
+  // this iterator is stale — the generation check makes staleness loud,
+  // the pin makes even a missed check memory-safe.
+  std::vector<std::shared_ptr<Table>> pinned_runs_;
   std::vector<Source> sources_;  // [0] = memtable, then runs newest->oldest
   bool valid_ = false;
   bool forward_ = true;
+  bool invalidated_ = false;
   std::uint64_t current_key_ = 0;
 };
 

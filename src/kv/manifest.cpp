@@ -1,0 +1,226 @@
+#include "kv/manifest.h"
+
+#include "portability/checksum.h"
+#include "portability/fault.h"
+#include "portability/file.h"
+#include "portability/log.h"
+
+#include <cstring>
+
+namespace kml::kv {
+namespace {
+
+// Little-endian image builders (shared shape with the model serializer;
+// small enough that a dependency on nn/ would cost more than it saves).
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (left < 4) {
+      ok = false;
+      return 0;
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                            static_cast<std::uint32_t>(p[1]) << 8 |
+                            static_cast<std::uint32_t>(p[2]) << 16 |
+                            static_cast<std::uint32_t>(p[3]) << 24;
+    p += 4;
+    left -= 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+};
+
+// Slurp a whole file; empty vector on failure. Size-capped: both formats
+// here are small (manifest) or bounded by kMaxRunEntries (runs).
+bool slurp(const std::string& path, std::vector<std::uint8_t>* out) {
+  const std::int64_t size = kml_fsize(path.c_str());
+  if (size < 0) return false;
+  constexpr std::int64_t kCap =
+      static_cast<std::int64_t>(kMaxRunEntries * 8 + 4096);
+  if (size > kCap) return false;
+  KmlFile* f = kml_fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  out->resize(static_cast<std::size_t>(size));
+  const std::int64_t got =
+      size == 0 ? 0 : kml_fread(f, out->data(), out->size());
+  kml_fclose(f);
+  return got == size;
+}
+
+// Write image + CRC footer to `path` in one shot. `fault` (if not
+// kSiteCount) tears the write: half the bytes land, then failure.
+bool write_image(const std::string& path,
+                 const std::vector<std::uint8_t>& image, FaultSite fault) {
+  std::vector<std::uint8_t> footed = image;
+  put_u32(footed, kml_crc32(image.data(), image.size()));
+
+  KmlFile* f = kml_fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    KML_ERROR("kv: cannot create %s", path.c_str());
+    return false;
+  }
+  if (fault != FaultSite::kSiteCount && kml_fault_should_fail(fault)) {
+    (void)kml_fwrite(f, footed.data(), footed.size() / 2);
+    (void)kml_fflush(f);
+    kml_fclose(f);
+    return false;
+  }
+  const bool ok = kml_fwrite(f, footed.data(), footed.size()) ==
+                      static_cast<std::int64_t>(footed.size()) &&
+                  kml_fflush(f);
+  kml_fclose(f);
+  if (!ok) KML_ERROR("kv: write failed for %s", path.c_str());
+  return ok;
+}
+
+// Slurp + CRC-verify; on success strips the footer and leaves the payload.
+bool read_image(const std::string& path, std::vector<std::uint8_t>* image) {
+  if (!slurp(path, image)) return false;
+  if (image->size() < 4) return false;
+  const std::size_t payload = image->size() - 4;
+  const std::uint32_t stored = static_cast<std::uint32_t>((*image)[payload]) |
+                               static_cast<std::uint32_t>((*image)[payload + 1])
+                                   << 8 |
+                               static_cast<std::uint32_t>((*image)[payload + 2])
+                                   << 16 |
+                               static_cast<std::uint32_t>((*image)[payload + 3])
+                                   << 24;
+  if (kml_crc32(image->data(), payload) != stored) return false;
+  image->resize(payload);
+  return true;
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& dir) { return dir + "/MANIFEST"; }
+
+std::string run_path(const std::string& dir, std::uint64_t file_id) {
+  return dir + "/run_" + std::to_string(file_id) + ".kvr";
+}
+
+std::string wal_path(const std::string& dir, std::uint64_t file_id) {
+  return dir + "/wal_" + std::to_string(file_id) + ".log";
+}
+
+ManifestSave save_manifest(const std::string& dir, const ManifestData& m) {
+  std::vector<std::uint8_t> image;
+  put_u32(image, kManifestMagic);
+  put_u32(image, kManifestVersion);
+  put_u64(image, m.num_base_keys);
+  put_u64(image, m.next_seq);
+  put_u64(image, m.next_file_id);
+  put_u64(image, m.checkpoint_id);
+  put_u64(image, m.wal_file_id);
+  put_u64(image, m.wal_start_seq);
+  put_u64(image, m.runs.size());
+  for (const RunRef& r : m.runs) {
+    put_u64(image, r.file_id);
+    put_u64(image, r.entry_count);
+  }
+
+  const std::string final_path = manifest_path(dir);
+  const std::string tmp_path = final_path + ".tmp";
+  if (!write_image(tmp_path, image, FaultSite::kCheckpointWrite)) {
+    (void)kml_fremove(tmp_path.c_str());
+    return ManifestSave::kWriteFailed;
+  }
+  if (kml_fault_should_fail(FaultSite::kManifestRename) ||
+      !kml_frename(tmp_path.c_str(), final_path.c_str())) {
+    // The commit step failed: the old manifest (if any) is untouched, the
+    // temp file is swept so a later checkpoint starts clean.
+    (void)kml_fremove(tmp_path.c_str());
+    return ManifestSave::kRenameFailed;
+  }
+  return ManifestSave::kOk;
+}
+
+ManifestLoad load_manifest(const std::string& dir, ManifestData* out) {
+  const std::string path = manifest_path(dir);
+  if (kml_fsize(path.c_str()) < 0) return ManifestLoad::kMissing;
+
+  std::vector<std::uint8_t> image;
+  if (!read_image(path, &image)) return ManifestLoad::kTorn;
+
+  Reader r{image.data(), image.size()};
+  if (r.u32() != kManifestMagic || r.u32() != kManifestVersion) {
+    return ManifestLoad::kTorn;
+  }
+  ManifestData m;
+  m.num_base_keys = r.u64();
+  m.next_seq = r.u64();
+  m.next_file_id = r.u64();
+  m.checkpoint_id = r.u64();
+  m.wal_file_id = r.u64();
+  m.wal_start_seq = r.u64();
+  const std::uint64_t run_count = r.u64();
+  if (!r.ok || run_count > kMaxManifestRuns) return ManifestLoad::kTorn;
+  m.runs.reserve(run_count);
+  for (std::uint64_t i = 0; i < run_count; ++i) {
+    RunRef ref;
+    ref.file_id = r.u64();
+    ref.entry_count = r.u64();
+    if (!r.ok || ref.entry_count > kMaxRunEntries) return ManifestLoad::kTorn;
+    m.runs.push_back(ref);
+  }
+  // Trailing bytes mean this is not an image our writer produced.
+  if (!r.ok || r.left != 0) return ManifestLoad::kTorn;
+  *out = std::move(m);
+  return ManifestLoad::kOk;
+}
+
+bool save_run_file(const std::string& dir, std::uint64_t file_id,
+                   const std::vector<std::uint64_t>& keys) {
+  std::vector<std::uint8_t> image;
+  image.reserve(16 + keys.size() * 8 + 4);
+  put_u32(image, kRunFileMagic);
+  put_u32(image, kRunFileVersion);
+  put_u64(image, keys.size());
+  for (const std::uint64_t k : keys) put_u64(image, k);
+  return write_image(run_path(dir, file_id), image, FaultSite::kRunFlush);
+}
+
+bool load_run_file(const std::string& dir, std::uint64_t file_id,
+                   std::uint64_t expected_entries,
+                   std::vector<std::uint64_t>* keys) {
+  std::vector<std::uint8_t> image;
+  if (!read_image(run_path(dir, file_id), &image)) return false;
+  Reader r{image.data(), image.size()};
+  if (r.u32() != kRunFileMagic || r.u32() != kRunFileVersion) return false;
+  const std::uint64_t count = r.u64();
+  if (!r.ok || count != expected_entries || count > kMaxRunEntries) {
+    return false;
+  }
+  keys->clear();
+  keys->reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t k = r.u64();
+    if (i != 0 && k <= prev) return false;  // runs are strictly sorted
+    prev = k;
+    keys->push_back(k);
+  }
+  if (!r.ok || r.left != 0) return false;
+  return true;
+}
+
+}  // namespace kml::kv

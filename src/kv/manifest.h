@@ -1,0 +1,87 @@
+// manifest.h — MiniKV's checkpoint manifest and durable run files.
+//
+// The manifest is the store's commit point: a single small file naming the
+// base run, every overlay run file, the live WAL file, and the first
+// sequence number the WAL may still hold. It reuses the model-format-v2
+// discipline end to end — versioned header, CRC-32 footer, written to a
+// temp file and atomically renamed into place — so a crash at any byte
+// leaves either the old manifest or the new one, never a torn mix. A load
+// that fails the magic/version/CRC check is *rejected* (the caller counts a
+// torn manifest and refuses to open the store from it).
+//
+// Run files are the flushed overlays: a sorted key array with its own
+// CRC-footed header, written before the manifest that references them.
+// Ordering invariant: run file first, then manifest — a manifest never
+// names bytes that are not already durable.
+//
+// Fault seams (the kill-and-recover harness arms these):
+//   kRunFlush        — run-file payload write fails (torn run file)
+//   kCheckpointWrite — manifest temp-file payload write fails
+//   kManifestRename  — the temp -> MANIFEST rename (the commit) fails
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kml::kv {
+
+inline constexpr std::uint32_t kManifestMagic = 0x464d5648;  // 'KVMF'
+inline constexpr std::uint32_t kManifestVersion = 1;
+inline constexpr std::uint32_t kRunFileMagic = 0x4e525648;   // 'KVRN'
+inline constexpr std::uint32_t kRunFileVersion = 1;
+// Bounds a corrupt count field during load (same belt as model load).
+inline constexpr std::uint64_t kMaxRunEntries = 1ull << 28;
+inline constexpr std::uint64_t kMaxManifestRuns = 1ull << 16;
+
+// One overlay run file reference, newest last (the order runs were
+// flushed; lookup priority is derived, not stored).
+struct RunRef {
+  std::uint64_t file_id = 0;      // names run_<file_id>.kvr
+  std::uint64_t entry_count = 0;  // keys in the file (load-time check)
+};
+
+struct ManifestData {
+  std::uint64_t num_base_keys = 0;   // dense base run [0, num_base_keys)
+  std::uint64_t next_seq = 1;        // first unassigned sequence number
+  std::uint64_t next_file_id = 1;    // run-file id allocator high-water mark
+  std::uint64_t checkpoint_id = 0;   // bumped per WAL rotation
+  std::uint64_t wal_file_id = 0;     // names wal_<id>.log
+  std::uint64_t wal_start_seq = 1;   // replay filter: seqs below are in runs
+  std::vector<RunRef> runs;          // oldest first
+};
+
+// Path helpers (single source of truth for the on-disk layout).
+std::string manifest_path(const std::string& dir);
+std::string run_path(const std::string& dir, std::uint64_t file_id);
+std::string wal_path(const std::string& dir, std::uint64_t file_id);
+
+// Write the manifest via temp + atomic rename. On any failure the previous
+// manifest (if any) is still intact and the temp file is swept. The result
+// names the step that failed so the caller can report the right fault site.
+enum class ManifestSave {
+  kOk,
+  kWriteFailed,   // temp-file payload write (kCheckpointWrite seam)
+  kRenameFailed,  // temp -> MANIFEST commit (kManifestRename seam)
+};
+
+ManifestSave save_manifest(const std::string& dir, const ManifestData& m);
+
+enum class ManifestLoad {
+  kOk,
+  kMissing,  // no MANIFEST file: nothing was ever checkpointed here
+  kTorn,     // present but fails magic/version/CRC/bounds — refuse to open
+};
+
+ManifestLoad load_manifest(const std::string& dir, ManifestData* out);
+
+// Durable overlay run files. save returns false on I/O error or an
+// injected kRunFlush fault (a torn file may remain; it is not referenced
+// by any manifest until save_manifest succeeds afterwards).
+bool save_run_file(const std::string& dir, std::uint64_t file_id,
+                   const std::vector<std::uint64_t>& keys);
+bool load_run_file(const std::string& dir, std::uint64_t file_id,
+                   std::uint64_t expected_entries,
+                   std::vector<std::uint64_t>* keys);
+
+}  // namespace kml::kv

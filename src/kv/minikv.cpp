@@ -1,34 +1,192 @@
 #include "kv/minikv.h"
 
 #include "kv/iterator.h"
+#include "observe/flight_recorder.h"
+#include "observe/metrics.h"
+#include "portability/epoch.h"
+#include "portability/file.h"
 #include "portability/log.h"
 
 #include <algorithm>
 
 namespace kml::kv {
 
-MiniKV::MiniKV(sim::StorageStack& stack, const KVConfig& config)
-    : stack_(&stack), config_(config), memtable_(config.geom.entry_bytes) {
-  runs_.push_back(
-      std::make_unique<DenseRun>(stack, config.geom, config.num_keys));
-  // WAL: a modest circular file.
-  wal_inode_ = stack.files().create(/*size_pages=*/4096).inode;
+void MiniKV::delete_live_state(void* p) {
+  delete static_cast<LiveState*>(p);
 }
 
-MiniKV::~MiniKV() = default;
+MiniKV::MiniKV(sim::StorageStack& stack, const KVConfig& config)
+    : stack_(&stack), config_(config) {
+  auto state = new LiveState;
+  state->mem = make_memtable();
+  state->runs.push_back(
+      std::make_shared<DenseRun>(stack, config_.geom, config_.num_keys));
+  live_.store(state, std::memory_order_release);
+  init_sim_wal();
+
+  if (!config_.durable_dir.empty()) {
+    durable_ = true;
+    // Seed the directory: an empty WAL and a manifest naming it, so a
+    // crash one microsecond from now already recovers to a valid (empty-
+    // overlay) store.
+    if (!wal_.open(wal_path(config_.durable_dir, wal_file_id_),
+                   /*truncate=*/true)) {
+      durability_fault(FaultSite::kWalAppend);
+      return;
+    }
+    (void)write_manifest();
+  }
+}
+
+MiniKV::MiniKV(sim::StorageStack& stack, const KVConfig& config,
+               const ManifestData& m)
+    : stack_(&stack), config_(config) {
+  durable_ = true;
+  config_.num_keys = m.num_base_keys;
+  next_seq_ = m.next_seq;
+  next_file_id_ = m.next_file_id;
+  checkpoint_id_ = m.checkpoint_id;
+  wal_file_id_ = m.wal_file_id;
+  wal_start_seq_ = m.wal_start_seq;
+  run_refs_ = m.runs;
+
+  auto state = new LiveState;
+  state->mem = make_memtable();
+  state->runs.push_back(
+      std::make_shared<DenseRun>(stack, config_.geom, m.num_base_keys));
+
+  // Overlay runs, oldest first, from their durable files. A manifest never
+  // references bytes that were not fully written (run file before manifest,
+  // always), so a failed load here means corruption outside our own fault
+  // model — refuse to open rather than serve wrong answers.
+  for (const RunRef& ref : run_refs_) {
+    std::vector<std::uint64_t> keys;
+    if (!load_run_file(config_.durable_dir, ref.file_id, ref.entry_count,
+                       &keys)) {
+      KML_ERROR("minikv: run file %llu unreadable during recovery",
+                static_cast<unsigned long long>(ref.file_id));
+      failed_ = true;
+      live_.store(state, std::memory_order_release);
+      return;
+    }
+    state->runs.push_back(std::make_shared<SortedRun>(
+        stack, config_.geom, std::move(keys), config_.bloom_bits_per_key,
+        /*charge_flush=*/false));
+  }
+
+  // Replay the WAL tail into the fresh memtable: exactly the acknowledged
+  // writes newer than the last flush. A torn tail (the un-acked group a
+  // crash cut short) fails its frame CRC and is dropped whole.
+  const WalReplayResult replay = wal_replay(
+      wal_path(config_.durable_dir, wal_file_id_), wal_start_seq_,
+      [&state](std::uint64_t key, std::uint64_t seq) {
+        state->mem->put(key, seq);
+      });
+  if (replay.opened) {
+    ++stats_.wal_replays;
+    stats_.wal_records_replayed += replay.records;
+    KML_COUNTER_INC(observe::kMetricKvWalReplays);
+    KML_COUNTER_ADD(observe::kMetricKvWalRecordsReplayed, replay.records);
+  }
+  if (replay.last_seq + 1 > next_seq_) next_seq_ = replay.last_seq + 1;
+  wal_tail_seq_ = durable_seq_ = next_seq_ - 1;
+
+  live_.store(state, std::memory_order_release);
+  init_sim_wal();
+
+  // Leave the store on a clean log: flush what the replay rebuilt, then
+  // rotate onto a fresh WAL + manifest. After this, a second recovery of
+  // the same directory needs no replay at all — and any torn tail from the
+  // crash is physically gone instead of lurking mid-file.
+  flush_memtable();
+  if (failed_ || !rotate_wal()) {
+    failed_ = true;
+    return;
+  }
+
+  ++stats_.recoveries;
+  KML_COUNTER_INC(observe::kMetricKvRecoveries);
+  KML_EVENT(observe::EventId::kKvRecover, replay.records, durable_seq_);
+  KML_INFO("minikv: recovered %llu runs, %llu WAL records, durable_seq=%llu",
+           static_cast<unsigned long long>(run_refs_.size()),
+           static_cast<unsigned long long>(replay.records),
+           static_cast<unsigned long long>(durable_seq_));
+}
+
+std::unique_ptr<MiniKV> MiniKV::recover(sim::StorageStack& stack,
+                                        const KVConfig& config) {
+  ManifestData m;
+  switch (load_manifest(config.durable_dir, &m)) {
+    case ManifestLoad::kMissing:
+      KML_WARN("minikv: no manifest in %s", config.durable_dir.c_str());
+      return nullptr;
+    case ManifestLoad::kTorn: {
+      // The torn-manifest gate: a half-written MANIFEST (only possible if
+      // the atomic-rename discipline was violated or the disk lied) is
+      // rejected outright — never half-loaded.
+      const std::int64_t bytes =
+          kml_fsize(manifest_path(config.durable_dir).c_str());
+      KML_COUNTER_INC(observe::kMetricKvTornManifests);
+      KML_EVENT(observe::EventId::kKvTornManifest,
+                bytes < 0 ? 0 : static_cast<std::uint64_t>(bytes));
+      KML_ERROR("minikv: torn manifest in %s rejected (%lld bytes)",
+                config.durable_dir.c_str(), static_cast<long long>(bytes));
+      return nullptr;
+    }
+    case ManifestLoad::kOk:
+      break;
+  }
+  auto db = std::unique_ptr<MiniKV>(new MiniKV(stack, config, m));
+  if (db->failed_) return nullptr;
+  return db;
+}
+
+MiniKV::~MiniKV() {
+  if (durable_ && !failed_) {
+    // Clean shutdown: group-commit the tail so nothing acked-in-memory is
+    // lost. (A store being torn down mid-fault skips this — that is the
+    // crash the harness recovers from.)
+    (void)commit_wal();
+  }
+  wal_.close();
+  delete live_.load(std::memory_order_relaxed);
+  // Sweep any LiveStates still parked in the epoch domain (readers are
+  // gone by contract when the owner destructs).
+  kml_epoch_reclaim();
+}
+
+void MiniKV::init_sim_wal() {
+  // WAL: a modest circular file (virtual-time plane).
+  wal_inode_ = stack_->files().create(/*size_pages=*/4096).inode;
+}
+
+std::shared_ptr<Memtable> MiniKV::make_memtable() const {
+  const std::uint64_t hint =
+      config_.memtable_limit_bytes / config_.geom.entry_bytes;
+  return std::make_shared<Memtable>(config_.geom.entry_bytes, hint);
+}
+
+void MiniKV::publish(LiveState* next) {
+  LiveState* old = live_.exchange(next, std::memory_order_acq_rel);
+  kml_epoch_retire(old, &delete_live_state);
+  ++stats_.epoch_deferred_frees;
+  KML_COUNTER_INC(observe::kMetricKvEpochDeferredFrees);
+  kml_epoch_reclaim();
+}
 
 bool MiniKV::get(std::uint64_t key) {
   stack_->charge_cpu_ns(config_.cpu_get_ns);
   ++stats_.gets;
+  LiveState* s = live();
 
-  if (memtable_.contains(key)) {
+  if (s->mem->contains(key)) {
     ++stats_.memtable_hits;
     ++stats_.get_hits;
     return true;
   }
 
   // Newest overlay first, base run last.
-  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+  for (auto it = s->runs.rbegin(); it != s->runs.rend(); ++it) {
     Table& run = **it;
     if (!run.may_contain(key)) continue;
     const auto idx = run.find(key);
@@ -48,11 +206,39 @@ bool MiniKV::get(std::uint64_t key) {
   return false;
 }
 
+bool MiniKV::get_concurrent(std::uint64_t key) {
+  // Pin an epoch, then load the snapshot: the publish order (store state,
+  // then retire old) plus the pin guarantees everything reachable from `s`
+  // outlives this scope. Pure index walk — no sim calls, no plain-field
+  // stats, no blocking.
+  EpochGuard guard;
+  const LiveState* s = live_.load(std::memory_order_acquire);
+  concurrent_gets_.fetch_add(1, std::memory_order_relaxed);
+
+  bool hit = s->mem->contains(key);
+  if (!hit) {
+    for (auto it = s->runs.rbegin(); it != s->runs.rend(); ++it) {
+      const Table& run = **it;
+      if (!run.may_contain(key)) continue;
+      if (run.find(key).has_value()) {
+        hit = true;
+        break;
+      }
+    }
+  }
+  if (hit) concurrent_hits_.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
 void MiniKV::put(std::uint64_t key) {
+  if (failed_) return;  // crashed store: writes are refused, never acked
   stack_->charge_cpu_ns(config_.cpu_put_ns);
   ++stats_.puts;
-  wal_append();
-  memtable_.put(key);
+  const std::uint64_t seq = next_seq_++;
+  wal_buffer_append(key, seq);
+  if (failed_) return;  // group commit tore at the buffer boundary
+  live()->mem->put(key, seq);
+  ++generation_;
   maybe_flush();
 }
 
@@ -60,42 +246,97 @@ std::unique_ptr<Iterator> MiniKV::new_iterator() {
   return std::make_unique<Iterator>(*this);
 }
 
-void MiniKV::wal_append() {
+void MiniKV::wal_buffer_append(std::uint64_t key, std::uint64_t seq) {
+  if (durable_) wal_.append(key, seq);
+  wal_tail_seq_ = seq;
   wal_fill_bytes_ += config_.geom.entry_bytes;
-  if (wal_fill_bytes_ < config_.wal_buffer_bytes) return;
+  if (wal_fill_bytes_ >= config_.wal_buffer_bytes) (void)commit_wal();
+}
 
-  // Group commit: dirty the WAL pages through the cache (writeback
-  // tracepoints fire), then fsync — the durability point of the commit.
-  const std::uint64_t pages =
-      (wal_fill_bytes_ + sim::kPageSize - 1) / sim::kPageSize;
-  sim::FileHandle& wal = stack_->files().get(wal_inode_);
-  if (wal_page_cursor_ + pages > wal.size_pages) wal_page_cursor_ = 0;
-  stack_->cache().write(wal, wal_page_cursor_, pages);
-  stack_->cache().sync_file(wal_inode_);
-  wal_page_cursor_ += pages;
-  wal_fill_bytes_ = 0;
-  ++stats_.wal_flushes;
+bool MiniKV::commit_wal() {
+  // Virtual-time plane: dirty the WAL pages through the cache (writeback
+  // tracepoints fire), then fsync — the group commit the sim charges.
+  if (wal_fill_bytes_ > 0) {
+    const std::uint64_t pages =
+        (wal_fill_bytes_ + sim::kPageSize - 1) / sim::kPageSize;
+    sim::FileHandle& wal = stack_->files().get(wal_inode_);
+    if (wal_page_cursor_ + pages > wal.size_pages) wal_page_cursor_ = 0;
+    stack_->cache().write(wal, wal_page_cursor_, pages);
+    stack_->cache().sync_file(wal_inode_);
+    wal_page_cursor_ += pages;
+    wal_fill_bytes_ = 0;
+    ++stats_.wal_flushes;
+  }
+  // Durability plane: the real group commit. Only after the frame is on
+  // disk do the buffered sequence numbers count as acknowledged.
+  if (durable_ && wal_.buffered_records() > 0) {
+    if (!wal_.commit()) {
+      durability_fault(FaultSite::kWalAppend);
+      return false;
+    }
+  }
+  durable_seq_ = wal_tail_seq_;
+  return true;
 }
 
 void MiniKV::maybe_flush() {
-  if (memtable_.approximate_bytes() < config_.memtable_limit_bytes) return;
-  runs_.push_back(std::make_unique<SortedRun>(*stack_, config_.geom,
-                                              memtable_.sorted_keys(),
-                                              config_.bloom_bits_per_key));
-  memtable_.clear();
+  Memtable& mem = *live()->mem;
+  if (mem.approximate_bytes() < config_.memtable_limit_bytes &&
+      !mem.index_full()) {
+    return;
+  }
+  flush_memtable();
+}
+
+void MiniKV::flush_memtable() {
+  LiveState* cur = live();
+  if (cur->mem->empty()) return;
+
+  // Durable ordering: (1) WAL group commit — everything in the memtable is
+  // acked before it moves; (2) run file; (3) manifest referencing it;
+  // (4) publish. A crash between any two steps recovers to a consistent
+  // prefix: the WAL still covers whatever the manifest does not.
+  if (durable_ && !commit_wal()) return;
+
+  std::vector<std::uint64_t> keys = cur->mem->sorted_keys();
+  std::uint64_t file_id = 0;
+  if (durable_) {
+    file_id = next_file_id_++;
+    if (!save_run_file(config_.durable_dir, file_id, keys)) {
+      durability_fault(FaultSite::kRunFlush);
+      return;
+    }
+  }
+
+  auto run = std::make_shared<SortedRun>(
+      *stack_, config_.geom, std::move(keys), config_.bloom_bits_per_key);
+
+  if (durable_) {
+    run_refs_.push_back(RunRef{file_id, run->entry_count()});
+    wal_start_seq_ = next_seq_;  // all lower seqs now live in run files
+    if (!write_manifest()) return;
+  }
+
+  auto next = new LiveState;
+  next->mem = make_memtable();
+  next->runs = cur->runs;
+  next->runs.push_back(std::move(run));
+  publish(next);
   ++stats_.flushes;
+  ++generation_;
   compact_if_needed();
 }
 
 void MiniKV::compact_if_needed() {
+  LiveState* cur = live();
   // Overlay count excludes the base run at index 0.
-  if (runs_.size() - 1 <= config_.max_overlay_runs) return;
+  if (cur->runs.size() - 1 <= config_.max_overlay_runs) return;
 
   // Merge all overlays into one: sequential read of every overlay block
   // through the cache, then write the merged run.
   std::vector<std::uint64_t> merged;
-  for (std::size_t r = 1; r < runs_.size(); ++r) {
-    Table& run = *runs_[r];
+  for (std::size_t r = 1; r < cur->runs.size(); ++r) {
+    Table& run = *cur->runs[r];
     const std::uint64_t epb = run.geometry().entries_per_block();
     for (std::uint64_t idx = 0; idx < run.entry_count(); ++idx) {
       if (idx % epb == 0) run.read_block_for(*stack_, idx);
@@ -105,16 +346,129 @@ void MiniKV::compact_if_needed() {
   std::sort(merged.begin(), merged.end());
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
 
-  // Drop the old overlay files, keep the base.
-  for (std::size_t r = 1; r < runs_.size(); ++r) {
-    stack_->files().remove(runs_[r]->inode());
+  std::uint64_t file_id = 0;
+  std::vector<RunRef> old_refs;
+  if (durable_) {
+    file_id = next_file_id_++;
+    if (!save_run_file(config_.durable_dir, file_id, merged)) {
+      durability_fault(FaultSite::kRunFlush);
+      return;
+    }
   }
-  runs_.resize(1);
-  runs_.push_back(std::make_unique<SortedRun>(
-      *stack_, config_.geom, std::move(merged), config_.bloom_bits_per_key));
+
+  auto run = std::make_shared<SortedRun>(
+      *stack_, config_.geom, std::move(merged), config_.bloom_bits_per_key);
+
+  if (durable_) {
+    old_refs = run_refs_;
+    run_refs_.clear();
+    run_refs_.push_back(RunRef{file_id, run->entry_count()});
+    if (!write_manifest()) return;
+    // Only after the manifest commit are the old overlay files garbage.
+    for (const RunRef& ref : old_refs) {
+      (void)kml_fremove(run_path(config_.durable_dir, ref.file_id).c_str());
+    }
+  }
+
+  // Drop the old overlay sim files, keep the base. Safe even with live
+  // concurrent readers: get_concurrent never touches sim state, and the
+  // Table objects themselves stay alive until the epoch drains.
+  for (std::size_t r = 1; r < cur->runs.size(); ++r) {
+    stack_->files().remove(cur->runs[r]->inode());
+  }
+
+  auto next = new LiveState;
+  next->mem = cur->mem;
+  next->runs.push_back(cur->runs[0]);
+  next->runs.push_back(std::move(run));
+  publish(next);
   ++stats_.compactions;
+  ++generation_;
   KML_DEBUG("minikv: compacted overlays into %llu entries",
-            static_cast<unsigned long long>(runs_.back()->entry_count()));
+            static_cast<unsigned long long>(
+                live()->runs.back()->entry_count()));
+}
+
+bool MiniKV::write_manifest() {
+  ManifestData m;
+  m.num_base_keys = config_.num_keys;
+  m.next_seq = next_seq_;
+  m.next_file_id = next_file_id_;
+  m.checkpoint_id = checkpoint_id_;
+  m.wal_file_id = wal_file_id_;
+  m.wal_start_seq = wal_start_seq_;
+  m.runs = run_refs_;
+  switch (save_manifest(config_.durable_dir, m)) {
+    case ManifestSave::kOk:
+      return true;
+    case ManifestSave::kWriteFailed:
+      durability_fault(FaultSite::kCheckpointWrite);
+      return false;
+    case ManifestSave::kRenameFailed:
+      durability_fault(FaultSite::kManifestRename);
+      return false;
+  }
+  return false;
+}
+
+bool MiniKV::rotate_wal() {
+  const std::uint64_t old_wal_id = wal_file_id_;
+  ++checkpoint_id_;
+  wal_.close();
+  if (!wal_.open(wal_path(config_.durable_dir, checkpoint_id_),
+                 /*truncate=*/true)) {
+    durability_fault(FaultSite::kWalAppend);
+    return false;
+  }
+  wal_file_id_ = checkpoint_id_;
+  wal_start_seq_ = next_seq_;
+  if (!write_manifest()) return false;
+  // The old log is dead only once the manifest stopped referencing it. A
+  // crash right here leaves an orphaned file, not an inconsistency.
+  if (old_wal_id != wal_file_id_) {
+    (void)kml_fremove(wal_path(config_.durable_dir, old_wal_id).c_str());
+  }
+  return true;
+}
+
+bool MiniKV::checkpoint() {
+  if (failed_) return false;
+  if (!durable_) {
+    // In-memory store: checkpoint degenerates to "flush the buffer".
+    flush_memtable();
+    ++stats_.checkpoints;
+    ++generation_;
+    return true;
+  }
+  // Ack the tail, persist the memtable (flush writes its own manifest),
+  // then rotate onto an empty WAL. After this the directory recovers with
+  // zero replay.
+  if (!commit_wal()) return false;
+  flush_memtable();
+  if (failed_) return false;
+  if (!rotate_wal()) return false;
+  ++stats_.checkpoints;
+  ++generation_;
+  KML_COUNTER_INC(observe::kMetricKvCheckpoints);
+  KML_EVENT(observe::EventId::kKvCheckpoint, checkpoint_id_,
+            run_refs_.size());
+  return true;
+}
+
+void MiniKV::crash() {
+  failed_ = true;
+  wal_.abandon();  // buffered (un-acked) records die with the power
+}
+
+void MiniKV::durability_fault(FaultSite site) {
+  failed_ = true;
+  wal_.abandon();
+  KML_COUNTER_INC(observe::kMetricKvDurabilityFaults);
+  KML_EVENT(observe::EventId::kKvDurabilityFault,
+            static_cast<std::uint64_t>(site), durable_seq_);
+  KML_WARN("minikv: durability fault at %s (durable_seq=%llu)",
+           kml_fault_site_name(site),
+           static_cast<unsigned long long>(durable_seq_));
 }
 
 }  // namespace kml::kv

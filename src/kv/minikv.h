@@ -1,18 +1,45 @@
 // minikv.h — MiniKV: the LSM-flavoured key-value store MiniKV benchmarks run
-// against (the RocksDB substitution; DESIGN.md §2).
+// against (the RocksDB substitution; DESIGN.md §2, crash consistency §12).
 //
 // Shape: a dense bulk-loaded base run + overlay sorted runs from memtable
 // flushes + an in-memory memtable, WAL group commit, Bloom-gated point
 // lookups, and compaction of overlay runs. Every data-block access goes
 // through the simulated page cache, so the kernel readahead path sees the
-// same access-pattern classes RocksDB generates: forward scans, reverse
-// scans (block-wise), random block reads, and mixed read/write streams.
+// same access-pattern classes RocksDB generates.
+//
+// Two planes, deliberately separate:
+//  * Virtual-time plane (unchanged): get/put/iterators charge simulated CPU
+//    and device time through the storage stack. Single-threaded — the sim
+//    stack is not thread-safe.
+//  * Durability plane (new): when KVConfig::durable_dir is set, every put
+//    is appended to a REAL write-ahead log through the kml_f* portability
+//    seams, group-committed in CRC-framed batches; flushes write durable
+//    run files; a CRC-footed MANIFEST (temp + atomic rename) is the commit
+//    point. checkpoint() rotates the WAL; recover() reopens a store from
+//    its directory, rejecting torn manifests and replaying the WAL tail.
+//    A failed durable write (injected fault or real I/O error) moves the
+//    store into a crashed state: durable_seq() freezes and all further
+//    mutations are refused — exactly what the kill-and-recover harness
+//    then recovers from.
+//
+// Concurrency: get_concurrent() is a lock-free point lookup usable from any
+// thread (pool workers) while the owner thread keeps writing. Readers pin
+// an epoch (portability/epoch) and walk an immutable LiveState snapshot —
+// memtable index + run vector — that flush/compaction swap atomically and
+// retire through the epoch domain. The concurrent path touches no sim
+// state and charges no virtual time; it exists to measure real wall-clock
+// index throughput and to prove reclamation safety (TSan-clean).
 #pragma once
 
+#include "kv/manifest.h"
 #include "kv/memtable.h"
 #include "kv/table.h"
+#include "kv/wal.h"
+#include "portability/fault.h"
 
+#include <atomic>
 #include <memory>
+#include <string>
 
 namespace kml::kv {
 
@@ -28,6 +55,11 @@ struct KVConfig {
   std::uint64_t cpu_get_ns = 1500;
   std::uint64_t cpu_put_ns = 1800;
   std::uint64_t cpu_next_ns = 250;
+  // Durability root. Empty (default) = in-memory store, no real files, no
+  // recovery — the original benchmark behaviour, bit for bit. Non-empty =
+  // an existing directory MiniKV fills with MANIFEST / wal_<n>.log /
+  // run_<n>.kvr files.
+  std::string durable_dir;
 };
 
 struct KVStats {
@@ -40,6 +72,13 @@ struct KVStats {
   std::uint64_t flushes = 0;
   std::uint64_t compactions = 0;
   std::uint64_t wal_flushes = 0;
+  // Durability plane (all zero for in-memory stores).
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recoveries = 0;            // 1 on a store built by recover()
+  std::uint64_t wal_replays = 0;           // WAL scans during recovery
+  std::uint64_t wal_records_replayed = 0;  // records re-applied from the WAL
+  std::uint64_t torn_manifests_rejected = 0;
+  std::uint64_t epoch_deferred_frees = 0;  // LiveStates retired via epoch
 };
 
 class Iterator;
@@ -48,8 +87,19 @@ class MiniKV {
  public:
   // Bulk-loads the dense base run over keys [0, num_keys). The load itself
   // charges no device time (the paper times benchmarks on a pre-populated
-  // database).
+  // database). With durable_dir set, also seeds the directory: an empty
+  // WAL and an initial manifest (any prior contents are superseded).
   MiniKV(sim::StorageStack& stack, const KVConfig& config);
+
+  // Reopen a durable store from config.durable_dir: load the manifest
+  // (torn or missing -> nullptr, counted in kv.torn_manifests_rejected),
+  // rebuild base + overlay runs from run files, replay the WAL tail into a
+  // fresh memtable, then rotate onto a clean WAL + manifest. Every write
+  // acknowledged durable before the crash is present afterwards; writes
+  // never acknowledged are absent.
+  static std::unique_ptr<MiniKV> recover(sim::StorageStack& stack,
+                                         const KVConfig& config);
+
   ~MiniKV();
 
   MiniKV(const MiniKV&) = delete;
@@ -57,12 +107,43 @@ class MiniKV {
 
   // Point lookup; returns true if the key exists. Charges CPU + the data-
   // block read of the newest run containing the key (plus index-block reads
-  // for Bloom false positives).
+  // for Bloom false positives). Owner thread only.
   bool get(std::uint64_t key);
 
+  // Lock-free point lookup from any thread, concurrent with the owner's
+  // put/flush/compact. Epoch-protected; touches no sim state and charges
+  // no virtual time (tallies in concurrent_gets/_hits instead of stats()).
+  bool get_concurrent(std::uint64_t key);
+
   // Write: WAL append (group commit) + memtable insert; may trigger a
-  // flush and a compaction.
+  // flush and a compaction. No-op on a crashed store.
   void put(std::uint64_t key);
+
+  // Durable mode: group-commit the WAL tail, flush the memtable, rotate
+  // onto a fresh WAL, and commit a new manifest — after this the WAL is
+  // empty and recovery needs no replay. In-memory mode: flush only.
+  // Returns false if a durability fault crashed the store.
+  bool checkpoint();
+
+  // Simulate a power cut: drop every buffered (un-acknowledged) WAL record
+  // and freeze the store. durable_seq() keeps its pre-crash value; the
+  // on-disk state is whatever the last group commit / manifest made real.
+  void crash();
+
+  // True once a durability fault or crash() froze the store. All further
+  // mutations are refused; recover() on the directory is the way back.
+  bool failed() const { return failed_; }
+
+  // Sequence numbers: last_seq is the newest accepted put; durable_seq is
+  // the newest put acknowledged durable (WAL group commit or flush).
+  // Writes with seq > durable_seq() may vanish in a crash — that is the
+  // contract the harness checks.
+  std::uint64_t last_seq() const { return next_seq_ - 1; }
+  std::uint64_t durable_seq() const { return durable_seq_; }
+
+  // Bumped on every mutation (put/flush/compact/checkpoint). Iterators
+  // capture it at creation and fail loudly when used after it moves.
+  std::uint64_t generation() const { return generation_; }
 
   // Merged iterator over memtable + all runs. Invalidated by put().
   std::unique_ptr<Iterator> new_iterator();
@@ -72,24 +153,77 @@ class MiniKV {
   const KVStats& stats() const { return stats_; }
   void reset_stats() { stats_ = KVStats{}; }
   sim::StorageStack& stack() { return *stack_; }
-  std::size_t run_count() const { return runs_.size(); }
+  std::size_t run_count() const {
+    return live_.load(std::memory_order_relaxed)->runs.size();
+  }
+
+  // Concurrent-path tallies (separate from stats(): written by many
+  // threads, so they live in atomics).
+  std::uint64_t concurrent_gets() const {
+    return concurrent_gets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t concurrent_hits() const {
+    return concurrent_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Iterator;
 
-  void wal_append();
+  // The epoch-protected snapshot concurrent readers walk. Immutable once
+  // published; flush/compaction build a successor and retire the old one.
+  struct LiveState {
+    std::shared_ptr<Memtable> mem;
+    // runs[0] is the base; higher indices are newer overlays.
+    std::vector<std::shared_ptr<Table>> runs;
+  };
+
+  // Recovery constructor (reached via recover()).
+  MiniKV(sim::StorageStack& stack, const KVConfig& config,
+         const ManifestData& m);
+
+  static void delete_live_state(void* p);  // kml_epoch_retire deleter
+
+  void init_sim_wal();
+  std::shared_ptr<Memtable> make_memtable() const;
+  LiveState* live() const { return live_.load(std::memory_order_relaxed); }
+  void publish(LiveState* next);
+
+  void wal_buffer_append(std::uint64_t key, std::uint64_t seq);
+  bool commit_wal();  // group commit; false = durability fault (store dead)
   void maybe_flush();
+  void flush_memtable();
   void compact_if_needed();
+  bool write_manifest();
+  bool rotate_wal();  // fresh WAL file + manifest; deletes the old log
+  void durability_fault(FaultSite site);
 
   sim::StorageStack* stack_;
   KVConfig config_;
   KVStats stats_;
-  Memtable memtable_;
-  // runs_[0] is the base; higher indices are newer overlays.
-  std::vector<std::unique_ptr<Table>> runs_;
-  std::uint64_t wal_inode_;
+  std::atomic<LiveState*> live_{nullptr};
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t durable_seq_ = 0;
+  std::uint64_t wal_tail_seq_ = 0;  // newest seq appended (acked at commit)
+  std::uint64_t generation_ = 1;
+  bool failed_ = false;
+
+  // Durability plane (inert when durable_ is false).
+  bool durable_ = false;
+  WalWriter wal_;
+  std::uint64_t checkpoint_id_ = 0;
+  std::uint64_t wal_file_id_ = 0;
+  std::uint64_t wal_start_seq_ = 1;
+  std::uint64_t next_file_id_ = 1;
+  std::vector<RunRef> run_refs_;  // durable overlays, mirrors runs[1..]
+
+  // Virtual-time WAL accounting (the sim plane's group commit).
+  std::uint64_t wal_inode_ = 0;
   std::uint64_t wal_fill_bytes_ = 0;
   std::uint64_t wal_page_cursor_ = 0;
+
+  std::atomic<std::uint64_t> concurrent_gets_{0};
+  std::atomic<std::uint64_t> concurrent_hits_{0};
 };
 
 }  // namespace kml::kv

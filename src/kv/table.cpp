@@ -30,12 +30,14 @@ std::optional<std::uint64_t> DenseRun::find(std::uint64_t key) const {
 
 SortedRun::SortedRun(sim::StorageStack& stack, const TableGeometry& geom,
                      std::vector<std::uint64_t> keys,
-                     std::uint32_t bloom_bits_per_key)
+                     std::uint32_t bloom_bits_per_key, bool charge_flush)
     : Table(stack, geom, keys.size()),
       keys_(std::move(keys)),
       bloom_(keys_.empty() ? 1 : keys_.size(), bloom_bits_per_key) {
   assert(std::is_sorted(keys_.begin(), keys_.end()));
   for (std::uint64_t k : keys_) bloom_.add(k);
+
+  if (!charge_flush) return;  // recovery: the run is already on "disk"
 
   // Charge the flush: dirty the run's pages through the cache (fires
   // writeback_dirty_page), then fsync them — sync_file batches the dirty

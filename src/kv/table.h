@@ -95,11 +95,15 @@ class DenseRun final : public Table {
 // Overlay run flushed from the memtable: explicit sorted keys + Bloom.
 class SortedRun final : public Table {
  public:
-  // `keys` must be sorted ascending and unique. The constructor charges the
-  // sequential device write of the run (the flush) and dirties the pages
-  // through the cache so writeback tracepoints fire.
+  // `keys` must be sorted ascending and unique. With `charge_flush` (the
+  // default) the constructor charges the sequential device write of the run
+  // (the flush) and dirties the pages through the cache so writeback
+  // tracepoints fire. Recovery passes false: a run rebuilt from a durable
+  // run file was already written in a previous life and costs no new
+  // virtual-time I/O.
   SortedRun(sim::StorageStack& stack, const TableGeometry& geom,
-            std::vector<std::uint64_t> keys, std::uint32_t bloom_bits_per_key);
+            std::vector<std::uint64_t> keys, std::uint32_t bloom_bits_per_key,
+            bool charge_flush = true);
 
   std::uint64_t entry_count() const override { return keys_.size(); }
   std::optional<std::uint64_t> find(std::uint64_t key) const override;

@@ -1,0 +1,106 @@
+// wal.h — MiniKV's real write-ahead log (crash consistency, DESIGN.md §12).
+//
+// Before this layer existed the WAL was pure page-dirtying accounting: the
+// simulator charged the I/O cost of a group commit but no byte ever hit
+// stable storage, so there was nothing to replay after a crash. This file
+// is the byte-level half: records flow through the kml_f* portability seams
+// into an append-only file, group-committed in CRC-framed batches, and a
+// recovery scan replays exactly the acknowledged prefix.
+//
+// Format (little-endian):
+//   file header:  u32 magic 'KVWL'   u32 version
+//   batch:        u32 batch magic 'KVWB'   u32 payload_bytes
+//                 u32 crc32(payload)       payload = (u64 key, u64 seq)*
+//
+// Ack semantics: a batch is the group-commit unit. WalWriter::commit()
+// writes the whole frame and flushes; only then are the batch's sequence
+// numbers acknowledged durable. A torn commit (crash or injected
+// kWalAppend fault mid-write) leaves a frame whose CRC cannot verify, so
+// replay drops the *entire* batch — un-acknowledged writes can never be
+// resurrected piecemeal, which is the invariant the kill-and-recover
+// harness asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace kml {
+struct KmlFile;  // portability/file.h
+}
+
+namespace kml::kv {
+
+inline constexpr std::uint32_t kWalMagic = 0x4c575648;   // "HVWL" -> 'KVWL'
+inline constexpr std::uint32_t kWalBatchMagic = 0x42575648;
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::size_t kWalRecordBytes = 16;  // u64 key + u64 seq
+// Load-time cap on a single batch's payload (a corrupt length field cannot
+// drive a giant allocation or a runaway scan).
+inline constexpr std::uint32_t kWalMaxBatchBytes = 16u << 20;
+
+// Append-side: buffers records in memory until commit(). The owning MiniKV
+// decides the group boundary (wal_buffer_bytes) and treats a false return
+// from commit() as a crash of the store.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Open (or create) the log. `truncate` starts a fresh file and writes the
+  // file header; append mode continues an existing log whose header is
+  // already on disk. Returns false on open failure.
+  bool open(const std::string& path, bool truncate);
+  bool is_open() const { return file_ != nullptr; }
+
+  // Buffer one record for the next commit. Cheap; no I/O.
+  void append(std::uint64_t key, std::uint64_t seq);
+
+  // Group commit: frame the buffered records into one CRC'd batch, write it
+  // through the kml_f* seams, and flush. Clears the buffer on success.
+  // Returns false on an I/O error or an injected kWalAppend fault — in
+  // both cases a torn frame may be on disk and the caller must treat the
+  // store as crashed. Committing an empty buffer is a successful no-op.
+  bool commit();
+
+  // Simulate a power cut: drop buffered records and close the handle
+  // without flushing anything further.
+  void abandon();
+
+  // Close without committing (callers commit first on a clean shutdown).
+  void close();
+
+  std::uint64_t buffered_records() const { return buffered_records_; }
+  std::uint64_t buffered_bytes() const {
+    return buffered_records_ * kWalRecordBytes;
+  }
+
+ private:
+  kml::KmlFile* file_ = nullptr;
+  std::vector<std::uint8_t> buf_;  // payload bytes of the pending batch
+  std::uint64_t buffered_records_ = 0;
+};
+
+// Replay-side summary.
+struct WalReplayResult {
+  bool opened = false;      // a log file existed and had a valid header
+  bool torn_tail = false;   // scan stopped at a frame that failed to verify
+  std::uint64_t batches = 0;
+  std::uint64_t records = 0;   // records passed to `apply` (seq >= min_seq)
+  std::uint64_t last_seq = 0;  // highest sequence seen in verified batches
+};
+
+// Scan the log at `path`, verify every frame, and call `apply(key, seq)`
+// for each record with seq >= min_seq, in log order. Stops cleanly at the
+// first unverifiable frame (torn tail) or any non-monotonic sequence —
+// everything before the stop point was acknowledged durable, everything
+// after it never was.
+WalReplayResult wal_replay(
+    const std::string& path, std::uint64_t min_seq,
+    const std::function<void(std::uint64_t key, std::uint64_t seq)>& apply);
+
+}  // namespace kml::kv

@@ -2,6 +2,7 @@
 
 #include "nn/activations.h"
 #include "nn/linear.h"
+#include "portability/checksum.h"
 #include "portability/file.h"
 #include "portability/log.h"
 
@@ -202,24 +203,9 @@ bool parse_payload(ByteReader& r, Network& net, const char* path) {
 }  // namespace
 
 std::uint32_t model_crc32(const void* data, std::size_t size) {
-  // CRC-32 (IEEE), table generated on first use.
-  static const std::uint32_t* table = [] {
-    static std::uint32_t t[256];
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xffffffffu;
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
+  // Delegates to the shared portability CRC-32 so the model format and the
+  // KV durability formats (WAL, manifest, run files) verify identically.
+  return kml_crc32(data, size);
 }
 
 bool save_model(const Network& net, const char* path) {

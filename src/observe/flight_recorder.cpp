@@ -15,6 +15,7 @@ const char* event_name(EventId id) {
   switch (id) {
     case EventId::kNone: return "none";
     case EventId::kPoolDispatch: return "pool.dispatch";
+    case EventId::kEpochStall: return "epoch.stall";
     case EventId::kBufferPush: return "buffer.push";
     case EventId::kBufferDrop: return "buffer.drop";
     case EventId::kTrainBatchBegin: return "trainer.batch_begin";
@@ -31,6 +32,10 @@ const char* event_name(EventId id) {
     case EventId::kTrainEpochEnd: return "train.epoch_end";
     case EventId::kDriftSample: return "drift.sample";
     case EventId::kFaultInjected: return "fault.injected";
+    case EventId::kKvCheckpoint: return "kv.checkpoint";
+    case EventId::kKvRecover: return "kv.recover";
+    case EventId::kKvTornManifest: return "kv.torn_manifest";
+    case EventId::kKvDurabilityFault: return "kv.durability_fault";
     case EventId::kEventIdCount: break;
   }
   return "unknown";
@@ -83,6 +88,12 @@ void portability_hook(std::uint16_t event_id, std::uint64_t a0,
                       std::uint64_t a1) {
   if (flight_recording()) {
     flight_record(static_cast<EventId>(event_id), a0, a1);
+  }
+  // Epoch stalls also surface as a registry counter: a stall means a reader
+  // pinned an epoch long enough for reclamation to spin, which is exactly
+  // the kind of creeping pathology metrics exist to catch.
+  if (event_id == kTraceEvEpochStall) {
+    KML_COUNTER_INC(kMetricEpochStalls);
   }
 }
 

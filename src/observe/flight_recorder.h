@@ -35,6 +35,8 @@ namespace kml::observe {
 enum class EventId : std::uint16_t {
   kNone = 0,
   kPoolDispatch = 1,       // a0=epoch, a1=worker count (== kTraceEvPoolDispatch)
+  kEpochStall = 2,         // a0=global epoch, a1=objects still deferred
+                           // (== kTraceEvEpochStall)
   kBufferPush = 16,        // a0=records pushed since last publish, a1=occupancy
   kBufferDrop,             // a0=records dropped since last publish
   kTrainBatchBegin,        // a0=batch sequence number, a1=records in batch
@@ -51,6 +53,10 @@ enum class EventId : std::uint16_t {
   kTrainEpochEnd,          // a0=epoch index, a1=epoch loss (milli, 2's-c)
   kDriftSample,            // a0=max |z| across features (milli), a1=samples
   kFaultInjected,          // a0=FaultSite, a1=injection count for the site
+  kKvCheckpoint,           // a0=checkpoint id, a1=overlay run count
+  kKvRecover,              // a0=WAL records replayed, a1=recovered durable seq
+  kKvTornManifest,         // a0=manifest bytes on disk (rejected load)
+  kKvDurabilityFault,      // a0=FaultSite that tripped, a1=last durable seq
   kEventIdCount,
 };
 

@@ -87,6 +87,19 @@ inline constexpr char kMetricGradNormMilli[] = "nn.train.grad_norm_milli";
 inline constexpr char kMetricConfidenceMilli[] = "nn.infer.confidence_milli";
 inline constexpr char kMetricDriftZMilli[] = "data.drift.max_z_milli";
 inline constexpr char kMetricDriftSamples[] = "data.drift.samples";
+// MiniKV crash-consistency signals (PR 6). Counters are cumulative event
+// counts bumped on the cold writer-side paths (recovery, checkpoint,
+// reclamation); the health guard's KV-recovery signal reads kv.recoveries.
+inline constexpr char kMetricKvWalReplays[] = "kv.wal_replays";
+inline constexpr char kMetricKvWalRecordsReplayed[] =
+    "kv.wal_records_replayed";
+inline constexpr char kMetricKvRecoveries[] = "kv.recoveries";
+inline constexpr char kMetricKvTornManifests[] = "kv.torn_manifests_rejected";
+inline constexpr char kMetricKvEpochDeferredFrees[] =
+    "kv.epoch_deferred_frees";
+inline constexpr char kMetricKvCheckpoints[] = "kv.checkpoints";
+inline constexpr char kMetricKvDurabilityFaults[] = "kv.durability_faults";
+inline constexpr char kMetricEpochStalls[] = "portability.epoch.stalls";
 // Synthetic counter row in snapshot(): registrations that spilled into a
 // pool's shared overflow slot (never occupies a registry slot itself).
 inline constexpr char kMetricRegistryOverflow[] = "observe.registry.overflow";

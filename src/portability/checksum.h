@@ -1,0 +1,17 @@
+// checksum.h — shared CRC-32 (IEEE 802.3) for every on-disk format.
+//
+// The model serializer (format v2), the KV write-ahead log, the KV
+// manifest, and the KV run files all foot their images with the same
+// checksum. It lives in portability — the lowest layer — so any subsystem
+// can verify its bytes without a layering violation. Table-driven,
+// integer-only, no allocation after first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kml {
+
+std::uint32_t kml_crc32(const void* data, std::size_t size);
+
+}  // namespace kml

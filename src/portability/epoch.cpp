@@ -1,0 +1,218 @@
+#include "portability/epoch.h"
+
+#include "portability/thread.h"
+#include "portability/trace_hook.h"
+
+#include <cassert>
+#include <new>
+
+namespace kml {
+namespace {
+
+// One cacheline per reader slot: the pinned epoch (0 = quiescent). Slots
+// are claimed once per thread and never released (flight-recorder model) —
+// a dead thread's slot reads 0 forever and costs one load per reclaim scan.
+struct alignas(64) ReaderSlot {
+  KmlAtomic64 pinned{0};
+};
+
+KmlAtomic64 g_global_epoch{1};
+ReaderSlot g_slots[kEpochMaxThreads];
+KmlAtomic64 g_slot_count{0};
+
+// Conservative shared slot for threads past the cap: while `count` readers
+// are inside, reclamation is bounded by the epoch recorded when the slot
+// went from empty to occupied. Strictly more conservative than a private
+// slot — correctness is unaffected, only reclaim latency.
+KmlAtomic64 g_overflow_count{0};
+KmlAtomic64 g_overflow_epoch{0};
+
+thread_local int t_slot = -1;       // -1 unclaimed, -2 overflow forever
+thread_local unsigned t_depth = 0;  // nesting of enter/exit
+
+// Retired-object list, guarded by a CAS spinlock (cold path: retire and
+// reclaim only run on writer-side structure swaps).
+struct RetiredNode {
+  void* obj;
+  kml_epoch_deleter_fn del;
+  std::int64_t epoch;
+  RetiredNode* next;
+};
+
+KmlAtomic64 g_list_lock{0};
+RetiredNode* g_retired_head = nullptr;  // guarded by g_list_lock
+
+KmlAtomic64 g_deferred{0};
+KmlAtomic64 g_retired_total{0};
+KmlAtomic64 g_freed_total{0};
+KmlAtomic64 g_stalls{0};
+
+void list_lock() {
+  while (!kml_atomic_cas64(&g_list_lock, 0, 1)) kml_thread_yield();
+}
+void list_unlock() { kml_atomic_store64(&g_list_lock, 0); }
+
+int claim_slot() {
+  const std::int64_t idx = kml_atomic_add64(&g_slot_count, 1) - 1;
+  t_slot = idx < static_cast<std::int64_t>(kEpochMaxThreads)
+               ? static_cast<int>(idx)
+               : -2;
+  return t_slot;
+}
+
+}  // namespace
+
+void kml_epoch_enter() {
+  if (t_depth++ > 0) return;  // nested: the outermost pin already protects
+  int slot = t_slot;
+  if (slot == -1) slot = claim_slot();
+  if (slot >= 0) {
+    // Publish-and-validate: pin the epoch with an RMW (CAS from the known
+    // quiescent value — full barrier on every mainstream ISA), then re-read
+    // the global epoch. If it moved past the pinned value, a reclaimer may
+    // have scanned before the pin was visible; re-pin the newer epoch and
+    // check again. Any pointer the reader loads after this loop was
+    // published no earlier than the validated epoch, so retire stamps on
+    // objects unlinked afterwards can never fall below the pin.
+    std::int64_t e = kml_atomic_load64(&g_global_epoch);
+    for (;;) {
+      std::int64_t prev = kml_atomic_load64(&g_slots[slot].pinned);
+      kml_atomic_cas64(&g_slots[slot].pinned, prev, e);
+      const std::int64_t now = kml_atomic_load64(&g_global_epoch);
+      if (now == e) break;
+      e = now;
+    }
+  } else {
+    // Overflow: record the epoch when the shared slot becomes occupied.
+    if (kml_atomic_add64(&g_overflow_count, 1) == 1) {
+      kml_atomic_store64(&g_overflow_epoch,
+                         kml_atomic_load64(&g_global_epoch));
+    }
+  }
+}
+
+void kml_epoch_exit() {
+  assert(t_depth > 0 && "kml_epoch_exit without matching enter");
+  if (--t_depth > 0) return;
+  const int slot = t_slot;
+  if (slot >= 0) {
+    kml_atomic_store64(&g_slots[slot].pinned, 0);
+  } else {
+    kml_atomic_add64(&g_overflow_count, -1);
+  }
+}
+
+bool kml_epoch_in_critical_section() { return t_depth > 0; }
+
+void kml_epoch_retire(void* obj, kml_epoch_deleter_fn del) {
+  if (obj == nullptr || del == nullptr) return;
+  auto* node = new (std::nothrow) RetiredNode;
+  if (node == nullptr) {
+    // Allocation failure on the cold path: freeing immediately would be
+    // unsafe (readers may hold the object); leaking is the bounded, honest
+    // fallback a kernel would also take under OOM during deferred free.
+    return;
+  }
+  node->obj = obj;
+  node->del = del;
+  node->epoch = kml_atomic_load64(&g_global_epoch);
+  list_lock();
+  node->next = g_retired_head;
+  g_retired_head = node;
+  list_unlock();
+  kml_atomic_add64(&g_deferred, 1);
+  kml_atomic_add64(&g_retired_total, 1);
+}
+
+std::uint64_t kml_epoch_reclaim() {
+  // Advance first (acq_rel RMW), then scan: every reader pinned before the
+  // advance is visible to the scan on the architectures the seams target.
+  const std::int64_t new_epoch = kml_atomic_add64(&g_global_epoch, 1);
+  std::int64_t min_pinned = new_epoch;
+  const std::int64_t claimed = kml_atomic_load64(&g_slot_count);
+  const std::int64_t scan =
+      claimed < static_cast<std::int64_t>(kEpochMaxThreads)
+          ? claimed
+          : static_cast<std::int64_t>(kEpochMaxThreads);
+  for (std::int64_t i = 0; i < scan; ++i) {
+    const std::int64_t e = kml_atomic_load64(&g_slots[i].pinned);
+    if (e != 0 && e < min_pinned) min_pinned = e;
+  }
+  if (kml_atomic_load64(&g_overflow_count) > 0) {
+    const std::int64_t e = kml_atomic_load64(&g_overflow_epoch);
+    if (e != 0 && e < min_pinned) min_pinned = e;
+  }
+
+  // Detach everything strictly older than the oldest pinned reader, then
+  // run deleters outside the lock.
+  list_lock();
+  RetiredNode* keep = nullptr;
+  RetiredNode* free_list = nullptr;
+  RetiredNode* node = g_retired_head;
+  while (node != nullptr) {
+    RetiredNode* next = node->next;
+    if (node->epoch < min_pinned) {
+      node->next = free_list;
+      free_list = node;
+    } else {
+      node->next = keep;
+      keep = node;
+    }
+    node = next;
+  }
+  g_retired_head = keep;
+  list_unlock();
+
+  std::uint64_t freed = 0;
+  while (free_list != nullptr) {
+    RetiredNode* next = free_list->next;
+    free_list->del(free_list->obj);
+    delete free_list;
+    free_list = next;
+    ++freed;
+  }
+  if (freed > 0) {
+    kml_atomic_add64(&g_deferred, -static_cast<std::int64_t>(freed));
+    kml_atomic_add64(&g_freed_total, static_cast<std::int64_t>(freed));
+  }
+  return freed;
+}
+
+void kml_epoch_drain() {
+  assert(!kml_epoch_in_critical_section() &&
+         "kml_epoch_drain would wait on the caller's own pin");
+  while (kml_atomic_load64(&g_deferred) > 0) {
+    if (kml_epoch_reclaim() == 0 && kml_atomic_load64(&g_deferred) > 0) {
+      kml_atomic_add64(&g_stalls, 1);
+      kml_trace_emit(kTraceEvEpochStall,
+                     static_cast<std::uint64_t>(
+                         kml_atomic_load64(&g_global_epoch)),
+                     static_cast<std::uint64_t>(
+                         kml_atomic_load64(&g_deferred)));
+      kml_thread_yield();
+    }
+  }
+}
+
+std::uint64_t kml_epoch_deferred() {
+  const std::int64_t v = kml_atomic_load64(&g_deferred);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+std::uint64_t kml_epoch_retired_total() {
+  return static_cast<std::uint64_t>(kml_atomic_load64(&g_retired_total));
+}
+
+std::uint64_t kml_epoch_freed_total() {
+  return static_cast<std::uint64_t>(kml_atomic_load64(&g_freed_total));
+}
+
+std::uint64_t kml_epoch_stalls() {
+  return static_cast<std::uint64_t>(kml_atomic_load64(&g_stalls));
+}
+
+std::uint64_t kml_epoch_current() {
+  return static_cast<std::uint64_t>(kml_atomic_load64(&g_global_epoch));
+}
+
+}  // namespace kml

@@ -1,0 +1,97 @@
+// epoch.h — epoch-based reclamation for lock-free readers (FASTER-style).
+//
+// MiniKV's concurrent read path needs memtable + run vectors that readers
+// can traverse without locks while the writer swaps them out (flush,
+// compaction, checkpoint). The classic kernel answer is RCU; the user-space
+// storage-engine answer (FASTER, and the MLKV session model built on it) is
+// epoch protection: readers pin the current epoch while inside a read-side
+// critical section, writers retire replaced objects against the epoch they
+// were unlinked in, and a retired object is freed only once every reader
+// has moved past that epoch.
+//
+// Built ONLY on the portability seams (KmlAtomic64 + kml_thread_*), like
+// the thread pool, so a kernel backend maps epochs onto its own
+// synchronize-and-free machinery without touching callers.
+//
+// Read side (hot): kml_epoch_enter() publishes the global epoch into the
+// calling thread's slot (one acquire load + one release store); exit clears
+// it. Re-entrant — nested guards are counted per thread and only the
+// outermost pair touches the slot.
+//
+// Write side (cold): kml_epoch_retire(obj, deleter) parks the object on the
+// retired list stamped with the current epoch; kml_epoch_reclaim() advances
+// the global epoch and frees everything strictly older than the oldest
+// pinned reader epoch. kml_epoch_drain() loops reclaim until the list is
+// empty (destructor-time quiescence), emitting a kTraceEvEpochStall trace
+// event whenever a pass frees nothing because a reader is pinned.
+//
+// Thread capacity: kEpochMaxThreads reader slots, claimed once per thread
+// for the process lifetime (flight-recorder model). Threads past the cap
+// share one conservative overflow slot — correctness is preserved
+// (reclamation gets *more* conservative, never less), only reclaim latency
+// degrades.
+#pragma once
+
+#include <cstdint>
+
+namespace kml {
+
+inline constexpr unsigned kEpochMaxThreads = 64;
+
+using kml_epoch_deleter_fn = void (*)(void* obj);
+
+// --- Read side ---------------------------------------------------------------
+
+// Pin the current global epoch for the calling thread. Re-entrant.
+void kml_epoch_enter();
+
+// Unpin (outermost exit publishes quiescence).
+void kml_epoch_exit();
+
+// True while the calling thread holds at least one enter().
+bool kml_epoch_in_critical_section();
+
+// --- Write side --------------------------------------------------------------
+
+// Park `obj` for deferred destruction; `del(obj)` runs once every reader
+// that could still see it has exited. Callers may retire from any thread;
+// retire from inside a read-side critical section is allowed (the object is
+// stamped with an epoch the caller itself still pins, so it cannot be freed
+// under the caller's feet). del must be callable from any thread.
+void kml_epoch_retire(void* obj, kml_epoch_deleter_fn del);
+
+// Advance the global epoch and free every retired object no pinned reader
+// can still reference. Returns the number of objects freed. Safe from any
+// thread; concurrent calls serialize on an internal CAS lock.
+std::uint64_t kml_epoch_reclaim();
+
+// Reclaim until nothing is deferred, yielding between passes. Emits a
+// kTraceEvEpochStall trace-hook event (and counts a stall) each time a full
+// pass frees nothing while objects remain. Must not be called from inside a
+// read-side critical section of the calling thread (it would wait on
+// itself); asserts in debug builds.
+void kml_epoch_drain();
+
+// --- Introspection -----------------------------------------------------------
+
+// Objects currently parked awaiting reclamation.
+std::uint64_t kml_epoch_deferred();
+
+// Lifetime totals: objects ever retired / freed, and stalled drain passes.
+std::uint64_t kml_epoch_retired_total();
+std::uint64_t kml_epoch_freed_total();
+std::uint64_t kml_epoch_stalls();
+
+// Current global epoch (monotonic from 1; test/bench visibility).
+std::uint64_t kml_epoch_current();
+
+// RAII read-side guard.
+class EpochGuard {
+ public:
+  EpochGuard() { kml_epoch_enter(); }
+  ~EpochGuard() { kml_epoch_exit(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+};
+
+}  // namespace kml

@@ -75,20 +75,35 @@ bool fault_should_fail_slow(FaultSite site) {
 
 }  // namespace detail
 
+namespace {
+
+// Indexed by FaultSite. The static_assert is the compile-time guard that
+// every enumerator added to fault.h also gets a name here — an unnamed site
+// would otherwise surface as "unknown" only at runtime, deep inside a
+// fault-injection log.
+constexpr const char* kSiteNames[] = {
+    "malloc",           // kMalloc
+    "realloc",          // kRealloc
+    "arena",            // kArena
+    "file_open",        // kFileOpen
+    "file_read",        // kFileRead
+    "file_write",       // kFileWrite
+    "file_rename",      // kFileRename
+    "buffer_push",      // kBufferPush
+    "train_step",       // kTrainStep
+    "wal_append",       // kWalAppend
+    "checkpoint_write", // kCheckpointWrite
+    "manifest_rename",  // kManifestRename
+    "run_flush",        // kRunFlush
+};
+static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) == kNumFaultSites,
+              "every FaultSite enumerator needs a name in kSiteNames");
+
+}  // namespace
+
 const char* kml_fault_site_name(FaultSite site) {
-  switch (site) {
-    case FaultSite::kMalloc: return "malloc";
-    case FaultSite::kRealloc: return "realloc";
-    case FaultSite::kArena: return "arena";
-    case FaultSite::kFileOpen: return "file_open";
-    case FaultSite::kFileRead: return "file_read";
-    case FaultSite::kFileWrite: return "file_write";
-    case FaultSite::kFileRename: return "file_rename";
-    case FaultSite::kBufferPush: return "buffer_push";
-    case FaultSite::kTrainStep: return "train_step";
-    case FaultSite::kSiteCount: break;
-  }
-  return "unknown";
+  const unsigned idx = static_cast<unsigned>(site);
+  return idx < kNumFaultSites ? kSiteNames[idx] : "unknown";
 }
 
 namespace {

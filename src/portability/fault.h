@@ -33,6 +33,12 @@ enum class FaultSite : unsigned {
   kTrainStep,    // Engine::train_batch treats the step as invalid (as if the
                  // loss had come back non-finite) — drives the health guard
                  // and flight-recorder causal-chain rehearsals
+  // MiniKV durability seams (the kill-and-recover harness arms these):
+  kWalAppend,       // WAL group commit tears mid-buffer and fails — the
+                    // power-cut-during-fsync shape recovery must survive
+  kCheckpointWrite, // checkpoint/manifest payload write fails (torn temp file)
+  kManifestRename,  // manifest temp->MANIFEST rename fails (commit step)
+  kRunFlush,        // durable run-file write fails during flush/compaction
   kSiteCount,
 };
 

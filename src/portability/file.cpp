@@ -20,6 +20,8 @@ KmlFile* kml_fopen(const char* path, const char* mode) {
     cmode = "rb";
   } else if (std::strcmp(mode, "w") == 0) {
     cmode = "wb";
+  } else if (std::strcmp(mode, "a") == 0) {
+    cmode = "ab";
   } else {
     return nullptr;
   }
@@ -35,6 +37,11 @@ void kml_fclose(KmlFile* file) {
   if (file == nullptr) return;
   std::fclose(file->fp);
   delete file;
+}
+
+bool kml_fflush(KmlFile* file) {
+  if (file == nullptr) return false;
+  return std::fflush(file->fp) == 0;
 }
 
 std::int64_t kml_fread(KmlFile* file, void* buf, std::size_t size) {

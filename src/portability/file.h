@@ -13,11 +13,17 @@ namespace kml {
 
 struct KmlFile;  // opaque
 
-// mode: "r" (read) or "w" (create/truncate + write). Returns nullptr on
-// failure.
+// mode: "r" (read), "w" (create/truncate + write), or "a" (create/append —
+// the WAL shape: every write lands at the end of the file). Returns nullptr
+// on failure.
 KmlFile* kml_fopen(const char* path, const char* mode);
 
 void kml_fclose(KmlFile* file);
+
+// Push buffered writes to stable storage (fflush in user space, the
+// vfs_fsync step of a kernel backend). The durability point of a WAL group
+// commit. Returns false on failure.
+bool kml_fflush(KmlFile* file);
 
 // Read up to `size` bytes; returns bytes read (0 at EOF), or -1 on error.
 std::int64_t kml_fread(KmlFile* file, void* buf, std::size_t size);

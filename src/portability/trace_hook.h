@@ -22,6 +22,9 @@ namespace kml {
 // observe layer's EventId enum mirrors them verbatim so one id space covers
 // the whole process.
 inline constexpr std::uint16_t kTraceEvPoolDispatch = 1;
+// Epoch reclamation could not retire garbage because a reader epoch is
+// pinned (arg0 = oldest pinned epoch, arg1 = objects still deferred).
+inline constexpr std::uint16_t kTraceEvEpochStall = 2;
 
 using kml_trace_hook_fn = void (*)(std::uint16_t event_id, std::uint64_t arg0,
                                    std::uint64_t arg1);

@@ -197,6 +197,15 @@ void HealthMonitor::observe_registry() {
     if (observe::Gauge* g = observe::find_gauge(observe::kMetricDriftZMilli))
       drift_z_milli = g->value();
   }
+  std::uint64_t kv_recoveries = 0;
+  std::uint64_t kv_torn = 0;
+  if (config_.kv_recoveries_to_degrade > 0) {
+    if (observe::Counter* c = observe::find_counter(observe::kMetricKvRecoveries))
+      kv_recoveries = c->value();
+    if (observe::Counter* c =
+            observe::find_counter(observe::kMetricKvTornManifests))
+      kv_torn = c->value();
+  }
 
   std::lock_guard<std::mutex> guard(lock_);
   if (!registry_primed_) {
@@ -206,6 +215,8 @@ void HealthMonitor::observe_registry() {
     registry_last_inferences_ = inferences;
     registry_last_train_steps_ = train_steps;
     registry_last_drift_samples_ = drift_samples;
+    registry_last_kv_recoveries_ = kv_recoveries;
+    registry_last_kv_torn_ = kv_torn;
     return;
   }
 
@@ -261,6 +272,26 @@ void HealthMonitor::observe_registry() {
     if (drift_z_milli > 0 && static_cast<std::uint64_t>(drift_z_milli) >
                                  config_.drift_z_degrade_milli) {
       stats_.drift_trips += 1;
+      enter_degraded();
+    }
+  }
+
+  // (h) KV recovery. Counters, not gauges, so no progress companion is
+  // needed: any advance IS the event. A recovered (or torn-manifest-
+  // rejected) store means the data the model reads was rebuilt underneath
+  // it — probation until a clean streak proves the predictions still hold.
+  if (config_.kv_recoveries_to_degrade > 0) {
+    std::uint64_t events = 0;
+    if (kv_recoveries >= registry_last_kv_recoveries_) {
+      events += kv_recoveries - registry_last_kv_recoveries_;
+    }
+    if (kv_torn >= registry_last_kv_torn_) {
+      events += kv_torn - registry_last_kv_torn_;
+    }
+    registry_last_kv_recoveries_ = kv_recoveries;
+    registry_last_kv_torn_ = kv_torn;
+    if (events >= config_.kv_recoveries_to_degrade) {
+      stats_.kv_recovery_trips += 1;
       enter_degraded();
     }
   }

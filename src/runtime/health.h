@@ -80,6 +80,15 @@ struct HealthConfig {
   // stays finite. 0 disables.
   std::uint64_t drift_z_degrade_milli = 0;
 
+  // (h) KV-recovery guard (registry-sourced): the storage backend crashed
+  // and came back. A recovery means the store the model was trained
+  // against was rebuilt from WAL + manifest — feature distributions may
+  // have jumped (cold cache, replayed tail), so predictions go on
+  // probation. Trips DEGRADED when the "kv.recoveries" counter (or a
+  // "kv.torn_manifests_rejected" rejection, which is strictly worse)
+  // advances by at least this much between polls. 0 disables.
+  std::uint64_t kv_recoveries_to_degrade = 1;
+
   // Flight-recorder dump file prefix (writes <prefix>.bin/<prefix>.txt when
   // the recorder freezes on a bad transition). nullptr = freeze only, no
   // dump. The pointed-to string must outlive the monitor.
@@ -95,6 +104,7 @@ struct HealthStats {
   std::uint64_t latency_trips = 0;      // (e) trips (inference p99 guard)
   std::uint64_t grad_trips = 0;         // (f) trips (gradient explosion)
   std::uint64_t drift_trips = 0;        // (g) trips (input drift)
+  std::uint64_t kv_recovery_trips = 0;  // (h) trips (KV store recovered)
   std::uint64_t heartbeats = 0;
   std::uint64_t degradations = 0;       // transitions into DEGRADED
   std::uint64_t failures = 0;           // transitions into FAILED
@@ -184,6 +194,8 @@ class HealthMonitor {
   std::uint64_t registry_last_inferences_ = 0;
   std::uint64_t registry_last_train_steps_ = 0;
   std::uint64_t registry_last_drift_samples_ = 0;
+  std::uint64_t registry_last_kv_recoveries_ = 0;
+  std::uint64_t registry_last_kv_torn_ = 0;
 };
 
 }  // namespace kml::runtime

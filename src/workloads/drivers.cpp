@@ -17,6 +17,7 @@ const char* workload_name(WorkloadType type) {
     case WorkloadType::kMixGraph: return "mixgraph";
     case WorkloadType::kSeekRandom: return "seekrandom";
     case WorkloadType::kReadWhileWriting: return "readwhilewriting";
+    case WorkloadType::kMlIngest: return "mlingest";
   }
   return "unknown";
 }
@@ -125,6 +126,53 @@ RunResult run_workload(kv::MiniKV& db, const WorkloadConfig& cfg,
           db.get(read_keys.next());
         }
         ++op_index;
+      });
+    }
+
+    case WorkloadType::kMlIngest: {
+      // ML training ingest: epochs of sequential shard reads (the dataset
+      // files), shuffled minibatch sampling, and occasional writes
+      // (checkpoints / metric logs). Fixed 16-op cycle: 10 shard-scan
+      // steps, 5 shuffled reads, 1 write — sequential-dominant with
+      // enough random traffic to blur the readahead heuristic's view.
+      const std::uint64_t shard_len =
+          db.num_keys() / 64 > 0 ? db.num_keys() / 64 : 1;
+      UniformKeys sample_keys(db.num_keys(), cfg.seed);
+      UniformKeys write_keys(db.num_keys(), cfg.seed ^ 0x6d6c696eULL);
+      math::Rng shard_rng(cfg.seed ^ 0x73686472ULL);
+      auto it = db.new_iterator();
+      std::uint64_t cursor = shard_rng.next_below(db.num_keys());
+      std::uint64_t in_shard = 0;
+      std::uint64_t op_index = 0;
+      bool stale_iter = false;
+      it->seek(cursor);
+      return drive(db, duration_ns, max_ops, on_tick, [&] {
+        const std::uint64_t phase = op_index % 16;
+        ++op_index;
+        if (phase < 10) {
+          // Sequential shard step. Writes invalidate iterators, so resume
+          // from the remembered cursor on a fresh snapshot.
+          if (stale_iter) {
+            it = db.new_iterator();
+            it->seek(cursor);
+            stale_iter = false;
+          }
+          if (!it->valid() || in_shard >= shard_len) {
+            cursor = shard_rng.next_below(db.num_keys());
+            in_shard = 0;
+            it->seek(cursor);
+          }
+          if (it->valid()) {
+            cursor = it->key() + 1;
+            ++in_shard;
+            it->next();
+          }
+        } else if (phase < 15) {
+          db.get(sample_keys.next());
+        } else {
+          db.put(write_keys.next());
+          stale_iter = true;
+        }
       });
     }
 

@@ -23,11 +23,16 @@ enum class WorkloadType : int {
   // Extra db_bench workloads beyond the paper's six:
   kSeekRandom = 6,
   kReadWhileWriting = 7,
+  // ML training ingest, the paper's own consumer seen from the storage
+  // side: sequential shard scans (dataset files), shuffled minibatch
+  // sampling (random reads), and a trickle of interleaved writes
+  // (checkpoints, metric logs) in a 10:5:1 op mix.
+  kMlIngest = 8,
 };
 
 inline constexpr int kNumTrainingClasses = 4;
 inline constexpr int kNumWorkloads = 6;     // the paper's evaluation set
-inline constexpr int kNumAllWorkloads = 8;
+inline constexpr int kNumAllWorkloads = 9;
 
 const char* workload_name(WorkloadType type);
 

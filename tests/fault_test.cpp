@@ -38,6 +38,29 @@ TEST_F(FaultTest, EverySiteHasAName) {
     const char* name = kml_fault_site_name(static_cast<FaultSite>(i));
     ASSERT_NE(name, nullptr) << i;
     EXPECT_GT(std::strlen(name), 0u) << i;
+    EXPECT_STRNE(name, "unknown") << i;
+  }
+  // Out-of-range values degrade to "unknown", never to a read past the
+  // name table.
+  EXPECT_STREQ(kml_fault_site_name(FaultSite::kSiteCount), "unknown");
+}
+
+TEST_F(FaultTest, EverySiteRoundTripsArmHitInjectDisarm) {
+  // Round-trip over ALL sites: arm (fail every hit), verify the hot-path
+  // check injects and counts, then disarm and verify the site is quiet.
+  // This is the runtime companion of the static_assert on the name table:
+  // a site added without full registry support fails here.
+  for (unsigned i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    kml_fault_arm_every(site, 1);
+    EXPECT_TRUE(kml_fault_should_fail(site)) << kml_fault_site_name(site);
+    EXPECT_TRUE(kml_fault_should_fail(site)) << kml_fault_site_name(site);
+    EXPECT_EQ(kml_fault_hits(site), 2u) << kml_fault_site_name(site);
+    EXPECT_EQ(kml_fault_injected(site), 2u) << kml_fault_site_name(site);
+    kml_fault_disarm(site);
+    EXPECT_FALSE(kml_fault_should_fail(site)) << kml_fault_site_name(site);
+    // Injected counter survives disarm for post-hoc assertions.
+    EXPECT_EQ(kml_fault_injected(site), 2u) << kml_fault_site_name(site);
   }
 }
 

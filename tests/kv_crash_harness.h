@@ -1,0 +1,144 @@
+// kv_crash_harness.h — shared kill-and-recover machinery for the MiniKV
+// crash-consistency tests (kv_recover_test and the kv_fuzz_test crash fuzz).
+//
+// The contract under test (DESIGN.md §12): after any crash — an injected
+// durability fault at one of the FaultSite seams or a plain power cut via
+// MiniKV::crash() — recover() must produce a store where
+//   (1) every write acknowledged durable (seq <= durable_seq() at the
+//       moment of the crash) is present,
+//   (2) a non-base key whose writes were all un-acknowledged is absent
+//       (the torn WAL tail dies whole, never resurrects), and
+//   (3) the store reports exactly one recovery and a durable horizon no
+//       older than the crash-time one.
+//
+// The journal records what the *application* observed (which puts were
+// accepted, with which sequence numbers); ack status is decided only after
+// the crash by comparing against the frozen durable_seq(). That mirrors how
+// a real client of a group-committed store reasons about its data.
+#pragma once
+
+#include "kv/minikv.h"
+#include "math/rng.h"
+#include "portability/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kml::kv::testutil {
+
+// Fresh empty directory under the gtest temp root. Reusing one directory
+// across crash iterations is safe — every file a new manifest references is
+// rewritten in truncate mode — but each test keeps its own namespace so a
+// failing iteration leaves a debuggable corpse.
+inline std::string crash_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline sim::StackConfig crash_stack() {
+  sim::StackConfig config;
+  config.cache_pages = 2048;
+  return config;
+}
+
+// Small, twitchy store: group commit every 4 puts, flush every 16, compact
+// at 2 overlays — a short workload crosses every durability seam (WAL
+// commit, run flush, manifest write, manifest rename) many times.
+inline KVConfig crash_kv(const std::string& dir,
+                         std::uint64_t base_keys = 64) {
+  KVConfig config;
+  config.num_keys = base_keys;
+  config.geom.entry_bytes = 128;
+  config.geom.block_pages = 4;
+  config.memtable_limit_bytes = 2 << 10;  // 16 entries per flush
+  config.wal_buffer_bytes = 512;          // 4 records per group commit
+  config.max_overlay_runs = 2;
+  config.durable_dir = dir;
+  return config;
+}
+
+// Every accepted put's (key, seq), in acceptance order.
+struct WriteJournal {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> puts;
+
+  // Issue a put and journal it iff the store accepted it (a crashed store
+  // refuses writes without consuming a sequence number).
+  void record_put(MiniKV& db, std::uint64_t key) {
+    const std::uint64_t before = db.last_seq();
+    db.put(key);
+    if (db.last_seq() == before + 1) puts.emplace_back(key, before + 1);
+  }
+
+  // Keys with at least one acknowledged write (seq <= durable).
+  std::vector<std::uint64_t> acked_keys(std::uint64_t durable) const {
+    std::vector<std::uint64_t> keys;
+    for (const auto& [key, seq] : puts) {
+      if (seq <= durable) keys.push_back(key);
+    }
+    dedupe(&keys);
+    return keys;
+  }
+
+  // Non-base keys whose every write was un-acknowledged: these must be
+  // absent after recovery. (Base keys are always present; an acked write
+  // to a key also keeps it present regardless of later un-acked ones.)
+  std::vector<std::uint64_t> unacked_only_keys(std::uint64_t durable,
+                                               std::uint64_t base_keys) const {
+    std::vector<std::uint64_t> acked = acked_keys(durable);
+    std::vector<std::uint64_t> keys;
+    for (const auto& [key, seq] : puts) {
+      if (seq > durable && key >= base_keys &&
+          !std::binary_search(acked.begin(), acked.end(), key)) {
+        keys.push_back(key);
+      }
+    }
+    dedupe(&keys);
+    return keys;
+  }
+
+ private:
+  static void dedupe(std::vector<std::uint64_t>* keys) {
+    std::sort(keys->begin(), keys->end());
+    keys->erase(std::unique(keys->begin(), keys->end()), keys->end());
+  }
+};
+
+// Drive random puts (seasoned with occasional checkpoints) until the store
+// crashes on an armed fault or the op budget runs out. Keys span 4x the
+// base range so the journal holds base overwrites and fresh keys alike.
+inline void drive_until_crash(MiniKV& db, WriteJournal& journal,
+                              math::Rng& rng, std::uint64_t max_ops) {
+  const std::uint64_t key_space = 4 * db.num_keys();
+  for (std::uint64_t op = 0; op < max_ops && !db.failed(); ++op) {
+    if (rng.next_below(40) == 0) {
+      (void)db.checkpoint();
+    } else {
+      journal.record_put(db, rng.next_below(key_space));
+    }
+  }
+}
+
+// The post-recovery invariant check shared by every kill-and-recover test.
+// `durable_at_crash` is durable_seq() read from the dead store.
+inline void verify_recovery(MiniKV& db, const WriteJournal& journal,
+                            std::uint64_t durable_at_crash,
+                            std::uint64_t base_keys) {
+  EXPECT_EQ(db.stats().recoveries, 1u);
+  EXPECT_GE(db.durable_seq(), durable_at_crash);
+  for (const std::uint64_t key : journal.acked_keys(durable_at_crash)) {
+    EXPECT_TRUE(db.get(key)) << "acked key " << key << " lost in recovery";
+  }
+  for (const std::uint64_t key :
+       journal.unacked_only_keys(durable_at_crash, base_keys)) {
+    EXPECT_FALSE(db.get(key)) << "un-acked key " << key << " resurrected";
+  }
+}
+
+}  // namespace kml::kv::testutil

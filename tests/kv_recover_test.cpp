@@ -1,0 +1,373 @@
+// kv_recover_test.cpp — crash consistency and concurrent-read safety for
+// the durable MiniKV (DESIGN.md §12).
+//
+// Covers the checkpoint/recover round trip, WAL tail replay, the exact-ack
+// contract across power cuts and injected durability faults at every
+// FaultSite seam, torn-manifest rejection, the health guard's KV-recovery
+// signal, and the epoch-protected lock-free read path under concurrent
+// flush/compaction (the TSan target: build with -DKML_SANITIZE=thread and
+// this binary must run clean).
+#include "kv_crash_harness.h"
+
+#include "kv/iterator.h"
+#include "observe/metrics.h"
+#include "portability/epoch.h"
+#include "portability/file.h"
+#include "portability/thread.h"
+#include "runtime/health.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kml::kv {
+namespace {
+
+using testutil::crash_dir;
+using testutil::crash_kv;
+using testutil::crash_stack;
+using testutil::drive_until_crash;
+using testutil::verify_recovery;
+using testutil::WriteJournal;
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(kml_fsize(path.c_str())));
+  KmlFile* f = kml_fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr);
+  std::int64_t got = 0;
+  while (got < static_cast<std::int64_t>(bytes.size())) {
+    const std::int64_t n = kml_fread(f, bytes.data() + got, bytes.size() - got);
+    if (n <= 0) break;
+    got += n;
+  }
+  kml_fclose(f);
+  EXPECT_EQ(got, static_cast<std::int64_t>(bytes.size()));
+  return bytes;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  KmlFile* f = kml_fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(kml_fwrite(f, bytes.data(), bytes.size()),
+            static_cast<std::int64_t>(bytes.size()));
+  kml_fclose(f);
+}
+
+TEST(Recover, FreshDurableStoreSeedsRecoverableDirectory) {
+  const std::string dir = crash_dir("kv_seed");
+  const KVConfig config = crash_kv(dir);
+  {
+    sim::StorageStack stack(crash_stack());
+    MiniKV db(stack, config);
+    ASSERT_FALSE(db.failed());
+    // The directory is recoverable the moment the constructor returns.
+    EXPECT_GT(kml_fsize(manifest_path(dir).c_str()), 0);
+    EXPECT_GE(kml_fsize(wal_path(dir, 0).c_str()), 0);
+  }
+  sim::StorageStack stack(crash_stack());
+  auto db = MiniKV::recover(stack, config);
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->stats().recoveries, 1u);
+  EXPECT_EQ(db->stats().wal_records_replayed, 0u);
+  EXPECT_TRUE(db->get(0));  // base run rebuilt
+}
+
+TEST(Recover, CheckpointRecoverRoundTrip) {
+  const std::string dir = crash_dir("kv_roundtrip");
+  const KVConfig config = crash_kv(dir);
+  const std::uint64_t base = config.num_keys;
+  std::uint64_t last_seq = 0;
+  {
+    sim::StorageStack stack(crash_stack());
+    MiniKV db(stack, config);
+    for (std::uint64_t k = 0; k < 50; ++k) db.put(base + 2 * k);
+    ASSERT_TRUE(db.checkpoint());
+    EXPECT_EQ(db.stats().checkpoints, 1u);
+    // A checkpoint acknowledges everything it persisted.
+    last_seq = db.last_seq();
+    EXPECT_EQ(db.durable_seq(), last_seq);
+  }
+  sim::StorageStack stack(crash_stack());
+  auto db = MiniKV::recover(stack, config);
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->stats().recoveries, 1u);
+  // The checkpoint rotated onto an empty WAL: nothing to replay.
+  EXPECT_EQ(db->stats().wal_records_replayed, 0u);
+  EXPECT_GE(db->durable_seq(), last_seq);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_TRUE(db->get(base + 2 * k)) << k;
+  }
+  EXPECT_TRUE(db->get(base / 2));         // base keys survive too
+  EXPECT_FALSE(db->get(base + 1));        // never written
+}
+
+TEST(Recover, CleanShutdownCommitsAndReplaysWalTail) {
+  const std::string dir = crash_dir("kv_tail");
+  const KVConfig config = crash_kv(dir);
+  const std::uint64_t base = config.num_keys;
+  {
+    sim::StorageStack stack(crash_stack());
+    MiniKV db(stack, config);
+    // 10 puts: two full group commits plus a tail the destructor commits.
+    for (std::uint64_t k = 0; k < 10; ++k) db.put(base + k);
+  }
+  sim::StorageStack stack(crash_stack());
+  auto db = MiniKV::recover(stack, config);
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->stats().wal_replays, 1u);
+  EXPECT_EQ(db->stats().wal_records_replayed, 10u);
+  for (std::uint64_t k = 0; k < 10; ++k) EXPECT_TRUE(db->get(base + k)) << k;
+}
+
+TEST(Recover, SecondRecoveryNeedsNoReplay) {
+  const std::string dir = crash_dir("kv_rerecover");
+  const KVConfig config = crash_kv(dir);
+  const std::uint64_t base = config.num_keys;
+  {
+    sim::StorageStack stack(crash_stack());
+    MiniKV db(stack, config);
+    for (std::uint64_t k = 0; k < 10; ++k) db.put(base + k);
+    db.crash();  // tail was acked at the 8th put; the last 2 die
+  }
+  {
+    sim::StorageStack stack(crash_stack());
+    auto db = MiniKV::recover(stack, config);
+    ASSERT_NE(db, nullptr);
+    EXPECT_EQ(db->stats().wal_records_replayed, 8u);
+  }
+  // Recovery ended on a flushed, rotated (empty) WAL: recovering the same
+  // directory again replays nothing and loses nothing.
+  sim::StorageStack stack(crash_stack());
+  auto db = MiniKV::recover(stack, config);
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->stats().wal_records_replayed, 0u);
+  for (std::uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(db->get(base + k)) << k;
+}
+
+TEST(Recover, PowerCutDropsExactlyTheUnackedTail) {
+  const std::string dir = crash_dir("kv_powercut");
+  const KVConfig config = crash_kv(dir);
+  const std::uint64_t base = config.num_keys;
+  WriteJournal journal;
+  std::uint64_t durable = 0;
+  {
+    sim::StorageStack stack(crash_stack());
+    MiniKV db(stack, config);
+    // Group commit fires at the 4th put; puts 5 and 6 stay buffered.
+    for (std::uint64_t k = 1; k <= 6; ++k) journal.record_put(db, base + k);
+    EXPECT_EQ(db.durable_seq(), 4u);
+    EXPECT_EQ(db.last_seq(), 6u);
+    db.crash();
+    durable = db.durable_seq();
+    EXPECT_EQ(durable, 4u);  // frozen at the last acknowledged commit
+  }
+  sim::StorageStack stack(crash_stack());
+  auto db = MiniKV::recover(stack, config);
+  ASSERT_NE(db, nullptr);
+  verify_recovery(*db, journal, durable, base);
+  EXPECT_TRUE(db->get(base + 4));   // acked
+  EXPECT_FALSE(db->get(base + 5));  // buffered, never acked
+  EXPECT_FALSE(db->get(base + 6));
+}
+
+TEST(Recover, KillAndRecoverAtEachFaultSite) {
+  const FaultSite kSites[] = {FaultSite::kWalAppend,
+                              FaultSite::kCheckpointWrite,
+                              FaultSite::kManifestRename,
+                              FaultSite::kRunFlush};
+  for (const FaultSite site : kSites) {
+    SCOPED_TRACE(kml_fault_site_name(site));
+    const std::string dir =
+        crash_dir(std::string("kv_site_") + kml_fault_site_name(site));
+    const KVConfig config = crash_kv(dir);
+    WriteJournal journal;
+    std::uint64_t durable = 0;
+    {
+      sim::StorageStack stack(crash_stack());
+      MiniKV db(stack, config);
+      ASSERT_FALSE(db.failed());
+      // Arm after construction (the seeding manifest must succeed); let a
+      // couple of hits through so the crash lands mid-history.
+      kml_fault_arm_nth(site, 3);
+      math::Rng rng(static_cast<std::uint64_t>(site) * 977 + 5);
+      drive_until_crash(db, journal, rng, 600);
+      kml_fault_disarm_all();
+      ASSERT_TRUE(db.failed()) << "fault never hit within the op budget";
+      EXPECT_GE(kml_fault_injected(site), 1u);
+      durable = db.durable_seq();
+    }
+    sim::StorageStack stack(crash_stack());
+    auto db = MiniKV::recover(stack, config);
+    ASSERT_NE(db, nullptr);
+    verify_recovery(*db, journal, durable, config.num_keys);
+  }
+}
+
+TEST(Recover, TornManifestIsRejectedNeverHalfLoaded) {
+  const std::string dir = crash_dir("kv_torn");
+  const KVConfig config = crash_kv(dir);
+  {
+    sim::StorageStack stack(crash_stack());
+    MiniKV db(stack, config);
+    for (std::uint64_t k = 0; k < 30; ++k) db.put(config.num_keys + k);
+    ASSERT_TRUE(db.checkpoint());
+  }
+  const std::uint64_t torn_before =
+      observe::get_counter(observe::kMetricKvTornManifests).value();
+  const std::vector<std::uint8_t> good = read_file(manifest_path(dir));
+  ASSERT_GT(good.size(), 8u);
+
+  // Bit rot: one flipped byte mid-image must fail the CRC footer.
+  std::vector<std::uint8_t> flipped = good;
+  flipped[flipped.size() / 2] ^= 0xff;
+  write_file(manifest_path(dir), flipped);
+  {
+    sim::StorageStack stack(crash_stack());
+    EXPECT_EQ(MiniKV::recover(stack, config), nullptr);
+  }
+
+  // Torn write: a half-length image must be rejected the same way.
+  std::vector<std::uint8_t> torn(good.begin(),
+                                 good.begin() + good.size() / 2);
+  write_file(manifest_path(dir), torn);
+  {
+    sim::StorageStack stack(crash_stack());
+    EXPECT_EQ(MiniKV::recover(stack, config), nullptr);
+  }
+  EXPECT_EQ(observe::get_counter(observe::kMetricKvTornManifests).value(),
+            torn_before + 2);
+
+  // Restoring the original image restores recoverability: the rejection
+  // was the reader refusing bad bytes, not state loss.
+  write_file(manifest_path(dir), good);
+  sim::StorageStack stack(crash_stack());
+  auto db = MiniKV::recover(stack, config);
+  ASSERT_NE(db, nullptr);
+  EXPECT_TRUE(db->get(config.num_keys + 29));
+}
+
+TEST(Recover, MissingManifestReturnsNull) {
+  const std::string dir = crash_dir("kv_missing");
+  sim::StorageStack stack(crash_stack());
+  EXPECT_EQ(MiniKV::recover(stack, crash_kv(dir)), nullptr);
+}
+
+TEST(Recover, RecoveryTripsHealthGuardOntoProbation) {
+  const std::string dir = crash_dir("kv_health");
+  const KVConfig config = crash_kv(dir);
+  {
+    sim::StorageStack stack(crash_stack());
+    MiniKV db(stack, config);
+    db.put(config.num_keys + 7);
+    ASSERT_TRUE(db.checkpoint());
+  }
+  runtime::HealthMonitor monitor;  // kv_recoveries_to_degrade defaults to 1
+  monitor.observe_registry();      // prime baselines
+  ASSERT_TRUE(monitor.healthy());
+
+  sim::StorageStack stack(crash_stack());
+  auto db = MiniKV::recover(stack, config);
+  ASSERT_NE(db, nullptr);
+
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), runtime::HealthState::kDegraded);
+  EXPECT_EQ(monitor.stats().kv_recovery_trips, 1u);
+}
+
+// --- Epoch-protected concurrent reads ---------------------------------------
+
+TEST(ConcurrentReads, SingleThreadSanity) {
+  sim::StorageStack stack(crash_stack());
+  // In-memory store: the epoch-protected read path is identical, without
+  // file I/O muddying the TSan runs.
+  const KVConfig config = crash_kv("", /*base_keys=*/64);
+  MiniKV db(stack, config);
+  const std::uint64_t base = config.num_keys;
+
+  db.put(base + 5);
+  EXPECT_TRUE(db.get_concurrent(base + 5));   // memtable hit
+  EXPECT_TRUE(db.get_concurrent(base / 2));   // base-run hit
+  EXPECT_FALSE(db.get_concurrent(base + 6));  // absent
+  ASSERT_TRUE(db.checkpoint());               // flush to an overlay
+  EXPECT_TRUE(db.get_concurrent(base + 5));   // overlay hit
+  EXPECT_EQ(db.concurrent_gets(), 4u);
+  EXPECT_EQ(db.concurrent_hits(), 3u);
+  // The virtual-time plane never saw these lookups.
+  EXPECT_EQ(db.stats().gets, 0u);
+}
+
+struct ConcurrentReader {
+  MiniKV* db = nullptr;
+  std::atomic<bool>* stop = nullptr;
+  std::uint64_t base_keys = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t misses = 0;
+};
+
+void reader_main(void* arg) {
+  auto* r = static_cast<ConcurrentReader*>(arg);
+  std::uint64_t key = 0;
+  while (!r->stop->load(std::memory_order_acquire)) {
+    // Base keys are present in every published LiveState, so any miss is a
+    // reclamation or publication bug.
+    if (!r->db->get_concurrent(key)) ++r->misses;
+    ++r->probes;
+    key = (key + 1) % r->base_keys;
+  }
+}
+
+TEST(ConcurrentReads, EpochProtectsReadersAcrossFlushAndCompaction) {
+  sim::StorageStack stack(crash_stack());
+  const KVConfig config = crash_kv("", /*base_keys=*/256);
+  MiniKV db(stack, config);
+
+  const std::uint64_t retired_before = kml_epoch_retired_total();
+  std::atomic<bool> stop{false};
+  constexpr int kReaders = 3;
+  ConcurrentReader args[kReaders];
+  KmlThread* threads[kReaders];
+  for (int i = 0; i < kReaders; ++i) {
+    args[i].db = &db;
+    args[i].stop = &stop;
+    args[i].base_keys = config.num_keys;
+    threads[i] = kml_thread_create(reader_main, &args[i], "kvreader");
+    ASSERT_NE(threads[i], nullptr);
+  }
+
+  // Owner thread: enough writes to cross many flushes and compactions,
+  // each of which publishes a new LiveState and retires the old one under
+  // the readers' feet.
+  for (std::uint64_t k = 0; k < 3000; ++k) {
+    db.put(config.num_keys + (k % (3 * config.num_keys)));
+  }
+  EXPECT_GT(db.stats().flushes, 10u);
+  EXPECT_GT(db.stats().compactions, 0u);
+
+  stop.store(true, std::memory_order_release);
+  for (int i = 0; i < kReaders; ++i) kml_thread_join(threads[i]);
+
+  std::uint64_t probes = 0;
+  for (const ConcurrentReader& r : args) {
+    EXPECT_GT(r.probes, 0u);
+    EXPECT_EQ(r.misses, 0u) << "a pinned reader saw a reclaimed state";
+    probes += r.probes;
+  }
+  EXPECT_EQ(db.concurrent_gets(), probes);
+  EXPECT_EQ(db.concurrent_hits(), probes);
+
+  // Every publish routed the old LiveState through the epoch domain.
+  EXPECT_GT(db.stats().epoch_deferred_frees, 10u);
+  EXPECT_GT(kml_epoch_retired_total(), retired_before);
+
+  // With the readers gone, the domain drains to empty.
+  kml_epoch_drain();
+  EXPECT_EQ(kml_epoch_deferred(), 0u);
+}
+
+}  // namespace
+}  // namespace kml::kv

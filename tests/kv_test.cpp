@@ -120,6 +120,32 @@ TEST(MemtableTest, SortedKeysAreSorted) {
   EXPECT_EQ(keys[2], 30u);
 }
 
+TEST(MemtableTest, TracksHighestSequenceNumber) {
+  Memtable mem(128);
+  EXPECT_EQ(mem.max_seq(), 0u);
+  mem.put(10, 5);
+  mem.put(20, 9);
+  mem.put(10, 12);  // overwrite carries the newer seq
+  EXPECT_EQ(mem.max_seq(), 12u);
+  EXPECT_EQ(mem.entry_count(), 2u);
+}
+
+TEST(MemtableTest, IndexFullTripsAtLoadCeiling) {
+  // capacity_hint 1 clamps to the 32-entry floor: a 64-slot index with its
+  // load ceiling at 32 entries.
+  Memtable mem(128, /*capacity_hint=*/1);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    EXPECT_FALSE(mem.index_full()) << k;
+    mem.put(k * 1000 + 7);
+  }
+  EXPECT_TRUE(mem.index_full());
+  // The index stays exact at the ceiling (it never drops inserts).
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    EXPECT_TRUE(mem.contains(k * 1000 + 7)) << k;
+  }
+  EXPECT_FALSE(mem.contains(1));
+}
+
 TEST(MiniKVTest, GetFindsEveryBaseKey) {
   sim::StorageStack stack(tiny_stack());
   MiniKV db(stack, tiny_kv(1000));
@@ -282,6 +308,55 @@ TEST(IteratorTest, ScanTouchesPageCache) {
   }
   EXPECT_GT(stack.cache().stats().hits + stack.cache().stats().misses, 0u);
   EXPECT_GT(stack.device().stats().pages_read, 0u);
+}
+
+TEST(MiniKVTest, GenerationAdvancesOnEveryMutation) {
+  sim::StorageStack stack(tiny_stack());
+  MiniKV db(stack, tiny_kv(100));
+  const std::uint64_t g0 = db.generation();
+  db.put(500);
+  const std::uint64_t g1 = db.generation();
+  EXPECT_GT(g1, g0);
+  EXPECT_TRUE(db.checkpoint());
+  const std::uint64_t g2 = db.generation();
+  EXPECT_GT(g2, g1);
+  db.get(5);  // reads do not invalidate iterators
+  EXPECT_EQ(db.generation(), g2);
+}
+
+TEST(IteratorTest, StaleIteratorFailsLoudlyNotSilently) {
+  sim::StorageStack stack(tiny_stack());
+  MiniKV db(stack, tiny_kv(100));
+  auto it = db.new_iterator();
+  it->seek_to_first();
+  ASSERT_TRUE(it->valid());
+  EXPECT_FALSE(it->invalidated());
+  db.put(500);  // generation moves; `it` is now stale
+#ifdef NDEBUG
+  // Release builds: the first use after invalidation parks the iterator in
+  // a permanent, loud error state — never a silent read of retired runs.
+  it->next();
+  EXPECT_TRUE(it->invalidated());
+  EXPECT_FALSE(it->valid());
+  it->seek_to_first();  // every further call stays a no-op
+  EXPECT_FALSE(it->valid());
+  EXPECT_TRUE(it->invalidated());
+#else
+  // Debug builds: the same misuse trips the assert.
+  EXPECT_DEATH(it->next(), "invalidated");
+#endif
+}
+
+TEST(IteratorTest, FreshIteratorAfterMutationSeesTheWrite) {
+  sim::StorageStack stack(tiny_stack());
+  MiniKV db(stack, tiny_kv(100));
+  auto stale = db.new_iterator();
+  db.put(500);
+  auto it = db.new_iterator();  // a new snapshot is the recovery path
+  it->seek(500);
+  ASSERT_TRUE(it->valid());
+  EXPECT_EQ(it->key(), 500u);
+  EXPECT_FALSE(it->invalidated());
 }
 
 TEST(MiniKVTest, BloomSavesProbesForAbsentKeys) {

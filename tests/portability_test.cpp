@@ -1,5 +1,7 @@
 // Tests for the KML development API (src/portability): memory accounting,
-// the reservation arena, threading, atomics, logging, file ops, FPU guards.
+// the reservation arena, threading, atomics, logging, file ops, FPU guards,
+// and epoch-based reclamation.
+#include "portability/epoch.h"
 #include "portability/kml_lib.h"
 
 #include <gtest/gtest.h>
@@ -211,8 +213,37 @@ TEST_F(PortabilityTest, FileWriteReadRoundTrip) {
 }
 
 TEST_F(PortabilityTest, FopenBadModeFails) {
-  EXPECT_EQ(kml_fopen("/tmp/kml_x", "a"), nullptr);
+  EXPECT_EQ(kml_fopen("/tmp/kml_x", "x"), nullptr);
+  EXPECT_EQ(kml_fopen("/tmp/kml_x", "r+"), nullptr);
   EXPECT_EQ(kml_fopen(nullptr, "r"), nullptr);
+}
+
+TEST_F(PortabilityTest, FopenAppendModeAppends) {
+  const char* path = "/tmp/kml_append_test.bin";
+  std::remove(path);
+
+  // "a" creates the file when missing...
+  KmlFile* a = kml_fopen(path, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(kml_fwrite(a, "abc", 3), 3);
+  EXPECT_TRUE(kml_fflush(a));
+  kml_fclose(a);
+
+  // ...and every later append lands at the end (the WAL shape).
+  a = kml_fopen(path, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(kml_fwrite(a, "def", 3), 3);
+  EXPECT_TRUE(kml_fflush(a));
+  kml_fclose(a);
+
+  EXPECT_EQ(kml_fsize(path), 6);
+  KmlFile* r = kml_fopen(path, "r");
+  ASSERT_NE(r, nullptr);
+  char buf[8] = {};
+  EXPECT_EQ(kml_fread(r, buf, sizeof(buf)), 6);
+  EXPECT_STREQ(buf, "abcdef");
+  kml_fclose(r);
+  std::remove(path);
 }
 
 TEST_F(PortabilityTest, FsizeMissingFileIsMinusOne) {
@@ -230,6 +261,86 @@ TEST_F(PortabilityTest, FpuGuardsCountRegions) {
   kml_fpu_end();
   EXPECT_FALSE(kml_fpu_in_region());
   EXPECT_EQ(kml_fpu_region_count(), 1u);
+}
+
+// --- Epoch-based reclamation -------------------------------------------------
+//
+// The global epoch domain outlives individual tests (thread slots are
+// claimed for the process lifetime), so every assertion works in deltas.
+
+std::atomic<int> g_epoch_freed{0};
+
+void counting_delete(void* p) {
+  delete static_cast<int*>(p);
+  g_epoch_freed.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST_F(PortabilityTest, EpochReclaimFreesWhenNoReaderIsPinned) {
+  const int before = g_epoch_freed.load();
+  kml_epoch_retire(new int(1), &counting_delete);
+  kml_epoch_retire(new int(2), &counting_delete);
+  kml_epoch_drain();
+  EXPECT_EQ(g_epoch_freed.load(), before + 2);
+  EXPECT_EQ(kml_epoch_deferred(), 0u);
+}
+
+TEST_F(PortabilityTest, EpochEnterIsReentrant) {
+  EXPECT_FALSE(kml_epoch_in_critical_section());
+  kml_epoch_enter();
+  kml_epoch_enter();
+  EXPECT_TRUE(kml_epoch_in_critical_section());
+  kml_epoch_exit();
+  EXPECT_TRUE(kml_epoch_in_critical_section());  // outermost still holds
+  kml_epoch_exit();
+  EXPECT_FALSE(kml_epoch_in_critical_section());
+}
+
+TEST_F(PortabilityTest, EpochPinnedReaderDefersTheFree) {
+  const int before = g_epoch_freed.load();
+  kml_epoch_enter();
+  kml_epoch_retire(new int(3), &counting_delete);
+  kml_epoch_reclaim();
+  // Retired under our own pin: reclaim must not free it yet.
+  EXPECT_EQ(g_epoch_freed.load(), before);
+  EXPECT_GE(kml_epoch_deferred(), 1u);
+  kml_epoch_exit();
+  kml_epoch_drain();
+  EXPECT_EQ(g_epoch_freed.load(), before + 1);
+}
+
+struct PinHolder {
+  std::atomic<int> phase{0};  // 0 starting, 1 pinned, 2 done
+  std::uint64_t stalls_baseline = 0;
+};
+
+void pin_holder_main(void* arg) {
+  auto* h = static_cast<PinHolder*>(arg);
+  kml_epoch_enter();
+  h->phase.store(1, std::memory_order_release);
+  // Hold the pin until the main thread's drain logs a stalled pass; that
+  // makes the stall path deterministic instead of a sleep-length race.
+  while (kml_epoch_stalls() <= h->stalls_baseline) kml_thread_yield();
+  kml_epoch_exit();
+  h->phase.store(2, std::memory_order_release);
+}
+
+TEST_F(PortabilityTest, EpochDrainStallsOnPinnedReaderThenCompletes) {
+  const int freed_before = g_epoch_freed.load();
+  PinHolder holder;
+  holder.stalls_baseline = kml_epoch_stalls();
+  KmlThread* t = kml_thread_create(pin_holder_main, &holder, "epochpin");
+  ASSERT_NE(t, nullptr);
+  while (holder.phase.load(std::memory_order_acquire) < 1) {
+    kml_thread_yield();
+  }
+  kml_epoch_retire(new int(4), &counting_delete);
+  // Drain: first pass(es) free nothing (reader pinned) and count stalls;
+  // the holder sees the stall, unpins, and the drain completes.
+  kml_epoch_drain();
+  kml_thread_join(t);
+  EXPECT_GT(kml_epoch_stalls(), holder.stalls_baseline);
+  EXPECT_EQ(kml_epoch_deferred(), 0u);
+  EXPECT_EQ(g_epoch_freed.load(), freed_before + 1);
 }
 
 }  // namespace

@@ -35,6 +35,7 @@ TEST(Names, AllWorkloadsNamed) {
   EXPECT_STREQ(workload_name(WorkloadType::kSeekRandom), "seekrandom");
   EXPECT_STREQ(workload_name(WorkloadType::kReadWhileWriting),
                "readwhilewriting");
+  EXPECT_STREQ(workload_name(WorkloadType::kMlIngest), "mlingest");
 }
 
 TEST(Generators, UniformKeysWithinBounds) {
@@ -104,7 +105,8 @@ INSTANTIATE_TEST_SUITE_P(
                       WorkloadType::kReadRandomWriteRandom,
                       WorkloadType::kUpdateRandom, WorkloadType::kMixGraph,
                       WorkloadType::kSeekRandom,
-                      WorkloadType::kReadWhileWriting),
+                      WorkloadType::kReadWhileWriting,
+                      WorkloadType::kMlIngest),
     [](const ::testing::TestParamInfo<WorkloadType>& info) {
       return std::string(workload_name(info.param));
     });
@@ -204,6 +206,33 @@ TEST(Drivers, ReadWhileWritingMixesWritesAtConfiguredRate) {
   run_workload(db, wc, UINT64_MAX / 2, 1600);
   EXPECT_EQ(db.stats().puts, 400u);
   EXPECT_EQ(db.stats().gets, 1200u);
+}
+
+TEST(Drivers, MlIngestMixesScansReadsAndWritesAtFixedRatio) {
+  sim::StorageStack stack(tiny_stack());
+  kv::MiniKV db(stack, tiny_kv());
+  WorkloadConfig wc;
+  wc.type = WorkloadType::kMlIngest;
+  run_workload(db, wc, UINT64_MAX / 2, 1600);
+  // 16-op cycle: 10 shard-scan steps, 5 shuffled reads, 1 write.
+  EXPECT_EQ(db.stats().puts, 100u);
+  EXPECT_EQ(db.stats().gets, 500u);
+  EXPECT_EQ(db.stats().iter_steps, 1000u);
+}
+
+TEST(Drivers, MlIngestIsDeterministic) {
+  auto run_once = [] {
+    sim::StorageStack stack(tiny_stack());
+    kv::MiniKV db(stack, tiny_kv());
+    WorkloadConfig wc;
+    wc.type = WorkloadType::kMlIngest;
+    wc.seed = 1234;
+    return run_workload(db, wc, 300 * 1000 * 1000, UINT64_MAX);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.duration_ns, b.duration_ns);
 }
 
 TEST(Drivers, ReadSeqWrapsAroundAtEof) {
