@@ -1,0 +1,336 @@
+// bench_cache — the eviction case-study evaluation (DESIGN.md §13).
+//
+// Runs the phase-shifting workload (eviction/workload.h) under each static
+// reclaim policy (LRU, CLOCK, scan-resistant GCLOCK), then under the
+// ML-tuned CacheTuner (phase classifier -> policy actuation through the
+// engine's batched-inference path) and the Q-learning variant. The point of
+// the study: no static policy wins every phase, so the tuned run should
+// beat the best static policy on overall hit-rate.
+//
+// Also reports the eviction-decision cost per policy: real wall-clock ns
+// per eviction on a 100%-miss cyclic scan (the reclaim path's worst case).
+//
+// Usage: bench_cache [--json] [--quick]
+//
+// --json writes BENCH_cache.json (flat numeric fields, same convention as
+// the other bench binaries). --quick shortens the schedule for smoke runs.
+// The trained classifier is cached as cache_model.kml (and its training
+// windows as cache_traces.csv), following the same deploy-once flow the
+// readahead benches use.
+#include "bench_common.h"
+
+#include "data/dataset.h"
+#include "eviction/model.h"
+#include "eviction/tuner.h"
+#include "eviction/workload.h"
+#include "portability/kml_lib.h"
+#include "portability/thread.h"
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace kml;
+
+constexpr const char* kCacheModelPath = "cache_model.kml";
+constexpr const char* kCacheDatasetPath = "cache_traces.csv";
+
+struct BenchConfig {
+  sim::StackConfig stack;
+  eviction::PhaseWorkloadConfig workload;
+  std::uint64_t seconds_per_phase = 6;
+  int repeats = 2;
+  std::uint64_t train_seconds_per_run = 8;
+};
+
+BenchConfig make_config(bool quick) {
+  BenchConfig config;
+  // Geometry chosen so the phases disagree about the right policy: the
+  // shifting window fits with room for one abandoned window's worth of
+  // stale pages (what a weighted clock hoards), while the scan-mix hot
+  // set fits only if the scan's one-touch pages are evicted early.
+  config.stack.cache_pages = 16384;  // 64 MiB
+  config.workload.file_pages = 1u << 18;
+  config.workload.window_pages = 12'000;
+  config.workload.hot_pages = 15'500;
+  config.workload.cpu_ns_per_op = 4'000;
+  if (quick) {
+    config.seconds_per_phase = 3;
+    config.repeats = 1;
+    config.train_seconds_per_run = 4;
+  }
+  return config;
+}
+
+// Per-run outcome: overall hit rate plus hit/miss totals split by phase.
+struct EvalOutcome {
+  double hit_rate = 0.0;
+  std::array<std::uint64_t, eviction::kNumCachePhases> hits{};
+  std::array<std::uint64_t, eviction::kNumCachePhases> misses{};
+
+  double phase_hit_rate(int phase) const {
+    const std::uint64_t total = hits[phase] + misses[phase];
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits[phase]) /
+                            static_cast<double>(total);
+  }
+};
+
+EvalOutcome summarize(const std::vector<eviction::PhaseResult>& results) {
+  EvalOutcome out;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const eviction::PhaseResult& r : results) {
+    const int p = static_cast<int>(r.phase);
+    out.hits[p] += r.hits;
+    out.misses[p] += r.misses;
+    hits += r.hits;
+    misses += r.misses;
+  }
+  if (hits + misses > 0) {
+    out.hit_rate =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+  return out;
+}
+
+sim::StackConfig stack_for(const BenchConfig& config,
+                           const eviction::PolicyChoice& policy) {
+  sim::StackConfig stack = config.stack;
+  stack.eviction_policy = policy.type;
+  stack.eviction_params = policy.params;
+  return stack;
+}
+
+EvalOutcome run_static(const BenchConfig& config,
+                       const eviction::PolicyChoice& policy) {
+  sim::StorageStack stack(stack_for(config, policy));
+  eviction::PhaseDriver driver(stack, config.workload);
+  return summarize(driver.run_schedule(eviction::default_phase_schedule(
+      config.seconds_per_phase, config.repeats)));
+}
+
+struct MlOutcome {
+  EvalOutcome eval;
+  std::uint64_t windows = 0;
+  std::uint64_t policy_switches = 0;
+  std::uint64_t degraded_windows = 0;
+};
+
+MlOutcome run_ml(const BenchConfig& config, runtime::Engine& engine) {
+  // The tuned run starts from vanilla LRU; everything else is the model.
+  sim::StorageStack stack(stack_for(config, eviction::PolicyChoice{}));
+  eviction::CacheTunerConfig tuner_config;
+  tuner_config.batch_predict =
+      eviction::make_cache_engine_batch_predictor(engine);
+  eviction::CacheTuner tuner(
+      stack, eviction::make_cache_engine_predictor(engine), tuner_config);
+  eviction::PhaseDriver driver(stack, config.workload);
+  auto tick = [&tuner](std::uint64_t now_ns) { tuner.on_tick(now_ns); };
+  MlOutcome out;
+  out.eval = summarize(driver.run_schedule(
+      eviction::default_phase_schedule(config.seconds_per_phase,
+                                       config.repeats),
+      tick));
+  out.windows = tuner.windows();
+  out.policy_switches = stack.cache().stats().policy_switches;
+  out.degraded_windows = tuner.degraded_windows();
+  return out;
+}
+
+EvalOutcome run_rl(const BenchConfig& config) {
+  sim::StorageStack stack(stack_for(config, eviction::PolicyChoice{}));
+  readahead::QLearningTuner rl(
+      stack, eviction::cache_rl_config(),
+      eviction::make_policy_actuator(stack,
+                                     eviction::default_policy_table()));
+  eviction::PhaseDriver driver(stack, config.workload);
+  // Reward stream: cumulative cache hits — the agent maximizes hit gain
+  // per window, with no labels and no offline model.
+  auto tick = [&rl, &stack](std::uint64_t now_ns) {
+    rl.on_tick(now_ns, stack.cache().stats().hits);
+  };
+  return summarize(driver.run_schedule(
+      eviction::default_phase_schedule(config.seconds_per_phase,
+                                       config.repeats),
+      tick));
+}
+
+// Real wall-clock cost of the reclaim decision: a cyclic scan over
+// 2x capacity with readahead disabled misses on every access once the
+// cache is warm, so each read is exactly one pick_victim + one insert.
+double eviction_decision_ns(const eviction::PolicyChoice& policy) {
+  sim::StackConfig stack_config;
+  stack_config.cache_pages = 4096;
+  stack_config.device.default_ra_kb = 0;  // one insert per read
+  stack_config.eviction_policy = policy.type;
+  stack_config.eviction_params = policy.params;
+  sim::StorageStack stack(stack_config);
+  sim::FileHandle& file = stack.files().create(1u << 16);
+
+  const std::uint64_t span = 2 * stack_config.cache_pages;
+  for (std::uint64_t i = 0; i < span; ++i) {  // warm fill
+    stack.cache().read(file, i % span, 1);
+  }
+  const std::uint64_t evicted_before = stack.cache().stats().evicted;
+  const std::uint64_t kOps = 400'000;
+  const std::uint64_t start = kml_now_ns();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    stack.cache().read(file, i % span, 1);
+  }
+  const std::uint64_t elapsed = kml_now_ns() - start;
+  const std::uint64_t evictions =
+      stack.cache().stats().evicted - evicted_before;
+  return evictions == 0 ? 0.0
+                        : static_cast<double>(elapsed) /
+                              static_cast<double>(evictions);
+}
+
+nn::Network train_or_load_cache_model(const BenchConfig& config,
+                                      double* accuracy_out) {
+  nn::Network net;
+  if (nn::load_model(net, kCacheModelPath)) {
+    std::printf("loaded cache model from %s\n", kCacheModelPath);
+    *accuracy_out = -1.0;  // not re-evaluated on a cached model
+    return net;
+  }
+  data::Dataset dataset(eviction::kNumCacheFeatures);
+  if (data::load_dataset_csv(dataset, kCacheDatasetPath)) {
+    std::printf("loaded %d training windows from %s\n", dataset.size(),
+                kCacheDatasetPath);
+  } else {
+    std::printf("collecting cache traces (%d phases x %d policies x %llu s "
+                "each)...\n",
+                eviction::kNumCachePhases, eviction::kNumCachePhases,
+                static_cast<unsigned long long>(config.train_seconds_per_run));
+    eviction::CacheTraceGenConfig trace_config;
+    trace_config.stack = config.stack;
+    trace_config.workload = config.workload;
+    trace_config.seconds_per_run = config.train_seconds_per_run;
+    dataset = eviction::collect_cache_training_data(trace_config);
+    if (data::save_dataset_csv(dataset, kCacheDatasetPath)) {
+      std::printf("cached %d windows to %s\n", dataset.size(),
+                  kCacheDatasetPath);
+    }
+  }
+  net = eviction::train_cache_nn(dataset, eviction::CacheModelConfig{});
+  *accuracy_out = eviction::evaluate_cache_nn(net, dataset);
+  std::printf("training-set accuracy: %.1f%% on %d windows\n",
+              *accuracy_out * 100.0, dataset.size());
+  if (nn::save_model(net, kCacheModelPath)) {
+    std::printf("saved model to %s\n", kCacheModelPath);
+  }
+  return net;
+}
+
+void print_row(const char* name, const EvalOutcome& o) {
+  std::printf("  %-8s %8.4f   %8.4f %8.4f %8.4f\n", name, o.hit_rate,
+              o.phase_hit_rate(0), o.phase_hit_rate(1), o.phase_hit_rate(2));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::consume_flag(&argc, argv, "--json");
+  const bool quick = bench::consume_flag(&argc, argv, "--quick");
+  const BenchConfig config = make_config(quick);
+
+  const eviction::PolicyChoice lru{};  // plain LRU
+  eviction::PolicyChoice clock_policy;
+  clock_policy.type = sim::EvictionPolicyType::kClock;
+  eviction::PolicyChoice gclock;  // scan-resistant, as in the tuner table
+  gclock.type = sim::EvictionPolicyType::kGclock;
+  gclock.params.gclock_insert_weight = 0;
+  gclock.params.gclock_hit_weight = 2;
+  gclock.params.gclock_max_weight = 8;
+
+  std::printf("phase schedule: %d x (shifting, scanmix) + zipfhot, %llu s "
+              "per phase, %llu-page cache\n\n",
+              config.repeats,
+              static_cast<unsigned long long>(config.seconds_per_phase),
+              static_cast<unsigned long long>(config.stack.cache_pages));
+
+  const EvalOutcome lru_out = run_static(config, lru);
+  const EvalOutcome clock_out = run_static(config, clock_policy);
+  const EvalOutcome gclock_out = run_static(config, gclock);
+
+  double accuracy = 0.0;
+  nn::Network net = train_or_load_cache_model(config, &accuracy);
+  runtime::Engine engine(std::move(net));
+  const MlOutcome ml = run_ml(config, engine);
+  const EvalOutcome rl_out = run_rl(config);
+
+  const double best_static =
+      std::max(lru_out.hit_rate,
+               std::max(clock_out.hit_rate, gclock_out.hit_rate));
+
+  std::printf("\n  policy    overall    shifting  scanmix  zipfhot\n");
+  print_row("lru", lru_out);
+  print_row("clock", clock_out);
+  print_row("gclock", gclock_out);
+  print_row("ml", ml.eval);
+  print_row("rl", rl_out);
+  std::printf("\nml tuner: %llu windows, %llu policy switches, %llu degraded"
+              "\nml vs best static: %.4f vs %.4f (%s)\n",
+              static_cast<unsigned long long>(ml.windows),
+              static_cast<unsigned long long>(ml.policy_switches),
+              static_cast<unsigned long long>(ml.degraded_windows),
+              ml.eval.hit_rate, best_static,
+              ml.eval.hit_rate > best_static ? "ML WINS" : "ml loses");
+
+  const double ns_lru = eviction_decision_ns(lru);
+  const double ns_clock = eviction_decision_ns(clock_policy);
+  const double ns_gclock = eviction_decision_ns(gclock);
+  std::printf("\neviction decision (wall ns/eviction, 100%%-miss scan): "
+              "lru %.0f  clock %.0f  gclock %.0f\n",
+              ns_lru, ns_clock, ns_gclock);
+
+  if (json) {
+    bench::JsonReport report;
+    report.add("hit_rate_lru", lru_out.hit_rate);
+    report.add("hit_rate_clock", clock_out.hit_rate);
+    report.add("hit_rate_gclock", gclock_out.hit_rate);
+    report.add("hit_rate_ml", ml.eval.hit_rate);
+    report.add("hit_rate_rl", rl_out.hit_rate);
+    report.add("hit_rate_best_static", best_static);
+    report.add("ml_beats_best_static",
+               ml.eval.hit_rate > best_static ? 1.0 : 0.0);
+    for (int p = 0; p < eviction::kNumCachePhases; ++p) {
+      const std::string suffix =
+          eviction::cache_phase_name(static_cast<eviction::CachePhase>(p));
+      report.add(("hit_rate_lru_" + suffix).c_str(),
+                 lru_out.phase_hit_rate(p));
+      report.add(("hit_rate_clock_" + suffix).c_str(),
+                 clock_out.phase_hit_rate(p));
+      report.add(("hit_rate_gclock_" + suffix).c_str(),
+                 gclock_out.phase_hit_rate(p));
+      report.add(("hit_rate_ml_" + suffix).c_str(),
+                 ml.eval.phase_hit_rate(p));
+      report.add(("hit_rate_rl_" + suffix).c_str(),
+                 rl_out.phase_hit_rate(p));
+    }
+    report.add("ml_windows", static_cast<double>(ml.windows));
+    report.add("ml_policy_switches", static_cast<double>(ml.policy_switches));
+    report.add("ml_degraded_windows",
+               static_cast<double>(ml.degraded_windows));
+    report.add("model_train_accuracy", accuracy);
+    report.add("eviction_ns_lru", ns_lru);
+    report.add("eviction_ns_clock", ns_clock);
+    report.add("eviction_ns_gclock", ns_gclock);
+    report.add("cpus", static_cast<double>(kml_num_cpus()));
+    const char* path = "BENCH_cache.json";
+    if (report.write_file(path)) {
+      std::printf("wrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return 1;
+    }
+  }
+  return 0;
+}

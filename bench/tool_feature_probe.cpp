@@ -50,10 +50,13 @@ int main(int argc, char** argv) {
 
     readahead::FeatureExtractor extractor;
     std::vector<data::TraceRecord> window;
-    stack.tracepoints().register_hook([&](const sim::TraceEvent& ev) {
-      window.push_back(data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
-                                         static_cast<std::uint8_t>(ev.type)});
-    });
+    stack.tracepoints().register_hook(
+        [&](const sim::TraceEvent& ev) {
+          window.push_back(
+              data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
+                                static_cast<std::uint8_t>(ev.type)});
+        },
+        sim::kKmlCollectionTracepoints);
     std::uint64_t boundary = sim::kNsPerSec;
     std::printf("\nSSD %s at ra=%u KB, per-window features:\n", workloads::workload_name(probe_type), ra);
     workloads::WorkloadConfig wc;

@@ -27,11 +27,13 @@ int main() {
   // Parallel feature dump: independent extractors per inode.
   std::unordered_map<std::uint64_t, readahead::FeatureExtractor> extractors;
   std::unordered_map<std::uint64_t, std::vector<data::TraceRecord>> windows;
-  stack.tracepoints().register_hook([&](const sim::TraceEvent& ev) {
-    windows[ev.inode].push_back(
-        data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
-                          static_cast<std::uint8_t>(ev.type)});
-  });
+  stack.tracepoints().register_hook(
+      [&](const sim::TraceEvent& ev) {
+        windows[ev.inode].push_back(
+            data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
+                              static_cast<std::uint8_t>(ev.type)});
+      },
+      sim::kKmlCollectionTracepoints);
 
   auto it = scan_db.new_iterator();
   it->seek_to_first();

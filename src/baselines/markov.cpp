@@ -8,10 +8,10 @@ MarkovPrefetcher::MarkovPrefetcher(sim::StorageStack& stack,
   // Learn from demand traffic: every page-cache insert maps to its block.
   hook_handle_ = stack_.tracepoints().register_hook(
       [this](const sim::TraceEvent& ev) {
-        if (ev.type != sim::TraceEventType::kAddToPageCache) return;
         if (issuing_) return;  // don't learn from our own prefetches
         observe(ev.inode, ev.pgoff / config_.block_pages);
-      });
+      },
+      sim::trace_mask(sim::TraceEventType::kAddToPageCache));
 }
 
 MarkovPrefetcher::~MarkovPrefetcher() {

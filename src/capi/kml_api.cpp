@@ -10,6 +10,7 @@
 #include "portability/threadpool.h"
 #include "runtime/engine.h"
 #include "runtime/health.h"
+#include "sim/eviction_policy.h"
 
 #include <climits>
 #include <cstring>
@@ -356,6 +357,23 @@ size_t kml_introspect_export(char* buf, size_t cap) {
   return export_string(buf, cap,
                        kml::observe::format_introspect_json(
                            kml::observe::introspect_snapshot()));
+}
+
+int kml_cache_policy_count(void) { return kml::sim::kNumEvictionPolicies; }
+
+const char* kml_cache_policy_name(int policy) {
+  if (policy < 0 || policy >= kml::sim::kNumEvictionPolicies) return nullptr;
+  return kml::sim::eviction_policy_name(
+      static_cast<kml::sim::EvictionPolicyType>(policy));
+}
+
+int kml_cache_policy_id(const char* name) {
+  if (name == nullptr) return -1;
+  for (int i = 0; i < kml::sim::kNumEvictionPolicies; ++i) {
+    const char* candidate = kml_cache_policy_name(i);
+    if (candidate != nullptr && std::strcmp(candidate, name) == 0) return i;
+  }
+  return -1;
 }
 
 kml_dtree* kml_dtree_load(const char* path) {

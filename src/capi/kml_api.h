@@ -193,6 +193,24 @@ void kml_introspect_reset(void);
  * integers. Snprintf convention, like kml_trace_export. */
 size_t kml_introspect_export(char* buf, size_t cap);
 
+/* ---- page-cache eviction policies (second case study) ---- */
+
+/* Stable ids for the pluggable reclaim policies (sim::EvictionPolicyType):
+ * the values a deployment writes to its policy knob and the classes the
+ * eviction tuner's actuation table is indexed by. */
+#define KML_CACHE_POLICY_LRU 0
+#define KML_CACHE_POLICY_CLOCK 1
+#define KML_CACHE_POLICY_GCLOCK 2
+
+/* Number of selectable policies. */
+int kml_cache_policy_count(void);
+
+/* Stable lowercase name ("lru", "clock", "gclock"); NULL for bad ids. */
+const char* kml_cache_policy_name(int policy);
+
+/* Reverse lookup; -1 for unknown names (NULL-safe). */
+int kml_cache_policy_id(const char* name);
+
 /* ---- decision trees ('KMLT') ---- */
 
 typedef struct kml_dtree kml_dtree;

@@ -15,6 +15,7 @@
 
 #include "observe/flight_recorder.h"
 #include "observe/metrics.h"
+#include "portability/bits.h"
 #include "portability/fault.h"
 #include "portability/log.h"
 #include "portability/memory.h"
@@ -162,17 +163,12 @@ class CircularBuffer {
 
  private:
   static std::size_t round_up_pow2(std::size_t v) {
-    // Clamp first: for v above the largest representable power of two the
-    // doubling loop would wrap p to 0 and spin forever. The clamped result
-    // still trips the capacity-overflow guard in the constructor (for any
-    // sizeof(T) > 1), which degrades to the zero-capacity drop-everything
-    // buffer instead of hanging the caller.
-    constexpr std::size_t kMaxPow2 =
-        (std::numeric_limits<std::size_t>::max() >> 1) + 1;
-    if (v > kMaxPow2) return kMaxPow2;
-    std::size_t p = 1;
-    while (p < v) p <<= 1;
-    return p;
+    // Guarded shared implementation (portability/bits.h): clamps instead of
+    // wrapping for v above the largest representable power of two. The
+    // clamped result still trips the capacity-overflow guard in the
+    // constructor (for any sizeof(T) > 1), which degrades to the
+    // zero-capacity drop-everything buffer instead of hanging the caller.
+    return kml_round_up_pow2(v);
   }
 
   std::size_t capacity_ = 0;

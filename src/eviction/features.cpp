@@ -1,0 +1,136 @@
+#include "eviction/features.h"
+
+#include "math/approx.h"
+
+#include <bit>
+
+namespace kml::eviction {
+namespace {
+
+// One map key per (inode, pgoff) — same splitmix combine as the cache's
+// PageKeyHash; a rare collision only blurs one distance sample.
+std::uint64_t page_key(std::uint64_t inode, std::uint64_t pgoff) {
+  std::uint64_t x = inode * 0x9e3779b97f4a7c15ULL ^ pgoff;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+// ln 2 — kml_log is natural; the features are log2-scaled to match the
+// reuse-distance bucket indices (feature 3).
+constexpr double kLn2 = 0.6931471805599453;
+
+double log2_1p(double v) { return math::kml_log(1.0 + v) / kLn2; }
+
+}  // namespace
+
+const char* cache_phase_name(CachePhase phase) {
+  switch (phase) {
+    case CachePhase::kShifting: return "shifting";
+    case CachePhase::kScanMix: return "scanmix";
+    case CachePhase::kZipfHot: return "zipfhot";
+  }
+  return nullptr;
+}
+
+CacheFeatureVector CacheFeatureExtractor::extract(
+    const std::vector<data::TraceRecord>& window,
+    const sim::PageCacheStats& stats) {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t hit_runs = 0;
+  std::uint64_t current_run = 0;
+  reuse_hist_.fill(0);
+
+  for (const data::TraceRecord& rec : window) {
+    const auto kind = static_cast<sim::TraceEventType>(rec.kind);
+    if (kind == sim::TraceEventType::kWritebackDirtyPage) {
+      ++writebacks;
+      continue;
+    }
+    if (kind == sim::TraceEventType::kPageCacheHit) {
+      ++hits;
+      ++current_run;
+    } else if (kind == sim::TraceEventType::kPageCacheMiss) {
+      ++misses;
+      if (current_run > 0) {
+        ++hit_runs;
+        current_run = 0;
+      }
+    } else {
+      continue;  // collection-mask records (inserts) are not accesses
+    }
+    // Reuse distance: accesses since this page was last touched. First
+    // touches have no distance (an "infinite" sample would only re-state
+    // the miss count, which feature 1 already carries).
+    ++access_counter_;
+    const std::uint64_t key = page_key(rec.inode, rec.pgoff);
+    auto [it, fresh] = last_access_.try_emplace(key, access_counter_);
+    if (!fresh) {
+      const std::uint64_t distance = access_counter_ - it->second;
+      it->second = access_counter_;
+      ++reuse_hist_[std::bit_width(distance)];
+    }
+  }
+  if (current_run > 0) ++hit_runs;
+  if (last_access_.size() > kMaxTrackedPages) last_access_.clear();
+
+  // Median reuse-distance bucket: walk the histogram to the middle sample.
+  std::uint64_t distance_samples = 0;
+  for (const std::uint64_t c : reuse_hist_) distance_samples += c;
+  double median_bucket = 0.0;
+  if (distance_samples > 0) {
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kReuseBuckets; ++b) {
+      seen += reuse_hist_[b];
+      if (seen * 2 >= distance_samples) {
+        median_bucket = static_cast<double>(b);
+        break;
+      }
+    }
+  }
+
+  // Prefetch-waste rate from the cache's cumulative accounting.
+  double waste_rate = 0.0;
+  if (stats_primed_ && stats.inserted >= prev_inserted_ &&
+      stats.prefetch_wasted >= prev_wasted_) {
+    const std::uint64_t ins = stats.inserted - prev_inserted_;
+    const std::uint64_t waste = stats.prefetch_wasted - prev_wasted_;
+    if (ins > 0) {
+      waste_rate = static_cast<double>(waste) / static_cast<double>(ins);
+    }
+  }
+  stats_primed_ = true;
+  prev_inserted_ = stats.inserted;
+  prev_wasted_ = stats.prefetch_wasted;
+
+  const std::uint64_t accesses = hits + misses;
+  const std::uint64_t records = accesses + writebacks;
+  CacheFeatureVector f{};
+  f[0] = log2_1p(static_cast<double>(accesses));
+  f[1] = accesses == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(accesses);
+  f[2] = hit_runs == 0 ? 0.0
+                       : log2_1p(static_cast<double>(hits) /
+                                 static_cast<double>(hit_runs));
+  f[3] = median_bucket;
+  f[4] = records == 0 ? 0.0
+                      : static_cast<double>(writebacks) /
+                            static_cast<double>(records);
+  f[5] = waste_rate;
+  return f;
+}
+
+void CacheFeatureExtractor::reset() {
+  last_access_.clear();
+  access_counter_ = 0;
+  reuse_hist_.fill(0);
+  stats_primed_ = false;
+  prev_wasted_ = 0;
+  prev_inserted_ = 0;
+}
+
+}  // namespace kml::eviction

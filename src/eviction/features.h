@@ -1,0 +1,90 @@
+// features.h — feature pipeline for the eviction case study.
+//
+// Second instantiation of the paper's recipe (§3.3 generalizes beyond
+// readahead): attach data-collection hooks to tracepoints, window the
+// records once per second, extract a handful of domain-expert features, and
+// classify the workload phase. Where the readahead model watches *what* is
+// being inserted (offsets, rates), the eviction model watches *how the
+// cache is behaving* — the per-access hit/miss stream plus the cache's own
+// waste accounting:
+//
+//   0 log2(1 + accesses in the window)        — intensity
+//   1 hit fraction                            — how well reclaim is doing
+//   2 log2(1 + mean hit run length)           — sequentiality of hits; long
+//                                               runs = streaming re-reads
+//   3 median log2 reuse distance              — the working-set signal: how
+//                                               many accesses pass before a
+//                                               page comes back
+//   4 dirty fraction                          — writeback records / records
+//   5 prefetch-waste rate                     — wasted / inserted deltas
+//                                               from PageCacheStats
+//
+// Reuse distances are bucketed into a log-scale histogram (std::bit_width,
+// integer-only — deliberately NOT the observe::Histogram statics, which
+// compile away under KML_OBSERVE=OFF) and summarized by the median bucket;
+// scans push it high while it tracks the working-set size for loops.
+#pragma once
+
+#include "data/windower.h"
+#include "sim/page_cache.h"
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace kml::eviction {
+
+// Workload phases the classifier distinguishes — each maps to the policy
+// that wins it (see default_policy_table() in tuner.h).
+enum class CachePhase : int {
+  kShifting = 0,  // sliding working set: recency is the signal -> LRU
+  kScanMix = 1,   // hot set + polluting scan: frequency/scan-resistance
+                  // is the signal -> GCLOCK (insert weight 0)
+  kZipfHot = 2,   // stable skewed set: any policy holds it -> CLOCK
+};
+inline constexpr int kNumCachePhases = 3;
+
+const char* cache_phase_name(CachePhase phase);
+
+inline constexpr int kNumCacheFeatures = 6;
+using CacheFeatureVector = std::array<double, kNumCacheFeatures>;
+
+// Log-scale reuse-distance buckets: bucket b holds distances in
+// [2^(b-1), 2^b). 64 buckets cover every uint64 distance.
+inline constexpr int kReuseBuckets = 64;
+
+class CacheFeatureExtractor {
+ public:
+  // Featurize one window of per-access records (kinds: kPageCacheHit,
+  // kPageCacheMiss, kWritebackDirtyPage) against the cache's cumulative
+  // stats. Reuse-distance tracking and the stats baseline persist across
+  // windows; the first call primes the stats deltas.
+  CacheFeatureVector extract(const std::vector<data::TraceRecord>& window,
+                             const sim::PageCacheStats& stats);
+
+  // Forget everything (fresh module load / new collection run).
+  void reset();
+
+  // The per-window reuse-distance histogram of the most recent extract()
+  // (log-scale bucket counts) — exposed for tests and introspection.
+  const std::array<std::uint64_t, kReuseBuckets>& last_reuse_histogram()
+      const {
+    return reuse_hist_;
+  }
+
+ private:
+  // Last-access index per page for reuse distances. Bounded: wiped when it
+  // exceeds kMaxTrackedPages (a few minutes of distinct pages); distances
+  // then re-warm within a window.
+  static constexpr std::size_t kMaxTrackedPages = 1u << 20;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> last_access_;
+  std::uint64_t access_counter_ = 0;
+  std::array<std::uint64_t, kReuseBuckets> reuse_hist_{};
+  bool stats_primed_ = false;
+  std::uint64_t prev_wasted_ = 0;
+  std::uint64_t prev_inserted_ = 0;
+};
+
+}  // namespace kml::eviction

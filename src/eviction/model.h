@@ -1,0 +1,51 @@
+// model.h — training the eviction-phase classifier.
+//
+// Same architecture family as the readahead model (§4): a small MLP
+// (6 features -> hidden -> hidden -> 3 phases), cross-entropy, SGD with
+// momentum, Z-score normalizer fitted on the training split and shipped
+// inside the network. Training data comes from the user-space path of
+// §3.3: run each phase workload under each static policy, window the
+// per-access trace, label windows with the phase — collection under every
+// policy matters because the tuner's own actuations change the feature
+// distribution (hit fraction, waste rate) and the classifier must
+// recognize a phase regardless of which policy happens to be in force.
+#pragma once
+
+#include "data/dataset.h"
+#include "eviction/tuner.h"
+#include "eviction/workload.h"
+#include "nn/network.h"
+
+namespace kml::eviction {
+
+struct CacheModelConfig {
+  int hidden = 16;
+  double learning_rate = 0.01;
+  double momentum = 0.99;
+  int epochs = 300;
+  int batch_size = 16;
+  std::uint64_t seed = 4242;
+};
+
+nn::Network train_cache_nn(const data::Dataset& train,
+                           const CacheModelConfig& config);
+
+// Accuracy on raw (un-normalized) features.
+double evaluate_cache_nn(nn::Network& net, const data::Dataset& test);
+
+struct CacheTraceGenConfig {
+  sim::StackConfig stack;  // device/cache geometry for collection runs
+  PhaseWorkloadConfig workload;
+  std::uint64_t seconds_per_run = 10;
+  bool skip_first_window = true;  // cold-cache second is atypical
+  // Policies to collect under; defaults to the tuner's actuation table so
+  // every (phase, policy-in-force) pairing is represented.
+  std::array<PolicyChoice, kNumCachePhases> policies =
+      default_policy_table();
+};
+
+// One fresh stack per (phase, policy) run; features windowed at 1 s,
+// labeled with the phase id (0..kNumCachePhases-1).
+data::Dataset collect_cache_training_data(const CacheTraceGenConfig& config);
+
+}  // namespace kml::eviction

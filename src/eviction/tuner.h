@@ -1,0 +1,127 @@
+// tuner.h — the closed loop of Figure 1, pointed at the reclaim policy.
+//
+// Same execution flow as the readahead tuner (§3.3): (1) hooks on the
+// per-access cache tracepoints push records into the sharded buffer; (2)
+// once per second the records are windowed and featurized against the
+// cache's own accounting; (3-4) the features go to the engine for
+// inference; (5) the tuner actuates — here by switching the page cache's
+// EvictionPolicy (and its knobs) instead of writing ra_pages. Changing the
+// policy changes future hits, which changes future features: the same
+// closed circuit, second case study.
+//
+// Safety mirrors readahead: while the health monitor reports DEGRADED or
+// FAILED (including the cache hit-rate-collapse signal the monitor now
+// carries), the tuner pins the cache back to plain LRU — the vanilla
+// kernel-approximating policy — and stops trusting the model.
+#pragma once
+
+#include "data/sharded_buffer.h"
+#include "eviction/features.h"
+#include "readahead/rl_tuner.h"
+#include "runtime/engine.h"
+#include "runtime/health.h"
+#include "sim/stack.h"
+
+#include <array>
+#include <functional>
+#include <vector>
+
+namespace kml::eviction {
+
+// One actuation table entry: the policy (and knob values) a predicted
+// phase maps to.
+struct PolicyChoice {
+  sim::EvictionPolicyType type = sim::EvictionPolicyType::kLru;
+  sim::EvictionParams params;
+};
+
+// Phase -> policy mapping from the §4-style study in bench_cache:
+//   shifting -> LRU, scanmix -> scan-resistant GCLOCK, zipfhot -> CLOCK.
+std::array<PolicyChoice, kNumCachePhases> default_policy_table();
+
+// Batched classifier over contiguous feature rows (same contract as
+// readahead::BatchPredictFn, different feature width).
+using CacheBatchPredictFn = std::function<void(
+    const CacheFeatureVector* features, int count, int* classes_out)>;
+
+struct CacheTunerConfig {
+  std::array<PolicyChoice, kNumCachePhases> class_policy =
+      default_policy_table();
+  std::uint64_t period_ns = sim::kNsPerSec;
+  std::size_t buffer_capacity = 1 << 16;
+  unsigned buffer_shards = 1;
+  // Per-window inference cost on the virtual clock (same budget as the
+  // readahead model; the network is the same shape).
+  std::uint64_t inference_cpu_ns = 21'000;
+  // Graceful degradation: DEGRADED/FAILED pins `vanilla`, predictions stop
+  // actuating. nullptr = always trust the model.
+  const runtime::HealthMonitor* health = nullptr;
+  PolicyChoice vanilla;  // default-constructed: plain LRU
+  CacheBatchPredictFn batch_predict;
+};
+
+struct CacheTimelinePoint {
+  std::uint64_t window;
+  int predicted_class;            // -1 for idle/degraded windows
+  sim::EvictionPolicyType policy; // policy in force after actuation
+  std::uint64_t events;
+  bool switched = false;          // this window's actuation changed policy
+  bool degraded = false;
+};
+
+class CacheTuner {
+ public:
+  using PredictFn = std::function<int(const CacheFeatureVector&)>;
+
+  CacheTuner(sim::StorageStack& stack, PredictFn predict,
+             const CacheTunerConfig& config);
+  ~CacheTuner();
+
+  CacheTuner(const CacheTuner&) = delete;
+  CacheTuner& operator=(const CacheTuner&) = delete;
+
+  // Drive from the workload's per-op tick; closes windows and actuates on
+  // every period boundary crossed.
+  void on_tick(std::uint64_t now_ns);
+
+  const std::vector<CacheTimelinePoint>& timeline() const {
+    return timeline_;
+  }
+  std::uint64_t windows() const { return timeline_.size(); }
+  std::uint64_t dropped_records() const { return buffer_.dropped(); }
+  std::uint64_t degraded_windows() const { return degraded_windows_; }
+
+ private:
+  void close_window();
+  bool health_allows_actuation();
+
+  sim::StorageStack& stack_;
+  PredictFn predict_;
+  CacheTunerConfig config_;
+  data::ShardedBuffer<data::TraceRecord> buffer_;
+  std::vector<data::TraceRecord> window_;
+  CacheFeatureExtractor extractor_;
+  int hook_handle_;
+  std::uint64_t next_boundary_;
+  std::vector<CacheTimelinePoint> timeline_;
+  std::uint64_t degraded_windows_ = 0;
+  bool degraded_active_ = false;
+};
+
+// --- Engine adapters ---------------------------------------------------------
+
+CacheTuner::PredictFn make_cache_engine_predictor(runtime::Engine& engine);
+CacheBatchPredictFn make_cache_engine_batch_predictor(
+    runtime::Engine& engine);
+
+// --- RL variant --------------------------------------------------------------
+//
+// The readahead Q-learning agent with a policy actuator: actions are
+// indices into `table`, the reward stream is cumulative cache hits (pass
+// stats().hits as `ops_completed` on tick). No labels, no offline model.
+readahead::RlConfig cache_rl_config(std::uint64_t seed = 17);
+readahead::QLearningTuner::Actuator make_policy_actuator(
+    sim::StorageStack& stack,
+    const std::array<PolicyChoice, kNumCachePhases>& table);
+
+}  // namespace kml::eviction

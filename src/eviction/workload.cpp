@@ -1,0 +1,95 @@
+#include "eviction/workload.h"
+
+namespace kml::eviction {
+
+PhaseDriver::PhaseDriver(sim::StorageStack& stack,
+                         const PhaseWorkloadConfig& config)
+    : stack_(stack),
+      config_(config),
+      inode_(stack.files().create(config.file_pages).inode),
+      rng_(config.seed),
+      zipf_(config.hot_pages, config.zipf_theta, config.seed ^ 0x5eed),
+      scan_pos_(config.hot_pages) {}
+
+void PhaseDriver::one_op(CachePhase phase) {
+  sim::FileHandle& file = stack_.files().get(inode_);
+  switch (phase) {
+    case CachePhase::kShifting: {
+      const std::uint64_t span = config_.file_pages - config_.window_pages;
+      const std::uint64_t page =
+          window_start_ + rng_.next_below(config_.window_pages);
+      stack_.cache().read(file, page, 1);
+      if (++shift_ops_ >= config_.shift_every_ops) {
+        shift_ops_ = 0;
+        window_start_ = (window_start_ + config_.window_pages) % span;
+      }
+      break;
+    }
+    case CachePhase::kScanMix: {
+      for (std::uint64_t i = 0; i < config_.zipf_reads_per_op; ++i) {
+        stack_.cache().read(file, zipf_.next(), 1);
+      }
+      // The polluting scan: strided one-touch reads through the cold
+      // region (the stride keeps each one on the single-page random path).
+      for (std::uint64_t i = 0; i < config_.scan_reads_per_op; ++i) {
+        scan_pos_ += config_.scan_stride;
+        if (scan_pos_ >= config_.file_pages) scan_pos_ = config_.hot_pages;
+        stack_.cache().read(file, scan_pos_, 1);
+      }
+      break;
+    }
+    case CachePhase::kZipfHot: {
+      stack_.cache().read(file, zipf_.next(), 1);
+      break;
+    }
+  }
+  stack_.charge_cpu_ns(config_.cpu_ns_per_op);
+}
+
+PhaseResult PhaseDriver::run_phase(CachePhase phase,
+                                   std::uint64_t duration_ns,
+                                   const workloads::TickFn& on_tick) {
+  const sim::PageCacheStats before = stack_.cache().stats();
+  const std::uint64_t end_ns = stack_.clock().now_ns() + duration_ns;
+  PhaseResult result;
+  result.phase = phase;
+  while (stack_.clock().now_ns() < end_ns) {
+    one_op(phase);
+    ++ops_;
+    ++result.ops;
+    if (on_tick) on_tick(stack_.clock().now_ns());
+  }
+  const sim::PageCacheStats& after = stack_.cache().stats();
+  result.hits = after.hits - before.hits;
+  result.misses = after.misses - before.misses;
+  const std::uint64_t accesses = result.hits + result.misses;
+  result.hit_rate = accesses == 0 ? 0.0
+                                  : static_cast<double>(result.hits) /
+                                        static_cast<double>(accesses);
+  return result;
+}
+
+std::vector<PhaseResult> PhaseDriver::run_schedule(
+    const std::vector<PhaseSegment>& schedule,
+    const workloads::TickFn& on_tick) {
+  std::vector<PhaseResult> results;
+  results.reserve(schedule.size());
+  for (const PhaseSegment& seg : schedule) {
+    results.push_back(
+        run_phase(seg.phase, seg.seconds * sim::kNsPerSec, on_tick));
+  }
+  return results;
+}
+
+std::vector<PhaseSegment> default_phase_schedule(
+    std::uint64_t seconds_per_phase, int repeats) {
+  std::vector<PhaseSegment> schedule;
+  for (int r = 0; r < repeats; ++r) {
+    schedule.push_back({CachePhase::kShifting, seconds_per_phase});
+    schedule.push_back({CachePhase::kScanMix, seconds_per_phase});
+  }
+  schedule.push_back({CachePhase::kZipfHot, seconds_per_phase});
+  return schedule;
+}
+
+}  // namespace kml::eviction

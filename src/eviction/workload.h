@@ -1,0 +1,104 @@
+// workload.h — the phase-shifting workload for the eviction case study.
+//
+// No single static reclaim policy wins this workload: it alternates between
+// phases engineered so the policies trade places.
+//
+//   kShifting — uniform random reads inside a hot window that *jumps* to a
+//     disjoint region every shift_every_ops. Recency is the only signal:
+//     LRU re-learns the new window in one coverage pass, while a weighted
+//     clock hoards the abandoned window (every page at max weight) for up
+//     to max_weight hand laps, evicting fresh pages the whole time.
+//   kScanMix — several Zipf reads per op over a near-capacity hot region,
+//     interleaved with a strided one-touch scan through the cold region
+//     (the stride defeats sequential detection, so every scan page is a
+//     single-page demand read). The scan churns an LRU list faster than
+//     the hot tail is re-touched; a scan-resistant GCLOCK (insert weight
+//     0, hits accumulate) recycles the never-re-read scan pages and pins
+//     the hot set.
+//   kZipfHot — stable Zipfian reads; every policy holds the hot set, so
+//     the phase anchors the "don't switch for no reason" class.
+//
+// A driver runs one stack-level file (no MiniKV indirection — the study
+// targets the page cache itself) and charges a fixed per-op CPU cost so
+// virtual time advances even in all-hit phases (windows must keep closing).
+#pragma once
+
+#include "eviction/features.h"
+#include "math/rng.h"
+#include "sim/stack.h"
+#include "workloads/drivers.h"
+#include "workloads/generator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kml::eviction {
+
+struct PhaseWorkloadConfig {
+  std::uint64_t file_pages = 1u << 18;     // 1 GiB backing file
+  std::uint64_t window_pages = 12'000;     // kShifting working set
+  std::uint64_t shift_every_ops = 150'000; // kShifting ops between jumps
+  std::uint64_t hot_pages = 15'500;        // kScanMix / kZipfHot hot region
+  std::uint64_t zipf_reads_per_op = 4;     // kScanMix hot reads per op
+  std::uint64_t scan_reads_per_op = 2;     // kScanMix pollution reads per op
+  std::uint64_t scan_stride = 17;          // defeats sequential detection
+  double zipf_theta = 0.9;
+  std::uint64_t cpu_ns_per_op = 2'000;     // keeps the virtual clock moving
+  std::uint64_t seed = 99;
+};
+
+struct PhaseSegment {
+  CachePhase phase;
+  std::uint64_t seconds;
+};
+
+// Per-phase-segment outcome (stats deltas over the segment).
+struct PhaseResult {
+  CachePhase phase;
+  std::uint64_t ops = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double hit_rate = 0.0;
+};
+
+class PhaseDriver {
+ public:
+  // Creates the backing file in `stack` and seeds the generators.
+  PhaseDriver(sim::StorageStack& stack, const PhaseWorkloadConfig& config);
+
+  // Run one phase for `duration_ns` of virtual time; `on_tick` fires after
+  // every op with the current virtual time (the tuner's drive signal).
+  // Generator and cursor state persist across calls, so a schedule of
+  // segments is one continuous workload.
+  PhaseResult run_phase(CachePhase phase, std::uint64_t duration_ns,
+                        const workloads::TickFn& on_tick = {});
+
+  // Convenience: run a whole schedule, returning one result per segment.
+  std::vector<PhaseResult> run_schedule(
+      const std::vector<PhaseSegment>& schedule,
+      const workloads::TickFn& on_tick = {});
+
+  std::uint64_t ops_completed() const { return ops_; }
+  std::uint64_t inode() const { return inode_; }
+
+ private:
+  void one_op(CachePhase phase);
+
+  sim::StorageStack& stack_;
+  PhaseWorkloadConfig config_;
+  std::uint64_t inode_;
+  math::Rng rng_;
+  workloads::ZipfKeys zipf_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t shift_ops_ = 0;      // kShifting ops since last jump
+  std::uint64_t window_start_ = 0;   // kShifting window position
+  std::uint64_t scan_pos_;           // kScanMix scan cursor
+};
+
+// The standard alternating evaluation schedule: shifting and scanmix
+// interleaved (each long enough for the tuner to classify and actuate),
+// with one zipfhot segment. Any static policy loses at least one phase.
+std::vector<PhaseSegment> default_phase_schedule(std::uint64_t seconds_per_phase,
+                                                 int repeats);
+
+}  // namespace kml::eviction

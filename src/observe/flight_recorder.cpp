@@ -36,6 +36,8 @@ const char* event_name(EventId id) {
     case EventId::kKvRecover: return "kv.recover";
     case EventId::kKvTornManifest: return "kv.torn_manifest";
     case EventId::kKvDurabilityFault: return "kv.durability_fault";
+    case EventId::kCacheTunerDecision: return "cache.tuner_decision";
+    case EventId::kCachePolicySwitch: return "cache.policy_switch";
     case EventId::kEventIdCount: break;
   }
   return "unknown";

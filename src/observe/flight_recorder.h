@@ -57,6 +57,8 @@ enum class EventId : std::uint16_t {
   kKvRecover,              // a0=WAL records replayed, a1=recovered durable seq
   kKvTornManifest,         // a0=manifest bytes on disk (rejected load)
   kKvDurabilityFault,      // a0=FaultSite that tripped, a1=last durable seq
+  kCacheTunerDecision,     // a0=predicted class, a1=actuated policy id
+  kCachePolicySwitch,      // a0=new EvictionPolicyType, a1=old
   kEventIdCount,
 };
 

@@ -80,6 +80,13 @@ inline constexpr char kMetricRaDegradedWindows[] = "readahead.degraded_windows";
 inline constexpr char kMetricRaSetKb[] = "readahead.ra_kb";
 inline constexpr char kMetricCacheHit[] = "sim.cache.hit";
 inline constexpr char kMetricCacheMiss[] = "sim.cache.miss";
+// Eviction case study (PR 7): reclaim-policy actuation and its tuner loop.
+// cache.policy.id carries the EvictionPolicyType enum value as a gauge.
+inline constexpr char kMetricCachePolicySwitches[] = "cache.policy.switches";
+inline constexpr char kMetricCachePolicyId[] = "cache.policy.id";
+inline constexpr char kMetricCacheTunerWindows[] = "cache.tuner.windows";
+inline constexpr char kMetricCacheTunerDegraded[] =
+    "cache.tuner.degraded_windows";
 // Introspection v2 signals (PR 5). Milli-suffixed metrics carry scaled
 // integers (value x 1000) — the producers convert above the FPU line.
 inline constexpr char kMetricTrainSteps[] = "nn.train.steps";

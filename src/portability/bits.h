@@ -1,0 +1,34 @@
+// bits.h — small shared integer utilities (lowest layer).
+//
+// round_up_pow2 exists because the naive doubling loop
+//
+//   while (p < v) p <<= 1;
+//
+// never terminates once v exceeds the largest representable power of two
+// (p wraps to 0 and spins forever). PR 2 fixed exactly this bug inside
+// CircularBuffer; the same latent loop then turned up again in the
+// readahead engine's window sizing. One guarded implementation lives here
+// so the bug class cannot be re-introduced one copy at a time.
+#pragma once
+
+#include <limits>
+#include <type_traits>
+
+namespace kml {
+
+// Round `v` up to the next power of two; clamps to the largest power of two
+// representable in U (e.g. 2^63 for uint64_t) instead of wrapping. Callers
+// whose downstream math cannot absorb the clamp must range-check `v`
+// themselves (CircularBuffer's capacity-overflow guard does).
+template <typename U>
+constexpr U kml_round_up_pow2(U v) {
+  static_assert(std::is_unsigned_v<U>,
+                "kml_round_up_pow2 operates on unsigned integers");
+  constexpr U kMaxPow2 = (std::numeric_limits<U>::max() >> 1) + 1;
+  if (v > kMaxPow2) return kMaxPow2;
+  U p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace kml

@@ -21,7 +21,8 @@ PerFileTuner::PerFileTuner(sim::StorageStack& stack,
         buffer_.push(data::TraceRecord{
             ev.inode, ev.pgoff, ev.time_ns,
             static_cast<std::uint8_t>(ev.type)});
-      });
+      },
+      sim::kKmlCollectionTracepoints);
 }
 
 PerFileTuner::~PerFileTuner() {

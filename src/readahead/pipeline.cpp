@@ -66,7 +66,8 @@ data::Dataset collect_training_data(const TraceGenConfig& config) {
             window.push_back(data::TraceRecord{
                 ev.inode, ev.pgoff, ev.time_ns,
                 static_cast<std::uint8_t>(ev.type)});
-          });
+          },
+          sim::kKmlCollectionTracepoints);
 
       workloads::WorkloadConfig wc;
       wc.type = type;
@@ -154,7 +155,8 @@ SequenceDataset collect_sequence_data(const SequenceGenConfig& config) {
             window.push_back(data::TraceRecord{
                 ev.inode, ev.pgoff, ev.time_ns,
                 static_cast<std::uint8_t>(ev.type)});
-          });
+          },
+          sim::kKmlCollectionTracepoints);
 
       workloads::WorkloadConfig wc;
       wc.type = type;

@@ -54,7 +54,8 @@ QLearningTuner::QLearningTuner(sim::StorageStack& stack,
         buffer_.push(data::TraceRecord{
             ev.inode, ev.pgoff, ev.time_ns,
             static_cast<std::uint8_t>(ev.type)});
-      });
+      },
+      sim::kKmlCollectionTracepoints);
 }
 
 QLearningTuner::~QLearningTuner() {

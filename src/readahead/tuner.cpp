@@ -33,7 +33,8 @@ ReadaheadTuner::ReadaheadTuner(sim::StorageStack& stack, PredictFn predict,
         buffer_.push(data::TraceRecord{
             ev.inode, ev.pgoff, ev.time_ns,
             static_cast<std::uint8_t>(ev.type)});
-      });
+      },
+      sim::kKmlCollectionTracepoints);
 }
 
 ReadaheadTuner::~ReadaheadTuner() {

@@ -206,6 +206,14 @@ void HealthMonitor::observe_registry() {
             observe::find_counter(observe::kMetricKvTornManifests))
       kv_torn = c->value();
   }
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  if (config_.cache_hit_rate_degrade_milli > 0) {
+    if (observe::Counter* c = observe::find_counter(observe::kMetricCacheHit))
+      cache_hits = c->value();
+    if (observe::Counter* c = observe::find_counter(observe::kMetricCacheMiss))
+      cache_misses = c->value();
+  }
 
   std::lock_guard<std::mutex> guard(lock_);
   if (!registry_primed_) {
@@ -217,6 +225,8 @@ void HealthMonitor::observe_registry() {
     registry_last_drift_samples_ = drift_samples;
     registry_last_kv_recoveries_ = kv_recoveries;
     registry_last_kv_torn_ = kv_torn;
+    registry_last_cache_hits_ = cache_hits;
+    registry_last_cache_misses_ = cache_misses;
     return;
   }
 
@@ -293,6 +303,31 @@ void HealthMonitor::observe_registry() {
     if (events >= config_.kv_recoveries_to_degrade) {
       stats_.kv_recovery_trips += 1;
       enter_degraded();
+    }
+  }
+
+  // (i) cache hit-rate collapse over the delta window, tolerating registry
+  // resets like (d). Integer-only rate comparison: hit-rate(milli) < floor
+  // <=> hits * 1000 < floor * accesses.
+  if (config_.cache_hit_rate_degrade_milli > 0) {
+    if (cache_hits < registry_last_cache_hits_ ||
+        cache_misses < registry_last_cache_misses_) {
+      registry_last_cache_hits_ = cache_hits;
+      registry_last_cache_misses_ = cache_misses;
+    } else {
+      const std::uint64_t hit_delta = cache_hits - registry_last_cache_hits_;
+      const std::uint64_t miss_delta =
+          cache_misses - registry_last_cache_misses_;
+      const std::uint64_t accesses = hit_delta + miss_delta;
+      if (accesses >= config_.cache_min_accesses) {
+        registry_last_cache_hits_ = cache_hits;
+        registry_last_cache_misses_ = cache_misses;
+        if (hit_delta * 1000 <
+            config_.cache_hit_rate_degrade_milli * accesses) {
+          stats_.cache_trips += 1;
+          enter_degraded();
+        }
+      }
     }
   }
 #endif  // KML_OBSERVE_ENABLED

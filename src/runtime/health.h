@@ -89,6 +89,16 @@ struct HealthConfig {
   // advances by at least this much between polls. 0 disables.
   std::uint64_t kv_recoveries_to_degrade = 1;
 
+  // (i) Cache hit-rate collapse guard (registry-sourced): the eviction
+  // tuner's blast radius. Judged over delta windows of at least
+  // `cache_min_accesses` page-cache accesses ("sim.cache.hit" +
+  // "sim.cache.miss" counters); trips DEGRADED when the windowed hit rate,
+  // milli-scaled, falls below this floor — a mistuned reclaim policy shows
+  // up here before anywhere else, and the tuner's degradation path then
+  // pins the cache back to plain LRU. 0 disables.
+  std::uint64_t cache_hit_rate_degrade_milli = 0;
+  std::uint64_t cache_min_accesses = 1024;
+
   // Flight-recorder dump file prefix (writes <prefix>.bin/<prefix>.txt when
   // the recorder freezes on a bad transition). nullptr = freeze only, no
   // dump. The pointed-to string must outlive the monitor.
@@ -105,6 +115,7 @@ struct HealthStats {
   std::uint64_t grad_trips = 0;         // (f) trips (gradient explosion)
   std::uint64_t drift_trips = 0;        // (g) trips (input drift)
   std::uint64_t kv_recovery_trips = 0;  // (h) trips (KV store recovered)
+  std::uint64_t cache_trips = 0;        // (i) trips (hit-rate collapse)
   std::uint64_t heartbeats = 0;
   std::uint64_t degradations = 0;       // transitions into DEGRADED
   std::uint64_t failures = 0;           // transitions into FAILED
@@ -196,6 +207,8 @@ class HealthMonitor {
   std::uint64_t registry_last_drift_samples_ = 0;
   std::uint64_t registry_last_kv_recoveries_ = 0;
   std::uint64_t registry_last_kv_torn_ = 0;
+  std::uint64_t registry_last_cache_hits_ = 0;
+  std::uint64_t registry_last_cache_misses_ = 0;
 };
 
 }  // namespace kml::runtime

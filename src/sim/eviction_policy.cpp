@@ -1,0 +1,210 @@
+#include "sim/eviction_policy.h"
+
+#include <cassert>
+
+namespace kml::sim {
+namespace {
+
+constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+// Intrusive doubly-linked recency list over slot indices. Equivalent to the
+// std::list the cache used before the seam, but allocation-free after the
+// per-slot arrays grow, and indexable by slot in O(1).
+class LruPolicy final : public EvictionPolicy {
+ public:
+  EvictionPolicyType type() const override {
+    return EvictionPolicyType::kLru;
+  }
+
+  void on_insert(std::uint32_t slot) override {
+    grow_to(slot);
+    link_front(slot);
+  }
+
+  void on_access(std::uint32_t slot) override {
+    unlink(slot);
+    link_front(slot);
+  }
+
+  void on_erase(std::uint32_t slot) override { unlink(slot); }
+
+  std::uint32_t pick_victim() override {
+    assert(tail_ != kNoSlot);
+    const std::uint32_t victim = tail_;
+    unlink(victim);
+    return victim;
+  }
+
+  void clear() override {
+    prev_.clear();
+    next_.clear();
+    head_ = kNoSlot;
+    tail_ = kNoSlot;
+  }
+
+ private:
+  void grow_to(std::uint32_t slot) {
+    if (slot >= prev_.size()) {
+      prev_.resize(slot + 1, kNoSlot);
+      next_.resize(slot + 1, kNoSlot);
+    }
+  }
+
+  void link_front(std::uint32_t slot) {
+    prev_[slot] = kNoSlot;
+    next_[slot] = head_;
+    if (head_ != kNoSlot) prev_[head_] = slot;
+    head_ = slot;
+    if (tail_ == kNoSlot) tail_ = slot;
+  }
+
+  void unlink(std::uint32_t slot) {
+    const std::uint32_t p = prev_[slot];
+    const std::uint32_t n = next_[slot];
+    if (p != kNoSlot) next_[p] = n; else head_ = n;
+    if (n != kNoSlot) prev_[n] = p; else tail_ = p;
+    prev_[slot] = kNoSlot;
+    next_[slot] = kNoSlot;
+  }
+
+  std::vector<std::uint32_t> prev_;
+  std::vector<std::uint32_t> next_;
+  std::uint32_t head_ = kNoSlot;
+  std::uint32_t tail_ = kNoSlot;
+};
+
+// Shared machinery for the two clock variants: a textbook circular list of
+// slots with a sweeping hand. New pages join immediately behind the hand
+// (the hand reaches them last); the hand only advances while hunting for a
+// victim. The variants differ solely in what a "life" counter means — 1-bit
+// second chance vs an accumulated weight — expressed via the three weight
+// knobs below.
+class ClockBase : public EvictionPolicy {
+ public:
+  ClockBase(std::uint32_t insert_weight, std::uint32_t hit_weight,
+            std::uint32_t max_weight)
+      : insert_weight_(insert_weight),
+        hit_weight_(hit_weight),
+        max_weight_(max_weight) {}
+
+  void on_insert(std::uint32_t slot) override {
+    if (slot >= weight_.size()) {
+      weight_.resize(slot + 1, 0);
+      prev_.resize(slot + 1, kNoSlot);
+      next_.resize(slot + 1, kNoSlot);
+    }
+    weight_[slot] = insert_weight_;
+    if (hand_ == kNoSlot) {
+      prev_[slot] = slot;
+      next_[slot] = slot;
+      hand_ = slot;
+      return;
+    }
+    // Splice between the hand's predecessor and the hand: the new page is
+    // the last the sweep will visit, as in the kernel's clock over an
+    // insertion-ordered ring.
+    const std::uint32_t before = prev_[hand_];
+    next_[before] = slot;
+    prev_[slot] = before;
+    next_[slot] = hand_;
+    prev_[hand_] = slot;
+  }
+
+  void on_access(std::uint32_t slot) override {
+    std::uint32_t w = weight_[slot] + hit_weight_;
+    if (w > max_weight_) w = max_weight_;
+    weight_[slot] = w;
+  }
+
+  void on_erase(std::uint32_t slot) override { unlink(slot); }
+
+  std::uint32_t pick_victim() override {
+    assert(hand_ != kNoSlot);
+    // Bounded sweep: every lap strictly decrements each surviving page, so
+    // a zero-life victim appears within (max_weight + 1) laps.
+    for (;;) {
+      const std::uint32_t slot = hand_;
+      if (weight_[slot] == 0) {
+        unlink(slot);  // advances hand_ to the successor
+        return slot;
+      }
+      --weight_[slot];
+      hand_ = next_[slot];
+    }
+  }
+
+  void clear() override {
+    weight_.clear();
+    prev_.clear();
+    next_.clear();
+    hand_ = kNoSlot;
+  }
+
+ private:
+  void unlink(std::uint32_t slot) {
+    if (next_[slot] == slot) {
+      hand_ = kNoSlot;  // last page in the ring
+    } else {
+      next_[prev_[slot]] = next_[slot];
+      prev_[next_[slot]] = prev_[slot];
+      if (hand_ == slot) hand_ = next_[slot];
+    }
+    prev_[slot] = kNoSlot;
+    next_[slot] = kNoSlot;
+  }
+
+  const std::uint32_t insert_weight_;
+  const std::uint32_t hit_weight_;
+  const std::uint32_t max_weight_;
+  std::vector<std::uint32_t> weight_;  // remaining lives per slot
+  std::vector<std::uint32_t> prev_;    // circular list links
+  std::vector<std::uint32_t> next_;
+  std::uint32_t hand_ = kNoSlot;
+};
+
+// CLOCK: 1-bit second chance. A hit sets the bit (cap 1); the hand clears
+// it once before evicting.
+class ClockPolicy final : public ClockBase {
+ public:
+  explicit ClockPolicy(const EvictionParams& params)
+      : ClockBase(params.clock_insert_ref ? 1u : 0u, 1u, 1u) {}
+  EvictionPolicyType type() const override {
+    return EvictionPolicyType::kClock;
+  }
+};
+
+class GclockPolicy final : public ClockBase {
+ public:
+  explicit GclockPolicy(const EvictionParams& params)
+      : ClockBase(params.gclock_insert_weight, params.gclock_hit_weight,
+                  params.gclock_max_weight) {}
+  EvictionPolicyType type() const override {
+    return EvictionPolicyType::kGclock;
+  }
+};
+
+}  // namespace
+
+const char* eviction_policy_name(EvictionPolicyType type) {
+  switch (type) {
+    case EvictionPolicyType::kLru: return "lru";
+    case EvictionPolicyType::kClock: return "clock";
+    case EvictionPolicyType::kGclock: return "gclock";
+  }
+  return nullptr;
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    EvictionPolicyType type, const EvictionParams& params) {
+  switch (type) {
+    case EvictionPolicyType::kClock:
+      return std::make_unique<ClockPolicy>(params);
+    case EvictionPolicyType::kGclock:
+      return std::make_unique<GclockPolicy>(params);
+    case EvictionPolicyType::kLru:
+      break;
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+}  // namespace kml::sim

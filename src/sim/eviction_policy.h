@@ -1,0 +1,74 @@
+// eviction_policy.h — pluggable page-reclaim decision logic.
+//
+// The eviction case study needs the same seam for reclaim that ra_pages is
+// for readahead: a knob the ML tuner can actuate per workload phase. The
+// PageCache owns page storage (stable slot indices) and all accounting;
+// a policy owns only the *ordering* state — which resident slot dies next —
+// and is told about the three lifecycle events that can change it.
+//
+// Policies:
+//   * LRU    — intrusive recency list over slots; victim = list tail.
+//              Decision-for-decision identical to the pre-seam PageCache
+//              (pinned by the equivalence suite in eviction_test).
+//   * CLOCK  — second-chance: one reference bit per slot, a hand sweeping
+//              the slot ring; a set bit buys one sweep of survival. The
+//              insert_ref knob is the scan-resistance control: inserting
+//              with ref=0 lets one-touch (scan) pages die on the hand's
+//              first pass instead of polluting a full sweep.
+//   * GCLOCK — generalized CLOCK (weighted hand): a counter per slot,
+//              decremented per pass, evicted at zero. Hits add hit_weight
+//              (capped at max_weight), so frequently-reused pages survive
+//              scans that flush pure recency orderings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kml::sim {
+
+enum class EvictionPolicyType : int { kLru = 0, kClock = 1, kGclock = 2 };
+inline constexpr int kNumEvictionPolicies = 3;
+
+// Stable lowercase name ("lru", "clock", "gclock"); nullptr for bad ids.
+const char* eviction_policy_name(EvictionPolicyType type);
+
+// Per-policy knobs, actuated together with the policy type (the analogue of
+// ra_pages for the reclaim side). Fields a policy does not read are inert.
+struct EvictionParams {
+  // CLOCK: reference-bit value for freshly inserted pages. 1 = classic
+  // second-chance; 0 = scan-resistant (unreferenced one-touch pages are
+  // reclaimed on the hand's first pass).
+  std::uint8_t clock_insert_ref = 1;
+  // GCLOCK: weight granted at insert (0 = scan-resistant), added per hit,
+  // and the accumulation cap (bounds how long a once-hot page lingers).
+  std::uint32_t gclock_insert_weight = 1;
+  std::uint32_t gclock_hit_weight = 1;
+  std::uint32_t gclock_max_weight = 8;
+
+  bool operator==(const EvictionParams&) const = default;
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual EvictionPolicyType type() const = 0;
+
+  // `slot` was inserted into the cache (not yet known to the policy).
+  virtual void on_insert(std::uint32_t slot) = 0;
+  // `slot` was accessed (read hit or re-written while resident).
+  virtual void on_access(std::uint32_t slot) = 0;
+  // `slot` leaves the cache for a reason other than pick_victim (drop_all,
+  // policy rebuild).
+  virtual void on_erase(std::uint32_t slot) = 0;
+  // Choose the victim among registered slots and remove it from the
+  // policy's bookkeeping. Precondition: at least one slot is registered.
+  virtual std::uint32_t pick_victim() = 0;
+  // Forget every slot.
+  virtual void clear() = 0;
+};
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    EvictionPolicyType type, const EvictionParams& params);
+
+}  // namespace kml::sim

@@ -1,19 +1,23 @@
 #include "sim/page_cache.h"
 
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 
 #include <algorithm>
 #include <cassert>
-#include <vector>
 
 namespace kml::sim {
 
 PageCache::PageCache(std::uint64_t capacity_pages, SimClock& clock,
-                     Device& device, TracepointRegistry& tracepoints)
+                     Device& device, TracepointRegistry& tracepoints,
+                     EvictionPolicyType policy, const EvictionParams& params)
     : capacity_(capacity_pages == 0 ? 1 : capacity_pages),
       clock_(clock),
       device_(device),
-      tracepoints_(tracepoints) {}
+      tracepoints_(tracepoints),
+      policy_type_(policy),
+      policy_params_(params),
+      policy_(make_eviction_policy(policy, params)) {}
 
 void PageCache::read(FileHandle& file, std::uint64_t pgoff,
                      std::uint64_t count) {
@@ -24,14 +28,17 @@ void PageCache::read(FileHandle& file, std::uint64_t pgoff,
     if (it != pages_.end()) {
       ++stats_.hits;
       KML_COUNTER_INC(observe::kMetricCacheHit);
-      Page& page = *it->second;
+      tracepoints_.emit(TraceEventType::kPageCacheHit, file.inode, p,
+                        clock_.now_ns());
+      const std::uint32_t slot = it->second;
+      Page& page = slots_[slot];
       if (page.speculative) {
         page.speculative = false;
         ++stats_.prefetch_used;
       }
       const bool was_marker = page.ra_marker;
       page.ra_marker = false;
-      touch(it->second);
+      policy_->on_access(slot);
       if (was_marker) {
         ra_engine_.on_marker_hit(*this, file, p);
       } else {
@@ -41,6 +48,8 @@ void PageCache::read(FileHandle& file, std::uint64_t pgoff,
     }
     ++stats_.misses;
     KML_COUNTER_INC(observe::kMetricCacheMiss);
+    tracepoints_.emit(TraceEventType::kPageCacheMiss, file.inode, p,
+                      clock_.now_ns());
     ra_engine_.on_sync_miss(*this, file, p);
     // Under extreme cache pressure the fresh page can already be evicted;
     // the reader still consumed it (it was copied to userspace), so no
@@ -51,15 +60,20 @@ void PageCache::read(FileHandle& file, std::uint64_t pgoff,
 void PageCache::write(FileHandle& file, std::uint64_t pgoff,
                       std::uint64_t count) {
   for (std::uint64_t p = pgoff; p < pgoff + count; ++p) {
+    // Same EOF clamp as read(): files are fixed-size and a page beyond EOF
+    // has no backing block — before this check, writes past EOF inserted
+    // phantom dirty pages that sync_file() then "wrote back" to the device.
+    if (p >= file.size_pages) break;
     const PageKey key{file.inode, p};
     auto it = pages_.find(key);
     if (it == pages_.end()) {
       insert(key, /*speculative=*/false, /*dirty=*/true);
     } else {
-      if (!it->second->dirty) ++dirty_count_;
-      it->second->dirty = true;
-      it->second->speculative = false;
-      touch(it->second);
+      Page& page = slots_[it->second];
+      if (!page.dirty) ++dirty_count_;
+      page.dirty = true;
+      page.speculative = false;
+      policy_->on_access(it->second);
     }
     tracepoints_.emit(TraceEventType::kWritebackDirtyPage, file.inode, p,
                       clock_.now_ns());
@@ -68,8 +82,8 @@ void PageCache::write(FileHandle& file, std::uint64_t pgoff,
 
 std::uint64_t PageCache::sync_all() {
   std::vector<std::uint64_t> inodes;
-  for (const Page& page : lru_) {
-    if (page.dirty) inodes.push_back(page.key.inode);
+  for (const Page& page : slots_) {
+    if (page.in_use && page.dirty) inodes.push_back(page.key.inode);
   }
   std::sort(inodes.begin(), inodes.end());
   inodes.erase(std::unique(inodes.begin(), inodes.end()), inodes.end());
@@ -81,8 +95,8 @@ std::uint64_t PageCache::sync_all() {
 std::uint64_t PageCache::sync_file(std::uint64_t inode) {
   // Gather this file's dirty offsets, then issue maximal contiguous runs.
   std::vector<std::uint64_t> dirty;
-  for (Page& page : lru_) {
-    if (page.key.inode == inode && page.dirty) {
+  for (Page& page : slots_) {
+    if (page.in_use && page.key.inode == inode && page.dirty) {
       dirty.push_back(page.key.pgoff);
       page.dirty = false;
       --dirty_count_;
@@ -110,13 +124,46 @@ std::uint64_t PageCache::sync_file(std::uint64_t inode) {
 }
 
 void PageCache::drop_all() {
-  lru_.clear();
+  // Speculative pages that were resident and never touched are prefetch
+  // waste exactly as if reclaim had taken them — the device I/O was spent
+  // either way. Before this accounting, a drop between benchmark phases
+  // silently zeroed the waste a readahead policy had just caused.
+  for (const Page& page : slots_) {
+    if (page.in_use && page.speculative) ++stats_.prefetch_wasted;
+  }
+  slots_.clear();
+  free_slots_.clear();
   pages_.clear();
+  policy_->clear();
   dirty_count_ = 0;  // benchmark reset: dirty data is discarded, not synced
 }
 
 bool PageCache::cached(std::uint64_t inode, std::uint64_t pgoff) const {
   return pages_.find(PageKey{inode, pgoff}) != pages_.end();
+}
+
+bool PageCache::set_policy(EvictionPolicyType type,
+                           const EvictionParams& params) {
+  if (type == policy_type_ && params == policy_params_) return false;
+  const EvictionPolicyType old_type = policy_type_;
+  policy_ = make_eviction_policy(type, params);
+  policy_type_ = type;
+  policy_params_ = params;
+  // Seed the new policy with the resident set in slot order. Slot indices
+  // are recycled LIFO so this is only an approximation of insertion age —
+  // which is fine: the policies converge on real ordering within one
+  // working-set pass, and residency (the expensive part) carries over.
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].in_use) policy_->on_insert(slot);
+  }
+  ++stats_.policy_switches;
+  observe::counter_add(observe::kMetricCachePolicySwitches);
+  observe::gauge_set(observe::kMetricCachePolicyId,
+                     static_cast<std::uint64_t>(type));
+  KML_EVENT(observe::EventId::kCachePolicySwitch,
+            static_cast<std::uint64_t>(type),
+            static_cast<std::uint64_t>(old_type));
+  return true;
 }
 
 void PageCache::do_readahead(FileHandle& file, std::uint64_t start,
@@ -128,6 +175,7 @@ void PageCache::do_readahead(FileHandle& file, std::uint64_t start,
   // Split [start, start+count) into maximal runs of uncached pages; each
   // run is one device command (cached gaps are skipped, as the kernel's
   // __do_page_cache_readahead does).
+  bool marker_inserted = false;
   std::uint64_t run_start = PageCache::kNoMarker;
   for (std::uint64_t p = start; p <= start + count; ++p) {
     const bool in_range = p < start + count;
@@ -142,26 +190,42 @@ void PageCache::do_readahead(FileHandle& file, std::uint64_t start,
       for (std::uint64_t q = run_start; q < p; ++q) {
         insert(PageKey{file.inode, q}, /*speculative=*/q != faulting,
                /*dirty=*/false);
+        if (q == marker_pgoff) marker_inserted = true;
       }
       run_start = PageCache::kNoMarker;
     }
   }
 
-  if (marker_pgoff != kNoMarker) {
+  // Arm the marker only on a page this call actually read. The previous
+  // behaviour marked any resident page at marker_pgoff — hijacking a page
+  // another stream (or an interleaved reader) already owned, double-arming
+  // windows that issued no I/O. The residency re-check still matters: under
+  // extreme pressure the page can be evicted within this very call.
+  if (marker_inserted) {
     auto it = pages_.find(PageKey{file.inode, marker_pgoff});
-    if (it != pages_.end()) it->second->ra_marker = true;
+    if (it != pages_.end()) slots_[it->second].ra_marker = true;
   }
-}
-
-void PageCache::touch(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
 }
 
 void PageCache::insert(const PageKey& key, bool speculative, bool dirty) {
   assert(pages_.find(key) == pages_.end());
   while (pages_.size() >= capacity_) evict_one();
-  lru_.push_front(Page{key, /*ra_marker=*/false, speculative, dirty});
-  pages_.emplace(key, lru_.begin());
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Page& page = slots_[slot];
+  page.key = key;
+  page.in_use = true;
+  page.ra_marker = false;
+  page.speculative = speculative;
+  page.dirty = dirty;
+  pages_.emplace(key, slot);
+  policy_->on_insert(slot);
   if (dirty) ++dirty_count_;
   ++stats_.inserted;
   tracepoints_.emit(TraceEventType::kAddToPageCache, key.inode, key.pgoff,
@@ -169,8 +233,9 @@ void PageCache::insert(const PageKey& key, bool speculative, bool dirty) {
 }
 
 void PageCache::evict_one() {
-  assert(!lru_.empty());
-  const Page& victim = lru_.back();
+  assert(!pages_.empty());
+  const std::uint32_t slot = policy_->pick_victim();
+  Page& victim = slots_[slot];
   if (victim.speculative) ++stats_.prefetch_wasted;
   if (victim.dirty) {
     // Reclaim writeback: the worst-case path — a synchronous single-page
@@ -181,7 +246,8 @@ void PageCache::evict_one() {
   }
   ++stats_.evicted;
   pages_.erase(victim.key);
-  lru_.pop_back();
+  victim.in_use = false;
+  free_slots_.push_back(slot);
 }
 
 }  // namespace kml::sim

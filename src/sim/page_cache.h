@@ -1,25 +1,33 @@
-// page_cache.h — simulated OS page cache with LRU eviction.
+// page_cache.h — simulated OS page cache with pluggable eviction.
 //
-// The surface the readahead case study observes and actuates:
+// The surface both ML case studies observe and actuate:
 //  * every page inserted fires the add_to_page_cache tracepoint (what KML's
-//    data-collection hooks attach to),
+//    data-collection hooks attach to); hits and misses fire their own
+//    per-access tracepoints for the eviction study,
 //  * every page dirtied fires writeback_dirty_page,
 //  * misses are served through the ondemand readahead engine, whose maximum
-//    window is the per-file ra_pages that KML tunes.
+//    window is the per-file ra_pages that KML tunes,
+//  * reclaim order is delegated to an EvictionPolicy (LRU/CLOCK/GCLOCK) that
+//    the eviction tuner switches per workload phase — the reclaim-side
+//    analogue of the ra_pages knob.
 //
-// Reads are charged synchronously on the virtual clock (DESIGN.md §2): the
-// modeled benefit of readahead is command batching, the first-order effect
-// on SSDs.
+// Storage is slot-based: pages live in a slab with stable uint32_t slot
+// indices, so a policy tracks ordering with flat per-slot arrays instead of
+// owning the pages. Reads are charged synchronously on the virtual clock
+// (DESIGN.md §2): the modeled benefit of readahead is command batching, the
+// first-order effect on SSDs.
 #pragma once
 
 #include "sim/device.h"
+#include "sim/eviction_policy.h"
 #include "sim/file.h"
 #include "sim/readahead.h"
 #include "sim/tracepoint.h"
 
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace kml::sim {
 
@@ -36,6 +44,9 @@ struct PageCacheStats {
   // expensive path — a dirty victim forced out by eviction.
   std::uint64_t synced_pages = 0;
   std::uint64_t dirty_evictions = 0;
+  // Eviction-policy changes applied through set_policy() (tuner actuations
+  // that actually changed something; no-op re-application is not counted).
+  std::uint64_t policy_switches = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -46,10 +57,12 @@ struct PageCacheStats {
 class PageCache {
  public:
   PageCache(std::uint64_t capacity_pages, SimClock& clock, Device& device,
-            TracepointRegistry& tracepoints);
+            TracepointRegistry& tracepoints,
+            EvictionPolicyType policy = EvictionPolicyType::kLru,
+            const EvictionParams& params = EvictionParams{});
 
   // Buffered read of `count` pages starting at `pgoff` — the
-  // generic_file_read path: per page, hit -> LRU touch (and async
+  // generic_file_read path: per page, hit -> policy touch (and async
   // readahead if it carries the marker), miss -> sync readahead.
   void read(FileHandle& file, std::uint64_t pgoff, std::uint64_t count);
 
@@ -57,7 +70,8 @@ class PageCache {
   // fires writeback_dirty_page. No device cost yet — dirty data reaches the
   // device through sync_file() (batched, cheap) or, worst case, through
   // eviction of a dirty victim (single-page write, expensive), mirroring
-  // delayed allocation + reclaim writeback.
+  // delayed allocation + reclaim writeback. Clamped at EOF like read():
+  // the simulated files are fixed-size, there is no append path.
   void write(FileHandle& file, std::uint64_t pgoff, std::uint64_t count);
 
   // fsync analogue: write back every dirty page of `inode` in maximal
@@ -72,10 +86,23 @@ class PageCache {
   std::uint64_t dirty_pages() const { return dirty_count_; }
 
   // Drop every cached page (echo 3 > /proc/sys/vm/drop_caches) — the paper
-  // clears the cache between benchmark runs.
+  // clears the cache between benchmark runs. Resident speculative pages
+  // never accessed count as prefetch waste (they were read from the device
+  // for nothing), but not as evictions — the drop is not reclaim pressure.
   void drop_all();
 
   bool cached(std::uint64_t inode, std::uint64_t pgoff) const;
+
+  // Switch the reclaim policy (and its knobs) in place. Residency is
+  // preserved; the new policy is seeded by registering the resident pages
+  // in slot (≈ insertion-age) order, so a switch costs no hits, only the
+  // fine-grained recency/frequency history. Returns true when anything
+  // changed; re-applying the current policy+params is a free no-op so the
+  // tuner can actuate every window without churn.
+  bool set_policy(EvictionPolicyType type,
+                  const EvictionParams& params = EvictionParams{});
+  EvictionPolicyType policy_type() const { return policy_type_; }
+  const EvictionParams& policy_params() const { return policy_params_; }
 
   std::uint64_t capacity_pages() const { return capacity_; }
   std::uint64_t resident_pages() const { return pages_.size(); }
@@ -86,9 +113,11 @@ class PageCache {
   // Called by the readahead engine: read [start, start+count) of `file`
   // from the device, skipping already-cached pages (each contiguous
   // uncached run becomes one device command), insert the pages, and set
-  // the readahead re-arm marker on page `marker_pgoff` (pass kNoMarker to
-  // skip). `faulting` is the page the application actually demanded; other
-  // inserted pages are accounted as speculative prefetch.
+  // the readahead re-arm marker on page `marker_pgoff` — only if this call
+  // inserted it (marking an already-resident page would re-arm a stream
+  // that did not issue the I/O). Pass kNoMarker to skip. `faulting` is the
+  // page the application actually demanded; other inserted pages are
+  // accounted as speculative prefetch.
   static constexpr std::uint64_t kNoMarker = UINT64_MAX;
   void do_readahead(FileHandle& file, std::uint64_t start,
                     std::uint64_t count, std::uint64_t marker_pgoff,
@@ -112,13 +141,12 @@ class PageCache {
   };
   struct Page {
     PageKey key;
+    bool in_use = false;
     bool ra_marker = false;   // PG_readahead analogue
     bool speculative = false; // inserted by prefetch, not yet accessed
     bool dirty = false;
   };
-  using LruList = std::list<Page>;
 
-  void touch(LruList::iterator it);
   void insert(const PageKey& key, bool speculative, bool dirty);
   void evict_one();
 
@@ -127,8 +155,14 @@ class PageCache {
   Device& device_;
   TracepointRegistry& tracepoints_;
   ReadaheadEngine ra_engine_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<PageKey, LruList::iterator, PageKeyHash> pages_;
+  // Slot slab: stable indices for resident pages; freed slots are recycled
+  // LIFO. pages_ maps a key to its slot; the policy orders the slots.
+  std::vector<Page> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<PageKey, std::uint32_t, PageKeyHash> pages_;
+  EvictionPolicyType policy_type_;
+  EvictionParams policy_params_;
+  std::unique_ptr<EvictionPolicy> policy_;
   PageCacheStats stats_;
   std::uint64_t dirty_count_ = 0;
 };

@@ -1,21 +1,17 @@
 #include "sim/readahead.h"
 
+#include "portability/bits.h"
 #include "sim/page_cache.h"
 
 namespace kml::sim {
-namespace {
-
-std::uint64_t roundup_pow2(std::uint64_t v) {
-  std::uint64_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
-
-}  // namespace
 
 std::uint64_t ReadaheadEngine::init_window(std::uint64_t req,
                                            std::uint64_t max) {
-  std::uint64_t size = roundup_pow2(req);
+  // Guarded shared round-up (portability/bits.h): the local copy this
+  // replaced spun forever for req > 2^63 — the same bug class PR 2 fixed
+  // in CircularBuffer. The clamp is harmless here: the result is capped to
+  // `max` immediately below.
+  std::uint64_t size = kml_round_up_pow2(req);
   if (size <= max / 32) {
     size *= 4;
   } else if (size <= max / 4) {

@@ -17,6 +17,9 @@ namespace kml::sim {
 struct StackConfig {
   DeviceConfig device = nvme_config();
   std::uint64_t cache_pages = 32768;  // 128 MiB page cache
+  // Initial reclaim policy (the eviction tuner re-actuates at run time).
+  EvictionPolicyType eviction_policy = EvictionPolicyType::kLru;
+  EvictionParams eviction_params;
 };
 
 class StorageStack {
@@ -24,7 +27,8 @@ class StorageStack {
   explicit StorageStack(const StackConfig& config)
       : device_(config.device, clock_),
         files_(config.device.default_ra_kb),
-        cache_(config.cache_pages, clock_, device_, tracepoints_),
+        cache_(config.cache_pages, clock_, device_, tracepoints_,
+               config.eviction_policy, config.eviction_params),
         block_layer_(files_) {}
 
   SimClock& clock() { return clock_; }

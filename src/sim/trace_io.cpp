@@ -40,7 +40,8 @@ TraceWriter::TraceWriter(StorageStack& stack, const char* path)
   }
   ok_ = true;
   hook_handle_ = stack_.tracepoints().register_hook(
-      [this](const TraceEvent& ev) { on_event(ev); });
+      [this](const TraceEvent& ev) { on_event(ev); },
+      kKmlCollectionTracepoints);
 }
 
 TraceWriter::~TraceWriter() { finish(); }

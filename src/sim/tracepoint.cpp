@@ -4,36 +4,37 @@
 
 namespace kml::sim {
 
-int TracepointRegistry::register_hook(Hook hook) {
+int TracepointRegistry::register_hook(Hook hook, std::uint32_t mask) {
   assert(hook != nullptr);
   for (std::size_t i = 0; i < hooks_.size(); ++i) {
-    if (hooks_[i] == nullptr) {
-      hooks_[i] = std::move(hook);
+    if (hooks_[i].hook == nullptr) {
+      hooks_[i] = Slot{std::move(hook), mask};
       return static_cast<int>(i);
     }
   }
-  hooks_.push_back(std::move(hook));
+  hooks_.push_back(Slot{std::move(hook), mask});
   return static_cast<int>(hooks_.size() - 1);
 }
 
 void TracepointRegistry::unregister(int handle) {
   if (handle < 0 || handle >= static_cast<int>(hooks_.size())) return;
-  hooks_[static_cast<std::size_t>(handle)] = nullptr;
+  hooks_[static_cast<std::size_t>(handle)].hook = nullptr;
 }
 
 void TracepointRegistry::emit(TraceEventType type, std::uint64_t inode,
                               std::uint64_t pgoff, std::uint64_t time_ns) {
   ++emitted_;
   const TraceEvent ev{type, inode, pgoff, time_ns};
-  for (const Hook& hook : hooks_) {
-    if (hook != nullptr) hook(ev);
+  const std::uint32_t bit = trace_mask(type);
+  for (const Slot& slot : hooks_) {
+    if (slot.hook != nullptr && (slot.mask & bit) != 0) slot.hook(ev);
   }
 }
 
 int TracepointRegistry::hook_count() const {
   int n = 0;
-  for (const Hook& hook : hooks_) {
-    if (hook != nullptr) ++n;
+  for (const Slot& slot : hooks_) {
+    if (slot.hook != nullptr) ++n;
   }
   return n;
 }

@@ -19,7 +19,31 @@ namespace kml::sim {
 enum class TraceEventType : std::uint8_t {
   kAddToPageCache = 0,     // page inserted into the page cache
   kWritebackDirtyPage = 1, // page dirtied by a write
+  // Per-access cache tracepoints (mm_filemap-style), the collection surface
+  // of the eviction case study. They fire on *every* page touched by a
+  // buffered read — orders of magnitude more events than the two classic
+  // KML tracepoints above — so hooks subscribe per-tracepoint via the
+  // register_hook mask, exactly like kernel probes attach per-tracepoint.
+  kPageCacheHit = 2,       // access served from the cache
+  kPageCacheMiss = 3,      // access that went to the readahead/miss path
 };
+
+// Per-tracepoint subscription masks.
+constexpr std::uint32_t trace_mask(TraceEventType type) {
+  return 1u << static_cast<unsigned>(type);
+}
+inline constexpr std::uint32_t kAllTracepoints = ~0u;
+// The paper's two data-collection tracepoints (§4) — what every readahead
+// consumer attaches to. Pre-existing hooks subscribe to exactly this set so
+// the readahead feature stream is unchanged by the access tracepoints.
+inline constexpr std::uint32_t kKmlCollectionTracepoints =
+    trace_mask(TraceEventType::kAddToPageCache) |
+    trace_mask(TraceEventType::kWritebackDirtyPage);
+// The eviction case study's collection set: accesses plus dirtying.
+inline constexpr std::uint32_t kCacheStudyTracepoints =
+    trace_mask(TraceEventType::kPageCacheHit) |
+    trace_mask(TraceEventType::kPageCacheMiss) |
+    trace_mask(TraceEventType::kWritebackDirtyPage);
 
 struct TraceEvent {
   TraceEventType type;
@@ -34,7 +58,9 @@ class TracepointRegistry {
 
   // Returns a handle for unregister(). Hooks run synchronously at emit
   // time — like real tracepoint probes, they must be cheap and non-blocking.
-  int register_hook(Hook hook);
+  // `mask` selects which tracepoints deliver to this hook (kernel probes
+  // attach per-tracepoint); the default subscribes to everything.
+  int register_hook(Hook hook, std::uint32_t mask = kAllTracepoints);
   void unregister(int handle);
 
   void emit(TraceEventType type, std::uint64_t inode, std::uint64_t pgoff,
@@ -44,7 +70,11 @@ class TracepointRegistry {
   int hook_count() const;
 
  private:
-  std::vector<Hook> hooks_;  // slot index == handle; empty slot == freed
+  struct Slot {
+    Hook hook;  // empty slot == freed
+    std::uint32_t mask = kAllTracepoints;
+  };
+  std::vector<Slot> hooks_;  // slot index == handle
   std::uint64_t emitted_ = 0;
 };
 

@@ -306,4 +306,20 @@ TEST_F(CapiTest, DtreeErrorPaths) {
   kml_dtree_destroy(tree);
 }
 
+TEST_F(CapiTest, CachePolicyNamesRoundTrip) {
+  EXPECT_EQ(kml_cache_policy_count(), 3);
+  for (int i = 0; i < kml_cache_policy_count(); ++i) {
+    const char* name = kml_cache_policy_name(i);
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(kml_cache_policy_id(name), i);
+  }
+  EXPECT_STREQ(kml_cache_policy_name(KML_CACHE_POLICY_LRU), "lru");
+  EXPECT_STREQ(kml_cache_policy_name(KML_CACHE_POLICY_CLOCK), "clock");
+  EXPECT_STREQ(kml_cache_policy_name(KML_CACHE_POLICY_GCLOCK), "gclock");
+  EXPECT_EQ(kml_cache_policy_name(-1), nullptr);
+  EXPECT_EQ(kml_cache_policy_name(kml_cache_policy_count()), nullptr);
+  EXPECT_EQ(kml_cache_policy_id(nullptr), -1);
+  EXPECT_EQ(kml_cache_policy_id("bogus"), -1);
+}
+
 }  // namespace

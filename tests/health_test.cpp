@@ -187,6 +187,51 @@ TEST(HealthMonitor, RegistryInferenceLatencyTripDegrades) {
   EXPECT_EQ(monitor.stats().latency_trips, 0u);
 }
 
+// (i) cache hit-rate collapse: the eviction case study's safety net. A
+// mis-actuated policy shows up as a collapsed hit rate over the judged
+// window; the monitor trips DEGRADED and the cache tuner pins vanilla LRU.
+TEST(HealthMonitor, RegistryCacheHitRateCollapseDegrades) {
+  observe::Counter& hits = observe::get_counter(observe::kMetricCacheHit);
+  observe::Counter& misses = observe::get_counter(observe::kMetricCacheMiss);
+  HealthConfig config = fast_config();
+  config.cache_hit_rate_degrade_milli = 500;  // floor: 50% hit rate
+  config.cache_min_accesses = 100;
+  HealthMonitor monitor(config);
+  monitor.observe_registry();  // primes baselines
+  hits.add(90);
+  misses.add(10);  // 90% window: healthy
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  hits.add(10);
+  misses.add(90);  // 10% window: collapse
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kDegraded);
+  EXPECT_EQ(monitor.stats().cache_trips, 1u);
+}
+
+TEST(HealthMonitor, RegistryCacheWindowBelowMinAccessesNotJudged) {
+  observe::Counter& misses = observe::get_counter(observe::kMetricCacheMiss);
+  HealthConfig config = fast_config();
+  config.cache_hit_rate_degrade_milli = 500;
+  config.cache_min_accesses = 1'000'000'000;  // nothing reaches the window
+  HealthMonitor monitor(config);
+  monitor.observe_registry();
+  misses.add(500);  // all misses, but below the judgement window
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_EQ(monitor.stats().cache_trips, 0u);
+}
+
+TEST(HealthMonitor, RegistryCacheSignalDisabledByDefault) {
+  observe::Counter& misses = observe::get_counter(observe::kMetricCacheMiss);
+  HealthMonitor monitor(fast_config());  // cache_hit_rate_degrade_milli = 0
+  monitor.observe_registry();
+  misses.add(100'000);
+  monitor.observe_registry();
+  EXPECT_EQ(monitor.state(), HealthState::kHealthy);
+  EXPECT_EQ(monitor.stats().cache_trips, 0u);
+}
+
 TEST(HealthMonitor, RegistryLatencySignalDisabledByDefault) {
   observe::Histogram& hist =
       observe::get_histogram(observe::kMetricInferenceNs);

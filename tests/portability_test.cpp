@@ -1,6 +1,7 @@
 // Tests for the KML development API (src/portability): memory accounting,
 // the reservation arena, threading, atomics, logging, file ops, FPU guards,
 // and epoch-based reclamation.
+#include "portability/bits.h"
 #include "portability/epoch.h"
 #include "portability/kml_lib.h"
 
@@ -341,6 +342,35 @@ TEST_F(PortabilityTest, EpochDrainStallsOnPinnedReaderThenCompletes) {
   EXPECT_GT(kml_epoch_stalls(), holder.stalls_baseline);
   EXPECT_EQ(kml_epoch_deferred(), 0u);
   EXPECT_EQ(g_epoch_freed.load(), freed_before + 1);
+}
+
+// The shared round-up (src/portability/bits.h): the naive doubling loop it
+// replaced never terminated for v > 2^63 (the probe wraps to zero). Both
+// former copies — CircularBuffer and the readahead window sizing — now
+// route through this one guarded implementation.
+TEST(Bits, RoundUpPow2SmallValues) {
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(0), 1u);
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(1), 1u);
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(2), 2u);
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(3), 4u);
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(64), 64u);
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(65), 128u);
+  static_assert(kml_round_up_pow2<std::uint32_t>(5) == 8u);  // constexpr
+}
+
+TEST(Bits, RoundUpPow2ClampsInsteadOfSpinning) {
+  constexpr std::uint64_t kTop64 = std::uint64_t{1} << 63;
+  // Exact top power of two is representable and returned as-is.
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(kTop64), kTop64);
+  // Anything above it has no representable round-up: clamp, don't wrap.
+  // These inputs made the old loop spin forever.
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(kTop64 + 1), kTop64);
+  EXPECT_EQ(kml_round_up_pow2<std::uint64_t>(UINT64_MAX), kTop64);
+
+  constexpr std::uint32_t kTop32 = std::uint32_t{1} << 31;
+  EXPECT_EQ(kml_round_up_pow2<std::uint32_t>(kTop32), kTop32);
+  EXPECT_EQ(kml_round_up_pow2<std::uint32_t>(kTop32 + 1), kTop32);
+  EXPECT_EQ(kml_round_up_pow2<std::uint32_t>(UINT32_MAX), kTop32);
 }
 
 }  // namespace

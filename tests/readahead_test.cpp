@@ -359,10 +359,13 @@ TEST(Pipeline, DatasetFromTraceMatchesLiveExtraction) {
     std::vector<data::TraceRecord> window;
     std::uint64_t boundary = sim::kNsPerSec;
     std::uint64_t index = 0;
-    stack.tracepoints().register_hook([&](const sim::TraceEvent& ev) {
-      window.push_back(data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
-                                         static_cast<std::uint8_t>(ev.type)});
-    });
+    stack.tracepoints().register_hook(
+        [&](const sim::TraceEvent& ev) {
+          window.push_back(
+              data::TraceRecord{ev.inode, ev.pgoff, ev.time_ns,
+                                static_cast<std::uint8_t>(ev.type)});
+        },
+        sim::kKmlCollectionTracepoints);
     workloads::WorkloadConfig wc;
     wc.type = workloads::WorkloadType::kReadRandom;
     workloads::run_workload(

@@ -57,5 +57,20 @@ if [ -n "$fpu_offenders" ]; then
   exit 1
 fi
 
+# Eviction-policy internals are owned by src/sim: the seam is
+# PageCache::set_policy / policy_type / policy_params. Code elsewhere in
+# src/ constructing policies directly (make_eviction_policy) or driving
+# them slot-by-slot (pick_victim) bypasses the residency reseeding and the
+# switch accounting that set_policy provides.
+policy_offenders=$(git ls-files src | grep -E '\.(cpp|h)$' |
+  grep -v '^src/sim/' |
+  xargs grep -l -E 'make_eviction_policy|pick_victim' 2>/dev/null)
+if [ -n "$policy_offenders" ]; then
+  echo "repo_hygiene: eviction-policy internals used outside src/sim/:"
+  echo "$policy_offenders" | head -20
+  echo "repo_hygiene: actuate through PageCache::set_policy instead"
+  exit 1
+fi
+
 echo "repo_hygiene: clean"
 exit 0
