@@ -324,11 +324,11 @@ int main(int argc, char** argv) {
     report.add("eviction_ns_clock", ns_clock);
     report.add("eviction_ns_gclock", ns_gclock);
     report.add("cpus", static_cast<double>(kml_num_cpus()));
-    const char* path = "BENCH_cache.json";
-    if (report.write_file(path)) {
-      std::printf("wrote %s\n", path);
+    const std::string path = bench::json_artifact_path("BENCH_cache.json");
+    if (report.write_file(path.c_str())) {
+      std::printf("wrote %s\n", path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write %s\n", path);
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
       return 1;
     }
   }

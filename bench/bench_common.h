@@ -60,6 +60,26 @@ class JsonReport {
   std::vector<std::pair<std::string, double>> fields_;
 };
 
+// Resolve where a BENCH_<name>.json artifact belongs: the REPO ROOT, found
+// by walking up from the working directory until ROADMAP.md appears. The
+// benches run from build/ (or a ctest subdirectory), and writing into the
+// cwd scattered the artifacts across build trees — the perf-trajectory
+// tooling diffs committed BENCH_*.json at the root, so results written
+// anywhere else were silently invisible to it. Falls back to the bare
+// filename (cwd) when no root is found within 10 levels.
+inline std::string json_artifact_path(const char* filename) {
+  std::string prefix;
+  for (int depth = 0; depth < 10; ++depth) {
+    const std::string probe = prefix + "ROADMAP.md";
+    if (std::FILE* f = std::fopen(probe.c_str(), "r")) {
+      std::fclose(f);
+      return prefix + filename;
+    }
+    prefix += "../";
+  }
+  return filename;
+}
+
 inline constexpr const char* kDefaultModelPath = "readahead_model.kml";
 inline constexpr const char* kDefaultDatasetPath = "readahead_traces.csv";
 

@@ -1,0 +1,179 @@
+// bench_fleet — fleet serving at scale: thousands of tenants, one model.
+//
+// The question behind ROADMAP item 1: the paper's per-file tuner assumes a
+// handful of open files; a real deployment has thousands, with Zipfian
+// traffic skew. This bench drives the FleetService at 1k and 10k tenants
+// and reports what the serving layer delivers on THIS host: tenants served,
+// windows/sec through the coalesced batch path, and the p99 submit→decision
+// latency — with the health guard's fleet-collapse signal armed, so a
+// drowning service would show up as DEGRADED/FAILED instead of a pretty
+// number.
+//
+// --json writes BENCH_fleet.json at the repo root (flat numeric fields,
+// same convention as bench_overheads, always including "cpus" — absolute
+// throughput on a 1-CPU container is not comparable to a 32-way box).
+#include "bench_common.h"
+#include "fleet/service.h"
+#include "fleet/workload.h"
+#include "observe/metrics.h"
+#include "portability/kml_lib.h"
+#include "portability/thread.h"
+#include "runtime/engine.h"
+#include "runtime/health.h"
+#include "workloads/generator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace {
+
+using namespace kml;
+
+struct ScaleResult {
+  std::uint64_t tenants = 0;
+  std::uint64_t tenants_served = 0;
+  std::uint64_t windows = 0;
+  double windows_per_sec = 0.0;
+  std::uint64_t p99_decision_ns = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rate_limited = 0;
+  int final_health = 0;
+};
+
+// One serving run: `ticks` rounds of (submit a burst of Zipfian tenant
+// windows) -> drain -> tick, which is the per-virtual-second cadence the
+// service is built around.
+ScaleResult run_scale(runtime::Engine& engine, std::uint64_t num_tenants,
+                      int ticks, int windows_per_tick, double theta,
+                      std::uint64_t seed) {
+  observe::reset_all();
+  engine.reset_stats();
+
+  runtime::HealthConfig hc;
+  // The fleet-collapse signal (j): trips when the post-drain backlog stays
+  // above 1/2 of the queue or the decision p99 exceeds 250 ms.
+  hc.fleet_queue_depth_degrade = 1 << 14;
+  hc.fleet_decision_p99_degrade_ns = 250'000'000;
+  runtime::HealthMonitor monitor(hc);
+
+  fleet::FleetConfig fc;
+  fc.shards = 16;
+  fc.max_tenants = static_cast<std::uint32_t>(num_tenants);
+  fc.queue_capacity = 1 << 15;
+  fc.max_batch = 256;
+  fc.tenant_windows_per_tick = 64;
+  fc.overload_queue_depth = 1 << 14;
+  fc.health = &monitor;
+  fleet::FleetService service(engine, fc);
+
+  workloads::ZipfianTenantTraffic traffic(num_tenants, theta, seed);
+  math::Rng rng(seed ^ 0xf1ee7);
+  fleet::FleetWorkloadConfig wc;
+
+  double features[fleet::kMaxFleetFeatures] = {};
+  const std::uint64_t t0 = kml_now_ns();
+  for (int tick = 0; tick < ticks; ++tick) {
+    for (int i = 0; i < windows_per_tick; ++i) {
+      const std::uint64_t tenant = traffic.next();
+      const int cls =
+          fleet::true_class_of(tenant, engine.num_classes());
+      fleet::make_window(features, engine.num_features(), cls, wc.noise, rng);
+      service.submit(tenant, features, engine.num_features());
+    }
+    service.drain(kml_now_ns());
+    service.tick(kml_now_ns());
+    monitor.observe_registry();
+  }
+  const std::uint64_t elapsed_ns = kml_now_ns() - t0;
+
+  ScaleResult r;
+  r.tenants = num_tenants;
+  r.tenants_served = service.tenants_served();
+  r.windows = service.stats().decided;
+  r.windows_per_sec =
+      elapsed_ns == 0 ? 0.0
+                      : static_cast<double>(r.windows) * 1e9 /
+                            static_cast<double>(elapsed_ns);
+  const observe::Histogram* h =
+      observe::find_histogram(observe::kMetricFleetDecisionNs);
+  r.p99_decision_ns = h == nullptr ? 0 : h->percentile(99);
+  r.shed = service.stats().shed;
+  r.rejected = service.stats().rejected;
+  r.rate_limited = service.stats().rate_limited;
+  r.final_health = static_cast<int>(monitor.state());
+  return r;
+}
+
+void print_result(const ScaleResult& r) {
+  std::printf(
+      "tenants=%llu served=%llu windows=%llu windows/sec=%.0f "
+      "p99=%llu ns shed=%llu rejected=%llu rate_limited=%llu health=%s\n",
+      static_cast<unsigned long long>(r.tenants),
+      static_cast<unsigned long long>(r.tenants_served),
+      static_cast<unsigned long long>(r.windows), r.windows_per_sec,
+      static_cast<unsigned long long>(r.p99_decision_ns),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.rate_limited),
+      runtime::health_state_name(
+          static_cast<runtime::HealthState>(r.final_health)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::consume_flag(&argc, argv, "--json");
+
+  std::printf("training the fleet's shared model...\n");
+  fleet::FleetWorkloadConfig wc;
+  nn::Network net = fleet::train_fleet_model(wc, /*seed=*/42);
+  runtime::Engine engine(std::move(net));
+  engine.set_mode(runtime::Mode::kInference);
+
+  // RocksDB-study skew (theta 0.99): the head of the tenant distribution
+  // carries most of the windows, the tail is huge and quiet.
+  const double theta = 0.99;
+  const int ticks = 200;
+  const int windows_per_tick = 4096;
+
+  std::printf("\n-- 1k tenants --\n");
+  const ScaleResult r1k =
+      run_scale(engine, 1'000, ticks, windows_per_tick, theta, 7);
+  print_result(r1k);
+
+  std::printf("\n-- 10k tenants --\n");
+  const ScaleResult r10k =
+      run_scale(engine, 10'000, ticks, windows_per_tick, theta, 7);
+  print_result(r10k);
+
+  if (json) {
+    bench::JsonReport report;
+    report.add("tenants_1k", static_cast<double>(r1k.tenants));
+    report.add("tenants_served_1k", static_cast<double>(r1k.tenants_served));
+    report.add("windows_1k", static_cast<double>(r1k.windows));
+    report.add("windows_per_sec_1k", r1k.windows_per_sec);
+    report.add("p99_decision_ns_1k", static_cast<double>(r1k.p99_decision_ns));
+    report.add("shed_1k", static_cast<double>(r1k.shed));
+    report.add("final_health_1k", static_cast<double>(r1k.final_health));
+    report.add("tenants_10k", static_cast<double>(r10k.tenants));
+    report.add("tenants_served_10k",
+               static_cast<double>(r10k.tenants_served));
+    report.add("windows_10k", static_cast<double>(r10k.windows));
+    report.add("windows_per_sec_10k", r10k.windows_per_sec);
+    report.add("p99_decision_ns_10k",
+               static_cast<double>(r10k.p99_decision_ns));
+    report.add("shed_10k", static_cast<double>(r10k.shed));
+    report.add("final_health_10k", static_cast<double>(r10k.final_health));
+    report.add("cpus", static_cast<double>(kml_num_cpus()));
+    const std::string path = bench::json_artifact_path("BENCH_fleet.json");
+    if (report.write_file(path.c_str())) {
+      std::printf("\nwrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 // --json additionally writes the headline numbers to
 // BENCH_health_guard.json (same convention as bench_overheads).
 #include "bench_common.h"
+#include "portability/thread.h"
 
 #include "runtime/health.h"
 
@@ -148,11 +149,12 @@ int main(int argc, char** argv) {
                static_cast<double>(monitor.stats().degradations));
     report.add("recoveries", static_cast<double>(monitor.stats().recoveries));
     report.add("final_state", static_cast<double>(monitor.state()));
-    const char* path = "BENCH_health_guard.json";
-    if (report.write_file(path)) {
-      std::printf("\nwrote %s\n", path);
+    report.add("cpus", static_cast<double>(kml_num_cpus()));
+    const std::string path = bench::json_artifact_path("BENCH_health_guard.json");
+    if (report.write_file(path.c_str())) {
+      std::printf("\nwrote %s\n", path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write %s\n", path);
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
       return 1;
     }
   }

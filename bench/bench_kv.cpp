@@ -170,11 +170,11 @@ int main(int argc, char** argv) {
     report.add("concurrent_read_ops_per_sec_4t", ops_per_sec[2]);
     report.add("scaling_4t_over_1t", scaling);
     report.add("cpus", static_cast<double>(kml_num_cpus()));
-    const char* path = "BENCH_kv.json";
-    if (report.write_file(path)) {
-      std::printf("wrote %s\n", path);
+    const std::string path = bench::json_artifact_path("BENCH_kv.json");
+    if (report.write_file(path.c_str())) {
+      std::printf("wrote %s\n", path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write %s\n", path);
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
       return 1;
     }
   }

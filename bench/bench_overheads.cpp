@@ -556,15 +556,18 @@ int main(int argc, char** argv) {
     report.add("batch_infer_speedup_4v1",
                batch.ns_per_sample_t1 / batch.ns_per_sample_t4);
     report.add("num_cpus", static_cast<double>(kml_num_cpus()));
+    // Canonical name shared by every BENCH_*.json (the schema guard keys on
+    // it); num_cpus stays for older diff tooling.
+    report.add("cpus", static_cast<double>(kml_num_cpus()));
     report.add("flight_on_ns_per_op", flight.on_ns);
     report.add("flight_off_ns_per_op", flight.off_ns);
     report.add("flight_delta_pct", flight.delta_pct);
     report.add("flight_event_ns", flight.event_ns);
-    const char* path = "BENCH_overheads.json";
-    if (report.write_file(path)) {
-      std::printf("\nwrote %s\n", path);
+    const std::string path = bench::json_artifact_path("BENCH_overheads.json");
+    if (report.write_file(path.c_str())) {
+      std::printf("\nwrote %s\n", path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write %s\n", path);
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
       return 1;
     }
   }

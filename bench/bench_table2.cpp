@@ -20,6 +20,7 @@
 // --json additionally writes every per-cell speedup and the device averages
 // to BENCH_table2.json (same convention as bench_overheads).
 #include "bench_common.h"
+#include "portability/thread.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -128,11 +129,12 @@ int main(int argc, char** argv) {
     }
     report.add("nvme_avg_speedup", avg[0]);
     report.add("ssd_avg_speedup", avg[1]);
-    const char* path = "BENCH_table2.json";
-    if (report.write_file(path)) {
-      std::printf("\nwrote %s\n", path);
+    report.add("cpus", static_cast<double>(kml_num_cpus()));
+    const std::string path = bench::json_artifact_path("BENCH_table2.json");
+    if (report.write_file(path.c_str())) {
+      std::printf("\nwrote %s\n", path.c_str());
     } else {
-      std::fprintf(stderr, "failed to write %s\n", path);
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
       return 1;
     }
   }

@@ -108,6 +108,15 @@ int main(int argc, char** argv) {
                 outcome.vanilla_ops_per_sec, outcome.kml_ops_per_sec,
                 static_cast<unsigned long long>(outcome.timeline.size()),
                 static_cast<unsigned long long>(outcome.dropped_records));
+    // SPSC-contract violations: pushes that reached a ShardedBuffer with an
+    // unfolded shard id and were folded modulo the shard count. Any non-zero
+    // value is a producer racing another producer on one ring — a latent
+    // data-corruption bug, not a tuning knob (see data/sharded_buffer.h).
+    const long long folded =
+        kml_metrics_counter(observe::kMetricBufferFoldedPushes);
+    std::printf("buffer folded pushes: %lld%s\n", folded < 0 ? 0 : folded,
+                folded > 0 ? "  <-- SPSC contract broken, fix the producer"
+                           : "");
     // Registrations silently refused because a pool filled up. Non-zero
     // means some metric above is missing data — raise kMaxCounters & co.
     // (Read through registry_overflow_count(): the export surfaces the same

@@ -298,6 +298,26 @@ size_t kml_metrics_export(char* buf, size_t cap, int json) {
 
 void kml_metrics_reset(void) { kml::observe::reset_all(); }
 
+long long kml_fleet_tenants(void) {
+  return kml_metrics_gauge(kml::observe::kMetricFleetTenants);
+}
+
+long long kml_fleet_queue_depth(void) {
+  return kml_metrics_gauge(kml::observe::kMetricFleetQueueDepth);
+}
+
+long long kml_fleet_windows(void) {
+  return kml_metrics_counter(kml::observe::kMetricFleetWindows);
+}
+
+long long kml_fleet_shed_total(void) {
+  return kml_metrics_counter(kml::observe::kMetricFleetShedTotal);
+}
+
+long long kml_fleet_decision_p99_ns(void) {
+  return kml_metrics_hist_percentile(kml::observe::kMetricFleetDecisionNs, 99);
+}
+
 namespace {
 
 /* Shared snprintf-convention string exporter. */

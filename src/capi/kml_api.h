@@ -149,6 +149,28 @@ size_t kml_metrics_export(char* buf, size_t cap, int json);
 /* Zero every registered metric (registrations survive). */
 void kml_metrics_reset(void);
 
+/* ---- fleet serving (tenant-sharded batched inference) ---- */
+
+/* Registry-backed read-side of the fleet service (src/fleet). All return -1
+ * when the observe layer is compiled out, the fleet has not published yet,
+ * or the metric is absent — the service itself stays C++-only; C consumers
+ * monitor it through these. */
+
+/* Tenants currently admitted ("fleet.tenants" gauge). */
+long long kml_fleet_tenants(void);
+
+/* Post-drain ready-window backlog ("fleet.queue_depth" gauge). */
+long long kml_fleet_queue_depth(void);
+
+/* Windows classified so far ("fleet.windows" counter). */
+long long kml_fleet_windows(void);
+
+/* Tenants shed by overload control so far ("fleet.shed_total" counter). */
+long long kml_fleet_shed_total(void);
+
+/* p99 submit-to-decision latency in ns ("fleet.decision_ns" histogram). */
+long long kml_fleet_decision_p99_ns(void);
+
 /* ---- flight recorder (kml::observe binary trace ring) ---- */
 
 /* 1 when the flight recorder is compiled in, enabled, and not frozen. */

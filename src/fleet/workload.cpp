@@ -1,0 +1,54 @@
+#include "fleet/workload.h"
+
+#include "matrix/matrix.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+
+namespace kml::fleet {
+
+int true_class_of(std::uint64_t tenant, int classes) {
+  if (classes < 1) return 0;
+  // xxhash-style avalanche: adjacent tenant ids land on unrelated classes.
+  std::uint64_t x = tenant + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(classes));
+}
+
+void make_window(double* features, int dim, int cls, double noise,
+                 math::Rng& rng) {
+  const int hot = dim > 0 ? cls % dim : 0;
+  for (int j = 0; j < dim; ++j) {
+    features[j] = (j == hot ? 3.0 : 0.5) + rng.normal(0.0, noise);
+  }
+}
+
+nn::Network train_fleet_model(const FleetWorkloadConfig& config,
+                              std::uint64_t seed, int samples, int epochs) {
+  math::Rng rng(seed);
+  matrix::MatD x(samples, config.feature_dim);
+  matrix::MatD y(samples, config.classes);
+  for (int i = 0; i < samples; ++i) {
+    const int cls = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(config.classes)));
+    make_window(x.row(i), config.feature_dim, cls, config.noise, rng);
+    for (int c = 0; c < config.classes; ++c) {
+      y.at(i, c) = c == cls ? 1.0 : 0.0;
+    }
+  }
+
+  nn::Network net = nn::build_mlp_classifier(
+      config.feature_dim, /*hidden=*/8, config.classes, rng);
+  net.normalizer().fit(x);
+  const matrix::MatD xz = net.normalizer().transform(x);
+
+  nn::CrossEntropyLoss loss;
+  nn::SGD opt(/*learning_rate=*/0.1, /*momentum=*/0.9);
+  opt.attach(net.params());
+  net.train(xz, y, loss, opt, epochs, /*batch_size=*/64, rng);
+  net.set_training(false);
+  return net;
+}
+
+}  // namespace kml::fleet

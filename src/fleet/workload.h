@@ -1,0 +1,44 @@
+// workload.h — synthetic fleet workload: per-tenant ground truth, feature
+// windows, and a quick shared-model trainer.
+//
+// bench_fleet and fleet_test need thousands of tenants whose windows are
+// classifiable by one small shared model, plus a controllable fraction of
+// "divergent" tenants whose true class disagrees with what the shared model
+// was trained to predict for their features — those are the tenants the
+// per-tenant output bias must rescue. Everything here is deterministic for
+// a fixed seed.
+#pragma once
+
+#include "math/rng.h"
+#include "nn/network.h"
+
+#include <cstdint>
+
+namespace kml::fleet {
+
+struct FleetWorkloadConfig {
+  int feature_dim = 4;
+  int classes = 4;
+  // Feature jitter (stddev of the normal noise around the class centroid).
+  double noise = 0.15;
+};
+
+// Ground-truth class of a tenant's traffic: a deterministic hash of the
+// tenant id, so neighbouring ids get unrelated classes.
+int true_class_of(std::uint64_t tenant, int classes);
+
+// Fill features[0..dim) with a window drawn near the centroid of `cls`:
+// 3.0 + noise at index cls (mod dim), 0.5 + noise elsewhere. Linearly
+// separable at the default noise level, so a tiny MLP reaches ~100%.
+void make_window(double* features, int dim, int cls, double noise,
+                 math::Rng& rng);
+
+// Train the fleet's shared model on `samples` synthetic windows with
+// uniformly drawn classes. The returned network has its Z-score normalizer
+// fitted on the training matrix and is left in eval mode, ready to hand to
+// runtime::Engine. Deterministic for a fixed seed.
+nn::Network train_fleet_model(const FleetWorkloadConfig& config,
+                              std::uint64_t seed, int samples = 2048,
+                              int epochs = 40);
+
+}  // namespace kml::fleet

@@ -38,6 +38,9 @@ const char* event_name(EventId id) {
     case EventId::kKvDurabilityFault: return "kv.durability_fault";
     case EventId::kCacheTunerDecision: return "cache.tuner_decision";
     case EventId::kCachePolicySwitch: return "cache.policy_switch";
+    case EventId::kFleetAdmit: return "fleet.admit";
+    case EventId::kFleetShed: return "fleet.shed";
+    case EventId::kFleetOverload: return "fleet.overload";
     case EventId::kEventIdCount: break;
   }
   return "unknown";

@@ -59,6 +59,9 @@ enum class EventId : std::uint16_t {
   kKvDurabilityFault,      // a0=FaultSite that tripped, a1=last durable seq
   kCacheTunerDecision,     // a0=predicted class, a1=actuated policy id
   kCachePolicySwitch,      // a0=new EvictionPolicyType, a1=old
+  kFleetAdmit,             // a0=tenant id, a1=active tenants after admit
+  kFleetShed,              // a0=tenant id, a1=that tenant's window count
+  kFleetOverload,          // a0=queue depth, a1=decision p99 (ns)
   kEventIdCount,
 };
 

@@ -107,6 +107,24 @@ inline constexpr char kMetricKvEpochDeferredFrees[] =
 inline constexpr char kMetricKvCheckpoints[] = "kv.checkpoints";
 inline constexpr char kMetricKvDurabilityFaults[] = "kv.durability_faults";
 inline constexpr char kMetricEpochStalls[] = "portability.epoch.stalls";
+// ShardedBuffer SPSC-contract violations: pushes that arrived with an
+// unfolded shard id and were folded modulo the shard count (PR 8 made the
+// fold loud; see data/sharded_buffer.h).
+inline constexpr char kMetricBufferFoldedPushes[] =
+    "data.buffer.folded_pushes";
+// Fleet serving (PR 8): the tenant-sharded batched-inference service.
+// fleet.queue_depth is the post-drain backlog across shard rings;
+// fleet.decision_ns is the submit→decision latency per window (the health
+// guard's fleet-collapse signal reads both, gated on fleet.windows).
+inline constexpr char kMetricFleetTenants[] = "fleet.tenants";
+inline constexpr char kMetricFleetQueueDepth[] = "fleet.queue_depth";
+inline constexpr char kMetricFleetWindows[] = "fleet.windows";
+inline constexpr char kMetricFleetDecisionNs[] = "fleet.decision_ns";
+inline constexpr char kMetricFleetShedTotal[] = "fleet.shed_total";
+inline constexpr char kMetricFleetAdmitted[] = "fleet.admitted_total";
+inline constexpr char kMetricFleetRejected[] = "fleet.rejected_total";
+inline constexpr char kMetricFleetRateLimited[] = "fleet.rate_limited";
+inline constexpr char kMetricFleetQueueDrops[] = "fleet.queue_drops";
 // Synthetic counter row in snapshot(): registrations that spilled into a
 // pool's shared overflow slot (never occupies a registry slot itself).
 inline constexpr char kMetricRegistryOverflow[] = "observe.registry.overflow";

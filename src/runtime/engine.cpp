@@ -118,10 +118,30 @@ int Engine::infer_class(const double* features, int n) {
   return pred;
 }
 
+int Engine::num_classes() {
+  for (int i = net_.num_layers() - 1; i >= 0; --i) {
+    const int out = net_.layer(i).out_features();
+    if (out > 0) return out;
+  }
+  return 0;
+}
+
 int Engine::infer_batch(const double* features, int n, int count,
                         int* classes_out) {
+  if (classes_out == nullptr) return 0;
+  return infer_batch_impl(features, n, count, classes_out, nullptr);
+}
+
+int Engine::infer_batch_scores(const double* features, int n, int count,
+                               double* scores_out, int* classes_out) {
+  if (scores_out == nullptr) return 0;
+  return infer_batch_impl(features, n, count, classes_out, scores_out);
+}
+
+int Engine::infer_batch_impl(const double* features, int n, int count,
+                             int* classes_out, double* scores_out) {
   assert(mode_ == Mode::kInference);
-  if (features == nullptr || classes_out == nullptr || n <= 0 || count <= 0) {
+  if (features == nullptr || n <= 0 || count <= 0) {
     return 0;
   }
   const std::uint64_t start = kml_now_ns();
@@ -153,7 +173,14 @@ int Engine::infer_batch(const double* features, int n, int count,
       out.cols() > 0 ? (4096 + out.cols() - 1) / out.cols() : 1;
   parallel_for(count, out_grain, [&](long i0, long i1, int) {
     for (long i = i0; i < i1; ++i) {
-      classes_out[i] = argmax_row(out, static_cast<int>(i));
+      if (classes_out != nullptr) {
+        classes_out[i] = argmax_row(out, static_cast<int>(i));
+      }
+      if (scores_out != nullptr) {
+        const double* src = out.row(static_cast<int>(i));
+        double* dst = scores_out + static_cast<std::size_t>(i) * out.cols();
+        for (int j = 0; j < out.cols(); ++j) dst[j] = src[j];
+      }
     }
   });
   if (observe::enabled()) {

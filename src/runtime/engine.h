@@ -72,6 +72,23 @@ class Engine {
   // state, like infer_class.
   int infer_batch(const double* features, int n, int count, int* classes_out);
 
+  // infer_batch, plus the raw output activations: scores_out (row-major,
+  // count x num_classes()) receives each row of the network's final layer
+  // before the argmax. The fleet service uses this to apply a cheap
+  // per-tenant output bias on top of the shared model — argmax over
+  // (scores + bias) — without a second forward pass. classes_out may be
+  // nullptr when the caller computes its own (biased) argmax. Same
+  // zero-allocation steady state as infer_batch.
+  int infer_batch_scores(const double* features, int n, int count,
+                         double* scores_out, int* classes_out);
+
+  // Output width of the model (classes for a classifier); 0 when the
+  // network has no shaped layers.
+  int num_classes();
+
+  // Input width of the model; 0 when the network has no shaped layers.
+  int num_features() { return model_in_features(); }
+
   // Presize every hot-path buffer — the network's forward/backward scratch,
   // the engine's input staging slots, and the checkpoint shadow — for
   // batches of up to `max_batch_rows` rows, so even the *first* inference
@@ -129,6 +146,11 @@ class Engine {
   static constexpr int kSlotBatchIn = 1;  // count x n batched staging
 
   int model_in_features();
+
+  // Shared body of infer_batch / infer_batch_scores; either output may be
+  // nullptr (but not both — the callers enforce that).
+  int infer_batch_impl(const double* features, int n, int count,
+                       int* classes_out, double* scores_out);
 
   // Per-step model introspection (loss + per-layer gradient/weight-delta
   // norms) into the observe ring; no-op when observe is disabled. Must stay

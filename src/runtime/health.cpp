@@ -214,6 +214,25 @@ void HealthMonitor::observe_registry() {
     if (observe::Counter* c = observe::find_counter(observe::kMetricCacheMiss))
       cache_misses = c->value();
   }
+  std::uint64_t fleet_windows = 0;
+  std::uint64_t fleet_depth = 0;
+  std::uint64_t fleet_p99 = 0;
+  if (config_.fleet_queue_depth_degrade > 0 ||
+      config_.fleet_decision_p99_degrade_ns > 0) {
+    if (observe::Counter* c =
+            observe::find_counter(observe::kMetricFleetWindows))
+      fleet_windows = c->value();
+    if (observe::Gauge* g =
+            observe::find_gauge(observe::kMetricFleetQueueDepth)) {
+      const std::int64_t v = g->value();
+      fleet_depth = v > 0 ? static_cast<std::uint64_t>(v) : 0;
+    }
+    if (config_.fleet_decision_p99_degrade_ns > 0) {
+      if (observe::Histogram* h =
+              observe::find_histogram(observe::kMetricFleetDecisionNs))
+        fleet_p99 = h->percentile(99);
+    }
+  }
 
   std::lock_guard<std::mutex> guard(lock_);
   if (!registry_primed_) {
@@ -227,6 +246,7 @@ void HealthMonitor::observe_registry() {
     registry_last_kv_torn_ = kv_torn;
     registry_last_cache_hits_ = cache_hits;
     registry_last_cache_misses_ = cache_misses;
+    registry_last_fleet_windows_ = fleet_windows;
     return;
   }
 
@@ -330,6 +350,26 @@ void HealthMonitor::observe_registry() {
       }
     }
   }
+
+  // (j) fleet collapse. The queue-depth gauge is instantaneous (post-drain
+  // backlog) and the decision histogram cumulative, so both are judged only
+  // while fleet windows are actually being decided — an idle or quiesced
+  // fleet cannot trip on stale history.
+  if ((config_.fleet_queue_depth_degrade > 0 ||
+       config_.fleet_decision_p99_degrade_ns > 0) &&
+      fleet_windows > registry_last_fleet_windows_) {
+    registry_last_fleet_windows_ = fleet_windows;
+    const bool depth_collapse = config_.fleet_queue_depth_degrade > 0 &&
+                                fleet_depth > config_.fleet_queue_depth_degrade;
+    const bool latency_collapse =
+        config_.fleet_decision_p99_degrade_ns > 0 &&
+        fleet_p99 > config_.fleet_decision_p99_degrade_ns;
+    if (depth_collapse || latency_collapse) {
+      stats_.fleet_trips += 1;
+      KML_EVENT(observe::EventId::kFleetOverload, fleet_depth, fleet_p99);
+      enter_degraded();
+    }
+  }
 #endif  // KML_OBSERVE_ENABLED
 }
 
@@ -361,6 +401,7 @@ void HealthMonitor::reset() {
   registry_last_inferences_ = 0;
   registry_last_train_steps_ = 0;
   registry_last_drift_samples_ = 0;
+  registry_last_fleet_windows_ = 0;
   // New model deployed: resume flight recording for its first incident.
   observe::flight_thaw();
 }

@@ -99,6 +99,17 @@ struct HealthConfig {
   std::uint64_t cache_hit_rate_degrade_milli = 0;
   std::uint64_t cache_min_accesses = 1024;
 
+  // (j) Fleet-collapse guard (registry-sourced): the tenant-sharded
+  // inference service is drowning — either the post-drain backlog
+  // ("fleet.queue_depth" gauge) stays above the depth threshold or the
+  // submit→decision p99 ("fleet.decision_ns" histogram) exceeds the latency
+  // budget. Judged only while the "fleet.windows" counter advances (an idle
+  // fleet cannot trip on stale history). The fleet service reacts to the
+  // DEGRADED state by refusing new admissions and shedding its
+  // lowest-traffic tenants first. 0 disables each sub-signal independently.
+  std::uint64_t fleet_queue_depth_degrade = 0;
+  std::uint64_t fleet_decision_p99_degrade_ns = 0;
+
   // Flight-recorder dump file prefix (writes <prefix>.bin/<prefix>.txt when
   // the recorder freezes on a bad transition). nullptr = freeze only, no
   // dump. The pointed-to string must outlive the monitor.
@@ -116,6 +127,7 @@ struct HealthStats {
   std::uint64_t drift_trips = 0;        // (g) trips (input drift)
   std::uint64_t kv_recovery_trips = 0;  // (h) trips (KV store recovered)
   std::uint64_t cache_trips = 0;        // (i) trips (hit-rate collapse)
+  std::uint64_t fleet_trips = 0;        // (j) trips (fleet queue/latency)
   std::uint64_t heartbeats = 0;
   std::uint64_t degradations = 0;       // transitions into DEGRADED
   std::uint64_t failures = 0;           // transitions into FAILED
@@ -209,6 +221,7 @@ class HealthMonitor {
   std::uint64_t registry_last_kv_torn_ = 0;
   std::uint64_t registry_last_cache_hits_ = 0;
   std::uint64_t registry_last_cache_misses_ = 0;
+  std::uint64_t registry_last_fleet_windows_ = 0;
 };
 
 }  // namespace kml::runtime

@@ -29,6 +29,15 @@ class UniformKeys final : public KeyGenerator {
   std::uint64_t num_keys_;
 };
 
+// xxhash-style avalanche shared by the skewed generators.
+inline std::uint64_t scramble_key(std::uint64_t x) {
+  x *= 0xc2b2ae3d27d4eb4fULL;
+  x ^= x >> 29;
+  x *= 0x165667b19e3779f9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
 class ZipfKeys final : public KeyGenerator {
  public:
   ZipfKeys(std::uint64_t num_keys, double theta, std::uint64_t seed)
@@ -38,20 +47,41 @@ class ZipfKeys final : public KeyGenerator {
   // (RocksDB's hot keys are not physically clustered).
   std::uint64_t next() override {
     const std::uint64_t rank = zipf_.next();
-    return scramble(rank) % num_keys_;
+    return scramble_key(rank) % num_keys_;
   }
 
  private:
-  static std::uint64_t scramble(std::uint64_t x) {
-    x *= 0xc2b2ae3d27d4eb4fULL;
-    x ^= x >> 29;
-    x *= 0x165667b19e3779f9ULL;
-    x ^= x >> 32;
-    return x;
-  }
   math::Rng rng_;
   math::Zipf zipf_;
   std::uint64_t num_keys_;
+};
+
+// Zipfian tenant-arrival process for fleet serving: each next() is "which
+// open file produced the next ready feature-window". Tenant id == popularity
+// rank (tenant 0 is the hottest file), which keeps fleet tests legible —
+// "the Zipf tail" is literally the high tenant ids. The optional scramble
+// spreads the hot tenants across the fleet's shard map instead (rank-ordered
+// ids would pile the head onto whatever shards low ids hash to under a weak
+// fold).
+class ZipfianTenantTraffic final : public KeyGenerator {
+ public:
+  ZipfianTenantTraffic(std::uint64_t num_tenants, double theta,
+                       std::uint64_t seed, bool scramble_ids = false)
+      : rng_(seed),
+        zipf_(num_tenants, theta, rng_),
+        num_tenants_(num_tenants),
+        scramble_ids_(scramble_ids) {}
+
+  std::uint64_t next() override {
+    const std::uint64_t rank = zipf_.next();
+    return scramble_ids_ ? scramble_key(rank) % num_tenants_ : rank;
+  }
+
+ private:
+  math::Rng rng_;
+  math::Zipf zipf_;
+  std::uint64_t num_tenants_;
+  bool scramble_ids_;
 };
 
 }  // namespace kml::workloads

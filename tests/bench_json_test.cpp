@@ -1,0 +1,141 @@
+// bench_json_test.cpp — schema guard for the committed BENCH_*.json
+// artifacts.
+//
+// The perf-trajectory tooling diffs the BENCH_*.json files committed at the
+// repo root across commits; for months they were written into whatever
+// build directory the bench ran from, so the trajectory was silently empty.
+// This guard pins the contract from the consuming side: artifacts exist at
+// the root, every one parses as the flat numeric JSON bench::JsonReport
+// emits, and every one records the "cpus" it ran on (absolute numbers from
+// a 1-CPU container must never be compared to a 32-way box).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The same root discovery the benches use to place the artifacts: walk up
+// from the working directory until ROADMAP.md appears.
+fs::path find_repo_root() {
+  fs::path dir = fs::current_path();
+  for (int depth = 0; depth < 10; ++depth) {
+    if (fs::exists(dir / "ROADMAP.md")) return dir;
+    if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+    dir = dir.parent_path();
+  }
+  return {};
+}
+
+// Minimal parser for the bench::JsonReport format — one flat object of
+// string-keyed numeric fields. Returns false (with a reason) on anything
+// that shape does not allow; deliberately strict so format drift fails
+// loudly here instead of in the diff tooling.
+bool parse_flat_json(const std::string& text,
+                     std::map<std::string, double>* out,
+                     std::string* reason) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\n' || text[i] == '\t' ||
+            text[i] == '\r')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') {
+    *reason = "missing opening brace";
+    return false;
+  }
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  for (;;) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') {
+      *reason = "expected quoted key";
+      return false;
+    }
+    const std::size_t kend = text.find('"', i + 1);
+    if (kend == std::string::npos) {
+      *reason = "unterminated key";
+      return false;
+    }
+    const std::string key = text.substr(i + 1, kend - i - 1);
+    i = kend + 1;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') {
+      *reason = "expected ':' after key " + key;
+      return false;
+    }
+    ++i;
+    skip_ws();
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + i, &end);
+    if (end == text.c_str() + i) {
+      *reason = "non-numeric value for key " + key;
+      return false;
+    }
+    (*out)[key] = value;
+    i = static_cast<std::size_t>(end - text.c_str());
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return true;
+    *reason = "expected ',' or '}' after key " + key;
+    return false;
+  }
+}
+
+TEST(BenchJson, CommittedArtifactsParseAndRecordCpus) {
+  const fs::path root = find_repo_root();
+  ASSERT_FALSE(root.empty()) << "repo root (ROADMAP.md) not found from "
+                             << fs::current_path();
+  int found = 0;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json") {
+      continue;
+    }
+    ++found;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << name;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::map<std::string, double> fields;
+    std::string reason;
+    EXPECT_TRUE(parse_flat_json(ss.str(), &fields, &reason))
+        << name << ": " << reason;
+    EXPECT_FALSE(fields.empty()) << name << " has no fields";
+    ASSERT_TRUE(fields.count("cpus") != 0)
+        << name << " is missing the required \"cpus\" field";
+    EXPECT_GE(fields["cpus"], 1.0) << name;
+  }
+  // The artifacts are committed; an empty root means the --json path
+  // regressed back to scattering results across build trees.
+  EXPECT_GT(found, 0) << "no BENCH_*.json artifacts at " << root;
+}
+
+TEST(BenchJson, ParserRejectsMalformedDocuments) {
+  std::map<std::string, double> fields;
+  std::string reason;
+  EXPECT_FALSE(parse_flat_json("", &fields, &reason));
+  EXPECT_FALSE(parse_flat_json("{\"a\": }", &fields, &reason));
+  EXPECT_FALSE(parse_flat_json("{\"a\": \"str\"}", &fields, &reason));
+  EXPECT_FALSE(parse_flat_json("{\"a\": 1 \"b\": 2}", &fields, &reason));
+  EXPECT_TRUE(parse_flat_json("{\n  \"a\": 1.5,\n  \"b\": -2\n}\n", &fields,
+                              &reason));
+  EXPECT_DOUBLE_EQ(fields["a"], 1.5);
+  EXPECT_DOUBLE_EQ(fields["b"], -2.0);
+}
+
+}  // namespace

@@ -289,6 +289,53 @@ TEST(Zipf, RanksAreBoundedAndSkewed) {
   EXPECT_GT(tail, 100);
 }
 
+TEST(Zipf, DistributionSanityAt100kAcrossThetas) {
+  // Fleet-scale sanity: n = 100k tenants at the workload-study skews
+  // (theta 0.9 / 0.99) plus a super-linear 1.2 (alpha = 1/(1-theta) goes
+  // negative there — the Gray et al. inversion must still be well-behaved).
+  const double thetas[] = {0.9, 0.99, 1.2};
+  int head[3] = {0, 0, 0};
+  for (int t = 0; t < 3; ++t) {
+    Rng rng(123);
+    Zipf zipf(100'000, thetas[t], rng);
+    std::vector<int> counts(100'000, 0);
+    for (int i = 0; i < 200'000; ++i) {
+      const std::uint64_t r = zipf.next();
+      ASSERT_LT(r, 100'000u);
+      ++counts[static_cast<std::size_t>(r)];
+    }
+    // Head frequencies decay monotonically in rank, and the head is heavy
+    // (empirically rank 0 draws >= 9k of 200k even at theta 0.9).
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[10], counts[100]);
+    EXPECT_GT(counts[0], 5'000);
+    // The tail never collapses to zero mass, even at theta 1.2
+    // (empirically ~2.7k of 200k draws land in ranks >= 50k there).
+    int tail = 0;
+    for (int i = 50'000; i < 100'000; ++i) {
+      tail += counts[static_cast<std::size_t>(i)];
+    }
+    EXPECT_GT(tail, 500);
+    head[t] = counts[0];
+  }
+  // Skew must increase with theta.
+  EXPECT_GT(head[1], head[0]);
+  EXPECT_GT(head[2], head[1]);
+}
+
+TEST(Zipf, DeterministicForFixedSeed) {
+  for (const double theta : {0.9, 0.99, 1.2}) {
+    Rng r1(7);
+    Rng r2(7);
+    Zipf a(100'000, theta, r1);
+    Zipf b(100'000, theta, r2);
+    for (int i = 0; i < 20'000; ++i) {
+      ASSERT_EQ(a.next(), b.next()) << "theta=" << theta << " i=" << i;
+    }
+  }
+}
+
 // --- stats ------------------------------------------------------------------
 
 TEST(RunningStatsTest, MatchesClosedForm) {

@@ -21,8 +21,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <vector>
+
+// The near-SIZE_MAX ShardedBuffer regression below exercises the graceful
+// out-of-memory path: aligned_alloc returns nullptr and the ring degrades
+// loudly. ASan's default is to abort on allocation-size-too-big instead of
+// returning null; opt this binary into glibc-compatible behavior so the
+// test verifies the same path under sanitizers.
+extern "C" const char* __asan_default_options() {
+  return "allocator_may_return_null=1";
+}
 
 namespace {
 
@@ -375,14 +385,71 @@ TEST(ShardedBuffer, RoundRobinDrainCoversAllShards) {
   EXPECT_EQ(buf.pop_many(out, 7), 0u);
 }
 
-TEST(ShardedBuffer, ShardIndexFoldsModuloCount) {
+TEST(ShardedBuffer, OutOfRangeShardIdIsALoudContractViolation) {
+  // An unfolded shard id used to fold silently — two producers landing on
+  // one SPSC ring with zero synchronization. Debug builds now assert;
+  // release builds still fold (dropping data would be worse) but count
+  // every violation so tool_metrics_dump and this accessor expose it.
   data::ShardedBuffer<int> buf(16, 2);
   EXPECT_TRUE(buf.push(1, 0));
+  EXPECT_EQ(buf.folded_pushes(), 0u);
+#ifdef NDEBUG
   EXPECT_TRUE(buf.push(2, 2));  // folds onto shard 0
   EXPECT_TRUE(buf.push(3, 5));  // folds onto shard 1
+  EXPECT_EQ(buf.folded_pushes(), 2u);
   EXPECT_EQ(buf.size(), 3u);
   int out[4];
   EXPECT_EQ(buf.pop_many(out, 4), 3u);
+#else
+  EXPECT_DEATH(buf.push(2, 2), "pre-folded");
+#endif
+}
+
+TEST(ShardedBuffer, NearMaxCapacityDoesNotWrapToTinyRings) {
+  // Regression: the ceil-divide was (capacity + shards - 1) / shards, which
+  // wraps for capacity within shards-1 of SIZE_MAX and silently built 64
+  // one-slot rings out of a near-SIZE_MAX budget. Divide-first arithmetic
+  // forwards the absurd per-shard size to CircularBuffer's allocation
+  // guard, which degrades to zero-capacity drop-everything rings — loud
+  // (KML_ERROR + dropped()), never quietly tiny.
+  data::ShardedBuffer<int> buf(SIZE_MAX - 1, 64);
+  EXPECT_EQ(buf.requested_capacity(), SIZE_MAX - 1);
+  EXPECT_NE(buf.capacity(), 64u);  // the old wrapped outcome
+  if (!buf.push(1, 0)) {
+    EXPECT_GT(buf.dropped(), 0u);
+  }
+}
+
+TEST(ShardedBuffer, RoundUpInflationIsAccounted) {
+  // 65 slots over 64 shards: ceil-divide gives 2 per shard, the power-of-
+  // two round-up keeps 2, so 128 slots are actually allocated — nearly
+  // double the request. Both numbers must be visible so callers can size
+  // budgets as shards x power-of-two and make them agree.
+  data::ShardedBuffer<int> buf(65, 64);
+  EXPECT_EQ(buf.requested_capacity(), 65u);
+  EXPECT_EQ(buf.capacity(), 128u);
+  EXPECT_EQ(buf.shard_count(), 64u);
+}
+
+TEST(ShardedBuffer, PopManyHotShardCannotStarveColdShards) {
+  // One hot shard (Zipf head) with 1000 queued items, three cold shards
+  // with 10 each: a batch of 40 popped round-robin must carry every cold
+  // shard's items, not 40 hot ones.
+  data::ShardedBuffer<int> buf(4096, 4);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(buf.push(0 + i * 4, 0));
+  for (unsigned s = 1; s < 4; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(buf.push(static_cast<int>(s) + i * 4, s));
+    }
+  }
+  int out[40];
+  ASSERT_EQ(buf.pop_many(out, 40), 40u);
+  int per_shard[4] = {0, 0, 0, 0};
+  for (int v : out) ++per_shard[v % 4];
+  // Round-robin interleave: 10 per shard while all four have items.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GE(per_shard[s], 8) << "shard " << s << " starved";
+  }
 }
 
 TEST(ShardedBuffer, DroppedAggregatesAcrossShards) {

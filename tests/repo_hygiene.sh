@@ -72,5 +72,18 @@ if [ -n "$policy_offenders" ]; then
   exit 1
 fi
 
+# The fleet service exists to amortize per-call inference costs across
+# tenants: every classification must flow through the coalesced
+# Engine::infer_batch* path. A stray per-window infer_class in src/fleet/
+# silently forfeits the batching the subsystem is for.
+fleet_offenders=$(git ls-files src/fleet | grep -E '\.(cpp|h)$' |
+  xargs grep -l -E '\binfer_class\b' 2>/dev/null)
+if [ -n "$fleet_offenders" ]; then
+  echo "repo_hygiene: single-row Engine::infer_class used in src/fleet/:"
+  echo "$fleet_offenders" | head -20
+  echo "repo_hygiene: fleet decisions must use the batched infer_batch path"
+  exit 1
+fi
+
 echo "repo_hygiene: clean"
 exit 0
