@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include <sys/stat.h>
+
 namespace kml::bench {
 
 // --- machine-readable results (--json) ---------------------------------------
@@ -60,20 +62,34 @@ class JsonReport {
   std::vector<std::pair<std::string, double>> fields_;
 };
 
-// Resolve where a BENCH_<name>.json artifact belongs: the REPO ROOT, found
-// by walking up from the working directory until ROADMAP.md appears. The
+// Resolve where a BENCH_<name>.json artifact belongs: the REPO ROOT. The
 // benches run from build/ (or a ctest subdirectory), and writing into the
 // cwd scattered the artifacts across build trees — the perf-trajectory
 // tooling diffs committed BENCH_*.json at the root, so results written
-// anywhere else were silently invisible to it. Falls back to the bare
-// filename (cwd) when no root is found within 10 levels.
+// anywhere else were silently invisible to it.
+//
+// The root is found by walking up from the working directory to the first
+// git repository boundary (a `.git` entry — directory, or file for
+// worktrees) that also carries this repo's marker pair ROADMAP.md +
+// PAPER.md. Probing for a lone ROADMAP.md was too generic: a bench run
+// from a directory nested under an unrelated project with its own
+// ROADMAP.md would have dropped the artifact into that foreign tree. The
+// walk never crosses a repo boundary — if the first `.git` level is not
+// this repo, or no boundary appears within 10 levels, it falls back to
+// the bare filename (cwd).
 inline std::string json_artifact_path(const char* filename) {
+  const auto exists = [](const std::string& path) {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  };
   std::string prefix;
   for (int depth = 0; depth < 10; ++depth) {
-    const std::string probe = prefix + "ROADMAP.md";
-    if (std::FILE* f = std::fopen(probe.c_str(), "r")) {
-      std::fclose(f);
-      return prefix + filename;
+    const std::string base = depth == 0 ? "." : prefix;
+    if (exists(base + "/.git")) {
+      if (exists(base + "/ROADMAP.md") && exists(base + "/PAPER.md")) {
+        return prefix + filename;
+      }
+      break;  // inside some other repo: never write into a foreign root
     }
     prefix += "../";
   }

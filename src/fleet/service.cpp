@@ -72,13 +72,20 @@ SubmitResult FleetService::submit(std::uint64_t tenant, const double* features,
   auto it = tenants_.find(tenant);
   if (it == tenants_.end() || !it->second.active) {
     // Admission control. A shed tenant re-enters through the same gate and
-    // keeps its learned bias; a brand-new tenant starts from the shared
-    // model.
+    // keeps its learned bias while its table entry survives; a brand-new
+    // tenant starts from the shared model.
     if (!admissions_open_ ||
         active_ >= config_.max_tenants) {
       stats_.rejected += 1;
       KML_COUNTER_INC(observe::kMetricFleetRejected);
       return SubmitResult::kRejected;
+    }
+    if (it == tenants_.end() && tenants_.size() >= config_.max_tenants) {
+      // The table is full of active tenants plus shed entries kept for
+      // their bias. active_ < max_tenants here, so an inactive entry must
+      // exist — evict the least valuable one so the table stays bounded
+      // by max_tenants even under shed/re-admit churn.
+      evict_one_inactive();
     }
     TenantState& t = tenants_[tenant];
     t.active = true;
@@ -161,7 +168,19 @@ void FleetService::decide_batch(const QueuedWindow* windows, int rows,
   const int done = engine_.infer_batch_scores(
       batch_features_.data(), feature_dim_, rows, batch_scores_.data(),
       batch_classes_.data());
-  if (done != rows) return;
+  if (done != rows) {
+    // The whole staged batch is lost; make that visible instead of letting
+    // windows vanish between submitted and decided.
+    stats_.infer_dropped += static_cast<std::uint64_t>(rows);
+    if (!infer_failure_logged_) {
+      infer_failure_logged_ = true;
+      KML_ERROR("FleetService: infer_batch_scores decided %d of %d staged "
+                "windows; dropping the batch (engine misconfigured or not "
+                "in inference mode?)",
+                done, rows);
+    }
+    return;
+  }
   stats_.batches += 1;
   const bool adapt = config_.bias_lr > 0.0;
   for (int i = 0; i < rows; ++i) {
@@ -256,6 +275,26 @@ void FleetService::shed_lowest_traffic(std::uint32_t count) {
     KML_COUNTER_INC(observe::kMetricFleetShedTotal);
     KML_EVENT(observe::EventId::kFleetShed, victims[i].tenant, t.windows);
   }
+}
+
+void FleetService::evict_one_inactive() {
+  // Linear scan for the lowest-traffic shed entry. Only reached when a
+  // brand-new tenant id arrives with the table at capacity — shed/re-admit
+  // churn, already a degraded regime — and never for re-admissions, which
+  // reuse their existing entry.
+  auto victim = tenants_.end();
+  for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+    if (it->second.active) continue;
+    if (victim == tenants_.end() ||
+        it->second.windows < victim->second.windows ||
+        (it->second.windows == victim->second.windows &&
+         it->first < victim->first)) {
+      victim = it;
+    }
+  }
+  if (victim == tenants_.end()) return;  // all active: nothing to evict
+  tenants_.erase(victim);
+  stats_.bias_evicted += 1;
 }
 
 void FleetService::record_outcome(std::uint64_t tenant, int observed_class) {

@@ -29,11 +29,16 @@
 //     to the vanilla heuristic. Every shed/admit stamps a flight-recorder
 //     event, so post-mortems show exactly who was dropped and when.
 //
-// Thread model: any number of producer threads may call submit() as long as
-// each shard has one producer at a time (the ShardedBuffer SPSC contract —
-// single-threaded drivers trivially satisfy it); drain()/tick()/
-// record_outcome() belong to one consumer thread, which also owns the
-// engine.
+// Thread model: the service is SINGLE-THREADED. submit(), drain(), tick(),
+// record_outcome(), and the accessors must all be called from one thread
+// (or be externally serialized) — the tenant table, stats, and bias state
+// are deliberately unsynchronized, so even one producer thread calling
+// submit() concurrently with the drain thread is a data race. The SPSC
+// shard rings are used here as a per-shard coalescing layout, not as a
+// cross-thread handoff. Scaling submit() out to one producer thread per
+// shard would additionally need per-shard tenant tables owned by their
+// producers (admission, token buckets, and bias move with them); the rings
+// already support that split, this class does not yet.
 #pragma once
 
 #include "data/sharded_buffer.h"
@@ -56,7 +61,11 @@ struct FleetConfig {
   // Tenant shards, clamped to [1, ShardedBuffer::kMaxShards]. Each shard is
   // one SPSC ring; shard_of() folds tenant ids onto them.
   unsigned shards = 8;
-  // Admission cap: the tenant table never grows beyond this.
+  // Admission cap: at most this many tenants are active, and the tenant
+  // table — active entries plus shed tenants' retained-bias entries —
+  // never grows beyond it. When a new admission finds the table full, the
+  // lowest-traffic shed entry is evicted to make room (its bias is lost;
+  // bias retention across a shed is best-effort, bounded by table slack).
   std::uint32_t max_tenants = 16'384;
   // Total ready-window slots across all shard rings.
   std::size_t queue_capacity = 1 << 15;
@@ -96,7 +105,9 @@ struct FleetStats {
   std::uint64_t queue_drops = 0;    // submit() refusals by a full ring
   std::uint64_t shed = 0;           // tenants shed by overload control
   std::uint64_t orphan_windows = 0; // queued windows whose tenant was shed
+  std::uint64_t infer_dropped = 0;  // staged windows lost to a failed batch
   std::uint64_t biased_flips = 0;   // decisions changed by per-tenant bias
+  std::uint64_t bias_evicted = 0;   // shed entries evicted to admit new ones
 };
 
 class FleetService {
@@ -115,10 +126,10 @@ class FleetService {
   unsigned shard_of(std::uint64_t tenant) const;
 
   // Offer one ready feature-window (n raw, un-normalized features) for
-  // `tenant`. Admits unknown tenants when admission is open and the table
-  // has room (flight event kFleetAdmit); enforces the tenant's token
-  // bucket; pushes onto the tenant's shard ring. Wait-free past the tenant
-  // table lookup.
+  // `tenant`. Admits unknown tenants when admission is open and fewer than
+  // max_tenants are active (flight event kFleetAdmit), evicting the
+  // lowest-traffic shed entry if the table is at capacity; enforces the
+  // tenant's token bucket; pushes onto the tenant's shard ring.
   SubmitResult submit(std::uint64_t tenant, const double* features, int n,
                       std::uint32_t events = 1);
 
@@ -143,6 +154,10 @@ class FleetService {
 
   // Tenants currently admitted and serving.
   std::uint32_t active_tenants() const { return active_; }
+
+  // Total tenant-table entries (active + shed-with-retained-bias). Bounded
+  // by FleetConfig::max_tenants.
+  std::size_t tenant_table_size() const { return tenants_.size(); }
 
   // Tenants that have received at least one decision.
   std::uint32_t tenants_served() const { return served_; }
@@ -178,6 +193,9 @@ class FleetService {
   void decide_batch(const QueuedWindow* windows, int rows,
                     std::uint64_t now_ns);
   void shed_lowest_traffic(std::uint32_t count);
+  // Evict the lowest-traffic inactive entry to keep tenants_ within
+  // max_tenants when a new admission needs the slot.
+  void evict_one_inactive();
 
   runtime::Engine& engine_;
   FleetConfig config_;
@@ -188,6 +206,7 @@ class FleetService {
   std::uint32_t active_ = 0;
   std::uint32_t served_ = 0;
   bool admissions_open_ = true;
+  bool infer_failure_logged_ = false;
   FleetStats stats_;
   // Drain/decide staging, reused across calls (allocation-free at steady
   // state, like the per-file tuner's batch staging).

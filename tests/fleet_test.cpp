@@ -185,6 +185,44 @@ TEST(FleetService, OverloadShedsLowestTrafficTenantsFirst) {
             fleet::SubmitResult::kQueued);
 }
 
+TEST(FleetService, TenantTableStaysBoundedUnderShedChurn) {
+  // Regression: shed tenants used to stay in the table forever (inactive,
+  // bias retained), so overload cycles with fresh tenant ids grew the map
+  // without bound — contradicting the max_tenants contract. Now a new
+  // admission into a full table evicts the lowest-traffic shed entry.
+  runtime::Engine engine = make_engine();
+  fleet::FleetConfig fc;
+  fc.max_tenants = 16;
+  fc.tenant_windows_per_tick = 0;  // no rate limit: let the backlog build
+  fc.overload_queue_depth = 4;
+  fc.shed_batch = 8;
+  fc.queue_capacity = 1 << 10;
+  fleet::FleetService service(engine, fc);
+  math::Rng rng(kSeed);
+
+  std::uint64_t next_tenant = 0;
+  for (int round = 0; round < 12; ++round) {
+    // Fill the active cap with fresh ids; their queued windows already
+    // exceed the overload threshold, so the tick sheds half the fleet.
+    while (service.active_tenants() < fc.max_tenants) {
+      submit_window(service, engine, next_tenant++, rng);
+    }
+    ASSERT_GT(service.backlog(), fc.overload_queue_depth);
+    service.tick(kml_now_ns());
+    EXPECT_EQ(service.active_tenants(), fc.max_tenants - fc.shed_batch);
+    // Clear the backlog so the next tick reopens admissions.
+    service.drain(kml_now_ns());
+    service.tick(kml_now_ns());
+    ASSERT_TRUE(service.admissions_open());
+    EXPECT_LE(service.tenant_table_size(), fc.max_tenants);
+  }
+  // ~100 unique tenants churned through a 16-slot table: the bound held
+  // only because shed entries were evicted to make room.
+  EXPECT_GT(next_tenant, 3 * static_cast<std::uint64_t>(fc.max_tenants));
+  EXPECT_LE(service.tenant_table_size(), fc.max_tenants);
+  EXPECT_GT(service.stats().bias_evicted, 0u);
+}
+
 TEST(FleetService, PerTenantBiasFlipsADivergentTenant) {
   runtime::Engine engine = make_engine();
   fleet::FleetConfig fc;
