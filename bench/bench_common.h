@@ -38,20 +38,44 @@ inline bool consume_flag(int* argc, char** argv, const char* flag) {
   return found;
 }
 
-// Minimal flat JSON document: numeric fields only, insertion order
-// preserved. Enough for the BENCH_*.json artifacts a driver script diffs
-// across commits; not a general serializer.
+// Minimal flat JSON document, insertion order preserved. Values are
+// numbers, `null` (a measurement legitimately skipped on this host), or
+// short machine-readable strings (skip reasons, tier names — no escaping,
+// so keep them to [A-Za-z0-9_ <.-]). Enough for the BENCH_*.json artifacts
+// a driver script diffs across commits; not a general serializer.
 class JsonReport {
  public:
-  void add(const char* key, double value) { fields_.emplace_back(key, value); }
+  void add(const char* key, double value) {
+    fields_.push_back({key, Kind::kNumber, value, {}});
+  }
+  // A skipped cell: the key stays in the schema so the diff tooling sees
+  // "measured nothing here on purpose" instead of a vanished field.
+  void add_null(const char* key) {
+    fields_.push_back({key, Kind::kNull, 0.0, {}});
+  }
+  void add_string(const char* key, const char* value) {
+    fields_.push_back({key, Kind::kString, 0.0, value});
+  }
 
   bool write_file(const char* path) const {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\n");
     for (std::size_t i = 0; i < fields_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %.6f%s\n", fields_[i].first.c_str(),
-                   fields_[i].second, i + 1 < fields_.size() ? "," : "");
+      const Field& field = fields_[i];
+      std::fprintf(f, "  \"%s\": ", field.key.c_str());
+      switch (field.kind) {
+        case Kind::kNumber:
+          std::fprintf(f, "%.6f", field.number);
+          break;
+        case Kind::kNull:
+          std::fprintf(f, "null");
+          break;
+        case Kind::kString:
+          std::fprintf(f, "\"%s\"", field.text.c_str());
+          break;
+      }
+      std::fprintf(f, "%s\n", i + 1 < fields_.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -59,7 +83,14 @@ class JsonReport {
   }
 
  private:
-  std::vector<std::pair<std::string, double>> fields_;
+  enum class Kind { kNumber, kNull, kString };
+  struct Field {
+    std::string key;
+    Kind kind;
+    double number;
+    std::string text;
+  };
+  std::vector<Field> fields_;
 };
 
 // Resolve where a BENCH_<name>.json artifact belongs: the REPO ROOT. The

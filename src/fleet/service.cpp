@@ -165,9 +165,15 @@ void FleetService::decide_batch(const QueuedWindow* windows, int rows,
                 windows[i].features,
                 static_cast<std::size_t>(feature_dim_) * sizeof(double));
   }
-  const int done = engine_.infer_batch_scores(
-      batch_features_.data(), feature_dim_, rows, batch_scores_.data(),
-      batch_classes_.data());
+  const int done =
+      config_.use_int8
+          ? engine_.infer_batch_scores_int8(batch_features_.data(),
+                                            feature_dim_, rows,
+                                            batch_scores_.data(),
+                                            batch_classes_.data())
+          : engine_.infer_batch_scores(batch_features_.data(), feature_dim_,
+                                       rows, batch_scores_.data(),
+                                       batch_classes_.data());
   if (done != rows) {
     // The whole staged batch is lost; make that visible instead of letting
     // windows vanish between submitted and decided.

@@ -86,6 +86,12 @@ struct FleetConfig {
   std::size_t overload_queue_depth = 1 << 14;
   std::uint32_t shed_batch = 64;
   const runtime::HealthMonitor* health = nullptr;
+  // Serve batches through the engine's attached int8 network
+  // (Engine::infer_batch_scores_int8). Requires attach_quantized() on the
+  // engine before the first drain; without it the engine falls back to the
+  // float path with a one-shot warning, so flipping this on is safe but
+  // only fast once the quantized copy is attached.
+  bool use_int8 = false;
 };
 
 enum class SubmitResult {

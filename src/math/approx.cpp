@@ -1,5 +1,7 @@
 #include "math/approx.h"
 
+#include "portability/simd.h"
+
 #include <cstdint>
 #include <cstring>
 
@@ -155,6 +157,21 @@ double kml_pow(double x, double y) {
   }
   if (x <= 0.0) return kml_nan();
   return kml_exp(y * kml_log(x));
+}
+
+// Span variants: the scalar function is passed as the fallback, so the
+// scalar dispatch tier IS per-element application of it, and the vector
+// tiers are pinned bit-identical to it by the simd bit-identity suite.
+void kml_exp_span(const double* in, double* out, long n) {
+  kml_simd_exp_span(in, out, n, &kml_exp);
+}
+
+void kml_sigmoid_span(const double* in, double* out, long n) {
+  kml_simd_sigmoid_span(in, out, n, &kml_sigmoid);
+}
+
+void kml_tanh_span(const double* in, double* out, long n) {
+  kml_simd_tanh_span(in, out, n, &kml_tanh);
 }
 
 void kml_softmax(const double* in, double* out, int n) {

@@ -32,6 +32,15 @@ double kml_sqrt(double x);
 // x^y for x > 0 via exp(y * log(x)); integer fast path for |y| <= 64.
 double kml_pow(double x, double y);
 
+// Contiguous-span variants of exp/sigmoid/tanh, routed through the
+// portability SIMD seam. Bit-identical to calling the scalar function on
+// each element at every dispatch tier (the vector bodies reproduce the
+// scalar algorithm lane for lane and fall back to it outside the vector-
+// safe domain). in == out aliasing is allowed.
+void kml_exp_span(const double* in, double* out, long n);
+void kml_sigmoid_span(const double* in, double* out, long n);
+void kml_tanh_span(const double* in, double* out, long n);
+
 // Row-wise helpers used by the softmax layer / cross-entropy loss.
 // Computes softmax of `in[0..n)` into `out[0..n)` with the max-subtraction
 // trick (never overflows).

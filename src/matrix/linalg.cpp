@@ -1,10 +1,74 @@
 #include "matrix/linalg.h"
 
+#include "portability/simd.h"
 #include "portability/threadpool.h"
 
 namespace kml::matrix {
 
 namespace {
+
+// --- SIMD seam routing -------------------------------------------------------
+//
+// double/float kernels route through portability/simd.h whenever a vector
+// tier is active. The parallel split (kMr row stripes / element chunks,
+// same par_grain policy) is unchanged, and the seam's determinism contract
+// makes every tier bit-identical to the scalar tiled path — so routing is
+// a pure speed decision, invisible to results. int and math::Fixed always
+// take the tiled scalar path.
+
+template <typename T>
+inline constexpr bool kSimdRouted = false;
+template <>
+inline constexpr bool kSimdRouted<double> = true;
+template <>
+inline constexpr bool kSimdRouted<float> = true;
+
+inline bool simd_active() {
+  return kml_simd_level() != SimdLevel::kScalar;
+}
+
+inline void simd_mm(const double* a, int lda, const double* b, int ldb,
+                    double* o, int ldo, int m, int n, int k) {
+  kml_simd_matmul_f64(a, lda, b, ldb, o, ldo, m, n, k);
+}
+inline void simd_mm(const float* a, int lda, const float* b, int ldb,
+                    float* o, int ldo, int m, int n, int k) {
+  kml_simd_matmul_f32(a, lda, b, ldb, o, ldo, m, n, k);
+}
+inline void simd_mm_bt(const double* a, int lda, const double* b, int ldb,
+                       double* o, int ldo, int m, int n, int k) {
+  kml_simd_matmul_bt_f64(a, lda, b, ldb, o, ldo, m, n, k);
+}
+inline void simd_mm_bt(const float* a, int lda, const float* b, int ldb,
+                       float* o, int ldo, int m, int n, int k) {
+  kml_simd_matmul_bt_f32(a, lda, b, ldb, o, ldo, m, n, k);
+}
+inline void simd_mm_at(const double* a, int lda, const double* b, int ldb,
+                       double* o, int ldo, int m, int n, int k) {
+  kml_simd_matmul_at_f64(a, lda, b, ldb, o, ldo, m, n, k);
+}
+inline void simd_mm_at(const float* a, int lda, const float* b, int ldb,
+                       float* o, int ldo, int m, int n, int k) {
+  kml_simd_matmul_at_f32(a, lda, b, ldb, o, ldo, m, n, k);
+}
+inline void simd_ew_add(const double* a, const double* b, double* o, long n) {
+  kml_simd_add_f64(a, b, o, n);
+}
+inline void simd_ew_add(const float* a, const float* b, float* o, long n) {
+  kml_simd_add_f32(a, b, o, n);
+}
+inline void simd_ew_sub(const double* a, const double* b, double* o, long n) {
+  kml_simd_sub_f64(a, b, o, n);
+}
+inline void simd_ew_sub(const float* a, const float* b, float* o, long n) {
+  kml_simd_sub_f32(a, b, o, n);
+}
+inline void simd_ew_mul(const double* a, const double* b, double* o, long n) {
+  kml_simd_mul_f64(a, b, o, n);
+}
+inline void simd_ew_mul(const float* a, const float* b, float* o, long n) {
+  kml_simd_mul_f32(a, b, o, n);
+}
 
 // Register-tile footprint: kMr x kNr partial sums held in locals across the
 // whole k loop. 8 x 4 measured fastest at -O2 on baseline x86-64 (SSE2):
@@ -167,6 +231,20 @@ void matmul(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   // exactly one worker with the same k-ascending tile loops.
   const long blocks = (m + kMr - 1) / kMr;
   const long block_work = static_cast<long>(kMr) * n * kdim;
+  if constexpr (kSimdRouted<T>) {
+    if (simd_active()) {
+      parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
+        FpuGuard<T> wguard;
+        const int i0 = static_cast<int>(b0) * kMr;
+        const long hi = b1 * kMr;
+        const int i1 = hi < m ? static_cast<int>(hi) : m;
+        simd_mm(a.data() + static_cast<std::size_t>(i0) * lda, lda, b.data(),
+                ldb, out.data() + static_cast<std::size_t>(i0) * ldo, ldo,
+                i1 - i0, n, kdim);
+      });
+      return;
+    }
+  }
   parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
     FpuGuard<T> wguard;
     for (long bi = b0; bi < b1; ++bi) {
@@ -201,6 +279,21 @@ void matmul_bt(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   const int ldo = out.cols();
   const long blocks = (m + kMr - 1) / kMr;
   const long block_work = static_cast<long>(kMr) * n * kdim;
+  if constexpr (kSimdRouted<T>) {
+    if (simd_active()) {
+      parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
+        FpuGuard<T> wguard;
+        const int i0 = static_cast<int>(b0) * kMr;
+        const long hi = b1 * kMr;
+        const int i1 = hi < m ? static_cast<int>(hi) : m;
+        simd_mm_bt(a.data() + static_cast<std::size_t>(i0) * lda, lda,
+                   b.data(), ldb,
+                   out.data() + static_cast<std::size_t>(i0) * ldo, ldo,
+                   i1 - i0, n, kdim);
+      });
+      return;
+    }
+  }
   parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
     FpuGuard<T> wguard;
     for (long bi = b0; bi < b1; ++bi) {
@@ -236,6 +329,21 @@ void matmul_at(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   const int ldo = out.cols();
   const long blocks = (m + kMr - 1) / kMr;
   const long block_work = static_cast<long>(kMr) * n * kdim;
+  if constexpr (kSimdRouted<T>) {
+    if (simd_active()) {
+      parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
+        FpuGuard<T> wguard;
+        const int i0 = static_cast<int>(b0) * kMr;
+        const long hi = b1 * kMr;
+        const int i1 = hi < m ? static_cast<int>(hi) : m;
+        // The stripe offsets a by i0 COLUMNS (out-row i reads a's column i).
+        simd_mm_at(a.data() + i0, lda, b.data(), ldb,
+                   out.data() + static_cast<std::size_t>(i0) * ldo, ldo,
+                   i1 - i0, n, kdim);
+      });
+      return;
+    }
+  }
   parallel_for(blocks, par_grain(block_work), [&](long b0, long b1, int) {
     FpuGuard<T> wguard;
     for (long bi = b0; bi < b1; ++bi) {
@@ -318,6 +426,13 @@ void add(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   parallel_for(static_cast<long>(a.size()), par_grain(1),
                [&](long i0, long i1, int) {
                  FpuGuard<T> wguard;
+                 if constexpr (kSimdRouted<T>) {
+                   if (simd_active()) {
+                     simd_ew_add(a.data() + i0, b.data() + i0,
+                                 out.data() + i0, i1 - i0);
+                     return;
+                   }
+                 }
                  for (long i = i0; i < i1; ++i) {
                    out.data()[i] = a.data()[i] + b.data()[i];
                  }
@@ -331,6 +446,13 @@ void sub(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   parallel_for(static_cast<long>(a.size()), par_grain(1),
                [&](long i0, long i1, int) {
                  FpuGuard<T> wguard;
+                 if constexpr (kSimdRouted<T>) {
+                   if (simd_active()) {
+                     simd_ew_sub(a.data() + i0, b.data() + i0,
+                                 out.data() + i0, i1 - i0);
+                     return;
+                   }
+                 }
                  for (long i = i0; i < i1; ++i) {
                    out.data()[i] = a.data()[i] - b.data()[i];
                  }
@@ -344,6 +466,13 @@ void hadamard(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
   parallel_for(static_cast<long>(a.size()), par_grain(1),
                [&](long i0, long i1, int) {
                  FpuGuard<T> wguard;
+                 if constexpr (kSimdRouted<T>) {
+                   if (simd_active()) {
+                     simd_ew_mul(a.data() + i0, b.data() + i0,
+                                 out.data() + i0, i1 - i0);
+                     return;
+                   }
+                 }
                  for (long i = i0; i < i1; ++i) {
                    out.data()[i] = a.data()[i] * b.data()[i];
                  }
@@ -356,6 +485,11 @@ void axpy(double alpha, const MatD& b, MatD& a) {
   parallel_for(static_cast<long>(a.size()), par_grain(1),
                [&](long i0, long i1, int) {
                  FpuGuard<double> wguard;
+                 if (simd_active()) {
+                   kml_simd_axpy_f64(alpha, b.data() + i0, a.data() + i0,
+                                     i1 - i0);
+                   return;
+                 }
                  for (long i = i0; i < i1; ++i) {
                    a.data()[i] += alpha * b.data()[i];
                  }
@@ -378,6 +512,10 @@ void scale(MatD& m, double alpha) {
   parallel_for(static_cast<long>(m.size()), par_grain(1),
                [&](long i0, long i1, int) {
                  FpuGuard<double> wguard;
+                 if (simd_active()) {
+                   kml_simd_scale_f64(m.data() + i0, alpha, i1 - i0);
+                   return;
+                 }
                  for (long i = i0; i < i1; ++i) m.data()[i] *= alpha;
                });
 }
@@ -387,6 +525,13 @@ void add_bias_row(MatD& a, const MatD& bias) {
   FpuGuard<double> guard;
   parallel_for(a.rows(), par_grain(a.cols()), [&](long r0, long r1, int) {
     FpuGuard<double> wguard;
+    if (simd_active()) {
+      for (long i = r0; i < r1; ++i) {
+        double* arow = a.row(static_cast<int>(i));
+        kml_simd_add_f64(arow, bias.row(0), arow, a.cols());
+      }
+      return;
+    }
     for (long i = r0; i < r1; ++i) {
       double* arow = a.row(static_cast<int>(i));
       for (int j = 0; j < a.cols(); ++j) arow[j] += bias.at(0, j);

@@ -14,9 +14,8 @@ void Sigmoid::forward_into(const matrix::MatD& in, matrix::MatD& out) {
   out.ensure_shape(in.rows(), in.cols());
   {
     matrix::FpuGuard<double> guard;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      out.data()[i] = math::kml_sigmoid(in.data()[i]);
-    }
+    math::kml_sigmoid_span(in.data(), out.data(),
+                           static_cast<long>(in.size()));
   }
   // sigmoid' = y*(1-y) needs the output; eval mode skips the cache.
   if (training_) cached_out_.copy_from(out);
@@ -43,9 +42,8 @@ void Sigmoid::forward_slice(const matrix::MatD& in, matrix::MatD& out,
   out.ensure_shape(in.rows(), in.cols());
   {
     matrix::FpuGuard<double> guard;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      out.data()[i] = math::kml_sigmoid(in.data()[i]);
-    }
+    math::kml_sigmoid_span(in.data(), out.data(),
+                           static_cast<long>(in.size()));
   }
   ctx.cache.copy_from(out);
 }
@@ -123,9 +121,8 @@ void Tanh::forward_into(const matrix::MatD& in, matrix::MatD& out) {
   out.ensure_shape(in.rows(), in.cols());
   {
     matrix::FpuGuard<double> guard;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      out.data()[i] = math::kml_tanh(in.data()[i]);
-    }
+    math::kml_tanh_span(in.data(), out.data(),
+                        static_cast<long>(in.size()));
   }
   if (training_) cached_out_.copy_from(out);
 }
@@ -151,9 +148,8 @@ void Tanh::forward_slice(const matrix::MatD& in, matrix::MatD& out,
   out.ensure_shape(in.rows(), in.cols());
   {
     matrix::FpuGuard<double> guard;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      out.data()[i] = math::kml_tanh(in.data()[i]);
-    }
+    math::kml_tanh_span(in.data(), out.data(),
+                        static_cast<long>(in.size()));
   }
   ctx.cache.copy_from(out);
 }

@@ -1,0 +1,292 @@
+// simd_vec.inl.h — tier-generic vector kernel bodies, included ONLY by the
+// per-ISA translation units (simd_sse2.cpp, simd_avx2.cpp). Each TU supplies
+// a traits class wrapping its intrinsics; this file contains no intrinsics
+// itself, so the kernel logic — and with it the bit-identity reasoning — is
+// written exactly once.
+//
+// Bit-identity recap (see simd.h): lanes map to independent OUTPUT elements.
+// Per element the operation sequence is exactly the scalar reference's —
+// k ascending, multiply then add, no FMA — so IEEE determinism per lane
+// makes every tier produce the scalar bits.
+//
+// Traits contract (V = double traits, full surface; float traits need only
+// the arithmetic subset used by the matmul/elementwise bodies):
+//   using Elem, Reg;  static constexpr int kLanes;  kFullMask
+//   load/store (unaligned), set1, zero, add, sub, mul, div
+//   gather_rows(p, stride): lane l <- p[l*stride]
+//   cmp_ord(x): lane mask, true where x is not NaN
+//   cmp_ge/cmp_le/cmp_lt(a, b), and_(a, b), movemask, blendv(a, b, m)
+//   abs(x), neg(x): sign-bit clear / flip (exact, matches scalar negate)
+//   neg_where(x, m): flip sign where mask
+//   trunc_i32(x) -> I: per-lane static_cast<int> (truncate toward zero)
+//   i32_to_f64(I) -> Reg
+//   pow2k(I k) -> Reg: bit-construct 2^k ((k+1023) << 52), normal range only
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "portability/simd_internal.h"
+
+namespace kml::simd_detail {
+
+// --- matmul family -----------------------------------------------------------
+
+// out(m x n) = a(m x k) * b(k x n). Lanes run across output columns j; for
+// each k the a-element is broadcast and a contiguous b-row chunk is loaded.
+// Two accumulators in the main loop hide the add latency; the column tail
+// runs the scalar dot in the same k order.
+template <class V>
+void matmul_body(const typename V::Elem* a, int lda,
+                 const typename V::Elem* b, int ldb, typename V::Elem* out,
+                 int ldo, int m, int n, int k) {
+  using T = typename V::Elem;
+  constexpr int L = V::kLanes;
+  for (int i = 0; i < m; ++i) {
+    const T* arow = a + static_cast<std::size_t>(i) * lda;
+    T* orow = out + static_cast<std::size_t>(i) * ldo;
+    int j = 0;
+    for (; j + 2 * L <= n; j += 2 * L) {
+      auto acc0 = V::zero();
+      auto acc1 = V::zero();
+      for (int kk = 0; kk < k; ++kk) {
+        const auto va = V::set1(arow[kk]);
+        const T* brow = b + static_cast<std::size_t>(kk) * ldb + j;
+        acc0 = V::add(acc0, V::mul(va, V::load(brow)));
+        acc1 = V::add(acc1, V::mul(va, V::load(brow + L)));
+      }
+      V::store(orow + j, acc0);
+      V::store(orow + j + L, acc1);
+    }
+    for (; j + L <= n; j += L) {
+      auto acc = V::zero();
+      for (int kk = 0; kk < k; ++kk) {
+        const T* brow = b + static_cast<std::size_t>(kk) * ldb + j;
+        acc = V::add(acc, V::mul(V::set1(arow[kk]), V::load(brow)));
+      }
+      V::store(orow + j, acc);
+    }
+    for (; j < n; ++j) {
+      T acc{};
+      for (int kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * b[static_cast<std::size_t>(kk) * ldb + j];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+// out(m x n) = a(k x m)^T * b(k x n): identical to matmul_body except the
+// broadcast element walks a's column i (stride lda).
+template <class V>
+void matmul_at_body(const typename V::Elem* a, int lda,
+                    const typename V::Elem* b, int ldb, typename V::Elem* out,
+                    int ldo, int m, int n, int k) {
+  using T = typename V::Elem;
+  constexpr int L = V::kLanes;
+  for (int i = 0; i < m; ++i) {
+    const T* acol = a + i;
+    T* orow = out + static_cast<std::size_t>(i) * ldo;
+    int j = 0;
+    for (; j + 2 * L <= n; j += 2 * L) {
+      auto acc0 = V::zero();
+      auto acc1 = V::zero();
+      for (int kk = 0; kk < k; ++kk) {
+        const auto va = V::set1(acol[static_cast<std::size_t>(kk) * lda]);
+        const T* brow = b + static_cast<std::size_t>(kk) * ldb + j;
+        acc0 = V::add(acc0, V::mul(va, V::load(brow)));
+        acc1 = V::add(acc1, V::mul(va, V::load(brow + L)));
+      }
+      V::store(orow + j, acc0);
+      V::store(orow + j + L, acc1);
+    }
+    for (; j + L <= n; j += L) {
+      auto acc = V::zero();
+      for (int kk = 0; kk < k; ++kk) {
+        const auto va = V::set1(acol[static_cast<std::size_t>(kk) * lda]);
+        acc = V::add(acc, V::mul(va, V::load(b + static_cast<std::size_t>(kk) *
+                                                     ldb + j)));
+      }
+      V::store(orow + j, acc);
+    }
+    for (; j < n; ++j) {
+      T acc{};
+      for (int kk = 0; kk < k; ++kk) {
+        acc += acol[static_cast<std::size_t>(kk) * lda] *
+               b[static_cast<std::size_t>(kk) * ldb + j];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+// out(m x n) = a(m x k) * b(n x k)^T. Both operands are row-contiguous along
+// k, so lanes across j need strided loads of b (one element from each of L
+// consecutive b rows). The gather costs more per k than matmul_body's
+// contiguous load, but keeps the k-ascending per-element order — the price
+// of determinism, and still far ahead of scalar.
+template <class V>
+void matmul_bt_body(const typename V::Elem* a, int lda,
+                    const typename V::Elem* b, int ldb, typename V::Elem* out,
+                    int ldo, int m, int n, int k) {
+  using T = typename V::Elem;
+  constexpr int L = V::kLanes;
+  for (int i = 0; i < m; ++i) {
+    const T* arow = a + static_cast<std::size_t>(i) * lda;
+    T* orow = out + static_cast<std::size_t>(i) * ldo;
+    int j = 0;
+    for (; j + L <= n; j += L) {
+      const T* btile = b + static_cast<std::size_t>(j) * ldb;
+      auto acc = V::zero();
+      for (int kk = 0; kk < k; ++kk) {
+        const auto vb = V::gather_rows(btile + kk, ldb);
+        acc = V::add(acc, V::mul(V::set1(arow[kk]), vb));
+      }
+      V::store(orow + j, acc);
+    }
+    for (; j < n; ++j) {
+      const T* brow = b + static_cast<std::size_t>(j) * ldb;
+      T acc{};
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+}
+
+// --- elementwise -------------------------------------------------------------
+
+enum class EwOp { kAdd, kSub, kMul };
+
+template <class V, EwOp Op>
+void elementwise_body(const typename V::Elem* a, const typename V::Elem* b,
+                      typename V::Elem* out, long n) {
+  constexpr int L = V::kLanes;
+  long i = 0;
+  for (; i + L <= n; i += L) {
+    const auto va = V::load(a + i);
+    const auto vb = V::load(b + i);
+    if constexpr (Op == EwOp::kAdd) V::store(out + i, V::add(va, vb));
+    if constexpr (Op == EwOp::kSub) V::store(out + i, V::sub(va, vb));
+    if constexpr (Op == EwOp::kMul) V::store(out + i, V::mul(va, vb));
+  }
+  for (; i < n; ++i) {
+    if constexpr (Op == EwOp::kAdd) out[i] = a[i] + b[i];
+    if constexpr (Op == EwOp::kSub) out[i] = a[i] - b[i];
+    if constexpr (Op == EwOp::kMul) out[i] = a[i] * b[i];
+  }
+}
+
+template <class V>
+void axpy_body(double alpha, const double* b, double* a, long n) {
+  constexpr int L = V::kLanes;
+  const auto valpha = V::set1(alpha);
+  long i = 0;
+  for (; i + L <= n; i += L) {
+    V::store(a + i, V::add(V::load(a + i), V::mul(valpha, V::load(b + i))));
+  }
+  for (; i < n; ++i) a[i] += alpha * b[i];
+}
+
+template <class V>
+void scale_body(double* a, double alpha, long n) {
+  constexpr int L = V::kLanes;
+  const auto valpha = V::set1(alpha);
+  long i = 0;
+  for (; i + L <= n; i += L) {
+    V::store(a + i, V::mul(V::load(a + i), valpha));
+  }
+  for (; i < n; ++i) a[i] *= alpha;
+}
+
+// --- transcendental spans ----------------------------------------------------
+
+// Vector core of math::kml_exp for lanes already known finite with
+// |x| <= kExpVecMax. Reproduces the scalar algorithm op for op:
+//   k = trunc(x*inv_ln2 + (x >= 0 ? 0.5 : -0.5));  r = x - k*ln2;
+//   degree-9 Horner in r; result = p * 2^k (bit-constructed exponent).
+template <class V>
+inline typename V::Reg exp_core(typename V::Reg x) {
+  const auto bias =
+      V::blendv(V::set1(-0.5), V::set1(0.5), V::cmp_ge(x, V::zero()));
+  const auto k32 = V::trunc_i32(V::add(V::mul(x, V::set1(kInvLn2)), bias));
+  const auto r = V::sub(x, V::mul(V::i32_to_f64(k32), V::set1(kLn2)));
+  auto p = V::set1(kExpPoly[0]);
+  for (int c = 1; c < 10; ++c) p = V::add(V::mul(p, r), V::set1(kExpPoly[c]));
+  return V::mul(p, V::pow2k(k32));
+}
+
+// A chunk takes the vector path only when EVERY lane is in-domain;
+// otherwise the whole chunk goes through the scalar fallback (keeps the
+// control flow trivial — mixed chunks are rare in activation workloads).
+template <class V>
+inline bool all_within(typename V::Reg x, double bound) {
+  const auto ok =
+      V::and_(V::cmp_ord(x), V::cmp_le(V::abs(x), V::set1(bound)));
+  return V::movemask(ok) == V::kFullMask;
+}
+
+template <class V>
+void exp_span_body(const double* in, double* out, long n,
+                   KmlScalarFn fallback) {
+  constexpr int L = V::kLanes;
+  long i = 0;
+  for (; i + L <= n; i += L) {
+    const auto x = V::load(in + i);
+    if (!all_within<V>(x, kExpVecMax)) {
+      for (int l = 0; l < L; ++l) out[i + l] = fallback(in[i + l]);
+      continue;
+    }
+    V::store(out + i, exp_core<V>(x));
+  }
+  for (; i < n; ++i) out[i] = fallback(in[i]);
+}
+
+// sigmoid(x): scalar computes z = exp(-x) for x >= 0 and z = exp(x) for
+// x < 0 — both equal exp(-|x|), and -|x| is a pure sign-bit op, so the
+// vector z is the scalar z bitwise. Both quotients are formed and the
+// x >= 0 lane mask selects, reproducing the scalar branch per lane.
+template <class V>
+void sigmoid_span_body(const double* in, double* out, long n,
+                       KmlScalarFn fallback) {
+  constexpr int L = V::kLanes;
+  const auto one = V::set1(1.0);
+  long i = 0;
+  for (; i + L <= n; i += L) {
+    const auto x = V::load(in + i);
+    if (!all_within<V>(x, kExpVecMax)) {
+      for (int l = 0; l < L; ++l) out[i + l] = fallback(in[i + l]);
+      continue;
+    }
+    const auto z = exp_core<V>(V::neg(V::abs(x)));
+    const auto denom = V::add(one, z);
+    const auto res = V::blendv(V::div(z, denom), V::div(one, denom),
+                               V::cmp_ge(x, V::zero()));
+    V::store(out + i, res);
+  }
+  for (; i < n; ++i) out[i] = fallback(in[i]);
+}
+
+// tanh(x) = sign(x) * (1 - z) / (1 + z), z = exp(-2|x|). The vector path
+// covers |x| <= 20; the scalar fallback owns the ±1 saturation tails and
+// NaN, exactly as in math::kml_tanh.
+template <class V>
+void tanh_span_body(const double* in, double* out, long n,
+                    KmlScalarFn fallback) {
+  constexpr int L = V::kLanes;
+  const auto one = V::set1(1.0);
+  const auto minus_two = V::set1(-2.0);
+  long i = 0;
+  for (; i + L <= n; i += L) {
+    const auto x = V::load(in + i);
+    if (!all_within<V>(x, kTanhVecMax)) {
+      for (int l = 0; l < L; ++l) out[i + l] = fallback(in[i + l]);
+      continue;
+    }
+    const auto z = exp_core<V>(V::mul(minus_two, V::abs(x)));
+    const auto t = V::div(V::sub(one, z), V::add(one, z));
+    V::store(out + i, V::neg_where(t, V::cmp_lt(x, V::zero())));
+  }
+  for (; i < n; ++i) out[i] = fallback(in[i]);
+}
+
+}  // namespace kml::simd_detail

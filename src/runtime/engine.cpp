@@ -138,6 +138,36 @@ int Engine::infer_batch_scores(const double* features, int n, int count,
   return infer_batch_impl(features, n, count, classes_out, scores_out);
 }
 
+void Engine::attach_quantized(nn::QuantizedNetwork q) {
+  if (q.mode() != nn::QuantMode::kInt8 || q.num_layers() == 0) {
+    quantized_.reset();
+    return;
+  }
+  quantized_ = std::make_unique<nn::QuantizedNetwork>(std::move(q));
+  int8_fallback_logged_ = false;
+}
+
+int Engine::infer_batch_scores_int8(const double* features, int n, int count,
+                                    double* scores_out, int* classes_out) {
+  if (quantized_ == nullptr) {
+    if (!int8_fallback_logged_) {
+      int8_fallback_logged_ = true;
+      KML_WARN("Engine::infer_batch_scores_int8: no int8 network attached; "
+               "serving through the float path");
+    }
+    return infer_batch_scores(features, n, count, scores_out, classes_out);
+  }
+  const std::uint64_t start = kml_now_ns();
+  const int done =
+      quantized_->infer_batch_scores(features, n, count, scores_out,
+                                     classes_out);
+  if (done > 0) {
+    stats_.inferences += static_cast<std::uint64_t>(done);
+    stats_.inference_ns_total += kml_now_ns() - start;
+  }
+  return done;
+}
+
 int Engine::infer_batch_impl(const double* features, int n, int count,
                              int* classes_out, double* scores_out) {
   assert(mode_ == Mode::kInference);

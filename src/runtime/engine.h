@@ -9,11 +9,13 @@
 #pragma once
 
 #include "nn/network.h"
+#include "nn/quantized.h"
 #include "nn/serialize.h"
 #include "runtime/health.h"
 #include "runtime/workspace.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace kml::runtime {
@@ -81,6 +83,24 @@ class Engine {
   // zero-allocation steady state as infer_batch.
   int infer_batch_scores(const double* features, int n, int count,
                          double* scores_out, int* classes_out);
+
+  // Attach an int8-quantized copy of the model for the fast serving path.
+  // The engine takes ownership; pass a default-constructed network (or a
+  // kFixed16 one) to detach. The quantized copy is a *serving artifact* of
+  // the float network — retraining the float weights does not refresh it;
+  // re-quantize and re-attach after a weight update.
+  void attach_quantized(nn::QuantizedNetwork q);
+  bool has_quantized() const { return quantized_ != nullptr; }
+  const nn::QuantizedNetwork* quantized() const { return quantized_.get(); }
+
+  // infer_batch_scores through the attached int8 network. Same shape and
+  // return contract as infer_batch_scores; counts toward the same
+  // inference stats. Falls back to the float path (with a one-shot warning)
+  // when no int8 network is attached. Unlike the float path it skips drift
+  // tracking and observe histograms — it is the minimal-overhead serving
+  // fast path; callers that want drift accounting use the float path.
+  int infer_batch_scores_int8(const double* features, int n, int count,
+                              double* scores_out, int* classes_out);
 
   // Output width of the model (classes for a classifier); 0 when the
   // network has no shaped layers.
@@ -181,6 +201,9 @@ class Engine {
   std::vector<int> param_layer_;
   int trainable_layers_ = 0;
   data::DriftTracker drift_;
+  // Optional int8 serving copy (attach_quantized); null until attached.
+  std::unique_ptr<nn::QuantizedNetwork> quantized_;
+  bool int8_fallback_logged_ = false;
 };
 
 }  // namespace kml::runtime

@@ -15,6 +15,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -34,13 +35,18 @@ fs::path find_repo_root() {
   return {};
 }
 
-// Minimal parser for the bench::JsonReport format — one flat object of
-// string-keyed numeric fields. Returns false (with a reason) on anything
-// that shape does not allow; deliberately strict so format drift fails
-// loudly here instead of in the diff tooling.
+// Minimal parser for the bench::JsonReport format — one flat object whose
+// values are numbers, `null` (a measurement skipped on this host, e.g. the
+// 4-thread speedup cell on a 1-CPU box), or simple strings (skip reasons,
+// tier names). Numbers land in `out`; null/string fields are validated and
+// recorded in `skipped`/`strings`. Returns false (with a reason) on
+// anything that shape does not allow; deliberately strict so format drift
+// fails loudly here instead of in the diff tooling.
 bool parse_flat_json(const std::string& text,
                      std::map<std::string, double>* out,
-                     std::string* reason) {
+                     std::string* reason,
+                     std::map<std::string, std::string>* strings = nullptr,
+                     std::set<std::string>* skipped = nullptr) {
   std::size_t i = 0;
   const auto skip_ws = [&] {
     while (i < text.size() &&
@@ -77,14 +83,29 @@ bool parse_flat_json(const std::string& text,
     }
     ++i;
     skip_ws();
-    char* end = nullptr;
-    const double value = std::strtod(text.c_str() + i, &end);
-    if (end == text.c_str() + i) {
-      *reason = "non-numeric value for key " + key;
-      return false;
+    if (text.compare(i, 4, "null") == 0) {
+      if (skipped != nullptr) skipped->insert(key);
+      i += 4;
+    } else if (i < text.size() && text[i] == '"') {
+      const std::size_t vend = text.find('"', i + 1);
+      if (vend == std::string::npos) {
+        *reason = "unterminated string value for key " + key;
+        return false;
+      }
+      if (strings != nullptr) {
+        (*strings)[key] = text.substr(i + 1, vend - i - 1);
+      }
+      i = vend + 1;
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str() + i, &end);
+      if (end == text.c_str() + i) {
+        *reason = "invalid value for key " + key;
+        return false;
+      }
+      (*out)[key] = value;
+      i = static_cast<std::size_t>(end - text.c_str());
     }
-    (*out)[key] = value;
-    i = static_cast<std::size_t>(end - text.c_str());
     skip_ws();
     if (i < text.size() && text[i] == ',') {
       ++i;
@@ -130,12 +151,36 @@ TEST(BenchJson, ParserRejectsMalformedDocuments) {
   std::string reason;
   EXPECT_FALSE(parse_flat_json("", &fields, &reason));
   EXPECT_FALSE(parse_flat_json("{\"a\": }", &fields, &reason));
-  EXPECT_FALSE(parse_flat_json("{\"a\": \"str\"}", &fields, &reason));
+  EXPECT_FALSE(parse_flat_json("{\"a\": \"str}", &fields, &reason));
   EXPECT_FALSE(parse_flat_json("{\"a\": 1 \"b\": 2}", &fields, &reason));
+  EXPECT_FALSE(parse_flat_json("{\"a\": nul}", &fields, &reason));
   EXPECT_TRUE(parse_flat_json("{\n  \"a\": 1.5,\n  \"b\": -2\n}\n", &fields,
                               &reason));
   EXPECT_DOUBLE_EQ(fields["a"], 1.5);
   EXPECT_DOUBLE_EQ(fields["b"], -2.0);
+}
+
+TEST(BenchJson, ParserAcceptsSkippedCellsAndStrings) {
+  // The shape bench_overheads emits on a 1-CPU host: the thread-scaling
+  // speedup is null (not a made-up 0.98x) plus a reason string.
+  std::map<std::string, double> fields;
+  std::map<std::string, std::string> strings;
+  std::set<std::string> skipped;
+  std::string reason;
+  ASSERT_TRUE(parse_flat_json(
+      "{\n"
+      "  \"cpus\": 1.000000,\n"
+      "  \"batch_infer_speedup_4v1\": null,\n"
+      "  \"batch_infer_speedup_4v1_skip_reason\": \"1 cpu < 4 threads\",\n"
+      "  \"inference_ns\": 250.5\n"
+      "}\n",
+      &fields, &reason, &strings, &skipped));
+  EXPECT_DOUBLE_EQ(fields["cpus"], 1.0);
+  EXPECT_DOUBLE_EQ(fields["inference_ns"], 250.5);
+  EXPECT_EQ(fields.count("batch_infer_speedup_4v1"), 0u);
+  EXPECT_EQ(skipped.count("batch_infer_speedup_4v1"), 1u);
+  EXPECT_EQ(strings["batch_infer_speedup_4v1_skip_reason"],
+            "1 cpu < 4 threads");
 }
 
 }  // namespace

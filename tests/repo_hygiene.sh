@@ -38,6 +38,23 @@ if [ -n "$thread_offenders" ]; then
   exit 1
 fi
 
+# Raw SIMD intrinsics live only behind the portability seam
+# (src/portability/simd_*.cpp): everywhere else uses the dispatched
+# kml_simd_* kernels, so a non-x86 port or a KML_SIMD=OFF build never
+# chases intrinsics through the tree. Any intrinsics header counts —
+# <immintrin.h> pulls in everything on x86, and the narrower headers
+# (emmintrin/xmmintrin/x86intrin) or <arm_neon.h> are the same leak.
+simd_offenders=$(git ls-files src tests bench tools | grep -E '\.(cpp|h)$' |
+  grep -v '^src/portability/' |
+  xargs grep -l -E '#include[ ]*<(immintrin|emmintrin|xmmintrin|x86intrin|arm_neon)\.h>' \
+    2>/dev/null)
+if [ -n "$simd_offenders" ]; then
+  echo "repo_hygiene: raw SIMD intrinsics outside src/portability/:"
+  echo "$simd_offenders" | head -20
+  echo "repo_hygiene: route through the kml_simd_* kernels (portability/simd.h)"
+  exit 1
+fi
+
 # kml::observe is the record-path layer and must stay FPU-free: kernel
 # record paths cannot touch floating point (no kernel_fpu_begin on a trace
 # hook). Producers above the FPU line (runtime/nn/data) convert to
