@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,9 +61,33 @@ class JsonReport {
   bool write_file(const char* path) const {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) return false;
+    // Provenance stamp, first in every artifact so the perf trajectory is
+    // attributable across PRs: which commit built the binary (KML_GIT_SHA
+    // is baked at CMake configure time — for artifacts regenerated before
+    // committing, that is the parent of the commit that ships them), which
+    // build type produced the numbers, and when the run happened (UTC
+    // wall clock; the only place the bench suite touches calendar time).
+    std::vector<Field> all;
+    all.reserve(fields_.size() + 3);
+#ifndef KML_GIT_SHA
+#define KML_GIT_SHA "unknown"
+#endif
+#ifndef KML_BUILD_TYPE
+#define KML_BUILD_TYPE "unknown"
+#endif
+    all.push_back({"git_sha", Kind::kString, 0.0, KML_GIT_SHA});
+    all.push_back({"build_type", Kind::kString, 0.0, KML_BUILD_TYPE});
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+    all.push_back({"timestamp_utc", Kind::kString, 0.0, stamp});
+    all.insert(all.end(), fields_.begin(), fields_.end());
     std::fprintf(f, "{\n");
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      const Field& field = fields_[i];
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const Field& field = all[i];
       std::fprintf(f, "  \"%s\": ", field.key.c_str());
       switch (field.kind) {
         case Kind::kNumber:
@@ -75,7 +100,7 @@ class JsonReport {
           std::fprintf(f, "\"%s\"", field.text.c_str());
           break;
       }
-      std::fprintf(f, "%s\n", i + 1 < fields_.size() ? "," : "");
+      std::fprintf(f, "%s\n", i + 1 < all.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);

@@ -22,6 +22,7 @@
 #include "nn/quantized.h"
 #include "observe/flight_recorder.h"
 #include "observe/metrics.h"
+#include "observe/timeseries.h"
 #include "portability/kml_lib.h"
 #include "portability/simd.h"
 #include "portability/threadpool.h"
@@ -746,6 +747,116 @@ FlightOverhead report_flight_overhead() {
   return f;
 }
 
+// --- continuous-telemetry overhead (stage histograms + retention ring) --------
+
+struct TelemetryOverhead {
+  double on_ns;     // collection hot path + per-batch stage stamping, observe on
+  double off_ns;    // same code path, observe runtime-disabled
+  double delta_pct;
+  double sample_ns; // one raw timeseries_sample() (full registry walk)
+};
+
+// Prices what PR 10 added to a serving-shaped loop: per-batch stage
+// histograms (the fleet drain records queue-wait/coalesce, decide_batch
+// records infer/decide — four KML_HIST_RECORDs per batch) plus the
+// time-series poll on the maintenance cadence. The per-event path carries
+// nothing; everything telemetry-related is amortized over the batch, so
+// the on/off delta is the whole continuous-telemetry bill for this shape
+// of pipeline. Same discipline as report_flight_overhead: one untimed
+// warm-up pass per setting, then best-of-9 alternating rounds.
+TelemetryOverhead report_telemetry_overhead() {
+  constexpr std::uint64_t kIters = 4'000'000;
+  constexpr std::size_t kBatch = 256;
+  constexpr int kRounds = 9;
+
+  data::CircularBuffer<data::TraceRecord> buffer(1 << 16);
+  data::TraceRecord rec{1, 0, 0, 0};
+  data::TraceRecord sink[kBatch];
+
+  const auto time_round = [&]() {
+    std::uint64_t batch_t0 = kml_now_ns();
+    const std::uint64_t start = kml_now_ns();
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      rec.pgoff = i;
+      benchmark::DoNotOptimize(buffer.push(rec));
+      if ((i & (kBatch - 1)) == kBatch - 1) {
+        benchmark::DoNotOptimize(buffer.pop_many(sink, kBatch));
+        // The fleet pipeline's per-batch stage stamping, condensed: the
+        // spans all land in the same clock read here, which is fine — the
+        // cost being measured is the record path, not the span math.
+        const std::uint64_t now = kml_now_ns();
+        const std::uint64_t span = now - batch_t0;
+        KML_HIST_RECORD(observe::kMetricFleetStageQueueWaitNs, span);
+        KML_HIST_RECORD(observe::kMetricFleetStageCoalesceNs, span);
+        KML_HIST_RECORD(observe::kMetricFleetStageInferNs, span);
+        KML_HIST_RECORD(observe::kMetricFleetStageDecideNs, span);
+        observe::timeseries_poll(now);
+        batch_t0 = now;
+      }
+    }
+    return kml_now_ns() - start;
+  };
+
+  const bool was_enabled = observe::enabled();
+  // A short tick so the poll actually samples during the timed rounds
+  // instead of fast-pathing every call (1 ms ≈ thousands of samples per
+  // round — the sampler must be cheap enough to disappear regardless).
+  const std::uint64_t restore_tick = observe::timeseries_tick_ns();
+  observe::timeseries_set_tick_ns(1'000'000);
+  observe::set_enabled(true);
+  time_round();  // warm-up, recording
+  observe::set_enabled(false);
+  time_round();  // warm-up, disabled
+  std::uint64_t best_on = ~0ULL;
+  std::uint64_t best_off = ~0ULL;
+  for (int r = 0; r < kRounds; ++r) {
+    observe::set_enabled(true);
+    const std::uint64_t on = time_round();
+    observe::set_enabled(false);
+    const std::uint64_t off = time_round();
+    if (on < best_on) best_on = on;
+    if (off < best_off) best_off = off;
+  }
+
+  // Raw cost of one retention sample: a full registry walk (every counter,
+  // gauge, and histogram bucket) under the ring's spinlock. This is the
+  // per-tick maintenance cost a host pays once per second by default.
+  observe::set_enabled(true);
+  constexpr int kSamples = 2'000;
+  std::uint64_t best_sample = ~0ULL;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t start = kml_now_ns();
+    for (int i = 0; i < kSamples; ++i) {
+      observe::timeseries_sample(start + static_cast<std::uint64_t>(i));
+    }
+    const std::uint64_t elapsed = kml_now_ns() - start;
+    if (elapsed < best_sample) best_sample = elapsed;
+  }
+  observe::timeseries_set_tick_ns(restore_tick);
+  observe::timeseries_reset();
+  observe::set_enabled(was_enabled);
+
+  TelemetryOverhead t;
+  t.on_ns = static_cast<double>(best_on) / kIters;
+  t.off_ns = static_cast<double>(best_off) / kIters;
+  t.delta_pct =
+      t.off_ns > 0.0 ? (t.on_ns - t.off_ns) / t.off_ns * 100.0 : 0.0;
+  t.sample_ns = static_cast<double>(best_sample) / kSamples;
+  std::printf("\n--- continuous-telemetry overhead (stage histograms + "
+              "retention ring) ---\n");
+#if KML_OBSERVE_ENABLED
+  std::printf("telemetry on:  %.2f ns/op\n", t.on_ns);
+  std::printf("telemetry off: %.2f ns/op\n", t.off_ns);
+  std::printf("delta:         %+.2f%% (target: < 5%%) [%s]\n", t.delta_pct,
+              t.delta_pct < 5.0 ? "PASS" : "FAIL");
+  std::printf("raw timeseries_sample: %.0f ns/sample\n", t.sample_ns);
+#else
+  std::printf("compiled out (KML_OBSERVE=OFF): %.2f ns/op either way\n",
+              t.on_ns);
+#endif
+  return t;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -763,6 +874,7 @@ int main(int argc, char** argv) {
   const BatchScaling batch = report_batch_thread_scaling();
   if (!json) report_observe_overhead();
   const FlightOverhead flight = report_flight_overhead();
+  const TelemetryOverhead telemetry = report_telemetry_overhead();
 
   if (json) {
     bench::JsonReport report;
@@ -817,6 +929,10 @@ int main(int argc, char** argv) {
     report.add("flight_off_ns_per_op", flight.off_ns);
     report.add("flight_delta_pct", flight.delta_pct);
     report.add("flight_event_ns", flight.event_ns);
+    report.add("telemetry_on_ns_per_op", telemetry.on_ns);
+    report.add("telemetry_off_ns_per_op", telemetry.off_ns);
+    report.add("telemetry_delta_pct", telemetry.delta_pct);
+    report.add("timeseries_sample_ns", telemetry.sample_ns);
     const std::string path = bench::json_artifact_path("BENCH_overheads.json");
     if (report.write_file(path.c_str())) {
       std::printf("\nwrote %s\n", path.c_str());

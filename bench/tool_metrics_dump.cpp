@@ -6,11 +6,18 @@
 // file would render. Every number printed was recorded on the instrumented
 // hot seams while the run was live; nothing is recomputed afterwards.
 //
-// Usage: tool_metrics_dump [eval-seconds] [--json]
+// Usage: tool_metrics_dump [eval-seconds] [--json|--prom]
+//
+// --prom renders the registry in Prometheus text exposition format via
+// kml_metrics_prom — the exact bytes a /metrics scrape endpoint would
+// serve. The run also drives the time-series retention ring (one sample
+// per virtual second of the closed loop), so the sampler's cost shows up
+// in the dump like every other instrumented seam.
 #include "bench_common.h"
 
 #include "capi/kml_api.h"
 #include "observe/metrics.h"
+#include "portability/kml_lib.h"
 #include "runtime/engine.h"
 #include "runtime/training_thread.h"
 
@@ -42,9 +49,12 @@ void count_records(void* user, const data::TraceRecord*, std::size_t n) {
 int main(int argc, char** argv) {
   std::uint64_t eval_seconds = 4;
   bool json = false;
+  bool prom = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      prom = true;
     } else {
       const std::uint64_t s = std::strtoull(argv[i], nullptr, 10);
       if (s > 0) eval_seconds = s;
@@ -75,13 +85,15 @@ int main(int argc, char** argv) {
 
   readahead::TunerConfig tuner_config;
   tuner_config.health = &monitor;
-  if (!json) {
+  if (!json && !prom) {
     std::printf("running closed loop (%llu virtual seconds, readrandom)...\n",
                 static_cast<unsigned long long>(eval_seconds));
   }
+  kml_timeseries_sample(kml_now_ns());  // baseline tick before the run
   const readahead::EvalOutcome outcome = readahead::evaluate_closed_loop(
       config, workloads::WorkloadType::kReadRandom, predictor, tuner_config,
       eval_seconds);
+  kml_timeseries_sample(kml_now_ns());  // the run's deltas become window 1
 
   // Training-thread burst: trainer batches/records, batch-latency spans,
   // heartbeat + registry-sourced drop-rate polling.
@@ -92,6 +104,18 @@ int main(int argc, char** argv) {
     for (std::uint64_t i = 0; i < 20'000; ++i) {
       trainer.submit(data::TraceRecord{1, i, i, 0});
     }
+  }
+
+  if (prom) {
+    // Two-call snprintf convention: probe the size, then render exactly.
+    char probe[1];
+    const size_t need = kml_metrics_prom(probe, sizeof(probe));
+    std::vector<char> out(need + 1);
+    kml_metrics_prom(out.data(), out.size());
+    std::fputs(out.data(), stdout);
+    std::printf("# timeseries samples: %llu\n",
+                static_cast<unsigned long long>(kml_timeseries_samples()));
+    return 0;
   }
 
   char buf[1 << 16];

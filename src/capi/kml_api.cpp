@@ -7,6 +7,7 @@
 #include "observe/flight_recorder.h"
 #include "observe/introspect.h"
 #include "observe/metrics.h"
+#include "observe/timeseries.h"
 #include "portability/threadpool.h"
 #include "runtime/engine.h"
 #include "runtime/health.h"
@@ -297,6 +298,29 @@ size_t kml_metrics_export(char* buf, size_t cap, int json) {
 }
 
 void kml_metrics_reset(void) { kml::observe::reset_all(); }
+
+size_t kml_metrics_prom(char* buf, size_t cap) {
+  if (buf == nullptr || cap == 0) return 0;
+  const std::string out = kml::observe::format_prometheus();
+  const size_t n = out.size() < cap - 1 ? out.size() : cap - 1;
+  std::memcpy(buf, out.data(), n);
+  buf[n] = '\0';
+  return out.size();
+}
+
+void kml_timeseries_sample(unsigned long long now_ns) {
+  kml::observe::timeseries_sample(now_ns);
+}
+
+int kml_timeseries_poll(unsigned long long now_ns) {
+  return kml::observe::timeseries_poll(now_ns) ? 1 : 0;
+}
+
+unsigned long long kml_timeseries_samples(void) {
+  return kml::observe::timeseries_samples();
+}
+
+void kml_timeseries_reset(void) { kml::observe::timeseries_reset(); }
 
 long long kml_fleet_tenants(void) {
   return kml_metrics_gauge(kml::observe::kMetricFleetTenants);

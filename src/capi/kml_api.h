@@ -149,6 +149,30 @@ size_t kml_metrics_export(char* buf, size_t cap, int json);
 /* Zero every registered metric (registrations survive). */
 void kml_metrics_reset(void);
 
+/* Render the registry in Prometheus text exposition format 0.0.4 into
+ * `buf` (NUL-terminated, truncated if needed): "# TYPE" lines, stable
+ * "kml_"-prefixed names, counters as *_total, histograms as cumulative
+ * _bucket{le="..."}/_sum/_count series. Returns the untruncated length
+ * (snprintf convention — call with cap 1 to probe the size), or 0 on NULL
+ * buf/cap. Empty output when the observe layer is compiled out. */
+size_t kml_metrics_prom(char* buf, size_t cap);
+
+/* ---- time-series retention (telemetry v3) ---- */
+
+/* Take one sample of the whole registry into the fixed-size retention ring,
+ * stamped with the caller's clock. No-op when compiled out. */
+void kml_timeseries_sample(unsigned long long now_ns);
+
+/* Sample only if at least one tick period elapsed since the previous
+ * sample; returns 1 when a sample was taken. */
+int kml_timeseries_poll(unsigned long long now_ns);
+
+/* Samples taken since the last reset (the ring keeps the newest 32). */
+unsigned long long kml_timeseries_samples(void);
+
+/* Drop all retained samples and restart the retention clock. */
+void kml_timeseries_reset(void);
+
 /* ---- fleet serving (tenant-sharded batched inference) ---- */
 
 /* Registry-backed read-side of the fleet service (src/fleet). All return -1

@@ -2,6 +2,7 @@
 
 #include "observe/flight_recorder.h"
 #include "observe/metrics.h"
+#include "portability/kml_lib.h"
 #include "portability/log.h"
 
 #include <cstdio>
@@ -114,8 +115,14 @@ void CacheTuner::close_window() {
     return;
   }
 
+  // Per-stage attribution (telemetry v3), mirroring the readahead tuner:
+  // coalesce = feature extraction, infer = model call, decide = policy
+  // actuation. Wall clock (the tuner's own CPU cost), once per window.
+  const bool obs = observe::enabled();
+  const std::uint64_t t0 = obs ? kml_now_ns() : 0;
   const CacheFeatureVector features =
       extractor_.extract(window, stack_.cache().stats());
+  const std::uint64_t t1 = obs ? kml_now_ns() : 0;
   int cls = -1;
   if (config_.batch_predict) {
     config_.batch_predict(&features, 1, &cls);
@@ -123,6 +130,7 @@ void CacheTuner::close_window() {
     cls = predict_(features);
   }
   stack_.charge_cpu_ns(config_.inference_cpu_ns);
+  const std::uint64_t t2 = obs ? kml_now_ns() : 0;
 
   if (cls >= 0 && cls < kNumCachePhases) {
     const PolicyChoice& choice =
@@ -132,6 +140,12 @@ void CacheTuner::close_window() {
     KML_EVENT(observe::EventId::kCacheTunerDecision,
               static_cast<std::uint64_t>(cls),
               static_cast<std::uint64_t>(choice.type));
+  }
+  if (obs) {
+    observe::hist_record(observe::kMetricCacheStageCoalesceNs, t1 - t0);
+    observe::hist_record(observe::kMetricCacheStageInferNs, t2 - t1);
+    observe::hist_record(observe::kMetricCacheStageDecideNs,
+                         kml_now_ns() - t2);
   }
   point.predicted_class = cls;
   point.policy = stack_.cache().policy_type();

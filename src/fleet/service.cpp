@@ -2,6 +2,7 @@
 
 #include "observe/flight_recorder.h"
 #include "observe/metrics.h"
+#include "observe/timeseries.h"
 #include "portability/kml_lib.h"
 
 #include <algorithm>
@@ -31,6 +32,11 @@ FleetService::FleetService(runtime::Engine& engine, const FleetConfig& config)
                       data::ShardedBuffer<QueuedWindow>::kMaxShards)) {
   config_.shards = queue_.shard_count();
   if (config_.max_batch < 1) config_.max_batch = 1;
+  stage_sample_mask_ =
+      (std::uint64_t{1} << (config_.stage_sample_shift < 63
+                                ? config_.stage_sample_shift
+                                : 63)) -
+      1;
   feature_dim_ = engine_.num_features();
   classes_ = engine_.num_classes();
   if (feature_dim_ < 1 || feature_dim_ > kMaxFleetFeatures ||
@@ -123,9 +129,17 @@ std::size_t FleetService::drain(std::uint64_t now_ns) {
   if (feature_dim_ == 0) return 0;
   const std::uint64_t before = stats_.decided;
   const std::size_t chunk = pop_chunk_.size();
+  // Stage attribution (telemetry v3): queue-wait is stamped per window at
+  // pop time, the regroup walk below counts into the coalesce stage, and
+  // decide_batch splits its own work into coalesce/infer/decide. Two clock
+  // reads per chunk, all gated on one relaxed load when observe is off;
+  // the three per-window records are sampled 1-in-2^stage_sample_shift
+  // (see FleetConfig) so attribution never prices the drain itself.
+  const bool obs = observe::enabled();
   for (;;) {
     const std::size_t n = queue_.pop_many(pop_chunk_.data(), chunk);
     if (n == 0) break;
+    const std::uint64_t pop_ns = obs ? kml_now_ns() : 0;
     // Group by shard: the rings interleave tenants round-robin, so one
     // popped chunk carries every shard's traffic. Per-shard regrouping
     // keeps the ISSUE's coalescing unit — a shard's tenants share each
@@ -139,7 +153,25 @@ std::size_t FleetService::drain(std::uint64_t now_ns) {
         stats_.orphan_windows += 1;
         continue;
       }
+      if (obs && ((stage_sample_tick_++ & stage_sample_mask_) == 0)) {
+        const std::uint64_t wait =
+            pop_ns > w.enqueue_ns ? pop_ns - w.enqueue_ns : 0;
+        KML_HIST_RECORD(observe::kMetricFleetStageQueueWaitNs, wait);
+        KML_HIST_RECORD(observe::kMetricFleetQueueAgeUs, wait / 1000);
+        // Tenant-class rollup: three call sites, three cached handles.
+        if (it->second.windows >= config_.hot_tenant_windows) {
+          KML_HIST_RECORD(observe::kMetricFleetStageQueueWaitHotNs, wait);
+        } else if (it->second.windows >= config_.warm_tenant_windows) {
+          KML_HIST_RECORD(observe::kMetricFleetStageQueueWaitWarmNs, wait);
+        } else {
+          KML_HIST_RECORD(observe::kMetricFleetStageQueueWaitColdNs, wait);
+        }
+      }
       shard_staging_[shard_of(w.tenant)].push_back(w);
+    }
+    if (obs) {
+      KML_HIST_RECORD(observe::kMetricFleetStageCoalesceNs,
+                      kml_now_ns() - pop_ns);
     }
     for (auto& staged : shard_staging_) {
       std::size_t off = 0;
@@ -159,11 +191,21 @@ std::size_t FleetService::drain(std::uint64_t now_ns) {
 
 void FleetService::decide_batch(const QueuedWindow* windows, int rows,
                                 std::uint64_t now_ns) {
+  // Per-batch stage spans: feature assembly counts as coalesce, the engine
+  // call as infer, the bias/argmax/bookkeeping loop as decide. Recorded
+  // once per batch (a per-row clock read would cost more than the work it
+  // measures at 256-row batches).
+  const bool obs = observe::enabled();
+  const std::uint64_t t0 = obs ? kml_now_ns() : 0;
   for (int i = 0; i < rows; ++i) {
     std::memcpy(batch_features_.data() +
                     static_cast<std::size_t>(i) * feature_dim_,
                 windows[i].features,
                 static_cast<std::size_t>(feature_dim_) * sizeof(double));
+  }
+  const std::uint64_t t1 = obs ? kml_now_ns() : 0;
+  if (obs) {
+    KML_HIST_RECORD(observe::kMetricFleetStageCoalesceNs, t1 - t0);
   }
   const int done =
       config_.use_int8
@@ -186,6 +228,10 @@ void FleetService::decide_batch(const QueuedWindow* windows, int rows,
                 done, rows);
     }
     return;
+  }
+  const std::uint64_t t2 = obs ? kml_now_ns() : 0;
+  if (obs) {
+    KML_HIST_RECORD(observe::kMetricFleetStageInferNs, t2 - t1);
   }
   stats_.batches += 1;
   const bool adapt = config_.bias_lr > 0.0;
@@ -215,16 +261,29 @@ void FleetService::decide_batch(const QueuedWindow* windows, int rows,
       served_ += 1;
     }
     stats_.decided += 1;
-    const std::uint64_t wait =
-        now_ns > w.enqueue_ns ? now_ns - w.enqueue_ns : 0;
-    KML_HIST_RECORD(observe::kMetricFleetDecisionNs, wait);
+    // End-to-end decision latency rides the same 1-in-2^stage_sample_shift
+    // gate as the drain-side stage stamps: its only consumers (health
+    // signal (j), bench p50/p99) read percentiles, which sampling
+    // preserves, and an unsampled per-window record here was one of the
+    // largest telemetry line items on the serving path.
+    if (obs && ((stage_sample_tick_++ & stage_sample_mask_) == 0)) {
+      const std::uint64_t wait =
+          now_ns > w.enqueue_ns ? now_ns - w.enqueue_ns : 0;
+      KML_HIST_RECORD(observe::kMetricFleetDecisionNs, wait);
+    }
+  }
+  if (obs) {
+    KML_HIST_RECORD(observe::kMetricFleetStageDecideNs, kml_now_ns() - t2);
   }
   KML_COUNTER_ADD(observe::kMetricFleetWindows,
                   static_cast<std::uint64_t>(rows));
 }
 
 void FleetService::tick(std::uint64_t now_ns) {
-  (void)now_ns;
+  // The per-tick maintenance path is the fleet's real-time heartbeat, so it
+  // also drives the telemetry retention ring (one relaxed compare when a
+  // sample is not due; see timeseries.h for the clock-domain contract).
+  observe::timeseries_poll(now_ns);
   for (auto& entry : tenants_) {
     if (entry.second.active) {
       entry.second.tokens = config_.tenant_windows_per_tick;

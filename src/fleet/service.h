@@ -85,6 +85,25 @@ struct FleetConfig {
   // (j)) sheds and latches the same way.
   std::size_t overload_queue_depth = 1 << 14;
   std::uint32_t shed_batch = 64;
+  // Tenant-class rollup thresholds for per-stage latency attribution
+  // (telemetry v3): a tenant with >= hot_tenant_windows lifetime decisions
+  // is "hot", >= warm_tenant_windows "warm", else "cold". Queue-wait rolls
+  // up into three bounded class histograms — per-TENANT histograms at 10k+
+  // tenants would be unbounded cardinality, and the Zipf skew means the
+  // interesting question is "are the hot tenants aging differently from the
+  // tail", which three classes answer.
+  std::uint64_t hot_tenant_windows = 1024;
+  std::uint64_t warm_tenant_windows = 64;
+  // Per-window stage stamping is SAMPLED: 1 in 2^stage_sample_shift windows
+  // records queue-wait/queue-age/class-rollup at pop and decision latency
+  // at decide (0 = every window, for tests and low-rate deployments).
+  // Unsampled, those per-window records priced double-digit percent of a
+  // 10k-tenant drain on a 1-CPU host; at the default 1-in-8 the bill drops
+  // near the noise floor while a busy service still lands thousands of
+  // samples per second — plenty for stable percentiles, which is all the
+  // consumers (health signals, bench rows) read. Batch-level stage spans
+  // (coalesce/infer/decide) are never sampled.
+  std::uint32_t stage_sample_shift = 3;
   const runtime::HealthMonitor* health = nullptr;
   // Serve batches through the engine's attached int8 network
   // (Engine::infer_batch_scores_int8). Requires attach_quantized() on the
@@ -213,6 +232,12 @@ class FleetService {
   std::uint32_t served_ = 0;
   bool admissions_open_ = true;
   bool infer_failure_logged_ = false;
+  // Rolling window counter driving the 1-in-2^stage_sample_shift stage
+  // stamping (queue-wait at pop, decision latency at decide); counts every
+  // record-site visit so the sample is stratified across tenants
+  // regardless of chunk boundaries. Mask precomputed from the config.
+  std::uint64_t stage_sample_tick_ = 0;
+  std::uint64_t stage_sample_mask_ = 0;
   FleetStats stats_;
   // Drain/decide staging, reused across calls (allocation-free at steady
   // state, like the per-file tuner's batch staging).

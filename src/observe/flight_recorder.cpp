@@ -41,6 +41,7 @@ const char* event_name(EventId id) {
     case EventId::kFleetAdmit: return "fleet.admit";
     case EventId::kFleetShed: return "fleet.shed";
     case EventId::kFleetOverload: return "fleet.overload";
+    case EventId::kSloBurn: return "slo.burn";
     case EventId::kEventIdCount: break;
   }
   return "unknown";

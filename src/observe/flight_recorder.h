@@ -62,6 +62,7 @@ enum class EventId : std::uint16_t {
   kFleetAdmit,             // a0=tenant id, a1=active tenants after admit
   kFleetShed,              // a0=tenant id, a1=that tenant's window count
   kFleetOverload,          // a0=queue depth, a1=decision p99 (ns)
+  kSloBurn,                // a0=SLO objective index, a1=fast burn (milli)
   kEventIdCount,
 };
 

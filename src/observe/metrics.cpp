@@ -114,14 +114,45 @@ std::uint64_t registry_overflow_count() {
          histograms().overflow_hits.load(std::memory_order_relaxed);
 }
 
-std::uint64_t Histogram::percentile(unsigned pct) const {
+std::size_t counter_slots() {
+  return counters().count.load(std::memory_order_acquire);
+}
+const char* counter_slot_name(std::size_t i) {
+  if (i >= counter_slots()) return nullptr;
+  return counters().names[i];
+}
+std::uint64_t counter_slot_value(std::size_t i) {
+  if (i >= counter_slots()) return 0;
+  return counters().slots[i].value();
+}
+std::size_t gauge_slots() {
+  return gauges().count.load(std::memory_order_acquire);
+}
+const char* gauge_slot_name(std::size_t i) {
+  if (i >= gauge_slots()) return nullptr;
+  return gauges().names[i];
+}
+std::int64_t gauge_slot_value(std::size_t i) {
+  if (i >= gauge_slots()) return 0;
+  return gauges().slots[i].value();
+}
+std::size_t histogram_slots() {
+  return histograms().count.load(std::memory_order_acquire);
+}
+const char* histogram_slot_name(std::size_t i) {
+  if (i >= histogram_slots()) return nullptr;
+  return histograms().names[i];
+}
+const Histogram* histogram_slot(std::size_t i) {
+  if (i >= histogram_slots()) return nullptr;
+  return &histograms().slots[i];
+}
+
+std::uint64_t Histogram::percentile_from_counts(
+    const std::uint64_t counts[kNumBuckets], unsigned pct) {
   if (pct > 100) pct = 100;
-  std::uint64_t counts[kNumBuckets];
   std::uint64_t total = 0;
-  for (unsigned i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
+  for (unsigned i = 0; i < kNumBuckets; ++i) total += counts[i];
   if (total == 0) return 0;
   // Rank of the pct-th value, 1-based, integer ceil: rank(100) == total.
   // Clamped to >= 1 so pct=0 means "the smallest recorded value's bucket" —
@@ -135,6 +166,14 @@ std::uint64_t Histogram::percentile(unsigned pct) const {
     if (seen >= rank) return bucket_lower_bound(i);
   }
   return bucket_lower_bound(kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::percentile(unsigned pct) const {
+  std::uint64_t counts[kNumBuckets];
+  for (unsigned i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return percentile_from_counts(counts, pct);
 }
 
 void reset_all() {
@@ -206,9 +245,96 @@ MetricsSnapshot snapshot() {
   return snap;
 }
 
+namespace {
+
+// Prometheus metric name: "kml_" + registry name with every character
+// outside [a-zA-Z0-9_] mapped to '_'. Deterministic, so dashboards keyed on
+// these names survive re-registration order changes (names, not indices,
+// are the contract).
+std::string prom_name(const char* name) {
+  std::string out = "kml_";
+  for (const char* p = name; *p != '\0'; ++p) {
+    const char c = *p;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_prometheus() {
+  std::string out;
+  char line[192];
+  const std::size_t nc = counter_slots();
+  for (std::size_t i = 0; i <= nc; ++i) {
+    // Slot nc is the synthetic pool-exhaustion meter (same row snapshot()
+    // appends) so scrapes always see it, exhausted registry or not.
+    const std::string name =
+        (i < nc ? prom_name(counter_slot_name(i))
+                : prom_name(kMetricRegistryOverflow)) +
+        "_total";
+    const std::uint64_t v =
+        i < nc ? counter_slot_value(i) : registry_overflow_count();
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += line;
+  }
+  const std::size_t ng = gauge_slots();
+  for (std::size_t i = 0; i < ng; ++i) {
+    const std::string name = prom_name(gauge_slot_name(i));
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %lld\n", name.c_str(),
+                  static_cast<long long>(gauge_slot_value(i)));
+    out += line;
+  }
+  const std::size_t nh = histogram_slots();
+  for (std::size_t i = 0; i < nh; ++i) {
+    const Histogram* h = histogram_slot(i);
+    const std::string name = prom_name(histogram_slot_name(i));
+    std::uint64_t counts[Histogram::kNumBuckets];
+    std::uint64_t total = 0;
+    for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+      counts[b] = h->bucket_count(b);
+      total += counts[b];
+    }
+    out += "# TYPE " + name + " histogram\n";
+    // Cumulative series. Only buckets that change the cumulative count are
+    // emitted (252 mostly-zero lines per histogram would dwarf the data);
+    // sparse `le` sets are valid because the series is cumulative. The
+    // topmost bucket has no finite upper bound — it is covered by the
+    // mandatory +Inf line.
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      cum += counts[b];
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%llu\"} %llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        Histogram::bucket_lower_bound(b + 1) - 1),
+                    static_cast<unsigned long long>(cum));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(total));
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h->sum()));
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_count %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(total));
+    out += line;
+  }
+  return out;
+}
+
 #else  // !KML_OBSERVE_ENABLED
 
 MetricsSnapshot snapshot() { return MetricsSnapshot{}; }
+
+std::string format_prometheus() { return std::string(); }
 
 #endif  // KML_OBSERVE_ENABLED
 

@@ -55,7 +55,10 @@ namespace kml::observe {
 inline constexpr std::size_t kMaxNameLen = 47;
 inline constexpr std::size_t kMaxCounters = 128;
 inline constexpr std::size_t kMaxGauges = 64;
-inline constexpr std::size_t kMaxHistograms = 32;
+// Raised from 32 in PR 10: per-stage latency attribution registers four
+// fleet stages + three tenant-class rollups + three stages each for the
+// readahead and eviction tuners on top of the existing latency histograms.
+inline constexpr std::size_t kMaxHistograms = 64;
 inline constexpr std::size_t kCachelineBytes = 64;
 
 // --- Well-known metric names -------------------------------------------------
@@ -125,6 +128,36 @@ inline constexpr char kMetricFleetAdmitted[] = "fleet.admitted_total";
 inline constexpr char kMetricFleetRejected[] = "fleet.rejected_total";
 inline constexpr char kMetricFleetRateLimited[] = "fleet.rate_limited";
 inline constexpr char kMetricFleetQueueDrops[] = "fleet.queue_drops";
+// Telemetry v3 (PR 10): per-stage latency attribution. Every decision
+// pipeline is split into the same taxonomy — queue-wait (submit→pop, fleet
+// only), coalesce (gather/extract features), infer (model forward), decide
+// (post-inference actuation) — so a latency regression names the stage that
+// moved instead of a single end-to-end number. fleet.queue_age_us is the
+// microsecond twin of the queue-wait stage kept for operator dashboards
+// (µs reads better than ns at fleet scale). Tenant-CLASS rollups (hot/warm/
+// cold by per-tenant window volume) bound cardinality where per-tenant
+// histograms would not.
+inline constexpr char kMetricFleetQueueAgeUs[] = "fleet.queue_age_us";
+inline constexpr char kMetricFleetStageQueueWaitNs[] =
+    "fleet.stage.queue_wait_ns";
+inline constexpr char kMetricFleetStageCoalesceNs[] =
+    "fleet.stage.coalesce_ns";
+inline constexpr char kMetricFleetStageInferNs[] = "fleet.stage.infer_ns";
+inline constexpr char kMetricFleetStageDecideNs[] = "fleet.stage.decide_ns";
+inline constexpr char kMetricFleetStageQueueWaitHotNs[] =
+    "fleet.stage.queue_wait_ns.hot";
+inline constexpr char kMetricFleetStageQueueWaitWarmNs[] =
+    "fleet.stage.queue_wait_ns.warm";
+inline constexpr char kMetricFleetStageQueueWaitColdNs[] =
+    "fleet.stage.queue_wait_ns.cold";
+inline constexpr char kMetricRaStageCoalesceNs[] =
+    "readahead.stage.coalesce_ns";
+inline constexpr char kMetricRaStageInferNs[] = "readahead.stage.infer_ns";
+inline constexpr char kMetricRaStageDecideNs[] = "readahead.stage.decide_ns";
+inline constexpr char kMetricCacheStageCoalesceNs[] =
+    "cache.stage.coalesce_ns";
+inline constexpr char kMetricCacheStageInferNs[] = "cache.stage.infer_ns";
+inline constexpr char kMetricCacheStageDecideNs[] = "cache.stage.decide_ns";
 // Synthetic counter row in snapshot(): registrations that spilled into a
 // pool's shared overflow slot (never occupies a registry slot itself).
 inline constexpr char kMetricRegistryOverflow[] = "observe.registry.overflow";
@@ -227,6 +260,21 @@ class alignas(kCachelineBytes) Histogram {
   // (rank clamps to 1, never "before the data"), and pct>100 clamps to 100.
   std::uint64_t percentile(unsigned pct) const;
 
+  // Same integer rank walk over an external bucket-count array laid out
+  // like buckets_. The time-series layer merges windowed bucket deltas and
+  // calls this, so a windowed percentile is bit-identical to what a
+  // histogram holding only that window's records would report.
+  static std::uint64_t percentile_from_counts(
+      const std::uint64_t counts[kNumBuckets], unsigned pct);
+
+  // Raw bucket count (relaxed read). Out-of-range indices read as 0. The
+  // time-series sampler and Prometheus exposition need the full shape, not
+  // just the snapshot's summary percentiles.
+  std::uint64_t bucket_count(unsigned idx) const {
+    if (idx >= kNumBuckets) return 0;
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
@@ -267,6 +315,23 @@ void reset_all();
 // because the exhaustion itself does. Exported by snapshot() as the
 // "observe.registry.overflow" counter.
 std::uint64_t registry_overflow_count();
+
+// --- Registry iteration (cold read path) ------------------------------------
+//
+// Index-based walk over the registered slots, in registration order. Slots
+// never move and indices never shrink (pools only append), so an index is a
+// stable identity for the life of the process — the time-series ring keys
+// its per-slot storage on these. counts are acquire-loads of the published
+// registration count; names/values at i < count are safe to read lock-free.
+std::size_t counter_slots();
+const char* counter_slot_name(std::size_t i);     // nullptr out of range
+std::uint64_t counter_slot_value(std::size_t i);  // 0 out of range
+std::size_t gauge_slots();
+const char* gauge_slot_name(std::size_t i);
+std::int64_t gauge_slot_value(std::size_t i);
+std::size_t histogram_slots();
+const char* histogram_slot_name(std::size_t i);
+const Histogram* histogram_slot(std::size_t i);  // nullptr out of range
 
 // --- Convenience wrappers for cold call sites -------------------------------
 //
@@ -312,6 +377,14 @@ inline std::uint64_t registry_overflow_count() { return 0; }
 inline void counter_add(const char*, std::uint64_t = 1) {}
 inline void gauge_set(const char*, std::int64_t) {}
 inline void hist_record(const char*, std::uint64_t) {}
+inline std::size_t counter_slots() { return 0; }
+inline const char* counter_slot_name(std::size_t) { return nullptr; }
+inline std::uint64_t counter_slot_value(std::size_t) { return 0; }
+inline std::size_t gauge_slots() { return 0; }
+inline const char* gauge_slot_name(std::size_t) { return nullptr; }
+inline std::int64_t gauge_slot_value(std::size_t) { return 0; }
+inline std::size_t histogram_slots() { return 0; }
+inline const char* histogram_slot_name(std::size_t) { return nullptr; }
 
 #endif  // KML_OBSERVE_ENABLED
 
@@ -363,6 +436,16 @@ std::string format_table(const MetricsSnapshot& snap);
 // {"schema":"kml.metrics.v1","counters":{...},"gauges":{...},
 //  "histograms":{...}}.
 std::string format_json(const MetricsSnapshot& snap);
+
+// Prometheus text exposition format 0.0.4, reading the live registry (the
+// snapshot struct has no raw buckets; scraping needs them). Stable naming:
+// "kml_" + registry name with every non-alphanumeric mapped to '_';
+// counters gain the "_total" suffix. Histograms emit the cumulative
+// _bucket{le="..."} series (only buckets whose cumulative count changed,
+// plus the mandatory le="+Inf"), _sum, and _count; `le` thresholds are the
+// inclusive upper bound of each log-scale bucket. Cold path; allocates.
+// With KML_OBSERVE=OFF returns an empty string.
+std::string format_prometheus();
 
 }  // namespace kml::observe
 

@@ -1,0 +1,116 @@
+// slo.cpp — SLO burn-rate evaluation over the time-series ring (see slo.h).
+#include "observe/slo.h"
+
+#if KML_OBSERVE_ENABLED
+
+#include "observe/timeseries.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace kml::observe {
+
+namespace {
+
+// Fixed objective table. Registration copies the histogram name so an
+// objective never dangles on a caller's string lifetime. Same publication
+// scheme as the registry pools: release store of the count publishes the
+// slot; readers acquire-load the count.
+struct SloTable {
+  SloObjective slots[kMaxSloObjectives];
+  char names[kMaxSloObjectives][kMaxNameLen + 1] = {};
+  std::atomic<std::size_t> count{0};
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+};
+
+SloTable& table() {
+  static SloTable t;
+  return t;
+}
+
+struct SloLockGuard {
+  explicit SloLockGuard(SloTable& t) : t_(t) {
+    while (t_.lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SloLockGuard() { t_.lock.clear(std::memory_order_release); }
+  SloTable& t_;
+};
+
+// burn = bad_ratio / budget as a milli-ratio, integer: burn 1000 means the
+// window's bad fraction exactly equals the error budget.
+std::uint64_t burn_milli(std::uint64_t bad, std::uint64_t total,
+                         std::uint32_t objective_milli) {
+  if (total == 0) return 0;
+  const std::uint64_t budget_milli = 1000 - objective_milli;  // >= 1
+  const std::uint64_t bad_ratio_milli = bad * 1000 / total;
+  return bad_ratio_milli * 1000 / budget_milli;
+}
+
+}  // namespace
+
+int slo_register(const SloObjective& objective) {
+  if (objective.hist_name == nullptr) return -1;
+  if (std::strlen(objective.hist_name) > kMaxNameLen) return -1;
+  SloTable& t = table();
+  SloLockGuard guard(t);
+  const std::size_t n = t.count.load(std::memory_order_relaxed);
+  if (n >= kMaxSloObjectives) return -1;
+  std::strncpy(t.names[n], objective.hist_name, kMaxNameLen);
+  t.names[n][kMaxNameLen] = '\0';
+  t.slots[n] = objective;
+  t.slots[n].hist_name = t.names[n];
+  if (t.slots[n].objective_milli > 999) t.slots[n].objective_milli = 999;
+  if (t.slots[n].fast_window_ticks < 1) t.slots[n].fast_window_ticks = 1;
+  if (t.slots[n].slow_window_ticks < 1) t.slots[n].slow_window_ticks = 1;
+  t.count.store(n + 1, std::memory_order_release);
+  return static_cast<int>(n);
+}
+
+std::size_t slo_count() {
+  return table().count.load(std::memory_order_acquire);
+}
+
+const SloObjective* slo_objective(std::size_t idx) {
+  if (idx >= slo_count()) return nullptr;
+  return &table().slots[idx];
+}
+
+SloStatus slo_evaluate(std::size_t idx) {
+  SloStatus st;
+  const SloObjective* o = slo_objective(idx);
+  if (o == nullptr) return st;
+  st.fast_total = timeseries_hist_window_count(o->hist_name,
+                                               o->fast_window_ticks);
+  st.fast_bad = timeseries_hist_window_over(o->hist_name,
+                                            o->fast_window_ticks,
+                                            o->threshold_ns);
+  st.slow_total = timeseries_hist_window_count(o->hist_name,
+                                               o->slow_window_ticks);
+  st.slow_bad = timeseries_hist_window_over(o->hist_name,
+                                            o->slow_window_ticks,
+                                            o->threshold_ns);
+  st.fast_burn_milli = burn_milli(st.fast_bad, st.fast_total,
+                                  o->objective_milli);
+  st.slow_burn_milli = burn_milli(st.slow_bad, st.slow_total,
+                                  o->objective_milli);
+  st.valid = st.fast_total >= o->min_window_records &&
+             st.slow_total >= o->min_window_records;
+  st.burning = st.valid && st.fast_burn_milli > o->fast_burn_trip_milli &&
+               st.slow_burn_milli > o->slow_burn_trip_milli;
+  return st;
+}
+
+void slo_reset() {
+  SloTable& t = table();
+  SloLockGuard guard(t);
+  for (std::size_t i = 0; i < kMaxSloObjectives; ++i) {
+    t.slots[i] = SloObjective{};
+    t.names[i][0] = '\0';
+  }
+  t.count.store(0, std::memory_order_release);
+}
+
+}  // namespace kml::observe
+
+#endif  // KML_OBSERVE_ENABLED

@@ -1,0 +1,313 @@
+// timeseries.cpp — fixed-size registry retention ring (see timeseries.h).
+#include "observe/timeseries.h"
+
+#if KML_OBSERVE_ENABLED
+
+#include <atomic>
+#include <cstring>
+
+namespace kml::observe {
+
+namespace {
+
+// One tick of retained registry state. Counters and histogram buckets are
+// stored as deltas against the previous sample (windows then sum exactly);
+// gauges keep last-value semantics. Per-slot validity is the slot count at
+// sample time: slots registered after a sample simply contribute nothing to
+// windows that include it, which is the correct "metric did not exist yet"
+// answer. Histogram bucket deltas are u32 — 4 billion records of one bucket
+// inside one tick is beyond any rate this process can generate.
+struct Sample {
+  std::uint64_t now_ns = 0;
+  std::uint32_t counters_n = 0;
+  std::uint32_t gauges_n = 0;
+  std::uint32_t hists_n = 0;
+  std::uint64_t counter_delta[kMaxCounters];
+  std::int64_t gauge_last[kMaxGauges];
+  std::uint32_t hist_delta[kMaxHistograms][Histogram::kNumBuckets];
+};
+
+// All retention state. ~2.2 MiB of static storage, zero-alloc by
+// construction; guarded by its own spinlock (sampling and windowed reads
+// are cold paths — the record-side hot paths never touch this).
+struct State {
+  Sample ring[kTimeSeriesTicks];
+  // Previous cumulative values, for delta computation at the next sample.
+  std::uint64_t prev_counter[kMaxCounters];
+  std::uint64_t prev_hist[kMaxHistograms][Histogram::kNumBuckets];
+  std::uint64_t samples = 0;
+  std::uint64_t last_ns = 0;
+  // Lock-free mirrors for the poll fast path and cross-thread reads of
+  // "how many samples exist" (the SLO progress gate in the health monitor).
+  std::atomic<std::uint64_t> samples_pub{0};
+  std::atomic<std::uint64_t> last_ns_pub{0};
+  std::atomic<std::uint64_t> tick_ns{kTimeSeriesDefaultTickNs};
+  std::atomic<bool> enabled{true};
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+struct TsLockGuard {
+  explicit TsLockGuard(State& s) : s_(s) {
+    while (s_.lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~TsLockGuard() { s_.lock.clear(std::memory_order_release); }
+  State& s_;
+};
+
+unsigned clamp_window(const State& s, unsigned window_ticks) {
+  std::uint64_t avail = s.samples;
+  if (avail > kTimeSeriesTicks) avail = kTimeSeriesTicks;
+  if (window_ticks < 1) window_ticks = 1;
+  if (window_ticks > avail) window_ticks = static_cast<unsigned>(avail);
+  return window_ticks;
+}
+
+// Sample holding the k-th newest tick (k=0 is the newest). Caller
+// guarantees k < min(samples, kTimeSeriesTicks).
+const Sample& nth_newest(const State& s, unsigned k) {
+  return s.ring[(s.samples - 1 - k) % kTimeSeriesTicks];
+}
+
+int find_slot(const char* name, std::size_t n,
+              const char* (*slot_name)(std::size_t)) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::strcmp(slot_name(i), name) == 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Merge a window's bucket deltas for histogram slot `idx` into `counts`.
+// Returns the window's record count.
+std::uint64_t merge_window(const State& s, int idx, unsigned w,
+                           std::uint64_t counts[Histogram::kNumBuckets]) {
+  std::memset(counts, 0, sizeof(std::uint64_t) * Histogram::kNumBuckets);
+  std::uint64_t total = 0;
+  for (unsigned k = 0; k < w; ++k) {
+    const Sample& sm = nth_newest(s, k);
+    if (static_cast<std::uint32_t>(idx) >= sm.hists_n) continue;
+    for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t d = sm.hist_delta[idx][b];
+      counts[b] += d;
+      total += d;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+bool timeseries_enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void timeseries_set_enabled(bool on) {
+  state().enabled.store(on, std::memory_order_relaxed);
+}
+
+void timeseries_set_tick_ns(std::uint64_t tick_ns) {
+  if (tick_ns == 0) tick_ns = 1;
+  state().tick_ns.store(tick_ns, std::memory_order_relaxed);
+}
+
+std::uint64_t timeseries_tick_ns() {
+  return state().tick_ns.load(std::memory_order_relaxed);
+}
+
+void timeseries_sample(std::uint64_t now_ns) {
+  State& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  TsLockGuard guard(s);
+  Sample& slot = s.ring[s.samples % kTimeSeriesTicks];
+  slot.now_ns = now_ns;
+  const std::size_t nc =
+      counter_slots() < kMaxCounters ? counter_slots() : kMaxCounters;
+  slot.counters_n = static_cast<std::uint32_t>(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const std::uint64_t cur = counter_slot_value(i);
+    // cur < prev means the registry was reset between samples; the
+    // re-accumulated value IS the delta then (never a huge wrap).
+    slot.counter_delta[i] =
+        cur >= s.prev_counter[i] ? cur - s.prev_counter[i] : cur;
+    s.prev_counter[i] = cur;
+  }
+  const std::size_t ng = gauge_slots() < kMaxGauges ? gauge_slots() : kMaxGauges;
+  slot.gauges_n = static_cast<std::uint32_t>(ng);
+  for (std::size_t i = 0; i < ng; ++i) {
+    slot.gauge_last[i] = gauge_slot_value(i);
+  }
+  const std::size_t nh =
+      histogram_slots() < kMaxHistograms ? histogram_slots() : kMaxHistograms;
+  slot.hists_n = static_cast<std::uint32_t>(nh);
+  for (std::size_t i = 0; i < nh; ++i) {
+    const Histogram* h = histogram_slot(i);
+    for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t cur = h->bucket_count(b);
+      const std::uint64_t d =
+          cur >= s.prev_hist[i][b] ? cur - s.prev_hist[i][b] : cur;
+      slot.hist_delta[i][b] =
+          d > 0xffffffffull ? 0xffffffffu : static_cast<std::uint32_t>(d);
+      s.prev_hist[i][b] = cur;
+    }
+  }
+  s.samples += 1;
+  s.last_ns = now_ns;
+  s.last_ns_pub.store(now_ns, std::memory_order_relaxed);
+  s.samples_pub.store(s.samples, std::memory_order_release);
+}
+
+bool timeseries_poll(std::uint64_t now_ns) {
+  State& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return false;
+  // Fast path: not due. Two relaxed loads and a compare — cheap enough for
+  // a per-tick maintenance loop. A race between concurrent pollers costs
+  // at worst one extra sample; hosts are single-poller by design.
+  if (s.samples_pub.load(std::memory_order_relaxed) > 0) {
+    const std::uint64_t last = s.last_ns_pub.load(std::memory_order_relaxed);
+    if (now_ns < last + s.tick_ns.load(std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  timeseries_sample(now_ns);
+  return true;
+}
+
+std::uint64_t timeseries_samples() {
+  return state().samples_pub.load(std::memory_order_acquire);
+}
+
+std::uint64_t timeseries_last_sample_ns() {
+  return state().last_ns_pub.load(std::memory_order_relaxed);
+}
+
+void timeseries_reset() {
+  State& s = state();
+  TsLockGuard guard(s);
+  std::memset(s.ring, 0, sizeof(s.ring));
+  std::memset(s.prev_counter, 0, sizeof(s.prev_counter));
+  std::memset(s.prev_hist, 0, sizeof(s.prev_hist));
+  s.samples = 0;
+  s.last_ns = 0;
+  s.last_ns_pub.store(0, std::memory_order_relaxed);
+  s.samples_pub.store(0, std::memory_order_release);
+}
+
+std::uint64_t timeseries_counter_delta(const char* name,
+                                       unsigned window_ticks) {
+  State& s = state();
+  TsLockGuard guard(s);
+  if (s.samples == 0) return 0;
+  const int idx = find_slot(name, counter_slots(), counter_slot_name);
+  if (idx < 0) return 0;
+  const unsigned w = clamp_window(s, window_ticks);
+  std::uint64_t total = 0;
+  for (unsigned k = 0; k < w; ++k) {
+    const Sample& sm = nth_newest(s, k);
+    if (static_cast<std::uint32_t>(idx) < sm.counters_n) {
+      total += sm.counter_delta[idx];
+    }
+  }
+  return total;
+}
+
+std::uint64_t timeseries_counter_rate_per_sec(const char* name,
+                                              unsigned window_ticks) {
+  State& s = state();
+  std::uint64_t delta = 0;
+  std::uint64_t span_ns = 0;
+  {
+    TsLockGuard guard(s);
+    if (s.samples == 0) return 0;
+    const int idx = find_slot(name, counter_slots(), counter_slot_name);
+    if (idx < 0) return 0;
+    const unsigned w = clamp_window(s, window_ticks);
+    for (unsigned k = 0; k < w; ++k) {
+      const Sample& sm = nth_newest(s, k);
+      if (static_cast<std::uint32_t>(idx) < sm.counters_n) {
+        delta += sm.counter_delta[idx];
+      }
+    }
+    // The window's deltas cover (t[prev], t[newest]] where t[prev] is the
+    // sample just before the window — still in the ring only when the
+    // window is smaller than the ring. Otherwise the oldest in-window
+    // sample stands in (its own delta's span — back to process start — is
+    // unknowable), slightly over-reporting the rate.
+    const std::uint64_t newest = nth_newest(s, 0).now_ns;
+    const std::uint64_t base =
+        s.samples > w && w < kTimeSeriesTicks
+            ? s.ring[(s.samples - 1 - w) % kTimeSeriesTicks].now_ns
+            : nth_newest(s, w - 1).now_ns;
+    span_ns = newest > base ? newest - base : 0;
+  }
+  if (span_ns == 0) return 0;
+  // 128-bit intermediate: delta * 1e9 overflows u64 past ~18.4e9 events.
+  const unsigned __int128 scaled =
+      static_cast<unsigned __int128>(delta) * 1'000'000'000u;
+  return static_cast<std::uint64_t>(scaled / span_ns);
+}
+
+std::int64_t timeseries_gauge_last(const char* name) {
+  State& s = state();
+  TsLockGuard guard(s);
+  if (s.samples == 0) return 0;
+  const int idx = find_slot(name, gauge_slots(), gauge_slot_name);
+  if (idx < 0) return 0;
+  const Sample& sm = nth_newest(s, 0);
+  if (static_cast<std::uint32_t>(idx) >= sm.gauges_n) return 0;
+  return sm.gauge_last[idx];
+}
+
+std::uint64_t timeseries_hist_window_count(const char* name,
+                                           unsigned window_ticks) {
+  State& s = state();
+  TsLockGuard guard(s);
+  if (s.samples == 0) return 0;
+  const int idx = find_slot(name, histogram_slots(), histogram_slot_name);
+  if (idx < 0) return 0;
+  const unsigned w = clamp_window(s, window_ticks);
+  std::uint64_t counts[Histogram::kNumBuckets];
+  return merge_window(s, idx, w, counts);
+}
+
+std::uint64_t timeseries_hist_window_percentile(const char* name,
+                                                unsigned window_ticks,
+                                                unsigned pct) {
+  State& s = state();
+  TsLockGuard guard(s);
+  if (s.samples == 0) return 0;
+  const int idx = find_slot(name, histogram_slots(), histogram_slot_name);
+  if (idx < 0) return 0;
+  const unsigned w = clamp_window(s, window_ticks);
+  std::uint64_t counts[Histogram::kNumBuckets];
+  merge_window(s, idx, w, counts);
+  return Histogram::percentile_from_counts(counts, pct);
+}
+
+std::uint64_t timeseries_hist_window_over(const char* name,
+                                          unsigned window_ticks,
+                                          std::uint64_t threshold) {
+  State& s = state();
+  TsLockGuard guard(s);
+  if (s.samples == 0) return 0;
+  const int idx = find_slot(name, histogram_slots(), histogram_slot_name);
+  if (idx < 0) return 0;
+  const unsigned w = clamp_window(s, window_ticks);
+  std::uint64_t counts[Histogram::kNumBuckets];
+  merge_window(s, idx, w, counts);
+  std::uint64_t over = 0;
+  for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (counts[b] != 0 && Histogram::bucket_lower_bound(b) > threshold) {
+      over += counts[b];
+    }
+  }
+  return over;
+}
+
+}  // namespace kml::observe
+
+#endif  // KML_OBSERVE_ENABLED

@@ -1,0 +1,152 @@
+// timeseries.h — fixed-size retention for the metrics registry
+// (kml::observe telemetry v3).
+//
+// The registry (metrics.h) answers "what is the value NOW"; the flight
+// recorder answers "what happened right before the crash". Neither answers
+// "what changed over the last minute" — rates, recent history, windowed
+// percentiles — which is what an operator needs to see a regression *build*
+// instead of discovering it post-mortem. This ring is that retention:
+//
+//   * A sample captures the whole registry at one instant: counter DELTAS
+//     since the previous sample, gauge LAST VALUES, and per-bucket
+//     histogram count deltas (the log-scale layout from metrics.h,
+//     preserved bucket-for-bucket so windows merge exactly).
+//   * Storage is static, fixed-size, integer-only, allocation-free: a ring
+//     of kTimeSeriesTicks samples over the registry's compile-time pools.
+//     One sample is ~70 KB; the whole ring is ~2 MiB — the flight-recorder
+//     trade (1 MiB) at time-series granularity. Overwrite policy: the ring
+//     wraps, newest sample wins.
+//   * Read side: windowed queries over the last W samples. Counter deltas
+//     sum; histogram windows merge bucket-wise and then reuse the exact
+//     integer percentile walk from Histogram — a merged window percentile
+//     is bit-identical to what one histogram containing only that window's
+//     records would report. The SLO layer (slo.h) is built on these.
+//
+// The tick is externally driven: hosts call timeseries_poll(now_ns) from
+// their once-per-second maintenance path (FleetService::tick does) or
+// timeseries_sample(now_ns) directly (tools, tests, benches). One clock
+// domain per process — mixing the simulator's virtual clock with
+// kml_now_ns() in one ring would interleave incompatible timelines, so
+// only real-time hosts poll.
+//
+// Sampling is a cold path (a registry scan) guarded by its own spinlock;
+// the record-side hot paths never see any of this. With KML_OBSERVE=OFF
+// everything here compiles to inline no-op stubs — zero code, zero statics.
+#pragma once
+
+#include <cstdint>
+
+#include "observe/metrics.h"
+
+namespace kml::observe {
+
+// Ring capacity in samples. At the default 1 s tick this retains ~half a
+// minute of history; slower ticks retain proportionally more. Fixed at
+// compile time: the storage is static (zero-alloc), and the SLO burn
+// windows (fast/slow) must fit inside it.
+inline constexpr unsigned kTimeSeriesTicks = 32;
+
+// Default tick period for timeseries_poll: one second.
+inline constexpr std::uint64_t kTimeSeriesDefaultTickNs = 1'000'000'000;
+
+#if KML_OBSERVE_ENABLED
+
+// Runtime switch for the sampler alone (the registry keeps recording; only
+// retention stops). Default on.
+bool timeseries_enabled();
+void timeseries_set_enabled(bool on);
+
+// Poll period used by timeseries_poll(). 0 is clamped to 1 ns.
+void timeseries_set_tick_ns(std::uint64_t tick_ns);
+std::uint64_t timeseries_tick_ns();
+
+// Take one sample of the whole registry, stamped `now_ns`. Samples with a
+// non-advancing clock are accepted (delta span 0); callers own monotonicity.
+void timeseries_sample(std::uint64_t now_ns);
+
+// Sample only when `now_ns` is at least one tick past the previous sample
+// (or on the very first call). Returns true when a sample was taken. This
+// is the cheap form hosts wire into periodic maintenance: one relaxed load
+// and a compare when not due.
+bool timeseries_poll(std::uint64_t now_ns);
+
+// Samples taken since the last reset (monotonic; the ring holds the last
+// min(samples, kTimeSeriesTicks) of them).
+std::uint64_t timeseries_samples();
+
+// Timestamp of the newest sample; 0 before the first.
+std::uint64_t timeseries_last_sample_ns();
+
+// Drop all retained samples and restart the clock (tests/benches).
+void timeseries_reset();
+
+// --- Windowed queries --------------------------------------------------------
+//
+// `window_ticks` counts newest-first samples and is clamped to
+// [1, min(samples, kTimeSeriesTicks)]; queries before the first sample
+// return 0. Metrics are matched by registry name; absent names return 0.
+
+// Sum of a counter's increments across the window.
+std::uint64_t timeseries_counter_delta(const char* name,
+                                       unsigned window_ticks);
+
+// Counter increments per second across the window, integer: delta * 1e9 /
+// window-span-ns. 0 when the span is 0 (single sample or stalled clock).
+std::uint64_t timeseries_counter_rate_per_sec(const char* name,
+                                              unsigned window_ticks);
+
+// Gauge value at the newest sample (retention of last-value semantics).
+std::int64_t timeseries_gauge_last(const char* name);
+
+// Records a histogram received during the window.
+std::uint64_t timeseries_hist_window_count(const char* name,
+                                           unsigned window_ticks);
+
+// Percentile over the window's merged buckets — same integer rank walk and
+// edge pinning as Histogram::percentile, applied to only the window's
+// records.
+std::uint64_t timeseries_hist_window_percentile(const char* name,
+                                                unsigned window_ticks,
+                                                unsigned pct);
+
+// Records in the window whose bucket lies strictly above `threshold`:
+// the SLO layer's bad-event count. Bucket resolution — a record in the
+// bucket *containing* the threshold counts as good, so thresholds that are
+// exact bucket lower bounds (e.g. powers of two) are judged exactly.
+std::uint64_t timeseries_hist_window_over(const char* name,
+                                          unsigned window_ticks,
+                                          std::uint64_t threshold);
+
+#else  // !KML_OBSERVE_ENABLED
+
+inline bool timeseries_enabled() { return false; }
+inline void timeseries_set_enabled(bool) {}
+inline void timeseries_set_tick_ns(std::uint64_t) {}
+inline std::uint64_t timeseries_tick_ns() { return kTimeSeriesDefaultTickNs; }
+inline void timeseries_sample(std::uint64_t) {}
+inline bool timeseries_poll(std::uint64_t) { return false; }
+inline std::uint64_t timeseries_samples() { return 0; }
+inline std::uint64_t timeseries_last_sample_ns() { return 0; }
+inline void timeseries_reset() {}
+inline std::uint64_t timeseries_counter_delta(const char*, unsigned) {
+  return 0;
+}
+inline std::uint64_t timeseries_counter_rate_per_sec(const char*, unsigned) {
+  return 0;
+}
+inline std::int64_t timeseries_gauge_last(const char*) { return 0; }
+inline std::uint64_t timeseries_hist_window_count(const char*, unsigned) {
+  return 0;
+}
+inline std::uint64_t timeseries_hist_window_percentile(const char*, unsigned,
+                                                       unsigned) {
+  return 0;
+}
+inline std::uint64_t timeseries_hist_window_over(const char*, unsigned,
+                                                 std::uint64_t) {
+  return 0;
+}
+
+#endif  // KML_OBSERVE_ENABLED
+
+}  // namespace kml::observe

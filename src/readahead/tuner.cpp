@@ -2,6 +2,7 @@
 
 #include "observe/flight_recorder.h"
 #include "observe/metrics.h"
+#include "portability/kml_lib.h"
 #include "portability/log.h"
 
 #include <cstdio>
@@ -106,8 +107,16 @@ void ReadaheadTuner::close_window() {
     return;
   }
 
+  // Per-stage attribution (telemetry v3), same taxonomy as the fleet
+  // pipeline: coalesce = feature extraction over the window, infer = the
+  // model call, decide = actuation. Once-per-window clock reads on a cold
+  // path, by-name lookup like the counters above. Wall clock, not the
+  // simulator's virtual clock — this measures the tuner's own CPU cost.
+  const bool obs = observe::enabled();
+  const std::uint64_t t0 = obs ? kml_now_ns() : 0;
   const FeatureVector features = extractor_.extract_selected(
       window, stack_.block_layer().readahead_kb());
+  const std::uint64_t t1 = obs ? kml_now_ns() : 0;
   int cls = -1;
   if (config_.batch_predict) {
     config_.batch_predict(&features, 1, &cls);
@@ -115,6 +124,7 @@ void ReadaheadTuner::close_window() {
     cls = predict_(features);
   }
   stack_.charge_cpu_ns(config_.inference_cpu_ns);
+  const std::uint64_t t2 = obs ? kml_now_ns() : 0;
 
   std::uint32_t ra_kb = stack_.block_layer().readahead_kb();
   if (cls >= 0 && cls < workloads::kNumTrainingClasses) {
@@ -124,6 +134,11 @@ void ReadaheadTuner::close_window() {
     observe::gauge_set(observe::kMetricRaSetKb, ra_kb);
     KML_EVENT(observe::EventId::kTunerDecision,
               static_cast<std::uint64_t>(cls), ra_kb);
+  }
+  if (obs) {
+    observe::hist_record(observe::kMetricRaStageCoalesceNs, t1 - t0);
+    observe::hist_record(observe::kMetricRaStageInferNs, t2 - t1);
+    observe::hist_record(observe::kMetricRaStageDecideNs, kml_now_ns() - t2);
   }
   point.predicted_class = cls;
   point.ra_kb = ra_kb;

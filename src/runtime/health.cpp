@@ -2,6 +2,8 @@
 
 #include "observe/flight_recorder.h"
 #include "observe/metrics.h"
+#include "observe/slo.h"
+#include "observe/timeseries.h"
 #include "portability/log.h"
 
 #include <cmath>
@@ -233,6 +235,23 @@ void HealthMonitor::observe_registry() {
         fleet_p99 = h->percentile(99);
     }
   }
+  std::uint64_t slo_samples = 0;
+  std::uint32_t slo_burning = 0;
+  std::uint64_t slo_worst_idx = 0;
+  std::uint64_t slo_worst_burn = 0;
+  if (config_.slo_burning_to_degrade > 0) {
+    slo_samples = observe::timeseries_samples();
+    const std::size_t n = observe::slo_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      const observe::SloStatus st = observe::slo_evaluate(i);
+      if (!st.burning) continue;
+      slo_burning += 1;
+      if (st.fast_burn_milli >= slo_worst_burn) {
+        slo_worst_burn = st.fast_burn_milli;
+        slo_worst_idx = i;
+      }
+    }
+  }
 
   std::lock_guard<std::mutex> guard(lock_);
   if (!registry_primed_) {
@@ -247,6 +266,7 @@ void HealthMonitor::observe_registry() {
     registry_last_cache_hits_ = cache_hits;
     registry_last_cache_misses_ = cache_misses;
     registry_last_fleet_windows_ = fleet_windows;
+    registry_last_slo_samples_ = slo_samples;
     return;
   }
 
@@ -370,6 +390,19 @@ void HealthMonitor::observe_registry() {
       enter_degraded();
     }
   }
+
+  // (k) SLO burn rate. Judged only while the time-series sampler advances:
+  // the burn windows are windows over the ring, and without a fresh sample
+  // this poll would re-judge exactly the history the previous poll saw.
+  if (config_.slo_burning_to_degrade > 0 &&
+      slo_samples > registry_last_slo_samples_) {
+    registry_last_slo_samples_ = slo_samples;
+    if (slo_burning >= config_.slo_burning_to_degrade) {
+      stats_.slo_trips += 1;
+      KML_EVENT(observe::EventId::kSloBurn, slo_worst_idx, slo_worst_burn);
+      enter_degraded();
+    }
+  }
 #endif  // KML_OBSERVE_ENABLED
 }
 
@@ -401,7 +434,12 @@ void HealthMonitor::reset() {
   registry_last_inferences_ = 0;
   registry_last_train_steps_ = 0;
   registry_last_drift_samples_ = 0;
+  registry_last_kv_recoveries_ = 0;
+  registry_last_kv_torn_ = 0;
+  registry_last_cache_hits_ = 0;
+  registry_last_cache_misses_ = 0;
   registry_last_fleet_windows_ = 0;
+  registry_last_slo_samples_ = 0;
   // New model deployed: resume flight recording for its first incident.
   observe::flight_thaw();
 }

@@ -110,6 +110,16 @@ struct HealthConfig {
   std::uint64_t fleet_queue_depth_degrade = 0;
   std::uint64_t fleet_decision_p99_degrade_ns = 0;
 
+  // (k) SLO burn-rate guard (registry-sourced, telemetry v3): trips
+  // DEGRADED when at least this many registered latency objectives
+  // (observe/slo.h) are simultaneously burning — fast AND slow burn windows
+  // both over their trip rates with enough records to trust. Judged only
+  // while the time-series sampler advances (the burn windows are ring
+  // windows; without fresh samples the verdict would be stale history). A
+  // kSloBurn flight event for the worst-burning objective precedes the
+  // transition, preserving the causal chain. 0 disables.
+  std::uint32_t slo_burning_to_degrade = 0;
+
   // Flight-recorder dump file prefix (writes <prefix>.bin/<prefix>.txt when
   // the recorder freezes on a bad transition). nullptr = freeze only, no
   // dump. The pointed-to string must outlive the monitor.
@@ -128,6 +138,7 @@ struct HealthStats {
   std::uint64_t kv_recovery_trips = 0;  // (h) trips (KV store recovered)
   std::uint64_t cache_trips = 0;        // (i) trips (hit-rate collapse)
   std::uint64_t fleet_trips = 0;        // (j) trips (fleet queue/latency)
+  std::uint64_t slo_trips = 0;          // (k) trips (SLO burn rate)
   std::uint64_t heartbeats = 0;
   std::uint64_t degradations = 0;       // transitions into DEGRADED
   std::uint64_t failures = 0;           // transitions into FAILED
@@ -222,6 +233,7 @@ class HealthMonitor {
   std::uint64_t registry_last_cache_hits_ = 0;
   std::uint64_t registry_last_cache_misses_ = 0;
   std::uint64_t registry_last_fleet_windows_ = 0;
+  std::uint64_t registry_last_slo_samples_ = 0;
 };
 
 }  // namespace kml::runtime

@@ -133,13 +133,22 @@ TEST(BenchJson, CommittedArtifactsParseAndRecordCpus) {
     std::stringstream ss;
     ss << in.rdbuf();
     std::map<std::string, double> fields;
+    std::map<std::string, std::string> strings;
     std::string reason;
-    EXPECT_TRUE(parse_flat_json(ss.str(), &fields, &reason))
+    EXPECT_TRUE(parse_flat_json(ss.str(), &fields, &reason, &strings))
         << name << ": " << reason;
     EXPECT_FALSE(fields.empty()) << name << " has no fields";
     ASSERT_TRUE(fields.count("cpus") != 0)
         << name << " is missing the required \"cpus\" field";
     EXPECT_GE(fields["cpus"], 1.0) << name;
+    // Provenance stamp (PR 10): every artifact carries non-empty git_sha /
+    // build_type / timestamp_utc strings so a number is attributable to the
+    // commit and build that produced it.
+    for (const char* key : {"git_sha", "build_type", "timestamp_utc"}) {
+      ASSERT_TRUE(strings.count(key) != 0)
+          << name << " is missing the \"" << key << "\" provenance stamp";
+      EXPECT_FALSE(strings[key].empty()) << name << ": empty " << key;
+    }
   }
   // The artifacts are committed; an empty root means the --json path
   // regressed back to scattering results across build trees.

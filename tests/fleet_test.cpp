@@ -4,7 +4,10 @@
 // tier-1 (the 1k/10k-tenant runs live in bench_fleet).
 #include "fleet/service.h"
 #include "fleet/workload.h"
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
+#include "observe/slo.h"
+#include "observe/timeseries.h"
 #include "portability/kml_lib.h"
 #include "runtime/engine.h"
 #include "runtime/health.h"
@@ -12,6 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 namespace {
@@ -367,6 +374,94 @@ TEST(FleetService, HealthFleetSignalTripsOnQueueCollapse) {
   EXPECT_FALSE(service.admissions_open());
   EXPECT_GT(service.stats().shed, 0u);
 }
+
+#if KML_OBSERVE_ENABLED
+
+TEST(FleetService, SloBurnTripsHealthGuardWithFlightChain) {
+  // End-to-end continuous-telemetry chain, deterministic: fleet stage
+  // histograms -> time-series windows -> SLO burn evaluation -> health
+  // signal (k) -> kSloBurn + health.transition in the flight dump.
+  observe::reset_all();
+  observe::timeseries_reset();
+  observe::slo_reset();
+  observe::flight_thaw();
+  observe::flight_reset();
+  observe::flight_set_enabled(true);
+  constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+  runtime::Engine engine = make_engine();
+  runtime::HealthConfig hc;
+  hc.slo_burning_to_degrade = 1;
+  hc.flight_dump_prefix = "fleet_slo_burn_flight";
+  runtime::HealthMonitor monitor(hc);
+
+  // Objective on the queue-wait stage: anything older than ~1 us is a bad
+  // event. The spin below guarantees every window in this test waits far
+  // longer, so each tick burns at 100% — both windows trip together.
+  observe::SloObjective obj;
+  obj.hist_name = observe::kMetricFleetStageQueueWaitNs;
+  obj.threshold_ns = 1024;
+  obj.objective_milli = 990;
+  obj.fast_window_ticks = 1;
+  obj.slow_window_ticks = 2;
+  obj.fast_burn_trip_milli = 1000;
+  obj.slow_burn_trip_milli = 1000;
+  obj.min_window_records = 8;
+  ASSERT_GE(observe::slo_register(obj), 0);
+
+  fleet::FleetConfig fc;
+  fc.health = &monitor;
+  // Every window must land a queue-wait record (min_window_records = 8 out
+  // of 16 per tick), so disable the 1-in-2^shift stage sampling.
+  fc.stage_sample_shift = 0;
+  fleet::FleetService service(engine, fc);
+  math::Rng rng(kSeed);
+
+  // One overloaded tick: submit, let the queue age past the threshold,
+  // drain (records the stage histograms), then retain the tick. The sample
+  // clock is virtual — only window membership matters here, not rates.
+  const auto burn_tick = [&](std::uint64_t sample_ns) {
+    for (std::uint64_t t = 0; t < 16; ++t) {
+      ASSERT_EQ(submit_window(service, engine, t, rng),
+                fleet::SubmitResult::kQueued);
+    }
+    const std::uint64_t start = kml_now_ns();
+    while (kml_now_ns() - start < 4'000) {
+    }
+    ASSERT_EQ(service.drain(kml_now_ns()), 16u);
+    observe::timeseries_sample(sample_ns);
+  };
+
+  burn_tick(1 * kSec);
+  burn_tick(2 * kSec);
+  monitor.observe_registry();  // primes baselines; never judges
+  EXPECT_EQ(monitor.state(), runtime::HealthState::kHealthy);
+
+  burn_tick(3 * kSec);  // sampler advanced: the next poll judges the burn
+  monitor.observe_registry();
+
+  EXPECT_EQ(monitor.state(), runtime::HealthState::kDegraded);
+  EXPECT_EQ(monitor.stats().slo_trips, 1u);
+
+  // DEGRADED froze and dumped the flight ring; the causal chain — the burn
+  // event, then the transition it caused — must be legible in the dump.
+  std::ifstream txt("fleet_slo_burn_flight.txt");
+  ASSERT_TRUE(txt.good());
+  std::stringstream ss;
+  ss << txt.rdbuf();
+  const std::string dump = ss.str();
+  EXPECT_NE(dump.find("slo.burn"), std::string::npos);
+  EXPECT_NE(dump.find("health.transition"), std::string::npos);
+  std::remove("fleet_slo_burn_flight.txt");
+  std::remove("fleet_slo_burn_flight.bin");
+
+  // Leave the recorder recording for whatever test runs next.
+  observe::flight_thaw();
+  observe::slo_reset();
+  observe::timeseries_reset();
+}
+
+#endif  // KML_OBSERVE_ENABLED
 
 TEST(FleetService, RejectsModelWiderThanWindowFormat) {
   math::Rng rng(kSeed);

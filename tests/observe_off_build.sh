@@ -39,6 +39,8 @@ cat > "$tmp/probe.cpp" <<'EOF'
 #include "observe/flight_recorder.h"
 #include "observe/introspect.h"
 #include "observe/metrics.h"
+#include "observe/slo.h"
+#include "observe/timeseries.h"
 
 using namespace kml::observe;
 
@@ -68,6 +70,33 @@ int run_probe() {
   alive += static_cast<int>(format_introspect_json(introspect_snapshot())
                                 .size());
   alive += static_cast<int>(format_flight_text(flight_snapshot()).size());
+  // Telemetry v3 (PR 10): retention ring, SLO evaluation, Prometheus
+  // exposition — all must be stubs when OFF.
+  timeseries_set_enabled(true);
+  timeseries_set_tick_ns(1);
+  timeseries_sample(1);
+  timeseries_reset();
+  alive += timeseries_poll(2) ? 1 : 0;
+  alive += timeseries_enabled() ? 1 : 0;
+  alive += static_cast<int>(timeseries_samples());
+  alive += static_cast<int>(timeseries_last_sample_ns());
+  alive += static_cast<int>(timeseries_tick_ns() != 0);
+  alive += static_cast<int>(timeseries_counter_delta("probe.counter", 1));
+  alive += static_cast<int>(
+      timeseries_counter_rate_per_sec("probe.counter", 1));
+  alive += static_cast<int>(timeseries_gauge_last("probe.gauge"));
+  alive += static_cast<int>(timeseries_hist_window_count("probe.hist", 1));
+  alive += static_cast<int>(
+      timeseries_hist_window_percentile("probe.hist", 1, 99));
+  alive += static_cast<int>(timeseries_hist_window_over("probe.hist", 1, 1));
+  SloObjective obj;
+  obj.hist_name = "probe.hist";
+  alive += slo_register(obj);
+  alive += static_cast<int>(slo_count());
+  alive += slo_objective(0) != nullptr ? 1 : 0;
+  alive += slo_evaluate(0).burning ? 1 : 0;
+  slo_reset();
+  alive += static_cast<int>(format_prometheus().size());
   return alive;
 }
 EOF

@@ -202,6 +202,98 @@ TEST(Histogram, OverflowBucketIsCountedAndExported) {
   EXPECT_NE(format_table(snap).find("ovfl"), std::string::npos);
 }
 
+// --- static percentile walk & slot access (time-series building blocks) ------
+
+TEST(HistogramMath, PercentileFromCountsMatchesInstanceWalk) {
+  // The retention ring merges window bucket deltas and runs the percentile
+  // walk over the merged array. Same data → bit-identical answers to the
+  // live histogram, by construction: both call percentile_from_counts.
+  Histogram& h = get_histogram("test.hist.staticwalk");
+  h.reset();
+  std::uint64_t counts[Histogram::kNumBuckets] = {};
+  const std::uint64_t values[] = {3, 900, 900, 4096, 70'000, 70'000, 70'000,
+                                  1'000'000'000};
+  for (const std::uint64_t v : values) {
+    h.record(v);
+    counts[Histogram::bucket_index(v)] += 1;
+  }
+  for (const unsigned pct : {0u, 1u, 25u, 50u, 90u, 99u, 100u}) {
+    EXPECT_EQ(Histogram::percentile_from_counts(counts, pct),
+              h.percentile(pct))
+        << "pct=" << pct;
+  }
+}
+
+TEST(HistogramMath, PercentileFromCountsEdges) {
+  std::uint64_t counts[Histogram::kNumBuckets] = {};
+  // Empty: every percentile is 0.
+  EXPECT_EQ(Histogram::percentile_from_counts(counts, 0), 0u);
+  EXPECT_EQ(Histogram::percentile_from_counts(counts, 100), 0u);
+  // One record in the saturation bucket: p0 == p100 == its lower bound,
+  // and pct>100 clamps instead of walking past the array.
+  counts[Histogram::kNumBuckets - 1] = 1;
+  const std::uint64_t top =
+      Histogram::bucket_lower_bound(Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::percentile_from_counts(counts, 0), top);
+  EXPECT_EQ(Histogram::percentile_from_counts(counts, 100), top);
+  EXPECT_EQ(Histogram::percentile_from_counts(counts, 100'000), top);
+}
+
+TEST(Histogram, BucketCountExposesRawBuckets) {
+  // bucket_count is what the sampler walks; it must mirror record()
+  // placement exactly and fail closed (0) out of range.
+  Histogram& h = get_histogram("test.hist.buckets");
+  h.reset();
+  h.record(1000);
+  h.record(1000);
+  h.record(std::numeric_limits<std::uint64_t>::max());  // saturation bucket
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(1000)), 2u);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets), 0u);
+  EXPECT_EQ(h.bucket_count(~0u), 0u);
+}
+
+TEST(Registry, IterationApiEnumeratesLiveSlots) {
+  // The sampler and the Prometheus renderer read the pools positionally;
+  // the slot APIs must agree with name-based lookup on both identity and
+  // value, and stay in bounds.
+  Counter& c = get_counter("test.iter.counter");
+  c.reset();
+  c.add(41);
+  Gauge& g = get_gauge("test.iter.gauge");
+  g.set(-7);
+  Histogram& h = get_histogram("test.iter.hist");
+  h.reset();
+  h.record(512);
+
+  bool saw_counter = false;
+  for (std::size_t i = 0; i < counter_slots(); ++i) {
+    if (std::string(counter_slot_name(i)) == "test.iter.counter") {
+      saw_counter = true;
+      EXPECT_EQ(counter_slot_value(i), 41u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+
+  bool saw_gauge = false;
+  for (std::size_t i = 0; i < gauge_slots(); ++i) {
+    if (std::string(gauge_slot_name(i)) == "test.iter.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(gauge_slot_value(i), -7);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+
+  bool saw_hist = false;
+  for (std::size_t i = 0; i < histogram_slots(); ++i) {
+    if (std::string(histogram_slot_name(i)) == "test.iter.hist") {
+      saw_hist = true;
+      EXPECT_EQ(histogram_slot(i), &h);  // slots are stable identities
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+}
+
 // --- runtime toggle & spans --------------------------------------------------
 
 TEST(Toggle, DisabledStopsMacroRecording) {

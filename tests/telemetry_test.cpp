@@ -1,0 +1,515 @@
+// telemetry_test — the PR-10 observability layer: time-series retention
+// (windowed deltas/rates/percentiles over registry samples), SLO burn-rate
+// evaluation on top of those windows, and the Prometheus text exposition
+// round-trip through a real parser.
+//
+// Shares one process-wide registry with every other test in this binary, so
+// each test uses its own metric names and resets the rings it owns.
+#include "capi/kml_api.h"
+#include "observe/metrics.h"
+#include "observe/slo.h"
+#include "observe/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace kml::observe;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+#if !KML_OBSERVE_ENABLED
+
+// Compiled-out build: the v3 surfaces (retention ring, SLO evaluation,
+// Prometheus exposition) must be inert stubs that stay link- and
+// logic-compatible — same contract observe_test pins for the core layer.
+TEST(TelemetryDisabled, V3SurfacesAreInertStubs) {
+  timeseries_set_enabled(true);
+  timeseries_sample(1);
+  EXPECT_FALSE(timeseries_enabled());
+  EXPECT_EQ(timeseries_samples(), 0u);
+  EXPECT_EQ(timeseries_counter_delta("off.counter", 1), 0u);
+  SloObjective obj;
+  obj.hist_name = "off.hist";
+  EXPECT_EQ(slo_register(obj), -1);
+  EXPECT_EQ(slo_count(), 0u);
+  EXPECT_FALSE(slo_evaluate(0).burning);
+  EXPECT_TRUE(format_prometheus().empty());
+  char buf[8] = {1};
+  EXPECT_EQ(kml_metrics_prom(buf, sizeof(buf)), 0u);
+  EXPECT_EQ(buf[0], '\0');
+}
+
+#else  // KML_OBSERVE_ENABLED
+
+// Every timeseries test owns the ring: drop retained samples first.
+void fresh_ring() {
+  set_enabled(true);
+  timeseries_set_enabled(true);
+  timeseries_set_tick_ns(kTimeSeriesDefaultTickNs);
+  timeseries_reset();
+}
+
+// --- time-series retention ---------------------------------------------------
+
+TEST(Timeseries, CounterDeltaAndRateAcrossTicks) {
+  fresh_ring();
+  Counter& c = get_counter("ts.counter.rate");
+  c.reset();
+
+  c.add(100);
+  timeseries_sample(1 * kSec);  // delta vs process start: 100
+  c.add(50);
+  timeseries_sample(3 * kSec);  // delta 50 over 2 s
+
+  EXPECT_EQ(timeseries_samples(), 2u);
+  EXPECT_EQ(timeseries_last_sample_ns(), 3 * kSec);
+  EXPECT_EQ(timeseries_counter_delta("ts.counter.rate", 1), 50u);
+  EXPECT_EQ(timeseries_counter_delta("ts.counter.rate", 2), 150u);
+  // Window 1 spans (1 s, 3 s]: 50 events / 2 s = 25/s, exactly, in integers.
+  EXPECT_EQ(timeseries_counter_rate_per_sec("ts.counter.rate", 1), 25u);
+  // Unknown names and pre-first-sample queries fail closed.
+  EXPECT_EQ(timeseries_counter_delta("ts.counter.absent", 1), 0u);
+}
+
+TEST(Timeseries, CounterRegistryResetReadsAsFreshDelta) {
+  fresh_ring();
+  Counter& c = get_counter("ts.counter.reset");
+  c.reset();
+  c.add(1000);
+  timeseries_sample(1 * kSec);
+  // A registry reset between ticks must not produce a huge wrapped delta:
+  // the re-accumulated value IS the delta.
+  c.reset();
+  c.add(7);
+  timeseries_sample(2 * kSec);
+  EXPECT_EQ(timeseries_counter_delta("ts.counter.reset", 1), 7u);
+}
+
+TEST(Timeseries, GaugeRetainsLastValue) {
+  fresh_ring();
+  Gauge& g = get_gauge("ts.gauge.last");
+  g.set(11);
+  timeseries_sample(1 * kSec);
+  g.set(-4);
+  timeseries_sample(2 * kSec);
+  EXPECT_EQ(timeseries_gauge_last("ts.gauge.last"), -4);
+}
+
+TEST(Timeseries, HistogramWindowMergeAcrossTicks) {
+  fresh_ring();
+  Histogram& h = get_histogram("ts.hist.merge");
+  h.reset();
+
+  // Tick 1: 90 fast records. Tick 2: 10 slow ones. A window of 1 sees only
+  // the slow tick; a window of 2 merges both and must answer exactly what
+  // one histogram holding all 100 records would.
+  for (int i = 0; i < 90; ++i) h.record(1000);
+  timeseries_sample(1 * kSec);
+  for (int i = 0; i < 10; ++i) h.record(1'000'000);
+  timeseries_sample(2 * kSec);
+
+  EXPECT_EQ(timeseries_hist_window_count("ts.hist.merge", 1), 10u);
+  EXPECT_EQ(timeseries_hist_window_count("ts.hist.merge", 2), 100u);
+
+  const std::uint64_t fast_lb =
+      Histogram::bucket_lower_bound(Histogram::bucket_index(1000));
+  const std::uint64_t slow_lb =
+      Histogram::bucket_lower_bound(Histogram::bucket_index(1'000'000));
+  EXPECT_EQ(timeseries_hist_window_percentile("ts.hist.merge", 1, 50),
+            slow_lb);
+  EXPECT_EQ(timeseries_hist_window_percentile("ts.hist.merge", 2, 50),
+            fast_lb);
+  EXPECT_EQ(timeseries_hist_window_percentile("ts.hist.merge", 2, 99),
+            slow_lb);
+  // Bit-identical to the live histogram over the same records (both sides
+  // run Histogram::percentile_from_counts on identical bucket counts).
+  for (const unsigned pct : {0u, 50u, 90u, 99u, 100u}) {
+    EXPECT_EQ(timeseries_hist_window_percentile("ts.hist.merge", 2, pct),
+              h.percentile(pct))
+        << "pct=" << pct;
+  }
+  // Threshold classification at bucket resolution: power-of-two thresholds
+  // sit exactly on bucket lower bounds, so the split is exact.
+  EXPECT_EQ(timeseries_hist_window_over("ts.hist.merge", 2, 4096), 10u);
+  EXPECT_EQ(timeseries_hist_window_over("ts.hist.merge", 2, 0), 100u);
+  EXPECT_EQ(timeseries_hist_window_over("ts.hist.merge", 2,
+                                        std::numeric_limits<
+                                            std::uint64_t>::max()),
+            0u);
+}
+
+TEST(Timeseries, WindowClampsToRetainedSamplesAndWraps) {
+  fresh_ring();
+  Counter& c = get_counter("ts.counter.wrap");
+  c.reset();
+  // 40 ticks of +1 each: more than the ring retains (32). A huge window
+  // clamps to the retained span, so the delta is 32, not 40.
+  for (unsigned t = 1; t <= 40; ++t) {
+    c.add(1);
+    timeseries_sample(t * kSec);
+  }
+  EXPECT_EQ(timeseries_samples(), 40u);
+  EXPECT_EQ(timeseries_counter_delta("ts.counter.wrap", 1), 1u);
+  EXPECT_EQ(timeseries_counter_delta("ts.counter.wrap", 1'000'000),
+            static_cast<std::uint64_t>(kTimeSeriesTicks));
+  // Window 0 clamps up to 1.
+  EXPECT_EQ(timeseries_counter_delta("ts.counter.wrap", 0), 1u);
+  // Full-ring rate: the oldest in-window sample is the base (its own span
+  // is unknowable), so 31 intervals of 1/s remain visible.
+  EXPECT_EQ(timeseries_counter_rate_per_sec("ts.counter.wrap",
+                                            kTimeSeriesTicks),
+            static_cast<std::uint64_t>(kTimeSeriesTicks) /
+                (kTimeSeriesTicks - 1));
+}
+
+TEST(Timeseries, PollHonoursTickPeriod) {
+  fresh_ring();
+  timeseries_set_tick_ns(kSec);
+  EXPECT_TRUE(timeseries_poll(5 * kSec));    // first poll always samples
+  EXPECT_FALSE(timeseries_poll(5 * kSec));   // not due
+  EXPECT_FALSE(timeseries_poll(6 * kSec - 1));
+  EXPECT_TRUE(timeseries_poll(6 * kSec));    // exactly one tick later
+  EXPECT_EQ(timeseries_samples(), 2u);
+}
+
+TEST(Timeseries, DisabledSamplerRetainsNothing) {
+  fresh_ring();
+  timeseries_set_enabled(false);
+  timeseries_sample(1 * kSec);
+  EXPECT_FALSE(timeseries_poll(10 * kSec));
+  EXPECT_EQ(timeseries_samples(), 0u);
+  timeseries_set_enabled(true);
+}
+
+// --- SLO burn-rate evaluation ------------------------------------------------
+
+// One burn scenario: per tick, `good` records under the threshold and `bad`
+// records far above it, across `ticks` samples.
+void drive_slo_ticks(Histogram& h, int ticks, int good, int bad,
+                     std::uint64_t start_tick) {
+  for (int t = 0; t < ticks; ++t) {
+    for (int i = 0; i < good; ++i) h.record(100);
+    for (int i = 0; i < bad; ++i) h.record(1'000'000);
+    timeseries_sample((start_tick + static_cast<std::uint64_t>(t)) * kSec);
+  }
+}
+
+TEST(Slo, BurnRateIntegerMathIsExact) {
+  fresh_ring();
+  slo_reset();
+  Histogram& h = get_histogram("slo.hist.math");
+  h.reset();
+
+  SloObjective obj;
+  obj.hist_name = "slo.hist.math";
+  obj.threshold_ns = 1024;        // power of two: exact bucket split
+  obj.objective_milli = 900;      // error budget: 100 milli (10%)
+  obj.fast_window_ticks = 1;
+  obj.slow_window_ticks = 2;
+  obj.fast_burn_trip_milli = 500;
+  obj.slow_burn_trip_milli = 500;
+  obj.min_window_records = 10;
+  const int idx = slo_register(obj);
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(slo_count(), 1u);
+  ASSERT_NE(slo_objective(static_cast<std::size_t>(idx)), nullptr);
+  EXPECT_EQ(slo_objective(static_cast<std::size_t>(idx))->threshold_ns,
+            1024u);
+
+  // Two ticks of 90 good / 10 bad: bad ratio 100 milli against a 100-milli
+  // budget — burn rate exactly 1000 milli (1.0x budget) in both windows.
+  drive_slo_ticks(h, 2, 90, 10, 1);
+  const SloStatus s = slo_evaluate(static_cast<std::size_t>(idx));
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.fast_total, 100u);
+  EXPECT_EQ(s.fast_bad, 10u);
+  EXPECT_EQ(s.slow_total, 200u);
+  EXPECT_EQ(s.slow_bad, 20u);
+  EXPECT_EQ(s.fast_burn_milli, 1000u);
+  EXPECT_EQ(s.slow_burn_milli, 1000u);
+  EXPECT_TRUE(s.burning);  // 1000 > 500 in both windows
+}
+
+TEST(Slo, HealthyWindowDoesNotBurn) {
+  fresh_ring();
+  slo_reset();
+  Histogram& h = get_histogram("slo.hist.healthy");
+  h.reset();
+  SloObjective obj;
+  obj.hist_name = "slo.hist.healthy";
+  obj.threshold_ns = 1024;
+  obj.objective_milli = 900;
+  obj.fast_window_ticks = 1;
+  obj.slow_window_ticks = 2;
+  obj.fast_burn_trip_milli = 500;
+  obj.slow_burn_trip_milli = 500;
+  obj.min_window_records = 10;
+  const int idx = slo_register(obj);
+  ASSERT_GE(idx, 0);
+  drive_slo_ticks(h, 2, 100, 0, 1);
+  const SloStatus s = slo_evaluate(static_cast<std::size_t>(idx));
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.fast_burn_milli, 0u);
+  EXPECT_FALSE(s.burning);
+}
+
+TEST(Slo, BothWindowsMustExceedToTrip) {
+  // One bad burst inside an otherwise healthy long window: the fast window
+  // screams but the slow window holds the trip back (the multiwindow point:
+  // page on sustained burn, not blips).
+  fresh_ring();
+  slo_reset();
+  Histogram& h = get_histogram("slo.hist.blip");
+  h.reset();
+  SloObjective obj;
+  obj.hist_name = "slo.hist.blip";
+  obj.threshold_ns = 1024;
+  obj.objective_milli = 900;
+  obj.fast_window_ticks = 1;
+  obj.slow_window_ticks = 8;
+  obj.fast_burn_trip_milli = 500;
+  obj.slow_burn_trip_milli = 900;
+  obj.min_window_records = 10;
+  const int idx = slo_register(obj);
+  ASSERT_GE(idx, 0);
+  drive_slo_ticks(h, 7, 100, 0, 1);  // seven clean ticks
+  drive_slo_ticks(h, 1, 0, 50, 8);   // one fully-bad (smaller) tick
+  const SloStatus s = slo_evaluate(static_cast<std::size_t>(idx));
+  ASSERT_TRUE(s.valid);
+  // Fast window: 100% bad -> burn 10000 milli, far past its 500 trip.
+  EXPECT_GT(s.fast_burn_milli, 500u);
+  // Slow window: 50/750 bad -> 66 milli ratio on a 100-milli budget ->
+  // burn 660 milli, under its 900 trip.
+  EXPECT_LE(s.slow_burn_milli, 900u);
+  EXPECT_FALSE(s.burning);
+}
+
+TEST(Slo, ThinWindowsAreInvalidNotBurning) {
+  fresh_ring();
+  slo_reset();
+  Histogram& h = get_histogram("slo.hist.thin");
+  h.reset();
+  SloObjective obj;
+  obj.hist_name = "slo.hist.thin";
+  obj.threshold_ns = 1024;
+  obj.min_window_records = 64;
+  obj.fast_window_ticks = 1;
+  obj.slow_window_ticks = 2;
+  const int idx = slo_register(obj);
+  ASSERT_GE(idx, 0);
+  drive_slo_ticks(h, 2, 3, 3, 1);  // 6 records per tick << 64
+  const SloStatus s = slo_evaluate(static_cast<std::size_t>(idx));
+  EXPECT_FALSE(s.valid);
+  EXPECT_FALSE(s.burning);
+}
+
+TEST(Slo, RegistrationValidatesInput) {
+  slo_reset();
+  SloObjective bad;
+  bad.hist_name = nullptr;
+  EXPECT_EQ(slo_register(bad), -1);
+  EXPECT_EQ(slo_count(), 0u);
+  EXPECT_EQ(slo_objective(0), nullptr);
+  // Out-of-range evaluate fails closed.
+  const SloStatus s = slo_evaluate(99);
+  EXPECT_FALSE(s.valid);
+  EXPECT_FALSE(s.burning);
+  slo_reset();
+}
+
+// --- Prometheus exposition round-trip ----------------------------------------
+
+struct PromSample {
+  std::string name;
+  std::string le;  // empty for non-bucket samples
+  long long value = 0;
+};
+
+struct PromParse {
+  std::map<std::string, std::string> types;  // metric family -> TYPE
+  std::vector<PromSample> samples;
+  int bad_lines = 0;
+};
+
+bool prom_name_ok(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char ch : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+          ch == ':')) {
+      return false;
+    }
+  }
+  return !std::isdigit(static_cast<unsigned char>(s[0]));
+}
+
+// A strict-enough parser for text format 0.0.4 as this repo emits it:
+// `# TYPE <family> <kind>` comments and `name[{le="<x>"}] <integer>`
+// sample lines. Anything else on a non-empty line counts as bad.
+PromParse parse_prom(const std::string& text) {
+  PromParse out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string family, kind;
+      if (ls >> family >> kind &&
+          (kind == "counter" || kind == "gauge" || kind == "histogram")) {
+        out.types[family] = kind;
+      } else {
+        ++out.bad_lines;
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+    PromSample s;
+    std::string::size_type value_at;
+    const std::string::size_type brace = line.find('{');
+    if (brace != std::string::npos) {
+      const std::string::size_type close = line.find('}', brace);
+      const std::string labels = close == std::string::npos
+                                     ? std::string()
+                                     : line.substr(brace + 1,
+                                                   close - brace - 1);
+      if (close == std::string::npos || labels.rfind("le=\"", 0) != 0 ||
+          labels.back() != '"') {
+        ++out.bad_lines;
+        continue;
+      }
+      s.name = line.substr(0, brace);
+      s.le = labels.substr(4, labels.size() - 5);
+      value_at = close + 1;
+    } else {
+      const std::string::size_type space = line.find(' ');
+      if (space == std::string::npos) {
+        ++out.bad_lines;
+        continue;
+      }
+      s.name = line.substr(0, space);
+      value_at = space;
+    }
+    char* end = nullptr;
+    s.value = std::strtoll(line.c_str() + value_at, &end, 10);
+    if (end == line.c_str() + value_at || *end != '\0') {
+      ++out.bad_lines;
+      continue;
+    }
+    out.samples.push_back(s);
+  }
+  return out;
+}
+
+TEST(Prometheus, ExpositionRoundTripsThroughParser) {
+  set_enabled(true);
+  Counter& c = get_counter("prom.rt.requests");
+  c.reset();
+  c.add(5);
+  Gauge& g = get_gauge("prom.rt.depth");
+  g.set(-3);
+  Histogram& h = get_histogram("prom.rt.lat_ns");
+  h.reset();
+  for (int i = 0; i < 3; ++i) h.record(100);
+  h.record(1'000'000'000);
+  h.record(std::numeric_limits<std::uint64_t>::max());  // overflow bucket
+
+  const std::string text = format_prometheus();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  const PromParse p = parse_prom(text);
+  EXPECT_EQ(p.bad_lines, 0) << text.substr(0, 400);
+
+  // Every sample belongs to a declared family with a sanitized name.
+  for (const PromSample& s : p.samples) {
+    EXPECT_TRUE(prom_name_ok(s.name)) << s.name;
+    std::string family = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string suf(suffix);
+      if (family.size() > suf.size() &&
+          family.compare(family.size() - suf.size(), suf.size(), suf) == 0 &&
+          p.types.count(family.substr(0, family.size() - suf.size()))) {
+        family = family.substr(0, family.size() - suf.size());
+        break;
+      }
+    }
+    EXPECT_TRUE(p.types.count(family) == 1 ||
+                p.types.count(s.name) == 1)
+        << "undeclared family for " << s.name;
+  }
+
+  // The three metrics written above come back with their exact values.
+  long long counter_val = -1, gauge_val = 0, count_val = -1, inf_val = -1;
+  std::vector<long long> cumulative;
+  std::vector<std::string> les;
+  for (const PromSample& s : p.samples) {
+    if (s.name == "kml_prom_rt_requests_total") counter_val = s.value;
+    if (s.name == "kml_prom_rt_depth") gauge_val = s.value;
+    if (s.name == "kml_prom_rt_lat_ns_count") count_val = s.value;
+    if (s.name == "kml_prom_rt_lat_ns_bucket") {
+      cumulative.push_back(s.value);
+      les.push_back(s.le);
+      if (s.le == "+Inf") inf_val = s.value;
+    }
+  }
+  EXPECT_EQ(counter_val, 5);
+  EXPECT_EQ(gauge_val, -3);
+  EXPECT_EQ(count_val, 5);
+  EXPECT_EQ(inf_val, 5);
+  // Counter TYPE lines carry the full sample name (`..._total`), the
+  // classic text-format 0.0.4 convention.
+  EXPECT_EQ(p.types.at("kml_prom_rt_requests_total"), "counter");
+  EXPECT_EQ(p.types.at("kml_prom_rt_depth"), "gauge");
+  EXPECT_EQ(p.types.at("kml_prom_rt_lat_ns"), "histogram");
+  // Histogram buckets: cumulative and non-decreasing, +Inf last.
+  ASSERT_GE(cumulative.size(), 2u);
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_LE(cumulative[i - 1], cumulative[i]);
+  }
+  EXPECT_EQ(les.back(), "+Inf");
+  // The synthetic registry-overflow counter is part of the scrape.
+  bool saw_overflow = false;
+  for (const PromSample& s : p.samples) {
+    if (s.name == "kml_observe_registry_overflow_total") saw_overflow = true;
+  }
+  EXPECT_TRUE(saw_overflow);
+}
+
+TEST(Prometheus, CApiUsesSnprintfConvention) {
+  Counter& c = get_counter("prom.capi.counter");
+  c.reset();
+  c.add(1);
+  char probe[1] = {'x'};
+  const size_t need = kml_metrics_prom(probe, sizeof(probe));
+  ASSERT_GT(need, 0u);
+  EXPECT_EQ(probe[0], '\0');  // truncated but NUL-terminated
+  std::vector<char> full(need + 1);
+  EXPECT_EQ(kml_metrics_prom(full.data(), full.size()), need);
+  EXPECT_EQ(std::strlen(full.data()), need);
+  EXPECT_NE(std::strstr(full.data(), "kml_prom_capi_counter_total"),
+            nullptr);
+}
+
+TEST(Prometheus, TimeseriesCApiDelegates) {
+  kml_timeseries_reset();
+  EXPECT_EQ(kml_timeseries_samples(), 0ull);
+  kml_timeseries_sample(1 * kSec);
+  EXPECT_EQ(kml_timeseries_samples(), 1ull);
+  EXPECT_EQ(kml_timeseries_poll(1 * kSec), 0);
+  EXPECT_EQ(kml_timeseries_poll(2 * kSec), 1);
+  EXPECT_EQ(kml_timeseries_samples(), 2ull);
+  kml_timeseries_reset();
+}
+
+#endif  // KML_OBSERVE_ENABLED
+
+}  // namespace
